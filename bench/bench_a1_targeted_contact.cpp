@@ -1,0 +1,87 @@
+// Ablation A1 — broadcast-and-wait vs targeted quorum contact.
+//
+// The paper presents the protocol as "send to all, wait for a quorum of
+// answers": O(n) messages per phase regardless of the quorum system. The
+// targeted optimization sends each phase's request to one preferred
+// minimal quorum and expands on a retransmission timeout. Steady-state
+// message cost then tracks the quorum SIZE, which is where small-quorum
+// systems (grid: ~2*sqrt(n), tree: ~log n) actually pay off; the price is
+// a timeout-bounded hiccup when a preferred member dies.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "abdkit/harness/deployment.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+struct Row {
+  double write_msgs;
+  double read_msgs;
+};
+
+Row measure(std::shared_ptr<const quorum::QuorumSystem> qs, bool targeted_mode) {
+  harness::DeployOptions options;
+  options.n = qs->n();
+  options.seed = 77;
+  options.quorums = std::move(qs);
+  if (targeted_mode) {
+    options.client.contact = abd::ContactPolicy::kTargeted;
+    options.client.retransmit_interval = 100ms;
+  }
+  harness::SimDeployment d{std::move(options)};
+
+  constexpr int kOps = 50;
+  double write_msgs = 0;
+  double read_msgs = 0;
+  auto loop = std::make_shared<std::function<void(int)>>();
+  *loop = [&, loop](int remaining) {
+    if (remaining == 0) return;
+    d.write_at(d.world().now(), 0, 0, d.unique_value(),
+               [&, loop, remaining](const abd::OpResult& w) {
+                 write_msgs += static_cast<double>(w.messages_sent);
+                 d.read_at(d.world().now(), 1, 0,
+                           [&, loop, remaining](const abd::OpResult& r) {
+                             read_msgs += static_cast<double>(r.messages_sent);
+                             (*loop)(remaining - 1);
+                           });
+               });
+  };
+  d.world().at(TimePoint{0}, [loop] { (*loop)(kOps); });
+  d.world().run_until_quiescent();
+  return {write_msgs / kOps, read_msgs / kOps};
+}
+
+void table_for(std::size_t n, std::size_t side) {
+  std::vector<std::pair<const char*, std::shared_ptr<const quorum::QuorumSystem>>> rows;
+  rows.emplace_back("majority", std::make_shared<const quorum::MajorityQuorum>(n));
+  rows.emplace_back("grid", std::make_shared<const quorum::GridQuorum>(side, side));
+  rows.emplace_back("tree", std::make_shared<const quorum::TreeQuorum>(n));
+  rows.emplace_back("wheel", std::make_shared<const quorum::WheelQuorum>(n));
+  for (auto& [name, qs] : rows) {
+    const Row broadcast = measure(qs, /*targeted=*/false);
+    const Row targeted = measure(qs, /*targeted=*/true);
+    std::printf("%4zu %-10s | %10.1f %10.1f | %10.1f %10.1f\n", n, name,
+                broadcast.write_msgs, broadcast.read_msgs, targeted.write_msgs,
+                targeted.read_msgs);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A1: requests per op (client-side sends), broadcast vs targeted\n\n");
+  std::printf("%4s %-10s | %10s %10s | %10s %10s\n", "n", "system", "bc write",
+              "bc read", "tgt write", "tgt read");
+  table_for(9, 3);
+  table_for(25, 5);
+  table_for(49, 7);
+  std::printf("\nshape: broadcast cost ~n per phase for every system; targeted cost\n"
+              "tracks quorum size — majority ~n/2, grid ~2*sqrt(n), tree ~log n,\n"
+              "wheel = 2 — so the generalized-quorum systems only beat majority\n"
+              "when targeted.\n");
+  return 0;
+}

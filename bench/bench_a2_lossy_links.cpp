@@ -1,0 +1,76 @@
+// Ablation A2 — leaving the paper's reliable-channel model.
+//
+// ABD assumes channels that eventually deliver every message; real networks
+// drop packets. The extension: clients re-send a pending phase's request to
+// silent replicas on a timer (all handlers are idempotent, so resends are
+// free of safety concerns). This bench sweeps the loss rate and reports
+// completion, message overhead, latency, and the atomicity verdict.
+#include <chrono>
+#include <cstdio>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/common/stats.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+void row(double loss, bool retransmit) {
+  harness::DeployOptions options;
+  options.n = 5;
+  options.seed = 42;
+  options.loss_probability = loss;
+  if (retransmit) options.client.retransmit_interval = 3ms;
+  harness::SimDeployment d{std::move(options)};
+
+  harness::WorkloadOptions workload;
+  workload.writers = {0};
+  workload.readers = {1, 2, 3, 4};
+  workload.ops_per_process = 20;
+  workload.seed = 42;
+  harness::schedule_closed_loop(d, workload);
+
+  if (retransmit) {
+    d.run();
+  } else {
+    // Without retransmission some ops may stall forever; bound the run.
+    d.run_until(TimePoint{10s});
+    d.finalize_history();
+  }
+
+  Summary latency_us;
+  for (const auto& op : d.history().ops()) {
+    if (op.completed) {
+      latency_us.add(static_cast<double>((op.responded - op.invoked).count()) / 1e3);
+    }
+  }
+  const double total_ops =
+      static_cast<double>(d.completed_ops() + d.stalled_ops());
+  const bool atomic = checker::check_linearizable(d.history()).linearizable;
+  std::printf("%6.2f %6s | %8.1f%% %12.1f %12.0f %10s\n", loss,
+              retransmit ? "yes" : "no",
+              100.0 * static_cast<double>(d.completed_ops()) / total_ops,
+              static_cast<double>(d.world().stats().messages_sent) /
+                  std::max(1.0, static_cast<double>(d.completed_ops())),
+              latency_us.empty() ? 0.0 : latency_us.quantile(0.5), atomic ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A2: message loss vs retransmission (n=5, 1 writer, 4 readers)\n\n");
+  std::printf("%6s %6s | %9s %12s %12s %10s\n", "loss", "rexmit", "completed",
+              "msgs/op", "p50 us", "atomic?");
+  for (const double loss : {0.0, 0.1, 0.3, 0.5}) {
+    row(loss, false);
+    row(loss, true);
+  }
+  std::printf("\nshape: without retransmission completion degrades with loss (stalled\n"
+              "ops wait forever for lost requests); with it completion stays 100%%\n"
+              "at higher message cost. Atomicity holds in every cell — loss can only\n"
+              "hurt liveness, never safety.\n");
+  return 0;
+}

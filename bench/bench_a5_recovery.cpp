@@ -1,0 +1,152 @@
+// Ablation A5 — crash recovery: what a safe restart costs and what a naive
+// restart breaks.
+//
+// A restarted replica has lost its volatile state. Serving queries from
+// the blank state can erase completed writes from reads' view (atomicity
+// violation); the RecoverableNode instead performs one full ABD read per
+// touched object before serving it. This bench measures the sync cost and
+// replays the naive-vs-safe comparison over many seeds.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "abdkit/abd/node.hpp"
+#include "abdkit/abd/recoverable_node.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/sim/world.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+struct World {
+  World(std::size_t n, std::uint64_t seed) {
+    quorums = std::make_shared<const quorum::MajorityQuorum>(n);
+    sim::WorldConfig config;
+    config.num_processes = n;
+    config.seed = seed;
+    world = std::make_unique<sim::World>(std::move(config));
+    nodes.resize(n, nullptr);
+    for (ProcessId p = 0; p < n; ++p) {
+      auto node =
+          std::make_unique<abd::RecoverableNode>(abd::RecoverableNodeOptions{quorums});
+      nodes[p] = node.get();
+      world->add_actor(p, std::move(node));
+    }
+    world->start();
+  }
+
+  std::shared_ptr<const quorum::QuorumSystem> quorums;
+  std::unique_ptr<sim::World> world;
+  std::vector<abd::RegisterNode*> nodes;
+};
+
+void sync_cost_table() {
+  std::printf("\n-- lazy state-transfer cost after a restart (n = 3) --\n");
+  std::printf("%16s %14s %14s\n", "objects touched", "sync msgs", "msgs/object");
+  for (const std::size_t objects : {1U, 10U, 100U}) {
+    World w{3, 50 + objects};
+    for (std::size_t k = 0; k < objects; ++k) {
+      w.world->at(TimePoint{0}, [&w, k] {
+        Value v;
+        v.data = static_cast<std::int64_t>(k + 1);
+        w.nodes[0]->write(k, v, nullptr);
+      });
+    }
+    w.world->run_until_quiescent();
+
+    // Restart replica 2 in recovering mode; then read every object through
+    // it so each one triggers a sync.
+    w.world->crash(2);
+    auto fresh = std::make_unique<abd::RecoverableNode>(abd::RecoverableNodeOptions{
+        w.quorums, abd::ReadMode::kAtomic, abd::WriteMode::kSingleWriter, {}, true});
+    abd::RecoverableNode* recovered = fresh.get();
+    w.nodes[2] = recovered;
+    w.world->restart(2, std::move(fresh));
+
+    const std::uint64_t before = w.world->stats().messages_sent;
+    for (std::size_t k = 0; k < objects; ++k) {
+      w.world->at(w.world->now(), [&w, k] { w.nodes[2]->read(k, nullptr); });
+    }
+    w.world->run_until_quiescent();
+    const std::uint64_t msgs = w.world->stats().messages_sent - before;
+    std::printf("%16zu %14llu %14.1f\n", objects,
+                static_cast<unsigned long long>(msgs),
+                static_cast<double>(msgs) / static_cast<double>(objects));
+  }
+  std::printf("shape: one extra ABD read per object, amortized into first touch\n"
+              "(the reads above pay their own 4n plus the replica's sync 4n).\n");
+}
+
+void naive_vs_safe() {
+  std::printf("\n-- restart semantics when the original copies die (30 seeds) --\n");
+  std::printf("schedule: write(42); restart 1 blank; restart 2 blank; crash 0; read\n");
+  std::printf("%-22s %12s %12s %12s\n", "mode", "completed", "lost write", "blocked");
+  for (const bool safe : {false, true}) {
+    std::uint64_t completed = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t blocked = 0;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+      World w{3, seed};
+      std::optional<abd::OpResult> read_result;
+      w.world->at(TimePoint{0}, [&w] {
+        Value v;
+        v.data = 42;
+        w.nodes[0]->write(0, v, nullptr);
+      });
+      const auto restart_blank = [&w, safe](ProcessId victim) {
+        w.world->crash(victim);
+        if (safe) {
+          auto fresh = std::make_unique<abd::RecoverableNode>(
+              abd::RecoverableNodeOptions{w.quorums, abd::ReadMode::kAtomic,
+                                          abd::WriteMode::kSingleWriter, {}, true});
+          w.nodes[victim] = fresh.get();
+          w.world->restart(victim, std::move(fresh));
+        } else {
+          auto fresh = std::make_unique<abd::Node>(abd::NodeOptions{w.quorums});
+          w.nodes[victim] = fresh.get();
+          w.world->restart(victim, std::move(fresh));
+        }
+      };
+      w.world->at(TimePoint{50ms}, [&] { restart_blank(1); });
+      w.world->at(TimePoint{60ms}, [&] { restart_blank(2); });
+      w.world->at(TimePoint{70ms}, [&w] { w.world->crash(0); });
+      w.world->at(TimePoint{80ms}, [&w, &read_result] {
+        w.nodes[1]->read(0, [&read_result](const abd::OpResult& r) { read_result = r; });
+      });
+      w.world->run_until_quiescent();
+
+      if (!read_result.has_value()) {
+        // The safe restart refuses to serve state it cannot reconstruct
+        // (both recovering replicas wait on a quorum that no longer holds
+        // the value) — blocking, the only answer that preserves safety.
+        ++blocked;
+      } else {
+        ++completed;
+        if (read_result->value.data != 42) ++lost;
+      }
+    }
+    std::printf("%-22s %12llu %12llu %12llu\n",
+                safe ? "safe (quorum sync)" : "naive (blank serve)",
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(lost),
+                static_cast<unsigned long long>(blocked));
+  }
+  std::printf("\nshape: with every original copy gone, the write is physically\n"
+              "unrecoverable. The naive restart completes the read by FABRICATING\n"
+              "state (silent data loss, atomicity broken); the safe restart blocks —\n"
+              "under ABD semantics, no answer is the only correct answer. When a\n"
+              "sync completes before the originals die (see tests), safe restarts\n"
+              "serve correctly and promptly.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A5: crash recovery — quorum state-sync on restart\n");
+  sync_cost_table();
+  naive_vs_safe();
+  return 0;
+}

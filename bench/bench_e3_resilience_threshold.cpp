@@ -1,0 +1,97 @@
+// Experiment E3 — the n > 2f resilience threshold and its optimality.
+//
+// Paper claims: (a) the protocol tolerates any f < n/2 crashes (all
+// operations by live processes complete); (b) with n <= 2f the problem is
+// unsolvable — demonstrated by the partition argument: split the system in
+// two halves with all cross traffic delayed; each half must either answer
+// (breaking atomicity) or wait forever (breaking liveness). ABD chooses to
+// wait: safety is unconditional, liveness needs a live majority.
+//
+// Method: for each (n, k) crash k replicas and run a fixed op schedule;
+// count completed vs stalled. Then the even-split partition scenario.
+#include <chrono>
+#include <cstdio>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/harness/deployment.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+void crash_sweep() {
+  std::printf("\n-- completed/stalled ops vs crashed replicas --\n");
+  std::printf("%4s %4s %10s | %9s %8s %8s\n", "n", "k", "majority?", "completed",
+              "stalled", "atomic?");
+  for (std::size_t n = 3; n <= 11; n += 2) {
+    for (std::size_t k = 0; k < n; ++k) {
+      harness::DeployOptions options;
+      options.n = n;
+      options.seed = n * 100 + k;
+      harness::SimDeployment d{std::move(options)};
+      for (std::size_t i = 0; i < k; ++i) {
+        d.crash_at(TimePoint{0}, static_cast<ProcessId>(n - 1 - i));
+      }
+      constexpr int kOps = 10;
+      for (int i = 0; i < kOps; ++i) {
+        d.write_at(TimePoint{i * 10ms}, 0, 0, i + 1);
+        d.read_at(TimePoint{i * 10ms + 5ms}, 1 % static_cast<ProcessId>(n), 0);
+      }
+      d.run();
+      const bool majority_alive = k <= (n - 1) / 2;
+      const bool atomic = checker::check_linearizable(d.history()).linearizable;
+      std::printf("%4zu %4zu %10s | %9llu %8llu %8s\n", n, k,
+                  majority_alive ? "yes" : "no",
+                  static_cast<unsigned long long>(d.completed_ops()),
+                  static_cast<unsigned long long>(d.stalled_ops()),
+                  atomic ? "yes" : "NO");
+    }
+  }
+  std::printf("shape: sharp threshold at k = ceil(n/2); above it ops stall but the\n"
+              "history of previously completed ops stays atomic (safety kept).\n");
+}
+
+void partition_argument() {
+  std::printf("\n-- the n <= 2f indistinguishability: even split, n = 4 --\n");
+  harness::SimDeployment d{harness::DeployOptions{.n = 4, .seed = 7}};
+  d.write_at(TimePoint{0}, 0, 0, 1);                 // completes pre-partition
+  d.partition_at(TimePoint{50ms}, {{0, 1}, {2, 3}});  // neither side a majority
+  d.read_at(TimePoint{100ms}, 0, 0);
+  d.read_at(TimePoint{100ms}, 2, 0);
+  d.write_at(TimePoint{150ms}, 0, 0, 2);
+  d.run();
+  std::printf("pre-partition writes completed: %s\n",
+              d.completed_ops() >= 1 ? "yes" : "no");
+  std::printf("ops invoked during 2|2 split:   %llu stalled (each side must assume\n"
+              "the other may be merely slow, so answering would risk atomicity)\n",
+              static_cast<unsigned long long>(d.stalled_ops()));
+  std::printf("history linearizable:           %s\n",
+              checker::check_linearizable(d.history()).linearizable ? "yes" : "NO");
+}
+
+void heal_recovery() {
+  std::printf("\n-- liveness restored on heal (no protocol restart) --\n");
+  harness::SimDeployment d{harness::DeployOptions{.n = 5, .seed = 8}};
+  d.partition_at(TimePoint{0}, {{0, 1}, {2, 3, 4}});
+  std::optional<abd::OpResult> read_result;
+  d.read_at(TimePoint{10ms}, 0, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.heal_at(TimePoint{3s});
+  d.run();
+  if (read_result.has_value()) {
+    std::printf("read invoked at 10ms during partition completed at %.0fms after heal\n",
+                static_cast<double>(read_result->responded.count()) / 1e6);
+  } else {
+    std::printf("ERROR: read did not complete after heal\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3: n > 2f is necessary and sufficient\n");
+  crash_sweep();
+  partition_argument();
+  heal_recovery();
+  return 0;
+}

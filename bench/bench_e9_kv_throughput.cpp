@@ -1,0 +1,102 @@
+// Experiment E9 — throughput of the replicated KV store on real threads.
+//
+// The Dijkstra Prize citation credits ABD as the core of replicated cloud
+// storage; this experiment runs the KV layer on the threaded runtime (one
+// mailbox thread per replica, real concurrency) and measures ops/s as
+// client parallelism and read ratio vary.
+//
+// Expected shape: throughput scales with client count until replica mailbox
+// threads saturate; higher read ratios do NOT help latency in ABD (reads
+// are 2 RTT, writes 1 RTT for SWMR — but the KV layer uses MWMR writes,
+// also 2 RTT, so the read ratio is roughly neutral here; the benefit of
+// reads is replica-side: no tag-order work).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "abdkit/kv/kv_node.hpp"
+#include "abdkit/kv/sync_kv.hpp"
+#include "abdkit/runtime/cluster.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+struct Deployment {
+  explicit Deployment(std::size_t n) {
+    auto quorums = std::make_shared<const quorum::MajorityQuorum>(n);
+    runtime::ClusterOptions options;
+    options.num_processes = n;
+    options.seed = 99;
+    nodes.resize(n, nullptr);
+    cluster = std::make_unique<runtime::Cluster>(
+        options, [&](ProcessId p) -> std::unique_ptr<Actor> {
+          auto node = std::make_unique<kv::KvNode>(quorums);
+          nodes[p] = node.get();
+          return node;
+        });
+    cluster->start();
+  }
+
+  std::unique_ptr<runtime::Cluster> cluster;
+  std::vector<kv::KvNode*> nodes;
+};
+
+double run_row(std::size_t clients, double read_ratio, int ops_per_client) {
+  Deployment d{5};
+  std::atomic<std::uint64_t> completed{0};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const ProcessId host = static_cast<ProcessId>(c % 5);
+      kv::SyncKv client{*d.cluster, host, *d.nodes[host]};
+      Rng rng{c * 7919 + 13};
+      for (int i = 0; i < ops_per_client; ++i) {
+        const std::string key = "key" + std::to_string(rng.below(16));
+        if (rng.uniform01() < read_ratio) {
+          if (client.get(key, 10s).has_value()) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          if (client.put(key, static_cast<std::int64_t>(i), 10s).has_value()) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  d.cluster->stop();
+
+  const double seconds =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()) /
+      1e6;
+  return static_cast<double>(completed.load()) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9: replicated KV throughput (threaded runtime, n = 5 replicas)\n\n");
+  std::printf("%8s %12s %14s\n", "clients", "read ratio", "ops/s");
+  constexpr int kOpsPerClient = 1500;
+  for (const std::size_t clients : {1U, 2U, 4U, 8U, 16U}) {
+    for (const double ratio : {0.5, 0.95}) {
+      const double throughput = run_row(clients, ratio, kOpsPerClient);
+      std::printf("%8zu %12.2f %14.0f\n", clients, ratio, throughput);
+    }
+  }
+  std::printf("\nshape: near-linear client scaling at low parallelism, flattening as\n"
+              "replica mailboxes saturate; read-heavy mixes roughly match mixed\n"
+              "workloads (both op types are two quorum round trips here).\n");
+  return 0;
+}

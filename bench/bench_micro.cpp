@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark): throughput of the building blocks —
+// simulator event loop, quorum predicates, linearizability checker, wire
+// codec. These guard against performance regressions in the pieces every
+// experiment leans on; absolute numbers are host-dependent.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/wire/codec.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    harness::DeployOptions options;
+    options.n = n;
+    options.seed = 1;
+    harness::SimDeployment d{std::move(options)};
+    harness::WorkloadOptions workload;
+    workload.writers = {0};
+    for (ProcessId p = 0; p < n; ++p) workload.readers.push_back(p);
+    workload.ops_per_process = 20;
+    workload.seed = 1;
+    harness::schedule_closed_loop(d, workload);
+    events += d.run();
+  }
+  state.counters["events/s"] = benchmark::Counter(static_cast<double>(events),
+                                                  benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorEventLoop)->Arg(3)->Arg(9)->Arg(17);
+
+void BM_MajorityPredicate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const quorum::MajorityQuorum qs{n};
+  std::vector<bool> acked(n, false);
+  for (std::size_t i = 0; i < n / 2 + 1; ++i) acked[i] = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qs.is_read_quorum(acked));
+  }
+}
+BENCHMARK(BM_MajorityPredicate)->Arg(5)->Arg(65)->Arg(1025);
+
+void BM_GridPredicate(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const quorum::GridQuorum qs{side, side};
+  std::vector<bool> acked(side * side, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qs.is_read_quorum(acked));
+  }
+}
+BENCHMARK(BM_GridPredicate)->Arg(3)->Arg(8)->Arg(32);
+
+checker::History sequential_history(std::size_t pairs) {
+  checker::History history;
+  Duration t{0};
+  for (std::size_t i = 1; i <= pairs; ++i) {
+    history.add(checker::OpRecord{0, checker::OpType::kWrite, 0,
+                                  static_cast<std::int64_t>(i), t, t + 1ms, true});
+    history.add(checker::OpRecord{1, checker::OpType::kRead, 0,
+                                  static_cast<std::int64_t>(i), t + 2ms, t + 3ms, true});
+    t += 4ms;
+  }
+  return history;
+}
+
+void BM_CheckerSequential(benchmark::State& state) {
+  const auto pairs = static_cast<std::size_t>(state.range(0));
+  const checker::History history = sequential_history(pairs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker::check_linearizable(history).linearizable);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(2 * pairs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CheckerSequential)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_CheckerConcurrentWindow(benchmark::State& state) {
+  // Highly concurrent window: `width` overlapping readers per write.
+  const auto width = static_cast<std::size_t>(state.range(0));
+  checker::History history;
+  Duration t{0};
+  for (int i = 1; i <= 50; ++i) {
+    history.add(checker::OpRecord{0, checker::OpType::kWrite, 0, i, t, t + 10ms, true});
+    for (std::size_t r = 0; r < width; ++r) {
+      history.add(checker::OpRecord{static_cast<ProcessId>(r + 1),
+                                    checker::OpType::kRead, 0, i - (i % 2),
+                                    t + Duration{r * 100}, t + 9ms, true});
+    }
+    t += 20ms;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker::check_linearizable(history).linearizable);
+  }
+}
+BENCHMARK(BM_CheckerConcurrentWindow)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_WireEncode(benchmark::State& state) {
+  Value value;
+  value.data = 42;
+  value.aux = {1, 2, 3, 4};
+  const abd::Update update{12345, 678, abd::Tag{1ULL << 33, 7}, value};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode(update));
+  }
+}
+BENCHMARK(BM_WireEncode);
+
+void BM_WireDecode(benchmark::State& state) {
+  Value value;
+  value.data = 42;
+  value.aux = {1, 2, 3, 4};
+  const abd::Update update{12345, 678, abd::Tag{1ULL << 33, 7}, value};
+  const std::vector<std::byte> bytes = wire::encode(update);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode(bytes));
+  }
+}
+BENCHMARK(BM_WireDecode);
+
+void BM_AbdOpPairSimulated(benchmark::State& state) {
+  // End-to-end cost of simulating one write+read pair, n=5.
+  for (auto _ : state) {
+    state.PauseTiming();
+    harness::DeployOptions options;
+    options.n = 5;
+    options.seed = 7;
+    harness::SimDeployment d{std::move(options)};
+    state.ResumeTiming();
+    d.write_at(TimePoint{0}, 0, 0, 1);
+    d.read_at(TimePoint{1ms}, 1, 0);
+    d.world().run_until_quiescent();
+  }
+}
+BENCHMARK(BM_AbdOpPairSimulated);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// The paper's simulation corollary, end to end: wait-free shared-memory
+// algorithms (atomic snapshot, monotone counter) written against plain
+// registers, running unchanged over an asynchronous message-passing system
+// with a crashed replica underneath.
+//
+//   $ ./shared_memory_port
+//
+// The same AtomicSnapshot/MonotoneCounter classes run in tests over
+// LocalRegisterSpace (actual shared memory); here the register space is
+// ABD — nothing in the algorithm code knows the difference.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/shmem/counter.hpp"
+#include "abdkit/shmem/snapshot.hpp"
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+namespace {
+
+void print_view(const char* who, const shmem::SnapshotView& view) {
+  std::printf("%s scan -> [", who);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    std::printf("%s%lld", i ? ", " : "", static_cast<long long>(view[i]));
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kProcs = 5;
+  harness::DeployOptions options;
+  options.n = kProcs;
+  options.seed = 7;
+  harness::SimDeployment d{std::move(options)};
+  std::printf("deploying atomic snapshot + counter over ABD, n=%zu processes\n", kProcs);
+
+  // One register space + snapshot + counter handle per process — these are
+  // the objects a shared-memory programmer writes against.
+  std::vector<std::unique_ptr<shmem::AbdRegisterSpace>> spaces;
+  std::vector<std::unique_ptr<shmem::AtomicSnapshot>> snapshots;
+  std::vector<std::unique_ptr<shmem::MonotoneCounter>> counters;
+  for (ProcessId p = 0; p < kProcs; ++p) {
+    spaces.push_back(std::make_unique<shmem::AbdRegisterSpace>(d.node(p)));
+    snapshots.push_back(std::make_unique<shmem::AtomicSnapshot>(*spaces.back(), p,
+                                                                kProcs, /*base=*/0));
+    counters.push_back(std::make_unique<shmem::MonotoneCounter>(*spaces.back(), p,
+                                                                kProcs, /*base=*/100));
+  }
+
+  // A replica crashes up front — the algorithms never notice (f=1 < n/2).
+  d.crash_at(TimePoint{0}, 4);
+  std::printf("process 4 crashed before start; algorithms run on unchanged\n");
+
+  // Processes 0..2 concurrently: update own snapshot segment, bump counter.
+  for (ProcessId p = 0; p < 3; ++p) {
+    auto loop = std::make_shared<std::function<void(int)>>();
+    *loop = [&, p, loop](int k) {
+      if (k == 0) return;
+      snapshots[p]->update(static_cast<std::int64_t>(p) * 100 + k, [&, p, loop, k] {
+        counters[p]->increment([loop, k] { (*loop)(k - 1); });
+      });
+    };
+    d.world().at(TimePoint{0}, [loop] { (*loop)(4); });
+  }
+
+  // Process 3 scans twice — once racing the updates, once after they have
+  // quiesced (each update embeds a scan over ABD, so the loops take a while
+  // in simulated time) — then reads the counter.
+  d.world().at(TimePoint{10ms}, [&] {
+    snapshots[3]->scan([](const shmem::SnapshotView& v) { print_view("mid-flight", v); });
+  });
+  d.world().at(TimePoint{2s}, [&] {
+    snapshots[3]->scan([](const shmem::SnapshotView& v) { print_view("final", v); });
+    counters[3]->read([](std::int64_t total) {
+      std::printf("counter read -> %lld (3 processes x 4 increments)\n",
+                  static_cast<long long>(total));
+    });
+  });
+
+  d.world().run_until_quiescent();
+  std::printf("messages exchanged underneath: %llu (the 'shared memory' was %zu\n"
+              "replicated registers reached through majority quorums)\n",
+              static_cast<unsigned long long>(d.world().stats().messages_sent),
+              kProcs + kProcs);
+  return 0;
+}

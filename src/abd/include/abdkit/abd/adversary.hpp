@@ -1,0 +1,55 @@
+// Byzantine replica adversaries for testing the masking configuration.
+//
+// A ByzantineNode occupies a process slot but serves the protocol
+// maliciously. Modes cover the classic replica attacks against quorum
+// registers: forging a sky-high tag with a garbage value (the attack that
+// breaks the crash-only protocol outright), replying with stale state,
+// acknowledging writes it never stores, and staying silent.
+//
+// The adversary never invokes operations of its own (a Byzantine *client*
+// is outside the masking model — as in Malkhi–Reiter, clients are trusted).
+#pragma once
+
+#include <cstdint>
+
+#include "abdkit/abd/register_node.hpp"
+
+namespace abdkit::abd {
+
+enum class ByzantineBehavior {
+  /// Replies to every query with a huge forged tag and a poisoned value;
+  /// acknowledges updates without storing them.
+  kForgeHighTag,
+  /// Replies honestly-shaped but permanently stale (initial state) answers;
+  /// acknowledges updates without storing them.
+  kStale,
+  /// Acknowledges everything, stores nothing, answers queries with the
+  /// initial state — a "lazy" replica that fakes participation.
+  kAckOnly,
+  /// Never sends anything (indistinguishable from crashed).
+  kSilent,
+};
+
+class ByzantineNode final : public RegisterNode {
+ public:
+  explicit ByzantineNode(ByzantineBehavior behavior) noexcept : behavior_{behavior} {}
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
+
+  /// Byzantine replicas do not act as clients.
+  void read(ObjectId, OpCallback) override;
+  void write(ObjectId, Value, OpCallback) override;
+
+  [[nodiscard]] std::uint64_t forged_replies() const noexcept { return forged_; }
+
+  /// The poisoned value kForgeHighTag injects (tests assert it never
+  /// escapes into a completed read).
+  static constexpr std::int64_t kPoison = -0xBADBEEF;
+
+ private:
+  ByzantineBehavior behavior_;
+  std::uint64_t forged_{0};
+};
+
+}  // namespace abdkit::abd

@@ -1,0 +1,105 @@
+// Anti-entropy (gossip repair) for ABD replicas.
+//
+// Quorum operations never need every replica: a replica outside the chosen
+// quorums can drift arbitrarily stale (slow links, message loss). That is
+// harmless for safety but costs later: reads repair lazily through their
+// write-back, stale replicas are useless quorum members, and the bounded-
+// label variant's staleness window shrinks. Production systems (Dynamo,
+// Cassandra) run background anti-entropy for exactly this reason.
+//
+// Protocol (tag range 0x0900): on a timer, a replica picks a random peer
+// and pushes a digest {object -> tag} of everything it stores. The peer
+// replies with its own newer (tag, value) pairs for those objects — which
+// the sender installs via the standard adopt-if-newer rule — and installs
+// nothing else. Repair spreads because everyone gossips independently.
+// Gossip only ever carries values already written by the protocol, so it
+// cannot affect atomicity: it is extra Update traffic without acks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "abdkit/abd/node.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/common/rng.hpp"
+
+namespace abdkit::abd {
+
+namespace tags {
+inline constexpr PayloadTag kDigest = 0x0901;
+inline constexpr PayloadTag kDigestReply = 0x0902;
+}  // namespace tags
+
+class DigestMsg final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kDigest;
+
+  struct Entry {
+    ObjectId object;
+    Tag tag;
+  };
+
+  explicit DigestMsg(std::vector<Entry> entries_in)
+      : Payload{kTag}, entries{std::move(entries_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override;
+  [[nodiscard]] std::string debug() const override;
+
+  std::vector<Entry> entries;
+};
+
+class DigestReply final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kDigestReply;
+
+  struct Entry {
+    ObjectId object;
+    Tag tag;
+    Value value;
+  };
+
+  explicit DigestReply(std::vector<Entry> entries_in)
+      : Payload{kTag}, entries{std::move(entries_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override;
+  [[nodiscard]] std::string debug() const override;
+
+  std::vector<Entry> entries;
+};
+
+struct GossipOptions {
+  Duration interval{std::chrono::milliseconds{10}};
+  /// Stop after this many gossip rounds; 0 = gossip forever (use
+  /// run_until() in that case — the world never quiesces).
+  std::uint64_t rounds_limit{0};
+};
+
+/// An abd::Node that additionally gossips its replica state. Deploy instead
+/// of plain Node; the register API is unchanged.
+class GossipingNode final : public RegisterNode {
+ public:
+  GossipingNode(NodeOptions node_options, GossipOptions gossip_options);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
+
+  void read(ObjectId object, OpCallback done) override;
+  void write(ObjectId object, Value value, OpCallback done) override;
+
+  [[nodiscard]] Node& node() noexcept { return node_; }
+  [[nodiscard]] std::uint64_t gossip_rounds() const noexcept { return rounds_; }
+  /// Values this replica installed because a peer's digest reply was newer.
+  [[nodiscard]] std::uint64_t repairs_received() const noexcept { return repairs_; }
+
+ private:
+  void tick(Context& ctx);
+  void on_digest(Context& ctx, ProcessId from, const DigestMsg& digest);
+  void on_digest_reply(const DigestReply& reply);
+
+  Node node_;
+  GossipOptions options_;
+  Rng rng_{0};
+  Context* ctx_{nullptr};
+  std::uint64_t rounds_{0};
+  std::uint64_t repairs_{0};
+};
+
+}  // namespace abdkit::abd

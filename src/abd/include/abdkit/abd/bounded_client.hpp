@@ -1,0 +1,96 @@
+// Client half of the bounded-label SWMR protocol.
+//
+// Same two-phase read / one-phase write structure as the unbounded client;
+// sequence numbers are replaced by ring labels. The reader folds replies
+// with the cyclic comparison — well-defined under the bounded-staleness
+// assumption — and, like the replica, counts (never misorders) labels that
+// fall outside the comparison window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "abdkit/abd/bounded_messages.hpp"
+#include "abdkit/abd/client.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::abd {
+
+/// Completion record for bounded-protocol operations.
+struct BoundedOpResult {
+  Value value{};
+  BoundedLabel label{0};
+  TimePoint invoked{};
+  TimePoint responded{};
+  std::uint32_t rounds{0};
+  std::uint64_t messages_sent{0};
+};
+
+using BoundedOpCallback = std::function<void(const BoundedOpResult&)>;
+
+class BoundedClient {
+ public:
+  BoundedClient(std::shared_ptr<const quorum::QuorumSystem> quorums,
+                std::uint32_t label_modulus = kDefaultLabelModulus);
+
+  BoundedClient(const BoundedClient&) = delete;
+  BoundedClient& operator=(const BoundedClient&) = delete;
+
+  void attach(Context& ctx);
+  bool handle(Context& ctx, ProcessId from, const Payload& payload);
+
+  void read(ObjectId object, BoundedOpCallback done);
+  /// The caller must be the unique writer of `object` (SWMR protocol).
+  void write(ObjectId object, Value value, BoundedOpCallback done);
+
+  [[nodiscard]] std::size_t pending_ops() const noexcept { return pending_ops_; }
+  /// Replies whose label could not be ordered against the running maximum.
+  [[nodiscard]] std::uint64_t unorderable_replies() const noexcept {
+    return unorderable_replies_;
+  }
+
+ private:
+  struct PendingOp {
+    ObjectId object{0};
+    BoundedOpCallback done;
+    TimePoint invoked{};
+    std::uint32_t rounds{0};
+    std::uint64_t messages_sent{0};
+  };
+
+  enum class RoundKind { kCollectValues, kCollectAcks };
+
+  struct Round {
+    RoundKind kind{RoundKind::kCollectValues};
+    std::shared_ptr<PendingOp> op;
+    std::vector<bool> acked;
+    bool have_best{false};
+    BoundedLabel best_label{0};
+    Value best_value{};
+    BoundedLabel install_label{0};
+    Value install_value{};
+  };
+
+  [[nodiscard]] RoundId begin_round(RoundKind kind, std::shared_ptr<PendingOp> op);
+  void broadcast_for(Round& round, PayloadPtr payload);
+  [[nodiscard]] bool record_ack(Round& round, ProcessId from) const;
+  void start_update_phase(std::shared_ptr<PendingOp> op, BoundedLabel label, Value value);
+  void finish(Round& round);
+
+  void on_read_reply(ProcessId from, const BReadReply& reply);
+  void on_update_ack(ProcessId from, const BUpdateAck& ack);
+
+  std::shared_ptr<const quorum::QuorumSystem> quorums_;
+  std::uint32_t modulus_;
+  Context* ctx_{nullptr};
+  RoundId next_round_{1};
+  std::unordered_map<RoundId, Round> rounds_;
+  std::unordered_map<ObjectId, BoundedLabel> writer_label_;
+  std::size_t pending_ops_{0};
+  std::uint64_t unorderable_replies_{0};
+};
+
+}  // namespace abdkit::abd

@@ -1,0 +1,101 @@
+// Wire messages of the bounded-label SWMR protocol. All payloads are O(1)
+// bytes regardless of execution length — the property the unbounded
+// protocol's varint sequence numbers lack.
+#pragma once
+
+#include <utility>
+
+#include "abdkit/abd/bounded_label.hpp"
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/common/message.hpp"
+
+namespace abdkit::abd {
+
+namespace tags {
+inline constexpr PayloadTag kBReadQuery = 0x0301;
+inline constexpr PayloadTag kBReadReply = 0x0302;
+inline constexpr PayloadTag kBUpdate = 0x0303;
+inline constexpr PayloadTag kBUpdateAck = 0x0304;
+}  // namespace tags
+
+class BReadQuery final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kBReadQuery;
+
+  BReadQuery(RoundId round_in, ObjectId object_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    // Same bookkeeping encoding as the unbounded protocol so message-size
+    // experiments isolate the tag encoding.
+    return varint_size(round) + varint_size(object);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+};
+
+class BReadReply final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kBReadReply;
+
+  BReadReply(RoundId round_in, ObjectId object_in, BoundedLabel label_in,
+             Value value_in) noexcept
+      : Payload{kTag},
+        round{round_in},
+        object{object_in},
+        label{label_in},
+        value{std::move(value_in)} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object) + 2 + abd::wire_size(value);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  BoundedLabel label;
+  Value value;
+};
+
+class BUpdate final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kBUpdate;
+
+  BUpdate(RoundId round_in, ObjectId object_in, BoundedLabel label_in,
+          Value value_in) noexcept
+      : Payload{kTag},
+        round{round_in},
+        object{object_in},
+        label{label_in},
+        value{std::move(value_in)} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object) + 2 + abd::wire_size(value);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  BoundedLabel label;
+  Value value;
+};
+
+class BUpdateAck final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kBUpdateAck;
+
+  BUpdateAck(RoundId round_in, ObjectId object_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+};
+
+}  // namespace abdkit::abd

@@ -1,0 +1,42 @@
+// Composite processor for the bounded-label SWMR protocol, exposing the
+// common RegisterNode facade (BoundedOpResult is adapted to OpResult with
+// the label widened into the tag's sequence field).
+#pragma once
+
+#include <memory>
+
+#include "abdkit/abd/bounded_client.hpp"
+#include "abdkit/abd/bounded_replica.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::abd {
+
+struct BoundedNodeOptions {
+  std::shared_ptr<const quorum::QuorumSystem> quorums;
+  std::uint32_t label_modulus{kDefaultLabelModulus};
+};
+
+class BoundedNode final : public RegisterNode {
+ public:
+  explicit BoundedNode(BoundedNodeOptions options);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
+
+  void read(ObjectId object, OpCallback done) override;
+  void write(ObjectId object, Value value, OpCallback done) override;
+
+  [[nodiscard]] BoundedReplica& replica() noexcept { return replica_; }
+  [[nodiscard]] const BoundedReplica& replica() const noexcept { return replica_; }
+  [[nodiscard]] BoundedClient& client() noexcept { return client_; }
+  [[nodiscard]] const BoundedClient& client() const noexcept { return client_; }
+
+ private:
+  BoundedNodeOptions options_;
+  BoundedReplica replica_;
+  BoundedClient client_;
+  Context* ctx_{nullptr};
+};
+
+}  // namespace abdkit::abd

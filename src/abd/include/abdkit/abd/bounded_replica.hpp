@@ -1,0 +1,43 @@
+// Replica half of the bounded-label SWMR protocol. Identical in structure to
+// the unbounded replica, but "is this tag newer?" is the cyclic comparison;
+// unorderable labels are rejected and counted rather than misordered.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "abdkit/abd/bounded_messages.hpp"
+#include "abdkit/common/transport.hpp"
+
+namespace abdkit::abd {
+
+struct BoundedReplicaSlot {
+  BoundedLabel label{0};
+  Value value{};
+};
+
+class BoundedReplica {
+ public:
+  explicit BoundedReplica(std::uint32_t label_modulus = kDefaultLabelModulus) noexcept
+      : modulus_{label_modulus} {}
+
+  bool handle(Context& ctx, ProcessId from, const Payload& payload);
+
+  [[nodiscard]] const BoundedReplicaSlot& slot(ObjectId object) const;
+
+  /// Updates whose label fell in the unorderable band — each one is a
+  /// detected violation of the bounded-staleness assumption.
+  [[nodiscard]] std::uint64_t unorderable_updates() const noexcept {
+    return unorderable_updates_;
+  }
+
+ private:
+  void on_read_query(Context& ctx, ProcessId from, const BReadQuery& query);
+  void on_update(Context& ctx, ProcessId from, const BUpdate& update);
+
+  std::uint32_t modulus_;
+  std::unordered_map<ObjectId, BoundedReplicaSlot> slots_;
+  std::uint64_t unorderable_updates_{0};
+};
+
+}  // namespace abdkit::abd

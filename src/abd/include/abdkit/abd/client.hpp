@@ -1,0 +1,196 @@
+// Client half of the ABD protocol: the quorum phase machines.
+//
+// An operation is a sequence of one or two quorum rounds; in each round the
+// client broadcasts a request and waits until the set of responders
+// satisfies the quorum predicate. Operations never fail — if too many
+// replicas crashed the operation simply never completes, which is the
+// behaviour the n > 2f resilience bound (experiment E3) observes.
+//
+// Read (atomic):   ReadQuery -> read quorum -> Update(write-back) -> write quorum
+// Read (regular):  ReadQuery -> read quorum                      [baseline, E4]
+// Write (SWMR):    Update    -> write quorum
+// Write (MWMR):    TagQuery  -> read quorum -> Update            -> write quorum
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/abd/tag.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::abd {
+
+/// Delivered to the caller when an operation completes.
+struct OpResult {
+  Value value{};          ///< value read (for writes: the value written)
+  Tag tag{};              ///< tag of the returned/installed value
+  TimePoint invoked{};    ///< operation invocation time
+  TimePoint responded{};  ///< operation response time
+  std::uint32_t rounds{0};          ///< quorum rounds this operation used
+  std::uint64_t messages_sent{0};   ///< requests this client sent for it
+};
+
+using OpCallback = std::function<void(const OpResult&)>;
+
+/// Read-side protocol variant. kRegular reproduces Thomas-style majority
+/// voting (no write-back) — *not* atomic; kept as the ablation baseline.
+enum class ReadMode { kAtomic, kRegular };
+
+/// Who the initial request of each phase goes to.
+enum class ContactPolicy {
+  /// The paper's presentation: send to all n, wait for a quorum of answers.
+  kBroadcast,
+  /// Optimization: send to one preferred (minimal) quorum only and expand
+  /// to everyone on the retransmission timer. Cuts steady-state messages to
+  /// ~2|Q| per phase (a big win for grid/tree systems), at the price of a
+  /// timeout-delayed recovery when a preferred member is crashed or slow.
+  /// Requires retransmit_interval > 0 for liveness under crashes.
+  kTargeted,
+};
+
+struct ClientOptions {
+  /// Zero disables retransmission — the paper's reliable-channel model,
+  /// keeping message counts exact. Positive: every interval, any phase
+  /// still pending re-sends its request to the processes that have not
+  /// answered (all handlers are idempotent, so this is safe and makes the
+  /// protocol live under message loss).
+  Duration retransmit_interval{Duration::zero()};
+  ContactPolicy contact{ContactPolicy::kBroadcast};
+  /// Byzantine masking (Malkhi–Reiter): when > 0, value/tag-collection
+  /// phases only trust a candidate vouched by >= f+1 identical replies, and
+  /// wait past the quorum until one exists. Deploy with a MaskingQuorum of
+  /// the same f over n >= 4f+1 replicas. Zero = crash-only protocol.
+  std::size_t byzantine_f{0};
+  /// Fast-path reads: when every counted reply of the read quorum carries
+  /// the SAME tag, skip the write-back and return in one round trip. Safe:
+  /// a unanimous read quorum means the value already resides at a full
+  /// quorum, which is exactly what the write-back would establish; tags
+  /// only grow, so later reads still intersect it at >= that tag. Under
+  /// read-mostly workloads this halves read latency and messages (ablation
+  /// A6). Ignored in Byzantine mode. Default off (the paper's protocol).
+  bool fast_path_reads{false};
+};
+
+class Client {
+ public:
+  explicit Client(std::shared_ptr<const quorum::QuorumSystem> quorums,
+                  ReadMode read_mode = ReadMode::kAtomic,
+                  ClientOptions options = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Must be called (once) before issuing operations, from on_start.
+  void attach(Context& ctx);
+
+  /// Feeds a received payload to the phase machines; returns true if the
+  /// payload was a client-protocol reply.
+  bool handle(Context& ctx, ProcessId from, const Payload& payload);
+
+  /// Begin an atomic (or regular, per mode) read of `object`.
+  void read(ObjectId object, OpCallback done);
+
+  /// Single-writer write: the caller must be the unique writer of `object`.
+  /// One quorum round; the tag is the writer's next local sequence number.
+  void write_swmr(ObjectId object, Value value, OpCallback done);
+
+  /// Multi-writer write: first discovers the maximum installed tag from a
+  /// read quorum, then installs (max.seq + 1, self).
+  void write_mwmr(ObjectId object, Value value, OpCallback done);
+
+  [[nodiscard]] ReadMode read_mode() const noexcept { return read_mode_; }
+  void set_read_mode(ReadMode mode) noexcept { read_mode_ = mode; }
+
+  /// Operations issued but not yet completed (stalled ops stay pending).
+  [[nodiscard]] std::size_t pending_ops() const noexcept { return pending_ops_; }
+
+  /// Human-readable dump of pending phases (diagnostics for stalled ops).
+  [[nodiscard]] std::string debug_pending() const;
+
+ private:
+  enum class OpKind { kRead, kWriteSwmr, kWriteMwmr };
+
+  struct PendingOp {
+    OpKind kind{OpKind::kRead};
+    ObjectId object{0};
+    Value write_value{};  // for writes
+    OpCallback done;
+    TimePoint invoked{};
+    std::uint32_t rounds{0};
+    std::uint64_t messages_sent{0};
+  };
+
+  enum class RoundKind { kCollectValues, kCollectTags, kCollectAcks };
+
+  /// One (tag, value) assertion and how many distinct replicas made it.
+  struct Candidate {
+    Tag tag{kInitialTag};
+    Value value{};
+    std::size_t votes{0};
+  };
+
+  struct Round {
+    RoundKind kind{RoundKind::kCollectValues};
+    std::shared_ptr<PendingOp> op;
+    std::vector<bool> acked;
+    Tag best_tag{kInitialTag};
+    Value best_value{};
+    /// Counted replies so far, and whether they all carried one tag (drives
+    /// the fast-path read).
+    std::size_t replies{0};
+    bool unanimous{true};
+    /// Byzantine mode only: vote counts per distinct (tag, value).
+    std::vector<Candidate> candidates;
+    /// For kCollectAcks: the (tag, value) pair being installed, delivered to
+    /// the callback on completion.
+    Tag install_tag{kInitialTag};
+    Value install_value{};
+    /// The request this phase solicits answers with (kept for resends).
+    PayloadPtr request;
+    TimerId retransmit_timer{0};
+  };
+
+  [[nodiscard]] RoundId begin_round(RoundKind kind, std::shared_ptr<PendingOp> op);
+  /// Initial send of a phase's request, honoring the contact policy, and
+  /// arming the retransmission timer if configured.
+  void dispatch_request(RoundId id, PayloadPtr payload);
+  void resend_unanswered(RoundId id);
+  void arm_retransmit(RoundId id);
+  [[nodiscard]] const std::vector<ProcessId>& preferred_targets(RoundKind kind);
+  void finish(Round& round);
+
+  void on_read_reply(ProcessId from, const ReadReply& reply);
+  void on_tag_reply(ProcessId from, const TagReply& reply);
+  void on_update_ack(ProcessId from, const UpdateAck& ack);
+
+  /// Records a vote and returns the highest-tag candidate vouched by
+  /// >= f+1 replicas, if any.
+  [[nodiscard]] const Candidate* vouch(Round& round, Tag tag, const Value& value) const;
+  [[nodiscard]] static bool all_acked(const Round& round);
+  /// Masking-mode fallback: every process answered but nothing is vouched
+  /// (a moving writer scattered the votes) — restart the collection phase.
+  void requery(std::unordered_map<RoundId, Round>::iterator it);
+
+  /// Common accounting when a responder checks in; returns the round if it
+  /// just reached its quorum (and removes it from the table).
+  [[nodiscard]] bool record_ack(Round& round, ProcessId from) const;
+  void start_update_phase(std::shared_ptr<PendingOp> op, Tag tag, Value value);
+
+  std::shared_ptr<const quorum::QuorumSystem> quorums_;
+  ReadMode read_mode_;
+  ClientOptions options_;
+  Context* ctx_{nullptr};
+  RoundId next_round_{1};
+  std::unordered_map<RoundId, Round> rounds_;
+  std::unordered_map<ObjectId, std::uint64_t> swmr_seq_;
+  std::size_t pending_ops_{0};
+  /// Cached preferred quorums for targeted contact (computed lazily).
+  std::vector<ProcessId> preferred_read_;
+  std::vector<ProcessId> preferred_write_;
+};
+
+}  // namespace abdkit::abd

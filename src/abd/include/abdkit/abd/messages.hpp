@@ -1,0 +1,156 @@
+// Wire messages of the (unbounded-timestamp) ABD protocol family.
+//
+// One message set serves the SWMR, MWMR, and regular-baseline clients —
+// they differ only in which phases they run:
+//
+//   SWMR write:  Update ->* ; UpdateAck quorum
+//   MWMR write:  TagQuery ->* ; TagReply quorum ; Update ->* ; UpdateAck quorum
+//   atomic read: ReadQuery ->* ; ReadReply quorum ; Update(write-back) ->* ;
+//                UpdateAck quorum
+//   regular read (Thomas-voting baseline): ReadQuery ->* ; ReadReply quorum
+//
+// `round` ties replies to the phase that solicited them; `object` selects
+// the register instance (the KV layer runs one logical register per key).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "abdkit/abd/tag.hpp"
+#include "abdkit/common/message.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit::abd {
+
+/// Register instance selector (a key in the KV layer; 0 for single-register
+/// uses).
+using ObjectId = std::uint64_t;
+
+/// Phase identifier, unique per client process.
+using RoundId = std::uint64_t;
+
+namespace tags {
+inline constexpr PayloadTag kReadQuery = 0x0101;
+inline constexpr PayloadTag kReadReply = 0x0102;
+inline constexpr PayloadTag kTagQuery = 0x0103;
+inline constexpr PayloadTag kTagReply = 0x0104;
+inline constexpr PayloadTag kUpdate = 0x0105;
+inline constexpr PayloadTag kUpdateAck = 0x0106;
+}  // namespace tags
+
+/// Reader/writer phase 1 request: "send me your (tag, value)".
+class ReadQuery final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kReadQuery;
+
+  ReadQuery(RoundId round_in, ObjectId object_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+};
+
+class ReadReply final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kReadReply;
+
+  ReadReply(RoundId round_in, ObjectId object_in, Tag tag_in, Value value_in) noexcept
+      : Payload{kTag},
+        round{round_in},
+        object{object_in},
+        value_tag{tag_in},
+        value{std::move(value_in)} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object) + abd::wire_size(value_tag) +
+           abd::wire_size(value);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  Tag value_tag;
+  Value value;
+};
+
+/// MWMR writer phase 1: like ReadQuery but the reply omits the value, which
+/// keeps the write's first round cheap.
+class TagQuery final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kTagQuery;
+
+  TagQuery(RoundId round_in, ObjectId object_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+};
+
+class TagReply final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kTagReply;
+
+  TagReply(RoundId round_in, ObjectId object_in, Tag tag_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in}, value_tag{tag_in} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object) + abd::wire_size(value_tag);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  Tag value_tag;
+};
+
+/// Write phase / read write-back: "adopt (tag, value) if newer than yours".
+class Update final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kUpdate;
+
+  Update(RoundId round_in, ObjectId object_in, Tag tag_in, Value value_in) noexcept
+      : Payload{kTag},
+        round{round_in},
+        object{object_in},
+        value_tag{tag_in},
+        value{std::move(value_in)} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object) + abd::wire_size(value_tag) +
+           abd::wire_size(value);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  Tag value_tag;
+  Value value;
+};
+
+class UpdateAck final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kUpdateAck;
+
+  UpdateAck(RoundId round_in, ObjectId object_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return varint_size(round) + varint_size(object);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+};
+
+}  // namespace abdkit::abd

@@ -1,0 +1,57 @@
+// A full ABD processor: replica + client in one actor.
+//
+// In the paper every processor plays both roles — it stores a copy of the
+// register and may invoke reads (and writes, if it is a writer). `Node` is
+// the Actor composite that tests, benches, examples and the KV layer all
+// deploy into a World or Cluster.
+#pragma once
+
+#include <memory>
+
+#include "abdkit/abd/client.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/abd/replica.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::abd {
+
+/// Which write protocol `Node::write` runs.
+enum class WriteMode { kSingleWriter, kMultiWriter };
+
+struct NodeOptions {
+  std::shared_ptr<const quorum::QuorumSystem> quorums;
+  ReadMode read_mode{ReadMode::kAtomic};
+  WriteMode write_mode{WriteMode::kSingleWriter};
+  ClientOptions client{};
+};
+
+class Node final : public RegisterNode {
+ public:
+  explicit Node(NodeOptions options);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
+
+  /// Invoke a read of `object`. Must be called from within the node's
+  /// execution context (e.g., a World::at closure or a completion callback).
+  void read(ObjectId object, OpCallback done) override;
+
+  /// Invoke a write per the configured WriteMode. For kSingleWriter the
+  /// caller is responsible for this node being `object`'s only writer.
+  void write(ObjectId object, Value value, OpCallback done) override;
+
+  [[nodiscard]] Replica& replica() noexcept { return replica_; }
+  [[nodiscard]] const Replica& replica() const noexcept { return replica_; }
+  [[nodiscard]] Client& client() noexcept { return client_; }
+  [[nodiscard]] const Client& client() const noexcept { return client_; }
+  [[nodiscard]] bool started() const noexcept { return ctx_ != nullptr; }
+
+ private:
+  NodeOptions options_;
+  Replica replica_;
+  Client client_;
+  Context* ctx_{nullptr};
+};
+
+}  // namespace abdkit::abd

@@ -1,0 +1,83 @@
+// Crash-recovery extension: a replica that lost its volatile state and
+// rejoins the system.
+//
+// The paper's model is crash-stop; practical deployments restart processes.
+// A restarted replica must NOT answer queries from its blank state — a
+// reader could then assemble a quorum whose maximum tag predates a
+// completed write, violating atomicity. The fix mirrors the reader's own
+// trick: before serving the first query for an object, the recovering
+// replica performs a full ABD read of that object (quorum max + write-back)
+// and installs the result; queries that arrive meanwhile are buffered.
+//
+//  * Updates are safe to apply and ack immediately (adopting a newer tag
+//    from a blank slate never un-stores anything).
+//  * The sync read returns a tag at least as large as the latest completed
+//    write's, by quorum intersection — exactly the reader's argument.
+//  * Liveness: the sync needs a live quorum of the OTHER replicas; during
+//    the sync the node still acks updates, so it contributes to write
+//    quorums immediately.
+//
+// Deploy fresh instances with `recovering = false` (nothing to sync); after
+// World::restart install one with `recovering = true`.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "abdkit/abd/client.hpp"
+#include "abdkit/abd/node.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/abd/replica.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::abd {
+
+struct RecoverableNodeOptions {
+  std::shared_ptr<const quorum::QuorumSystem> quorums;
+  ReadMode read_mode{ReadMode::kAtomic};
+  WriteMode write_mode{WriteMode::kSingleWriter};
+  ClientOptions client{};
+  /// True when this instance replaces a crashed incarnation whose state is
+  /// lost; false for first boots (blank state is genuinely initial).
+  bool recovering{false};
+};
+
+class RecoverableNode final : public RegisterNode {
+ public:
+  explicit RecoverableNode(RecoverableNodeOptions options);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
+
+  void read(ObjectId object, OpCallback done) override;
+  void write(ObjectId object, Value value, OpCallback done) override;
+
+  [[nodiscard]] Replica& replica() noexcept { return replica_; }
+  [[nodiscard]] Client& client() noexcept { return client_; }
+  /// Objects whose state transfer is still in flight.
+  [[nodiscard]] std::size_t syncs_in_flight() const noexcept { return syncing_.size(); }
+  /// Total state-transfer reads this node performed.
+  [[nodiscard]] std::uint64_t syncs_completed() const noexcept { return syncs_done_; }
+
+ private:
+  struct BufferedQuery {
+    ProcessId from;
+    PayloadPtr payload;
+  };
+
+  [[nodiscard]] bool needs_sync(ObjectId object) const;
+  void begin_sync(Context& ctx, ObjectId object);
+  void on_synced(Context& ctx, ObjectId object, const OpResult& result);
+
+  RecoverableNodeOptions options_;
+  Replica replica_;
+  Client client_;
+  Context* ctx_{nullptr};
+  std::unordered_set<ObjectId> synced_;
+  std::unordered_map<ObjectId, std::deque<BufferedQuery>> syncing_;
+  std::uint64_t syncs_done_{0};
+};
+
+}  // namespace abdkit::abd

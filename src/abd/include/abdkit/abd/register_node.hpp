@@ -1,0 +1,23 @@
+// Uniform facade over the register-protocol node variants (unbounded ABD,
+// bounded-label ABD, regular baseline) so tests, benches, and the shared-
+// memory toolkit can swap implementations.
+#pragma once
+
+#include "abdkit/abd/client.hpp"
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/common/transport.hpp"
+
+namespace abdkit::abd {
+
+class RegisterNode : public Actor {
+ public:
+  /// Invoke a read; `done` fires on completion (possibly never, if too many
+  /// replicas crashed).
+  virtual void read(ObjectId object, OpCallback done) = 0;
+
+  /// Invoke a write. Single-writer variants require the caller to be the
+  /// object's unique writer.
+  virtual void write(ObjectId object, Value value, OpCallback done) = 0;
+};
+
+}  // namespace abdkit::abd

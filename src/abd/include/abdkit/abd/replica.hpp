@@ -1,0 +1,57 @@
+// Replica half of the ABD protocol.
+//
+// Every processor keeps a copy of each register: the pair (tag, value) with
+// the largest tag it has heard of. The replica is a pure responder — all
+// waiting/quorum logic lives in the client half — which is what makes the
+// construction so simple to reason about.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/abd/tag.hpp"
+#include "abdkit/common/transport.hpp"
+
+namespace abdkit::abd {
+
+/// Per-object replicated state.
+struct ReplicaSlot {
+  Tag tag{kInitialTag};
+  Value value{};
+};
+
+class Replica {
+ public:
+  /// Handles one protocol message; returns true if the payload belonged to
+  /// this protocol (so a composite actor can try other handlers otherwise).
+  bool handle(Context& ctx, ProcessId from, const Payload& payload);
+
+  /// Current local copy for `object` (initial value if never written).
+  [[nodiscard]] const ReplicaSlot& slot(ObjectId object) const;
+
+  /// Adopt (tag, value) if newer than the stored pair — the same rule an
+  /// Update message applies, exposed for state-transfer paths (crash
+  /// recovery installs quorum-read state through this).
+  void install(ObjectId object, Tag tag, const Value& value);
+
+  /// Copy of all stored slots (for anti-entropy digests and diagnostics).
+  [[nodiscard]] std::vector<std::pair<ObjectId, ReplicaSlot>> slots_snapshot() const;
+
+  /// Number of Update messages whose tag was older than the stored one —
+  /// a visibility counter for tests (stale write-backs are expected and
+  /// harmless, but their volume is interesting).
+  [[nodiscard]] std::uint64_t stale_updates() const noexcept { return stale_updates_; }
+
+ private:
+  void on_read_query(Context& ctx, ProcessId from, const ReadQuery& query);
+  void on_tag_query(Context& ctx, ProcessId from, const TagQuery& query);
+  void on_update(Context& ctx, ProcessId from, const Update& update);
+
+  std::unordered_map<ObjectId, ReplicaSlot> slots_;
+  std::uint64_t stale_updates_{0};
+};
+
+}  // namespace abdkit::abd

@@ -1,0 +1,57 @@
+// Timestamps ("tags") ordering written values.
+//
+// The paper's unbounded construction tags each written value with a
+// consecutive sequence number; the multi-writer extension pairs the number
+// with the writer's id and orders lexicographically, which keeps tags of
+// distinct writers distinct. Wire size is accounted varint-style so the
+// bounded-vs-unbounded experiment (E5) can observe growth.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "abdkit/common/types.hpp"
+
+namespace abdkit::abd {
+
+struct Tag {
+  std::uint64_t seq{0};
+  /// Writer id; tie-breaker for multi-writer registers. For SWMR registers
+  /// this is constant (the unique writer), so the order degenerates to seq.
+  ProcessId writer{0};
+
+  friend constexpr bool operator==(const Tag&, const Tag&) = default;
+  friend constexpr std::strong_ordering operator<=>(const Tag& a, const Tag& b) {
+    if (const auto c = a.seq <=> b.seq; c != std::strong_ordering::equal) return c;
+    return a.writer <=> b.writer;
+  }
+};
+
+inline constexpr Tag kInitialTag{0, 0};
+
+[[nodiscard]] std::string to_string(const Tag& tag);
+
+/// Bytes of a LEB128-style varint encoding of `v` — how an implementation
+/// with unbounded timestamps would serialize them.
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) noexcept {
+  std::size_t bytes = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+/// Wire footprint of a tag: varint seq + 2-byte writer id.
+[[nodiscard]] constexpr std::size_t wire_size(const Tag& tag) noexcept {
+  return varint_size(tag.seq) + 2;
+}
+
+/// Wire footprint of a register value: 8-byte payload + aux words + declared
+/// padding.
+[[nodiscard]] inline std::size_t wire_size(const Value& v) noexcept {
+  return 8 + v.padding_bytes + 8 * v.aux.size();
+}
+
+}  // namespace abdkit::abd

@@ -1,0 +1,64 @@
+#include "abdkit/abd/adversary.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "abdkit/abd/messages.hpp"
+
+namespace abdkit::abd {
+
+namespace {
+
+Value poisoned() {
+  Value value;
+  value.data = ByzantineNode::kPoison;
+  return value;
+}
+
+Tag forged_tag(Context& ctx) {
+  // Sky-high sequence number attributed to ourselves.
+  return Tag{std::numeric_limits<std::uint64_t>::max() / 2, ctx.self()};
+}
+
+}  // namespace
+
+void ByzantineNode::on_start(Context&) {}
+
+void ByzantineNode::on_message(Context& ctx, ProcessId from, const Payload& payload) {
+  if (behavior_ == ByzantineBehavior::kSilent) return;
+
+  if (const auto* query = payload_cast<ReadQuery>(payload)) {
+    ++forged_;
+    if (behavior_ == ByzantineBehavior::kForgeHighTag) {
+      ctx.send(from, make_payload<ReadReply>(query->round, query->object,
+                                             forged_tag(ctx), poisoned()));
+    } else {
+      // kStale / kAckOnly: permanently initial state.
+      ctx.send(from,
+               make_payload<ReadReply>(query->round, query->object, kInitialTag, Value{}));
+    }
+    return;
+  }
+  if (const auto* query = payload_cast<TagQuery>(payload)) {
+    ++forged_;
+    const Tag tag = behavior_ == ByzantineBehavior::kForgeHighTag ? forged_tag(ctx)
+                                                                  : kInitialTag;
+    ctx.send(from, make_payload<TagReply>(query->round, query->object, tag));
+    return;
+  }
+  if (const auto* update = payload_cast<Update>(payload)) {
+    // Acknowledge without storing — the classic lazy/lying replica.
+    ctx.send(from, make_payload<UpdateAck>(update->round, update->object));
+    return;
+  }
+}
+
+void ByzantineNode::read(ObjectId, OpCallback) {
+  throw std::logic_error{"ByzantineNode: adversary does not invoke operations"};
+}
+
+void ByzantineNode::write(ObjectId, Value, OpCallback) {
+  throw std::logic_error{"ByzantineNode: adversary does not invoke operations"};
+}
+
+}  // namespace abdkit::abd

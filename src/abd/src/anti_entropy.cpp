@@ -1,0 +1,110 @@
+#include "abdkit/abd/anti_entropy.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace abdkit::abd {
+
+std::size_t DigestMsg::wire_size() const noexcept {
+  std::size_t total = varint_size(entries.size());
+  for (const Entry& e : entries) {
+    total += varint_size(e.object) + abd::wire_size(e.tag);
+  }
+  return total;
+}
+
+std::string DigestMsg::debug() const {
+  std::ostringstream os;
+  os << "Digest{" << entries.size() << " objects}";
+  return os.str();
+}
+
+std::size_t DigestReply::wire_size() const noexcept {
+  std::size_t total = varint_size(entries.size());
+  for (const Entry& e : entries) {
+    total += varint_size(e.object) + abd::wire_size(e.tag) + abd::wire_size(e.value);
+  }
+  return total;
+}
+
+std::string DigestReply::debug() const {
+  std::ostringstream os;
+  os << "DigestReply{" << entries.size() << " repairs}";
+  return os.str();
+}
+
+GossipingNode::GossipingNode(NodeOptions node_options, GossipOptions gossip_options)
+    : node_{std::move(node_options)}, options_{gossip_options} {}
+
+void GossipingNode::on_start(Context& ctx) {
+  node_.on_start(ctx);
+  ctx_ = &ctx;
+  rng_ = Rng{0x90551Dull ^ (static_cast<std::uint64_t>(ctx.self()) << 20)};
+  if (ctx.world_size() > 1) {
+    ctx.set_timer(options_.interval, [this, &ctx] { tick(ctx); });
+  }
+}
+
+void GossipingNode::tick(Context& ctx) {
+  ++rounds_;
+  // Random peer other than self.
+  const std::size_t others = ctx.world_size() - 1;
+  ProcessId peer = static_cast<ProcessId>(rng_.below(others));
+  if (peer >= ctx.self()) ++peer;
+
+  std::vector<DigestMsg::Entry> entries;
+  for (const auto& [object, slot] : node_.replica().slots_snapshot()) {
+    entries.push_back(DigestMsg::Entry{object, slot.tag});
+  }
+  if (!entries.empty()) {
+    ctx.send(peer, make_payload<DigestMsg>(std::move(entries)));
+  }
+  if (options_.rounds_limit == 0 || rounds_ < options_.rounds_limit) {
+    ctx.set_timer(options_.interval, [this, &ctx] { tick(ctx); });
+  }
+}
+
+void GossipingNode::on_digest(Context& ctx, ProcessId from, const DigestMsg& digest) {
+  std::vector<DigestReply::Entry> newer;
+  for (const DigestMsg::Entry& entry : digest.entries) {
+    const ReplicaSlot& mine = node_.replica().slot(entry.object);
+    if (mine.tag > entry.tag) {
+      newer.push_back(DigestReply::Entry{entry.object, mine.tag, mine.value});
+    }
+  }
+  if (!newer.empty()) {
+    ctx.send(from, make_payload<DigestReply>(std::move(newer)));
+  }
+}
+
+void GossipingNode::on_digest_reply(const DigestReply& reply) {
+  for (const DigestReply::Entry& entry : reply.entries) {
+    const ReplicaSlot& mine = node_.replica().slot(entry.object);
+    if (entry.tag > mine.tag) {
+      node_.replica().install(entry.object, entry.tag, entry.value);
+      ++repairs_;
+    }
+  }
+}
+
+void GossipingNode::on_message(Context& ctx, ProcessId from, const Payload& payload) {
+  if (const auto* digest = payload_cast<DigestMsg>(payload)) {
+    on_digest(ctx, from, *digest);
+    return;
+  }
+  if (const auto* reply = payload_cast<DigestReply>(payload)) {
+    on_digest_reply(*reply);
+    return;
+  }
+  node_.on_message(ctx, from, payload);
+}
+
+void GossipingNode::read(ObjectId object, OpCallback done) {
+  node_.read(object, std::move(done));
+}
+
+void GossipingNode::write(ObjectId object, Value value, OpCallback done) {
+  node_.write(object, std::move(value), std::move(done));
+}
+
+}  // namespace abdkit::abd

@@ -1,0 +1,156 @@
+#include "abdkit/abd/bounded_client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::abd {
+
+BoundedClient::BoundedClient(std::shared_ptr<const quorum::QuorumSystem> quorums,
+                             std::uint32_t label_modulus)
+    : quorums_{std::move(quorums)}, modulus_{label_modulus} {
+  if (quorums_ == nullptr) throw std::invalid_argument{"BoundedClient: null quorum system"};
+  if (modulus_ < 8 || modulus_ % 4 != 0) {
+    throw std::invalid_argument{"BoundedClient: modulus must be a multiple of 4, >= 8"};
+  }
+}
+
+void BoundedClient::attach(Context& ctx) {
+  if (ctx_ != nullptr) throw std::logic_error{"BoundedClient: attach called twice"};
+  if (quorums_->n() != ctx.world_size()) {
+    throw std::invalid_argument{"BoundedClient: quorum system size != world size"};
+  }
+  ctx_ = &ctx;
+}
+
+bool BoundedClient::handle(Context&, ProcessId from, const Payload& payload) {
+  if (const auto* reply = payload_cast<BReadReply>(payload)) {
+    on_read_reply(from, *reply);
+    return true;
+  }
+  if (const auto* ack = payload_cast<BUpdateAck>(payload)) {
+    on_update_ack(from, *ack);
+    return true;
+  }
+  return false;
+}
+
+void BoundedClient::read(ObjectId object, BoundedOpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"BoundedClient: read before attach"};
+  auto op = std::make_shared<PendingOp>();
+  op->object = object;
+  op->done = std::move(done);
+  op->invoked = ctx_->now();
+  ++pending_ops_;
+
+  const RoundId id = begin_round(RoundKind::kCollectValues, op);
+  broadcast_for(rounds_.at(id), make_payload<BReadQuery>(id, object));
+}
+
+void BoundedClient::write(ObjectId object, Value value, BoundedOpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"BoundedClient: write before attach"};
+  auto op = std::make_shared<PendingOp>();
+  op->object = object;
+  op->done = std::move(done);
+  op->invoked = ctx_->now();
+  ++pending_ops_;
+
+  // Writer's labels march around the ring; label 0 is the initial value so
+  // the first write installs label 1.
+  BoundedLabel& current = writer_label_[object];
+  current = next_label(current, modulus_);
+  start_update_phase(std::move(op), current, value);
+}
+
+RoundId BoundedClient::begin_round(RoundKind kind, std::shared_ptr<PendingOp> op) {
+  const RoundId id = next_round_++;
+  Round round;
+  round.kind = kind;
+  round.op = std::move(op);
+  round.acked.assign(quorums_->n(), false);
+  rounds_.emplace(id, std::move(round));
+  return id;
+}
+
+void BoundedClient::broadcast_for(Round& round, PayloadPtr payload) {
+  round.op->rounds += 1;
+  round.op->messages_sent += ctx_->world_size();
+  ctx_->broadcast(std::move(payload));
+}
+
+bool BoundedClient::record_ack(Round& round, ProcessId from) const {
+  if (from >= round.acked.size() || round.acked[from]) return false;
+  round.acked[from] = true;
+  return round.kind == RoundKind::kCollectAcks ? quorums_->is_write_quorum(round.acked)
+                                               : quorums_->is_read_quorum(round.acked);
+}
+
+void BoundedClient::start_update_phase(std::shared_ptr<PendingOp> op, BoundedLabel label,
+                                       Value value) {
+  const RoundId id = begin_round(RoundKind::kCollectAcks, std::move(op));
+  Round& round = rounds_.at(id);
+  round.install_label = label;
+  round.install_value = value;
+  broadcast_for(round, make_payload<BUpdate>(id, round.op->object, label, value));
+}
+
+void BoundedClient::on_read_reply(ProcessId from, const BReadReply& reply) {
+  const auto it = rounds_.find(reply.round);
+  if (it == rounds_.end() || it->second.kind != RoundKind::kCollectValues) return;
+  Round& round = it->second;
+
+  if (!round.have_best) {
+    round.have_best = true;
+    round.best_label = reply.label;
+    round.best_value = reply.value;
+  } else {
+    switch (cyclic_compare(round.best_label, reply.label, modulus_)) {
+      case CyclicOrder::kNewer:
+        round.best_label = reply.label;
+        round.best_value = reply.value;
+        break;
+      case CyclicOrder::kEqual:
+      case CyclicOrder::kOlder:
+        break;
+      case CyclicOrder::kUnorderable:
+        // Assumption violated; keep the current best (deterministic, and
+        // never silently treated as newer) and surface the event.
+        ++unorderable_replies_;
+        break;
+    }
+  }
+
+  if (!record_ack(round, from)) return;
+
+  std::shared_ptr<PendingOp> op = round.op;
+  const BoundedLabel label = round.best_label;
+  const Value value = round.best_value;
+  rounds_.erase(it);
+  // Write-back before returning, exactly as in the unbounded protocol.
+  start_update_phase(std::move(op), label, value);
+}
+
+void BoundedClient::on_update_ack(ProcessId from, const BUpdateAck& ack) {
+  const auto it = rounds_.find(ack.round);
+  if (it == rounds_.end() || it->second.kind != RoundKind::kCollectAcks) return;
+  Round& round = it->second;
+  if (!record_ack(round, from)) return;
+
+  Round finished = std::move(round);
+  rounds_.erase(it);
+  finish(finished);
+}
+
+void BoundedClient::finish(Round& round) {
+  PendingOp& op = *round.op;
+  BoundedOpResult result;
+  result.value = round.install_value;
+  result.label = round.install_label;
+  result.invoked = op.invoked;
+  result.responded = ctx_->now();
+  result.rounds = op.rounds;
+  result.messages_sent = op.messages_sent;
+  --pending_ops_;
+  if (op.done) op.done(result);
+}
+
+}  // namespace abdkit::abd

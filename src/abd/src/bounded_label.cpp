@@ -1,0 +1,29 @@
+#include "abdkit/abd/bounded_label.hpp"
+
+namespace abdkit::abd {
+
+CyclicOrder cyclic_compare(BoundedLabel reference, BoundedLabel candidate,
+                           std::uint32_t modulus) noexcept {
+  const std::uint32_t d =
+      (static_cast<std::uint32_t>(candidate) + modulus - reference) % modulus;
+  if (d == 0) return CyclicOrder::kEqual;
+  if (d < modulus / 4) return CyclicOrder::kNewer;
+  if (d > (3 * modulus) / 4) return CyclicOrder::kOlder;
+  return CyclicOrder::kUnorderable;
+}
+
+BoundedLabel next_label(BoundedLabel label, std::uint32_t modulus) noexcept {
+  return static_cast<BoundedLabel>((static_cast<std::uint32_t>(label) + 1) % modulus);
+}
+
+std::string to_string(CyclicOrder order) {
+  switch (order) {
+    case CyclicOrder::kOlder: return "older";
+    case CyclicOrder::kEqual: return "equal";
+    case CyclicOrder::kNewer: return "newer";
+    case CyclicOrder::kUnorderable: return "unorderable";
+  }
+  return "?";
+}
+
+}  // namespace abdkit::abd

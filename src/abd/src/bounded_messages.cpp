@@ -1,0 +1,33 @@
+#include "abdkit/abd/bounded_messages.hpp"
+
+#include <sstream>
+
+namespace abdkit::abd {
+
+std::string BReadQuery::debug() const {
+  std::ostringstream os;
+  os << "BReadQuery{r=" << round << " obj=" << object << "}";
+  return os.str();
+}
+
+std::string BReadReply::debug() const {
+  std::ostringstream os;
+  os << "BReadReply{r=" << round << " obj=" << object << " lbl=" << label << " "
+     << abdkit::to_string(value) << "}";
+  return os.str();
+}
+
+std::string BUpdate::debug() const {
+  std::ostringstream os;
+  os << "BUpdate{r=" << round << " obj=" << object << " lbl=" << label << " "
+     << abdkit::to_string(value) << "}";
+  return os.str();
+}
+
+std::string BUpdateAck::debug() const {
+  std::ostringstream os;
+  os << "BUpdateAck{r=" << round << " obj=" << object << "}";
+  return os.str();
+}
+
+}  // namespace abdkit::abd

@@ -1,0 +1,57 @@
+#include "abdkit/abd/bounded_node.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::abd {
+
+namespace {
+
+/// Adapts a bounded completion to the shared OpResult shape.
+OpResult widen(const BoundedOpResult& r) {
+  OpResult result;
+  result.value = r.value;
+  result.tag = Tag{r.label, 0};
+  result.invoked = r.invoked;
+  result.responded = r.responded;
+  result.rounds = r.rounds;
+  result.messages_sent = r.messages_sent;
+  return result;
+}
+
+}  // namespace
+
+BoundedNode::BoundedNode(BoundedNodeOptions options)
+    : options_{std::move(options)},
+      replica_{options_.label_modulus},
+      client_{options_.quorums, options_.label_modulus} {
+  if (options_.quorums == nullptr) {
+    throw std::invalid_argument{"BoundedNode: null quorum system"};
+  }
+}
+
+void BoundedNode::on_start(Context& ctx) {
+  ctx_ = &ctx;
+  client_.attach(ctx);
+}
+
+void BoundedNode::on_message(Context& ctx, ProcessId from, const Payload& payload) {
+  if (replica_.handle(ctx, from, payload)) return;
+  if (client_.handle(ctx, from, payload)) return;
+}
+
+void BoundedNode::read(ObjectId object, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"BoundedNode: read before on_start"};
+  client_.read(object, [done = std::move(done)](const BoundedOpResult& r) {
+    if (done) done(widen(r));
+  });
+}
+
+void BoundedNode::write(ObjectId object, Value value, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"BoundedNode: write before on_start"};
+  client_.write(object, value, [done = std::move(done)](const BoundedOpResult& r) {
+    if (done) done(widen(r));
+  });
+}
+
+}  // namespace abdkit::abd

@@ -1,0 +1,349 @@
+#include "abdkit/abd/client.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "abdkit/quorum/analysis.hpp"
+
+namespace abdkit::abd {
+
+Client::Client(std::shared_ptr<const quorum::QuorumSystem> quorums, ReadMode read_mode,
+               ClientOptions options)
+    : quorums_{std::move(quorums)}, read_mode_{read_mode}, options_{options} {
+  if (quorums_ == nullptr) throw std::invalid_argument{"Client: null quorum system"};
+  if (options_.contact == ContactPolicy::kTargeted &&
+      options_.retransmit_interval <= Duration::zero()) {
+    // A crashed preferred-quorum member would otherwise stall the phase
+    // forever even though live quorums exist.
+    throw std::invalid_argument{
+        "Client: targeted contact requires a positive retransmit_interval"};
+  }
+}
+
+void Client::attach(Context& ctx) {
+  if (ctx_ != nullptr) throw std::logic_error{"Client: attach called twice"};
+  if (quorums_->n() != ctx.world_size()) {
+    throw std::invalid_argument{"Client: quorum system size != world size"};
+  }
+  ctx_ = &ctx;
+}
+
+bool Client::handle(Context&, ProcessId from, const Payload& payload) {
+  if (const auto* reply = payload_cast<ReadReply>(payload)) {
+    on_read_reply(from, *reply);
+    return true;
+  }
+  if (const auto* reply = payload_cast<TagReply>(payload)) {
+    on_tag_reply(from, *reply);
+    return true;
+  }
+  if (const auto* ack = payload_cast<UpdateAck>(payload)) {
+    on_update_ack(from, *ack);
+    return true;
+  }
+  return false;
+}
+
+void Client::read(ObjectId object, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"Client: read before attach"};
+  auto op = std::make_shared<PendingOp>();
+  op->kind = OpKind::kRead;
+  op->object = object;
+  op->done = std::move(done);
+  op->invoked = ctx_->now();
+  ++pending_ops_;
+
+  const RoundId id = begin_round(RoundKind::kCollectValues, op);
+  dispatch_request(id, make_payload<ReadQuery>(id, object));
+}
+
+void Client::write_swmr(ObjectId object, Value value, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"Client: write before attach"};
+  auto op = std::make_shared<PendingOp>();
+  op->kind = OpKind::kWriteSwmr;
+  op->object = object;
+  op->write_value = value;
+  op->done = std::move(done);
+  op->invoked = ctx_->now();
+  ++pending_ops_;
+
+  const Tag tag{++swmr_seq_[object], ctx_->self()};
+  start_update_phase(std::move(op), tag, value);
+}
+
+void Client::write_mwmr(ObjectId object, Value value, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"Client: write before attach"};
+  auto op = std::make_shared<PendingOp>();
+  op->kind = OpKind::kWriteMwmr;
+  op->object = object;
+  op->write_value = value;
+  op->done = std::move(done);
+  op->invoked = ctx_->now();
+  ++pending_ops_;
+
+  const RoundId id = begin_round(RoundKind::kCollectTags, op);
+  dispatch_request(id, make_payload<TagQuery>(id, object));
+}
+
+RoundId Client::begin_round(RoundKind kind, std::shared_ptr<PendingOp> op) {
+  const RoundId id = next_round_++;
+  Round round;
+  round.kind = kind;
+  round.op = std::move(op);
+  round.acked.assign(quorums_->n(), false);
+  rounds_.emplace(id, std::move(round));
+  return id;
+}
+
+const std::vector<ProcessId>& Client::preferred_targets(RoundKind kind) {
+  const bool write_side = kind == RoundKind::kCollectAcks;
+  std::vector<ProcessId>& cache = write_side ? preferred_write_ : preferred_read_;
+  if (cache.empty()) {
+    const std::vector<bool> everyone(quorums_->n(), true);
+    const auto quorum = write_side ? quorum::find_write_quorum(*quorums_, everyone)
+                                   : quorum::find_read_quorum(*quorums_, everyone);
+    // A quorum system with no quorum at all is rejected at construction by
+    // every concrete system, so this always engages.
+    cache = quorum.value();
+  }
+  return cache;
+}
+
+void Client::dispatch_request(RoundId id, PayloadPtr payload) {
+  Round& round = rounds_.at(id);
+  round.request = payload;
+  round.op->rounds += 1;
+  if (options_.contact == ContactPolicy::kBroadcast) {
+    round.op->messages_sent += ctx_->world_size();
+    ctx_->broadcast(std::move(payload));
+  } else {
+    const std::vector<ProcessId>& targets = preferred_targets(round.kind);
+    round.op->messages_sent += targets.size();
+    for (const ProcessId p : targets) ctx_->send(p, payload);
+  }
+  arm_retransmit(id);
+}
+
+void Client::arm_retransmit(RoundId id) {
+  if (options_.retransmit_interval <= Duration::zero()) return;
+  Round& round = rounds_.at(id);
+  round.retransmit_timer = ctx_->set_timer(options_.retransmit_interval,
+                                           [this, id] { resend_unanswered(id); });
+}
+
+void Client::resend_unanswered(RoundId id) {
+  const auto it = rounds_.find(id);
+  if (it == rounds_.end()) return;  // phase completed since the timer armed
+  Round& round = it->second;
+  // Expansion: resends go to every silent process, regardless of contact
+  // policy — this is what restores liveness when a targeted member is
+  // crashed, and recovers lost messages either way.
+  for (ProcessId p = 0; p < round.acked.size(); ++p) {
+    if (round.acked[p]) continue;
+    round.op->messages_sent += 1;
+    ctx_->send(p, round.request);
+  }
+  arm_retransmit(id);
+}
+
+bool Client::all_acked(const Round& round) {
+  for (const bool acked : round.acked) {
+    if (!acked) return false;
+  }
+  return true;
+}
+
+void Client::requery(std::unordered_map<RoundId, Round>::iterator it) {
+  Round old_round = std::move(it->second);
+  if (old_round.retransmit_timer != 0) ctx_->cancel_timer(old_round.retransmit_timer);
+  rounds_.erase(it);
+  const RoundId id = begin_round(old_round.kind, std::move(old_round.op));
+  const Round& fresh = rounds_.at(id);
+  if (fresh.kind == RoundKind::kCollectValues) {
+    dispatch_request(id, make_payload<ReadQuery>(id, fresh.op->object));
+  } else {
+    dispatch_request(id, make_payload<TagQuery>(id, fresh.op->object));
+  }
+}
+
+std::string Client::debug_pending() const {
+  std::ostringstream os;
+  for (const auto& [id, round] : rounds_) {
+    os << "round " << id << " kind="
+       << (round.kind == RoundKind::kCollectValues
+               ? "values"
+               : round.kind == RoundKind::kCollectTags ? "tags" : "acks")
+       << " acks=[";
+    for (std::size_t p = 0; p < round.acked.size(); ++p) {
+      if (round.acked[p]) os << p << " ";
+    }
+    os << "] candidates=";
+    for (const Candidate& candidate : round.candidates) {
+      os << to_string(candidate.tag) << "x" << candidate.votes << " ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+const Client::Candidate* Client::vouch(Round& round, Tag tag, const Value& value) const {
+  // Record the vote (one per distinct replica; duplicate replies from the
+  // same replica are filtered by record_ack before reaching here).
+  bool found = false;
+  for (Candidate& candidate : round.candidates) {
+    if (candidate.tag == tag && candidate.value == value) {
+      ++candidate.votes;
+      found = true;
+      break;
+    }
+  }
+  if (!found) round.candidates.push_back(Candidate{tag, value, 1});
+
+  const Candidate* best = nullptr;
+  for (const Candidate& candidate : round.candidates) {
+    if (candidate.votes < options_.byzantine_f + 1) continue;
+    if (best == nullptr || candidate.tag > best->tag) best = &candidate;
+  }
+  return best;
+}
+
+bool Client::record_ack(Round& round, ProcessId from) const {
+  if (from >= round.acked.size() || round.acked[from]) return false;
+  round.acked[from] = true;
+  // Phase 1 of reads and of MWMR writes gathers information, so it needs a
+  // read quorum; phases that install a (tag, value) need a write quorum.
+  return round.kind == RoundKind::kCollectAcks ? quorums_->is_write_quorum(round.acked)
+                                               : quorums_->is_read_quorum(round.acked);
+}
+
+void Client::start_update_phase(std::shared_ptr<PendingOp> op, Tag tag, Value value) {
+  const RoundId id = begin_round(RoundKind::kCollectAcks, std::move(op));
+  Round& round = rounds_.at(id);
+  round.install_tag = tag;
+  round.install_value = value;
+  dispatch_request(id, make_payload<Update>(id, round.op->object, tag, value));
+}
+
+void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
+  const auto it = rounds_.find(reply.round);
+  if (it == rounds_.end() || it->second.kind != RoundKind::kCollectValues) return;
+  Round& round = it->second;
+
+  if (options_.byzantine_f == 0) {
+    // Crash-only: any single reply is trusted; fold the running maximum.
+    // best_* starts as (kInitialTag, default Value) — exactly the initial
+    // register contents — so a strict comparison handles the first reply too.
+    if (round.replies > 0 && reply.value_tag != round.best_tag) {
+      round.unanimous = false;
+    }
+    if (reply.value_tag > round.best_tag) {
+      round.best_tag = reply.value_tag;
+      round.best_value = reply.value;
+    }
+    const bool counted = !round.acked[from];
+    if (counted) ++round.replies;
+    if (!record_ack(round, from)) return;
+  } else {
+    // Masking: only candidates vouched by >= f+1 identical replies may be
+    // believed. Completion requires a quorum AND a vouched candidate; keep
+    // waiting for more replies until both hold (every new reply past the
+    // quorum re-evaluates, since the quorum predicate is monotone). If every
+    // process has answered and still nothing is vouched — possible when a
+    // writer keeps moving the tag while replies trickle in, so the votes
+    // span many tags — re-issue the query for a fresh, tighter sample.
+    // (Termination therefore needs writes to pause eventually: the standard
+    // "finite-write" liveness of masking-quorum reads.)
+    const bool quorum = record_ack(round, from);
+    const Candidate* best = vouch(round, reply.value_tag, reply.value);
+    if (best == nullptr) {
+      if (all_acked(round)) requery(it);
+      return;
+    }
+    if (!quorum) return;
+    round.best_tag = best->tag;
+    round.best_value = best->value;
+  }
+
+  // Quorum reached: we hold the maximum tag among a read quorum.
+  std::shared_ptr<PendingOp> op = round.op;
+  const Tag tag = round.best_tag;
+  const Value value = round.best_value;
+  const bool round_was_unanimous = round.unanimous;
+  if (round.retransmit_timer != 0) ctx_->cancel_timer(round.retransmit_timer);
+  rounds_.erase(it);
+
+  const bool fast_path = options_.fast_path_reads && options_.byzantine_f == 0 &&
+                         round_was_unanimous;
+  if (read_mode_ == ReadMode::kAtomic && !fast_path) {
+    // Write-back: make the value as widely known as a write would before
+    // returning it — the step that turns regularity into atomicity.
+    start_update_phase(std::move(op), tag, value);
+    return;
+  }
+  // Fast path (unanimous quorum: the value already sits at a full quorum,
+  // so the write-back would be a no-op) or regular baseline (which skips
+  // the write-back unconditionally and pays with new/old inversions).
+  Round synthetic;
+  synthetic.op = std::move(op);
+  synthetic.install_tag = tag;
+  synthetic.install_value = value;
+  finish(synthetic);
+}
+
+void Client::on_tag_reply(ProcessId from, const TagReply& reply) {
+  const auto it = rounds_.find(reply.round);
+  if (it == rounds_.end() || it->second.kind != RoundKind::kCollectTags) return;
+  Round& round = it->second;
+  if (options_.byzantine_f == 0) {
+    round.best_tag = std::max(round.best_tag, reply.value_tag);
+    if (!record_ack(round, from)) return;
+  } else {
+    // Masking the tag discovery keeps forged sky-high tags from inflating
+    // the tag space (a liveness/width attack, not a safety one).
+    const bool quorum = record_ack(round, from);
+    const Candidate* best = vouch(round, reply.value_tag, Value{});
+    if (best == nullptr) {
+      if (all_acked(round)) requery(it);
+      return;
+    }
+    if (!quorum) return;
+    round.best_tag = best->tag;
+  }
+
+  std::shared_ptr<PendingOp> op = round.op;
+  // New tag: strictly above everything a read quorum has seen; the writer id
+  // breaks ties between writers that picked the same sequence number.
+  const Tag tag{round.best_tag.seq + 1, ctx_->self()};
+  const Value value = op->write_value;
+  if (round.retransmit_timer != 0) ctx_->cancel_timer(round.retransmit_timer);
+  rounds_.erase(it);
+  start_update_phase(std::move(op), tag, value);
+}
+
+void Client::on_update_ack(ProcessId from, const UpdateAck& ack) {
+  const auto it = rounds_.find(ack.round);
+  if (it == rounds_.end() || it->second.kind != RoundKind::kCollectAcks) return;
+  Round& round = it->second;
+  if (!record_ack(round, from)) return;
+
+  Round finished = std::move(round);
+  if (finished.retransmit_timer != 0) ctx_->cancel_timer(finished.retransmit_timer);
+  rounds_.erase(it);
+  finish(finished);
+}
+
+void Client::finish(Round& round) {
+  PendingOp& op = *round.op;
+  OpResult result;
+  result.value = round.install_value;
+  result.tag = round.install_tag;
+  result.invoked = op.invoked;
+  result.responded = ctx_->now();
+  result.rounds = op.rounds;
+  result.messages_sent = op.messages_sent;
+  --pending_ops_;
+  if (op.done) op.done(result);
+}
+
+}  // namespace abdkit::abd

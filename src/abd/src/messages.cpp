@@ -1,0 +1,52 @@
+#include "abdkit/abd/messages.hpp"
+
+#include <sstream>
+
+namespace abdkit::abd {
+
+std::string to_string(const Tag& tag) {
+  std::ostringstream os;
+  os << "<" << tag.seq << "," << tag.writer << ">";
+  return os.str();
+}
+
+std::string ReadQuery::debug() const {
+  std::ostringstream os;
+  os << "ReadQuery{r=" << round << " obj=" << object << "}";
+  return os.str();
+}
+
+std::string ReadReply::debug() const {
+  std::ostringstream os;
+  os << "ReadReply{r=" << round << " obj=" << object << " tag=" << to_string(value_tag)
+     << " " << abdkit::to_string(value) << "}";
+  return os.str();
+}
+
+std::string TagQuery::debug() const {
+  std::ostringstream os;
+  os << "TagQuery{r=" << round << " obj=" << object << "}";
+  return os.str();
+}
+
+std::string TagReply::debug() const {
+  std::ostringstream os;
+  os << "TagReply{r=" << round << " obj=" << object << " tag=" << to_string(value_tag)
+     << "}";
+  return os.str();
+}
+
+std::string Update::debug() const {
+  std::ostringstream os;
+  os << "Update{r=" << round << " obj=" << object << " tag=" << to_string(value_tag)
+     << " " << abdkit::to_string(value) << "}";
+  return os.str();
+}
+
+std::string UpdateAck::debug() const {
+  std::ostringstream os;
+  os << "UpdateAck{r=" << round << " obj=" << object << "}";
+  return os.str();
+}
+
+}  // namespace abdkit::abd

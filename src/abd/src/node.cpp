@@ -1,0 +1,40 @@
+#include "abdkit/abd/node.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::abd {
+
+Node::Node(NodeOptions options)
+    : options_{std::move(options)},
+      client_{options_.quorums, options_.read_mode, options_.client} {
+  if (options_.quorums == nullptr) throw std::invalid_argument{"Node: null quorum system"};
+}
+
+void Node::on_start(Context& ctx) {
+  ctx_ = &ctx;
+  client_.attach(ctx);
+}
+
+void Node::on_message(Context& ctx, ProcessId from, const Payload& payload) {
+  if (replica_.handle(ctx, from, payload)) return;
+  if (client_.handle(ctx, from, payload)) return;
+  // Unknown payloads are ignored: composite deployments (e.g., the KV layer)
+  // may route additional protocols through the same processes.
+}
+
+void Node::read(ObjectId object, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"Node: read before on_start"};
+  client_.read(object, std::move(done));
+}
+
+void Node::write(ObjectId object, Value value, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"Node: write before on_start"};
+  if (options_.write_mode == WriteMode::kSingleWriter) {
+    client_.write_swmr(object, value, std::move(done));
+  } else {
+    client_.write_mwmr(object, value, std::move(done));
+  }
+}
+
+}  // namespace abdkit::abd

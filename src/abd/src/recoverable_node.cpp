@@ -1,0 +1,93 @@
+#include "abdkit/abd/recoverable_node.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::abd {
+
+RecoverableNode::RecoverableNode(RecoverableNodeOptions options)
+    : options_{std::move(options)},
+      client_{options_.quorums, options_.read_mode, options_.client} {
+  if (options_.quorums == nullptr) {
+    throw std::invalid_argument{"RecoverableNode: null quorum system"};
+  }
+}
+
+void RecoverableNode::on_start(Context& ctx) {
+  ctx_ = &ctx;
+  client_.attach(ctx);
+}
+
+bool RecoverableNode::needs_sync(ObjectId object) const {
+  return options_.recovering && !synced_.contains(object);
+}
+
+void RecoverableNode::on_message(Context& ctx, ProcessId from, const Payload& payload) {
+  // Queries against an unsynced object are held back until the state
+  // transfer finishes; everything else flows straight through. Updates in
+  // particular are applied immediately — adopting a newer tag is always
+  // safe, and it lets this node count toward write quorums right away.
+  const ObjectId* query_object = nullptr;
+  if (const auto* query = payload_cast<ReadQuery>(payload)) query_object = &query->object;
+  if (const auto* query = payload_cast<TagQuery>(payload)) query_object = &query->object;
+
+  if (query_object != nullptr && needs_sync(*query_object)) {
+    const ObjectId object = *query_object;
+    const bool sync_running = syncing_.contains(object);
+    // Payloads are non-copyable; rebuild an equivalent request to buffer.
+    PayloadPtr buffered;
+    if (const auto* read_query = payload_cast<ReadQuery>(payload)) {
+      buffered = make_payload<ReadQuery>(read_query->round, read_query->object);
+    } else {
+      const auto* tag_query = payload_cast<TagQuery>(payload);
+      buffered = make_payload<TagQuery>(tag_query->round, tag_query->object);
+    }
+    syncing_[object].push_back(BufferedQuery{from, std::move(buffered)});
+    if (!sync_running) begin_sync(ctx, object);
+    return;
+  }
+
+  if (replica_.handle(ctx, from, payload)) return;
+  if (client_.handle(ctx, from, payload)) return;
+}
+
+void RecoverableNode::begin_sync(Context& ctx, ObjectId object) {
+  // A full ABD read: quorum max + write-back. The write-back also repairs
+  // other stale copies while we are at it.
+  client_.read(object, [this, &ctx, object](const OpResult& result) {
+    on_synced(ctx, object, result);
+  });
+}
+
+void RecoverableNode::on_synced(Context& ctx, ObjectId object, const OpResult& result) {
+  replica_.install(object, result.tag, result.value);
+  synced_.insert(object);
+  ++syncs_done_;
+  auto buffered = syncing_.find(object);
+  if (buffered == syncing_.end()) return;
+  std::deque<BufferedQuery> queries = std::move(buffered->second);
+  syncing_.erase(buffered);
+  for (const BufferedQuery& query : queries) {
+    replica_.handle(ctx, query.from, *query.payload);
+  }
+}
+
+void RecoverableNode::read(ObjectId object, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"RecoverableNode: read before on_start"};
+  client_.read(object, std::move(done));
+}
+
+void RecoverableNode::write(ObjectId object, Value value, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"RecoverableNode: write before on_start"};
+  // A recovered incarnation lost its local sequence counter; reusing low
+  // sequence numbers would make new writes compare older than its own
+  // pre-crash writes. The two-phase (tag-discovery) write fixes that, so a
+  // recovering node always writes MWMR-style even in single-writer mode.
+  if (options_.write_mode == WriteMode::kSingleWriter && !options_.recovering) {
+    client_.write_swmr(object, value, std::move(done));
+  } else {
+    client_.write_mwmr(object, value, std::move(done));
+  }
+}
+
+}  // namespace abdkit::abd

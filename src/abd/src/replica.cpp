@@ -1,0 +1,65 @@
+#include "abdkit/abd/replica.hpp"
+
+namespace abdkit::abd {
+
+bool Replica::handle(Context& ctx, ProcessId from, const Payload& payload) {
+  if (const auto* query = payload_cast<ReadQuery>(payload)) {
+    on_read_query(ctx, from, *query);
+    return true;
+  }
+  if (const auto* query = payload_cast<TagQuery>(payload)) {
+    on_tag_query(ctx, from, *query);
+    return true;
+  }
+  if (const auto* update = payload_cast<Update>(payload)) {
+    on_update(ctx, from, *update);
+    return true;
+  }
+  return false;
+}
+
+const ReplicaSlot& Replica::slot(ObjectId object) const {
+  static const ReplicaSlot kInitial{};
+  const auto it = slots_.find(object);
+  return it == slots_.end() ? kInitial : it->second;
+}
+
+void Replica::install(ObjectId object, Tag tag, const Value& value) {
+  ReplicaSlot& s = slots_[object];
+  if (tag > s.tag) {
+    s.tag = tag;
+    s.value = value;
+  }
+}
+
+std::vector<std::pair<ObjectId, ReplicaSlot>> Replica::slots_snapshot() const {
+  std::vector<std::pair<ObjectId, ReplicaSlot>> result;
+  result.reserve(slots_.size());
+  for (const auto& [object, slot] : slots_) result.emplace_back(object, slot);
+  return result;
+}
+
+void Replica::on_read_query(Context& ctx, ProcessId from, const ReadQuery& query) {
+  const ReplicaSlot& s = slot(query.object);
+  ctx.send(from, make_payload<ReadReply>(query.round, query.object, s.tag, s.value));
+}
+
+void Replica::on_tag_query(Context& ctx, ProcessId from, const TagQuery& query) {
+  const ReplicaSlot& s = slot(query.object);
+  ctx.send(from, make_payload<TagReply>(query.round, query.object, s.tag));
+}
+
+void Replica::on_update(Context& ctx, ProcessId from, const Update& update) {
+  ReplicaSlot& s = slots_[update.object];
+  if (update.value_tag > s.tag) {
+    s.tag = update.value_tag;
+    s.value = update.value;
+  } else {
+    ++stale_updates_;
+  }
+  // Acknowledge regardless: an older tag still means "your value is stored
+  // at this replica or a newer one is", which is all the quorum needs.
+  ctx.send(from, make_payload<UpdateAck>(update.round, update.object));
+}
+
+}  // namespace abdkit::abd

@@ -1,0 +1,80 @@
+// Operation histories.
+//
+// Tests and experiments record every register operation as an interval
+// [invoked, responded] with its kind and value, then ask the checkers
+// whether the history is atomic (linearizable), regular, or exhibits the
+// new/old inversion the paper's write-back phase exists to prevent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abdkit/common/types.hpp"
+
+namespace abdkit::checker {
+
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+struct OpRecord {
+  ProcessId process{kNoProcess};
+  OpType type{OpType::kRead};
+  std::uint64_t object{0};
+  /// Value written (kWrite) or returned (kRead).
+  std::int64_t value{0};
+  TimePoint invoked{};
+  /// Meaningless when !completed.
+  TimePoint responded{};
+  /// False for operations still pending at the end of the run (e.g., the
+  /// invoker crashed mid-operation). Pending writes may or may not have
+  /// taken effect; pending reads impose no obligation.
+  bool completed{true};
+};
+
+[[nodiscard]] std::string to_string(const OpRecord& op);
+
+/// Append-only collection of operation records.
+class History {
+ public:
+  void add(OpRecord op);
+
+  [[nodiscard]] const std::vector<OpRecord>& ops() const noexcept { return ops_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+  /// Records touching `object` only, preserving order.
+  [[nodiscard]] History restricted_to(std::uint64_t object) const;
+
+  /// Distinct objects appearing in the history.
+  [[nodiscard]] std::vector<std::uint64_t> objects() const;
+
+  /// Sanity check used by tests: per process, completed operations must not
+  /// overlap (the register model is one operation at a time per process).
+  [[nodiscard]] bool well_formed() const;
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+/// Convenience recorder: binds a History and stamps records from operation
+/// callbacks. Kept separate from History so the latter stays a plain value.
+class Recorder {
+ public:
+  explicit Recorder(History& sink) noexcept : sink_{&sink} {}
+
+  void record(ProcessId process, OpType type, std::uint64_t object, std::int64_t value,
+              TimePoint invoked, TimePoint responded) {
+    sink_->add(OpRecord{process, type, object, value, invoked, responded, true});
+  }
+
+  void record_pending(ProcessId process, OpType type, std::uint64_t object,
+                      std::int64_t value, TimePoint invoked) {
+    sink_->add(OpRecord{process, type, object, value, invoked, TimePoint{}, false});
+  }
+
+ private:
+  History* sink_;
+};
+
+}  // namespace abdkit::checker

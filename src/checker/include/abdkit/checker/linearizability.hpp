@@ -1,0 +1,70 @@
+// Linearizability checking for read/write register histories.
+//
+// Implements the Wing–Gong search with Lowe's memoization, specialized to
+// the register sequential specification and organized around a sliding
+// window: operations that respond before every still-unlinearized operation
+// invokes form a closed prefix, so the search mask only covers the active
+// concurrency window (bounded by the number of processes), letting the
+// checker handle histories with many thousands of operations.
+//
+// Pending operations (invoker crashed): a pending write MAY be linearized
+// anywhere after its invocation or omitted entirely; a pending read imposes
+// no obligation and is ignored.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abdkit/checker/history.hpp"
+
+namespace abdkit::checker {
+
+struct LinearizabilityReport {
+  bool linearizable{false};
+  /// When linearizable: one witness order (indices into the checked ops).
+  std::vector<std::size_t> witness;
+  /// When not: a human-readable explanation of the first dead end.
+  std::string explanation;
+  /// Search effort, for curiosity/regression tracking.
+  std::size_t states_explored{0};
+};
+
+struct CheckerOptions {
+  /// Initial register value (tags every object; ABD registers start at 0).
+  std::int64_t initial_value{0};
+  /// Max simultaneous unlinearized-but-invoked operations. The search mask
+  /// is a 64-bit word over this window.
+  std::size_t max_concurrency{64};
+  /// Hard cap on explored states; exceeding it throws (prevents silent
+  /// exponential blowups in CI).
+  std::size_t max_states{50'000'000};
+};
+
+/// Checks a single-object history. Throws std::invalid_argument if the
+/// history mixes objects (restrict first) or is malformed.
+[[nodiscard]] LinearizabilityReport check_linearizable(const History& history,
+                                                       const CheckerOptions& options = {});
+
+/// Checks every object of a multi-object history independently (registers
+/// are independent atomic objects; linearizability is compositional).
+[[nodiscard]] LinearizabilityReport check_linearizable_per_object(
+    const History& history, const CheckerOptions& options = {});
+
+struct SequentialConsistencyReport {
+  bool sequentially_consistent{false};
+  std::string explanation;
+  std::size_t states_explored{0};
+};
+
+/// Sequential consistency for a single-object history: some interleaving
+/// respecting each process's PROGRAM order (but not real time) satisfies
+/// the register semantics. Strictly weaker than linearizability — the
+/// new/old read inversion of the no-write-back baseline is SC but not
+/// atomic, which is precisely the consistency gap the paper's write-back
+/// buys. Search is exponential in processes; intended for small histories.
+[[nodiscard]] SequentialConsistencyReport check_sequentially_consistent(
+    const History& history, const CheckerOptions& options = {});
+
+}  // namespace abdkit::checker

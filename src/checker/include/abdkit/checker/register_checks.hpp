@@ -1,0 +1,61 @@
+// Register-specific semantic checks, cheaper and more diagnostic than the
+// full linearizability search. They assume the SWMR setting the paper's
+// core protocol targets: a single (sequential) writer per object and
+// distinct written values, which every abdkit test workload guarantees.
+//
+//   * regularity  — each read returns the last write completed before it or
+//                   some overlapping write (Lamport's regular register).
+//   * safety      — reads that do not overlap any write return the last
+//                   completed write's value (Lamport's safe register).
+//   * inversion   — detects the new/old read inversion: a read that follows
+//                   (in real time) another read yet returns an older value.
+//                   Regular-but-not-atomic executions show exactly this,
+//                   which is what the paper's write-back eliminates (E4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "abdkit/checker/history.hpp"
+
+namespace abdkit::checker {
+
+struct RegularityReport {
+  bool regular{false};
+  std::string explanation;  // set when !regular
+};
+
+struct SafetyReport {
+  bool safe{false};
+  std::string explanation;
+};
+
+/// A witnessed new/old inversion: `earlier` finished before `later` began,
+/// yet `later` returned an older version.
+struct Inversion {
+  OpRecord earlier;
+  OpRecord later;
+  std::int64_t earlier_version;
+  std::int64_t later_version;
+};
+
+struct InversionReport {
+  std::uint64_t count{0};
+  std::optional<Inversion> first;
+};
+
+/// Checks the regular-register condition for a single-object SWMR history.
+/// Throws std::invalid_argument if writes overlap (two writers) or written
+/// values repeat.
+[[nodiscard]] RegularityReport check_regular(const History& history);
+
+/// Checks the safe-register condition (weaker than regular).
+[[nodiscard]] SafetyReport check_safe(const History& history);
+
+/// Counts new/old inversions among completed reads of a single-object SWMR
+/// history. A regular register may show a positive count; an atomic one
+/// never does.
+[[nodiscard]] InversionReport find_inversions(const History& history);
+
+}  // namespace abdkit::checker

@@ -1,0 +1,54 @@
+#include "abdkit/checker/history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace abdkit::checker {
+
+std::string to_string(const OpRecord& op) {
+  std::ostringstream os;
+  os << "p" << op.process << " " << (op.type == OpType::kRead ? "read" : "write") << "("
+     << op.value << ") obj=" << op.object << " [" << op.invoked.count() << ", "
+     << (op.completed ? std::to_string(op.responded.count()) : std::string{"pending"})
+     << "]";
+  return os.str();
+}
+
+void History::add(OpRecord op) { ops_.push_back(op); }
+
+History History::restricted_to(std::uint64_t object) const {
+  History result;
+  for (const OpRecord& op : ops_) {
+    if (op.object == object) result.add(op);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> History::objects() const {
+  std::vector<std::uint64_t> result;
+  for (const OpRecord& op : ops_) result.push_back(op.object);
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+bool History::well_formed() const {
+  // Per process: sort completed ops by invocation, ensure no overlap. A
+  // pending op must be the process's last.
+  std::map<ProcessId, std::vector<const OpRecord*>> by_process;
+  for (const OpRecord& op : ops_) by_process[op.process].push_back(&op);
+  for (auto& [process, ops] : by_process) {
+    std::vector<const OpRecord*> sorted = ops;
+    std::sort(sorted.begin(), sorted.end(), [](const OpRecord* a, const OpRecord* b) {
+      return a->invoked < b->invoked;
+    });
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      if (!sorted[i]->completed) return false;  // pending op not last
+      if (sorted[i]->responded > sorted[i + 1]->invoked) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace abdkit::checker

@@ -1,0 +1,362 @@
+#include "abdkit/checker/linearizability.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace abdkit::checker {
+
+namespace {
+
+constexpr TimePoint kNever = TimePoint::max();
+
+struct PreparedOp {
+  OpType type;
+  std::int64_t value;
+  TimePoint invoked;
+  TimePoint responded;  // kNever for pending
+  bool completed;
+  std::size_t original_index;
+};
+
+struct StateKey {
+  std::size_t floor;
+  std::uint64_t mask;
+  std::int64_t value;
+
+  friend bool operator==(const StateKey&, const StateKey&) = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const noexcept {
+    std::uint64_t h = k.mask * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(k.floor) + 0x7f4a7c159e3779b9ULL + (h << 6);
+    h ^= static_cast<std::uint64_t>(k.value) * 0xc2b2ae3d27d4eb4fULL + (h >> 3);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Frame {
+  StateKey key;
+  std::vector<std::size_t> candidates;  // indices into prepared ops
+  std::size_t next_candidate{0};
+  std::size_t completed_chosen;  // completed ops linearized up to this frame
+};
+
+class Search {
+ public:
+  Search(std::vector<PreparedOp> ops, const CheckerOptions& options)
+      : ops_{std::move(ops)}, options_{options} {
+    total_completed_ = 0;
+    for (const PreparedOp& op : ops_) total_completed_ += op.completed ? 1U : 0U;
+    suffix_min_response_.assign(ops_.size() + 1, kNever);
+    for (std::size_t i = ops_.size(); i-- > 0;) {
+      suffix_min_response_[i] =
+          std::min(suffix_min_response_[i + 1],
+                   ops_[i].completed ? ops_[i].responded : kNever);
+    }
+  }
+
+  LinearizabilityReport run() {
+    LinearizabilityReport report;
+    if (total_completed_ == 0) {
+      report.linearizable = true;
+      return report;
+    }
+
+    std::vector<Frame> stack;
+    std::vector<std::size_t> path;  // chosen op per frame transition
+    std::unordered_set<StateKey, StateKeyHash> visited;
+
+    const StateKey initial{0, 0, options_.initial_value};
+    visited.insert(initial);
+    stack.push_back(make_frame(initial, 0));
+
+    std::size_t deepest = 0;
+    StateKey deepest_key = initial;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.completed_chosen == total_completed_) {
+        report.linearizable = true;
+        report.witness.reserve(path.size());
+        for (const std::size_t idx : path) {
+          report.witness.push_back(ops_[idx].original_index);
+        }
+        report.states_explored = states_;
+        return report;
+      }
+      if (frame.next_candidate >= frame.candidates.size()) {
+        stack.pop_back();
+        if (!path.empty()) path.pop_back();
+        continue;
+      }
+      const std::size_t chosen = frame.candidates[frame.next_candidate++];
+      const PreparedOp& op = ops_[chosen];
+
+      // Apply: writes set the value; reads require it to match.
+      std::int64_t new_value = frame.key.value;
+      if (op.type == OpType::kWrite) {
+        new_value = op.value;
+      } else if (op.value != frame.key.value) {
+        continue;  // read of a value the register does not hold here
+      }
+
+      StateKey child = frame.key;
+      child.value = new_value;
+      child.mask |= std::uint64_t{1} << (chosen - child.floor);
+      // Advance the floor over a linearized prefix.
+      while (child.floor < ops_.size() && (child.mask & 1U) != 0) {
+        child.mask >>= 1;
+        ++child.floor;
+      }
+      if (!visited.insert(child).second) continue;
+      if (++states_ > options_.max_states) {
+        throw std::runtime_error{"linearizability search exceeded max_states"};
+      }
+
+      const std::size_t completed_chosen =
+          frame.completed_chosen + (op.completed ? 1U : 0U);
+      if (completed_chosen > deepest) {
+        deepest = completed_chosen;
+        deepest_key = child;
+      }
+      path.push_back(chosen);
+      stack.push_back(make_frame(child, completed_chosen));
+    }
+
+    report.linearizable = false;
+    report.states_explored = states_;
+    report.explanation = explain(deepest_key, deepest);
+    return report;
+  }
+
+ private:
+  Frame make_frame(const StateKey& key, std::size_t completed_chosen) {
+    Frame frame;
+    frame.key = key;
+    frame.completed_chosen = completed_chosen;
+    frame.candidates = candidates_for(key);
+    return frame;
+  }
+
+  [[nodiscard]] bool chosen_in(const StateKey& key, std::size_t index) const {
+    if (index < key.floor) return true;
+    const std::size_t offset = index - key.floor;
+    return offset < 64 && ((key.mask >> offset) & 1U) != 0;
+  }
+
+  /// Ops that may be linearized next from `key`: unchosen ops invoked no
+  /// later than every unchosen completed op's response.
+  std::vector<std::size_t> candidates_for(const StateKey& key) const {
+    const std::size_t window_end = std::min(ops_.size(), key.floor + 64);
+
+    TimePoint min_response = suffix_min_response_[window_end];
+    for (std::size_t i = key.floor; i < window_end; ++i) {
+      if (!chosen_in(key, i) && ops_[i].completed) {
+        min_response = std::min(min_response, ops_[i].responded);
+      }
+    }
+
+    if (window_end < ops_.size() && ops_[window_end].invoked <= min_response) {
+      throw std::runtime_error{
+          "linearizability check: concurrency window exceeded 64 operations"};
+    }
+
+    std::vector<std::size_t> result;
+    for (std::size_t i = key.floor; i < window_end; ++i) {
+      if (chosen_in(key, i)) continue;
+      if (ops_[i].invoked <= min_response) result.push_back(i);
+    }
+    return result;
+  }
+
+  std::string explain(const StateKey& key, std::size_t deepest) const {
+    std::ostringstream os;
+    os << "dead end after linearizing " << deepest << "/" << total_completed_
+       << " completed ops; register held " << key.value
+       << " but no candidate operation could extend the order (pending reads:";
+    const std::size_t window_end = std::min(ops_.size(), key.floor + 64);
+    for (std::size_t i = key.floor; i < window_end; ++i) {
+      if (chosen_in(key, i)) continue;
+      if (ops_[i].type == OpType::kRead) os << " read(" << ops_[i].value << ")";
+    }
+    os << ")";
+    return os.str();
+  }
+
+  std::vector<PreparedOp> ops_;
+  CheckerOptions options_;
+  std::size_t total_completed_{0};
+  std::vector<TimePoint> suffix_min_response_;
+  std::size_t states_{0};
+};
+
+std::vector<PreparedOp> prepare(const History& history) {
+  std::vector<PreparedOp> ops;
+  ops.reserve(history.size());
+  std::size_t index = 0;
+  for (const OpRecord& op : history.ops()) {
+    const std::size_t original = index++;
+    if (!op.completed && op.type == OpType::kRead) continue;  // no obligation
+    PreparedOp p;
+    p.type = op.type;
+    p.value = op.value;
+    p.invoked = op.invoked;
+    p.responded = op.completed ? op.responded : kNever;
+    p.completed = op.completed;
+    p.original_index = original;
+    if (p.completed && p.responded < p.invoked) {
+      throw std::invalid_argument{"history op responds before it invokes"};
+    }
+    ops.push_back(p);
+  }
+  std::stable_sort(ops.begin(), ops.end(), [](const PreparedOp& a, const PreparedOp& b) {
+    return a.invoked < b.invoked;
+  });
+  return ops;
+}
+
+}  // namespace
+
+LinearizabilityReport check_linearizable(const History& history,
+                                         const CheckerOptions& options) {
+  const auto objects = history.objects();
+  if (objects.size() > 1) {
+    throw std::invalid_argument{
+        "check_linearizable: multi-object history; use check_linearizable_per_object"};
+  }
+  Search search{prepare(history), options};
+  return search.run();
+}
+
+LinearizabilityReport check_linearizable_per_object(const History& history,
+                                                    const CheckerOptions& options) {
+  LinearizabilityReport combined;
+  combined.linearizable = true;
+  for (const std::uint64_t object : history.objects()) {
+    LinearizabilityReport report =
+        check_linearizable(history.restricted_to(object), options);
+    combined.states_explored += report.states_explored;
+    if (!report.linearizable) {
+      combined.linearizable = false;
+      combined.explanation =
+          "object " + std::to_string(object) + ": " + report.explanation;
+      return combined;
+    }
+  }
+  return combined;
+}
+
+namespace {
+
+/// State of the sequential-consistency search: how many ops of each process
+/// have been scheduled, plus the register value.
+struct ScState {
+  std::vector<std::uint32_t> indices;
+  std::int64_t value;
+
+  friend bool operator==(const ScState&, const ScState&) = default;
+};
+
+struct ScStateHash {
+  std::size_t operator()(const ScState& s) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<std::uint64_t>(s.value);
+    for (const std::uint32_t i : s.indices) {
+      h ^= i;
+      h *= 0x00000100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+SequentialConsistencyReport check_sequentially_consistent(const History& history,
+                                                          const CheckerOptions& options) {
+  if (history.objects().size() > 1) {
+    throw std::invalid_argument{
+        "check_sequentially_consistent: multi-object history; restrict first"};
+  }
+  SequentialConsistencyReport report;
+
+  // Program order: per process, completed ops in invocation order. Pending
+  // writes may optionally be appended (they are each process's last op);
+  // pending reads impose nothing.
+  std::map<ProcessId, std::vector<const OpRecord*>> per_process;
+  std::size_t total_required = 0;
+  for (const OpRecord& op : history.ops()) {
+    if (!op.completed && op.type == OpType::kRead) continue;
+    per_process[op.process].push_back(&op);
+    if (op.completed) ++total_required;
+  }
+  std::vector<std::vector<const OpRecord*>> programs;
+  for (auto& [process, ops] : per_process) {
+    std::stable_sort(ops.begin(), ops.end(), [](const OpRecord* a, const OpRecord* b) {
+      return a->invoked < b->invoked;
+    });
+    programs.push_back(ops);
+  }
+
+  // DFS with memoization over (indices, value).
+  std::unordered_set<ScState, ScStateHash> visited;
+  struct Frame {
+    ScState state;
+    std::size_t scheduled_required;
+    std::size_t next_process;
+  };
+  std::vector<Frame> stack;
+  ScState initial;
+  initial.indices.assign(programs.size(), 0);
+  initial.value = options.initial_value;
+  visited.insert(initial);
+  stack.push_back(Frame{initial, 0, 0});
+  std::size_t states = 0;
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.scheduled_required == total_required) {
+      report.sequentially_consistent = true;
+      report.states_explored = states;
+      return report;
+    }
+    bool advanced = false;
+    while (frame.next_process < programs.size()) {
+      const std::size_t p = frame.next_process++;
+      const std::uint32_t index = frame.state.indices[p];
+      if (index >= programs[p].size()) continue;
+      const OpRecord& op = *programs[p][index];
+      std::int64_t new_value = frame.state.value;
+      if (op.type == OpType::kWrite) {
+        new_value = op.value;
+      } else if (op.value != frame.state.value) {
+        continue;  // read of a value the register does not hold here
+      }
+      ScState child = frame.state;
+      child.indices[p] = index + 1;
+      child.value = new_value;
+      if (!visited.insert(child).second) continue;
+      if (++states > options.max_states) {
+        throw std::runtime_error{"sequential-consistency search exceeded max_states"};
+      }
+      const std::size_t scheduled =
+          frame.scheduled_required + (op.completed ? 1U : 0U);
+      stack.push_back(Frame{std::move(child), scheduled, 0});
+      advanced = true;
+      break;
+    }
+    if (!advanced && stack.back().next_process >= programs.size()) {
+      stack.pop_back();
+    }
+  }
+
+  report.sequentially_consistent = false;
+  report.states_explored = states;
+  report.explanation = "no program-order-preserving interleaving satisfies the register";
+  return report;
+}
+
+}  // namespace abdkit::checker

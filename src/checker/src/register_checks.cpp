@@ -1,0 +1,190 @@
+#include "abdkit/checker/register_checks.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace abdkit::checker {
+
+namespace {
+
+constexpr TimePoint kNever = TimePoint::max();
+constexpr std::int64_t kInitialVersion = -1;
+
+struct SwmrView {
+  /// Writes sorted by invocation (the single writer issues them one at a
+  /// time, so this is also their semantic order). Pending writes included,
+  /// with response = kNever.
+  std::vector<OpRecord> writes;
+  std::vector<OpRecord> reads;  // completed reads only
+  /// version[i] corresponds to writes[i]; value -> version index.
+  std::map<std::int64_t, std::int64_t> version_of_value;
+};
+
+SwmrView build_view(const History& history) {
+  if (history.objects().size() > 1) {
+    throw std::invalid_argument{"register check: multi-object history; restrict first"};
+  }
+  SwmrView view;
+  for (const OpRecord& op : history.ops()) {
+    if (op.type == OpType::kWrite) {
+      view.writes.push_back(op);
+    } else if (op.completed) {
+      view.reads.push_back(op);
+    }
+  }
+  std::stable_sort(view.writes.begin(), view.writes.end(),
+                   [](const OpRecord& a, const OpRecord& b) {
+                     return a.invoked < b.invoked;
+                   });
+  for (std::size_t i = 0; i + 1 < view.writes.size(); ++i) {
+    const OpRecord& w = view.writes[i];
+    const TimePoint end = w.completed ? w.responded : kNever;
+    if (end > view.writes[i + 1].invoked) {
+      throw std::invalid_argument{"register check: overlapping writes (not SWMR)"};
+    }
+  }
+  for (std::size_t i = 0; i < view.writes.size(); ++i) {
+    const auto [it, inserted] = view.version_of_value.emplace(
+        view.writes[i].value, static_cast<std::int64_t>(i));
+    if (!inserted) {
+      throw std::invalid_argument{"register check: duplicate written value"};
+    }
+  }
+  return view;
+}
+
+/// Version index of the last write completed strictly before `t`.
+std::int64_t last_completed_before(const SwmrView& view, TimePoint t) {
+  std::int64_t last = kInitialVersion;
+  for (std::size_t i = 0; i < view.writes.size(); ++i) {
+    const OpRecord& w = view.writes[i];
+    if (w.completed && w.responded < t) last = static_cast<std::int64_t>(i);
+  }
+  return last;
+}
+
+/// Version a read returned, or nullopt if the value was never written and is
+/// not the initial value 0.
+std::optional<std::int64_t> read_version(const SwmrView& view, const OpRecord& read) {
+  const auto it = view.version_of_value.find(read.value);
+  if (it != view.version_of_value.end()) return it->second;
+  if (read.value == 0) return kInitialVersion;  // initial register contents
+  return std::nullopt;
+}
+
+}  // namespace
+
+RegularityReport check_regular(const History& history) {
+  const SwmrView view = build_view(history);
+  RegularityReport report;
+  for (const OpRecord& read : view.reads) {
+    const auto version = read_version(view, read);
+    if (!version.has_value()) {
+      report.explanation = to_string(read) + " returned a value never written";
+      return report;
+    }
+    const std::int64_t floor = last_completed_before(view, read.invoked);
+    // Legal versions: the last write completed before the read invoked, or
+    // any later write that began before the read responded (overlapping).
+    bool legal = *version == floor;
+    if (!legal && *version > floor) {
+      const OpRecord& w = view.writes[static_cast<std::size_t>(*version)];
+      legal = w.invoked < read.responded;
+    }
+    if (!legal) {
+      std::ostringstream os;
+      os << to_string(read) << " returned version " << *version
+         << " but the last write completed before it was version " << floor;
+      report.explanation = os.str();
+      return report;
+    }
+  }
+  report.regular = true;
+  return report;
+}
+
+SafetyReport check_safe(const History& history) {
+  const SwmrView view = build_view(history);
+  SafetyReport report;
+  for (const OpRecord& read : view.reads) {
+    // Safety constrains only reads that overlap no write.
+    bool overlaps = false;
+    for (const OpRecord& w : view.writes) {
+      const TimePoint end = w.completed ? w.responded : kNever;
+      if (w.invoked < read.responded && end > read.invoked) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    const auto version = read_version(view, read);
+    const std::int64_t floor = last_completed_before(view, read.invoked);
+    if (!version.has_value() || *version != floor) {
+      std::ostringstream os;
+      os << to_string(read) << " does not overlap any write yet returned "
+         << read.value << " (expected version " << floor << ")";
+      report.explanation = os.str();
+      return report;
+    }
+  }
+  report.safe = true;
+  return report;
+}
+
+InversionReport find_inversions(const History& history) {
+  const SwmrView view = build_view(history);
+  InversionReport report;
+
+  struct VersionedRead {
+    const OpRecord* op;
+    std::int64_t version;
+  };
+  std::vector<VersionedRead> reads;
+  reads.reserve(view.reads.size());
+  for (const OpRecord& read : view.reads) {
+    const auto version = read_version(view, read);
+    if (!version.has_value()) {
+      throw std::invalid_argument{"find_inversions: read of a never-written value"};
+    }
+    reads.push_back({&read, *version});
+  }
+  std::sort(reads.begin(), reads.end(), [](const VersionedRead& a, const VersionedRead& b) {
+    return a.op->responded < b.op->responded;
+  });
+
+  // For each read, an inversion partner is any earlier-responding read that
+  // finished before this one began yet saw a newer version. Scanning with a
+  // running maximum over responded-order gives O(n log n) total.
+  std::int64_t max_version_so_far = std::numeric_limits<std::int64_t>::min();
+  const OpRecord* max_holder = nullptr;
+  std::size_t j = 0;
+  std::vector<VersionedRead> by_invoked = reads;
+  std::sort(by_invoked.begin(), by_invoked.end(),
+            [](const VersionedRead& a, const VersionedRead& b) {
+              return a.op->invoked < b.op->invoked;
+            });
+  std::int64_t max_holder_version = 0;
+  for (const VersionedRead& later : by_invoked) {
+    while (j < reads.size() && reads[j].op->responded < later.op->invoked) {
+      if (reads[j].version > max_version_so_far) {
+        max_version_so_far = reads[j].version;
+        max_holder = reads[j].op;
+        max_holder_version = reads[j].version;
+      }
+      ++j;
+    }
+    if (max_holder != nullptr && later.version < max_version_so_far) {
+      ++report.count;
+      if (!report.first.has_value()) {
+        report.first = Inversion{*max_holder, *later.op, max_holder_version, later.version};
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace abdkit::checker

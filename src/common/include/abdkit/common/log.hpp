@@ -1,0 +1,34 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// examples flip it on to narrate protocol traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace abdkit {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Process-global log threshold (not thread-synchronized by design: set it
+/// once at startup, before spawning runtime threads).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line if `level` is at or above the threshold.
+void log_line(LogLevel level, std::string_view module, std::string_view text);
+
+namespace detail {
+template <typename... Parts>
+void log_fmt(LogLevel level, std::string_view module, const Parts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  log_line(level, module, os.str());
+}
+}  // namespace detail
+
+#define ABDKIT_LOG(level, module, ...) \
+  ::abdkit::detail::log_fmt((level), (module), __VA_ARGS__)
+
+}  // namespace abdkit

@@ -1,0 +1,78 @@
+// Type-erased protocol messages.
+//
+// Transports (simulated or threaded) move `Message` envelopes around without
+// knowing the protocol. Each protocol defines payload structs deriving from
+// `Payload`; receivers down-cast with `payload_cast`, which dispatches on a
+// cheap integer tag instead of RTTI so it stays fast in the hot path and
+// works with -fno-rtti builds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "abdkit/common/types.hpp"
+
+namespace abdkit {
+
+/// Tag distinguishing payload types. Protocols claim disjoint ranges:
+///   0x0100 ABD SWMR, 0x0200 ABD MWMR, 0x0300 bounded-label ABD,
+///   0x0400 regular-baseline, 0x0500 KV service, 0x0600 tests.
+using PayloadTag = std::uint32_t;
+
+/// Base class for all wire payloads.
+class Payload {
+ public:
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  virtual ~Payload() = default;
+
+  [[nodiscard]] PayloadTag tag() const noexcept { return tag_; }
+
+  /// Bytes this payload would occupy on a wire. Used by the bounded-timestamp
+  /// experiment (E5) to demonstrate bounded vs. growing message size.
+  [[nodiscard]] virtual std::size_t wire_size() const noexcept = 0;
+
+  /// Human-readable rendering for traces and test diagnostics.
+  [[nodiscard]] virtual std::string debug() const = 0;
+
+ protected:
+  explicit Payload(PayloadTag tag) noexcept : tag_{tag} {}
+
+ private:
+  PayloadTag tag_;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Checked down-cast driven by the payload tag; returns nullptr on mismatch.
+template <typename T>
+[[nodiscard]] const T* payload_cast(const Payload& p) noexcept {
+  return p.tag() == T::kTag ? static_cast<const T*>(&p) : nullptr;
+}
+
+template <typename T>
+[[nodiscard]] std::shared_ptr<const T> payload_cast(const PayloadPtr& p) noexcept {
+  if (p == nullptr || p->tag() != T::kTag) return nullptr;
+  return std::static_pointer_cast<const T>(p);
+}
+
+/// Convenience factory: make_payload<ReadRequest>(...).
+template <typename T, typename... Args>
+[[nodiscard]] PayloadPtr make_payload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// An addressed message envelope.
+struct Message {
+  ProcessId from{kNoProcess};
+  ProcessId to{kNoProcess};
+  PayloadPtr payload;
+};
+
+/// Fixed per-message envelope overhead assumed by wire_size accounting
+/// (source, destination, tag, length prefix).
+inline constexpr std::size_t kEnvelopeBytes = 16;
+
+}  // namespace abdkit

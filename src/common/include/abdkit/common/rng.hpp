@@ -1,0 +1,98 @@
+// Deterministic random number generation.
+//
+// All randomness in the simulator flows through SplitMix64/Xoshiro256** so a
+// run is reproducible from a single seed, independent of the standard
+// library's distribution implementations (std::uniform_int_distribution is
+// not portable across libstdc++ versions; we implement Lemire reduction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace abdkit {
+
+/// SplitMix64: used for seeding and for cheap stateless hashing of seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** by Blackman & Vigna — fast, high-quality, deterministic.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x8c8c8c8c12345678ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 64x64 -> high 64 bits, in portable 32-bit limbs (no __int128 under
+    // -Wpedantic). hi(x*y) with x = xh*2^32 + xl, y = yh*2^32 + yl.
+    const std::uint64_t x = (*this)();
+    const std::uint64_t xl = x & 0xffffffffULL;
+    const std::uint64_t xh = x >> 32;
+    const std::uint64_t yl = bound & 0xffffffffULL;
+    const std::uint64_t yh = bound >> 32;
+    const std::uint64_t ll = xl * yl;
+    const std::uint64_t lh = xl * yh;
+    const std::uint64_t hl = xh * yl;
+    const std::uint64_t hh = xh * yh;
+    const std::uint64_t carry = ((ll >> 32) + (lh & 0xffffffffULL) + (hl & 0xffffffffULL)) >> 32;
+    return hh + (lh >> 32) + (hl >> 32) + carry;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential variate with the given mean (used for link-delay models).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Derive an independent child generator (for per-channel streams).
+  [[nodiscard]] Rng fork() noexcept {
+    return Rng{(*this)() ^ 0xa5a5a5a55a5a5a5aULL};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace abdkit

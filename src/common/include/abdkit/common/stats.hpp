@@ -1,0 +1,54 @@
+// Lightweight descriptive statistics used by benchmarks and experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abdkit {
+
+/// Accumulates samples and answers summary queries. Stores raw samples so
+/// exact quantiles are available; experiment scales here are modest.
+class Summary {
+ public:
+  void add(double sample);
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Exact quantile by sorting a scratch copy (q in [0,1]).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// "count=... mean=... p50=... p99=... max=..." one-liner for reports.
+  [[nodiscard]] std::string brief() const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_{0.0};
+};
+
+/// Fixed-boundary histogram for latency distributions in benches.
+class Histogram {
+ public:
+  /// Buckets: [0,b0), [b0,b1), ..., [b_{k-1}, inf). Boundaries must ascend.
+  explicit Histogram(std::vector<double> boundaries);
+
+  void add(double sample) noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace abdkit

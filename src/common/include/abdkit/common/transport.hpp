@@ -1,0 +1,83 @@
+// The asynchronous message-passing abstraction protocols are written against.
+//
+// Both environments implement these interfaces:
+//   * sim::World        — deterministic discrete-event simulation
+//   * runtime::Cluster  — one mailbox thread per process (real concurrency)
+//
+// A protocol participant derives from `Actor` and reacts to `on_start` and
+// `on_message`; it talks back through the `Context` it was given. This keeps
+// every protocol single-threaded from its own point of view — exactly the
+// I/O-automaton style model the ABD paper uses — while letting the same code
+// run under simulated or real asynchrony.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "abdkit/common/message.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit {
+
+using TimerId = std::uint64_t;
+using TimerCallback = std::function<void()>;
+
+/// Per-process handle to the outside world. All calls are made from the
+/// process's own execution context (event handler or mailbox thread), never
+/// concurrently.
+class Context {
+ public:
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  virtual ~Context() = default;
+
+  /// This process's identity.
+  [[nodiscard]] virtual ProcessId self() const noexcept = 0;
+
+  /// Total number of processes in the system (the paper's `n`).
+  [[nodiscard]] virtual std::size_t world_size() const noexcept = 0;
+
+  /// Asynchronously send `payload` to `to`. Channels are reliable FIFO-less
+  /// pipes: no loss between correct, connected processes, but arbitrary
+  /// delay and reordering. Sending to self is allowed and also asynchronous.
+  virtual void send(ProcessId to, PayloadPtr payload) = 0;
+
+  /// Send to every process including self (n messages).
+  virtual void broadcast(PayloadPtr payload) = 0;
+
+  /// Schedule `cb` to run on this process after `delay`. Returns an id that
+  /// can be passed to cancel_timer. Timers on crashed processes never fire.
+  virtual TimerId set_timer(Duration delay, TimerCallback cb) = 0;
+
+  /// Cancel a pending timer; cancelling an already-fired timer is a no-op.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Current time: simulated nanoseconds in the simulator, steady-clock
+  /// offset in the threaded runtime.
+  [[nodiscard]] virtual TimePoint now() const noexcept = 0;
+
+ protected:
+  Context() = default;
+};
+
+/// A protocol participant. Lifecycle: constructed, attached to a world,
+/// `on_start` once, then `on_message`/timer callbacks until crash or
+/// shutdown. Implementations must not block.
+class Actor {
+ public:
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+  virtual ~Actor() = default;
+
+  /// Called once before any message delivery; `ctx` outlives the actor's use.
+  virtual void on_start(Context& ctx) = 0;
+
+  /// Called for each delivered message.
+  virtual void on_message(Context& ctx, ProcessId from, const Payload& payload) = 0;
+
+ protected:
+  Actor() = default;
+};
+
+}  // namespace abdkit

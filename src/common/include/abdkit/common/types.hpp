@@ -1,0 +1,65 @@
+// Core vocabulary types shared by every abdkit module.
+//
+// The model follows the ABD paper: a fixed, fully-connected set of `n`
+// processors with ids `0..n-1`, communicating by asynchronous messages.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace abdkit {
+
+/// Identity of a processor in the message-passing system.
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Simulated (or measured) time. The discrete-event simulator interprets this
+/// as abstract nanoseconds; the threaded runtime maps it to steady_clock.
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds;  // offset from run start
+
+/// Monotonically increasing identifier for client operations; unique per
+/// process, made globally unique by pairing with the issuing ProcessId.
+struct OpId {
+  ProcessId issuer{kNoProcess};
+  std::uint64_t seq{0};
+
+  friend constexpr bool operator==(const OpId&, const OpId&) = default;
+  friend constexpr auto operator<=>(const OpId&, const OpId&) = default;
+};
+
+/// Values stored in emulated registers. ABD is value-agnostic: registers may
+/// hold arbitrarily structured contents. `data` is the primary payload;
+/// `aux` carries structured extensions (e.g., the sequence number and
+/// embedded view of an atomic-snapshot segment); `padding_bytes` inflates
+/// the accounted wire size for message-footprint experiments.
+struct Value {
+  std::int64_t data{0};
+  /// Extra payload bytes, counted by wire_size() but carrying no semantics.
+  std::uint32_t padding_bytes{0};
+  /// Structured extension payload (empty for plain values).
+  std::vector<std::int64_t> aux;
+
+  friend bool operator==(const Value&, const Value&) = default;
+};
+
+[[nodiscard]] std::string to_string(const OpId& id);
+[[nodiscard]] std::string to_string(const Value& v);
+
+}  // namespace abdkit
+
+template <>
+struct std::hash<abdkit::OpId> {
+  std::size_t operator()(const abdkit::OpId& id) const noexcept {
+    const std::size_t h1 = std::hash<abdkit::ProcessId>{}(id.issuer);
+    const std::size_t h2 = std::hash<std::uint64_t>{}(id.seq);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,41 @@
+#include "abdkit/common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace abdkit {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?    ";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level() noexcept { return g_level; }
+
+void log_line(LogLevel level, std::string_view module, std::string_view text) {
+  if (level < g_level) return;
+  const std::scoped_lock lock{log_mutex()};
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(text.size()), text.data());
+}
+
+}  // namespace abdkit

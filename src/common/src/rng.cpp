@@ -1,0 +1,14 @@
+#include "abdkit/common/rng.hpp"
+
+#include <cmath>
+
+namespace abdkit {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; clamp away from 0 to avoid -log(0).
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace abdkit

@@ -1,0 +1,102 @@
+#include "abdkit/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace abdkit {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+}
+
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+}
+
+double Summary::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile q outside [0,1]"};
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string Summary::brief() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << mean() << " p50=" << quantile(0.5)
+     << " p99=" << quantile(0.99) << " max=" << max();
+  return os.str();
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_{std::move(boundaries)}, counts_(boundaries_.size() + 1, 0) {
+  if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {
+    throw std::invalid_argument{"histogram boundaries must be ascending"};
+  }
+}
+
+void Histogram::add(double sample) noexcept {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), sample);
+  counts_[static_cast<std::size_t>(it - boundaries_.begin())]++;
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const { return counts_.at(i); }
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::ostringstream os;
+  const std::uint64_t peak = counts_.empty()
+                                 ? 0
+                                 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i == 0) {
+      os << "[-inf, " << boundaries_.front() << ")";
+    } else if (i == counts_.size() - 1) {
+      os << "[" << boundaries_.back() << ", inf)";
+    } else {
+      os << "[" << boundaries_[i - 1] << ", " << boundaries_[i] << ")";
+    }
+    os << " " << counts_[i] << " ";
+    const std::size_t bars =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        (static_cast<double>(counts_[i]) / static_cast<double>(peak)) *
+                        static_cast<double>(bar_width));
+    for (std::size_t b = 0; b < bars; ++b) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace abdkit

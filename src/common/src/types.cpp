@@ -1,0 +1,21 @@
+#include "abdkit/common/types.hpp"
+
+#include <sstream>
+
+namespace abdkit {
+
+std::string to_string(const OpId& id) {
+  std::ostringstream os;
+  os << "op(" << id.issuer << ":" << id.seq << ")";
+  return os.str();
+}
+
+std::string to_string(const Value& v) {
+  std::ostringstream os;
+  os << "val(" << v.data;
+  if (v.padding_bytes != 0) os << ", +" << v.padding_bytes << "B";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace abdkit

@@ -1,0 +1,132 @@
+// Experiment harness: deploys a register protocol over a simulated world,
+// records every operation into a checker::History, and exposes fault
+// injection. Shared by the test suite, the benchmark binaries, and the
+// examples so every experiment speaks the same vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "abdkit/abd/adversary.hpp"
+#include "abdkit/abd/bounded_node.hpp"
+#include "abdkit/abd/node.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/checker/history.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/sim/world.hpp"
+
+namespace abdkit::harness {
+
+/// Which register protocol the deployment runs.
+enum class Variant {
+  kAtomicSwmr,   ///< paper's core: 1-phase write, 2-phase read
+  kAtomicMwmr,   ///< multi-writer extension: 2-phase write, 2-phase read
+  kRegularSwmr,  ///< Thomas-voting baseline: no read write-back (E4)
+  kBoundedSwmr,  ///< bounded-label variant (E5)
+};
+
+struct DeployOptions {
+  std::size_t n{3};
+  std::uint64_t seed{1};
+  Variant variant{Variant::kAtomicSwmr};
+  /// Defaults to MajorityQuorum(n) when null.
+  std::shared_ptr<const quorum::QuorumSystem> quorums;
+  /// Defaults to the world's default (exponential 1ms) when null.
+  std::unique_ptr<sim::DelayModel> delay;
+  std::uint32_t label_modulus{abd::kDefaultLabelModulus};
+  /// Retransmission / contact policy for unbounded-protocol clients
+  /// (ignored by the bounded variant, which always broadcasts).
+  abd::ClientOptions client{};
+  /// Channel fault injection, forwarded to the simulated world.
+  double loss_probability{0.0};
+  double duplicate_probability{0.0};
+  /// Replace these process slots with Byzantine replica adversaries. Do not
+  /// schedule operations from these processes. Pair with a MaskingQuorum
+  /// and client.byzantine_f to test the masking configuration.
+  std::vector<std::pair<ProcessId, abd::ByzantineBehavior>> byzantine;
+};
+
+/// A register system running in a simulated world, with history recording.
+class SimDeployment {
+ public:
+  explicit SimDeployment(DeployOptions options);
+
+  SimDeployment(const SimDeployment&) = delete;
+  SimDeployment& operator=(const SimDeployment&) = delete;
+
+  [[nodiscard]] sim::World& world() noexcept { return *world_; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] abd::RegisterNode& node(ProcessId p);
+
+  // ---- Recorded operations ----------------------------------------------
+  // Schedule an operation to be invoked at simulated time `t`. Invocation,
+  // response, value, and completion status land in history() automatically.
+  // `done` (optional) additionally receives the raw protocol result.
+
+  void read_at(TimePoint t, ProcessId p, abd::ObjectId object,
+               abd::OpCallback done = nullptr);
+  void write_at(TimePoint t, ProcessId p, abd::ObjectId object, std::int64_t value,
+                abd::OpCallback done = nullptr);
+
+  /// Write with a full Value payload (padding/aux preserved); recorded like
+  /// write_at using value.data.
+  void write_value_at(TimePoint t, ProcessId p, abd::ObjectId object, Value value,
+                      abd::OpCallback done = nullptr);
+
+  // ---- Fault injection -----------------------------------------------------
+
+  void crash_at(TimePoint t, ProcessId p);
+  void partition_at(TimePoint t, std::vector<std::vector<ProcessId>> groups);
+  void heal_at(TimePoint t);
+
+  // ---- Results ---------------------------------------------------------------
+
+  /// Run the world to quiescence, then convert still-outstanding operations
+  /// into pending history records. Returns events executed.
+  std::size_t run();
+  /// Run until `deadline` only (stalled ops stay outstanding; call
+  /// finalize_history() when done stepping).
+  std::size_t run_until(TimePoint deadline);
+  /// Convert currently outstanding operations into pending history records.
+  /// Idempotent and repeatable: an op finalized as pending keeps that record
+  /// even if the world is stepped further and it completes afterwards.
+  void finalize_history();
+
+  [[nodiscard]] checker::History& history() noexcept { return history_; }
+  [[nodiscard]] std::uint64_t completed_ops() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t stalled_ops() const noexcept { return stalled_; }
+
+  /// Fresh value no other write in this deployment used — keeps histories
+  /// unique-write for the register checkers.
+  [[nodiscard]] std::int64_t unique_value() noexcept { return ++value_counter_; }
+
+ private:
+  struct Outstanding {
+    ProcessId process;
+    checker::OpType type;
+    abd::ObjectId object;
+    std::int64_t value;  // written value (reads: unknown until completion)
+    TimePoint invoked;
+  };
+
+  void record_completion(std::uint64_t token, checker::OpType type, std::int64_t value,
+                         const abd::OpResult& r);
+
+  std::size_t n_;
+  std::unique_ptr<sim::World> world_;
+  std::vector<abd::RegisterNode*> nodes_;  // owned by world_
+  checker::History history_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::uint64_t next_token_{1};
+  std::uint64_t completed_{0};
+  std::uint64_t stalled_{0};
+  std::int64_t value_counter_{0};
+};
+
+/// Convenience: shared majority quorum system for n processes.
+[[nodiscard]] std::shared_ptr<const quorum::QuorumSystem> majority(std::size_t n);
+
+}  // namespace abdkit::harness

@@ -1,0 +1,41 @@
+// Closed-loop workload generation over a SimDeployment: each participating
+// process runs "invoke op; on completion think; repeat", which is how the
+// register model's sequential processes behave. Written values are globally
+// unique so histories satisfy the checkers' unique-write requirement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/common/rng.hpp"
+#include "abdkit/common/types.hpp"
+#include "abdkit/harness/deployment.hpp"
+
+namespace abdkit::harness {
+
+struct WorkloadOptions {
+  /// Processes allowed to write. For SWMR variants this must contain at most
+  /// one process per object.
+  std::vector<ProcessId> writers;
+  /// Processes performing reads (may overlap writers; a process in both
+  /// picks per-op by read_fraction).
+  std::vector<ProcessId> readers;
+  /// Registers the workload touches; ops pick uniformly.
+  std::vector<abd::ObjectId> objects{0};
+  std::size_t ops_per_process{10};
+  /// Probability a reader∩writer process reads (pure readers always read,
+  /// pure writers always write).
+  double read_fraction{0.5};
+  /// Mean exponential think time between a process's operations.
+  Duration mean_think{std::chrono::microseconds{200}};
+  /// First invocations are staggered uniformly in [0, start_spread).
+  Duration start_spread{std::chrono::microseconds{100}};
+  std::uint64_t seed{7};
+};
+
+/// Schedules the whole closed-loop workload onto `deployment`'s world. Call
+/// deployment.run() afterwards to execute it.
+void schedule_closed_loop(SimDeployment& deployment, const WorkloadOptions& options);
+
+}  // namespace abdkit::harness

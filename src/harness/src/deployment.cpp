@@ -1,0 +1,147 @@
+#include "abdkit/harness/deployment.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::harness {
+
+namespace {
+
+std::unique_ptr<abd::RegisterNode> make_node(const DeployOptions& options,
+                                             std::shared_ptr<const quorum::QuorumSystem> qs,
+                                             ProcessId p) {
+  for (const auto& [byz_process, behavior] : options.byzantine) {
+    if (byz_process == p) return std::make_unique<abd::ByzantineNode>(behavior);
+  }
+  switch (options.variant) {
+    case Variant::kAtomicSwmr:
+      return std::make_unique<abd::Node>(
+          abd::NodeOptions{std::move(qs), abd::ReadMode::kAtomic,
+                           abd::WriteMode::kSingleWriter, options.client});
+    case Variant::kAtomicMwmr:
+      return std::make_unique<abd::Node>(
+          abd::NodeOptions{std::move(qs), abd::ReadMode::kAtomic,
+                           abd::WriteMode::kMultiWriter, options.client});
+    case Variant::kRegularSwmr:
+      return std::make_unique<abd::Node>(
+          abd::NodeOptions{std::move(qs), abd::ReadMode::kRegular,
+                           abd::WriteMode::kSingleWriter, options.client});
+    case Variant::kBoundedSwmr:
+      return std::make_unique<abd::BoundedNode>(
+          abd::BoundedNodeOptions{std::move(qs), options.label_modulus});
+  }
+  throw std::logic_error{"make_node: unknown variant"};
+}
+
+}  // namespace
+
+std::shared_ptr<const quorum::QuorumSystem> majority(std::size_t n) {
+  return std::make_shared<const quorum::MajorityQuorum>(n);
+}
+
+SimDeployment::SimDeployment(DeployOptions options) : n_{options.n} {
+  if (n_ == 0) throw std::invalid_argument{"SimDeployment: n must be positive"};
+  std::shared_ptr<const quorum::QuorumSystem> qs =
+      options.quorums != nullptr ? options.quorums : majority(n_);
+  if (qs->n() != n_) {
+    throw std::invalid_argument{"SimDeployment: quorum system size != n"};
+  }
+
+  sim::WorldConfig config;
+  config.num_processes = n_;
+  config.seed = options.seed;
+  config.delay = std::move(options.delay);
+  config.loss_probability = options.loss_probability;
+  config.duplicate_probability = options.duplicate_probability;
+  world_ = std::make_unique<sim::World>(std::move(config));
+
+  nodes_.reserve(n_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    auto node = make_node(options, qs, p);
+    nodes_.push_back(node.get());
+    world_->add_actor(p, std::move(node));
+  }
+  world_->start();
+}
+
+abd::RegisterNode& SimDeployment::node(ProcessId p) {
+  if (p >= nodes_.size()) throw std::out_of_range{"SimDeployment: node id out of range"};
+  return *nodes_[p];
+}
+
+void SimDeployment::read_at(TimePoint t, ProcessId p, abd::ObjectId object,
+                            abd::OpCallback done) {
+  world_->at(t, [this, p, object, done = std::move(done)] {
+    const std::uint64_t token = next_token_++;
+    outstanding_.emplace(
+        token, Outstanding{p, checker::OpType::kRead, object, 0, world_->now()});
+    node(p).read(object, [this, token, done](const abd::OpResult& r) {
+      record_completion(token, checker::OpType::kRead, r.value.data, r);
+      if (done) done(r);
+    });
+  });
+}
+
+void SimDeployment::write_at(TimePoint t, ProcessId p, abd::ObjectId object,
+                             std::int64_t value, abd::OpCallback done) {
+  Value v;
+  v.data = value;
+  write_value_at(t, p, object, std::move(v), std::move(done));
+}
+
+void SimDeployment::write_value_at(TimePoint t, ProcessId p, abd::ObjectId object,
+                                   Value value, abd::OpCallback done) {
+  world_->at(t, [this, p, object, value = std::move(value), done = std::move(done)] {
+    const std::uint64_t token = next_token_++;
+    outstanding_.emplace(token, Outstanding{p, checker::OpType::kWrite, object,
+                                            value.data, world_->now()});
+    node(p).write(object, value, [this, token, value, done](const abd::OpResult& r) {
+      record_completion(token, checker::OpType::kWrite, value.data, r);
+      if (done) done(r);
+    });
+  });
+}
+
+void SimDeployment::crash_at(TimePoint t, ProcessId p) {
+  world_->at(t, [this, p] { world_->crash(p); });
+}
+
+void SimDeployment::partition_at(TimePoint t, std::vector<std::vector<ProcessId>> groups) {
+  world_->at(t, [this, groups = std::move(groups)] { world_->partition(groups); });
+}
+
+void SimDeployment::heal_at(TimePoint t) {
+  world_->at(t, [this] { world_->heal(); });
+}
+
+void SimDeployment::record_completion(std::uint64_t token, checker::OpType type,
+                                      std::int64_t value, const abd::OpResult& r) {
+  const auto it = outstanding_.find(token);
+  if (it == outstanding_.end()) return;  // already finalized as pending
+  const Outstanding& o = it->second;
+  history_.add(checker::OpRecord{o.process, type, o.object, value, r.invoked,
+                                 r.responded, true});
+  ++completed_;
+  outstanding_.erase(it);
+}
+
+std::size_t SimDeployment::run() {
+  const std::size_t events = world_->run_until_quiescent();
+  finalize_history();
+  return events;
+}
+
+std::size_t SimDeployment::run_until(TimePoint deadline) {
+  return world_->run_until(deadline);
+}
+
+void SimDeployment::finalize_history() {
+  for (const auto& [token, o] : outstanding_) {
+    history_.add(
+        checker::OpRecord{o.process, o.type, o.object, o.value, o.invoked, {}, false});
+    ++stalled_;
+  }
+  outstanding_.clear();
+}
+
+}  // namespace abdkit::harness

@@ -1,0 +1,80 @@
+#include "abdkit/harness/workload.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace abdkit::harness {
+
+namespace {
+
+struct Driver : std::enable_shared_from_this<Driver> {
+  SimDeployment* deployment{nullptr};
+  ProcessId process{kNoProcess};
+  bool can_read{false};
+  bool can_write{false};
+  std::vector<abd::ObjectId> objects;
+  std::size_t remaining{0};
+  double read_fraction{0.5};
+  Duration mean_think{};
+  Rng rng{0};
+
+  void issue_at(TimePoint t) {
+    if (remaining == 0) return;
+    --remaining;
+    const abd::ObjectId object = objects[rng.below(objects.size())];
+    const bool do_read = can_read && (!can_write || rng.chance(read_fraction));
+    auto self = shared_from_this();
+    const auto chain = [self](const abd::OpResult& r) {
+      const auto think =
+          Duration{static_cast<Duration::rep>(self->rng.exponential(
+              static_cast<double>(self->mean_think.count())))};
+      self->issue_at(r.responded + think);
+    };
+    if (do_read) {
+      deployment->read_at(t, process, object, chain);
+    } else {
+      deployment->write_at(t, process, object, deployment->unique_value(), chain);
+    }
+  }
+};
+
+}  // namespace
+
+void schedule_closed_loop(SimDeployment& deployment, const WorkloadOptions& options) {
+  if (options.objects.empty()) {
+    throw std::invalid_argument{"schedule_closed_loop: no objects"};
+  }
+  Rng seeder{options.seed};
+
+  std::vector<ProcessId> participants;
+  participants.insert(participants.end(), options.writers.begin(), options.writers.end());
+  participants.insert(participants.end(), options.readers.begin(), options.readers.end());
+  std::sort(participants.begin(), participants.end());
+  participants.erase(std::unique(participants.begin(), participants.end()),
+                     participants.end());
+
+  for (const ProcessId p : participants) {
+    if (p >= deployment.n()) {
+      throw std::invalid_argument{"schedule_closed_loop: participant out of range"};
+    }
+    auto driver = std::make_shared<Driver>();
+    driver->deployment = &deployment;
+    driver->process = p;
+    driver->can_read =
+        std::find(options.readers.begin(), options.readers.end(), p) != options.readers.end();
+    driver->can_write =
+        std::find(options.writers.begin(), options.writers.end(), p) != options.writers.end();
+    driver->objects = options.objects;
+    driver->remaining = options.ops_per_process;
+    driver->read_fraction = options.read_fraction;
+    driver->mean_think = options.mean_think;
+    driver->rng = seeder.fork();
+    const auto start = Duration{static_cast<Duration::rep>(
+        driver->rng.below(static_cast<std::uint64_t>(
+            std::max<Duration::rep>(1, options.start_spread.count()))))};
+    driver->issue_at(start);
+  }
+}
+
+}  // namespace abdkit::harness

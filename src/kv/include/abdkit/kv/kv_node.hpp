@@ -1,0 +1,71 @@
+// A linearizable multi-key read/write store: one logical ABD register per
+// key. This is the "cloud storage" shape the Dijkstra Prize citation credits
+// the construction with — quorum-replicated key-value state surviving
+// minority crashes with strong consistency.
+//
+// Keys hash to register ObjectIds (FNV-1a, 64-bit). Values carry a presence
+// marker in Value.aux so get() can distinguish "never written / erased"
+// from "stores 0"; erase() is a write of an absent value, so deletes are
+// linearizable like any other write.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdkit/abd/node.hpp"
+
+namespace abdkit::kv {
+
+/// FNV-1a hash of the key bytes; collisions merge keys (documented
+/// limitation; 64-bit space makes them negligible for realistic workloads).
+[[nodiscard]] abd::ObjectId key_to_object(std::string_view key) noexcept;
+
+struct GetResult {
+  std::optional<std::int64_t> value;  ///< nullopt: absent (never put / erased)
+  abd::Tag version;                   ///< tag of the observed register state
+  abd::OpResult op;                   ///< underlying operation record
+};
+
+struct PutResult {
+  abd::Tag version;  ///< tag installed by this put/erase
+  abd::OpResult op;
+};
+
+using GetCallback = std::function<void(const GetResult&)>;
+using PutCallback = std::function<void(const PutResult&)>;
+
+/// One storage server + client endpoint. Deploy one per process; any node
+/// can serve any key (multi-writer registers underneath).
+class KvNode final : public Actor {
+ public:
+  explicit KvNode(std::shared_ptr<const quorum::QuorumSystem> quorums);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
+
+  /// Linearizable point read.
+  void get(std::string_view key, GetCallback done);
+
+  /// Reads many keys concurrently (one ABD read each). Each individual
+  /// read is linearizable; the BATCH is not an atomic snapshot across keys
+  /// — registers are independent objects. For a cross-key atomic view use
+  /// shmem::AtomicSnapshot over dedicated registers.
+  void multi_get(const std::vector<std::string>& keys,
+                 std::function<void(const std::vector<GetResult>&)> done);
+  /// Linearizable blind write.
+  void put(std::string_view key, std::int64_t value, PutCallback done);
+  /// Linearizable delete (a write of "absent").
+  void erase(std::string_view key, PutCallback done);
+
+  [[nodiscard]] abd::Node& node() noexcept { return node_; }
+
+ private:
+  abd::Node node_;
+};
+
+}  // namespace abdkit::kv

@@ -1,0 +1,32 @@
+// Blocking KV client for threaded deployments (benchmarks, applications):
+// wraps a KvNode living inside a runtime::Cluster with future-based waits.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "abdkit/kv/kv_node.hpp"
+#include "abdkit/runtime/cluster.hpp"
+
+namespace abdkit::kv {
+
+class SyncKv {
+ public:
+  /// `node` must be the actor installed at `host` inside `cluster`.
+  SyncKv(runtime::Cluster& cluster, ProcessId host, KvNode& node) noexcept
+      : cluster_{&cluster}, host_{host}, node_{&node} {}
+
+  /// nullopt on timeout (quorum unavailable). The inner optional is the
+  /// key's value (absent keys read as nullopt).
+  [[nodiscard]] std::optional<GetResult> get(const std::string& key, Duration timeout);
+  [[nodiscard]] std::optional<PutResult> put(const std::string& key, std::int64_t value,
+                                             Duration timeout);
+  [[nodiscard]] std::optional<PutResult> erase(const std::string& key, Duration timeout);
+
+ private:
+  runtime::Cluster* cluster_;
+  ProcessId host_;
+  KvNode* node_;
+};
+
+}  // namespace abdkit::kv

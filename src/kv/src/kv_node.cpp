@@ -1,0 +1,90 @@
+#include "abdkit/kv/kv_node.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace abdkit::kv {
+
+namespace {
+
+constexpr std::int64_t kPresent = 1;
+
+Value present_value(std::int64_t v) {
+  Value value;
+  value.data = v;
+  value.aux = {kPresent};
+  return value;
+}
+
+Value absent_value() { return Value{}; }
+
+bool is_present(const Value& value) noexcept { return !value.aux.empty(); }
+
+}  // namespace
+
+abd::ObjectId key_to_object(std::string_view key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x00000100000001b3ULL;
+  }
+  return h;
+}
+
+KvNode::KvNode(std::shared_ptr<const quorum::QuorumSystem> quorums)
+    : node_{abd::NodeOptions{std::move(quorums), abd::ReadMode::kAtomic,
+                             abd::WriteMode::kMultiWriter}} {}
+
+void KvNode::on_start(Context& ctx) { node_.on_start(ctx); }
+
+void KvNode::on_message(Context& ctx, ProcessId from, const Payload& payload) {
+  node_.on_message(ctx, from, payload);
+}
+
+void KvNode::get(std::string_view key, GetCallback done) {
+  node_.read(key_to_object(key), [done = std::move(done)](const abd::OpResult& r) {
+    if (!done) return;
+    GetResult result;
+    if (is_present(r.value)) result.value = r.value.data;
+    result.version = r.tag;
+    result.op = r;
+    done(result);
+  });
+}
+
+void KvNode::multi_get(const std::vector<std::string>& keys,
+                       std::function<void(const std::vector<GetResult>&)> done) {
+  if (keys.empty()) {
+    if (done) done({});
+    return;
+  }
+  auto results = std::make_shared<std::vector<GetResult>>(keys.size());
+  auto remaining = std::make_shared<std::size_t>(keys.size());
+  auto shared_done =
+      std::make_shared<std::function<void(const std::vector<GetResult>&)>>(
+          std::move(done));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    get(keys[i], [results, remaining, shared_done, i](const GetResult& r) {
+      (*results)[i] = r;
+      if (--*remaining == 0 && *shared_done) (*shared_done)(*results);
+    });
+  }
+}
+
+void KvNode::put(std::string_view key, std::int64_t value, PutCallback done) {
+  node_.write(key_to_object(key), present_value(value),
+              [done = std::move(done)](const abd::OpResult& r) {
+                if (!done) return;
+                done(PutResult{r.tag, r});
+              });
+}
+
+void KvNode::erase(std::string_view key, PutCallback done) {
+  node_.write(key_to_object(key), absent_value(),
+              [done = std::move(done)](const abd::OpResult& r) {
+                if (!done) return;
+                done(PutResult{r.tag, r});
+              });
+}
+
+}  // namespace abdkit::kv

@@ -1,0 +1,46 @@
+#include "abdkit/kv/sync_kv.hpp"
+
+#include <future>
+#include <memory>
+
+namespace abdkit::kv {
+
+namespace {
+
+template <typename T>
+std::optional<T> await(std::future<T>& future, Duration timeout) {
+  if (future.wait_for(timeout) != std::future_status::ready) return std::nullopt;
+  return future.get();
+}
+
+}  // namespace
+
+std::optional<GetResult> SyncKv::get(const std::string& key, Duration timeout) {
+  auto promise = std::make_shared<std::promise<GetResult>>();
+  auto future = promise->get_future();
+  cluster_->post(host_, [node = node_, key, promise] {
+    node->get(key, [promise](const GetResult& r) { promise->set_value(r); });
+  });
+  return await(future, timeout);
+}
+
+std::optional<PutResult> SyncKv::put(const std::string& key, std::int64_t value,
+                                     Duration timeout) {
+  auto promise = std::make_shared<std::promise<PutResult>>();
+  auto future = promise->get_future();
+  cluster_->post(host_, [node = node_, key, value, promise] {
+    node->put(key, value, [promise](const PutResult& r) { promise->set_value(r); });
+  });
+  return await(future, timeout);
+}
+
+std::optional<PutResult> SyncKv::erase(const std::string& key, Duration timeout) {
+  auto promise = std::make_shared<std::promise<PutResult>>();
+  auto future = promise->get_future();
+  cluster_->post(host_, [node = node_, key, promise] {
+    node->erase(key, [promise](const PutResult& r) { promise->set_value(r); });
+  });
+  return await(future, timeout);
+}
+
+}  // namespace abdkit::kv

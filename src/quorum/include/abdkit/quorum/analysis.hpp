@@ -1,0 +1,57 @@
+// Analytical and Monte-Carlo tools over quorum systems: intersection
+// verification (the safety precondition of the generalized ABD protocol),
+// availability under iid crashes, and minimal-quorum structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "abdkit/common/rng.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::quorum {
+
+/// Exhaustively verifies that every read quorum intersects every write
+/// quorum, by iterating over all 2^n subsets and checking the equivalent
+/// monotone condition: no read quorum is disjoint from any write quorum,
+/// i.e. for every subset S that is a read quorum, the complement of S is
+/// NOT a write quorum. Only feasible for n <= ~20.
+[[nodiscard]] bool read_write_intersection_holds(const QuorumSystem& qs);
+
+/// Same check for write/write intersection (needed by the MWMR protocol's
+/// unique-timestamp argument).
+[[nodiscard]] bool write_write_intersection_holds(const QuorumSystem& qs);
+
+/// A minimal quorum: a quorum none of whose proper subsets is a quorum.
+/// Enumerated by brute force (n <= ~16). `read` selects which predicate.
+[[nodiscard]] std::vector<std::vector<ProcessId>> minimal_quorums(
+    const QuorumSystem& qs, bool read);
+
+/// Probability that some read quorum survives when each process fails
+/// independently with probability p — exact by subset enumeration (n <= 20).
+[[nodiscard]] double exact_availability(const QuorumSystem& qs, double p);
+
+/// Monte-Carlo estimate of the same quantity for larger n.
+[[nodiscard]] double estimated_availability(const QuorumSystem& qs, double p,
+                                            std::size_t trials, Rng& rng);
+
+/// Size of the smallest read quorum (per-operation contact lower bound).
+[[nodiscard]] std::size_t smallest_read_quorum_size(const QuorumSystem& qs);
+
+/// System load in the sense of Naor–Wool, approximated under the uniform
+/// strategy over minimal read quorums: the busiest element's access
+/// probability. Enumeration-based; n <= ~16.
+[[nodiscard]] double uniform_strategy_load(const QuorumSystem& qs);
+
+/// Greedy search for a read quorum inside the alive set (nullopt if the
+/// alive set contains none). Used by availability-aware experiment drivers
+/// and by the targeted-contact client optimization.
+[[nodiscard]] std::optional<std::vector<ProcessId>> find_read_quorum(
+    const QuorumSystem& qs, const std::vector<bool>& alive);
+
+/// Same, against the write-quorum predicate.
+[[nodiscard]] std::optional<std::vector<ProcessId>> find_write_quorum(
+    const QuorumSystem& qs, const std::vector<bool>& alive);
+
+}  // namespace abdkit::quorum

@@ -1,0 +1,186 @@
+// Quorum systems.
+//
+// The ABD paper uses majority sets; phrasing the construction over abstract
+// quorum systems (as the follow-up literature did) is a strict
+// generalization: the protocol only needs (1) every read quorum intersects
+// every write quorum, for safety, and (2) some quorum of correct processes
+// exists, for liveness. This module supplies the majority system plus the
+// classic alternatives compared in experiment E7.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abdkit/common/rng.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit::quorum {
+
+/// A (possibly asymmetric) quorum system over processes 0..n-1. The protocol
+/// layer only consumes the two predicates; analysis functions live in
+/// analysis.hpp.
+class QuorumSystem {
+ public:
+  QuorumSystem(const QuorumSystem&) = delete;
+  QuorumSystem& operator=(const QuorumSystem&) = delete;
+  virtual ~QuorumSystem() = default;
+
+  [[nodiscard]] virtual std::size_t n() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// `acked[p]` == true iff process p responded. Predicates must be monotone:
+  /// adding responders never un-makes a quorum.
+  [[nodiscard]] virtual bool is_read_quorum(const std::vector<bool>& acked) const = 0;
+  [[nodiscard]] virtual bool is_write_quorum(const std::vector<bool>& acked) const = 0;
+
+ protected:
+  QuorumSystem() = default;
+};
+
+/// Simple majority: any set of ⌈(n+1)/2⌉ processes, read == write. The
+/// paper's original system; tolerates f < n/2 crashes, per-op contact O(n).
+class MajorityQuorum final : public QuorumSystem {
+ public:
+  explicit MajorityQuorum(std::size_t n);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return n_; }
+  [[nodiscard]] std::string name() const override { return "majority"; }
+  [[nodiscard]] bool is_read_quorum(const std::vector<bool>& acked) const override;
+  [[nodiscard]] bool is_write_quorum(const std::vector<bool>& acked) const override;
+
+  [[nodiscard]] std::size_t threshold() const noexcept { return n_ / 2 + 1; }
+
+ private:
+  std::size_t n_;
+};
+
+/// Weighted majority: quorum iff responding weight exceeds half the total.
+/// Models heterogeneous replicas (e.g., 3 votes for a beefy node).
+class WeightedMajorityQuorum final : public QuorumSystem {
+ public:
+  explicit WeightedMajorityQuorum(std::vector<std::uint32_t> weights);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return weights_.size(); }
+  [[nodiscard]] std::string name() const override { return "weighted-majority"; }
+  [[nodiscard]] bool is_read_quorum(const std::vector<bool>& acked) const override;
+  [[nodiscard]] bool is_write_quorum(const std::vector<bool>& acked) const override;
+
+  [[nodiscard]] std::uint64_t total_weight() const noexcept { return total_; }
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::uint64_t total_{0};
+};
+
+/// Grid quorum over an r x c arrangement: a quorum is one full row plus one
+/// full column (any two such sets intersect). Per-op contact O(sqrt(n)) —
+/// cheaper than majority but less available under heavy crash rates.
+class GridQuorum final : public QuorumSystem {
+ public:
+  GridQuorum(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return rows_ * cols_; }
+  [[nodiscard]] std::string name() const override { return "grid"; }
+  [[nodiscard]] bool is_read_quorum(const std::vector<bool>& acked) const override;
+  [[nodiscard]] bool is_write_quorum(const std::vector<bool>& acked) const override;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+ private:
+  [[nodiscard]] bool has_row_and_column(const std::vector<bool>& acked) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+/// Agrawal–El Abbadi tree quorum over a complete binary tree laid out in
+/// heap order (process 0 is the root). A set S contains a quorum of the
+/// subtree rooted at v iff
+///     (v in S and (v is a leaf or S covers(left) or S covers(right)))
+///  or (S covers(left) and S covers(right)).
+/// Best case O(log n) contact, degrading gracefully as nodes fail.
+class TreeQuorum final : public QuorumSystem {
+ public:
+  explicit TreeQuorum(std::size_t n);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return n_; }
+  [[nodiscard]] std::string name() const override { return "tree"; }
+  [[nodiscard]] bool is_read_quorum(const std::vector<bool>& acked) const override;
+  [[nodiscard]] bool is_write_quorum(const std::vector<bool>& acked) const override;
+
+ private:
+  [[nodiscard]] bool covers(const std::vector<bool>& acked, std::size_t v) const;
+
+  std::size_t n_;
+};
+
+/// Wheel (star) quorum system: process 0 is the hub; a quorum is either
+/// {hub, any spoke} or {all spokes}. Two-element quorums in the common
+/// case — the cheapest possible — at the price of the hub being a
+/// near-single point of contention and, when it dies, a quorum equal to
+/// everything else. A classic teaching example of the size/availability/
+/// load trade-off space (cf. Maekawa-style systems).
+class WheelQuorum final : public QuorumSystem {
+ public:
+  explicit WheelQuorum(std::size_t n);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return n_; }
+  [[nodiscard]] std::string name() const override { return "wheel"; }
+  [[nodiscard]] bool is_read_quorum(const std::vector<bool>& acked) const override;
+  [[nodiscard]] bool is_write_quorum(const std::vector<bool>& acked) const override;
+
+ private:
+  std::size_t n_;
+};
+
+/// Malkhi–Reiter masking quorum system (Byzantine quorum systems, 1998 —
+/// the Byzantine follow-up to ABD the retrospective highlights): with up to
+/// `f` Byzantine replicas out of n >= 4f+1, quorums of size
+/// ceil((n+2f+1)/2) guarantee any two quorums intersect in >= 2f+1
+/// processes, i.e. >= f+1 correct ones. A client that requires f+1
+/// matching (tag, value) votes before believing a reply can then mask any
+/// f liars (see abd::ClientOptions::byzantine_f).
+class MaskingQuorum final : public QuorumSystem {
+ public:
+  MaskingQuorum(std::size_t n, std::size_t f);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return n_; }
+  [[nodiscard]] std::string name() const override { return "masking"; }
+  [[nodiscard]] bool is_read_quorum(const std::vector<bool>& acked) const override;
+  [[nodiscard]] bool is_write_quorum(const std::vector<bool>& acked) const override;
+
+  [[nodiscard]] std::size_t f() const noexcept { return f_; }
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+
+ private:
+  std::size_t n_;
+  std::size_t f_;
+  std::size_t threshold_;
+};
+
+/// Read-write asymmetric threshold system: read quorum = any `r` processes,
+/// write quorum = any `w` processes, requiring r + w > n (Gifford-style
+/// voting). Lets experiments trade read cost against write cost.
+class ReadWriteThresholdQuorum final : public QuorumSystem {
+ public:
+  ReadWriteThresholdQuorum(std::size_t n, std::size_t read_threshold,
+                           std::size_t write_threshold);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return n_; }
+  [[nodiscard]] std::string name() const override { return "rw-threshold"; }
+  [[nodiscard]] bool is_read_quorum(const std::vector<bool>& acked) const override;
+  [[nodiscard]] bool is_write_quorum(const std::vector<bool>& acked) const override;
+
+  [[nodiscard]] std::size_t read_threshold() const noexcept { return r_; }
+  [[nodiscard]] std::size_t write_threshold() const noexcept { return w_; }
+
+ private:
+  std::size_t n_;
+  std::size_t r_;
+  std::size_t w_;
+};
+
+}  // namespace abdkit::quorum

@@ -1,0 +1,179 @@
+#include "abdkit/quorum/analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace abdkit::quorum {
+
+namespace {
+
+constexpr std::size_t kMaxEnumerationN = 22;
+
+std::vector<bool> subset_to_mask(std::uint64_t bits, std::size_t n) {
+  std::vector<bool> mask(n, false);
+  for (std::size_t i = 0; i < n; ++i) mask[i] = ((bits >> i) & 1U) != 0;
+  return mask;
+}
+
+void require_enumerable(const QuorumSystem& qs, const char* who) {
+  if (qs.n() > kMaxEnumerationN) {
+    throw std::invalid_argument{std::string{who} + ": n too large for enumeration"};
+  }
+}
+
+bool intersection_holds(const QuorumSystem& qs,
+                        bool (QuorumSystem::*first)(const std::vector<bool>&) const,
+                        bool (QuorumSystem::*second)(const std::vector<bool>&) const) {
+  // Monotonicity argument: every `first` quorum meets every `second` quorum
+  // iff no subset S is a `first` quorum while its complement is a `second`
+  // quorum (a disjoint pair could always be grown from such an S).
+  const std::size_t n = qs.n();
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    const std::vector<bool> s = subset_to_mask(bits, n);
+    if (!(qs.*first)(s)) continue;
+    std::vector<bool> complement(n);
+    for (std::size_t i = 0; i < n; ++i) complement[i] = !s[i];
+    if ((qs.*second)(complement)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_write_intersection_holds(const QuorumSystem& qs) {
+  require_enumerable(qs, "read_write_intersection_holds");
+  return intersection_holds(qs, &QuorumSystem::is_read_quorum,
+                            &QuorumSystem::is_write_quorum);
+}
+
+bool write_write_intersection_holds(const QuorumSystem& qs) {
+  require_enumerable(qs, "write_write_intersection_holds");
+  return intersection_holds(qs, &QuorumSystem::is_write_quorum,
+                            &QuorumSystem::is_write_quorum);
+}
+
+std::vector<std::vector<ProcessId>> minimal_quorums(const QuorumSystem& qs, bool read) {
+  require_enumerable(qs, "minimal_quorums");
+  const std::size_t n = qs.n();
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  const auto is_q = [&](const std::vector<bool>& s) {
+    return read ? qs.is_read_quorum(s) : qs.is_write_quorum(s);
+  };
+
+  std::vector<std::vector<ProcessId>> result;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    std::vector<bool> s = subset_to_mask(bits, n);
+    if (!is_q(s)) continue;
+    // Minimal iff dropping any single member breaks the quorum (monotone
+    // predicates make single-element minimality sufficient).
+    bool minimal = true;
+    for (std::size_t i = 0; i < n && minimal; ++i) {
+      if (!s[i]) continue;
+      s[i] = false;
+      if (is_q(s)) minimal = false;
+      s[i] = true;
+    }
+    if (!minimal) continue;
+    std::vector<ProcessId> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s[i]) members.push_back(static_cast<ProcessId>(i));
+    }
+    result.push_back(std::move(members));
+  }
+  return result;
+}
+
+double exact_availability(const QuorumSystem& qs, double p) {
+  require_enumerable(qs, "exact_availability");
+  const std::size_t n = qs.n();
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  double available = 0.0;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    const std::vector<bool> alive = subset_to_mask(bits, n);
+    if (!qs.is_read_quorum(alive)) continue;
+    std::size_t up = 0;
+    for (const bool b : alive) up += b ? 1U : 0U;
+    available += std::pow(1.0 - p, static_cast<double>(up)) *
+                 std::pow(p, static_cast<double>(n - up));
+  }
+  return available;
+}
+
+double estimated_availability(const QuorumSystem& qs, double p, std::size_t trials,
+                              Rng& rng) {
+  if (trials == 0) throw std::invalid_argument{"estimated_availability: zero trials"};
+  std::size_t hits = 0;
+  std::vector<bool> alive(qs.n());
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = !rng.chance(p);
+    if (qs.is_read_quorum(alive)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+std::size_t smallest_read_quorum_size(const QuorumSystem& qs) {
+  std::size_t best = qs.n() + 1;
+  for (const auto& q : minimal_quorums(qs, /*read=*/true)) {
+    best = std::min(best, q.size());
+  }
+  if (best > qs.n()) {
+    throw std::logic_error{"smallest_read_quorum_size: system has no quorum"};
+  }
+  return best;
+}
+
+double uniform_strategy_load(const QuorumSystem& qs) {
+  const auto quorums = minimal_quorums(qs, /*read=*/true);
+  if (quorums.empty()) {
+    throw std::logic_error{"uniform_strategy_load: system has no quorum"};
+  }
+  std::vector<std::size_t> hits(qs.n(), 0);
+  for (const auto& q : quorums) {
+    for (const ProcessId p : q) ++hits[p];
+  }
+  std::size_t busiest = 0;
+  for (const std::size_t h : hits) busiest = std::max(busiest, h);
+  return static_cast<double>(busiest) / static_cast<double>(quorums.size());
+}
+
+namespace {
+
+std::optional<std::vector<ProcessId>> find_quorum_impl(
+    const QuorumSystem& qs, const std::vector<bool>& alive,
+    bool (QuorumSystem::*predicate)(const std::vector<bool>&) const, const char* who) {
+  if (alive.size() != qs.n()) {
+    throw std::invalid_argument{std::string{who} + ": alive vector has wrong size"};
+  }
+  if (!(qs.*predicate)(alive)) return std::nullopt;
+  // Shrink greedily: drop members whose removal keeps the quorum property.
+  // High indices go first — for hierarchical systems (TreeQuorum's heap
+  // layout) this preserves the cheap root-side structure and lands on a
+  // near-smallest quorum rather than just a minimal one.
+  std::vector<bool> members = alive;
+  for (std::size_t i = members.size(); i-- > 0;) {
+    if (!members[i]) continue;
+    members[i] = false;
+    if (!(qs.*predicate)(members)) members[i] = true;
+  }
+  std::vector<ProcessId> result;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i]) result.push_back(static_cast<ProcessId>(i));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<std::vector<ProcessId>> find_read_quorum(const QuorumSystem& qs,
+                                                       const std::vector<bool>& alive) {
+  return find_quorum_impl(qs, alive, &QuorumSystem::is_read_quorum, "find_read_quorum");
+}
+
+std::optional<std::vector<ProcessId>> find_write_quorum(const QuorumSystem& qs,
+                                                        const std::vector<bool>& alive) {
+  return find_quorum_impl(qs, alive, &QuorumSystem::is_write_quorum,
+                          "find_write_quorum");
+}
+
+}  // namespace abdkit::quorum

@@ -1,0 +1,204 @@
+#include "abdkit/quorum/quorum_system.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace abdkit::quorum {
+
+namespace {
+
+std::size_t count_true(const std::vector<bool>& acked) {
+  std::size_t c = 0;
+  for (const bool b : acked) c += b ? 1U : 0U;
+  return c;
+}
+
+void check_size(const std::vector<bool>& acked, std::size_t n, const char* who) {
+  if (acked.size() != n) {
+    throw std::invalid_argument{std::string{who} + ": acked vector has wrong size"};
+  }
+}
+
+}  // namespace
+
+// ---- MajorityQuorum --------------------------------------------------------
+
+MajorityQuorum::MajorityQuorum(std::size_t n) : n_{n} {
+  if (n == 0) throw std::invalid_argument{"MajorityQuorum: n must be positive"};
+}
+
+bool MajorityQuorum::is_read_quorum(const std::vector<bool>& acked) const {
+  check_size(acked, n_, "MajorityQuorum");
+  return count_true(acked) >= threshold();
+}
+
+bool MajorityQuorum::is_write_quorum(const std::vector<bool>& acked) const {
+  return is_read_quorum(acked);
+}
+
+// ---- WeightedMajorityQuorum ------------------------------------------------
+
+WeightedMajorityQuorum::WeightedMajorityQuorum(std::vector<std::uint32_t> weights)
+    : weights_{std::move(weights)} {
+  if (weights_.empty()) {
+    throw std::invalid_argument{"WeightedMajorityQuorum: empty weights"};
+  }
+  total_ = std::accumulate(weights_.begin(), weights_.end(), std::uint64_t{0});
+  if (total_ == 0) {
+    throw std::invalid_argument{"WeightedMajorityQuorum: total weight is zero"};
+  }
+}
+
+bool WeightedMajorityQuorum::is_read_quorum(const std::vector<bool>& acked) const {
+  check_size(acked, weights_.size(), "WeightedMajorityQuorum");
+  std::uint64_t got = 0;
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    if (acked[i]) got += weights_[i];
+  }
+  return 2 * got > total_;
+}
+
+bool WeightedMajorityQuorum::is_write_quorum(const std::vector<bool>& acked) const {
+  return is_read_quorum(acked);
+}
+
+// ---- GridQuorum -------------------------------------------------------------
+
+GridQuorum::GridQuorum(std::size_t rows, std::size_t cols) : rows_{rows}, cols_{cols} {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument{"GridQuorum: rows and cols must be positive"};
+  }
+}
+
+bool GridQuorum::has_row_and_column(const std::vector<bool>& acked) const {
+  check_size(acked, n(), "GridQuorum");
+  bool full_row = false;
+  for (std::size_t r = 0; r < rows_ && !full_row; ++r) {
+    bool all = true;
+    for (std::size_t c = 0; c < cols_; ++c) all = all && acked[r * cols_ + c];
+    full_row = all;
+  }
+  if (!full_row) return false;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    bool all = true;
+    for (std::size_t r = 0; r < rows_; ++r) all = all && acked[r * cols_ + c];
+    if (all) return true;
+  }
+  return false;
+}
+
+bool GridQuorum::is_read_quorum(const std::vector<bool>& acked) const {
+  return has_row_and_column(acked);
+}
+
+bool GridQuorum::is_write_quorum(const std::vector<bool>& acked) const {
+  return has_row_and_column(acked);
+}
+
+// ---- TreeQuorum --------------------------------------------------------------
+
+TreeQuorum::TreeQuorum(std::size_t n) : n_{n} {
+  if (n == 0) throw std::invalid_argument{"TreeQuorum: n must be positive"};
+}
+
+bool TreeQuorum::covers(const std::vector<bool>& acked, std::size_t v) const {
+  if (v >= n_) return false;  // absent subtree cannot be covered
+  const std::size_t left = 2 * v + 1;
+  const std::size_t right = 2 * v + 2;
+  const bool is_leaf = left >= n_;
+  if (acked[v]) {
+    if (is_leaf) return true;
+    if (covers(acked, left) || covers(acked, right)) return true;
+  }
+  if (is_leaf) return false;
+  // Replace a missing node by quorums of both children; a child that does
+  // not exist in the (possibly non-full) tree cannot substitute.
+  return covers(acked, left) && right < n_ && covers(acked, right);
+}
+
+bool TreeQuorum::is_read_quorum(const std::vector<bool>& acked) const {
+  check_size(acked, n_, "TreeQuorum");
+  return covers(acked, 0);
+}
+
+bool TreeQuorum::is_write_quorum(const std::vector<bool>& acked) const {
+  return is_read_quorum(acked);
+}
+
+// ---- WheelQuorum ----------------------------------------------------------------
+
+WheelQuorum::WheelQuorum(std::size_t n) : n_{n} {
+  if (n < 2) throw std::invalid_argument{"WheelQuorum: need a hub and a spoke"};
+}
+
+bool WheelQuorum::is_read_quorum(const std::vector<bool>& acked) const {
+  check_size(acked, n_, "WheelQuorum");
+  if (acked[0]) {
+    // Hub plus any spoke.
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (acked[i]) return true;
+    }
+    return false;
+  }
+  // No hub: every spoke.
+  for (std::size_t i = 1; i < n_; ++i) {
+    if (!acked[i]) return false;
+  }
+  return true;
+}
+
+bool WheelQuorum::is_write_quorum(const std::vector<bool>& acked) const {
+  return is_read_quorum(acked);
+}
+
+// ---- MaskingQuorum ------------------------------------------------------------
+
+MaskingQuorum::MaskingQuorum(std::size_t n, std::size_t f)
+    : n_{n}, f_{f}, threshold_{(n + 2 * f + 1 + 1) / 2} {
+  if (n == 0) throw std::invalid_argument{"MaskingQuorum: n must be positive"};
+  if (n < 4 * f + 1) {
+    // Liveness under f crashes AND 2f+1 intersection both require n >= 4f+1.
+    throw std::invalid_argument{"MaskingQuorum: need n >= 4f+1"};
+  }
+}
+
+bool MaskingQuorum::is_read_quorum(const std::vector<bool>& acked) const {
+  check_size(acked, n_, "MaskingQuorum");
+  return count_true(acked) >= threshold_;
+}
+
+bool MaskingQuorum::is_write_quorum(const std::vector<bool>& acked) const {
+  return is_read_quorum(acked);
+}
+
+// ---- ReadWriteThresholdQuorum -------------------------------------------------
+
+ReadWriteThresholdQuorum::ReadWriteThresholdQuorum(std::size_t n,
+                                                   std::size_t read_threshold,
+                                                   std::size_t write_threshold)
+    : n_{n}, r_{read_threshold}, w_{write_threshold} {
+  if (n == 0) throw std::invalid_argument{"ReadWriteThresholdQuorum: n must be positive"};
+  if (r_ == 0 || w_ == 0 || r_ > n || w_ > n) {
+    throw std::invalid_argument{"ReadWriteThresholdQuorum: thresholds out of range"};
+  }
+  if (r_ + w_ <= n) {
+    // Gifford's voting condition: read/write quorums must intersect.
+    throw std::invalid_argument{"ReadWriteThresholdQuorum: need r + w > n"};
+  }
+  if (2 * w_ <= n) {
+    // Write/write intersection: needed for MWMR timestamp uniqueness.
+    throw std::invalid_argument{"ReadWriteThresholdQuorum: need 2w > n"};
+  }
+}
+
+bool ReadWriteThresholdQuorum::is_read_quorum(const std::vector<bool>& acked) const {
+  check_size(acked, n_, "ReadWriteThresholdQuorum");
+  return count_true(acked) >= r_;
+}
+
+bool ReadWriteThresholdQuorum::is_write_quorum(const std::vector<bool>& acked) const {
+  check_size(acked, n_, "ReadWriteThresholdQuorum");
+  return count_true(acked) >= w_;
+}
+
+}  // namespace abdkit::quorum

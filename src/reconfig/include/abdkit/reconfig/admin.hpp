@@ -1,0 +1,86 @@
+// The reconfiguration administrator: drives Prepare -> Transfer -> Commit.
+//
+// One administrator at a time (sequential reconfigurations), as in the
+// single-reconfigurer variants of RAMBO. The admin:
+//   1. sends Prepare(new config) to the old members and waits for a
+//      majority of them to fence, collecting the union of stored objects;
+//   2. for every known object, reads (tag, value) from an old-majority and
+//      writes it to a new-majority (fence bypassed);
+//   3. broadcasts Commit to the whole universe, installing the new
+//      configuration and lifting the fence.
+//
+// Safety rests on the fence: once an old-majority is fenced, no client
+// phase of the old epoch can complete, so the transfer's old-majority read
+// observes every operation that ever completed in the old epoch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "abdkit/common/transport.hpp"
+#include "abdkit/reconfig/messages.hpp"
+
+namespace abdkit::reconfig {
+
+struct ReconfigResult {
+  Config installed;
+  std::size_t objects_transferred{0};
+  TimePoint started{};
+  TimePoint finished{};
+};
+
+using ReconfigCallback = std::function<void(const ReconfigResult&)>;
+
+class Admin {
+ public:
+  explicit Admin(Config initial);
+
+  Admin(const Admin&) = delete;
+  Admin& operator=(const Admin&) = delete;
+
+  void attach(Context& ctx);
+  bool handle(Context& ctx, ProcessId from, const Payload& payload);
+
+  /// Install `new_members` as epoch current+1. One reconfiguration at a
+  /// time; throws if one is already running.
+  void reconfigure(std::vector<ProcessId> new_members, ReconfigCallback done);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] bool busy() const noexcept { return running_ != nullptr; }
+
+ private:
+  enum class Phase { kPrepare, kTransferRead, kTransferWrite, kCommitted };
+
+  struct Running {
+    Config target;
+    Phase phase{Phase::kPrepare};
+    std::vector<bool> acked;       // universe-indexed, per sub-phase
+    std::size_t old_member_acks{0};
+    std::size_t new_member_acks{0};
+    std::set<ObjectId> objects;    // union from PrepareAcks
+    std::vector<ObjectId> transfer_queue;
+    std::size_t transfer_index{0};
+    Tag transfer_tag{abd::kInitialTag};
+    Value transfer_value{};
+    RoundId round{0};
+    ReconfigCallback done;
+    TimePoint started{};
+    std::size_t transferred{0};
+  };
+
+  void begin_transfer_read(Context& ctx);
+  void begin_transfer_write(Context& ctx);
+  void commit(Context& ctx);
+  [[nodiscard]] static bool majority_of(const std::vector<ProcessId>& members,
+                                        std::size_t acks);
+
+  Config config_;
+  Context* ctx_{nullptr};
+  std::unique_ptr<Running> running_;
+  RoundId next_round_{0x10000001};  // distinct space from the client's rounds
+};
+
+}  // namespace abdkit::reconfig

@@ -1,0 +1,97 @@
+// Client of the reconfigurable register service.
+//
+// Same two-phase reads and writes as ABD (writes always discover the tag
+// first, MWMR-style), but every phase carries the client's current epoch
+// and contacts only that configuration's members. Nacks re-route: a newer
+// configuration is adopted and the phase restarts immediately; a fence
+// ("transition in progress") schedules a retry after a short delay.
+//
+// Liveness assumptions: reconfigurations are finite, and at least one
+// member of the client's last-known configuration survives long enough to
+// point it at the next one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "abdkit/common/transport.hpp"
+#include "abdkit/reconfig/messages.hpp"
+
+namespace abdkit::reconfig {
+
+struct OpResult {
+  Value value{};
+  Tag tag{};
+  TimePoint invoked{};
+  TimePoint responded{};
+  std::uint32_t phases{0};    ///< phase dispatches, including nack restarts
+  std::uint32_t restarts{0};  ///< phases redone due to nacks
+  Epoch epoch{0};             ///< epoch the op completed in
+};
+
+using OpCallback = std::function<void(const OpResult&)>;
+
+class Client {
+ public:
+  /// `initial` must match the replicas' initial configuration. The retry
+  /// delay paces fence retries.
+  Client(Config initial, Duration retry_delay);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void attach(Context& ctx);
+  bool handle(Context& ctx, ProcessId from, const Payload& payload);
+
+  void read(ObjectId object, OpCallback done);
+  void write(ObjectId object, Value value, OpCallback done);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t pending_ops() const noexcept { return pending_ops_; }
+
+ private:
+  enum class Stage {
+    kReadQuery,   ///< read: collecting (tag, value)
+    kTagQuery,    ///< write: discovering the max tag
+    kInstall,     ///< final phase of both: installing (tag, value)
+  };
+
+  struct PendingOp {
+    bool is_read{true};
+    ObjectId object{0};
+    Value write_value{};
+    Stage stage{Stage::kReadQuery};
+    /// kInstall's payload (write-back pair for reads; fresh tag for writes).
+    Tag install_tag{abd::kInitialTag};
+    Value install_value{};
+    OpCallback done;
+    TimePoint invoked{};
+    std::uint32_t phases{0};
+    std::uint32_t restarts{0};
+  };
+
+  struct Round {
+    std::shared_ptr<PendingOp> op;
+    std::vector<bool> acked;  // universe-indexed
+    std::size_t member_acks{0};
+    Tag best_tag{abd::kInitialTag};
+    Value best_value{};
+  };
+
+  void dispatch(std::shared_ptr<PendingOp> op);
+  void restart_after(std::shared_ptr<PendingOp> op, Duration delay);
+  [[nodiscard]] bool member_quorum(const Round& round) const;
+  void advance(std::shared_ptr<PendingOp> op, Tag best_tag, Value best_value);
+  void finish(const std::shared_ptr<PendingOp>& op);
+
+  Config config_;
+  Duration retry_delay_;
+  Context* ctx_{nullptr};
+  RoundId next_round_{1};
+  std::unordered_map<RoundId, Round> rounds_;
+  std::size_t pending_ops_{0};
+};
+
+}  // namespace abdkit::reconfig

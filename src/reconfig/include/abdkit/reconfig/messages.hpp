@@ -1,0 +1,265 @@
+// Wire messages of the reconfigurable register protocol (tag range 0x0700).
+//
+// Client phases mirror ABD but carry the epoch they believe current;
+// replicas at a different epoch (or fenced mid-transition) answer with a
+// Nack carrying the configuration the client should adopt. The
+// administrator's reconfiguration runs Prepare (fence the old epoch),
+// Transfer (state hand-off, bypasses the fence), and Commit (install the
+// new configuration).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/abd/tag.hpp"
+#include "abdkit/common/message.hpp"
+
+namespace abdkit::reconfig {
+
+using abd::ObjectId;
+using abd::RoundId;
+using abd::Tag;
+
+/// Monotone configuration number; epoch 0 is the initial configuration.
+using Epoch = std::uint64_t;
+
+/// A configuration: epoch plus the member set (subset of the process
+/// universe). Quorums are majorities of the member set.
+struct Config {
+  Epoch epoch{0};
+  std::vector<ProcessId> members;
+
+  friend bool operator==(const Config&, const Config&) = default;
+};
+
+[[nodiscard]] inline std::size_t config_wire_size(const Config& config) noexcept {
+  return 8 + 4 * config.members.size();
+}
+
+namespace tags {
+inline constexpr PayloadTag kQuery = 0x0701;
+inline constexpr PayloadTag kQueryReply = 0x0702;
+inline constexpr PayloadTag kUpdate = 0x0703;
+inline constexpr PayloadTag kUpdateAck = 0x0704;
+inline constexpr PayloadTag kNack = 0x0705;
+inline constexpr PayloadTag kPrepare = 0x0706;
+inline constexpr PayloadTag kPrepareAck = 0x0707;
+inline constexpr PayloadTag kTransferRead = 0x0708;
+inline constexpr PayloadTag kTransferReply = 0x0709;
+inline constexpr PayloadTag kTransferWrite = 0x070a;
+inline constexpr PayloadTag kTransferAck = 0x070b;
+inline constexpr PayloadTag kCommit = 0x070c;
+}  // namespace tags
+
+/// Client phase 1: read (tag, value) — also used for tag discovery.
+class Query final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kQuery;
+  Query(RoundId round_in, ObjectId object_in, Epoch epoch_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in}, epoch{epoch_in} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + abd::varint_size(object) + abd::varint_size(epoch);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  Epoch epoch;
+};
+
+class QueryReply final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kQueryReply;
+  QueryReply(RoundId round_in, ObjectId object_in, Tag tag_in, Value value_in) noexcept
+      : Payload{kTag},
+        round{round_in},
+        object{object_in},
+        value_tag{tag_in},
+        value{std::move(value_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + abd::varint_size(object) +
+           abd::wire_size(value_tag) + abd::wire_size(value);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  Tag value_tag;
+  Value value;
+};
+
+/// Client phase 2: install (tag, value); also the read's write-back.
+class Update final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kUpdate;
+  Update(RoundId round_in, ObjectId object_in, Tag tag_in, Value value_in,
+         Epoch epoch_in) noexcept
+      : Payload{kTag},
+        round{round_in},
+        object{object_in},
+        value_tag{tag_in},
+        value{std::move(value_in)},
+        epoch{epoch_in} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + abd::varint_size(object) +
+           abd::wire_size(value_tag) + abd::wire_size(value) + abd::varint_size(epoch);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  Tag value_tag;
+  Value value;
+  Epoch epoch;
+};
+
+class UpdateAck final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kUpdateAck;
+  UpdateAck(RoundId round_in, ObjectId object_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + abd::varint_size(object);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+};
+
+/// "Your epoch is wrong or I am fenced." Carries the replica's current
+/// configuration so the client can re-route, and whether a transition is in
+/// flight (in which case the client should retry after a delay).
+class Nack final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kNack;
+  Nack(RoundId round_in, Config config_in, bool in_transition_in)
+      : Payload{kTag},
+        round{round_in},
+        config{std::move(config_in)},
+        in_transition{in_transition_in} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + config_wire_size(config) + 1;
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  Config config;
+  bool in_transition;
+};
+
+/// Admin -> old members: fence epoch `config.epoch - 1` and report the
+/// objects you store.
+class Prepare final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kPrepare;
+  explicit Prepare(Config config_in) : Payload{kTag}, config{std::move(config_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return config_wire_size(config);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  Config config;  // the NEW configuration being prepared
+};
+
+class PrepareAck final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kPrepareAck;
+  PrepareAck(Epoch new_epoch_in, std::vector<ObjectId> objects_in)
+      : Payload{kTag}, new_epoch{new_epoch_in}, objects{std::move(objects_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(new_epoch) + 8 * objects.size();
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  Epoch new_epoch;
+  std::vector<ObjectId> objects;
+};
+
+/// Admin state transfer, immune to the fence.
+class TransferRead final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kTransferRead;
+  TransferRead(RoundId round_in, ObjectId object_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + abd::varint_size(object);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+};
+
+class TransferReply final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kTransferReply;
+  TransferReply(RoundId round_in, ObjectId object_in, Tag tag_in, Value value_in) noexcept
+      : Payload{kTag},
+        round{round_in},
+        object{object_in},
+        value_tag{tag_in},
+        value{std::move(value_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + abd::varint_size(object) +
+           abd::wire_size(value_tag) + abd::wire_size(value);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  Tag value_tag;
+  Value value;
+};
+
+class TransferWrite final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kTransferWrite;
+  TransferWrite(RoundId round_in, ObjectId object_in, Tag tag_in, Value value_in) noexcept
+      : Payload{kTag},
+        round{round_in},
+        object{object_in},
+        value_tag{tag_in},
+        value{std::move(value_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + abd::varint_size(object) +
+           abd::wire_size(value_tag) + abd::wire_size(value);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+  Tag value_tag;
+  Value value;
+};
+
+class TransferAck final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kTransferAck;
+  TransferAck(RoundId round_in, ObjectId object_in) noexcept
+      : Payload{kTag}, round{round_in}, object{object_in} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + abd::varint_size(object);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  RoundId round;
+  ObjectId object;
+};
+
+/// Admin -> everyone: install the new configuration (unfences).
+class Commit final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kCommit;
+  explicit Commit(Config config_in) : Payload{kTag}, config{std::move(config_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return config_wire_size(config);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  Config config;
+};
+
+}  // namespace abdkit::reconfig

@@ -1,0 +1,60 @@
+// Composite processor of the reconfigurable register service: replica +
+// client + (dormant unless used) administrator.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "abdkit/common/transport.hpp"
+#include "abdkit/reconfig/admin.hpp"
+#include "abdkit/reconfig/client.hpp"
+#include "abdkit/reconfig/replica.hpp"
+
+namespace abdkit::reconfig {
+
+struct NodeOptions {
+  Config initial;
+  Duration retry_delay{std::chrono::milliseconds{2}};
+};
+
+class Node final : public Actor {
+ public:
+  explicit Node(const NodeOptions& options)
+      : replica_{options.initial},
+        client_{options.initial, options.retry_delay},
+        admin_{options.initial} {}
+
+  void on_start(Context& ctx) override {
+    ctx_ = &ctx;
+    client_.attach(ctx);
+    admin_.attach(ctx);
+  }
+
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override {
+    // Commit must reach the replica, the co-located client, AND the admin,
+    // so the client and admin peek first (they never consume a Commit).
+    if (client_.handle(ctx, from, payload)) return;
+    if (admin_.handle(ctx, from, payload)) return;
+    if (replica_.handle(ctx, from, payload)) return;
+  }
+
+  void read(ObjectId object, OpCallback done) { client_.read(object, std::move(done)); }
+  void write(ObjectId object, Value value, OpCallback done) {
+    client_.write(object, std::move(value), std::move(done));
+  }
+  void reconfigure(std::vector<ProcessId> members, ReconfigCallback done) {
+    admin_.reconfigure(std::move(members), std::move(done));
+  }
+
+  [[nodiscard]] Replica& replica() noexcept { return replica_; }
+  [[nodiscard]] Client& client() noexcept { return client_; }
+  [[nodiscard]] Admin& admin() noexcept { return admin_; }
+
+ private:
+  Replica replica_;
+  Client client_;
+  Admin admin_;
+  Context* ctx_{nullptr};
+};
+
+}  // namespace abdkit::reconfig

@@ -1,0 +1,58 @@
+// Replica of the reconfigurable register service.
+//
+// On top of the plain ABD replica behaviour, it tracks the current
+// configuration and a fence:
+//   * client phases carrying a stale epoch are Nacked with the current
+//     configuration (re-routing the client);
+//   * after Prepare for epoch e+1, phases of epoch e are Nacked with
+//     in_transition=true (the fence) until Commit arrives — this is what
+//     guarantees no client operation completes concurrently with the state
+//     transfer, making the transfer's quorum read see every completed op;
+//   * Transfer requests from the administrator bypass the fence.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "abdkit/common/transport.hpp"
+#include "abdkit/reconfig/messages.hpp"
+
+namespace abdkit::reconfig {
+
+struct Slot {
+  Tag tag{abd::kInitialTag};
+  Value value{};
+};
+
+class Replica {
+ public:
+  /// Every replica starts in `initial` (epoch 0).
+  explicit Replica(Config initial);
+
+  bool handle(Context& ctx, ProcessId from, const Payload& payload);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] bool fenced() const noexcept { return fenced_; }
+  /// Client phases refused because of the fence (transition in progress).
+  [[nodiscard]] std::uint64_t fence_rejections() const noexcept {
+    return fence_rejections_;
+  }
+  /// Client phases refused because their epoch was stale.
+  [[nodiscard]] std::uint64_t epoch_rejections() const noexcept {
+    return epoch_rejections_;
+  }
+  [[nodiscard]] const Slot& slot(ObjectId object) const;
+
+ private:
+  /// Returns true (and sends the Nack) if the phase must be refused.
+  bool refuse_if_needed(Context& ctx, ProcessId from, RoundId round, Epoch epoch);
+
+  Config config_;
+  Config pending_;  // meaningful while fenced_
+  bool fenced_{false};
+  std::unordered_map<ObjectId, Slot> slots_;
+  std::uint64_t fence_rejections_{0};
+  std::uint64_t epoch_rejections_{0};
+};
+
+}  // namespace abdkit::reconfig

@@ -1,0 +1,151 @@
+#include "abdkit/reconfig/admin.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::reconfig {
+
+Admin::Admin(Config initial) : config_{std::move(initial)} {
+  if (config_.members.empty()) {
+    throw std::invalid_argument{"reconfig::Admin: empty initial membership"};
+  }
+}
+
+void Admin::attach(Context& ctx) {
+  if (ctx_ != nullptr) throw std::logic_error{"reconfig::Admin: attach called twice"};
+  ctx_ = &ctx;
+}
+
+bool Admin::majority_of(const std::vector<ProcessId>& members, std::size_t acks) {
+  return 2 * acks > members.size();
+}
+
+void Admin::reconfigure(std::vector<ProcessId> new_members, ReconfigCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"reconfig::Admin: reconfigure before attach"};
+  if (running_ != nullptr) throw std::logic_error{"reconfig::Admin: reconfiguration running"};
+  if (new_members.empty()) {
+    throw std::invalid_argument{"reconfig::Admin: empty new membership"};
+  }
+  for (const ProcessId p : new_members) {
+    if (p >= ctx_->world_size()) {
+      throw std::invalid_argument{"reconfig::Admin: member outside the universe"};
+    }
+  }
+
+  running_ = std::make_unique<Running>();
+  running_->target = Config{config_.epoch + 1, std::move(new_members)};
+  running_->phase = Phase::kPrepare;
+  running_->acked.assign(ctx_->world_size(), false);
+  running_->done = std::move(done);
+  running_->started = ctx_->now();
+
+  const PayloadPtr prepare = make_payload<Prepare>(running_->target);
+  for (const ProcessId member : config_.members) ctx_->send(member, prepare);
+}
+
+void Admin::begin_transfer_read(Context& ctx) {
+  Running& run = *running_;
+  if (run.transfer_index >= run.transfer_queue.size()) {
+    commit(ctx);
+    return;
+  }
+  run.phase = Phase::kTransferRead;
+  run.acked.assign(ctx.world_size(), false);
+  run.old_member_acks = 0;
+  run.transfer_tag = abd::kInitialTag;
+  run.transfer_value = Value{};
+  run.round = next_round_++;
+  const ObjectId object = run.transfer_queue[run.transfer_index];
+  const PayloadPtr read = make_payload<TransferRead>(run.round, object);
+  for (const ProcessId member : config_.members) ctx.send(member, read);
+}
+
+void Admin::begin_transfer_write(Context& ctx) {
+  Running& run = *running_;
+  run.phase = Phase::kTransferWrite;
+  run.acked.assign(ctx.world_size(), false);
+  run.new_member_acks = 0;
+  run.round = next_round_++;
+  const ObjectId object = run.transfer_queue[run.transfer_index];
+  const PayloadPtr write =
+      make_payload<TransferWrite>(run.round, object, run.transfer_tag, run.transfer_value);
+  for (const ProcessId member : run.target.members) ctx.send(member, write);
+}
+
+void Admin::commit(Context& ctx) {
+  Running& run = *running_;
+  run.phase = Phase::kCommitted;
+  // Everyone learns the new configuration, including retired members (so
+  // they can re-route stale clients) and processes outside both configs.
+  ctx.broadcast(make_payload<Commit>(run.target));
+  config_ = run.target;
+
+  ReconfigResult result;
+  result.installed = config_;
+  result.objects_transferred = run.transferred;
+  result.started = run.started;
+  result.finished = ctx.now();
+  ReconfigCallback done = std::move(run.done);
+  running_.reset();
+  if (done) done(result);
+}
+
+bool Admin::handle(Context& ctx, ProcessId from, const Payload& payload) {
+  if (const auto* commit = payload_cast<Commit>(payload)) {
+    // Track configurations installed by other administrators, so a later
+    // reconfigure() from this node targets the right epoch. Never consumed
+    // (the replica and client of this process need the Commit too), and
+    // ignored mid-own-reconfiguration (our commit path updates config_).
+    if (running_ == nullptr && commit->config.epoch > config_.epoch) {
+      config_ = commit->config;
+    }
+    return false;
+  }
+  if (const auto* ack = payload_cast<PrepareAck>(payload)) {
+    if (running_ == nullptr || running_->phase != Phase::kPrepare) return true;
+    Running& run = *running_;
+    if (ack->new_epoch != run.target.epoch) return true;
+    if (from >= run.acked.size() || run.acked[from]) return true;
+    run.acked[from] = true;
+    ++run.old_member_acks;
+    run.objects.insert(ack->objects.begin(), ack->objects.end());
+    if (!majority_of(config_.members, run.old_member_acks)) return true;
+    // Old majority fenced: no old-epoch operation can complete any more.
+    run.transfer_queue.assign(run.objects.begin(), run.objects.end());
+    run.transfer_index = 0;
+    begin_transfer_read(ctx);
+    return true;
+  }
+  if (const auto* reply = payload_cast<TransferReply>(payload)) {
+    if (running_ == nullptr || running_->phase != Phase::kTransferRead) return true;
+    Running& run = *running_;
+    if (reply->round != run.round) return true;
+    if (from >= run.acked.size() || run.acked[from]) return true;
+    run.acked[from] = true;
+    ++run.old_member_acks;
+    if (reply->value_tag > run.transfer_tag) {
+      run.transfer_tag = reply->value_tag;
+      run.transfer_value = reply->value;
+    }
+    if (!majority_of(config_.members, run.old_member_acks)) return true;
+    begin_transfer_write(ctx);
+    return true;
+  }
+  if (const auto* ack = payload_cast<TransferAck>(payload)) {
+    if (running_ == nullptr || running_->phase != Phase::kTransferWrite) return true;
+    Running& run = *running_;
+    if (ack->round != run.round) return true;
+    if (from >= run.acked.size() || run.acked[from]) return true;
+    run.acked[from] = true;
+    ++run.new_member_acks;
+    if (!majority_of(run.target.members, run.new_member_acks)) return true;
+    ++run.transferred;
+    ++run.transfer_index;
+    begin_transfer_read(ctx);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace abdkit::reconfig

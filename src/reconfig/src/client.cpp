@@ -1,0 +1,177 @@
+#include "abdkit/reconfig/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::reconfig {
+
+Client::Client(Config initial, Duration retry_delay)
+    : config_{std::move(initial)}, retry_delay_{retry_delay} {
+  if (config_.members.empty()) {
+    throw std::invalid_argument{"reconfig::Client: empty initial membership"};
+  }
+  if (retry_delay_ <= Duration::zero()) {
+    throw std::invalid_argument{"reconfig::Client: retry delay must be positive"};
+  }
+}
+
+void Client::attach(Context& ctx) {
+  if (ctx_ != nullptr) throw std::logic_error{"reconfig::Client: attach called twice"};
+  ctx_ = &ctx;
+}
+
+void Client::read(ObjectId object, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"reconfig::Client: read before attach"};
+  auto op = std::make_shared<PendingOp>();
+  op->is_read = true;
+  op->object = object;
+  op->stage = Stage::kReadQuery;
+  op->done = std::move(done);
+  op->invoked = ctx_->now();
+  ++pending_ops_;
+  dispatch(std::move(op));
+}
+
+void Client::write(ObjectId object, Value value, OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"reconfig::Client: write before attach"};
+  auto op = std::make_shared<PendingOp>();
+  op->is_read = false;
+  op->object = object;
+  op->write_value = std::move(value);
+  op->stage = Stage::kTagQuery;
+  op->done = std::move(done);
+  op->invoked = ctx_->now();
+  ++pending_ops_;
+  dispatch(std::move(op));
+}
+
+void Client::dispatch(std::shared_ptr<PendingOp> op) {
+  const RoundId id = next_round_++;
+  Round round;
+  round.op = op;
+  round.acked.assign(ctx_->world_size(), false);
+
+  PayloadPtr request;
+  switch (op->stage) {
+    case Stage::kReadQuery:
+    case Stage::kTagQuery:
+      request = make_payload<Query>(id, op->object, config_.epoch);
+      break;
+    case Stage::kInstall:
+      request = make_payload<Update>(id, op->object, op->install_tag, op->install_value,
+                                     config_.epoch);
+      break;
+  }
+  op->phases += 1;
+  rounds_.emplace(id, std::move(round));
+  for (const ProcessId member : config_.members) ctx_->send(member, request);
+}
+
+void Client::restart_after(std::shared_ptr<PendingOp> op, Duration delay) {
+  op->restarts += 1;
+  ctx_->set_timer(delay, [this, op = std::move(op)] { dispatch(op); });
+}
+
+bool Client::member_quorum(const Round& round) const {
+  return 2 * round.member_acks > config_.members.size();
+}
+
+void Client::advance(std::shared_ptr<PendingOp> op, Tag best_tag, Value best_value) {
+  switch (op->stage) {
+    case Stage::kReadQuery:
+      // Write back what we are about to return.
+      op->stage = Stage::kInstall;
+      op->install_tag = best_tag;
+      op->install_value = std::move(best_value);
+      dispatch(std::move(op));
+      return;
+    case Stage::kTagQuery:
+      op->stage = Stage::kInstall;
+      op->install_tag = Tag{best_tag.seq + 1, ctx_->self()};
+      op->install_value = op->write_value;
+      dispatch(std::move(op));
+      return;
+    case Stage::kInstall:
+      finish(op);
+      return;
+  }
+}
+
+void Client::finish(const std::shared_ptr<PendingOp>& op) {
+  OpResult result;
+  result.value = op->install_value;
+  result.tag = op->install_tag;
+  result.invoked = op->invoked;
+  result.responded = ctx_->now();
+  result.phases = op->phases;
+  result.restarts = op->restarts;
+  result.epoch = config_.epoch;
+  --pending_ops_;
+  if (op->done) op->done(result);
+}
+
+bool Client::handle(Context&, ProcessId from, const Payload& payload) {
+  if (const auto* reply = payload_cast<QueryReply>(payload)) {
+    const auto it = rounds_.find(reply->round);
+    if (it == rounds_.end()) return true;
+    Round& round = it->second;
+    if (from >= round.acked.size() || round.acked[from]) return true;
+    round.acked[from] = true;
+    // Only current members count toward the quorum (a nacking ex-member
+    // never sends QueryReply, so membership drift is handled via Nack).
+    if (std::find(config_.members.begin(), config_.members.end(), from) !=
+        config_.members.end()) {
+      ++round.member_acks;
+    }
+    if (reply->value_tag > round.best_tag) {
+      round.best_tag = reply->value_tag;
+      round.best_value = reply->value;
+    }
+    if (!member_quorum(round)) return true;
+    std::shared_ptr<PendingOp> op = round.op;
+    const Tag tag = round.best_tag;
+    Value value = round.best_value;
+    rounds_.erase(it);
+    advance(std::move(op), tag, std::move(value));
+    return true;
+  }
+  if (const auto* ack = payload_cast<UpdateAck>(payload)) {
+    const auto it = rounds_.find(ack->round);
+    if (it == rounds_.end()) return true;
+    Round& round = it->second;
+    if (from >= round.acked.size() || round.acked[from]) return true;
+    round.acked[from] = true;
+    if (std::find(config_.members.begin(), config_.members.end(), from) !=
+        config_.members.end()) {
+      ++round.member_acks;
+    }
+    if (!member_quorum(round)) return true;
+    std::shared_ptr<PendingOp> op = round.op;
+    rounds_.erase(it);
+    advance(std::move(op), abd::kInitialTag, Value{});
+    return true;
+  }
+  if (const auto* commit = payload_cast<Commit>(payload)) {
+    // Commits are broadcast to the whole universe; adopting here keeps a
+    // co-located client routable even if every member of its previous
+    // configuration later disappears.
+    if (commit->config.epoch > config_.epoch) config_ = commit->config;
+    // Not consumed: the replica of this process also needs to see it.
+    return false;
+  }
+  if (const auto* nack = payload_cast<Nack>(payload)) {
+    const auto it = rounds_.find(nack->round);
+    if (it == rounds_.end()) return true;
+    std::shared_ptr<PendingOp> op = it->second.op;
+    rounds_.erase(it);
+    if (nack->config.epoch > config_.epoch) config_ = nack->config;
+    // Fenced: pause and retry. Re-routed: go again immediately (with the
+    // adopted configuration).
+    restart_after(std::move(op), nack->in_transition ? retry_delay_ : Duration{1});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace abdkit::reconfig

@@ -1,0 +1,94 @@
+#include "abdkit/reconfig/messages.hpp"
+
+#include <sstream>
+
+namespace abdkit::reconfig {
+
+namespace {
+
+std::string config_str(const Config& config) {
+  std::ostringstream os;
+  os << "e" << config.epoch << "{";
+  for (std::size_t i = 0; i < config.members.size(); ++i) {
+    os << (i ? "," : "") << config.members[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string Query::debug() const {
+  std::ostringstream os;
+  os << "rc.Query{r=" << round << " obj=" << object << " e=" << epoch << "}";
+  return os.str();
+}
+
+std::string QueryReply::debug() const {
+  std::ostringstream os;
+  os << "rc.QueryReply{r=" << round << " obj=" << object << " tag="
+     << abd::to_string(value_tag) << "}";
+  return os.str();
+}
+
+std::string Update::debug() const {
+  std::ostringstream os;
+  os << "rc.Update{r=" << round << " obj=" << object << " tag="
+     << abd::to_string(value_tag) << " e=" << epoch << "}";
+  return os.str();
+}
+
+std::string UpdateAck::debug() const {
+  std::ostringstream os;
+  os << "rc.UpdateAck{r=" << round << " obj=" << object << "}";
+  return os.str();
+}
+
+std::string Nack::debug() const {
+  std::ostringstream os;
+  os << "rc.Nack{r=" << round << " cfg=" << config_str(config)
+     << (in_transition ? " fenced" : "") << "}";
+  return os.str();
+}
+
+std::string Prepare::debug() const {
+  return "rc.Prepare{" + config_str(config) + "}";
+}
+
+std::string PrepareAck::debug() const {
+  std::ostringstream os;
+  os << "rc.PrepareAck{e=" << new_epoch << " objs=" << objects.size() << "}";
+  return os.str();
+}
+
+std::string TransferRead::debug() const {
+  std::ostringstream os;
+  os << "rc.TransferRead{r=" << round << " obj=" << object << "}";
+  return os.str();
+}
+
+std::string TransferReply::debug() const {
+  std::ostringstream os;
+  os << "rc.TransferReply{r=" << round << " obj=" << object << " tag="
+     << abd::to_string(value_tag) << "}";
+  return os.str();
+}
+
+std::string TransferWrite::debug() const {
+  std::ostringstream os;
+  os << "rc.TransferWrite{r=" << round << " obj=" << object << " tag="
+     << abd::to_string(value_tag) << "}";
+  return os.str();
+}
+
+std::string TransferAck::debug() const {
+  std::ostringstream os;
+  os << "rc.TransferAck{r=" << round << " obj=" << object << "}";
+  return os.str();
+}
+
+std::string Commit::debug() const {
+  return "rc.Commit{" + config_str(config) + "}";
+}
+
+}  // namespace abdkit::reconfig

@@ -1,0 +1,88 @@
+#include "abdkit/reconfig/replica.hpp"
+
+#include <stdexcept>
+
+namespace abdkit::reconfig {
+
+Replica::Replica(Config initial) : config_{std::move(initial)} {
+  if (config_.members.empty()) {
+    throw std::invalid_argument{"reconfig::Replica: empty initial membership"};
+  }
+}
+
+const Slot& Replica::slot(ObjectId object) const {
+  static const Slot kInitial{};
+  const auto it = slots_.find(object);
+  return it == slots_.end() ? kInitial : it->second;
+}
+
+bool Replica::refuse_if_needed(Context& ctx, ProcessId from, RoundId round, Epoch epoch) {
+  if (fenced_) {
+    ++fence_rejections_;
+    ctx.send(from, make_payload<Nack>(round, config_, /*in_transition=*/true));
+    return true;
+  }
+  if (epoch != config_.epoch) {
+    ++epoch_rejections_;
+    ctx.send(from, make_payload<Nack>(round, config_, /*in_transition=*/false));
+    return true;
+  }
+  return false;
+}
+
+bool Replica::handle(Context& ctx, ProcessId from, const Payload& payload) {
+  if (const auto* query = payload_cast<Query>(payload)) {
+    if (refuse_if_needed(ctx, from, query->round, query->epoch)) return true;
+    const Slot& s = slot(query->object);
+    ctx.send(from, make_payload<QueryReply>(query->round, query->object, s.tag, s.value));
+    return true;
+  }
+  if (const auto* update = payload_cast<Update>(payload)) {
+    if (refuse_if_needed(ctx, from, update->round, update->epoch)) return true;
+    Slot& s = slots_[update->object];
+    if (update->value_tag > s.tag) {
+      s.tag = update->value_tag;
+      s.value = update->value;
+    }
+    ctx.send(from, make_payload<UpdateAck>(update->round, update->object));
+    return true;
+  }
+  if (const auto* prepare = payload_cast<Prepare>(payload)) {
+    // Fence if this prepares the successor of our epoch; re-acks are
+    // idempotent. A prepare for an old epoch is ignored (stale admin
+    // message after a commit already went through).
+    if (prepare->config.epoch == config_.epoch + 1) {
+      fenced_ = true;
+      pending_ = prepare->config;
+      std::vector<ObjectId> objects;
+      objects.reserve(slots_.size());
+      for (const auto& [object, s] : slots_) objects.push_back(object);
+      ctx.send(from, make_payload<PrepareAck>(prepare->config.epoch, std::move(objects)));
+    }
+    return true;
+  }
+  if (const auto* read = payload_cast<TransferRead>(payload)) {
+    const Slot& s = slot(read->object);
+    ctx.send(from, make_payload<TransferReply>(read->round, read->object, s.tag, s.value));
+    return true;
+  }
+  if (const auto* write = payload_cast<TransferWrite>(payload)) {
+    Slot& s = slots_[write->object];
+    if (write->value_tag > s.tag) {
+      s.tag = write->value_tag;
+      s.value = write->value;
+    }
+    ctx.send(from, make_payload<TransferAck>(write->round, write->object));
+    return true;
+  }
+  if (const auto* commit = payload_cast<Commit>(payload)) {
+    if (commit->config.epoch > config_.epoch) {
+      config_ = commit->config;
+      fenced_ = false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace abdkit::reconfig

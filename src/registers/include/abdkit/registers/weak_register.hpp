@@ -1,0 +1,165 @@
+// Weak shared registers and the classic constructions that strengthen them.
+//
+// The retrospective recalls the research climate ABD emerged from: "subtle
+// constructions of various registers from weaker types of registers ...
+// they often had mistakes". This module recreates that world in miniature:
+//
+//   * SimulatedBaseRegister — a single-writer register living in a
+//     sim::World whose operations take time and whose concurrent semantics
+//     are selectable: SAFE (reads overlapping a write return an arbitrary
+//     domain value), REGULAR (old or new value), ATOMIC (linearizable).
+//   * RegularFromSafeBit — Lamport's construction: a *binary* safe register
+//     whose writer skips identical writes is regular.
+//   * AtomicFromRegular — SWSR: pair values with sequence numbers and keep
+//     a reader-side maximum; regular + monotone filter = atomic.
+//   * The same construction with the reader filter removed — the classic
+//     MISTAKE — which the linearizability checker duly catches (see tests):
+//     exactly the kind of bug that motivated trading register constructions
+//     for ABD's clean quorum emulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "abdkit/common/rng.hpp"
+#include "abdkit/sim/world.hpp"
+
+namespace abdkit::registers {
+
+enum class RegClass { kSafe, kRegular, kAtomic };
+
+using ReadCallback = std::function<void(std::int64_t)>;
+using DoneCallback = std::function<void()>;
+
+/// A single-writer multi-reader register simulated with timed operations.
+/// The writer must issue writes sequentially; readers may overlap anything.
+class SimulatedBaseRegister {
+ public:
+  /// Values live in [0, domain). `op_time` bounds each operation's duration
+  /// (sampled uniformly in [1, op_time]).
+  SimulatedBaseRegister(sim::World& world, RegClass reg_class, std::int64_t domain,
+                        Duration op_time, std::uint64_t seed);
+
+  SimulatedBaseRegister(const SimulatedBaseRegister&) = delete;
+  SimulatedBaseRegister& operator=(const SimulatedBaseRegister&) = delete;
+
+  void write(std::int64_t value, DoneCallback done);
+  void read(ReadCallback done);
+
+  [[nodiscard]] std::int64_t stable_value() const noexcept { return value_; }
+  /// Reads that overlapped a write and exercised weak semantics.
+  [[nodiscard]] std::uint64_t contended_reads() const noexcept { return contended_; }
+
+ private:
+  [[nodiscard]] Duration sample_duration();
+  /// Value returned by a read completing at `end` that started at `start`.
+  [[nodiscard]] std::int64_t read_result(TimePoint start, TimePoint end);
+
+  sim::World* world_;
+  RegClass class_;
+  std::int64_t domain_;
+  Duration op_time_;
+  Rng rng_;
+  std::int64_t value_{0};
+  // The (single) in-flight write, if any.
+  bool write_active_{false};
+  TimePoint write_start_{};
+  TimePoint write_end_{};
+  std::int64_t write_old_{0};
+  std::int64_t write_new_{0};
+  std::uint64_t contended_{0};
+};
+
+/// Lamport: a binary safe register is regular if the writer never rewrites
+/// the current value. Presents a binary regular register interface.
+class RegularFromSafeBit {
+ public:
+  explicit RegularFromSafeBit(SimulatedBaseRegister& safe_bit) noexcept
+      : bit_{&safe_bit} {}
+
+  /// value must be 0 or 1.
+  void write(std::int64_t value, DoneCallback done);
+  void read(ReadCallback done);
+
+  /// Writes elided because the bit already held the value.
+  [[nodiscard]] std::uint64_t elided_writes() const noexcept { return elided_; }
+
+ private:
+  SimulatedBaseRegister* bit_;
+  std::int64_t last_written_{0};
+  std::uint64_t elided_{0};
+};
+
+/// SWSR atomic register from a regular register: values carry sequence
+/// numbers; the single reader never returns anything older than what it
+/// already returned. `faithful=false` removes the reader-side filter —
+/// the classic broken construction, kept for the checker to expose.
+class AtomicFromRegular {
+ public:
+  AtomicFromRegular(SimulatedBaseRegister& regular, bool faithful = true) noexcept
+      : reg_{&regular}, faithful_{faithful} {}
+
+  /// value must fit in 16 bits (packing leaves room for the sequence).
+  void write(std::int64_t value, DoneCallback done);
+  void read(ReadCallback done);
+
+ private:
+  static constexpr std::int64_t kValueBits = 16;
+  static constexpr std::int64_t kValueMask = (1 << kValueBits) - 1;
+
+  SimulatedBaseRegister* reg_;
+  bool faithful_;
+  std::int64_t next_seq_{0};
+  std::int64_t reader_best_seq_{-1};
+  std::int64_t reader_best_value_{0};
+};
+
+/// SWMR atomic register from SWSR atomic registers — the construction whose
+/// shape ABD lifted to message passing. Layout for one writer and r readers:
+///
+///   w[i]     (writer -> reader i): the written (value, wts) pair
+///   c[i][j]  (reader i -> reader j): the pair reader i last returned
+///
+/// write(v): wts++; write (v, wts) into every w[i].
+/// read by reader i: read w[i] and every c[j][i]; take the max-wts pair;
+/// WRITE IT BACK into every c[i][j]; return its value. The write-back is
+/// the same move as ABD's second read phase — without it (faithful=false)
+/// two readers exhibit the new/old inversion, and the checker says so.
+class AtomicSwmrFromSwsr {
+ public:
+  /// Builds its own (1 + readers + readers^2) SWSR base registers inside
+  /// `world`. `reg_class` should be kAtomic for the faithful construction
+  /// (using kRegular shows the construction also needs atomic components).
+  AtomicSwmrFromSwsr(sim::World& world, std::size_t readers, Duration op_time,
+                     std::uint64_t seed, bool faithful = true,
+                     RegClass reg_class = RegClass::kAtomic);
+
+  AtomicSwmrFromSwsr(const AtomicSwmrFromSwsr&) = delete;
+  AtomicSwmrFromSwsr& operator=(const AtomicSwmrFromSwsr&) = delete;
+
+  /// Writer's operation (one at a time). value must fit in 16 bits.
+  void write(std::int64_t value, DoneCallback done);
+
+  /// Reader `reader`'s operation (one at a time per reader).
+  void read(std::size_t reader, ReadCallback done);
+
+ private:
+  static constexpr std::int64_t kValueBits = 16;
+  static constexpr std::int64_t kValueMask = (1 << kValueBits) - 1;
+
+  [[nodiscard]] SimulatedBaseRegister& writer_reg(std::size_t i) {
+    return *registers_[i];
+  }
+  [[nodiscard]] SimulatedBaseRegister& comm_reg(std::size_t from, std::size_t to) {
+    return *registers_[readers_ + from * readers_ + to];
+  }
+
+  std::size_t readers_;
+  bool faithful_;
+  std::vector<std::unique_ptr<SimulatedBaseRegister>> registers_;
+  std::int64_t next_wts_{0};
+};
+
+}  // namespace abdkit::registers

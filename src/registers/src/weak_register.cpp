@@ -1,0 +1,185 @@
+#include "abdkit/registers/weak_register.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::registers {
+
+SimulatedBaseRegister::SimulatedBaseRegister(sim::World& world, RegClass reg_class,
+                                             std::int64_t domain, Duration op_time,
+                                             std::uint64_t seed)
+    : world_{&world}, class_{reg_class}, domain_{domain}, op_time_{op_time}, rng_{seed} {
+  if (domain < 2) throw std::invalid_argument{"SimulatedBaseRegister: domain < 2"};
+  if (op_time <= Duration::zero()) {
+    throw std::invalid_argument{"SimulatedBaseRegister: op_time must be positive"};
+  }
+}
+
+Duration SimulatedBaseRegister::sample_duration() {
+  return Duration{rng_.between(1, op_time_.count())};
+}
+
+void SimulatedBaseRegister::write(std::int64_t value, DoneCallback done) {
+  if (write_active_) {
+    throw std::logic_error{"SimulatedBaseRegister: overlapping writes (single writer)"};
+  }
+  if (value < 0 || value >= domain_) {
+    throw std::invalid_argument{"SimulatedBaseRegister: value outside domain"};
+  }
+  write_active_ = true;
+  write_start_ = world_->now();
+  write_end_ = write_start_ + sample_duration();
+  write_old_ = value_;
+  write_new_ = value;
+  world_->at(write_end_, [this, done = std::move(done)] {
+    write_active_ = false;
+    value_ = write_new_;
+    if (done) done();
+  });
+}
+
+std::int64_t SimulatedBaseRegister::read_result(TimePoint start, TimePoint end) {
+  // Did the read overlap the (only possible) in-flight write? The write is
+  // in flight during [write_start_, write_end_); overlap if the intervals
+  // intersect. A write that completed before the read started already
+  // updated value_.
+  const bool overlap = write_active_ && write_start_ < end && start < write_end_;
+  if (!overlap) return value_;
+  ++contended_;
+  switch (class_) {
+    case RegClass::kSafe:
+      // Anything from the domain — the adversary's pick.
+      return rng_.between(0, domain_ - 1);
+    case RegClass::kRegular:
+      return rng_.chance(0.5) ? write_old_ : write_new_;
+    case RegClass::kAtomic:
+      // Linearize the read at its response: new value iff the write's
+      // linearization point (its end) has passed.
+      return end >= write_end_ ? write_new_ : write_old_;
+  }
+  return value_;
+}
+
+void SimulatedBaseRegister::read(ReadCallback done) {
+  const TimePoint start = world_->now();
+  const TimePoint end = start + sample_duration();
+  world_->at(end, [this, start, end, done = std::move(done)] {
+    if (done) done(read_result(start, end));
+  });
+}
+
+void RegularFromSafeBit::write(std::int64_t value, DoneCallback done) {
+  if (value != 0 && value != 1) {
+    throw std::invalid_argument{"RegularFromSafeBit: value must be a bit"};
+  }
+  if (value == last_written_) {
+    // The whole trick: never touch the register when the bit is unchanged,
+    // so any read overlapping a write straddles an actual 0<->1 flip and
+    // "arbitrary bit" collapses to "old or new".
+    ++elided_;
+    if (done) done();
+    return;
+  }
+  last_written_ = value;
+  bit_->write(value, std::move(done));
+}
+
+void RegularFromSafeBit::read(ReadCallback done) { bit_->read(std::move(done)); }
+
+void AtomicFromRegular::write(std::int64_t value, DoneCallback done) {
+  if (value < 0 || value > kValueMask) {
+    throw std::invalid_argument{"AtomicFromRegular: value outside 16 bits"};
+  }
+  const std::int64_t packed = (++next_seq_ << kValueBits) | value;
+  reg_->write(packed, std::move(done));
+}
+
+void AtomicFromRegular::read(ReadCallback done) {
+  reg_->read([this, done = std::move(done)](std::int64_t packed) {
+    const std::int64_t seq = packed >> kValueBits;
+    const std::int64_t value = packed & kValueMask;
+    if (!faithful_) {
+      // The broken construction: trust whatever the regular register says.
+      // Two sequential reads racing one slow write can then answer
+      // new-then-old — not atomic.
+      if (done) done(value);
+      return;
+    }
+    if (seq > reader_best_seq_) {
+      reader_best_seq_ = seq;
+      reader_best_value_ = value;
+    }
+    if (done) done(reader_best_value_);
+  });
+}
+
+
+AtomicSwmrFromSwsr::AtomicSwmrFromSwsr(sim::World& world, std::size_t readers,
+                                       Duration op_time, std::uint64_t seed,
+                                       bool faithful, RegClass reg_class)
+    : readers_{readers}, faithful_{faithful} {
+  if (readers == 0) throw std::invalid_argument{"AtomicSwmrFromSwsr: need readers"};
+  const std::size_t total = readers + readers * readers;
+  registers_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    registers_.push_back(std::make_unique<SimulatedBaseRegister>(
+        world, reg_class, std::int64_t{1} << 60, op_time, seed * 1000 + i));
+  }
+}
+
+void AtomicSwmrFromSwsr::write(std::int64_t value, DoneCallback done) {
+  if (value < 0 || value > kValueMask) {
+    throw std::invalid_argument{"AtomicSwmrFromSwsr: value outside 16 bits"};
+  }
+  const std::int64_t packed = (++next_wts_ << kValueBits) | value;
+  // Write every reader's register in sequence (the writer is one process).
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+  *step = [this, packed, step, shared_done](std::size_t i) {
+    if (i == readers_) {
+      if (*shared_done) (*shared_done)();
+      return;
+    }
+    writer_reg(i).write(packed, [step, i] { (*step)(i + 1); });
+  };
+  (*step)(0);
+}
+
+void AtomicSwmrFromSwsr::read(std::size_t reader, ReadCallback done) {
+  if (reader >= readers_) throw std::invalid_argument{"AtomicSwmrFromSwsr: bad reader"};
+  // Phase 1: collect the writer's register and every reader's report,
+  // sequentially (the reader is one process).
+  auto best = std::make_shared<std::int64_t>(0);
+  auto shared_done = std::make_shared<ReadCallback>(std::move(done));
+  auto writeback = std::make_shared<std::function<void(std::size_t)>>();
+  *writeback = [this, reader, best, writeback, shared_done](std::size_t j) {
+    if (j == readers_) {
+      if (*shared_done) (*shared_done)(*best & kValueMask);
+      return;
+    }
+    comm_reg(reader, j).write(*best, [writeback, j] { (*writeback)(j + 1); });
+  };
+  auto collect = std::make_shared<std::function<void(std::size_t)>>();
+  *collect = [this, reader, best, collect, writeback,
+              shared_done](std::size_t source) {
+    // source 0 = writer's register; 1..readers = comm registers.
+    if (source == readers_ + 1) {
+      if (faithful_) {
+        (*writeback)(0);  // announce before returning — ABD's write-back
+      } else if (*shared_done) {
+        (*shared_done)(*best & kValueMask);  // the broken shortcut
+      }
+      return;
+    }
+    SimulatedBaseRegister& reg =
+        source == 0 ? writer_reg(reader) : comm_reg(source - 1, reader);
+    reg.read([best, collect, source](std::int64_t packed) {
+      if ((packed >> kValueBits) > (*best >> kValueBits)) *best = packed;
+      (*collect)(source + 1);
+    });
+  };
+  (*collect)(0);
+}
+
+}  // namespace abdkit::registers

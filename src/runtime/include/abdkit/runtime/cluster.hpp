@@ -1,0 +1,117 @@
+// Real-concurrency execution of the same Actor protocols: one mailbox
+// thread per process, delayed in-memory channels, steady-clock time.
+//
+// The simulator gives determinism and exact counting; the cluster gives
+// genuine parallelism and wall-clock throughput (experiment E9), and it
+// double-checks that no protocol accidentally relies on the simulator's
+// cooperative scheduling. Each actor still executes single-threadedly on
+// its own mailbox thread, so protocol code is shared unchanged.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "abdkit/common/message.hpp"
+#include "abdkit/common/rng.hpp"
+#include "abdkit/common/transport.hpp"
+
+namespace abdkit::runtime {
+
+struct ClusterOptions {
+  std::size_t num_processes{0};
+  std::uint64_t seed{1};
+  /// Injected artificial one-way delay range; zero disables injection and
+  /// leaves only scheduler nondeterminism.
+  Duration min_delay{Duration::zero()};
+  Duration max_delay{Duration::zero()};
+};
+
+/// Factory invoked once per process before the cluster starts.
+using ActorFactory = std::function<std::unique_ptr<Actor>(ProcessId)>;
+
+class Cluster {
+ public:
+  Cluster(ClusterOptions options, const ActorFactory& factory);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Launches the mailbox threads and runs every actor's on_start.
+  void start();
+
+  /// Stops delivery and joins all threads (idempotent).
+  void stop();
+
+  /// Runs `fn` on process `p`'s mailbox thread — the only sanctioned way to
+  /// poke an actor from outside (e.g., to invoke a client operation).
+  void post(ProcessId p, std::function<void()> fn);
+
+  /// Simulated crash: the process stops processing its mailbox and all
+  /// traffic to/from it is dropped. Permanent.
+  void crash(ProcessId p);
+  [[nodiscard]] bool crashed(ProcessId p) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return processes_.size(); }
+
+  /// The actor installed at `p` (valid between construction and destruction;
+  /// interact with it only via post()).
+  [[nodiscard]] Actor& actor(ProcessId p);
+
+  /// Nanoseconds since cluster construction (the Context::now clock).
+  [[nodiscard]] TimePoint now() const;
+
+ private:
+  friend class ThreadContext;
+
+  enum class ItemKind : std::uint8_t { kDeliver, kTask, kTimer };
+
+  struct Item {
+    TimePoint due{};
+    std::uint64_t seq{0};
+    ItemKind kind{ItemKind::kTask};
+    Message msg;                 // kDeliver
+    std::function<void()> task;  // kTask
+    TimerId timer{0};            // kTimer
+    TimerCallback timer_cb;      // kTimer
+
+    friend bool operator>(const Item& a, const Item& b) noexcept {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Process {
+    std::unique_ptr<Actor> actor;
+    std::unique_ptr<class ThreadContext> context;
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> mailbox;
+    std::unordered_set<TimerId> cancelled_timers;  // guarded by mutex
+    std::atomic<bool> crashed{false};
+  };
+
+  void mailbox_loop(ProcessId p);
+  void enqueue(ProcessId p, Item item);
+  void do_send(ProcessId from, ProcessId to, PayloadPtr payload);
+  [[nodiscard]] Duration sample_delay(Rng& rng);
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> next_timer_{1};
+  bool started_{false};
+};
+
+}  // namespace abdkit::runtime

@@ -1,0 +1,35 @@
+// Blocking facade over a RegisterNode running inside a Cluster — the API a
+// conventional application thread expects ("read(); write();"), built on
+// the asynchronous protocol underneath.
+#pragma once
+
+#include <optional>
+
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/runtime/cluster.hpp"
+
+namespace abdkit::runtime {
+
+class SyncRegister {
+ public:
+  /// `node` must be the actor installed at `host` inside `cluster`.
+  SyncRegister(Cluster& cluster, ProcessId host, abd::RegisterNode& node) noexcept
+      : cluster_{&cluster}, host_{host}, node_{&node} {}
+
+  /// Blocking read; nullopt if the operation did not complete within
+  /// `timeout` (e.g., no quorum is alive). The protocol operation is NOT
+  /// cancelled on timeout — it may still complete internally later, which is
+  /// harmless for registers.
+  [[nodiscard]] std::optional<abd::OpResult> read(abd::ObjectId object, Duration timeout);
+
+  /// Blocking write with the same timeout semantics.
+  [[nodiscard]] std::optional<abd::OpResult> write(abd::ObjectId object, Value value,
+                                                   Duration timeout);
+
+ private:
+  Cluster* cluster_;
+  ProcessId host_;
+  abd::RegisterNode* node_;
+};
+
+}  // namespace abdkit::runtime

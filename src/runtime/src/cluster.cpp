@@ -1,0 +1,206 @@
+#include "abdkit/runtime/cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::runtime {
+
+/// Per-process Context bound to the cluster. All methods are called from the
+/// process's own mailbox thread except none — post() is the only external
+/// entry point and it runs on the mailbox thread too.
+class ThreadContext final : public Context {
+ public:
+  ThreadContext(Cluster& cluster, ProcessId self, Rng rng) noexcept
+      : cluster_{cluster}, self_{self}, rng_{rng} {}
+
+  [[nodiscard]] ProcessId self() const noexcept override { return self_; }
+  [[nodiscard]] std::size_t world_size() const noexcept override {
+    return cluster_.size();
+  }
+
+  void send(ProcessId to, PayloadPtr payload) override {
+    cluster_.do_send(self_, to, std::move(payload));
+  }
+
+  void broadcast(PayloadPtr payload) override {
+    for (ProcessId p = 0; p < cluster_.size(); ++p) {
+      cluster_.do_send(self_, p, payload);
+    }
+  }
+
+  TimerId set_timer(Duration delay, TimerCallback cb) override {
+    const TimerId id = cluster_.next_timer_.fetch_add(1, std::memory_order_relaxed);
+    Cluster::Item item;
+    item.due = cluster_.now() + delay;
+    item.kind = Cluster::ItemKind::kTimer;
+    item.timer = id;
+    item.timer_cb = std::move(cb);
+    cluster_.enqueue(self_, std::move(item));
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override {
+    Cluster::Process& process = *cluster_.processes_[self_];
+    const std::scoped_lock lock{process.mutex};
+    process.cancelled_timers.insert(id);
+  }
+
+  [[nodiscard]] TimePoint now() const noexcept override { return cluster_.now(); }
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  Cluster& cluster_;
+  ProcessId self_;
+  Rng rng_;
+};
+
+Cluster::Cluster(ClusterOptions options, const ActorFactory& factory)
+    : options_{std::move(options)}, epoch_{std::chrono::steady_clock::now()} {
+  if (options_.num_processes == 0) {
+    throw std::invalid_argument{"Cluster: num_processes must be positive"};
+  }
+  if (options_.max_delay < options_.min_delay) {
+    throw std::invalid_argument{"Cluster: max_delay < min_delay"};
+  }
+  Rng seeder{options_.seed};
+  processes_.reserve(options_.num_processes);
+  for (ProcessId p = 0; p < options_.num_processes; ++p) {
+    auto process = std::make_unique<Process>();
+    process->actor = factory(p);
+    if (process->actor == nullptr) {
+      throw std::invalid_argument{"Cluster: factory returned null actor"};
+    }
+    process->context = std::make_unique<ThreadContext>(*this, p, seeder.fork());
+    processes_.push_back(std::move(process));
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  if (started_) throw std::logic_error{"Cluster: start called twice"};
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  for (ProcessId p = 0; p < processes_.size(); ++p) {
+    processes_[p]->thread = std::thread{[this, p] { mailbox_loop(p); }};
+  }
+  // on_start runs on each process's own thread to keep the single-threaded
+  // actor contract from the very first callback.
+  for (ProcessId p = 0; p < processes_.size(); ++p) {
+    post(p, [this, p] { processes_[p]->actor->on_start(*processes_[p]->context); });
+  }
+}
+
+void Cluster::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& process : processes_) {
+    {
+      const std::scoped_lock lock{process->mutex};
+    }
+    process->cv.notify_all();
+  }
+  for (auto& process : processes_) {
+    if (process->thread.joinable()) process->thread.join();
+  }
+}
+
+void Cluster::post(ProcessId p, std::function<void()> fn) {
+  Item item;
+  item.due = now();
+  item.kind = ItemKind::kTask;
+  item.task = std::move(fn);
+  enqueue(p, std::move(item));
+}
+
+void Cluster::crash(ProcessId p) {
+  if (p >= processes_.size()) throw std::out_of_range{"Cluster: crash id out of range"};
+  processes_[p]->crashed.store(true, std::memory_order_release);
+  processes_[p]->cv.notify_all();
+}
+
+bool Cluster::crashed(ProcessId p) const {
+  return processes_.at(p)->crashed.load(std::memory_order_acquire);
+}
+
+Actor& Cluster::actor(ProcessId p) { return *processes_.at(p)->actor; }
+
+TimePoint Cluster::now() const {
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - epoch_);
+}
+
+void Cluster::enqueue(ProcessId p, Item item) {
+  Process& process = *processes_.at(p);
+  item.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock{process.mutex};
+    process.mailbox.push(std::move(item));
+  }
+  process.cv.notify_one();
+}
+
+void Cluster::do_send(ProcessId from, ProcessId to, PayloadPtr payload) {
+  if (to >= processes_.size()) throw std::out_of_range{"Cluster: send to unknown process"};
+  if (crashed(from) || crashed(to)) return;
+  Item item;
+  item.kind = ItemKind::kDeliver;
+  item.msg = Message{from, to, std::move(payload)};
+  auto& ctx = static_cast<ThreadContext&>(*processes_[from]->context);
+  item.due = now() + sample_delay(ctx.rng());
+  enqueue(to, std::move(item));
+}
+
+Duration Cluster::sample_delay(Rng& rng) {
+  if (options_.max_delay == Duration::zero()) return Duration::zero();
+  return Duration{rng.between(options_.min_delay.count(), options_.max_delay.count())};
+}
+
+void Cluster::mailbox_loop(ProcessId p) {
+  Process& process = *processes_[p];
+  std::unique_lock lock{process.mutex};
+  while (true) {
+    if (!running_.load(std::memory_order_acquire)) return;
+    if (process.crashed.load(std::memory_order_acquire)) {
+      // Crashed: discard everything and idle until shutdown.
+      while (!process.mailbox.empty()) process.mailbox.pop();
+      process.cv.wait(lock, [&] { return !running_.load(std::memory_order_acquire); });
+      return;
+    }
+    if (process.mailbox.empty()) {
+      process.cv.wait(lock);
+      continue;
+    }
+    const TimePoint due = process.mailbox.top().due;
+    const TimePoint current = now();
+    if (due > current) {
+      process.cv.wait_for(lock, due - current);
+      continue;
+    }
+    Item item = std::move(const_cast<Item&>(process.mailbox.top()));
+    process.mailbox.pop();
+    lock.unlock();
+
+    switch (item.kind) {
+      case ItemKind::kDeliver:
+        if (!crashed(item.msg.from)) {
+          process.actor->on_message(*process.context, item.msg.from, *item.msg.payload);
+        }
+        break;
+      case ItemKind::kTask:
+        item.task();
+        break;
+      case ItemKind::kTimer: {
+        bool run = true;
+        {
+          const std::scoped_lock relock{process.mutex};
+          run = process.cancelled_timers.erase(item.timer) == 0;
+        }
+        if (run) item.timer_cb();
+        break;
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace abdkit::runtime

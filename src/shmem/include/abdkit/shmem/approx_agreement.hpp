@@ -1,0 +1,65 @@
+// Wait-free approximate agreement from atomic snapshots.
+//
+// Consensus is impossible in this model (FLP — and the ABD simulation
+// cannot change that, since impossibility transfers both ways across the
+// equivalence). Approximate agreement is the classic solvable relaxation:
+// every process decides a value, decided values lie within the range of
+// the inputs (validity) and within epsilon of each other (agreement).
+//
+// Algorithm (round-tagged averaging with adoption): each process runs
+// R = ceil(log2(range/epsilon)) asynchronous rounds. In round r it
+// publishes (r, x), scans, and either adopts the value of the highest
+// round it sees (if someone is ahead) or moves to r+1 with the midpoint of
+// the round-r values it saw. Because laggards adopt from the front-runners
+// and same-round values provably shrink by half per round, R rounds bring
+// everyone within epsilon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "abdkit/shmem/snapshot.hpp"
+
+namespace abdkit::shmem {
+
+using DecideCallback = std::function<void(double value)>;
+
+class ApproxAgreement {
+ public:
+  /// All participants must pass the same [lo, hi] input bound and epsilon.
+  /// `snapshot` is this process's handle to a snapshot shared by all.
+  ApproxAgreement(AtomicSnapshot& snapshot, double lo, double hi, double epsilon);
+
+  ApproxAgreement(const ApproxAgreement&) = delete;
+  ApproxAgreement& operator=(const ApproxAgreement&) = delete;
+
+  /// Propose `input` (must lie in [lo, hi]) and decide. One-shot.
+  void propose(double input, DecideCallback done);
+
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return total_rounds_; }
+
+ private:
+  void step(DecideCallback done);
+  void on_view(const SnapshotView& view, DecideCallback done);
+
+  /// Segment encoding: rounds and values are packed into the int64 data
+  /// word: (round << 40) | quantized value. Quantization to eps/8 grid
+  /// keeps the packing lossless for agreement purposes.
+  [[nodiscard]] std::int64_t encode(std::uint32_t round, double value) const;
+  struct Entry {
+    std::uint32_t round;
+    double value;
+  };
+  [[nodiscard]] bool decode(std::int64_t data, Entry& out) const;
+
+  AtomicSnapshot* snapshot_;
+  double lo_;
+  double hi_;
+  double quantum_;
+  std::uint32_t total_rounds_{0};
+  std::uint32_t round_{1};
+  double value_{0.0};
+  bool started_{false};
+};
+
+}  // namespace abdkit::shmem

@@ -1,0 +1,65 @@
+// Lamport's bakery algorithm over an abstract register space — mutual
+// exclusion from SWMR registers, one more shared-memory classic that the
+// ABD simulation transfers verbatim to message passing.
+//
+// Register layout for n customers starting at `base`:
+//   base + i          : choosing[i]   (written by i)
+//   base + n + i      : number[i]     (written by i)
+//
+// lock():  choosing=1; number = 1 + max(all numbers); choosing=0; then for
+//          every other customer j, wait until choosing[j]==0 and then until
+//          number[j]==0 or (number[j], j) > (number[i], i).
+// unlock(): number = 0.
+//
+// "Waiting" in the asynchronous world is re-reading the register until the
+// condition holds; over ABD each re-read is a quorum round trip, so the
+// lock is chatty under contention — precisely the observation that made
+// people build message-passing mutual exclusion directly. Correctness,
+// though, carries over for free, which is the paper's point.
+//
+// Caveats inherited from bakery: numbers grow without bound, and mutual
+// exclusion (unlike the register emulation itself) is blocking — a crash
+// inside the doorway or critical section blocks everyone behind it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "abdkit/shmem/register_space.hpp"
+
+namespace abdkit::shmem {
+
+class BakeryLock {
+ public:
+  BakeryLock(RegisterSpace& space, ProcessId self, std::size_t n, ObjectId base);
+
+  BakeryLock(const BakeryLock&) = delete;
+  BakeryLock& operator=(const BakeryLock&) = delete;
+
+  /// Acquire; `entered` fires when this customer holds the lock.
+  void lock(std::function<void()> entered);
+  /// Release; must hold the lock.
+  void unlock(std::function<void()> done);
+
+  /// Quorum round trips spent polling other customers (diagnostics).
+  [[nodiscard]] std::uint64_t polls() const noexcept { return polls_; }
+
+ private:
+  [[nodiscard]] ObjectId choosing_reg(std::size_t i) const noexcept { return base_ + i; }
+  [[nodiscard]] ObjectId number_reg(std::size_t i) const noexcept {
+    return base_ + n_ + i;
+  }
+
+  void collect_numbers(std::function<void()> entered);
+  void await_customer(std::size_t j, std::function<void()> entered);
+
+  RegisterSpace* space_;
+  ProcessId self_;
+  std::size_t n_;
+  ObjectId base_;
+  std::int64_t my_number_{0};
+  bool holding_{false};
+  std::uint64_t polls_{0};
+};
+
+}  // namespace abdkit::shmem

@@ -1,0 +1,61 @@
+// Wait-free shared objects built from SWMR registers: a monotone counter
+// and a max-register. Textbook constructions (one segment per process,
+// reads collect all segments) that the ABD simulation transfers to message
+// passing unchanged — each is a few dozen lines because the register
+// abstraction absorbs all the distribution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "abdkit/shmem/register_space.hpp"
+
+namespace abdkit::shmem {
+
+/// Increment-only counter: process i keeps its contribution in register
+/// base+i; read() sums a collect. Linearizable because each segment is
+/// atomic and contributions only grow.
+class MonotoneCounter {
+ public:
+  MonotoneCounter(RegisterSpace& space, ProcessId self, std::size_t n, ObjectId base);
+
+  MonotoneCounter(const MonotoneCounter&) = delete;
+  MonotoneCounter& operator=(const MonotoneCounter&) = delete;
+
+  /// Add `amount` (>= 0) to this process's contribution.
+  void add(std::int64_t amount, std::function<void()> done);
+  void increment(std::function<void()> done) { add(1, std::move(done)); }
+
+  /// Sum of all contributions at some point during the call.
+  void read(std::function<void(std::int64_t)> done);
+
+ private:
+  RegisterSpace* space_;
+  ProcessId self_;
+  std::size_t n_;
+  ObjectId base_;
+  std::int64_t local_{0};
+};
+
+/// Max-register: write_max installs a value; read returns the largest value
+/// written by any process before/concurrently with the read.
+class MaxRegister {
+ public:
+  MaxRegister(RegisterSpace& space, ProcessId self, std::size_t n, ObjectId base);
+
+  MaxRegister(const MaxRegister&) = delete;
+  MaxRegister& operator=(const MaxRegister&) = delete;
+
+  void write_max(std::int64_t value, std::function<void()> done);
+  void read(std::function<void(std::int64_t)> done);
+
+ private:
+  RegisterSpace* space_;
+  ProcessId self_;
+  std::size_t n_;
+  ObjectId base_;
+  std::int64_t local_best_{0};
+};
+
+}  // namespace abdkit::shmem

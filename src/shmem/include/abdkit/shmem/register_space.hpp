@@ -1,0 +1,83 @@
+// The abstraction the paper's main theorem buys you: a space of atomic
+// registers that wait-free shared-memory algorithms can be written against,
+// oblivious to whether the registers are local memory or ABD-replicated
+// state in a message-passing system.
+//
+// The interface is asynchronous (operations complete via callback) because
+// the message-passing implementation is; the local implementation completes
+// synchronously, which is a legal special case of the same semantics.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit::shmem {
+
+using abd::ObjectId;
+
+using ReadCallback = std::function<void(const Value&)>;
+using WriteCallback = std::function<void()>;
+
+/// A process's handle to the register space. SWMR discipline is by
+/// convention: algorithms partition ObjectIds so each register has one
+/// writing process.
+class RegisterSpace {
+ public:
+  RegisterSpace(const RegisterSpace&) = delete;
+  RegisterSpace& operator=(const RegisterSpace&) = delete;
+  virtual ~RegisterSpace() = default;
+
+  virtual void read(ObjectId object, ReadCallback done) = 0;
+  virtual void write(ObjectId object, const Value& value, WriteCallback done) = 0;
+
+ protected:
+  RegisterSpace() = default;
+};
+
+/// Registers backed by the ABD protocol: the simulation the paper proves
+/// correct. One instance per process, wrapping that process's node.
+class AbdRegisterSpace final : public RegisterSpace {
+ public:
+  explicit AbdRegisterSpace(abd::RegisterNode& node) noexcept : node_{&node} {}
+
+  void read(ObjectId object, ReadCallback done) override {
+    node_->read(object, [done = std::move(done)](const abd::OpResult& r) {
+      if (done) done(r.value);
+    });
+  }
+
+  void write(ObjectId object, const Value& value, WriteCallback done) override {
+    node_->write(object, value, [done = std::move(done)](const abd::OpResult&) {
+      if (done) done();
+    });
+  }
+
+ private:
+  abd::RegisterNode* node_;
+};
+
+/// Plain local registers — the reference implementation for differential
+/// testing (an algorithm must behave identically over local memory and over
+/// ABD in a single-process execution).
+class LocalRegisterSpace final : public RegisterSpace {
+ public:
+  void read(ObjectId object, ReadCallback done) override {
+    const auto it = slots_.find(object);
+    static const Value kInitial{};
+    if (done) done(it == slots_.end() ? kInitial : it->second);
+  }
+
+  void write(ObjectId object, const Value& value, WriteCallback done) override {
+    slots_[object] = value;
+    if (done) done();
+  }
+
+ private:
+  std::unordered_map<ObjectId, Value> slots_;
+};
+
+}  // namespace abdkit::shmem

@@ -1,0 +1,61 @@
+// Wait-free one-shot renaming from atomic snapshots.
+//
+// Renaming is the problem that led the ABD authors to message-passing
+// emulations of shared memory in the first place (Attiya, Bar-Noy, Dolev,
+// Peleg, Reischuk, JACM 1990). This is the classic snapshot-based
+// algorithm: a process suggests a name, publishes (id, suggestion) in its
+// snapshot segment, scans, and on collision re-suggests the r-th smallest
+// name not suggested by others — r being the rank of its id among
+// participants it sees. With k actual participants every decided name lies
+// in 1..2k-1, and names are unique.
+//
+// Run over ABD, this is end-to-end "renaming in asynchronous message
+// passing with minority crashes" — the original target application.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "abdkit/shmem/snapshot.hpp"
+
+namespace abdkit::shmem {
+
+using NameCallback = std::function<void(std::int64_t name)>;
+
+class Renaming {
+ public:
+  /// `snapshot` must be this process's handle to a snapshot object shared
+  /// by all potential participants; `original_id` is the process's input
+  /// name (distinct across participants; here usually the ProcessId).
+  Renaming(AtomicSnapshot& snapshot, std::int64_t original_id);
+
+  Renaming(const Renaming&) = delete;
+  Renaming& operator=(const Renaming&) = delete;
+
+  /// Acquire a new name. One-shot: call at most once.
+  void get_name(NameCallback done);
+
+  /// Iterations the last get_name needed (diagnostics; bounded in theory by
+  /// the number of participants).
+  [[nodiscard]] std::uint32_t iterations() const noexcept { return iterations_; }
+
+ private:
+  void attempt(NameCallback done);
+  void on_view(const SnapshotView& view, NameCallback done);
+
+  /// Segment encoding: (original_id + 1) << 32 | suggestion; zero = vacant.
+  [[nodiscard]] static std::int64_t encode(std::int64_t id, std::int64_t suggestion);
+  struct Entry {
+    std::int64_t id;
+    std::int64_t suggestion;
+  };
+  [[nodiscard]] static bool decode(std::int64_t data, Entry& out);
+
+  AtomicSnapshot* snapshot_;
+  std::int64_t id_;
+  std::int64_t suggestion_{1};
+  bool started_{false};
+  std::uint32_t iterations_{0};
+};
+
+}  // namespace abdkit::shmem

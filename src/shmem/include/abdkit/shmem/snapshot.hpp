@@ -1,0 +1,74 @@
+// Wait-free atomic snapshot (Afek, Attiya, Dolev, Gafni, Merritt, Shavit,
+// JACM 1993) over an abstract register space.
+//
+// This is the flagship payoff of the ABD simulation: an algorithm designed
+// and proven in the shared-memory model, deployed verbatim on message
+// passing. Segment i is a SWMR register written by process i holding
+// (data, seq, embedded view). scan() double-collects until either nothing
+// moved (direct view) or some process moved twice (borrow its embedded
+// view, which was taken entirely inside our scan). update() embeds a scan
+// to enable the borrowing ("helping").
+//
+// All operations are asynchronous; a process runs one snapshot operation at
+// a time (the shared-memory model's sequential-process assumption). The
+// reads inside one collect are issued concurrently — a latency optimization
+// that is sound because only the order *between* collects matters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "abdkit/shmem/register_space.hpp"
+
+namespace abdkit::shmem {
+
+using SnapshotView = std::vector<std::int64_t>;
+using ScanCallback = std::function<void(const SnapshotView&)>;
+using UpdateCallback = std::function<void()>;
+
+class AtomicSnapshot {
+ public:
+  /// `space` must outlive the snapshot. `self` is this process's segment
+  /// index; `n` the number of segments; `base` the first register ObjectId
+  /// (segments occupy [base, base + n)).
+  AtomicSnapshot(RegisterSpace& space, ProcessId self, std::size_t n, ObjectId base);
+
+  AtomicSnapshot(const AtomicSnapshot&) = delete;
+  AtomicSnapshot& operator=(const AtomicSnapshot&) = delete;
+
+  /// Atomically install `value` into this process's segment.
+  void update(std::int64_t value, UpdateCallback done);
+
+  /// Obtain an atomic view of all n segments' data values.
+  void scan(ScanCallback done);
+
+  [[nodiscard]] std::size_t segments() const noexcept { return n_; }
+
+ private:
+  struct Segment {
+    std::int64_t data{0};
+    std::int64_t seq{0};
+    SnapshotView view;  // embedded view (empty until first write)
+  };
+
+  using Collect = std::vector<Segment>;
+  using CollectCallback = std::function<void(std::shared_ptr<Collect>)>;
+
+  void collect(CollectCallback done);
+  void scan_round(std::shared_ptr<Collect> previous, std::vector<std::uint32_t> moved,
+                  ScanCallback done);
+
+  [[nodiscard]] static Segment decode(const Value& value, std::size_t n);
+  [[nodiscard]] static Value encode(const Segment& segment);
+  [[nodiscard]] static SnapshotView direct_view(const Collect& collect);
+
+  RegisterSpace* space_;
+  ProcessId self_;
+  std::size_t n_;
+  ObjectId base_;
+  std::int64_t my_seq_{0};
+};
+
+}  // namespace abdkit::shmem

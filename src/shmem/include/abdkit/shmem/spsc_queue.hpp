@@ -1,0 +1,55 @@
+// Lamport's wait-free single-producer/single-consumer bounded queue from
+// SWMR registers — another shared-memory classic that the ABD simulation
+// runs over message passing verbatim.
+//
+// Register layout (capacity K):
+//   base + 0        : head index (written only by the consumer)
+//   base + 1        : tail index (written only by the producer)
+//   base + 2 .. 2+K : item slots  (written only by the producer)
+//
+// The producer caches its own tail locally (it is the only writer), so an
+// enqueue is one read (head) + two writes; a dequeue is one read (tail) +
+// one read (slot) + one write (head).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "abdkit/shmem/register_space.hpp"
+
+namespace abdkit::shmem {
+
+class SpscQueue {
+ public:
+  enum class Role { kProducer, kConsumer };
+
+  SpscQueue(RegisterSpace& space, Role role, std::size_t capacity, ObjectId base);
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer only. `done(true)` if enqueued, `done(false)` if full.
+  void enqueue(std::int64_t value, std::function<void(bool)> done);
+
+  /// Consumer only. `done(value)` or `done(nullopt)` if empty.
+  void dequeue(std::function<void(std::optional<std::int64_t>)> done);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  [[nodiscard]] ObjectId head_reg() const noexcept { return base_; }
+  [[nodiscard]] ObjectId tail_reg() const noexcept { return base_ + 1; }
+  [[nodiscard]] ObjectId slot_reg(std::uint64_t index) const noexcept {
+    return base_ + 2 + (index % capacity_);
+  }
+
+  RegisterSpace* space_;
+  Role role_;
+  std::size_t capacity_;
+  ObjectId base_;
+  std::uint64_t local_tail_{0};  // producer's copy
+  std::uint64_t local_head_{0};  // consumer's copy
+};
+
+}  // namespace abdkit::shmem

@@ -1,0 +1,86 @@
+#include "abdkit/shmem/approx_agreement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abdkit::shmem {
+
+ApproxAgreement::ApproxAgreement(AtomicSnapshot& snapshot, double lo, double hi,
+                                 double epsilon)
+    : snapshot_{&snapshot}, lo_{lo}, hi_{hi} {
+  if (!(lo < hi)) throw std::invalid_argument{"ApproxAgreement: need lo < hi"};
+  if (!(epsilon > 0.0)) throw std::invalid_argument{"ApproxAgreement: epsilon <= 0"};
+  // Quantize finely enough that rounding never costs more than eps/8 —
+  // absorbed by running one extra halving round.
+  quantum_ = epsilon / 8.0;
+  const double range = hi - lo;
+  total_rounds_ =
+      1 + static_cast<std::uint32_t>(std::ceil(std::log2(std::max(2.0, range / epsilon))));
+}
+
+std::int64_t ApproxAgreement::encode(std::uint32_t round, double value) const {
+  const auto ticks = static_cast<std::int64_t>(std::llround((value - lo_) / quantum_));
+  return (static_cast<std::int64_t>(round) << 40) | ticks;
+}
+
+bool ApproxAgreement::decode(std::int64_t data, Entry& out) const {
+  if (data == 0) return false;  // vacant segment (round 0 never published)
+  out.round = static_cast<std::uint32_t>(data >> 40);
+  out.value = lo_ + static_cast<double>(data & ((std::int64_t{1} << 40) - 1)) * quantum_;
+  return true;
+}
+
+void ApproxAgreement::propose(double input, DecideCallback done) {
+  if (started_) throw std::logic_error{"ApproxAgreement: propose is one-shot"};
+  if (input < lo_ || input > hi_) {
+    throw std::invalid_argument{"ApproxAgreement: input outside [lo, hi]"};
+  }
+  started_ = true;
+  value_ = input;
+  step(std::move(done));
+}
+
+void ApproxAgreement::step(DecideCallback done) {
+  if (round_ > total_rounds_) {
+    if (done) done(value_);
+    return;
+  }
+  snapshot_->update(encode(round_, value_), [this, done = std::move(done)]() mutable {
+    snapshot_->scan([this, done = std::move(done)](const SnapshotView& view) {
+      on_view(view, std::move(done));
+    });
+  });
+}
+
+void ApproxAgreement::on_view(const SnapshotView& view, DecideCallback done) {
+  std::uint32_t max_round = round_;
+  double adopt_value = value_;
+  double round_min = value_;
+  double round_max = value_;
+  for (const std::int64_t data : view) {
+    Entry entry{};
+    if (!decode(data, entry)) continue;
+    if (entry.round > max_round) {
+      max_round = entry.round;
+      adopt_value = entry.value;
+    }
+    if (entry.round == round_) {
+      round_min = std::min(round_min, entry.value);
+      round_max = std::max(round_max, entry.value);
+    }
+  }
+  if (max_round > round_) {
+    // Someone is ahead: adopt their (round, value) — we are a laggard and
+    // their value already reflects more averaging than ours.
+    round_ = max_round;
+    value_ = adopt_value;
+  } else {
+    // Front-runner: average the round's spread and advance.
+    value_ = (round_min + round_max) / 2.0;
+    ++round_;
+  }
+  step(std::move(done));
+}
+
+}  // namespace abdkit::shmem

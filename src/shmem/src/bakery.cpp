@@ -1,0 +1,91 @@
+#include "abdkit/shmem/bakery.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace abdkit::shmem {
+
+BakeryLock::BakeryLock(RegisterSpace& space, ProcessId self, std::size_t n, ObjectId base)
+    : space_{&space}, self_{self}, n_{n}, base_{base} {
+  if (n == 0) throw std::invalid_argument{"BakeryLock: n must be positive"};
+  if (self >= n) throw std::invalid_argument{"BakeryLock: self out of range"};
+}
+
+void BakeryLock::lock(std::function<void()> entered) {
+  if (holding_) throw std::logic_error{"BakeryLock: already holding"};
+  Value one;
+  one.data = 1;
+  space_->write(choosing_reg(self_), one, [this, entered = std::move(entered)]() mutable {
+    collect_numbers(std::move(entered));
+  });
+}
+
+void BakeryLock::collect_numbers(std::function<void()> entered) {
+  auto max_seen = std::make_shared<std::int64_t>(0);
+  auto remaining = std::make_shared<std::size_t>(n_);
+  auto shared_entered = std::make_shared<std::function<void()>>(std::move(entered));
+  for (std::size_t j = 0; j < n_; ++j) {
+    space_->read(number_reg(j), [this, max_seen, remaining,
+                                 shared_entered](const Value& v) {
+      *max_seen = std::max(*max_seen, v.data);
+      if (--*remaining != 0) return;
+      // Took a ticket: 1 + max of everything seen.
+      my_number_ = *max_seen + 1;
+      Value ticket;
+      ticket.data = my_number_;
+      space_->write(number_reg(self_), ticket, [this, shared_entered] {
+        Value zero;
+        space_->write(choosing_reg(self_), zero, [this, shared_entered] {
+          // Doorway done; now wait for every other customer in turn.
+          await_customer(0, std::move(*shared_entered));
+        });
+      });
+    });
+  }
+}
+
+void BakeryLock::await_customer(std::size_t j, std::function<void()> entered) {
+  if (j == self_) {
+    await_customer(j + 1, std::move(entered));
+    return;
+  }
+  if (j >= n_) {
+    holding_ = true;
+    if (entered) entered();
+    return;
+  }
+  ++polls_;
+  space_->read(choosing_reg(j), [this, j, entered = std::move(entered)](
+                                    const Value& choosing) mutable {
+    if (choosing.data != 0) {
+      // j is in the doorway; try again (a fresh quorum read).
+      await_customer(j, std::move(entered));
+      return;
+    }
+    space_->read(number_reg(j), [this, j, entered = std::move(entered)](
+                                    const Value& number) mutable {
+      const bool j_waits_behind =
+          number.data == 0 ||
+          std::pair{number.data, static_cast<std::int64_t>(j)} >
+              std::pair{my_number_, static_cast<std::int64_t>(self_)};
+      if (j_waits_behind) {
+        await_customer(j + 1, std::move(entered));
+      } else {
+        await_customer(j, std::move(entered));  // poll j again
+      }
+    });
+  });
+}
+
+void BakeryLock::unlock(std::function<void()> done) {
+  if (!holding_) throw std::logic_error{"BakeryLock: unlock without holding"};
+  holding_ = false;
+  my_number_ = 0;
+  Value zero;
+  space_->write(number_reg(self_), zero, [done = std::move(done)] {
+    if (done) done();
+  });
+}
+
+}  // namespace abdkit::shmem

@@ -1,0 +1,82 @@
+#include "abdkit/shmem/counter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::shmem {
+
+namespace {
+
+void check_layout(ProcessId self, std::size_t n, const char* who) {
+  if (n == 0) throw std::invalid_argument{std::string{who} + ": n must be positive"};
+  if (self >= n) throw std::invalid_argument{std::string{who} + ": self out of range"};
+}
+
+/// Reads registers [base, base+n) concurrently and folds the data fields.
+void collect_fold(RegisterSpace& space, ObjectId base, std::size_t n,
+                  std::function<std::int64_t(std::int64_t, std::int64_t)> fold,
+                  std::int64_t init, std::function<void(std::int64_t)> done) {
+  auto acc = std::make_shared<std::int64_t>(init);
+  auto remaining = std::make_shared<std::size_t>(n);
+  auto shared_fold = std::make_shared<decltype(fold)>(std::move(fold));
+  auto shared_done = std::make_shared<decltype(done)>(std::move(done));
+  for (std::size_t i = 0; i < n; ++i) {
+    space.read(base + i, [acc, remaining, shared_fold, shared_done](const Value& v) {
+      *acc = (*shared_fold)(*acc, v.data);
+      if (--*remaining == 0 && *shared_done) (*shared_done)(*acc);
+    });
+  }
+}
+
+}  // namespace
+
+MonotoneCounter::MonotoneCounter(RegisterSpace& space, ProcessId self, std::size_t n,
+                                 ObjectId base)
+    : space_{&space}, self_{self}, n_{n}, base_{base} {
+  check_layout(self, n, "MonotoneCounter");
+}
+
+void MonotoneCounter::add(std::int64_t amount, std::function<void()> done) {
+  if (amount < 0) throw std::invalid_argument{"MonotoneCounter: negative amount"};
+  local_ += amount;
+  Value v;
+  v.data = local_;
+  space_->write(base_ + self_, v, [done = std::move(done)] {
+    if (done) done();
+  });
+}
+
+void MonotoneCounter::read(std::function<void(std::int64_t)> done) {
+  collect_fold(*space_, base_, n_,
+               [](std::int64_t a, std::int64_t b) { return a + b; }, 0,
+               std::move(done));
+}
+
+MaxRegister::MaxRegister(RegisterSpace& space, ProcessId self, std::size_t n, ObjectId base)
+    : space_{&space}, self_{self}, n_{n}, base_{base} {
+  check_layout(self, n, "MaxRegister");
+}
+
+void MaxRegister::write_max(std::int64_t value, std::function<void()> done) {
+  if (value <= local_best_) {
+    // Our segment already holds something at least as large; the install is
+    // a no-op and may complete immediately.
+    if (done) done();
+    return;
+  }
+  local_best_ = value;
+  Value v;
+  v.data = value;
+  space_->write(base_ + self_, v, [done = std::move(done)] {
+    if (done) done();
+  });
+}
+
+void MaxRegister::read(std::function<void(std::int64_t)> done) {
+  collect_fold(*space_, base_, n_,
+               [](std::int64_t a, std::int64_t b) { return std::max(a, b); }, 0,
+               std::move(done));
+}
+
+}  // namespace abdkit::shmem

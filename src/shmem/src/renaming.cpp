@@ -1,0 +1,75 @@
+#include "abdkit/shmem/renaming.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace abdkit::shmem {
+
+Renaming::Renaming(AtomicSnapshot& snapshot, std::int64_t original_id)
+    : snapshot_{&snapshot}, id_{original_id} {
+  if (original_id < 0 || original_id >= (std::int64_t{1} << 31)) {
+    throw std::invalid_argument{"Renaming: original id out of encodable range"};
+  }
+}
+
+std::int64_t Renaming::encode(std::int64_t id, std::int64_t suggestion) {
+  return ((id + 1) << 32) | suggestion;
+}
+
+bool Renaming::decode(std::int64_t data, Entry& out) {
+  if (data == 0) return false;  // vacant segment
+  out.id = (data >> 32) - 1;
+  out.suggestion = data & 0xffffffff;
+  return true;
+}
+
+void Renaming::get_name(NameCallback done) {
+  if (started_) throw std::logic_error{"Renaming: get_name is one-shot"};
+  started_ = true;
+  attempt(std::move(done));
+}
+
+void Renaming::attempt(NameCallback done) {
+  ++iterations_;
+  snapshot_->update(encode(id_, suggestion_), [this, done = std::move(done)]() mutable {
+    snapshot_->scan([this, done = std::move(done)](const SnapshotView& view) {
+      on_view(view, std::move(done));
+    });
+  });
+}
+
+void Renaming::on_view(const SnapshotView& view, NameCallback done) {
+  std::vector<Entry> others;
+  bool conflict = false;
+  for (const std::int64_t data : view) {
+    Entry entry{};
+    if (!decode(data, entry) || entry.id == id_) continue;
+    others.push_back(entry);
+    conflict = conflict || entry.suggestion == suggestion_;
+  }
+  if (!conflict) {
+    if (done) done(suggestion_);
+    return;
+  }
+
+  // Re-suggest: the r-th smallest name free of others' suggestions, where r
+  // is the 1-based rank of our id among participants in the view.
+  std::size_t rank = 1;
+  std::vector<std::int64_t> taken;
+  for (const Entry& entry : others) {
+    if (entry.id < id_) ++rank;
+    taken.push_back(entry.suggestion);
+  }
+  std::sort(taken.begin(), taken.end());
+  std::int64_t candidate = 0;
+  std::size_t free_seen = 0;
+  while (free_seen < rank) {
+    ++candidate;
+    if (!std::binary_search(taken.begin(), taken.end(), candidate)) ++free_seen;
+  }
+  suggestion_ = candidate;
+  attempt(std::move(done));
+}
+
+}  // namespace abdkit::shmem

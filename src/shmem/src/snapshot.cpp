@@ -1,0 +1,96 @@
+#include "abdkit/shmem/snapshot.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::shmem {
+
+AtomicSnapshot::AtomicSnapshot(RegisterSpace& space, ProcessId self, std::size_t n,
+                               ObjectId base)
+    : space_{&space}, self_{self}, n_{n}, base_{base} {
+  if (n == 0) throw std::invalid_argument{"AtomicSnapshot: n must be positive"};
+  if (self >= n) throw std::invalid_argument{"AtomicSnapshot: self out of range"};
+}
+
+AtomicSnapshot::Segment AtomicSnapshot::decode(const Value& value, std::size_t n) {
+  Segment segment;
+  segment.data = value.data;
+  if (value.aux.empty()) return segment;  // never written
+  segment.seq = value.aux.front();
+  segment.view.assign(value.aux.begin() + 1, value.aux.end());
+  if (segment.view.size() != n) {
+    throw std::logic_error{"AtomicSnapshot: embedded view has wrong arity"};
+  }
+  return segment;
+}
+
+Value AtomicSnapshot::encode(const Segment& segment) {
+  Value value;
+  value.data = segment.data;
+  value.aux.reserve(1 + segment.view.size());
+  value.aux.push_back(segment.seq);
+  value.aux.insert(value.aux.end(), segment.view.begin(), segment.view.end());
+  return value;
+}
+
+SnapshotView AtomicSnapshot::direct_view(const Collect& collect) {
+  SnapshotView view;
+  view.reserve(collect.size());
+  for (const Segment& segment : collect) view.push_back(segment.data);
+  return view;
+}
+
+void AtomicSnapshot::collect(CollectCallback done) {
+  auto result = std::make_shared<Collect>(n_);
+  auto remaining = std::make_shared<std::size_t>(n_);
+  auto shared_done = std::make_shared<CollectCallback>(std::move(done));
+  for (std::size_t i = 0; i < n_; ++i) {
+    space_->read(base_ + i, [this, i, result, remaining, shared_done](const Value& v) {
+      (*result)[i] = decode(v, n_);
+      if (--*remaining == 0) (*shared_done)(result);
+    });
+  }
+}
+
+void AtomicSnapshot::scan(ScanCallback done) {
+  collect([this, done = std::move(done)](std::shared_ptr<Collect> first) {
+    scan_round(std::move(first), std::vector<std::uint32_t>(n_, 0), done);
+  });
+}
+
+void AtomicSnapshot::scan_round(std::shared_ptr<Collect> previous,
+                                std::vector<std::uint32_t> moved, ScanCallback done) {
+  collect([this, previous = std::move(previous), moved = std::move(moved),
+           done](std::shared_ptr<Collect> current) mutable {
+    bool clean = true;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if ((*previous)[j].seq == (*current)[j].seq) continue;
+      clean = false;
+      if (++moved[j] >= 2) {
+        // j completed a whole update inside our scan; its embedded view was
+        // produced by a scan nested within ours — adopt it.
+        if (done) done((*current)[j].view);
+        return;
+      }
+    }
+    if (clean) {
+      if (done) done(direct_view(*current));
+      return;
+    }
+    scan_round(std::move(current), std::move(moved), std::move(done));
+  });
+}
+
+void AtomicSnapshot::update(std::int64_t value, UpdateCallback done) {
+  // Embedded scan first: the view we publish lets concurrent scanners that
+  // observe us move twice borrow a linearizable snapshot.
+  scan([this, value, done = std::move(done)](const SnapshotView& view) {
+    Segment segment;
+    segment.data = value;
+    segment.seq = ++my_seq_;
+    segment.view = view;
+    space_->write(base_ + self_, encode(segment), [done](){ if (done) done(); });
+  });
+}
+
+}  // namespace abdkit::shmem

@@ -1,0 +1,54 @@
+#include "abdkit/shmem/spsc_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::shmem {
+
+SpscQueue::SpscQueue(RegisterSpace& space, Role role, std::size_t capacity, ObjectId base)
+    : space_{&space}, role_{role}, capacity_{capacity}, base_{base} {
+  if (capacity == 0) throw std::invalid_argument{"SpscQueue: capacity must be positive"};
+}
+
+void SpscQueue::enqueue(std::int64_t value, std::function<void(bool)> done) {
+  if (role_ != Role::kProducer) throw std::logic_error{"SpscQueue: enqueue by consumer"};
+  space_->read(head_reg(), [this, value, done = std::move(done)](const Value& head) {
+    const auto h = static_cast<std::uint64_t>(head.data);
+    if (local_tail_ - h >= capacity_) {
+      if (done) done(false);  // full
+      return;
+    }
+    Value item;
+    item.data = value;
+    space_->write(slot_reg(local_tail_), item, [this, done = std::move(done)] {
+      ++local_tail_;
+      Value tail;
+      tail.data = static_cast<std::int64_t>(local_tail_);
+      space_->write(tail_reg(), tail, [done = std::move(done)] {
+        if (done) done(true);
+      });
+    });
+  });
+}
+
+void SpscQueue::dequeue(std::function<void(std::optional<std::int64_t>)> done) {
+  if (role_ != Role::kConsumer) throw std::logic_error{"SpscQueue: dequeue by producer"};
+  space_->read(tail_reg(), [this, done = std::move(done)](const Value& tail) {
+    const auto t = static_cast<std::uint64_t>(tail.data);
+    if (t == local_head_) {
+      if (done) done(std::nullopt);  // empty
+      return;
+    }
+    space_->read(slot_reg(local_head_), [this, done = std::move(done)](const Value& item) {
+      const std::int64_t value = item.data;
+      ++local_head_;
+      Value head;
+      head.data = static_cast<std::int64_t>(local_head_);
+      space_->write(head_reg(), head, [done = std::move(done), value] {
+        if (done) done(value);
+      });
+    });
+  });
+}
+
+}  // namespace abdkit::shmem

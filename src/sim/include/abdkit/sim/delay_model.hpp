@@ -1,0 +1,93 @@
+// Link-delay models for the simulated network.
+//
+// The ABD model only requires that messages between correct processes are
+// eventually delivered; these models let experiments explore the whole space
+// from lock-step (fixed delay) to heavily skewed asynchrony (slow replicas,
+// heavy-tailed links) while staying deterministic under a fixed seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abdkit/common/rng.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit::sim {
+
+/// Samples the in-flight time of one message. Implementations must be pure
+/// functions of (rng, from, to) so a run is reproducible.
+class DelayModel {
+ public:
+  DelayModel(const DelayModel&) = delete;
+  DelayModel& operator=(const DelayModel&) = delete;
+  virtual ~DelayModel() = default;
+
+  [[nodiscard]] virtual Duration sample(Rng& rng, ProcessId from, ProcessId to) = 0;
+
+ protected:
+  DelayModel() = default;
+};
+
+/// Every message takes exactly `delay` — a synchronous round structure,
+/// useful for exact round-trip counting (experiment E1).
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(Duration delay) noexcept : delay_{delay} {}
+  [[nodiscard]] Duration sample(Rng&, ProcessId, ProcessId) override { return delay_; }
+
+ private:
+  Duration delay_;
+};
+
+/// Uniform in [lo, hi] — introduces reordering.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Duration lo, Duration hi) noexcept : lo_{lo}, hi_{hi} {}
+  [[nodiscard]] Duration sample(Rng& rng, ProcessId, ProcessId) override;
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+/// Exponentially distributed with the given mean, floored at `min` — the
+/// classic asynchronous-network stand-in.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(Duration mean, Duration min) noexcept : mean_{mean}, min_{min} {}
+  [[nodiscard]] Duration sample(Rng& rng, ProcessId, ProcessId) override;
+
+ private:
+  Duration mean_;
+  Duration min_;
+};
+
+/// Pareto-tailed delays: most messages fast, a small fraction very slow.
+/// Exercises the "wait only for the fastest majority" property (E2).
+class HeavyTailDelay final : public DelayModel {
+ public:
+  /// `alpha` > 1 controls tail weight (smaller = heavier); `scale` is the
+  /// minimum delay.
+  HeavyTailDelay(Duration scale, double alpha) noexcept : scale_{scale}, alpha_{alpha} {}
+  [[nodiscard]] Duration sample(Rng& rng, ProcessId, ProcessId) override;
+
+ private:
+  Duration scale_;
+  double alpha_;
+};
+
+/// Wraps another model and multiplies delays touching designated slow
+/// processes — models stragglers without crashing them.
+class SlowProcessDelay final : public DelayModel {
+ public:
+  SlowProcessDelay(std::unique_ptr<DelayModel> base, std::vector<ProcessId> slow,
+                   double factor);
+  [[nodiscard]] Duration sample(Rng& rng, ProcessId from, ProcessId to) override;
+
+ private:
+  std::unique_ptr<DelayModel> base_;
+  std::vector<ProcessId> slow_;
+  double factor_;
+};
+
+}  // namespace abdkit::sim

@@ -1,0 +1,225 @@
+// Deterministic discrete-event simulation of an asynchronous message-passing
+// system with crash failures and network partitions — the execution model of
+// the ABD paper.
+//
+// Determinism contract: given the same seed, actor set, and sequence of
+// World API calls, every run delivers the same messages in the same order at
+// the same simulated times. Ties in simulated time break by event insertion
+// order. All randomness (delays, fault schedules driven by rng()) comes from
+// one seeded generator.
+//
+// Failure semantics:
+//   * crash(p): p delivers/sends nothing from that moment on; its pending
+//     timers never fire. Crashes are permanent (the paper's model).
+//   * partition(groups): messages crossing group boundaries are parked, not
+//     lost; heal() re-injects them with fresh delays. This keeps channels
+//     reliable (eventual delivery) unless a partition lasts forever — which
+//     is exactly the indistinguishability used in the n <= 2f impossibility
+//     argument (experiment E3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "abdkit/common/message.hpp"
+#include "abdkit/common/rng.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/common/types.hpp"
+#include "abdkit/sim/delay_model.hpp"
+
+namespace abdkit::sim {
+
+/// A notable simulator event, surfaced to an optional observer (tracing,
+/// visualization, invariant monitors). `payload` is null for non-message
+/// events.
+struct WorldEvent {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kDeliver,
+    kDrop,     // to/from crashed process
+    kLose,     // random channel loss
+    kPark,     // partition boundary
+    kCrash,
+    kRestart,
+    kPartition,
+    kHeal,
+  };
+  Kind kind{Kind::kSend};
+  TimePoint at{};
+  ProcessId from{kNoProcess};
+  ProcessId to{kNoProcess};
+  PayloadPtr payload;
+};
+
+using WorldObserver = std::function<void(const WorldEvent&)>;
+
+/// Network traffic counters, including per-payload-tag message counts so
+/// experiments can attribute cost to protocol phases.
+struct NetStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_delivered{0};
+  std::uint64_t messages_dropped{0};     // to/from crashed processes
+  std::uint64_t messages_lost{0};        // random channel loss
+  std::uint64_t messages_duplicated{0};  // random channel duplication
+  std::uint64_t messages_parked{0};      // held at a partition boundary
+  std::uint64_t bytes_sent{0};
+  std::map<PayloadTag, std::uint64_t> sent_by_tag;
+
+  void reset() { *this = NetStats{}; }
+};
+
+struct WorldConfig {
+  std::size_t num_processes{0};
+  std::uint64_t seed{1};
+  /// Defaults to ExponentialDelay(1ms mean, 10us floor) when null.
+  std::unique_ptr<DelayModel> delay;
+  /// Per-message independent loss probability. Non-zero leaves the paper's
+  /// reliable-channel model: protocols then need retransmission (see
+  /// abd::ClientOptions::retransmit_interval) for liveness. Safety must
+  /// hold regardless.
+  double loss_probability{0.0};
+  /// Per-message independent duplication probability (the duplicate takes
+  /// an independently sampled delay). Exercises handler idempotence.
+  double duplicate_probability{0.0};
+  /// Hard cap on events per run_* call, guarding against livelock bugs.
+  std::size_t max_events_per_run{50'000'000};
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Install the actor for process `id`. Must happen before start().
+  void add_actor(ProcessId id, std::unique_ptr<Actor> actor);
+
+  /// Calls on_start for every installed actor (in id order).
+  void start();
+
+  // ---- Fault injection -------------------------------------------------
+
+  /// Crash `p` (idempotent). Permanent unless restart() revives the slot.
+  void crash(ProcessId p);
+  [[nodiscard]] bool crashed(ProcessId p) const;
+  [[nodiscard]] std::size_t crashed_count() const noexcept { return crashed_.size(); }
+
+  /// Revive a crashed process with a brand-new actor (all volatile state of
+  /// the old incarnation is gone — the crash-recovery model). The fresh
+  /// actor's on_start runs immediately; messages to/from the slot flow
+  /// again. Returns a reference to the installed actor.
+  Actor& restart(ProcessId p, std::unique_ptr<Actor> fresh);
+
+  /// Split the system into groups; messages across groups are parked until
+  /// heal(). Processes absent from every group form an implicit extra group.
+  void partition(const std::vector<std::vector<ProcessId>>& groups);
+  /// Remove the partition and re-inject parked messages with fresh delays.
+  void heal();
+  [[nodiscard]] bool partitioned() const noexcept { return !group_of_.empty(); }
+
+  // ---- Scheduling external stimuli --------------------------------------
+
+  /// Run `fn` at absolute simulated time `t` (>= now). Used by experiment
+  /// drivers to invoke operations, crash processes mid-protocol, etc.
+  void at(TimePoint t, std::function<void()> fn);
+  /// Run `fn` after `delay` from now.
+  void after(Duration delay, std::function<void()> fn);
+
+  // ---- Event loop --------------------------------------------------------
+
+  /// Execute the single earliest event. Returns false if none is pending.
+  bool step();
+  /// Run until no events remain (or the per-run event cap trips). Returns
+  /// the number of events executed.
+  std::size_t run_until_quiescent();
+  /// Run events with time <= `deadline`; simulated clock ends at `deadline`.
+  std::size_t run_until(TimePoint deadline);
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t size() const noexcept { return contexts_.size(); }
+  [[nodiscard]] NetStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// The Context handle for process `p` — lets test drivers poke actors
+  /// through the same interface the actors themselves see.
+  [[nodiscard]] Context& context(ProcessId p);
+
+  /// Install an observer invoked synchronously for every notable event.
+  /// Pass nullptr to remove. Observation must not mutate the world.
+  void set_observer(WorldObserver observer) { observer_ = std::move(observer); }
+
+ private:
+  friend class SimContext;
+
+  struct DeliverEvent {
+    Message msg;
+  };
+  struct TimerEvent {
+    ProcessId process;
+    TimerId timer;
+  };
+  struct ClosureEvent {
+    std::function<void()> fn;
+  };
+
+  struct Event {
+    TimePoint time{};
+    std::uint64_t seq{0};  // tie-breaker: insertion order
+    // Exactly one of the following is engaged (a hand-rolled variant keeps
+    // the priority-queue node small and the dispatch explicit).
+    std::optional<DeliverEvent> deliver;
+    std::optional<TimerEvent> timer;
+    std::optional<ClosureEvent> closure;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue(TimePoint t, Event ev);
+  void dispatch(Event& ev);
+  void do_send(ProcessId from, ProcessId to, PayloadPtr payload);
+  [[nodiscard]] bool separated(ProcessId a, ProcessId b) const;
+  void deliver_now(const Message& msg);
+
+  TimePoint now_{Duration::zero()};
+  std::uint64_t next_seq_{0};
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<std::unique_ptr<class SimContext>> contexts_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::unordered_set<ProcessId> crashed_;
+  std::unordered_map<ProcessId, std::size_t> group_of_;  // empty => connected
+  std::vector<Message> parked_;
+  std::unordered_set<TimerId> cancelled_timers_;
+  std::unordered_map<TimerId, TimerCallback> timer_callbacks_;
+  TimerId next_timer_{1};
+  Rng rng_;
+  std::unique_ptr<DelayModel> delay_;
+  double loss_probability_{0.0};
+  double duplicate_probability_{0.0};
+  NetStats stats_;
+  std::size_t max_events_per_run_;
+  bool started_{false};
+  WorldObserver observer_;
+
+  void observe(WorldEvent::Kind kind, ProcessId from, ProcessId to,
+               const PayloadPtr& payload = nullptr) {
+    if (!observer_) return;
+    observer_(WorldEvent{kind, now_, from, to, payload});
+  }
+};
+
+}  // namespace abdkit::sim

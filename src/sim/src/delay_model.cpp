@@ -1,0 +1,48 @@
+#include "abdkit/sim/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace abdkit::sim {
+
+Duration UniformDelay::sample(Rng& rng, ProcessId, ProcessId) {
+  const auto lo = lo_.count();
+  const auto hi = hi_.count();
+  return Duration{rng.between(lo, hi)};
+}
+
+Duration ExponentialDelay::sample(Rng& rng, ProcessId, ProcessId) {
+  const double d = rng.exponential(static_cast<double>(mean_.count()));
+  const auto ns = static_cast<Duration::rep>(d);
+  return std::max(min_, Duration{ns});
+}
+
+Duration HeavyTailDelay::sample(Rng& rng, ProcessId, ProcessId) {
+  // Pareto(scale, alpha) via inverse CDF: scale / U^{1/alpha}.
+  double u = rng.uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double d = static_cast<double>(scale_.count()) / std::pow(u, 1.0 / alpha_);
+  // Cap at 10^6x scale so a single sample cannot freeze an experiment.
+  const double cap = static_cast<double>(scale_.count()) * 1e6;
+  return Duration{static_cast<Duration::rep>(std::min(d, cap))};
+}
+
+SlowProcessDelay::SlowProcessDelay(std::unique_ptr<DelayModel> base,
+                                   std::vector<ProcessId> slow, double factor)
+    : base_{std::move(base)}, slow_{std::move(slow)}, factor_{factor} {
+  if (base_ == nullptr) throw std::invalid_argument{"SlowProcessDelay: null base model"};
+  if (factor_ < 1.0) throw std::invalid_argument{"SlowProcessDelay: factor must be >= 1"};
+}
+
+Duration SlowProcessDelay::sample(Rng& rng, ProcessId from, ProcessId to) {
+  const Duration base = base_->sample(rng, from, to);
+  const bool touches_slow =
+      std::find(slow_.begin(), slow_.end(), from) != slow_.end() ||
+      std::find(slow_.begin(), slow_.end(), to) != slow_.end();
+  if (!touches_slow) return base;
+  return Duration{static_cast<Duration::rep>(static_cast<double>(base.count()) * factor_)};
+}
+
+}  // namespace abdkit::sim

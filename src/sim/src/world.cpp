@@ -1,0 +1,279 @@
+#include "abdkit/sim/world.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "abdkit/common/log.hpp"
+
+namespace abdkit::sim {
+
+using namespace std::chrono_literals;
+
+/// Per-process implementation of the Context interface, forwarding into the
+/// owning World.
+class SimContext final : public Context {
+ public:
+  SimContext(World& world, ProcessId self) noexcept : world_{world}, self_{self} {}
+
+  [[nodiscard]] ProcessId self() const noexcept override { return self_; }
+  [[nodiscard]] std::size_t world_size() const noexcept override {
+    return world_.size();
+  }
+
+  void send(ProcessId to, PayloadPtr payload) override {
+    world_.do_send(self_, to, std::move(payload));
+  }
+
+  void broadcast(PayloadPtr payload) override {
+    for (ProcessId p = 0; p < world_.size(); ++p) world_.do_send(self_, p, payload);
+  }
+
+  TimerId set_timer(Duration delay, TimerCallback cb) override {
+    const TimerId id = world_.next_timer_++;
+    world_.timer_callbacks_.emplace(id, std::move(cb));
+    World::Event ev;
+    ev.timer = World::TimerEvent{self_, id};
+    world_.enqueue(world_.now_ + delay, std::move(ev));
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override {
+    if (world_.timer_callbacks_.erase(id) != 0) {
+      world_.cancelled_timers_.insert(id);
+    }
+  }
+
+  [[nodiscard]] TimePoint now() const noexcept override { return world_.now_; }
+
+ private:
+  World& world_;
+  ProcessId self_;
+};
+
+World::World(WorldConfig config)
+    : rng_{config.seed},
+      delay_{std::move(config.delay)},
+      loss_probability_{config.loss_probability},
+      duplicate_probability_{config.duplicate_probability},
+      max_events_per_run_{config.max_events_per_run} {
+  if (config.num_processes == 0) {
+    throw std::invalid_argument{"World: num_processes must be positive"};
+  }
+  if (loss_probability_ < 0.0 || loss_probability_ >= 1.0 ||
+      duplicate_probability_ < 0.0 || duplicate_probability_ >= 1.0) {
+    throw std::invalid_argument{"World: loss/duplicate probability outside [0, 1)"};
+  }
+  if (delay_ == nullptr) {
+    delay_ = std::make_unique<ExponentialDelay>(1ms, 10us);
+  }
+  contexts_.reserve(config.num_processes);
+  actors_.resize(config.num_processes);
+  for (ProcessId p = 0; p < config.num_processes; ++p) {
+    contexts_.push_back(std::make_unique<SimContext>(*this, p));
+  }
+}
+
+World::~World() = default;
+
+void World::add_actor(ProcessId id, std::unique_ptr<Actor> actor) {
+  if (started_) throw std::logic_error{"World: add_actor after start"};
+  if (id >= actors_.size()) throw std::out_of_range{"World: actor id out of range"};
+  if (actors_[id] != nullptr) throw std::logic_error{"World: duplicate actor id"};
+  actors_[id] = std::move(actor);
+}
+
+void World::start() {
+  if (started_) throw std::logic_error{"World: start called twice"};
+  for (ProcessId p = 0; p < actors_.size(); ++p) {
+    if (actors_[p] == nullptr) {
+      throw std::logic_error{"World: missing actor for process " + std::to_string(p)};
+    }
+  }
+  started_ = true;
+  for (ProcessId p = 0; p < actors_.size(); ++p) actors_[p]->on_start(*contexts_[p]);
+}
+
+void World::crash(ProcessId p) {
+  if (p >= actors_.size()) throw std::out_of_range{"World: crash id out of range"};
+  crashed_.insert(p);
+  observe(WorldEvent::Kind::kCrash, p, p);
+}
+
+bool World::crashed(ProcessId p) const { return crashed_.contains(p); }
+
+Actor& World::restart(ProcessId p, std::unique_ptr<Actor> fresh) {
+  if (p >= actors_.size()) throw std::out_of_range{"World: restart id out of range"};
+  if (!crashed_.contains(p)) throw std::logic_error{"World: restart of a live process"};
+  if (fresh == nullptr) throw std::invalid_argument{"World: restart with null actor"};
+  crashed_.erase(p);
+  actors_[p] = std::move(fresh);
+  observe(WorldEvent::Kind::kRestart, p, p);
+  actors_[p]->on_start(*contexts_[p]);
+  return *actors_[p];
+}
+
+void World::partition(const std::vector<std::vector<ProcessId>>& groups) {
+  group_of_.clear();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (ProcessId p : groups[g]) {
+      if (p >= actors_.size()) throw std::out_of_range{"World: partition id out of range"};
+      group_of_[p] = g;
+    }
+  }
+  // Processes not named in any group share an implicit extra group.
+  const std::size_t implicit = groups.size();
+  for (ProcessId p = 0; p < actors_.size(); ++p) {
+    group_of_.try_emplace(p, implicit);
+  }
+  observe(WorldEvent::Kind::kPartition, kNoProcess, kNoProcess);
+}
+
+void World::heal() {
+  group_of_.clear();
+  observe(WorldEvent::Kind::kHeal, kNoProcess, kNoProcess);
+  std::vector<Message> parked;
+  parked.swap(parked_);
+  for (Message& msg : parked) {
+    // Fresh delay on re-injection: the link was merely slow, not lossy.
+    const Duration d = delay_->sample(rng_, msg.from, msg.to);
+    Event ev;
+    ev.deliver = DeliverEvent{std::move(msg)};
+    enqueue(now_ + d, std::move(ev));
+  }
+}
+
+void World::at(TimePoint t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  Event ev;
+  ev.closure = ClosureEvent{std::move(fn)};
+  enqueue(t, std::move(ev));
+}
+
+void World::after(Duration delay, std::function<void()> fn) {
+  at(now_ + delay, std::move(fn));
+}
+
+bool World::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small fields and move the payload holders explicitly.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  dispatch(ev);
+  return true;
+}
+
+std::size_t World::run_until_quiescent() {
+  std::size_t executed = 0;
+  while (step()) {
+    if (++executed >= max_events_per_run_) {
+      throw std::runtime_error{"World: event cap exceeded (livelock?)"};
+    }
+  }
+  return executed;
+}
+
+std::size_t World::run_until(TimePoint deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    if (++executed >= max_events_per_run_) {
+      throw std::runtime_error{"World: event cap exceeded (livelock?)"};
+    }
+  }
+  now_ = std::max(now_, deadline);
+  return executed;
+}
+
+Context& World::context(ProcessId p) {
+  if (p >= contexts_.size()) throw std::out_of_range{"World: context id out of range"};
+  return *contexts_[p];
+}
+
+void World::enqueue(TimePoint t, Event ev) {
+  ev.time = t;
+  ev.seq = next_seq_++;
+  queue_.push(std::move(ev));
+}
+
+void World::dispatch(Event& ev) {
+  if (ev.deliver.has_value()) {
+    deliver_now(ev.deliver->msg);
+  } else if (ev.timer.has_value()) {
+    const auto [process, timer] = *ev.timer;
+    if (cancelled_timers_.erase(timer) != 0) return;
+    const auto it = timer_callbacks_.find(timer);
+    if (it == timer_callbacks_.end()) return;
+    TimerCallback cb = std::move(it->second);
+    timer_callbacks_.erase(it);
+    if (crashed_.contains(process)) return;  // timers die with their process
+    cb();
+  } else if (ev.closure.has_value()) {
+    ev.closure->fn();
+  }
+}
+
+void World::do_send(ProcessId from, ProcessId to, PayloadPtr payload) {
+  if (to >= actors_.size()) throw std::out_of_range{"World: send to unknown process"};
+  if (payload == nullptr) throw std::invalid_argument{"World: null payload"};
+  if (crashed_.contains(from)) {
+    // A crashed process performs no further steps; sends silently vanish.
+    ++stats_.messages_dropped;
+    return;
+  }
+  observe(WorldEvent::Kind::kSend, from, to, payload);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload->wire_size() + kEnvelopeBytes;
+  ++stats_.sent_by_tag[payload->tag()];
+
+  if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
+    ++stats_.messages_lost;
+    observe(WorldEvent::Kind::kLose, from, to, payload);
+    return;
+  }
+  const Duration d = delay_->sample(rng_, from, to);
+  Event ev;
+  ev.deliver = DeliverEvent{Message{from, to, payload}};
+  enqueue(now_ + d, std::move(ev));
+
+  if (duplicate_probability_ > 0.0 && rng_.chance(duplicate_probability_)) {
+    ++stats_.messages_duplicated;
+    const Duration dup_delay = delay_->sample(rng_, from, to);
+    Event dup;
+    dup.deliver = DeliverEvent{Message{from, to, std::move(payload)}};
+    enqueue(now_ + dup_delay, std::move(dup));
+  }
+}
+
+bool World::separated(ProcessId a, ProcessId b) const {
+  if (group_of_.empty()) return false;
+  return group_of_.at(a) != group_of_.at(b);
+}
+
+void World::deliver_now(const Message& msg) {
+  if (crashed_.contains(msg.to) || crashed_.contains(msg.from)) {
+    // Receiver gone, or sender crashed while the message was in flight; the
+    // paper allows a crashing process's last sends to reach any subset of
+    // destinations — dropping in-flight traffic from crashed senders gives
+    // the adversary maximal power, which is what tests want.
+    ++stats_.messages_dropped;
+    observe(WorldEvent::Kind::kDrop, msg.from, msg.to, msg.payload);
+    return;
+  }
+  if (separated(msg.from, msg.to)) {
+    ++stats_.messages_parked;
+    observe(WorldEvent::Kind::kPark, msg.from, msg.to, msg.payload);
+    parked_.push_back(msg);
+    return;
+  }
+  ++stats_.messages_delivered;
+  observe(WorldEvent::Kind::kDeliver, msg.from, msg.to, msg.payload);
+  ABDKIT_LOG(LogLevel::kTrace, "sim",
+             "t=", now_.count(), "ns ", msg.from, " -> ", msg.to, " ",
+             msg.payload->debug());
+  actors_[msg.to]->on_message(*contexts_[msg.to], msg.from, *msg.payload);
+}
+
+}  // namespace abdkit::sim

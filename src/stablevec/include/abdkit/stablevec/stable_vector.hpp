@@ -1,0 +1,79 @@
+// Stable vectors — the communication primitive that preceded ABD.
+//
+// Attiya's retrospective traces the road to ABD through "stable vectors"
+// (used for renaming, then generalized by Bar-Noy & Dolev, PODC 1989): a
+// vector of per-processor values such that a majority of processors hold
+// *exactly the same* vector. The primitive hides much of message-passing
+// inconsistency, but — unlike the atomic registers ABD provides — reads of
+// stable vectors are not atomic; ABD's write-back was the missing step.
+//
+// Implementation (crash model, f < n/2): every participant broadcasts its
+// input, maintains the vector of values it has received, and rebroadcasts
+// its vector state whenever it grows. A process returns the first vector W
+// that (a) contains its own input and (b) is simultaneously reported as the
+// *current* state by a strict majority. Vectors only grow, so any two
+// stable vectors are comparable under entry-wise containment (the property
+// renaming exploited) — tests verify this and termination under crashes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "abdkit/common/message.hpp"
+#include "abdkit/common/transport.hpp"
+
+namespace abdkit::stablevec {
+
+/// Entry-wise view; nullopt = no value received from that processor yet.
+using VectorView = std::vector<std::optional<std::int64_t>>;
+
+using StableCallback = std::function<void(const VectorView&)>;
+
+namespace tags {
+inline constexpr PayloadTag kState = 0x0801;
+}
+
+/// One participant of one stable-vector instance. Deploy one per process
+/// (as its Actor or inside a composite), call contribute() once.
+class StableVector final : public Actor {
+ public:
+  explicit StableVector(std::int64_t input) noexcept : input_{input} {}
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
+
+  /// Fires once, with the first stable vector observed.
+  void on_stable(StableCallback done) { done_ = std::move(done); }
+
+  [[nodiscard]] bool decided() const noexcept { return decided_; }
+  [[nodiscard]] const VectorView& view() const noexcept { return view_; }
+
+ private:
+  void merge_and_maybe_rebroadcast(Context& ctx, ProcessId from, const VectorView& theirs);
+  void check_stability(Context& ctx);
+
+  std::int64_t input_;
+  Context* ctx_{nullptr};
+  VectorView view_;
+  /// Last vector state reported by each peer.
+  std::vector<VectorView> last_reported_;
+  StableCallback done_;
+  bool decided_{false};
+};
+
+/// Wire payload: a full vector state snapshot.
+class StateMsg final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kState;
+  explicit StateMsg(VectorView view_in) : Payload{kTag}, view{std::move(view_in)} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return 2 + 9 * view.size();  // count + (present flag + value) per entry
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  VectorView view;
+};
+
+}  // namespace abdkit::stablevec

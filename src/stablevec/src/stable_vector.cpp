@@ -1,0 +1,75 @@
+#include "abdkit/stablevec/stable_vector.hpp"
+
+#include <sstream>
+
+namespace abdkit::stablevec {
+
+std::string StateMsg::debug() const {
+  std::ostringstream os;
+  os << "svState{";
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (i != 0) os << ",";
+    if (view[i].has_value()) {
+      os << *view[i];
+    } else {
+      os << "_";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+void StableVector::on_start(Context& ctx) {
+  ctx_ = &ctx;
+  view_.assign(ctx.world_size(), std::nullopt);
+  last_reported_.assign(ctx.world_size(), {});
+  view_[ctx.self()] = input_;
+  ctx.broadcast(make_payload<StateMsg>(view_));
+}
+
+void StableVector::on_message(Context& ctx, ProcessId from, const Payload& payload) {
+  const auto* state = payload_cast<StateMsg>(payload);
+  if (state == nullptr || state->view.size() != view_.size()) return;
+  merge_and_maybe_rebroadcast(ctx, from, state->view);
+  check_stability(ctx);
+}
+
+void StableVector::merge_and_maybe_rebroadcast(Context& ctx, ProcessId from,
+                                               const VectorView& theirs) {
+  // Channels reorder, so an older state can arrive after a newer one. A
+  // sender's states grow monotonically, so the entry-wise merge recovers
+  // its most advanced reported state regardless of delivery order.
+  VectorView& reported = last_reported_[from];
+  if (reported.empty()) reported.assign(view_.size(), std::nullopt);
+  for (std::size_t i = 0; i < reported.size(); ++i) {
+    if (!reported[i].has_value() && theirs[i].has_value()) reported[i] = theirs[i];
+  }
+  bool grew = false;
+  for (std::size_t i = 0; i < view_.size(); ++i) {
+    if (!view_[i].has_value() && theirs[i].has_value()) {
+      view_[i] = theirs[i];
+      grew = true;
+    }
+  }
+  if (grew) {
+    // Vector states only grow; rebroadcasting on growth guarantees
+    // convergence among live processes (finitely many possible states).
+    ctx.broadcast(make_payload<StateMsg>(view_));
+  }
+}
+
+void StableVector::check_stability(Context&) {
+  if (decided_) return;
+  // Our own current state counts as one report of itself.
+  std::size_t agreeing = 1;
+  for (ProcessId p = 0; p < last_reported_.size(); ++p) {
+    if (p == ctx_->self()) continue;
+    if (last_reported_[p] == view_) ++agreeing;
+  }
+  if (2 * agreeing <= view_.size()) return;
+  if (!view_[ctx_->self()].has_value()) return;  // must include own input
+  decided_ = true;
+  if (done_) done_(view_);
+}
+
+}  // namespace abdkit::stablevec

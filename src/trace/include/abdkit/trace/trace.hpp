@@ -1,0 +1,61 @@
+// Execution tracing: capture every notable simulator event as a structured
+// record, render to JSONL, and parse it back. Traces make failing seeds
+// explorable ("what did replica 3 see before the read stalled?") and feed
+// external visualization without coupling the simulator to any format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdkit/sim/world.hpp"
+
+namespace abdkit::trace {
+
+/// A flattened, payload-rendered form of sim::WorldEvent.
+struct Record {
+  std::string kind;  // "send", "deliver", "drop", "lose", "park", "crash",
+                     // "restart", "partition", "heal"
+  std::int64_t at_ns{0};
+  ProcessId from{kNoProcess};
+  ProcessId to{kNoProcess};
+  std::uint32_t payload_tag{0};   // 0 when no payload
+  std::string payload_debug;      // empty when no payload
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+[[nodiscard]] const char* kind_name(sim::WorldEvent::Kind kind) noexcept;
+
+/// Collects events from a World. Attach with `recorder.attach(world)`;
+/// detach by destroying the recorder or attaching another observer.
+class Recorder {
+ public:
+  /// Installs this recorder as the world's observer (replacing any).
+  void attach(sim::World& world);
+
+  [[nodiscard]] const std::vector<Record>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Records with the given kind (e.g. count deliveries to one process).
+  [[nodiscard]] std::vector<Record> filtered(std::string_view kind) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// One JSON object per record, one record per line. Escapes the payload
+/// debug string; everything else is numeric or a fixed token.
+void write_jsonl(const std::vector<Record>& records, std::ostream& out);
+[[nodiscard]] std::string to_jsonl(const std::vector<Record>& records);
+
+/// Parses JSONL produced by write_jsonl (a purpose-built parser, not a
+/// general JSON library: it accepts exactly the writer's shape). Returns
+/// nullopt on any malformed line.
+[[nodiscard]] std::optional<std::vector<Record>> parse_jsonl(std::string_view text);
+
+}  // namespace abdkit::trace

@@ -1,0 +1,196 @@
+#include "abdkit/trace/trace.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+namespace abdkit::trace {
+
+const char* kind_name(sim::WorldEvent::Kind kind) noexcept {
+  switch (kind) {
+    case sim::WorldEvent::Kind::kSend: return "send";
+    case sim::WorldEvent::Kind::kDeliver: return "deliver";
+    case sim::WorldEvent::Kind::kDrop: return "drop";
+    case sim::WorldEvent::Kind::kLose: return "lose";
+    case sim::WorldEvent::Kind::kPark: return "park";
+    case sim::WorldEvent::Kind::kCrash: return "crash";
+    case sim::WorldEvent::Kind::kRestart: return "restart";
+    case sim::WorldEvent::Kind::kPartition: return "partition";
+    case sim::WorldEvent::Kind::kHeal: return "heal";
+  }
+  return "?";
+}
+
+void Recorder::attach(sim::World& world) {
+  world.set_observer([this](const sim::WorldEvent& event) {
+    Record record;
+    record.kind = kind_name(event.kind);
+    record.at_ns = event.at.count();
+    record.from = event.from;
+    record.to = event.to;
+    if (event.payload != nullptr) {
+      record.payload_tag = event.payload->tag();
+      record.payload_debug = event.payload->debug();
+    }
+    records_.push_back(std::move(record));
+  });
+}
+
+std::vector<Record> Recorder::filtered(std::string_view kind) const {
+  std::vector<Record> result;
+  for (const Record& record : records_) {
+    if (record.kind == kind) result.push_back(record);
+  }
+  return result;
+}
+
+namespace {
+
+void escape_into(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void write_jsonl(const std::vector<Record>& records, std::ostream& out) {
+  for (const Record& r : records) {
+    out << R"({"kind":")" << r.kind << R"(","at_ns":)" << r.at_ns << R"(,"from":)"
+        << r.from << R"(,"to":)" << r.to << R"(,"tag":)" << r.payload_tag
+        << R"(,"debug":")";
+    escape_into(out, r.payload_debug);
+    out << "\"}\n";
+  }
+}
+
+std::string to_jsonl(const std::vector<Record>& records) {
+  std::ostringstream os;
+  write_jsonl(records, os);
+  return os.str();
+}
+
+namespace {
+
+/// Minimal cursor over one JSONL line of the writer's exact shape.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) noexcept : line_{line} {}
+
+  bool literal(std::string_view expected) {
+    if (line_.substr(position_, expected.size()) != expected) return fail();
+    position_ += expected.size();
+    return true;
+  }
+
+  bool number(std::int64_t& out) {
+    const char* begin = line_.data() + position_;
+    const char* end = line_.data() + line_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{}) return fail();
+    position_ += static_cast<std::size_t>(ptr - begin);
+    return true;
+  }
+
+  bool quoted(std::string& out) {
+    out.clear();
+    while (position_ < line_.size()) {
+      const char c = line_[position_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (position_ >= line_.size()) return fail();
+      const char esc = line_[position_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (position_ + 4 > line_.size()) return fail();
+          std::int64_t code = 0;
+          const char* begin = line_.data() + position_;
+          const auto [ptr, ec] = std::from_chars(begin, begin + 4, code, 16);
+          if (ec != std::errc{} || ptr != begin + 4) return fail();
+          position_ += 4;
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: return fail();
+      }
+    }
+    return fail();  // unterminated string
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return ok_ && position_ == line_.size(); }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view line_;
+  std::size_t position_{0};
+  bool ok_{true};
+};
+
+std::optional<Record> parse_line(std::string_view line) {
+  LineParser p{line};
+  Record r;
+  std::int64_t from = 0;
+  std::int64_t to = 0;
+  std::int64_t tag = 0;
+  if (!p.literal(R"({"kind":")")) return std::nullopt;
+  if (!p.quoted(r.kind)) return std::nullopt;
+  if (!p.literal(R"(,"at_ns":)") || !p.number(r.at_ns)) return std::nullopt;
+  if (!p.literal(R"(,"from":)") || !p.number(from)) return std::nullopt;
+  if (!p.literal(R"(,"to":)") || !p.number(to)) return std::nullopt;
+  if (!p.literal(R"(,"tag":)") || !p.number(tag)) return std::nullopt;
+  if (!p.literal(R"(,"debug":")")) return std::nullopt;
+  if (!p.quoted(r.payload_debug)) return std::nullopt;
+  if (!p.literal("}")) return std::nullopt;
+  if (!p.at_end()) return std::nullopt;
+  if (from < 0 || to < 0 || tag < 0) return std::nullopt;
+  r.from = static_cast<ProcessId>(from);
+  r.to = static_cast<ProcessId>(to);
+  r.payload_tag = static_cast<std::uint32_t>(tag);
+  return r;
+}
+
+}  // namespace
+
+std::optional<std::vector<Record>> parse_jsonl(std::string_view text) {
+  std::vector<Record> records;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    if (!line.empty()) {
+      auto record = parse_line(line);
+      if (!record.has_value()) return std::nullopt;
+      records.push_back(std::move(*record));
+    }
+    start = end + 1;
+  }
+  return records;
+}
+
+}  // namespace abdkit::trace

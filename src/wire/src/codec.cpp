@@ -1,0 +1,350 @@
+#include "abdkit/wire/codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "abdkit/abd/bounded_messages.hpp"
+#include "abdkit/abd/messages.hpp"
+
+namespace abdkit::wire {
+
+namespace {
+
+/// Sanity bound on decoded aux vectors: a register value carrying more than
+/// a million words is certainly garbage, and the cap stops a hostile length
+/// prefix from triggering a huge allocation.
+constexpr std::uint64_t kMaxAuxWords = 1 << 20;
+
+}  // namespace
+
+// ---- Writer ---------------------------------------------------------------------
+
+void Writer::u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xff));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v & 0xffff));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::u64_fixed(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xffffffffULL));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::i64_fixed(std::int64_t v) {
+  u64_fixed(static_cast<std::uint64_t>(v));
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::tag(const abd::Tag& t) {
+  varint(t.seq);
+  u16(static_cast<std::uint16_t>(t.writer));
+}
+
+void Writer::value(const Value& v) {
+  i64_fixed(v.data);
+  varint(v.padding_bytes);
+  varint(v.aux.size());
+  for (const std::int64_t word : v.aux) i64_fixed(word);
+}
+
+// ---- Reader ---------------------------------------------------------------------
+
+bool Reader::take(std::size_t n, const std::byte*& out) {
+  if (failed_ || bytes_.size() - position_ < n) {
+    failed_ = true;
+    return false;
+  }
+  out = bytes_.data() + position_;
+  position_ += n;
+  return true;
+}
+
+bool Reader::u8(std::uint8_t& out) {
+  const std::byte* p = nullptr;
+  if (!take(1, p)) return false;
+  out = static_cast<std::uint8_t>(*p);
+  return true;
+}
+
+bool Reader::u16(std::uint16_t& out) {
+  const std::byte* p = nullptr;
+  if (!take(2, p)) return false;
+  out = static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[0]) |
+                                   (static_cast<std::uint16_t>(p[1]) << 8));
+  return true;
+}
+
+bool Reader::u32(std::uint32_t& out) {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 0;
+  if (!u16(lo) || !u16(hi)) return false;
+  out = static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(hi) << 16);
+  return true;
+}
+
+bool Reader::u64_fixed(std::uint64_t& out) {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  if (!u32(lo) || !u32(hi)) return false;
+  out = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+  return true;
+}
+
+bool Reader::i64_fixed(std::int64_t& out) {
+  std::uint64_t raw = 0;
+  if (!u64_fixed(raw)) return false;
+  std::memcpy(&out, &raw, sizeof out);
+  return true;
+}
+
+bool Reader::varint(std::uint64_t& out) {
+  out = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    std::uint8_t byte = 0;
+    if (!u8(byte)) return false;
+    out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical over-long encodings of small numbers in the
+      // final 64-bit chunk (shift 63 leaves 1 usable bit).
+      if (shift == 63 && byte > 1) {
+        failed_ = true;
+        return false;
+      }
+      return true;
+    }
+  }
+  failed_ = true;  // more than 10 continuation bytes
+  return false;
+}
+
+bool Reader::tag(abd::Tag& out) {
+  std::uint64_t seq = 0;
+  std::uint16_t writer = 0;
+  if (!varint(seq) || !u16(writer)) return false;
+  out = abd::Tag{seq, writer};
+  return true;
+}
+
+bool Reader::value(Value& out) {
+  std::int64_t data = 0;
+  std::uint64_t padding = 0;
+  std::uint64_t aux_n = 0;
+  if (!i64_fixed(data) || !varint(padding) || !varint(aux_n)) return false;
+  if (padding > 0xffffffffULL || aux_n > kMaxAuxWords) {
+    failed_ = true;
+    return false;
+  }
+  out.data = data;
+  out.padding_bytes = static_cast<std::uint32_t>(padding);
+  out.aux.clear();
+  out.aux.reserve(static_cast<std::size_t>(aux_n));
+  for (std::uint64_t i = 0; i < aux_n; ++i) {
+    std::int64_t word = 0;
+    if (!i64_fixed(word)) return false;
+    out.aux.push_back(word);
+  }
+  return true;
+}
+
+// ---- Payload dispatch -------------------------------------------------------------
+
+namespace {
+
+using abd::tags::kBReadQuery;
+using abd::tags::kBReadReply;
+using abd::tags::kBUpdate;
+using abd::tags::kBUpdateAck;
+using abd::tags::kReadQuery;
+using abd::tags::kReadReply;
+using abd::tags::kTagQuery;
+using abd::tags::kTagReply;
+using abd::tags::kUpdate;
+using abd::tags::kUpdateAck;
+
+void encode_body(Writer& w, const Payload& payload) {
+  switch (payload.tag()) {
+    case kReadQuery: {
+      const auto& m = static_cast<const abd::ReadQuery&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      return;
+    }
+    case kReadReply: {
+      const auto& m = static_cast<const abd::ReadReply&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.tag(m.value_tag);
+      w.value(m.value);
+      return;
+    }
+    case kTagQuery: {
+      const auto& m = static_cast<const abd::TagQuery&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      return;
+    }
+    case kTagReply: {
+      const auto& m = static_cast<const abd::TagReply&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.tag(m.value_tag);
+      return;
+    }
+    case kUpdate: {
+      const auto& m = static_cast<const abd::Update&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.tag(m.value_tag);
+      w.value(m.value);
+      return;
+    }
+    case kUpdateAck: {
+      const auto& m = static_cast<const abd::UpdateAck&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      return;
+    }
+    case kBReadQuery: {
+      const auto& m = static_cast<const abd::BReadQuery&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      return;
+    }
+    case kBReadReply: {
+      const auto& m = static_cast<const abd::BReadReply&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.u16(m.label);
+      w.value(m.value);
+      return;
+    }
+    case kBUpdate: {
+      const auto& m = static_cast<const abd::BUpdate&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.u16(m.label);
+      w.value(m.value);
+      return;
+    }
+    case kBUpdateAck: {
+      const auto& m = static_cast<const abd::BUpdateAck&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      return;
+    }
+    default:
+      throw std::invalid_argument{"wire::encode: unsupported payload tag"};
+  }
+}
+
+PayloadPtr decode_body(PayloadTag tag, Reader& r) {
+  std::uint64_t round = 0;
+  std::uint64_t object = 0;
+  switch (tag) {
+    case kReadQuery:
+      if (!r.varint(round) || !r.varint(object)) return nullptr;
+      return make_payload<abd::ReadQuery>(round, object);
+    case kReadReply: {
+      abd::Tag value_tag;
+      Value value;
+      if (!r.varint(round) || !r.varint(object) || !r.tag(value_tag) || !r.value(value)) {
+        return nullptr;
+      }
+      return make_payload<abd::ReadReply>(round, object, value_tag, std::move(value));
+    }
+    case kTagQuery:
+      if (!r.varint(round) || !r.varint(object)) return nullptr;
+      return make_payload<abd::TagQuery>(round, object);
+    case kTagReply: {
+      abd::Tag value_tag;
+      if (!r.varint(round) || !r.varint(object) || !r.tag(value_tag)) return nullptr;
+      return make_payload<abd::TagReply>(round, object, value_tag);
+    }
+    case kUpdate: {
+      abd::Tag value_tag;
+      Value value;
+      if (!r.varint(round) || !r.varint(object) || !r.tag(value_tag) || !r.value(value)) {
+        return nullptr;
+      }
+      return make_payload<abd::Update>(round, object, value_tag, std::move(value));
+    }
+    case kUpdateAck:
+      if (!r.varint(round) || !r.varint(object)) return nullptr;
+      return make_payload<abd::UpdateAck>(round, object);
+    case kBReadQuery:
+      if (!r.varint(round) || !r.varint(object)) return nullptr;
+      return make_payload<abd::BReadQuery>(round, object);
+    case kBReadReply: {
+      std::uint16_t label = 0;
+      Value value;
+      if (!r.varint(round) || !r.varint(object) || !r.u16(label) || !r.value(value)) {
+        return nullptr;
+      }
+      return make_payload<abd::BReadReply>(round, object, label, std::move(value));
+    }
+    case kBUpdate: {
+      std::uint16_t label = 0;
+      Value value;
+      if (!r.varint(round) || !r.varint(object) || !r.u16(label) || !r.value(value)) {
+        return nullptr;
+      }
+      return make_payload<abd::BUpdate>(round, object, label, std::move(value));
+    }
+    case kBUpdateAck:
+      if (!r.varint(round) || !r.varint(object)) return nullptr;
+      return make_payload<abd::BUpdateAck>(round, object);
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+bool codec_supports(PayloadTag tag) noexcept {
+  switch (tag) {
+    case kReadQuery:
+    case kReadReply:
+    case kTagQuery:
+    case kTagReply:
+    case kUpdate:
+    case kUpdateAck:
+    case kBReadQuery:
+    case kBReadReply:
+    case kBUpdate:
+    case kBUpdateAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<std::byte> encode(const Payload& payload) {
+  Writer w;
+  w.u32(payload.tag());
+  encode_body(w, payload);
+  return w.take();
+}
+
+PayloadPtr decode(std::span<const std::byte> bytes) {
+  Reader r{bytes};
+  std::uint32_t tag = 0;
+  if (!r.u32(tag)) return nullptr;
+  PayloadPtr payload = decode_body(tag, r);
+  if (payload == nullptr || !r.done()) return nullptr;  // garbage or trailing bytes
+  return payload;
+}
+
+}  // namespace abdkit::wire

@@ -1,0 +1,291 @@
+// Property tests: the ABD protocol variants produce only linearizable
+// histories, across randomized concurrent workloads, delay models, and
+// crash schedules — and the regular (no-write-back) baseline demonstrably
+// does not, which is the paper's motivation for the write-back phase.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/checker/register_checks.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+
+namespace abdkit {
+namespace {
+
+using namespace std::chrono_literals;
+using harness::DeployOptions;
+using harness::SimDeployment;
+using harness::Variant;
+using harness::WorkloadOptions;
+
+enum class Delay { kFixed, kUniform, kExponential, kHeavyTail };
+
+std::unique_ptr<sim::DelayModel> make_delay(Delay kind) {
+  switch (kind) {
+    case Delay::kFixed: return std::make_unique<sim::FixedDelay>(1ms);
+    case Delay::kUniform: return std::make_unique<sim::UniformDelay>(100us, 5ms);
+    case Delay::kExponential: return std::make_unique<sim::ExponentialDelay>(1ms, 10us);
+    case Delay::kHeavyTail: return std::make_unique<sim::HeavyTailDelay>(100us, 1.2);
+  }
+  return nullptr;
+}
+
+struct Scenario {
+  std::string name;
+  Variant variant;
+  std::size_t n;
+  std::size_t writers;  // first `writers` processes write
+  Delay delay;
+  std::size_t crashes;  // replicas crashed at random times (must stay < n/2)
+};
+
+std::vector<ProcessId> iota_ids(std::size_t count, ProcessId from = 0) {
+  std::vector<ProcessId> ids(count);
+  for (std::size_t i = 0; i < count; ++i) ids[i] = from + static_cast<ProcessId>(i);
+  return ids;
+}
+
+/// Runs the scenario's workload for one seed and returns the deployment.
+std::unique_ptr<SimDeployment> run_scenario(const Scenario& scenario, std::uint64_t seed) {
+  DeployOptions options;
+  options.n = scenario.n;
+  options.seed = seed;
+  options.variant = scenario.variant;
+  options.delay = make_delay(scenario.delay);
+  auto deployment = std::make_unique<SimDeployment>(std::move(options));
+
+  WorkloadOptions workload;
+  workload.writers = iota_ids(scenario.writers);
+  workload.readers = iota_ids(scenario.n);
+  workload.ops_per_process = 15;
+  workload.read_fraction = 0.6;
+  workload.mean_think = 300us;
+  workload.start_spread = 200us;
+  workload.seed = seed * 31 + 7;
+  harness::schedule_closed_loop(*deployment, workload);
+
+  if (scenario.crashes > 0) {
+    Rng rng{seed ^ 0xdeadbeefULL};
+    // Crash distinct replicas at random times early in the run; keep the
+    // SWMR writer alive so the workload retains completions to check.
+    std::vector<ProcessId> victims;
+    while (victims.size() < scenario.crashes) {
+      const auto p = static_cast<ProcessId>(
+          1 + rng.below(scenario.n - 1));  // never process 0
+      if (std::find(victims.begin(), victims.end(), p) == victims.end()) {
+        victims.push_back(p);
+      }
+    }
+    for (const ProcessId p : victims) {
+      deployment->crash_at(TimePoint{Duration{rng.between(0, 3'000'000)}}, p);
+    }
+  }
+
+  deployment->run();
+  return deployment;
+}
+
+class AtomicityProperty
+    : public ::testing::TestWithParam<std::tuple<Scenario, std::uint64_t>> {};
+
+TEST_P(AtomicityProperty, HistoryIsLinearizable) {
+  const auto& [scenario, seed] = GetParam();
+  const auto deployment = run_scenario(scenario, seed);
+
+  ASSERT_TRUE(deployment->history().well_formed());
+  ASSERT_GT(deployment->completed_ops(), 0U);
+
+  const auto report = checker::check_linearizable_per_object(deployment->history());
+  EXPECT_TRUE(report.linearizable)
+      << scenario.name << " seed=" << seed << ": " << report.explanation;
+
+  // SWMR variants additionally admit the cheap register-specific checks.
+  if (scenario.writers == 1) {
+    EXPECT_TRUE(checker::check_regular(deployment->history()).regular);
+    EXPECT_EQ(checker::find_inversions(deployment->history()).count, 0U);
+  }
+}
+
+std::vector<Scenario> fault_free_scenarios() {
+  return {
+      {"swmr-n3-fixed", Variant::kAtomicSwmr, 3, 1, Delay::kFixed, 0},
+      {"swmr-n3-exp", Variant::kAtomicSwmr, 3, 1, Delay::kExponential, 0},
+      {"swmr-n5-uniform", Variant::kAtomicSwmr, 5, 1, Delay::kUniform, 0},
+      {"swmr-n5-heavytail", Variant::kAtomicSwmr, 5, 1, Delay::kHeavyTail, 0},
+      {"swmr-n8-exp", Variant::kAtomicSwmr, 8, 1, Delay::kExponential, 0},
+      {"mwmr-n3-exp", Variant::kAtomicMwmr, 3, 2, Delay::kExponential, 0},
+      {"mwmr-n5-uniform", Variant::kAtomicMwmr, 5, 3, Delay::kUniform, 0},
+      {"mwmr-n5-heavytail", Variant::kAtomicMwmr, 5, 5, Delay::kHeavyTail, 0},
+      {"mwmr-n7-exp", Variant::kAtomicMwmr, 7, 4, Delay::kExponential, 0},
+      {"bounded-n3-exp", Variant::kBoundedSwmr, 3, 1, Delay::kExponential, 0},
+      {"bounded-n5-uniform", Variant::kBoundedSwmr, 5, 1, Delay::kUniform, 0},
+  };
+}
+
+/// gtest parameter names must be [A-Za-z0-9_].
+std::string param_name(const std::tuple<Scenario, std::uint64_t>& param) {
+  std::string name = std::get<0>(param).name + "_seed" + std::to_string(std::get<1>(param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+std::vector<Scenario> crash_scenarios() {
+  return {
+      {"swmr-n5-exp-crash1", Variant::kAtomicSwmr, 5, 1, Delay::kExponential, 1},
+      {"swmr-n5-exp-crash2", Variant::kAtomicSwmr, 5, 1, Delay::kExponential, 2},
+      {"swmr-n9-heavytail-crash4", Variant::kAtomicSwmr, 9, 1, Delay::kHeavyTail, 4},
+      {"mwmr-n5-exp-crash2", Variant::kAtomicMwmr, 5, 3, Delay::kExponential, 2},
+      {"mwmr-n7-uniform-crash3", Variant::kAtomicMwmr, 7, 4, Delay::kUniform, 3},
+      {"bounded-n5-exp-crash2", Variant::kBoundedSwmr, 5, 1, Delay::kExponential, 2},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultFree, AtomicityProperty,
+    ::testing::Combine(::testing::ValuesIn(fault_free_scenarios()),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8)),
+    [](const auto& param_info) { return param_name(param_info.param); });
+
+INSTANTIATE_TEST_SUITE_P(
+    WithCrashes, AtomicityProperty,
+    ::testing::Combine(::testing::ValuesIn(crash_scenarios()),
+                       ::testing::Values(11, 12, 13, 14, 15, 16)),
+    [](const auto& param_info) { return param_name(param_info.param); });
+
+TEST(Scale, ThirtyThreeReplicasUnderLoad) {
+  // Scaling sanity: a bigger system with a quarter of it crashed, still
+  // exact on completion and atomicity.
+  DeployOptions options;
+  options.n = 33;
+  options.seed = 333;
+  SimDeployment d{std::move(options)};
+  for (ProcessId p = 25; p < 33; ++p) d.crash_at(TimePoint{0}, p);  // f=8 < 16
+
+  WorkloadOptions workload;
+  workload.writers = {0};
+  workload.readers = {1, 5, 9, 13, 17, 21};
+  workload.ops_per_process = 12;
+  workload.seed = 333;
+  harness::schedule_closed_loop(d, workload);
+  d.run();
+
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_EQ(d.completed_ops(), 7U * 12U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable);
+}
+
+// ---- The write-back ablation (paper's key design point, E4) ------------------
+
+/// Delay model with an explicit per-link latency table — lets a test build
+/// the adversarial schedule from the paper's regularity-vs-atomicity
+/// discussion deterministically.
+class TableDelay final : public sim::DelayModel {
+ public:
+  explicit TableDelay(std::size_t n, Duration fallback) : n_{n}, table_(n * n, fallback) {}
+
+  void set(ProcessId from, ProcessId to, Duration d) { table_[from * n_ + to] = d; }
+  void set_symmetric(ProcessId a, ProcessId b, Duration d) {
+    set(a, b, d);
+    set(b, a, d);
+  }
+
+  [[nodiscard]] Duration sample(Rng&, ProcessId from, ProcessId to) override {
+    return table_[from * n_ + to];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<Duration> table_;
+};
+
+/// The adversarial schedule: writer 0's update reaches replicas {0,1} fast
+/// and {2,3,4} slowly. Reader 1 (fast links to everyone) reads first and
+/// sees the new value; reader 2 — whose links to {0,1} are slow — reads
+/// next and assembles its majority from {2,3,4}.
+std::unique_ptr<TableDelay> adversarial_delays() {
+  auto delays = std::make_unique<TableDelay>(5, 100us);
+  for (const ProcessId p : {2U, 3U, 4U}) delays->set(0, p, 80ms);  // slow update
+  delays->set_symmetric(2, 0, 80ms);  // reader 2 can't reach {0,1} quickly
+  delays->set_symmetric(2, 1, 80ms);
+  delays->set(0, 2, 80ms);
+  return delays;
+}
+
+TEST(WriteBackAblation, RegularBaselineShowsNewOldInversion) {
+  DeployOptions options;
+  options.n = 5;
+  options.seed = 1;
+  options.variant = Variant::kRegularSwmr;
+  options.delay = adversarial_delays();
+  SimDeployment d{std::move(options)};
+
+  d.write_at(TimePoint{0ms}, 0, 0, 1);          // slow write, in flight ~80ms
+  d.read_at(TimePoint{5ms}, 1, 0);              // sees new value via {0,1,...}
+  d.read_at(TimePoint{20ms}, 2, 0);             // majority {2,3,4}: old value
+  d.run();
+
+  ASSERT_EQ(d.stalled_ops(), 0U);
+  // Regularity holds — each read returned the old or the concurrent write...
+  EXPECT_TRUE(checker::check_regular(d.history()).regular);
+  // ...and the history is even sequentially consistent (program order is
+  // fine; only REAL TIME is violated) — but atomicity is not: the second
+  // read travelled back in time. That gap between SC and linearizability
+  // is exactly what the write-back closes.
+  EXPECT_TRUE(checker::check_sequentially_consistent(d.history()).sequentially_consistent);
+  EXPECT_EQ(checker::find_inversions(d.history()).count, 1U);
+  EXPECT_FALSE(checker::check_linearizable(d.history()).linearizable);
+}
+
+TEST(WriteBackAblation, AtomicProtocolDefeatsSameSchedule) {
+  DeployOptions options;
+  options.n = 5;
+  options.seed = 1;
+  options.variant = Variant::kAtomicSwmr;
+  options.delay = adversarial_delays();
+  SimDeployment d{std::move(options)};
+
+  d.write_at(TimePoint{0ms}, 0, 0, 1);
+  d.read_at(TimePoint{5ms}, 1, 0);
+  d.read_at(TimePoint{20ms}, 2, 0);
+  d.run();
+
+  ASSERT_EQ(d.stalled_ops(), 0U);
+  // Reader 1's write-back propagated the new value to a majority before it
+  // returned; reader 2's majority must intersect it.
+  EXPECT_EQ(checker::find_inversions(d.history()).count, 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable);
+}
+
+TEST(WriteBackAblation, RegularBaselineIsStillRegularUnderSweeps) {
+  // Across random workloads the baseline never violates *regularity* (it is
+  // a correct regular register — Thomas 1979); only atomicity can fail.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    DeployOptions options;
+    options.n = 5;
+    options.seed = seed;
+    options.variant = Variant::kRegularSwmr;
+    options.delay = make_delay(Delay::kHeavyTail);
+    SimDeployment d{std::move(options)};
+
+    WorkloadOptions workload;
+    workload.writers = {0};
+    workload.readers = iota_ids(5);
+    workload.ops_per_process = 12;
+    workload.seed = seed;
+    harness::schedule_closed_loop(d, workload);
+    d.run();
+
+    EXPECT_TRUE(checker::check_regular(d.history()).regular) << "seed " << seed;
+    EXPECT_TRUE(checker::check_safe(d.history()).safe) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace abdkit

@@ -1,0 +1,213 @@
+// Integration tests of the core ABD protocol in the simulator: basic
+// read/write semantics, round/message complexity, crash tolerance, and the
+// replica state machine.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+#include "abdkit/harness/deployment.hpp"
+
+namespace abdkit {
+namespace {
+
+using namespace std::chrono_literals;
+using harness::DeployOptions;
+using harness::SimDeployment;
+using harness::Variant;
+
+TEST(AbdBasic, ReadOfUnwrittenReturnsInitialValue) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 1}};
+  std::optional<abd::OpResult> result;
+  d.read_at(TimePoint{0}, 1, 0, [&](const abd::OpResult& r) { result = r; });
+  d.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value.data, 0);
+  EXPECT_EQ(result->tag, abd::kInitialTag);
+}
+
+TEST(AbdBasic, ReadSeesCompletedWrite) {
+  SimDeployment d{DeployOptions{.n = 5, .seed = 2}};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 77);
+  d.read_at(TimePoint{1s}, 3, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 77);
+  EXPECT_EQ(read_result->tag.seq, 1U);
+}
+
+TEST(AbdBasic, SequentialWritesMonotonicTags) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 3}};
+  std::vector<abd::Tag> tags;
+  // Chain three writes from process 0.
+  d.write_at(TimePoint{0}, 0, 0, 1, [&](const abd::OpResult& r) {
+    tags.push_back(r.tag);
+    d.node(0).write(0, Value{.data = 2}, [&](const abd::OpResult& r2) {
+      tags.push_back(r2.tag);
+      d.node(0).write(0, Value{.data = 3},
+                      [&](const abd::OpResult& r3) { tags.push_back(r3.tag); });
+    });
+  });
+  d.run();
+  ASSERT_EQ(tags.size(), 3U);
+  EXPECT_LT(tags[0], tags[1]);
+  EXPECT_LT(tags[1], tags[2]);
+}
+
+TEST(AbdBasic, WriteIsOneRoundReadIsTwoRounds) {
+  SimDeployment d{DeployOptions{.n = 5, .seed = 4}};
+  std::optional<abd::OpResult> write_result;
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 5, [&](const abd::OpResult& r) { write_result = r; });
+  d.read_at(TimePoint{1s}, 2, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(write_result.has_value());
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(write_result->rounds, 1U);
+  EXPECT_EQ(write_result->messages_sent, 5U);  // one broadcast
+  EXPECT_EQ(read_result->rounds, 2U);
+  EXPECT_EQ(read_result->messages_sent, 10U);  // query + write-back
+}
+
+TEST(AbdBasic, MwmrWriteIsTwoRounds) {
+  SimDeployment d{DeployOptions{.n = 5, .seed = 5, .variant = Variant::kAtomicMwmr}};
+  std::optional<abd::OpResult> write_result;
+  d.write_at(TimePoint{0}, 2, 0, 9, [&](const abd::OpResult& r) { write_result = r; });
+  d.run();
+  ASSERT_TRUE(write_result.has_value());
+  EXPECT_EQ(write_result->rounds, 2U);
+  EXPECT_EQ(write_result->messages_sent, 10U);
+}
+
+TEST(AbdBasic, MwmrTagsCarryWriterId) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 6, .variant = Variant::kAtomicMwmr}};
+  std::optional<abd::OpResult> w1;
+  std::optional<abd::OpResult> w2;
+  d.write_at(TimePoint{0}, 1, 0, 10, [&](const abd::OpResult& r) { w1 = r; });
+  d.write_at(TimePoint{1s}, 2, 0, 20, [&](const abd::OpResult& r) { w2 = r; });
+  d.run();
+  ASSERT_TRUE(w1.has_value());
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w1->tag.writer, 1U);
+  EXPECT_EQ(w2->tag.writer, 2U);
+  EXPECT_LT(w1->tag, w2->tag);
+}
+
+TEST(AbdBasic, ToleratesMinorityCrashes) {
+  SimDeployment d{DeployOptions{.n = 5, .seed = 7}};
+  d.crash_at(TimePoint{0}, 3);
+  d.crash_at(TimePoint{0}, 4);
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{1us}, 0, 0, 42);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 42);
+}
+
+TEST(AbdBasic, StallsUnderMajorityCrashes) {
+  SimDeployment d{DeployOptions{.n = 5, .seed = 8}};
+  for (ProcessId p = 2; p < 5; ++p) d.crash_at(TimePoint{0}, p);
+  d.write_at(TimePoint{1us}, 0, 0, 1);
+  d.read_at(TimePoint{2us}, 1, 0);
+  d.run();
+  EXPECT_EQ(d.completed_ops(), 0U);
+  EXPECT_EQ(d.stalled_ops(), 2U);
+}
+
+TEST(AbdBasic, CrashMidOperationLeavesItPending) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 9}};
+  d.write_at(TimePoint{0}, 0, 0, 123);
+  d.crash_at(TimePoint{1ns}, 0);  // writer dies before any ack returns
+  d.run();
+  EXPECT_EQ(d.completed_ops(), 0U);
+  EXPECT_EQ(d.stalled_ops(), 1U);
+  // The history records the write as pending, which the checker treats as
+  // "may or may not have taken effect".
+  ASSERT_EQ(d.history().size(), 1U);
+  EXPECT_FALSE(d.history().ops()[0].completed);
+}
+
+TEST(AbdBasic, DistinctObjectsAreIndependent) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 10}};
+  std::optional<abd::OpResult> r1;
+  std::optional<abd::OpResult> r2;
+  d.write_at(TimePoint{0}, 0, /*object=*/1, 100);
+  d.write_at(TimePoint{0}, 0, /*object=*/2, 200);
+  d.read_at(TimePoint{1s}, 1, 1, [&](const abd::OpResult& r) { r1 = r; });
+  d.read_at(TimePoint{1s}, 2, 2, [&](const abd::OpResult& r) { r2 = r; });
+  d.run();
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->value.data, 100);
+  EXPECT_EQ(r2->value.data, 200);
+}
+
+TEST(AbdBasic, ValueAuxRoundTrips) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 11}};
+  Value payload;
+  payload.data = 5;
+  payload.aux = {10, 20, 30};
+  std::optional<abd::OpResult> read_result;
+  d.write_value_at(TimePoint{0}, 0, 0, payload);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value, payload);
+}
+
+TEST(AbdBasic, WorksWithSingleProcess) {
+  SimDeployment d{DeployOptions{.n = 1, .seed = 12}};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 11);
+  d.read_at(TimePoint{1s}, 0, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 11);
+}
+
+TEST(AbdBasic, ReplicaStateConvergesAfterQuiescence) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 13}};
+  d.write_at(TimePoint{0}, 0, 0, 99);
+  d.run();
+  // After quiescence every live replica received the Update broadcast.
+  for (ProcessId p = 0; p < 3; ++p) {
+    auto& node = dynamic_cast<abd::Node&>(d.node(p));
+    EXPECT_EQ(node.replica().slot(0).value.data, 99) << "replica " << p;
+    EXPECT_EQ(node.replica().slot(0).tag.seq, 1U);
+  }
+}
+
+TEST(AbdBasic, RegularModeReadIsSingleRound) {
+  SimDeployment d{DeployOptions{.n = 5, .seed = 14, .variant = Variant::kRegularSwmr}};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 7);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->rounds, 1U);
+  EXPECT_EQ(read_result->messages_sent, 5U);
+  EXPECT_EQ(read_result->value.data, 7);
+}
+
+TEST(AbdBasic, DebugPendingDescribesStalledRounds) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 15}};
+  d.crash_at(TimePoint{0}, 1);
+  d.crash_at(TimePoint{0}, 2);
+  d.write_at(TimePoint{1ms}, 0, 0, 1);  // stalls: no quorum alive
+  d.run();
+  auto& node = dynamic_cast<abd::Node&>(d.node(0));
+  EXPECT_EQ(node.client().pending_ops(), 1U);
+  const std::string dump = node.client().debug_pending();
+  EXPECT_NE(dump.find("kind=acks"), std::string::npos);
+  EXPECT_NE(dump.find("acks=[0 ]"), std::string::npos);  // only self answered
+}
+
+TEST(AbdBasic, NodeValidatesConstruction) {
+  EXPECT_THROW(abd::Node{abd::NodeOptions{}}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abdkit

@@ -1,0 +1,232 @@
+// Tests for the bounded-label SWMR variant: cyclic label algebra, protocol
+// correctness across ring wrap-arounds, bounded message size (the paper's
+// second contribution), and detection — not silent misordering — when the
+// bounded-staleness assumption is deliberately violated.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+#include "abdkit/abd/bounded_label.hpp"
+#include "abdkit/abd/bounded_messages.hpp"
+#include "abdkit/abd/bounded_node.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/checker/register_checks.hpp"
+#include "abdkit/harness/deployment.hpp"
+
+namespace abdkit {
+namespace {
+
+using namespace std::chrono_literals;
+using abd::BoundedLabel;
+using abd::cyclic_compare;
+using abd::CyclicOrder;
+using harness::DeployOptions;
+using harness::SimDeployment;
+using harness::Variant;
+
+// ---- Label algebra ----------------------------------------------------------
+
+TEST(CyclicLabel, EqualAndAdjacent) {
+  EXPECT_EQ(cyclic_compare(5, 5, 64), CyclicOrder::kEqual);
+  EXPECT_EQ(cyclic_compare(5, 6, 64), CyclicOrder::kNewer);
+  EXPECT_EQ(cyclic_compare(6, 5, 64), CyclicOrder::kOlder);
+}
+
+TEST(CyclicLabel, WindowBoundaries) {
+  // modulus 64: forward window < 16, backward window < 16.
+  EXPECT_EQ(cyclic_compare(0, 15, 64), CyclicOrder::kNewer);
+  EXPECT_EQ(cyclic_compare(0, 16, 64), CyclicOrder::kUnorderable);
+  EXPECT_EQ(cyclic_compare(0, 48, 64), CyclicOrder::kUnorderable);
+  EXPECT_EQ(cyclic_compare(0, 49, 64), CyclicOrder::kOlder);
+  EXPECT_EQ(cyclic_compare(0, 63, 64), CyclicOrder::kOlder);
+}
+
+TEST(CyclicLabel, WrapAroundStaysOrdered) {
+  // 62 -> 2 wraps the ring but is within the window.
+  EXPECT_EQ(cyclic_compare(62, 2, 64), CyclicOrder::kNewer);
+  EXPECT_EQ(cyclic_compare(2, 62, 64), CyclicOrder::kOlder);
+}
+
+TEST(CyclicLabel, NextLabelWraps) {
+  EXPECT_EQ(abd::next_label(62, 64), 63);
+  EXPECT_EQ(abd::next_label(63, 64), 0);
+}
+
+TEST(CyclicLabel, AntisymmetricInsideWindow) {
+  const std::uint32_t m = 256;
+  for (std::uint32_t a = 0; a < m; a += 7) {
+    for (std::uint32_t delta = 1; delta < m / 4; delta += 5) {
+      const auto b = static_cast<BoundedLabel>((a + delta) % m);
+      EXPECT_EQ(cyclic_compare(static_cast<BoundedLabel>(a), b, m), CyclicOrder::kNewer);
+      EXPECT_EQ(cyclic_compare(b, static_cast<BoundedLabel>(a), m), CyclicOrder::kOlder);
+    }
+  }
+}
+
+// ---- Protocol behaviour -------------------------------------------------------
+
+TEST(BoundedProtocol, BasicReadWrite) {
+  DeployOptions options{.n = 3, .seed = 1, .variant = Variant::kBoundedSwmr};
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 42);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 42);
+}
+
+TEST(BoundedProtocol, SurvivesManyWrapArounds) {
+  // Modulus 16 and 200 sequential writes: the label ring wraps 12+ times.
+  DeployOptions options{
+      .n = 3, .seed = 2, .variant = Variant::kBoundedSwmr, .label_modulus = 16};
+  SimDeployment d{std::move(options)};
+  for (int i = 0; i < 200; ++i) {
+    d.write_at(TimePoint{i * 10ms}, 0, 0, i + 1);
+    d.read_at(TimePoint{i * 10ms + 5ms}, 1, 0);
+  }
+  d.run();
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+      << checker::check_linearizable(d.history()).explanation;
+  EXPECT_EQ(checker::find_inversions(d.history()).count, 0U);
+  // Within the staleness window nothing was unorderable.
+  for (ProcessId p = 0; p < 3; ++p) {
+    const auto& node = dynamic_cast<abd::BoundedNode&>(d.node(p));
+    EXPECT_EQ(node.replica().unorderable_updates(), 0U);
+    EXPECT_EQ(node.client().unorderable_replies(), 0U);
+  }
+}
+
+TEST(BoundedProtocol, MessageSizeIndependentOfHistoryLength) {
+  // The unbounded protocol's tag grows (varint); the bounded one stays flat.
+  const abd::BReadReply bounded_early{1, 0, 3, Value{}};
+  const abd::BReadReply bounded_late{1, 0, 4000, Value{}};
+  EXPECT_EQ(bounded_early.wire_size(), bounded_late.wire_size());
+
+  const abd::ReadReply unbounded_early{1, 0, abd::Tag{3, 0}, Value{}};
+  const abd::ReadReply unbounded_late{1, 0, abd::Tag{1ULL << 42, 0}, Value{}};
+  EXPECT_GT(unbounded_late.wire_size(), unbounded_early.wire_size());
+}
+
+TEST(BoundedProtocol, ConcurrentReadersStayAtomicAcrossWrap) {
+  DeployOptions options{
+      .n = 5, .seed = 3, .variant = Variant::kBoundedSwmr, .label_modulus = 32};
+  options.delay = std::make_unique<sim::UniformDelay>(50us, 2ms);
+  SimDeployment d{std::move(options)};
+  // 120 writes (~4 wraps) with two readers racing each write.
+  for (int i = 0; i < 120; ++i) {
+    d.write_at(TimePoint{i * 5ms}, 0, 0, i + 1);
+    d.read_at(TimePoint{i * 5ms + 500us}, static_cast<ProcessId>(1 + (i % 2)), 0);
+    d.read_at(TimePoint{i * 5ms + 900us}, static_cast<ProcessId>(3 + (i % 2)), 0);
+  }
+  d.run();
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+      << checker::check_linearizable(d.history()).explanation;
+}
+
+TEST(BoundedProtocol, ViolatedAssumptionIsDetectedNotMisordered) {
+  // Deliberately break the bounded-staleness assumption: modulus 8 gives a
+  // window of just 2 labels, and a replica cut off by a partition misses
+  // more than a window's worth of writes. When its stale state re-enters
+  // the conversation, the protocol must flag unorderable comparisons.
+  DeployOptions options{
+      .n = 3, .seed = 4, .variant = Variant::kBoundedSwmr, .label_modulus = 8};
+  SimDeployment d{std::move(options)};
+  // Cut replica 2 off (but {0,1} is still a majority, so writes proceed).
+  d.partition_at(TimePoint{0}, {{0, 1}, {2}});
+  for (int i = 0; i < 6; ++i) {
+    d.write_at(TimePoint{i * 10ms}, 0, 0, i + 1);  // 6 writes > window of 2
+  }
+  d.heal_at(TimePoint{1s});
+  // After healing, replica 2 receives updates whose labels it cannot order
+  // against its own pre-partition state.
+  d.read_at(TimePoint{2s}, 2, 0);
+  d.run();
+
+  std::uint64_t unorderable = 0;
+  for (ProcessId p = 0; p < 3; ++p) {
+    const auto& node = dynamic_cast<abd::BoundedNode&>(d.node(p));
+    unorderable += node.replica().unorderable_updates();
+    unorderable += node.client().unorderable_replies();
+  }
+  EXPECT_GT(unorderable, 0U)
+      << "out-of-window staleness must be detected, never silently ordered";
+}
+
+TEST(BoundedProtocol, RejectsBadModulus) {
+  EXPECT_THROW(abd::BoundedClient(harness::majority(3), 6), std::invalid_argument);
+  EXPECT_THROW(abd::BoundedClient(harness::majority(3), 4), std::invalid_argument);
+  EXPECT_THROW(abd::BoundedClient(nullptr, 64), std::invalid_argument);
+}
+
+TEST(BoundedProtocol, WriterLabelsMarchAroundRing) {
+  DeployOptions options{
+      .n = 3, .seed = 5, .variant = Variant::kBoundedSwmr, .label_modulus = 8};
+  SimDeployment d{std::move(options)};
+  std::vector<std::uint64_t> labels;
+  for (int i = 0; i < 10; ++i) {
+    d.write_at(TimePoint{i * 10ms}, 0, 0, i + 1,
+               [&](const abd::OpResult& r) { labels.push_back(r.tag.seq); });
+  }
+  d.run();
+  ASSERT_EQ(labels.size(), 10U);
+  // Labels 1..7, 0, 1, 2 — i.e. (i+1) mod 8.
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], (i + 1) % 8) << "write " << i;
+  }
+}
+
+TEST(BoundedProtocol, ObjectsHaveIndependentLabelSpaces) {
+  DeployOptions options{
+      .n = 3, .seed = 6, .variant = Variant::kBoundedSwmr, .label_modulus = 8};
+  SimDeployment d{std::move(options)};
+  std::vector<std::uint64_t> labels_obj1;
+  std::vector<std::uint64_t> labels_obj2;
+  for (int i = 0; i < 3; ++i) {
+    d.write_at(TimePoint{i * 10ms}, 0, /*object=*/1, i + 1,
+               [&](const abd::OpResult& r) { labels_obj1.push_back(r.tag.seq); });
+  }
+  d.write_at(TimePoint{100ms}, 0, /*object=*/2, 9,
+             [&](const abd::OpResult& r) { labels_obj2.push_back(r.tag.seq); });
+  d.run();
+  ASSERT_EQ(labels_obj1.size(), 3U);
+  ASSERT_EQ(labels_obj2.size(), 1U);
+  EXPECT_EQ(labels_obj1.back(), 3U);
+  EXPECT_EQ(labels_obj2.front(), 1U);  // object 2's ring starts fresh
+}
+
+/// Property sweep over moduli and seeds: randomized concurrent workloads
+/// stay linearizable as long as writes-in-window stay within modulus/4.
+class BoundedModulusProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(BoundedModulusProperty, WrapSafeUnderConcurrency) {
+  const auto [modulus, seed] = GetParam();
+  DeployOptions options{
+      .n = 5, .seed = seed, .variant = Variant::kBoundedSwmr, .label_modulus = modulus};
+  options.delay = std::make_unique<sim::ExponentialDelay>(200us, 10us);
+  SimDeployment d{std::move(options)};
+  for (int i = 0; i < 80; ++i) {
+    d.write_at(TimePoint{i * 4ms}, 0, 0, i + 1);
+    d.read_at(TimePoint{i * 4ms + 300us}, static_cast<ProcessId>(1 + (i % 4)), 0);
+  }
+  d.run();
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+      << "modulus=" << modulus << " seed=" << seed << ": "
+      << checker::check_linearizable(d.history()).explanation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundedModulusProperty,
+                         ::testing::Combine(::testing::Values(16U, 32U, 64U, 4096U),
+                                            ::testing::Values(1, 2, 3)),
+                         [](const auto& param_info) {
+                           return "m" + std::to_string(std::get<0>(param_info.param)) +
+                                  "_seed" + std::to_string(std::get<1>(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace abdkit

@@ -1,0 +1,211 @@
+// Byzantine replica tolerance via masking quorums (Malkhi–Reiter 1998, the
+// Byzantine follow-up to ABD). Tests show three things:
+//   1. the crash-only protocol IS broken by a forging replica (the checker
+//      catches the poisoned value) — the attack is real;
+//   2. the masking configuration (MaskingQuorum + byzantine_f votes)
+//      defeats every adversary mode while staying live;
+//   3. the masking quorum math (n >= 4f+1, 2f+1 intersection).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+#include "abdkit/abd/adversary.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+#include "abdkit/quorum/analysis.hpp"
+
+namespace abdkit {
+namespace {
+
+using namespace std::chrono_literals;
+using abd::ByzantineBehavior;
+using abd::ByzantineNode;
+using harness::DeployOptions;
+using harness::SimDeployment;
+using harness::Variant;
+
+// ---- Masking quorum math -----------------------------------------------------
+
+TEST(MaskingQuorum, ThresholdFormula) {
+  EXPECT_EQ(quorum::MaskingQuorum(5, 1).threshold(), 4U);
+  EXPECT_EQ(quorum::MaskingQuorum(9, 2).threshold(), 7U);
+  EXPECT_EQ(quorum::MaskingQuorum(13, 3).threshold(), 10U);
+  EXPECT_EQ(quorum::MaskingQuorum(7, 0).threshold(), 4U);  // f=0 -> majority
+}
+
+TEST(MaskingQuorum, RejectsTooFewReplicas) {
+  EXPECT_THROW(quorum::MaskingQuorum(4, 1), std::invalid_argument);
+  EXPECT_THROW(quorum::MaskingQuorum(8, 2), std::invalid_argument);
+  EXPECT_THROW(quorum::MaskingQuorum(0, 0), std::invalid_argument);
+}
+
+TEST(MaskingQuorum, AnyTwoQuorumsShareTwoFPlusOne) {
+  // Exhaustive: for n=5, f=1 any two 4-subsets intersect in >= 3 = 2f+1.
+  const quorum::MaskingQuorum qs{5, 1};
+  const auto quorums = quorum::minimal_quorums(qs, /*read=*/true);
+  for (const auto& a : quorums) {
+    for (const auto& b : quorums) {
+      std::size_t common = 0;
+      for (const ProcessId p : a) {
+        common += std::count(b.begin(), b.end(), p) > 0 ? 1U : 0U;
+      }
+      EXPECT_GE(common, 3U);
+    }
+  }
+}
+
+TEST(MaskingQuorum, LiveWithFCrashes) {
+  const quorum::MaskingQuorum qs{9, 2};
+  std::vector<bool> alive(9, true);
+  alive[7] = alive[8] = false;  // f crashed
+  EXPECT_TRUE(qs.is_read_quorum(alive));
+  alive[6] = false;  // f+1 crashed: below threshold
+  EXPECT_FALSE(qs.is_read_quorum(alive));
+}
+
+// ---- The attack against the crash-only protocol ---------------------------------
+
+TEST(ByzantineAttack, ForgerPoisonsCrashOnlyProtocol) {
+  // Plain majority ABD with one forging replica: the reader trusts the
+  // highest tag it sees, which is the forged one -> poisoned value returned.
+  // Fixed delays make the read quorum {0,1,2} (delivery tie-break is send
+  // order), so the forger at slot 2 is guaranteed to be heard.
+  DeployOptions options{.n = 5, .seed = 1};
+  options.delay = std::make_unique<sim::FixedDelay>(1ms);
+  options.byzantine = {{2, ByzantineBehavior::kForgeHighTag}};
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 42);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, ByzantineNode::kPoison)
+      << "expected the attack to succeed against the unmasked protocol";
+  EXPECT_FALSE(checker::check_linearizable(d.history()).linearizable);
+}
+
+// ---- The masking configuration defeats it ----------------------------------------
+
+DeployOptions masked(std::size_t n, std::size_t f, std::uint64_t seed) {
+  DeployOptions options;
+  options.n = n;
+  options.seed = seed;
+  options.quorums = std::make_shared<const quorum::MaskingQuorum>(n, f);
+  options.client.byzantine_f = f;
+  return options;
+}
+
+TEST(ByzantineMasking, ForgedValueNeverEscapes) {
+  DeployOptions options = masked(5, 1, 2);
+  options.byzantine = {{4, ByzantineBehavior::kForgeHighTag}};
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 42);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 42);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable);
+}
+
+class ByzantineModeSweep
+    : public ::testing::TestWithParam<std::tuple<ByzantineBehavior, std::uint64_t>> {};
+
+TEST_P(ByzantineModeSweep, WorkloadStaysAtomicAndLive) {
+  const auto [behavior, seed] = GetParam();
+  DeployOptions options = masked(5, 1, seed);
+  options.byzantine = {{4, behavior}};
+  SimDeployment d{std::move(options)};
+
+  harness::WorkloadOptions workload;
+  workload.writers = {0};
+  workload.readers = {1, 2, 3};
+  workload.ops_per_process = 12;
+  workload.seed = seed;
+  harness::schedule_closed_loop(d, workload);
+  d.run();
+
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+      << checker::check_linearizable(d.history()).explanation;
+  for (const auto& op : d.history().ops()) {
+    EXPECT_NE(op.value, ByzantineNode::kPoison) << "poison escaped";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ByzantineModeSweep,
+    ::testing::Combine(::testing::Values(ByzantineBehavior::kForgeHighTag,
+                                         ByzantineBehavior::kStale,
+                                         ByzantineBehavior::kAckOnly,
+                                         ByzantineBehavior::kSilent),
+                       ::testing::Values(1, 2, 3, 4)),
+    [](const auto& param_info) {
+      const char* name = "";
+      switch (std::get<0>(param_info.param)) {
+        case ByzantineBehavior::kForgeHighTag: name = "forge"; break;
+        case ByzantineBehavior::kStale: name = "stale"; break;
+        case ByzantineBehavior::kAckOnly: name = "ackonly"; break;
+        case ByzantineBehavior::kSilent: name = "silent"; break;
+      }
+      return std::string{name} + "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(ByzantineMasking, TwoForgersAtF2) {
+  DeployOptions options = masked(9, 2, 5);
+  options.byzantine = {{7, ByzantineBehavior::kForgeHighTag},
+                       {8, ByzantineBehavior::kForgeHighTag}};
+  SimDeployment d{std::move(options)};
+
+  harness::WorkloadOptions workload;
+  workload.writers = {0};
+  workload.readers = {1, 2, 3, 4};
+  workload.ops_per_process = 10;
+  workload.seed = 5;
+  harness::schedule_closed_loop(d, workload);
+  d.run();
+
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable);
+}
+
+TEST(ByzantineMasking, MwmrTagDiscoveryResistsForgedTags) {
+  // Without masking, one forging replica inflates the next writer's tag to
+  // ~2^63; with masking the tag stays small.
+  DeployOptions options = masked(5, 1, 6);
+  options.variant = Variant::kAtomicMwmr;
+  options.byzantine = {{4, ByzantineBehavior::kForgeHighTag}};
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> write_result;
+  d.write_at(TimePoint{0}, 1, 0, 7, [&](const abd::OpResult& r) { write_result = r; });
+  d.run();
+  ASSERT_TRUE(write_result.has_value());
+  EXPECT_LT(write_result->tag.seq, 1000U) << "forged tag leaked into tag discovery";
+}
+
+TEST(ByzantineMasking, ByzantinePlusCrashWithinBudgetTogether) {
+  // f=1 Byzantine AND... masking quorums of n=5 need 4 responders, so a
+  // crash on top of a liar exceeds the budget: ops stall (correctly —
+  // safety over liveness). At n=9/f=2 one liar + one crash is fine.
+  DeployOptions options = masked(9, 2, 7);
+  options.byzantine = {{8, ByzantineBehavior::kForgeHighTag}};
+  SimDeployment d{std::move(options)};
+  d.crash_at(TimePoint{0}, 7);
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{1ms}, 0, 0, 11);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 11);
+}
+
+TEST(ByzantineNodeApi, RefusesToInvokeOperations) {
+  ByzantineNode node{ByzantineBehavior::kForgeHighTag};
+  EXPECT_THROW(node.read(0, nullptr), std::logic_error);
+  EXPECT_THROW(node.write(0, Value{}, nullptr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace abdkit

@@ -1,0 +1,122 @@
+// The grand integration test: everything at once. Random workloads run
+// while the adversary combines message loss, duplication, reordering
+// (heavy-tailed delays), replica crashes, and a partition/heal cycle —
+// and every completed operation must still form a linearizable history.
+// This is the closest the suite gets to "run it like production and check
+// the one property that matters".
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <tuple>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/checker/register_checks.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+
+namespace abdkit {
+namespace {
+
+using namespace std::chrono_literals;
+using harness::DeployOptions;
+using harness::SimDeployment;
+using harness::Variant;
+
+struct ChaosPlan {
+  std::string name;
+  Variant variant;
+  std::size_t n;
+  std::size_t writers;
+  double loss;
+  double duplication;
+  std::size_t crashes;       // < n/2, injected at random times
+  bool partition_and_heal;   // a mid-run partition that later heals
+};
+
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class Chaos : public ::testing::TestWithParam<std::tuple<ChaosPlan, std::uint64_t>> {};
+
+TEST_P(Chaos, EverythingAtOnceStaysAtomic) {
+  const auto& [plan, seed] = GetParam();
+
+  DeployOptions options;
+  options.n = plan.n;
+  options.seed = seed;
+  options.variant = plan.variant;
+  options.loss_probability = plan.loss;
+  options.duplicate_probability = plan.duplication;
+  if (plan.loss > 0.0) options.client.retransmit_interval = 2ms;
+  options.delay = std::make_unique<sim::HeavyTailDelay>(100us, 1.3);
+  SimDeployment d{std::move(options)};
+
+  harness::WorkloadOptions workload;
+  for (std::size_t w = 0; w < plan.writers; ++w) {
+    workload.writers.push_back(static_cast<ProcessId>(w));
+  }
+  for (ProcessId p = 0; p < plan.n; ++p) workload.readers.push_back(p);
+  workload.objects = {1, 2};
+  workload.ops_per_process = 12;
+  workload.mean_think = 400us;
+  workload.seed = seed * 101 + 3;
+  harness::schedule_closed_loop(d, workload);
+
+  Rng rng{seed ^ 0xc0ffeeULL};
+  std::vector<ProcessId> victims;
+  while (victims.size() < plan.crashes) {
+    // Never crash process 0 so at least one writer keeps completing ops.
+    const auto p = static_cast<ProcessId>(1 + rng.below(plan.n - 1));
+    if (std::find(victims.begin(), victims.end(), p) == victims.end()) {
+      victims.push_back(p);
+      d.crash_at(TimePoint{Duration{rng.between(500'000, 8'000'000)}}, p);
+    }
+  }
+  if (plan.partition_and_heal) {
+    // Majority keeps {0 .. n-ceil(n/2)-? } — cut off one non-crashed process.
+    const auto loner = static_cast<ProcessId>(plan.n - 1);
+    d.partition_at(TimePoint{2ms}, {{loner}});
+    d.heal_at(TimePoint{12ms});
+  }
+
+  d.run();
+
+  ASSERT_GT(d.completed_ops(), 0U) << plan.name << " seed " << seed;
+  ASSERT_TRUE(d.history().well_formed());
+  const auto report = checker::check_linearizable_per_object(d.history());
+  EXPECT_TRUE(report.linearizable)
+      << plan.name << " seed " << seed << ": " << report.explanation;
+
+  if (plan.writers == 1) {
+    for (const std::uint64_t object : d.history().objects()) {
+      EXPECT_EQ(checker::find_inversions(d.history().restricted_to(object)).count, 0U)
+          << plan.name << " object " << object;
+    }
+  }
+}
+
+std::vector<ChaosPlan> plans() {
+  return {
+      {"swmr-kitchen-sink", Variant::kAtomicSwmr, 5, 1, 0.15, 0.15, 2, true},
+      {"swmr-lossy-crashy", Variant::kAtomicSwmr, 7, 1, 0.25, 0.0, 3, false},
+      {"mwmr-kitchen-sink", Variant::kAtomicMwmr, 5, 3, 0.15, 0.15, 1, true},
+      {"mwmr-duplication-heavy", Variant::kAtomicMwmr, 5, 2, 0.0, 0.5, 2, false},
+      {"swmr-partition-churn", Variant::kAtomicSwmr, 9, 1, 0.1, 0.1, 4, true},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, Chaos,
+                         ::testing::Combine(::testing::ValuesIn(plans()),
+                                            ::testing::Values(1, 2, 3, 4, 5, 6)),
+                         [](const auto& param_info) {
+                           return sanitize(std::get<0>(param_info.param).name) +
+                                  "_seed" +
+                                  std::to_string(std::get<1>(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace abdkit

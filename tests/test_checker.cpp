@@ -1,0 +1,330 @@
+// Unit tests for the consistency checkers on hand-constructed histories —
+// including known-atomic, known-regular-but-not-atomic, and known-broken
+// histories, so the checkers themselves are validated in both directions
+// before tests trust them on protocol output.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "abdkit/checker/history.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/checker/register_checks.hpp"
+
+namespace abdkit::checker {
+namespace {
+
+using namespace std::chrono_literals;
+
+OpRecord read_op(ProcessId p, std::int64_t value, Duration inv, Duration res,
+                 std::uint64_t object = 0) {
+  return OpRecord{p, OpType::kRead, object, value, inv, res, true};
+}
+
+OpRecord write_op(ProcessId p, std::int64_t value, Duration inv, Duration res,
+                  std::uint64_t object = 0) {
+  return OpRecord{p, OpType::kWrite, object, value, inv, res, true};
+}
+
+History make(std::initializer_list<OpRecord> ops) {
+  History h;
+  for (const OpRecord& op : ops) h.add(op);
+  return h;
+}
+
+// ---- History basics ----------------------------------------------------------
+
+TEST(History, WellFormedAcceptsSequentialPerProcess) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), read_op(0, 1, 2ms, 3ms),
+                          read_op(1, 1, 0ms, 5ms)});
+  EXPECT_TRUE(h.well_formed());
+}
+
+TEST(History, WellFormedRejectsOverlapSameProcess) {
+  const History h = make({write_op(0, 1, 0ms, 5ms), read_op(0, 1, 2ms, 3ms)});
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(History, RestrictToFiltersObjects) {
+  const History h = make({write_op(0, 1, 0ms, 1ms, 7), write_op(0, 2, 2ms, 3ms, 8)});
+  EXPECT_EQ(h.restricted_to(7).size(), 1U);
+  EXPECT_EQ(h.restricted_to(9).size(), 0U);
+  EXPECT_EQ(h.objects(), (std::vector<std::uint64_t>{7, 8}));
+}
+
+// ---- Linearizability: positive cases ------------------------------------------
+
+TEST(Linearizability, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(check_linearizable(History{}).linearizable);
+}
+
+TEST(Linearizability, SequentialHistory) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), read_op(1, 1, 2ms, 3ms),
+                          write_op(0, 2, 4ms, 5ms), read_op(1, 2, 6ms, 7ms)});
+  const auto report = check_linearizable(h);
+  EXPECT_TRUE(report.linearizable);
+  EXPECT_EQ(report.witness.size(), 4U);
+}
+
+TEST(Linearizability, ReadOfInitialValue) {
+  const History h = make({read_op(0, 0, 0ms, 1ms)});
+  EXPECT_TRUE(check_linearizable(h).linearizable);
+}
+
+TEST(Linearizability, ConcurrentReadMayReturnEitherSide) {
+  // Read overlaps the write: returning old (0) or new (1) are both atomic.
+  const History old_side = make({write_op(0, 1, 0ms, 10ms), read_op(1, 0, 2ms, 3ms)});
+  const History new_side = make({write_op(0, 1, 0ms, 10ms), read_op(1, 1, 2ms, 3ms)});
+  EXPECT_TRUE(check_linearizable(old_side).linearizable);
+  EXPECT_TRUE(check_linearizable(new_side).linearizable);
+}
+
+TEST(Linearizability, PendingWriteMayTakeEffect) {
+  // Writer crashed mid-write; a later read returning the pending value is
+  // legal ("may have taken effect")...
+  History h;
+  h.add(OpRecord{0, OpType::kWrite, 0, 5, 0ms, {}, false});
+  h.add(read_op(1, 5, 10ms, 11ms));
+  EXPECT_TRUE(check_linearizable(h).linearizable);
+  // ... and so is the pending value never appearing.
+  History h2;
+  h2.add(OpRecord{0, OpType::kWrite, 0, 5, 0ms, {}, false});
+  h2.add(read_op(1, 0, 10ms, 11ms));
+  EXPECT_TRUE(check_linearizable(h2).linearizable);
+}
+
+TEST(Linearizability, PendingWriteObservedThenDropsIsIllegal) {
+  // Once the pending write's value was returned, it took effect; a later
+  // read cannot travel back to the initial value.
+  History h;
+  h.add(OpRecord{0, OpType::kWrite, 0, 5, 0ms, {}, false});
+  h.add(read_op(1, 5, 10ms, 11ms));
+  h.add(read_op(1, 0, 12ms, 13ms));
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
+TEST(Linearizability, PendingReadIgnored) {
+  History h;
+  h.add(write_op(0, 1, 0ms, 1ms));
+  h.add(OpRecord{1, OpType::kRead, 0, 0, 2ms, {}, false});
+  EXPECT_TRUE(check_linearizable(h).linearizable);
+}
+
+// ---- Linearizability: violations ---------------------------------------------
+
+TEST(Linearizability, ReadOfNeverWrittenValue) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), read_op(1, 99, 2ms, 3ms)});
+  const auto report = check_linearizable(h);
+  EXPECT_FALSE(report.linearizable);
+  EXPECT_FALSE(report.explanation.empty());
+}
+
+TEST(Linearizability, StaleReadAfterCompletedWrite) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), read_op(1, 0, 2ms, 3ms)});
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
+TEST(Linearizability, NewOldInversionRejected) {
+  // Two sequential reads during one long write: new then old is the classic
+  // regular-register anomaly; atomicity forbids it.
+  const History h = make({write_op(0, 1, 0ms, 100ms), read_op(1, 1, 10ms, 20ms),
+                          read_op(2, 0, 30ms, 40ms)});
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+  // Old then new is fine.
+  const History ok = make({write_op(0, 1, 0ms, 100ms), read_op(1, 0, 10ms, 20ms),
+                           read_op(2, 1, 30ms, 40ms)});
+  EXPECT_TRUE(check_linearizable(ok).linearizable);
+}
+
+TEST(Linearizability, WriteOrderForcedByRealTime) {
+  // w(1) completes before w(2) starts; a read after both returning 1 is bad.
+  const History h = make({write_op(0, 1, 0ms, 1ms), write_op(0, 2, 2ms, 3ms),
+                          read_op(1, 1, 4ms, 5ms)});
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
+TEST(Linearizability, ConcurrentWritesAllowEitherOrder) {
+  const History a = make({write_op(0, 1, 0ms, 10ms), write_op(1, 2, 0ms, 10ms),
+                          read_op(2, 1, 20ms, 21ms)});
+  const History b = make({write_op(0, 1, 0ms, 10ms), write_op(1, 2, 0ms, 10ms),
+                          read_op(2, 2, 20ms, 21ms)});
+  EXPECT_TRUE(check_linearizable(a).linearizable);
+  EXPECT_TRUE(check_linearizable(b).linearizable);
+  // But both values cannot be "the last write" for sequential readers.
+  const History c = make({write_op(0, 1, 0ms, 10ms), write_op(1, 2, 0ms, 10ms),
+                          read_op(2, 1, 20ms, 21ms), read_op(2, 2, 22ms, 23ms),
+                          read_op(2, 1, 24ms, 25ms)});
+  EXPECT_FALSE(check_linearizable(c).linearizable);
+}
+
+TEST(Linearizability, LongSequentialHistoryIsFast) {
+  History h;
+  Duration t = 0ms;
+  for (int i = 1; i <= 2000; ++i) {
+    h.add(write_op(0, i, t, t + 1ms));
+    h.add(read_op(1, i, t + 2ms, t + 3ms));
+    t += 4ms;
+  }
+  const auto report = check_linearizable(h);
+  EXPECT_TRUE(report.linearizable);
+}
+
+TEST(Linearizability, MultiObjectConvenience) {
+  History h;
+  h.add(write_op(0, 1, 0ms, 1ms, 1));
+  h.add(read_op(1, 1, 2ms, 3ms, 1));
+  h.add(write_op(0, 7, 0ms, 1ms, 2));
+  h.add(read_op(1, 7, 2ms, 3ms, 2));
+  EXPECT_TRUE(check_linearizable_per_object(h).linearizable);
+  h.add(read_op(1, 1, 4ms, 5ms, 2));  // object 2 never held 1
+  const auto report = check_linearizable_per_object(h);
+  EXPECT_FALSE(report.linearizable);
+  EXPECT_NE(report.explanation.find("object 2"), std::string::npos);
+}
+
+TEST(Linearizability, MultiObjectDirectCallThrows) {
+  History h;
+  h.add(write_op(0, 1, 0ms, 1ms, 1));
+  h.add(write_op(0, 1, 0ms, 1ms, 2));
+  EXPECT_THROW((void)check_linearizable(h), std::invalid_argument);
+}
+
+TEST(Linearizability, MalformedIntervalThrows) {
+  const History h = make({write_op(0, 1, 5ms, 1ms)});
+  EXPECT_THROW((void)check_linearizable(h), std::invalid_argument);
+}
+
+// ---- Sequential consistency ---------------------------------------------------
+
+TEST(SequentialConsistency, LinearizableImpliesSC) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), read_op(1, 1, 2ms, 3ms),
+                          write_op(0, 2, 4ms, 5ms), read_op(1, 2, 6ms, 7ms)});
+  EXPECT_TRUE(check_sequentially_consistent(h).sequentially_consistent);
+}
+
+TEST(SequentialConsistency, NewOldInversionIsSCButNotAtomic) {
+  // The paper's central anomaly: two sequential reads (by DIFFERENT
+  // processes) returning new-then-old. Linearizability forbids it; SC
+  // permits it (real time is not binding across processes).
+  const History h = make({write_op(0, 1, 0ms, 100ms), read_op(1, 1, 10ms, 20ms),
+                          read_op(2, 0, 30ms, 40ms)});
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+  EXPECT_TRUE(check_sequentially_consistent(h).sequentially_consistent);
+}
+
+TEST(SequentialConsistency, ProgramOrderIsBinding) {
+  // The SAME inversion within one process violates SC too: p1 reads 1 then
+  // 0 while only w(1) exists — no interleaving explains it.
+  const History h = make({write_op(0, 1, 0ms, 100ms), read_op(1, 1, 10ms, 20ms),
+                          read_op(1, 0, 30ms, 40ms)});
+  EXPECT_FALSE(check_sequentially_consistent(h).sequentially_consistent);
+}
+
+TEST(SequentialConsistency, NeverWrittenValueRejected) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), read_op(1, 99, 2ms, 3ms)});
+  EXPECT_FALSE(check_sequentially_consistent(h).sequentially_consistent);
+}
+
+TEST(SequentialConsistency, PendingWriteMayBeScheduled) {
+  History h;
+  h.add(OpRecord{0, OpType::kWrite, 0, 5, 0ms, {}, false});
+  h.add(read_op(1, 5, 10ms, 11ms));
+  EXPECT_TRUE(check_sequentially_consistent(h).sequentially_consistent);
+}
+
+TEST(SequentialConsistency, CrossProcessReadsCanBothGoStale) {
+  // Both readers see the old value after the write completed — SC fine
+  // (the interleaving puts both reads before the write), atomicity not.
+  const History h = make({write_op(0, 1, 0ms, 1ms), read_op(1, 0, 5ms, 6ms),
+                          read_op(2, 0, 7ms, 8ms)});
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+  EXPECT_TRUE(check_sequentially_consistent(h).sequentially_consistent);
+}
+
+TEST(SequentialConsistency, MultiObjectThrows) {
+  History h;
+  h.add(write_op(0, 1, 0ms, 1ms, 1));
+  h.add(write_op(0, 1, 2ms, 3ms, 2));
+  EXPECT_THROW((void)check_sequentially_consistent(h), std::invalid_argument);
+}
+
+// ---- Regularity / safety / inversion -------------------------------------------
+
+TEST(Regularity, AcceptsOverlapOldOrNew) {
+  const History h = make({write_op(0, 1, 0ms, 100ms), read_op(1, 1, 10ms, 20ms),
+                          read_op(2, 0, 30ms, 40ms)});
+  // New/old inversion: regular allows it (that's the point of E4)...
+  EXPECT_TRUE(check_regular(h).regular);
+  // ... but linearizability does not (checked above), and the inversion
+  // detector pinpoints it:
+  const auto inversions = find_inversions(h);
+  EXPECT_EQ(inversions.count, 1U);
+  ASSERT_TRUE(inversions.first.has_value());
+  EXPECT_EQ(inversions.first->earlier_version, 0);
+  EXPECT_EQ(inversions.first->later_version, -1);
+}
+
+TEST(Regularity, RejectsValueFromCompletedPast) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), write_op(0, 2, 2ms, 3ms),
+                          read_op(1, 1, 4ms, 5ms)});
+  EXPECT_FALSE(check_regular(h).regular);
+}
+
+TEST(Regularity, RejectsFutureValue) {
+  const History h = make({read_op(1, 1, 0ms, 1ms), write_op(0, 1, 2ms, 3ms)});
+  EXPECT_FALSE(check_regular(h).regular);
+}
+
+TEST(Regularity, RejectsNeverWritten) {
+  const History h = make({read_op(1, 42, 0ms, 1ms)});
+  EXPECT_FALSE(check_regular(h).regular);
+}
+
+TEST(Regularity, PendingWriteValueIsLegalOnceInvoked) {
+  History h;
+  h.add(OpRecord{0, OpType::kWrite, 0, 9, 0ms, {}, false});
+  h.add(read_op(1, 9, 5ms, 6ms));
+  EXPECT_TRUE(check_regular(h).regular);
+}
+
+TEST(Regularity, RejectsOverlappingWriters) {
+  const History h = make({write_op(0, 1, 0ms, 10ms), write_op(1, 2, 5ms, 15ms)});
+  EXPECT_THROW((void)check_regular(h), std::invalid_argument);
+}
+
+TEST(Regularity, RejectsDuplicateWrites) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), write_op(0, 1, 2ms, 3ms)});
+  EXPECT_THROW((void)check_regular(h), std::invalid_argument);
+}
+
+TEST(Safety, OnlyConstrainsNonOverlappingReads) {
+  // Overlapping read may return garbage-free arbitrary written value — here
+  // old value — safety doesn't care.
+  const History overlapping =
+      make({write_op(0, 1, 0ms, 10ms), read_op(1, 0, 5ms, 6ms)});
+  EXPECT_TRUE(check_safe(overlapping).safe);
+  // Non-overlapping stale read violates safety.
+  const History stale = make({write_op(0, 1, 0ms, 1ms), read_op(1, 0, 5ms, 6ms)});
+  EXPECT_FALSE(check_safe(stale).safe);
+}
+
+TEST(Inversion, NoneInAtomicOrder) {
+  const History h = make({write_op(0, 1, 0ms, 1ms), read_op(1, 1, 2ms, 3ms),
+                          write_op(0, 2, 4ms, 5ms), read_op(2, 2, 6ms, 7ms)});
+  EXPECT_EQ(find_inversions(h).count, 0U);
+}
+
+TEST(Inversion, CountsEachLaterReadOnce) {
+  // One new read followed by two sequential old reads -> 2 inversions.
+  const History h = make({write_op(0, 1, 0ms, 100ms), read_op(1, 1, 10ms, 20ms),
+                          read_op(2, 0, 30ms, 40ms), read_op(2, 0, 50ms, 60ms)});
+  EXPECT_EQ(find_inversions(h).count, 2U);
+}
+
+TEST(Inversion, ConcurrentReadsAreNotInversions) {
+  const History h = make({write_op(0, 1, 0ms, 100ms), read_op(1, 1, 10ms, 50ms),
+                          read_op(2, 0, 20ms, 60ms)});
+  EXPECT_EQ(find_inversions(h).count, 0U);
+}
+
+}  // namespace
+}  // namespace abdkit::checker

@@ -1,0 +1,191 @@
+// Unit tests for the common kit: RNG determinism and distributions, stats,
+// payload casting, value/opid vocabulary types.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/common/message.hpp"
+#include "abdkit/common/rng.hpp"
+#include "abdkit/common/stats.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{7};
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng{9};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5U);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng{11};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng{13};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng{17};
+  double sum = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) sum += rng.exponential(100.0);
+  const double mean = sum / samples;
+  EXPECT_NEAR(mean, 100.0, 5.0);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent{23};
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4U);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Summary, Quantiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+}
+
+TEST(Summary, QuantileRejectsOutOfRange) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Summary, MergeCombines) {
+  Summary a;
+  Summary b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndTotal) {
+  Histogram h{{10.0, 20.0, 30.0}};
+  h.add(5.0);
+  h.add(15.0);
+  h.add(25.0);
+  h.add(35.0);
+  h.add(15.5);
+  EXPECT_EQ(h.total(), 5U);
+  EXPECT_EQ(h.bucket_count(0), 1U);
+  EXPECT_EQ(h.bucket_count(1), 2U);
+  EXPECT_EQ(h.bucket_count(2), 1U);
+  EXPECT_EQ(h.bucket_count(3), 1U);
+}
+
+TEST(Histogram, RejectsUnsortedBoundaries) {
+  EXPECT_THROW(Histogram({3.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Payload, CastMatchesTag) {
+  const PayloadPtr p = make_payload<abd::ReadQuery>(7, 42);
+  EXPECT_NE(payload_cast<abd::ReadQuery>(p), nullptr);
+  EXPECT_EQ(payload_cast<abd::ReadReply>(p), nullptr);
+  EXPECT_EQ(payload_cast<abd::ReadQuery>(p)->round, 7U);
+  EXPECT_EQ(payload_cast<abd::ReadQuery>(p)->object, 42U);
+}
+
+TEST(Payload, WireSizeCountsValuePayload) {
+  Value small;
+  small.data = 1;
+  Value padded;
+  padded.data = 1;
+  padded.padding_bytes = 100;
+  const abd::ReadReply a{1, 0, abd::Tag{1, 0}, small};
+  const abd::ReadReply b{1, 0, abd::Tag{1, 0}, padded};
+  EXPECT_EQ(b.wire_size(), a.wire_size() + 100);
+}
+
+TEST(Tag, VarintGrowsWithMagnitude) {
+  using abd::varint_size;
+  EXPECT_EQ(varint_size(0), 1U);
+  EXPECT_EQ(varint_size(127), 1U);
+  EXPECT_EQ(varint_size(128), 2U);
+  EXPECT_EQ(varint_size(1ULL << 62), 9U);
+}
+
+TEST(Tag, LexicographicOrder) {
+  using abd::Tag;
+  EXPECT_LT((Tag{1, 5}), (Tag{2, 0}));
+  EXPECT_LT((Tag{2, 0}), (Tag{2, 1}));
+  EXPECT_EQ((Tag{3, 3}), (Tag{3, 3}));
+}
+
+TEST(Types, OpIdHashAndEquality) {
+  const OpId a{1, 10};
+  const OpId b{1, 10};
+  const OpId c{2, 10};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<OpId>{}(a), std::hash<OpId>{}(b));
+}
+
+TEST(Types, ValueEqualityIncludesAux) {
+  Value a;
+  Value b;
+  a.aux = {1, 2};
+  b.aux = {1, 2};
+  EXPECT_EQ(a, b);
+  b.aux = {1, 3};
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace abdkit

@@ -1,0 +1,236 @@
+// Fault-model extension tests: lossy and duplicating channels (beyond the
+// paper's reliable-channel model) with protocol-level retransmission, and
+// the targeted-contact optimization. Safety must hold unconditionally;
+// liveness needs retransmission once channels may lose messages.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/checker/register_checks.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+
+namespace abdkit {
+namespace {
+
+using namespace std::chrono_literals;
+using harness::DeployOptions;
+using harness::SimDeployment;
+using harness::Variant;
+
+abd::ClientOptions with_retransmit(Duration interval) {
+  abd::ClientOptions options;
+  options.retransmit_interval = interval;
+  return options;
+}
+
+abd::ClientOptions targeted(Duration interval) {
+  abd::ClientOptions options;
+  options.retransmit_interval = interval;
+  options.contact = abd::ContactPolicy::kTargeted;
+  return options;
+}
+
+// ---- Lossy channels -------------------------------------------------------------
+
+TEST(LossyChannels, WithoutRetransmissionOpsCanStall) {
+  // 60% loss, no retransmission: some quorum never assembles. (Deterministic
+  // given the seed; this seed loses enough requests to stall.)
+  DeployOptions options{.n = 3, .seed = 5};
+  options.loss_probability = 0.6;
+  SimDeployment d{std::move(options)};
+  for (int i = 0; i < 10; ++i) d.write_at(TimePoint{i * 1ms}, 0, 0, i + 1);
+  d.run();
+  EXPECT_GT(d.stalled_ops(), 0U);
+  EXPECT_GT(d.world().stats().messages_lost, 0U);
+}
+
+TEST(LossyChannels, RetransmissionRestoresLiveness) {
+  DeployOptions options{.n = 3, .seed = 5};
+  options.loss_probability = 0.6;
+  options.client = with_retransmit(5ms);
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> read_result;
+  for (int i = 0; i < 10; ++i) d.write_at(TimePoint{i * 1ms}, 0, 0, i + 1);
+  d.read_at(TimePoint{50ms}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 10);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable);
+}
+
+TEST(LossyChannels, AtomicityHoldsAcrossLossRates) {
+  for (const double loss : {0.1, 0.3, 0.5}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      DeployOptions options{.n = 5, .seed = seed};
+      options.loss_probability = loss;
+      options.client = with_retransmit(3ms);
+      SimDeployment d{std::move(options)};
+
+      harness::WorkloadOptions workload;
+      workload.writers = {0};
+      workload.readers = {1, 2, 3, 4};
+      workload.ops_per_process = 10;
+      workload.seed = seed;
+      harness::schedule_closed_loop(d, workload);
+      d.run();
+
+      EXPECT_EQ(d.stalled_ops(), 0U) << "loss=" << loss << " seed=" << seed;
+      EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+          << "loss=" << loss << " seed=" << seed;
+      EXPECT_EQ(checker::find_inversions(d.history()).count, 0U);
+    }
+  }
+}
+
+TEST(LossyChannels, LossPlusCrashesStillAtomic) {
+  DeployOptions options{.n = 5, .seed = 3};
+  options.loss_probability = 0.25;
+  options.client = with_retransmit(3ms);
+  SimDeployment d{std::move(options)};
+  d.crash_at(TimePoint{10ms}, 3);
+  d.crash_at(TimePoint{20ms}, 4);
+  for (int i = 0; i < 15; ++i) {
+    d.write_at(TimePoint{i * 5ms}, 0, 0, i + 1);
+    d.read_at(TimePoint{i * 5ms + 2ms}, 1, 0);
+  }
+  d.run();
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+      << checker::check_linearizable(d.history()).explanation;
+}
+
+TEST(LossyChannels, RejectsInvalidProbability) {
+  sim::WorldConfig config;
+  config.num_processes = 2;
+  config.loss_probability = 1.0;
+  EXPECT_THROW(sim::World{std::move(config)}, std::invalid_argument);
+  sim::WorldConfig config2;
+  config2.num_processes = 2;
+  config2.duplicate_probability = -0.1;
+  EXPECT_THROW(sim::World{std::move(config2)}, std::invalid_argument);
+}
+
+// ---- Duplicating channels ---------------------------------------------------------
+
+TEST(DuplicatingChannels, HandlersAreIdempotent) {
+  DeployOptions options{.n = 5, .seed = 7};
+  options.duplicate_probability = 0.5;
+  SimDeployment d{std::move(options)};
+
+  harness::WorkloadOptions workload;
+  workload.writers = {0};
+  workload.readers = {1, 2, 3, 4};
+  workload.ops_per_process = 12;
+  workload.seed = 7;
+  harness::schedule_closed_loop(d, workload);
+  d.run();
+
+  EXPECT_GT(d.world().stats().messages_duplicated, 0U);
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+      << checker::check_linearizable(d.history()).explanation;
+}
+
+TEST(DuplicatingChannels, LossAndDuplicationTogether) {
+  DeployOptions options{.n = 5, .seed = 8, .variant = Variant::kAtomicMwmr};
+  options.loss_probability = 0.2;
+  options.duplicate_probability = 0.3;
+  options.client = with_retransmit(3ms);
+  SimDeployment d{std::move(options)};
+
+  harness::WorkloadOptions workload;
+  workload.writers = {0, 1, 2};
+  workload.readers = {3, 4};
+  workload.ops_per_process = 8;
+  workload.seed = 8;
+  harness::schedule_closed_loop(d, workload);
+  d.run();
+
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+      << checker::check_linearizable(d.history()).explanation;
+}
+
+// ---- Targeted contact --------------------------------------------------------------
+
+TEST(TargetedContact, RequiresRetransmission) {
+  abd::ClientOptions options;
+  options.contact = abd::ContactPolicy::kTargeted;
+  EXPECT_THROW(abd::Client(harness::majority(3), abd::ReadMode::kAtomic, options),
+               std::invalid_argument);
+}
+
+TEST(TargetedContact, FaultFreeUsesQuorumSizedFanout) {
+  DeployOptions options{.n = 9, .seed = 9};
+  options.client = targeted(50ms);
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> write_result;
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 1, [&](const abd::OpResult& r) { write_result = r; });
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(write_result.has_value());
+  ASSERT_TRUE(read_result.has_value());
+  // Majority of 9 = 5: write contacts 5 (not 9); read 2 phases x 5.
+  EXPECT_EQ(write_result->messages_sent, 5U);
+  EXPECT_EQ(read_result->messages_sent, 10U);
+}
+
+TEST(TargetedContact, GridCutsFanoutToRowPlusColumn) {
+  DeployOptions options{.n = 9, .seed = 10};
+  options.quorums = std::make_shared<const quorum::GridQuorum>(3, 3);
+  options.client = targeted(50ms);
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> write_result;
+  d.write_at(TimePoint{0}, 0, 0, 1, [&](const abd::OpResult& r) { write_result = r; });
+  d.run();
+  ASSERT_TRUE(write_result.has_value());
+  EXPECT_EQ(write_result->messages_sent, 5U);  // 3 + 3 - 1
+}
+
+TEST(TargetedContact, ExpandsPastCrashedPreferredMember) {
+  // Crash part of the preferred quorum: the first attempt cannot assemble
+  // a quorum; after the retransmission timeout the phase expands to all
+  // processes and completes.
+  DeployOptions options{.n = 5, .seed = 11};
+  options.client = targeted(10ms);
+  SimDeployment d{std::move(options)};
+  // Preferred quorum after greedy shrink of majority(5) is {0,1,2}; kill
+  // two of its members (the writer itself, 0, stays up).
+  d.crash_at(TimePoint{0}, 1);
+  d.crash_at(TimePoint{0}, 2);
+  std::optional<abd::OpResult> write_result;
+  d.write_at(TimePoint{1ms}, 0, 0, 42,
+             [&](const abd::OpResult& r) { write_result = r; });
+  d.run();
+  ASSERT_TRUE(write_result.has_value());
+  EXPECT_GE(write_result->responded - write_result->invoked, 10ms);  // waited out 1 timer
+  EXPECT_EQ(d.stalled_ops(), 0U);
+}
+
+TEST(TargetedContact, StaysAtomicUnderWorkload) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    DeployOptions options{.n = 9, .seed = seed};
+    options.quorums = std::make_shared<const quorum::GridQuorum>(3, 3);
+    options.client = targeted(20ms);
+    SimDeployment d{std::move(options)};
+
+    harness::WorkloadOptions workload;
+    workload.writers = {0};
+    workload.readers = {1, 4, 8};
+    workload.ops_per_process = 10;
+    workload.seed = seed;
+    harness::schedule_closed_loop(d, workload);
+    d.run();
+
+    EXPECT_EQ(d.stalled_ops(), 0U) << "seed " << seed;
+    EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace abdkit

@@ -1,0 +1,126 @@
+// Tests for the experiment harness itself: deployment plumbing, history
+// recording, and the closed-loop workload generator.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/harness/workload.hpp"
+
+namespace abdkit::harness {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Deployment, RecordsCompletedOps) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 1}};
+  d.write_at(TimePoint{0}, 0, 0, 1);
+  d.read_at(TimePoint{10ms}, 1, 0);
+  d.run();
+  EXPECT_EQ(d.completed_ops(), 2U);
+  EXPECT_EQ(d.stalled_ops(), 0U);
+  ASSERT_EQ(d.history().size(), 2U);
+  EXPECT_TRUE(d.history().ops()[0].completed);
+  EXPECT_EQ(d.history().ops()[0].type, checker::OpType::kWrite);
+  EXPECT_EQ(d.history().ops()[1].type, checker::OpType::kRead);
+  EXPECT_EQ(d.history().ops()[1].value, 1);
+}
+
+TEST(Deployment, UniqueValuesNeverRepeat) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 2}};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(seen.insert(d.unique_value()).second);
+}
+
+TEST(Deployment, RunIsIdempotentOnFinalize) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 3}};
+  d.write_at(TimePoint{0}, 0, 0, 1);
+  d.run();
+  d.finalize_history();  // second finalize is a no-op
+  EXPECT_EQ(d.history().size(), 1U);
+}
+
+TEST(Deployment, RejectsBadArguments) {
+  EXPECT_THROW(SimDeployment{DeployOptions{.n = 0}}, std::invalid_argument);
+  SimDeployment d{DeployOptions{.n = 3, .seed = 4}};
+  EXPECT_THROW((void)d.node(3), std::out_of_range);
+}
+
+TEST(Workload, RunsExactOpCount) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 5}};
+  WorkloadOptions workload;
+  workload.writers = {0};
+  workload.readers = {0, 1, 2};
+  workload.ops_per_process = 7;
+  workload.seed = 5;
+  schedule_closed_loop(d, workload);
+  d.run();
+  EXPECT_EQ(d.completed_ops(), 21U);
+  EXPECT_TRUE(d.history().well_formed());
+}
+
+TEST(Workload, PureReadersNeverWrite) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 6}};
+  WorkloadOptions workload;
+  workload.writers = {0};
+  workload.readers = {1, 2};
+  workload.ops_per_process = 5;
+  workload.seed = 6;
+  schedule_closed_loop(d, workload);
+  d.run();
+  for (const auto& op : d.history().ops()) {
+    if (op.process != 0) {
+      EXPECT_EQ(op.type, checker::OpType::kRead);
+    } else {
+      EXPECT_EQ(op.type, checker::OpType::kWrite);
+    }
+  }
+}
+
+TEST(Workload, WrittenValuesAreUnique) {
+  SimDeployment d{DeployOptions{.n = 5, .seed = 7, .variant = Variant::kAtomicMwmr}};
+  WorkloadOptions workload;
+  workload.writers = {0, 1, 2};
+  workload.readers = {3, 4};
+  workload.ops_per_process = 10;
+  workload.seed = 7;
+  schedule_closed_loop(d, workload);
+  d.run();
+  std::set<std::int64_t> written;
+  for (const auto& op : d.history().ops()) {
+    if (op.type == checker::OpType::kWrite) {
+      EXPECT_TRUE(written.insert(op.value).second) << "duplicate write " << op.value;
+    }
+  }
+  EXPECT_EQ(written.size(), 30U);
+}
+
+TEST(Workload, MultipleObjectsAllTouched) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 8}};
+  WorkloadOptions workload;
+  workload.writers = {0};
+  workload.readers = {0, 1, 2};
+  workload.objects = {10, 20, 30};
+  workload.ops_per_process = 30;
+  workload.seed = 8;
+  schedule_closed_loop(d, workload);
+  d.run();
+  std::set<std::uint64_t> touched;
+  for (const auto& op : d.history().ops()) touched.insert(op.object);
+  EXPECT_EQ(touched.size(), 3U);
+}
+
+TEST(Workload, ValidatesArguments) {
+  SimDeployment d{DeployOptions{.n = 3, .seed = 9}};
+  WorkloadOptions no_objects;
+  no_objects.readers = {0};
+  no_objects.objects.clear();
+  EXPECT_THROW(schedule_closed_loop(d, no_objects), std::invalid_argument);
+  WorkloadOptions out_of_range;
+  out_of_range.readers = {9};
+  EXPECT_THROW(schedule_closed_loop(d, out_of_range), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abdkit::harness

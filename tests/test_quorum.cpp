@@ -1,0 +1,240 @@
+// Unit tests for quorum systems: predicates, intersection properties
+// (verified exhaustively for small n), availability, and load analysis.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abdkit/quorum/analysis.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::quorum {
+namespace {
+
+std::vector<bool> mask(std::size_t n, std::initializer_list<ProcessId> members) {
+  std::vector<bool> m(n, false);
+  for (const ProcessId p : members) m[p] = true;
+  return m;
+}
+
+TEST(Majority, ThresholdIsStrictMajority) {
+  EXPECT_EQ(MajorityQuorum{1}.threshold(), 1U);
+  EXPECT_EQ(MajorityQuorum{2}.threshold(), 2U);
+  EXPECT_EQ(MajorityQuorum{3}.threshold(), 2U);
+  EXPECT_EQ(MajorityQuorum{4}.threshold(), 3U);
+  EXPECT_EQ(MajorityQuorum{5}.threshold(), 3U);
+}
+
+TEST(Majority, PredicateMatchesThreshold) {
+  const MajorityQuorum q{5};
+  EXPECT_FALSE(q.is_read_quorum(mask(5, {0, 1})));
+  EXPECT_TRUE(q.is_read_quorum(mask(5, {0, 1, 2})));
+  EXPECT_TRUE(q.is_write_quorum(mask(5, {2, 3, 4})));
+}
+
+TEST(Majority, RejectsWrongSizeVector) {
+  const MajorityQuorum q{3};
+  EXPECT_THROW((void)q.is_read_quorum(mask(4, {0, 1, 2})), std::invalid_argument);
+}
+
+TEST(Majority, IntersectionHolds) {
+  for (std::size_t n : {1U, 2U, 3U, 4U, 5U, 7U, 9U}) {
+    const MajorityQuorum q{n};
+    EXPECT_TRUE(read_write_intersection_holds(q)) << "n=" << n;
+    EXPECT_TRUE(write_write_intersection_holds(q)) << "n=" << n;
+  }
+}
+
+TEST(WeightedMajority, WeightsCount) {
+  // Process 0 has weight 3 of total 5: it alone is a quorum.
+  const WeightedMajorityQuorum q{{3, 1, 1}};
+  EXPECT_TRUE(q.is_read_quorum(mask(3, {0})));
+  EXPECT_FALSE(q.is_read_quorum(mask(3, {1, 2})));
+  EXPECT_TRUE(read_write_intersection_holds(q));
+}
+
+TEST(WeightedMajority, RejectsDegenerateWeights) {
+  const std::vector<std::uint32_t> empty;
+  const std::vector<std::uint32_t> zeros{0, 0};
+  EXPECT_THROW(WeightedMajorityQuorum{empty}, std::invalid_argument);
+  EXPECT_THROW(WeightedMajorityQuorum{zeros}, std::invalid_argument);
+}
+
+TEST(Grid, RowPlusColumnIsQuorum) {
+  // 3x3 grid: processes r*3+c.
+  const GridQuorum q{3, 3};
+  // Row 0 plus column 0 = {0,1,2,3,6}.
+  EXPECT_TRUE(q.is_read_quorum(mask(9, {0, 1, 2, 3, 6})));
+  // A full row alone is not a quorum.
+  EXPECT_FALSE(q.is_read_quorum(mask(9, {0, 1, 2})));
+  // A full column alone is not a quorum.
+  EXPECT_FALSE(q.is_read_quorum(mask(9, {0, 3, 6})));
+}
+
+TEST(Grid, IntersectionHolds) {
+  EXPECT_TRUE(read_write_intersection_holds(GridQuorum{2, 2}));
+  EXPECT_TRUE(read_write_intersection_holds(GridQuorum{3, 3}));
+  EXPECT_TRUE(read_write_intersection_holds(GridQuorum{2, 4}));
+  EXPECT_TRUE(write_write_intersection_holds(GridQuorum{3, 3}));
+}
+
+TEST(Grid, SmallestQuorumIsRowPlusColumnMinusOverlap) {
+  const GridQuorum q{3, 3};
+  EXPECT_EQ(smallest_read_quorum_size(q), 5U);  // 3 + 3 - 1
+  const GridQuorum wide{2, 4};
+  EXPECT_EQ(smallest_read_quorum_size(wide), 5U);  // 4 + 2 - 1
+}
+
+TEST(Tree, RootPathIsQuorum) {
+  // Heap order, 7 nodes: root 0, children {1,2}, leaves {3,4,5,6}.
+  const TreeQuorum q{7};
+  EXPECT_TRUE(q.is_read_quorum(mask(7, {0, 1, 3})));  // root-to-leaf path
+  EXPECT_TRUE(q.is_read_quorum(mask(7, {0, 2, 6})));
+  EXPECT_FALSE(q.is_read_quorum(mask(7, {0, 1})));  // path must reach a leaf
+}
+
+TEST(Tree, MissingRootReplacedByBothChildren) {
+  const TreeQuorum q{7};
+  // Without root: need quorums of both subtrees.
+  EXPECT_TRUE(q.is_read_quorum(mask(7, {1, 3, 2, 5})));
+  EXPECT_FALSE(q.is_read_quorum(mask(7, {1, 3, 5})));  // right subtree missing node 2's path? no: {5} alone isn't a quorum of subtree 2
+}
+
+TEST(Tree, IntersectionHolds) {
+  for (std::size_t n : {1U, 3U, 7U, 15U}) {
+    EXPECT_TRUE(read_write_intersection_holds(TreeQuorum{n})) << "n=" << n;
+    EXPECT_TRUE(write_write_intersection_holds(TreeQuorum{n})) << "n=" << n;
+  }
+}
+
+TEST(Tree, LogSizeBestCase) {
+  EXPECT_EQ(smallest_read_quorum_size(TreeQuorum{7}), 3U);
+  EXPECT_EQ(smallest_read_quorum_size(TreeQuorum{15}), 4U);
+}
+
+TEST(Wheel, HubPlusSpokeOrAllSpokes) {
+  const WheelQuorum q{5};
+  EXPECT_TRUE(q.is_read_quorum(mask(5, {0, 3})));        // hub + spoke
+  EXPECT_FALSE(q.is_read_quorum(mask(5, {0})));          // hub alone
+  EXPECT_TRUE(q.is_read_quorum(mask(5, {1, 2, 3, 4})));  // all spokes
+  EXPECT_FALSE(q.is_read_quorum(mask(5, {1, 2, 3})));    // spokes missing one
+}
+
+TEST(Wheel, IntersectionHoldsAndMinimumIsTwo) {
+  for (std::size_t n : {2U, 3U, 5U, 9U}) {
+    const WheelQuorum q{n};
+    EXPECT_TRUE(read_write_intersection_holds(q)) << n;
+    EXPECT_TRUE(write_write_intersection_holds(q)) << n;
+  }
+  EXPECT_EQ(smallest_read_quorum_size(WheelQuorum{9}), 2U);
+  EXPECT_THROW(WheelQuorum{1}, std::invalid_argument);
+}
+
+TEST(Wheel, AvailabilityCollapsesWithTheHub) {
+  // Hub dead => need every spoke: availability ~ (1-p)^(n-1).
+  const WheelQuorum q{9};
+  const double availability = exact_availability(q, 0.2);
+  const quorum::MajorityQuorum majority{9};
+  EXPECT_LT(availability, exact_availability(majority, 0.2));
+}
+
+TEST(RwThreshold, AsymmetricReadsAndWrites) {
+  // n=5, r=2, w=4: cheap reads, expensive writes.
+  const ReadWriteThresholdQuorum q{5, 2, 4};
+  EXPECT_TRUE(q.is_read_quorum(mask(5, {0, 1})));
+  EXPECT_FALSE(q.is_read_quorum(mask(5, {0})));
+  EXPECT_TRUE(q.is_write_quorum(mask(5, {0, 1, 2, 3})));
+  EXPECT_FALSE(q.is_write_quorum(mask(5, {0, 1, 2})));
+  EXPECT_TRUE(read_write_intersection_holds(q));
+  EXPECT_TRUE(write_write_intersection_holds(q));
+}
+
+TEST(RwThreshold, RejectsNonIntersectingThresholds) {
+  EXPECT_THROW(ReadWriteThresholdQuorum(5, 2, 3), std::invalid_argument);  // r+w = n
+  EXPECT_THROW(ReadWriteThresholdQuorum(5, 4, 2), std::invalid_argument);  // 2w <= n
+  EXPECT_THROW(ReadWriteThresholdQuorum(5, 0, 5), std::invalid_argument);
+  EXPECT_THROW(ReadWriteThresholdQuorum(5, 6, 5), std::invalid_argument);
+}
+
+TEST(Analysis, MinimalQuorumsMajority3) {
+  const MajorityQuorum q{3};
+  const auto quorums = minimal_quorums(q, /*read=*/true);
+  EXPECT_EQ(quorums.size(), 3U);  // C(3,2)
+  for (const auto& members : quorums) EXPECT_EQ(members.size(), 2U);
+}
+
+TEST(Analysis, ExactAvailabilityMajority3) {
+  const MajorityQuorum q{3};
+  // P(at least 2 of 3 up) with p = 0.1: 3*0.9^2*0.1 + 0.9^3 = 0.972.
+  EXPECT_NEAR(exact_availability(q, 0.1), 0.972, 1e-9);
+  EXPECT_NEAR(exact_availability(q, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(exact_availability(q, 1.0), 0.0, 1e-12);
+}
+
+TEST(Analysis, EstimatedTracksExact) {
+  const MajorityQuorum q{5};
+  Rng rng{99};
+  const double exact = exact_availability(q, 0.2);
+  const double estimate = estimated_availability(q, 0.2, 200000, rng);
+  EXPECT_NEAR(estimate, exact, 0.01);
+}
+
+TEST(Analysis, UniformLoadMajorityIsAboutHalf) {
+  // Majority of 5: each element appears in C(4,2)=6 of C(5,3)=10 minimal
+  // quorums -> load 0.6.
+  EXPECT_NEAR(uniform_strategy_load(MajorityQuorum{5}), 0.6, 1e-9);
+}
+
+TEST(Analysis, GridLoadBeatsMajorityForLargeN) {
+  const double grid = uniform_strategy_load(GridQuorum{4, 4});
+  const double maj = uniform_strategy_load(MajorityQuorum{16});
+  EXPECT_LT(grid, maj);
+}
+
+TEST(Analysis, FindReadQuorumShrinksGreedily) {
+  const MajorityQuorum q{5};
+  const auto quorum = find_read_quorum(q, {true, true, true, true, true});
+  ASSERT_TRUE(quorum.has_value());
+  EXPECT_EQ(quorum->size(), 3U);
+}
+
+TEST(Analysis, FindReadQuorumFailsWhenTooFewAlive) {
+  const MajorityQuorum q{5};
+  EXPECT_FALSE(find_read_quorum(q, {true, true, false, false, false}).has_value());
+}
+
+TEST(Analysis, EnumerationGuards) {
+  const MajorityQuorum big{30};
+  EXPECT_THROW((void)read_write_intersection_holds(big), std::invalid_argument);
+  EXPECT_THROW((void)minimal_quorums(big, true), std::invalid_argument);
+  Rng rng{1};
+  EXPECT_THROW((void)estimated_availability(big, 0.1, 0, rng), std::invalid_argument);
+}
+
+/// Property sweep: read/write intersection for every system at several sizes.
+class QuorumIntersectionProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuorumIntersectionProperty, AllSystemsIntersect) {
+  const std::size_t n = GetParam();
+  std::vector<std::unique_ptr<QuorumSystem>> systems;
+  systems.push_back(std::make_unique<MajorityQuorum>(n));
+  std::vector<std::uint32_t> weights(n, 1);
+  weights[0] = 3;
+  systems.push_back(std::make_unique<WeightedMajorityQuorum>(weights));
+  systems.push_back(std::make_unique<TreeQuorum>(n));
+  if (n == 4) systems.push_back(std::make_unique<GridQuorum>(2, 2));
+  if (n == 9) systems.push_back(std::make_unique<GridQuorum>(3, 3));
+  if (n >= 3) {
+    systems.push_back(
+        std::make_unique<ReadWriteThresholdQuorum>(n, n / 2 + 1, n / 2 + 1));
+  }
+  for (const auto& system : systems) {
+    EXPECT_TRUE(read_write_intersection_holds(*system))
+        << system->name() << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuorumIntersectionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 9));
+
+}  // namespace
+}  // namespace abdkit::quorum

@@ -1,0 +1,337 @@
+// Tests for the weak-register models and the classic strengthening
+// constructions — including the deliberately broken construction that the
+// linearizability checker exposes (the kind of mistake the retrospective
+// says plagued this literature).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/checker/register_checks.hpp"
+#include "abdkit/registers/weak_register.hpp"
+
+namespace abdkit::registers {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Rig {
+  explicit Rig(std::uint64_t seed) {
+    sim::WorldConfig config;
+    config.num_processes = 1;  // registers are driven by world closures
+    config.seed = seed;
+    world = std::make_unique<sim::World>(std::move(config));
+  }
+
+  std::unique_ptr<sim::World> world;
+  checker::History history;
+
+  void record(ProcessId p, checker::OpType type, std::int64_t value, TimePoint invoked,
+              TimePoint responded) {
+    history.add(checker::OpRecord{p, type, 0, value, invoked, responded, true});
+  }
+};
+
+class DummyActor final : public Actor {
+  void on_start(Context&) override {}
+  void on_message(Context&, ProcessId, const Payload&) override {}
+};
+
+void boot(Rig& rig) {
+  rig.world->add_actor(0, std::make_unique<DummyActor>());
+  rig.world->start();
+}
+
+/// Drives `writes` sequential writes from "process 0" and a sequential read
+/// loop from "process 1" against any register-ish object with write/read.
+template <typename Register>
+void drive(Rig& rig, Register& reg, int writes, int reads, std::int64_t domain) {
+  auto write_loop = std::make_shared<std::function<void(int)>>();
+  *write_loop = [&rig, &reg, write_loop, domain](int k) {
+    if (k == 0) return;
+    const TimePoint invoked = rig.world->now();
+    const std::int64_t value = k % domain;
+    reg.write(value, [&rig, &reg, write_loop, k, value, invoked, domain] {
+      rig.record(0, checker::OpType::kWrite, value, invoked, rig.world->now());
+      rig.world->after(Duration{50}, [write_loop, k] { (*write_loop)(k - 1); });
+    });
+  };
+  auto read_loop = std::make_shared<std::function<void(int)>>();
+  *read_loop = [&rig, &reg, read_loop](int k) {
+    if (k == 0) return;
+    const TimePoint invoked = rig.world->now();
+    reg.read([&rig, read_loop, k, invoked](std::int64_t value) {
+      rig.record(1, checker::OpType::kRead, value, invoked, rig.world->now());
+      rig.world->after(Duration{30}, [read_loop, k] { (*read_loop)(k - 1); });
+    });
+  };
+  rig.world->at(TimePoint{0}, [write_loop, writes] { (*write_loop)(writes); });
+  rig.world->at(TimePoint{10}, [read_loop, reads] { (*read_loop)(reads); });
+  rig.world->run_until_quiescent();
+}
+
+// ---- Base register semantics -----------------------------------------------------
+
+TEST(BaseRegister, AtomicClassPassesChecker) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    SimulatedBaseRegister reg{*rig.world, RegClass::kAtomic, 1 << 20, Duration{100},
+                              seed};
+    // Distinct values per write: k ranges over 1..40, domain huge.
+    drive(rig, reg, 40, 40, 1 << 20);
+    EXPECT_TRUE(checker::check_linearizable(rig.history).linearizable) << seed;
+  }
+}
+
+TEST(BaseRegister, RegularClassIsRegularButNotAlwaysAtomic) {
+  std::uint64_t atomic_failures = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    SimulatedBaseRegister reg{*rig.world, RegClass::kRegular, 1 << 20, Duration{200},
+                              seed};
+    drive(rig, reg, 30, 60, 1 << 20);
+    EXPECT_TRUE(checker::check_regular(rig.history).regular) << seed;
+    if (!checker::check_linearizable(rig.history).linearizable) ++atomic_failures;
+  }
+  EXPECT_GT(atomic_failures, 0U)
+      << "regular-class register never violated atomicity — model too tame";
+}
+
+TEST(BaseRegister, SafeClassCanReturnNeverWrittenValues) {
+  // With a large domain, contended safe reads eventually return a value no
+  // write ever produced — the checker calls that out, regularity too.
+  std::uint64_t garbage_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    SimulatedBaseRegister reg{*rig.world, RegClass::kSafe, 1 << 30, Duration{200}, seed};
+    drive(rig, reg, 30, 60, 64);  // writes use small values; domain is huge
+    if (!checker::check_regular(rig.history).regular) ++garbage_runs;
+  }
+  EXPECT_GT(garbage_runs, 0U);
+}
+
+TEST(BaseRegister, ValidatesArguments) {
+  Rig rig{1};
+  boot(rig);
+  EXPECT_THROW(
+      SimulatedBaseRegister(*rig.world, RegClass::kSafe, 1, Duration{10}, 1),
+      std::invalid_argument);
+  SimulatedBaseRegister reg{*rig.world, RegClass::kSafe, 4, Duration{10}, 1};
+  EXPECT_THROW(reg.write(9, nullptr), std::invalid_argument);
+  rig.world->at(TimePoint{0}, [&] {
+    reg.write(1, nullptr);
+    EXPECT_THROW(reg.write(2, nullptr), std::logic_error);  // overlapping writes
+  });
+  rig.world->run_until_quiescent();
+}
+
+// ---- Lamport: safe bit -> regular bit ----------------------------------------------
+
+TEST(RegularFromSafe, DerivedBitIsRegular) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    SimulatedBaseRegister safe_bit{*rig.world, RegClass::kSafe, 2, Duration{200}, seed};
+    RegularFromSafeBit regular_bit{safe_bit};
+    // Alternating writes 1,0,1,0 (k % 2) — but also runs of equal values
+    // thanks to the modulo pattern with k decreasing by 1 each time: use
+    // the drive() loop with domain 2, which produces ...,1,0,1,0.
+    drive(rig, regular_bit, 30, 60, 2);
+    // Regularity of a binary register can't be checked by the unique-write
+    // checker (values repeat); instead use the full linearizability search
+    // relaxed to regular semantics via a manual scan: every read must
+    // return 0 or 1 (trivially true) and non-overlapping reads must see the
+    // last completed write. Use check_safe-style manual verification:
+    // reads that overlap no write must equal the last completed write.
+    const auto& ops = rig.history.ops();
+    for (const auto& read : ops) {
+      if (read.type != checker::OpType::kRead) continue;
+      std::optional<std::int64_t> last_completed;
+      bool overlapping = false;
+      for (const auto& write : ops) {
+        if (write.type != checker::OpType::kWrite) continue;
+        if (write.responded < read.invoked) {
+          last_completed = write.value;  // ops() is in completion order per drive
+        } else if (write.invoked < read.responded) {
+          overlapping = true;
+        }
+      }
+      if (!overlapping && last_completed.has_value()) {
+        EXPECT_EQ(read.value, *last_completed) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(RegularFromSafe, RawSafeBitViolatesTheSameCondition) {
+  // Without the skip-identical-writes trick, a safe bit under repeated
+  // equal writes returns the other bit to some overlapping reader.
+  std::uint64_t violations = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    SimulatedBaseRegister safe_bit{*rig.world, RegClass::kSafe, 2, Duration{400}, seed};
+    // Writer writes 1 over and over; reader polls. Every overlapping safe
+    // read may flip the bit.
+    auto write_loop = std::make_shared<std::function<void(int)>>();
+    *write_loop = [&, write_loop](int k) {
+      if (k == 0) return;
+      safe_bit.write(1, [&, write_loop, k] {
+        rig.world->after(Duration{20}, [write_loop, k] { (*write_loop)(k - 1); });
+      });
+    };
+    bool saw_zero_after_one = false;
+    bool one_written = false;
+    auto read_loop = std::make_shared<std::function<void(int)>>();
+    *read_loop = [&, read_loop](int k) {
+      if (k == 0) return;
+      safe_bit.read([&, read_loop, k](std::int64_t v) {
+        if (v == 1) one_written = true;
+        if (one_written && v == 0) saw_zero_after_one = true;
+        rig.world->after(Duration{15}, [read_loop, k] { (*read_loop)(k - 1); });
+      });
+    };
+    rig.world->at(TimePoint{0}, [write_loop] { (*write_loop)(30); });
+    rig.world->at(TimePoint{5}, [read_loop] { (*read_loop)(80); });
+    rig.world->run_until_quiescent();
+    if (saw_zero_after_one) ++violations;
+  }
+  EXPECT_GT(violations, 0U) << "safe-bit adversary never fired — model too tame";
+}
+
+TEST(RegularFromSafe, ElidesIdenticalWrites) {
+  Rig rig{7};
+  boot(rig);
+  SimulatedBaseRegister safe_bit{*rig.world, RegClass::kSafe, 2, Duration{10}, 7};
+  RegularFromSafeBit regular_bit{safe_bit};
+  rig.world->at(TimePoint{0}, [&] {
+    regular_bit.write(1, [&] {
+      regular_bit.write(1, [&] {  // identical: elided, completes immediately
+        regular_bit.write(0, nullptr);
+      });
+    });
+  });
+  rig.world->run_until_quiescent();
+  EXPECT_EQ(regular_bit.elided_writes(), 1U);
+  EXPECT_THROW(regular_bit.write(2, nullptr), std::invalid_argument);
+}
+
+// ---- Regular + sequence numbers -> atomic (and the classic mistake) ---------------
+
+TEST(AtomicFromRegular, FaithfulConstructionIsAtomic) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    SimulatedBaseRegister base{*rig.world, RegClass::kRegular, std::int64_t{1} << 60,
+                               Duration{200}, seed};
+    AtomicFromRegular atomic{base, /*faithful=*/true};
+    drive(rig, atomic, 30, 60, 1 << 14);
+    EXPECT_TRUE(checker::check_linearizable(rig.history).linearizable)
+        << "seed " << seed << ": "
+        << checker::check_linearizable(rig.history).explanation;
+  }
+}
+
+TEST(AtomicFromRegular, BrokenConstructionIsCaught) {
+  // Remove the reader-side monotonicity filter and the checker finds the
+  // new/old inversion — the "often had mistakes" of the era, mechanized.
+  std::uint64_t caught = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    SimulatedBaseRegister base{*rig.world, RegClass::kRegular, std::int64_t{1} << 60,
+                               Duration{400}, seed};
+    AtomicFromRegular broken{base, /*faithful=*/false};
+    drive(rig, broken, 30, 80, 1 << 14);
+    if (!checker::check_linearizable(rig.history).linearizable) ++caught;
+  }
+  EXPECT_GT(caught, 0U) << "the broken construction was never caught";
+}
+
+// ---- SWSR atomic -> SWMR atomic (ABD's shape, in shared memory) -------------------
+
+/// Drives one writer and `readers` reader loops against the construction.
+void drive_swmr(Rig& rig, AtomicSwmrFromSwsr& reg, std::size_t readers, int writes,
+                int reads_each) {
+  auto write_loop = std::make_shared<std::function<void(int)>>();
+  *write_loop = [&rig, &reg, write_loop](int k) {
+    if (k == 0) return;
+    const TimePoint invoked = rig.world->now();
+    reg.write(k, [&rig, write_loop, k, invoked] {
+      rig.record(0, checker::OpType::kWrite, k, invoked, rig.world->now());
+      rig.world->after(Duration{40}, [write_loop, k] { (*write_loop)(k - 1); });
+    });
+  };
+  rig.world->at(TimePoint{0}, [write_loop, writes] { (*write_loop)(writes); });
+
+  for (std::size_t r = 0; r < readers; ++r) {
+    auto read_loop = std::make_shared<std::function<void(int)>>();
+    *read_loop = [&rig, &reg, read_loop, r](int k) {
+      if (k == 0) return;
+      const TimePoint invoked = rig.world->now();
+      reg.read(r, [&rig, read_loop, r, k, invoked](std::int64_t value) {
+        rig.record(static_cast<ProcessId>(1 + r), checker::OpType::kRead, value,
+                   invoked, rig.world->now());
+        rig.world->after(Duration{25}, [read_loop, k] { (*read_loop)(k - 1); });
+      });
+    };
+    rig.world->at(TimePoint{5 + static_cast<Duration::rep>(r) * 3},
+                  [read_loop, reads_each] { (*read_loop)(reads_each); });
+  }
+  rig.world->run_until_quiescent();
+}
+
+TEST(AtomicSwmrFromSwsr, FaithfulConstructionIsAtomic) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    AtomicSwmrFromSwsr reg{*rig.world, /*readers=*/3, Duration{120}, seed,
+                           /*faithful=*/true};
+    drive_swmr(rig, reg, 3, 25, 25);
+    EXPECT_TRUE(checker::check_linearizable(rig.history).linearizable)
+        << "seed " << seed << ": "
+        << checker::check_linearizable(rig.history).explanation;
+  }
+}
+
+TEST(AtomicSwmrFromSwsr, DroppingTheWriteBackIsCaught) {
+  // Without reader-to-reader announcement, reader A can see the new value
+  // while reader B still sees the old one after A finished — the SWMR
+  // analogue of ABD reading without the write-back phase.
+  std::uint64_t caught = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rig rig{seed};
+    boot(rig);
+    AtomicSwmrFromSwsr reg{*rig.world, 3, Duration{300}, seed, /*faithful=*/false};
+    drive_swmr(rig, reg, 3, 20, 30);
+    if (!checker::check_linearizable(rig.history).linearizable) ++caught;
+  }
+  EXPECT_GT(caught, 0U) << "dropping the write-back was never caught";
+}
+
+TEST(AtomicSwmrFromSwsr, ValidatesArguments) {
+  Rig rig{1};
+  boot(rig);
+  EXPECT_THROW(AtomicSwmrFromSwsr(*rig.world, 0, Duration{10}, 1),
+               std::invalid_argument);
+  AtomicSwmrFromSwsr reg{*rig.world, 2, Duration{10}, 1};
+  EXPECT_THROW(reg.write(1 << 16, nullptr), std::invalid_argument);
+  EXPECT_THROW(reg.read(5, nullptr), std::invalid_argument);
+}
+
+TEST(AtomicFromRegular, RejectsOversizedValues) {
+  Rig rig{1};
+  boot(rig);
+  SimulatedBaseRegister base{*rig.world, RegClass::kRegular, std::int64_t{1} << 60,
+                             Duration{10}, 1};
+  AtomicFromRegular atomic{base};
+  EXPECT_THROW(atomic.write(1 << 16, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abdkit::registers

@@ -1,0 +1,320 @@
+// Tests for the shared-memory toolkit: the atomic snapshot, counter,
+// max-register, and SPSC queue — first over local registers (the reference
+// semantics), then over ABD in the simulator (the paper's simulation
+// corollary: same algorithms, message passing underneath, minority crashes
+// tolerated).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/shmem/counter.hpp"
+#include "abdkit/shmem/register_space.hpp"
+#include "abdkit/shmem/snapshot.hpp"
+#include "abdkit/shmem/spsc_queue.hpp"
+
+namespace abdkit::shmem {
+namespace {
+
+using namespace std::chrono_literals;
+using harness::DeployOptions;
+using harness::SimDeployment;
+using harness::Variant;
+
+// ---- Local register space (reference semantics) --------------------------------
+
+TEST(LocalSpace, ReadsBackWrites) {
+  LocalRegisterSpace space;
+  Value v;
+  v.data = 7;
+  bool wrote = false;
+  space.write(1, v, [&] { wrote = true; });
+  EXPECT_TRUE(wrote);
+  std::optional<Value> read;
+  space.read(1, [&](const Value& r) { read = r; });
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->data, 7);
+}
+
+TEST(LocalSpace, UnwrittenReadsInitial) {
+  LocalRegisterSpace space;
+  std::optional<Value> read;
+  space.read(99, [&](const Value& r) { read = r; });
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->data, 0);
+  EXPECT_TRUE(read->aux.empty());
+}
+
+TEST(SnapshotLocal, UpdateThenScan) {
+  LocalRegisterSpace space;
+  AtomicSnapshot snap0{space, 0, 3, 100};
+  AtomicSnapshot snap1{space, 1, 3, 100};
+  snap0.update(10, nullptr);
+  snap1.update(20, nullptr);
+  std::optional<SnapshotView> view;
+  snap0.scan([&](const SnapshotView& v) { view = v; });
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(*view, (SnapshotView{10, 20, 0}));
+}
+
+TEST(SnapshotLocal, RepeatedUpdatesOverwrite) {
+  LocalRegisterSpace space;
+  AtomicSnapshot snap{space, 0, 2, 0};
+  snap.update(1, nullptr);
+  snap.update(2, nullptr);
+  std::optional<SnapshotView> view;
+  snap.scan([&](const SnapshotView& v) { view = v; });
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ((*view)[0], 2);
+}
+
+TEST(SnapshotLocal, ValidatesConstruction) {
+  LocalRegisterSpace space;
+  EXPECT_THROW(AtomicSnapshot(space, 3, 3, 0), std::invalid_argument);
+  EXPECT_THROW(AtomicSnapshot(space, 0, 0, 0), std::invalid_argument);
+}
+
+TEST(CounterLocal, SumsContributions) {
+  LocalRegisterSpace space;
+  MonotoneCounter c0{space, 0, 2, 0};
+  MonotoneCounter c1{space, 1, 2, 0};
+  c0.add(5, nullptr);
+  c1.add(3, nullptr);
+  c0.increment(nullptr);
+  std::optional<std::int64_t> total;
+  c1.read([&](std::int64_t v) { total = v; });
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(*total, 9);
+}
+
+TEST(CounterLocal, RejectsNegative) {
+  LocalRegisterSpace space;
+  MonotoneCounter c{space, 0, 1, 0};
+  EXPECT_THROW(c.add(-1, nullptr), std::invalid_argument);
+}
+
+TEST(MaxRegisterLocal, TracksMaximum) {
+  LocalRegisterSpace space;
+  MaxRegister m0{space, 0, 2, 0};
+  MaxRegister m1{space, 1, 2, 0};
+  m0.write_max(10, nullptr);
+  m1.write_max(7, nullptr);
+  m0.write_max(3, nullptr);  // no-op: below current max
+  std::optional<std::int64_t> max;
+  m1.read([&](std::int64_t v) { max = v; });
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(*max, 10);
+}
+
+TEST(SpscLocal, FifoOrder) {
+  LocalRegisterSpace space;
+  SpscQueue producer{space, SpscQueue::Role::kProducer, 4, 0};
+  SpscQueue consumer{space, SpscQueue::Role::kConsumer, 4, 0};
+  for (std::int64_t i = 1; i <= 3; ++i) {
+    bool ok = false;
+    producer.enqueue(i, [&](bool r) { ok = r; });
+    EXPECT_TRUE(ok);
+  }
+  for (std::int64_t i = 1; i <= 3; ++i) {
+    std::optional<std::int64_t> got;
+    consumer.dequeue([&](std::optional<std::int64_t> v) { got = v; });
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, i);
+  }
+  std::optional<std::int64_t> empty{-1};
+  consumer.dequeue([&](std::optional<std::int64_t> v) { empty = v; });
+  EXPECT_FALSE(empty.has_value());
+}
+
+TEST(SpscLocal, FullQueueRejects) {
+  LocalRegisterSpace space;
+  SpscQueue producer{space, SpscQueue::Role::kProducer, 2, 0};
+  bool ok = true;
+  producer.enqueue(1, nullptr);
+  producer.enqueue(2, nullptr);
+  producer.enqueue(3, [&](bool r) { ok = r; });
+  EXPECT_FALSE(ok);
+}
+
+TEST(SpscLocal, RoleEnforced) {
+  LocalRegisterSpace space;
+  SpscQueue producer{space, SpscQueue::Role::kProducer, 2, 0};
+  SpscQueue consumer{space, SpscQueue::Role::kConsumer, 2, 0};
+  EXPECT_THROW(producer.dequeue(nullptr), std::logic_error);
+  EXPECT_THROW(consumer.enqueue(1, nullptr), std::logic_error);
+}
+
+// ---- Over ABD in the simulator (the simulation corollary) ----------------------
+
+/// Deploys SWMR ABD and gives each process an AbdRegisterSpace + snapshot.
+struct SnapshotWorld {
+  explicit SnapshotWorld(std::size_t n, std::uint64_t seed,
+                         Variant variant = Variant::kAtomicSwmr) {
+    DeployOptions options;
+    options.n = n;
+    options.seed = seed;
+    options.variant = variant;
+    deployment = std::make_unique<SimDeployment>(std::move(options));
+    for (ProcessId p = 0; p < n; ++p) {
+      spaces.push_back(std::make_unique<AbdRegisterSpace>(deployment->node(p)));
+      snapshots.push_back(std::make_unique<AtomicSnapshot>(*spaces.back(), p, n, 0));
+    }
+  }
+
+  std::unique_ptr<SimDeployment> deployment;
+  std::vector<std::unique_ptr<AbdRegisterSpace>> spaces;
+  std::vector<std::unique_ptr<AtomicSnapshot>> snapshots;
+};
+
+TEST(SnapshotOverAbd, SequentialUpdateScan) {
+  SnapshotWorld w{3, 1};
+  std::optional<SnapshotView> view;
+  w.deployment->world().at(TimePoint{0}, [&] {
+    w.snapshots[0]->update(11, [&] {
+      w.snapshots[1]->scan([&](const SnapshotView& v) { view = v; });
+    });
+  });
+  w.deployment->world().run_until_quiescent();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(*view, (SnapshotView{11, 0, 0}));
+}
+
+TEST(SnapshotOverAbd, ConcurrentUpdatersScannerTerminates) {
+  // Continuous updates from two processes while a third scans: the borrowed
+  // -view mechanism must let the scan terminate (wait-freedom in action).
+  SnapshotWorld w{4, 2};
+  // Two updaters each performing chained updates.
+  for (ProcessId updater : {0U, 1U}) {
+    auto driver = std::make_shared<std::function<void(int)>>();
+    *driver = [&w, updater, driver](int remaining) {
+      if (remaining == 0) return;
+      w.snapshots[updater]->update(remaining * 10 + static_cast<std::int64_t>(updater),
+                                   [driver, remaining] { (*driver)(remaining - 1); });
+    };
+    w.deployment->world().at(TimePoint{0}, [driver] { (*driver)(8); });
+  }
+  std::optional<SnapshotView> view;
+  w.deployment->world().at(TimePoint{1ms}, [&] {
+    w.snapshots[2]->scan([&](const SnapshotView& v) { view = v; });
+  });
+  w.deployment->world().run_until_quiescent();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->size(), 4U);
+}
+
+TEST(SnapshotOverAbd, ScansAreMonotone) {
+  // With monotonically increasing per-process values, later scans must
+  // dominate earlier scans component-wise (a consequence of atomicity).
+  SnapshotWorld w{3, 3};
+  for (ProcessId updater : {0U, 1U}) {
+    auto driver = std::make_shared<std::function<void(int)>>();
+    *driver = [&w, updater, driver](int k) {
+      if (k > 6) return;
+      w.snapshots[updater]->update(k, [driver, k] { (*driver)(k + 1); });
+    };
+    w.deployment->world().at(TimePoint{0}, [driver] { (*driver)(1); });
+  }
+  std::vector<SnapshotView> views;
+  auto scanner = std::make_shared<std::function<void(int)>>();
+  *scanner = [&w, &views, scanner](int k) {
+    if (k == 0) return;
+    w.snapshots[2]->scan([&views, scanner, k](const SnapshotView& v) {
+      views.push_back(v);
+      (*scanner)(k - 1);
+    });
+  };
+  w.deployment->world().at(TimePoint{0}, [scanner] { (*scanner)(6); });
+  w.deployment->world().run_until_quiescent();
+
+  ASSERT_GE(views.size(), 2U);
+  for (std::size_t i = 0; i + 1 < views.size(); ++i) {
+    for (std::size_t j = 0; j < views[i].size(); ++j) {
+      EXPECT_LE(views[i][j], views[i + 1][j])
+          << "scan " << i << " component " << j << " regressed";
+    }
+  }
+}
+
+TEST(SnapshotOverAbd, SurvivesMinorityCrash) {
+  SnapshotWorld w{5, 4};
+  w.deployment->crash_at(TimePoint{0}, 3);
+  w.deployment->crash_at(TimePoint{0}, 4);
+  std::optional<SnapshotView> view;
+  w.deployment->world().at(TimePoint{1ms}, [&] {
+    w.snapshots[0]->update(5, [&] {
+      w.snapshots[1]->scan([&](const SnapshotView& v) { view = v; });
+    });
+  });
+  w.deployment->world().run_until_quiescent();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ((*view)[0], 5);
+}
+
+TEST(CounterOverAbd, ConcurrentIncrementsAllCounted) {
+  DeployOptions options;
+  options.n = 3;
+  options.seed = 5;
+  SimDeployment d{std::move(options)};
+  std::vector<std::unique_ptr<AbdRegisterSpace>> spaces;
+  std::vector<std::unique_ptr<MonotoneCounter>> counters;
+  for (ProcessId p = 0; p < 3; ++p) {
+    spaces.push_back(std::make_unique<AbdRegisterSpace>(d.node(p)));
+    counters.push_back(std::make_unique<MonotoneCounter>(*spaces.back(), p, 3, 0));
+  }
+  // Each process increments 5 times, concurrently.
+  for (ProcessId p = 0; p < 3; ++p) {
+    auto driver = std::make_shared<std::function<void(int)>>();
+    *driver = [&counters, p, driver](int k) {
+      if (k == 0) return;
+      counters[p]->increment([driver, k] { (*driver)(k - 1); });
+    };
+    d.world().at(TimePoint{0}, [driver] { (*driver)(5); });
+  }
+  d.world().run_until_quiescent();
+  std::optional<std::int64_t> total;
+  d.world().at(d.world().now(), [&] {
+    counters[0]->read([&](std::int64_t v) { total = v; });
+  });
+  d.world().run_until_quiescent();
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(*total, 15);
+}
+
+TEST(SpscOverAbd, TransfersItemsAcrossProcesses) {
+  DeployOptions options;
+  options.n = 3;
+  options.seed = 6;
+  SimDeployment d{std::move(options)};
+  AbdRegisterSpace producer_space{d.node(0)};
+  AbdRegisterSpace consumer_space{d.node(1)};
+  SpscQueue producer{producer_space, SpscQueue::Role::kProducer, 8, 50};
+  SpscQueue consumer{consumer_space, SpscQueue::Role::kConsumer, 8, 50};
+
+  std::vector<std::int64_t> received;
+  // Producer enqueues 1..6 back-to-back.
+  auto produce = std::make_shared<std::function<void(std::int64_t)>>();
+  *produce = [&producer, produce](std::int64_t i) {
+    if (i > 6) return;
+    producer.enqueue(i, [produce, i](bool ok) {
+      ASSERT_TRUE(ok);
+      (*produce)(i + 1);
+    });
+  };
+  d.world().at(TimePoint{0}, [produce] { (*produce)(1); });
+  // Consumer polls until it has everything.
+  auto consume = std::make_shared<std::function<void()>>();
+  *consume = [&consumer, &received, &d, consume] {
+    consumer.dequeue([&received, &d, consume](std::optional<std::int64_t> v) {
+      if (v.has_value()) received.push_back(*v);
+      if (received.size() < 6) d.world().after(1ms, [consume] { (*consume)(); });
+    });
+  };
+  d.world().at(TimePoint{0}, [consume] { (*consume)(); });
+  d.world().run_until_quiescent();
+  EXPECT_EQ(received, (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace abdkit::shmem

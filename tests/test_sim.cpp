@@ -1,0 +1,315 @@
+// Unit tests for the discrete-event simulator: determinism, delivery,
+// timers, crash and partition semantics, delay models.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "abdkit/sim/world.hpp"
+
+namespace abdkit::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Payload carrying one integer, for transport tests.
+class Ping final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = 0x0601;
+  explicit Ping(std::int64_t n_in) noexcept : Payload{kTag}, n{n_in} {}
+  [[nodiscard]] std::size_t wire_size() const noexcept override { return 8; }
+  [[nodiscard]] std::string debug() const override { return "Ping"; }
+  std::int64_t n;
+};
+
+/// Records every delivery; optionally echoes pings back.
+class Probe final : public Actor {
+ public:
+  struct Delivery {
+    ProcessId from;
+    std::int64_t n;
+    TimePoint at;
+  };
+
+  explicit Probe(bool echo = false) noexcept : echo_{echo} {}
+
+  void on_start(Context& ctx) override { ctx_ = &ctx; }
+
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override {
+    const auto* ping = payload_cast<Ping>(payload);
+    ASSERT_NE(ping, nullptr);
+    deliveries.push_back({from, ping->n, ctx.now()});
+    if (echo_ && ping->n > 0) ctx.send(from, make_payload<Ping>(-ping->n));
+  }
+
+  [[nodiscard]] Context& ctx() { return *ctx_; }
+
+  std::vector<Delivery> deliveries;
+
+ private:
+  bool echo_;
+  Context* ctx_{nullptr};
+};
+
+struct ProbeWorld {
+  explicit ProbeWorld(std::size_t n, std::uint64_t seed = 1,
+                      std::unique_ptr<DelayModel> delay = nullptr, bool echo = false) {
+    WorldConfig config;
+    config.num_processes = n;
+    config.seed = seed;
+    config.delay = std::move(delay);
+    world = std::make_unique<World>(std::move(config));
+    for (ProcessId p = 0; p < n; ++p) {
+      auto probe = std::make_unique<Probe>(echo);
+      probes.push_back(probe.get());
+      world->add_actor(p, std::move(probe));
+    }
+    world->start();
+  }
+
+  std::unique_ptr<World> world;
+  std::vector<Probe*> probes;
+};
+
+TEST(World, DeliversMessages) {
+  ProbeWorld w{2};
+  w.world->at(TimePoint{0}, [&] { w.probes[0]->ctx().send(1, make_payload<Ping>(42)); });
+  w.world->run_until_quiescent();
+  ASSERT_EQ(w.probes[1]->deliveries.size(), 1U);
+  EXPECT_EQ(w.probes[1]->deliveries[0].from, 0U);
+  EXPECT_EQ(w.probes[1]->deliveries[0].n, 42);
+  EXPECT_GT(w.probes[1]->deliveries[0].at, TimePoint{0});
+}
+
+TEST(World, SendToSelfIsAsynchronous) {
+  ProbeWorld w{1};
+  w.world->at(TimePoint{0}, [&] { w.probes[0]->ctx().send(0, make_payload<Ping>(1)); });
+  w.world->run_until_quiescent();
+  ASSERT_EQ(w.probes[0]->deliveries.size(), 1U);
+  EXPECT_GT(w.probes[0]->deliveries[0].at, TimePoint{0});
+}
+
+TEST(World, BroadcastReachesEveryone) {
+  ProbeWorld w{5};
+  w.world->at(TimePoint{0}, [&] { w.probes[2]->ctx().broadcast(make_payload<Ping>(9)); });
+  w.world->run_until_quiescent();
+  for (ProcessId p = 0; p < 5; ++p) {
+    ASSERT_EQ(w.probes[p]->deliveries.size(), 1U) << "process " << p;
+    EXPECT_EQ(w.probes[p]->deliveries[0].n, 9);
+  }
+  EXPECT_EQ(w.world->stats().messages_sent, 5U);
+  EXPECT_EQ(w.world->stats().messages_delivered, 5U);
+}
+
+std::string trace_of(std::uint64_t seed) {
+  ProbeWorld w{3, seed, nullptr, /*echo=*/true};
+  for (int i = 1; i <= 20; ++i) {
+    w.world->at(TimePoint{i * 10us}, [&w, i] {
+      w.probes[static_cast<std::size_t>(i) % 3]->ctx().broadcast(make_payload<Ping>(i));
+    });
+  }
+  w.world->run_until_quiescent();
+  std::ostringstream os;
+  for (const auto* probe : w.probes) {
+    for (const auto& d : probe->deliveries) {
+      os << d.from << ":" << d.n << "@" << d.at.count() << ";";
+    }
+  }
+  return os.str();
+}
+
+TEST(World, DeterministicGivenSeed) {
+  EXPECT_EQ(trace_of(12345), trace_of(12345));
+  EXPECT_NE(trace_of(12345), trace_of(54321));
+}
+
+TEST(World, CrashStopsDelivery) {
+  ProbeWorld w{2};
+  w.world->at(TimePoint{0}, [&] { w.world->crash(1); });
+  w.world->at(TimePoint{1us}, [&] { w.probes[0]->ctx().send(1, make_payload<Ping>(1)); });
+  w.world->run_until_quiescent();
+  EXPECT_TRUE(w.probes[1]->deliveries.empty());
+  EXPECT_TRUE(w.world->crashed(1));
+  EXPECT_EQ(w.world->stats().messages_dropped, 1U);
+}
+
+TEST(World, CrashedSenderInFlightDropped) {
+  ProbeWorld w{2};
+  w.world->at(TimePoint{0}, [&] { w.probes[0]->ctx().send(1, make_payload<Ping>(1)); });
+  // Crash the sender before its message (with >= microsecond latency) lands.
+  w.world->at(TimePoint{1ns}, [&] { w.world->crash(0); });
+  w.world->run_until_quiescent();
+  EXPECT_TRUE(w.probes[1]->deliveries.empty());
+}
+
+TEST(World, CrashKillsTimers) {
+  ProbeWorld w{1};
+  int fired = 0;
+  w.world->at(TimePoint{0}, [&] {
+    w.probes[0]->ctx().set_timer(10us, [&fired] { ++fired; });
+  });
+  w.world->at(TimePoint{1us}, [&] { w.world->crash(0); });
+  w.world->run_until_quiescent();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(World, TimerFiresOnSchedule) {
+  ProbeWorld w{1};
+  TimePoint fired_at{};
+  w.world->at(TimePoint{0}, [&] {
+    w.probes[0]->ctx().set_timer(25us, [&] { fired_at = w.world->now(); });
+  });
+  w.world->run_until_quiescent();
+  EXPECT_EQ(fired_at, TimePoint{25us});
+}
+
+TEST(World, CancelledTimerDoesNotFire) {
+  ProbeWorld w{1};
+  int fired = 0;
+  w.world->at(TimePoint{0}, [&] {
+    const TimerId id = w.probes[0]->ctx().set_timer(10us, [&fired] { ++fired; });
+    w.probes[0]->ctx().cancel_timer(id);
+  });
+  w.world->run_until_quiescent();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(World, PartitionParksAndHealRedelivers) {
+  ProbeWorld w{4};
+  w.world->at(TimePoint{0}, [&] { w.world->partition({{0, 1}, {2, 3}}); });
+  w.world->at(TimePoint{1us}, [&] {
+    w.probes[0]->ctx().send(2, make_payload<Ping>(5));  // across the cut
+    w.probes[0]->ctx().send(1, make_payload<Ping>(6));  // same side
+  });
+  w.world->at(TimePoint{100ms}, [&] { w.world->heal(); });
+  w.world->run_until_quiescent();
+  ASSERT_EQ(w.probes[1]->deliveries.size(), 1U);
+  EXPECT_LT(w.probes[1]->deliveries[0].at, TimePoint{100ms});
+  ASSERT_EQ(w.probes[2]->deliveries.size(), 1U);
+  EXPECT_EQ(w.probes[2]->deliveries[0].n, 5);
+  EXPECT_GE(w.probes[2]->deliveries[0].at, TimePoint{100ms});
+  EXPECT_EQ(w.world->stats().messages_parked, 1U);
+}
+
+TEST(World, PermanentPartitionNeverDelivers) {
+  ProbeWorld w{2};
+  w.world->at(TimePoint{0}, [&] { w.world->partition({{0}, {1}}); });
+  w.world->at(TimePoint{1us}, [&] { w.probes[0]->ctx().send(1, make_payload<Ping>(1)); });
+  w.world->run_until_quiescent();
+  EXPECT_TRUE(w.probes[1]->deliveries.empty());
+}
+
+TEST(World, RunUntilStopsAtDeadline) {
+  ProbeWorld w{1};
+  int fired = 0;
+  w.world->at(TimePoint{10us}, [&] { ++fired; });
+  w.world->at(TimePoint{30us}, [&] { ++fired; });
+  w.world->run_until(TimePoint{20us});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(w.world->now(), TimePoint{20us});
+  w.world->run_until_quiescent();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(World, AfterSchedulesRelativeToNow) {
+  ProbeWorld w{1};
+  std::vector<Duration::rep> fired;
+  w.world->at(TimePoint{10us}, [&] {
+    w.world->after(5us, [&] { fired.push_back(w.world->now().count()); });
+  });
+  w.world->run_until_quiescent();
+  ASSERT_EQ(fired.size(), 1U);
+  EXPECT_EQ(fired[0], TimePoint{15us}.count());
+}
+
+TEST(World, StatsResetClearsCounters) {
+  ProbeWorld w{2};
+  w.world->at(TimePoint{0}, [&] { w.probes[0]->ctx().send(1, make_payload<Ping>(1)); });
+  w.world->run_until_quiescent();
+  EXPECT_GT(w.world->stats().messages_sent, 0U);
+  w.world->stats().reset();
+  EXPECT_EQ(w.world->stats().messages_sent, 0U);
+  EXPECT_EQ(w.world->stats().bytes_sent, 0U);
+  EXPECT_TRUE(w.world->stats().sent_by_tag.empty());
+}
+
+TEST(World, DuplicationDeliversTwice) {
+  WorldConfig config;
+  config.num_processes = 2;
+  config.seed = 9;
+  config.duplicate_probability = 0.999;  // effectively always duplicate
+  World world{std::move(config)};
+  std::vector<Probe*> probes;
+  for (ProcessId p = 0; p < 2; ++p) {
+    auto probe = std::make_unique<Probe>();
+    probes.push_back(probe.get());
+    world.add_actor(p, std::move(probe));
+  }
+  world.start();
+  world.at(TimePoint{0}, [&] { probes[0]->ctx().send(1, make_payload<Ping>(7)); });
+  world.run_until_quiescent();
+  EXPECT_EQ(probes[1]->deliveries.size(), 2U);
+  EXPECT_EQ(world.stats().messages_duplicated, 1U);
+}
+
+TEST(World, RejectsBadConfigurations) {
+  EXPECT_THROW(World{WorldConfig{}}, std::invalid_argument);
+  ProbeWorld w{2};
+  EXPECT_THROW(w.world->add_actor(0, std::make_unique<Probe>()), std::logic_error);
+  EXPECT_THROW(w.world->crash(5), std::out_of_range);
+}
+
+TEST(World, StatsCountBytes) {
+  ProbeWorld w{2};
+  w.world->at(TimePoint{0}, [&] { w.probes[0]->ctx().send(1, make_payload<Ping>(1)); });
+  w.world->run_until_quiescent();
+  EXPECT_EQ(w.world->stats().bytes_sent, 8 + kEnvelopeBytes);
+  EXPECT_EQ(w.world->stats().sent_by_tag.at(Ping::kTag), 1U);
+}
+
+TEST(DelayModels, FixedIsConstant) {
+  Rng rng{1};
+  FixedDelay model{5us};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.sample(rng, 0, 1), 5us);
+}
+
+TEST(DelayModels, UniformStaysInRange) {
+  Rng rng{2};
+  UniformDelay model{10us, 20us};
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = model.sample(rng, 0, 1);
+    EXPECT_GE(d, 10us);
+    EXPECT_LE(d, 20us);
+  }
+}
+
+TEST(DelayModels, ExponentialRespectsFloor) {
+  Rng rng{3};
+  ExponentialDelay model{100us, 10us};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(model.sample(rng, 0, 1), 10us);
+}
+
+TEST(DelayModels, HeavyTailHasMinimumScale) {
+  Rng rng{4};
+  HeavyTailDelay model{50us, 1.5};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(model.sample(rng, 0, 1), 50us);
+}
+
+TEST(DelayModels, SlowProcessMultiplies) {
+  Rng rng{5};
+  SlowProcessDelay model{std::make_unique<FixedDelay>(10us), {2}, 4.0};
+  EXPECT_EQ(model.sample(rng, 0, 1), 10us);
+  EXPECT_EQ(model.sample(rng, 0, 2), 40us);
+  EXPECT_EQ(model.sample(rng, 2, 1), 40us);
+}
+
+TEST(DelayModels, SlowProcessValidatesArguments) {
+  EXPECT_THROW(SlowProcessDelay(nullptr, {0}, 2.0), std::invalid_argument);
+  EXPECT_THROW(SlowProcessDelay(std::make_unique<FixedDelay>(1us), {0}, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abdkit::sim

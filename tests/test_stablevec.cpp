@@ -1,0 +1,154 @@
+// Tests for the stable-vector primitive (the historical ABD precursor):
+// termination, majority-agreement stability, inclusion of own input, the
+// containment-comparability property renaming relied on — and the reason
+// it was superseded: stable vectors are not atomic snapshots of anything.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "abdkit/sim/world.hpp"
+#include "abdkit/stablevec/stable_vector.hpp"
+
+namespace abdkit::stablevec {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct SvWorld {
+  explicit SvWorld(std::size_t n, std::uint64_t seed,
+                   std::unique_ptr<sim::DelayModel> delay = nullptr) {
+    sim::WorldConfig config;
+    config.num_processes = n;
+    config.seed = seed;
+    config.delay = std::move(delay);
+    world = std::make_unique<sim::World>(std::move(config));
+    results.resize(n);
+    for (ProcessId p = 0; p < n; ++p) {
+      auto actor = std::make_unique<StableVector>(100 + static_cast<std::int64_t>(p));
+      actor->on_stable([this, p](const VectorView& v) { results[p] = v; });
+      actors.push_back(actor.get());
+      world->add_actor(p, std::move(actor));
+    }
+  }
+
+  std::unique_ptr<sim::World> world;
+  std::vector<StableVector*> actors;
+  std::vector<std::optional<VectorView>> results;
+};
+
+/// a contains b: every filled entry of b is filled identically in a.
+bool contains(const VectorView& a, const VectorView& b) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i].has_value() && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+TEST(StableVector, AllProcessesDecideFaultFree) {
+  SvWorld w{5, 1};
+  w.world->start();
+  w.world->run_until_quiescent();
+  for (ProcessId p = 0; p < 5; ++p) {
+    ASSERT_TRUE(w.results[p].has_value()) << "process " << p;
+    // Own input present.
+    EXPECT_EQ((*w.results[p])[p], std::optional<std::int64_t>{100 + p});
+    // Only genuine inputs appear.
+    for (std::size_t i = 0; i < 5; ++i) {
+      if ((*w.results[p])[i].has_value()) {
+        EXPECT_EQ(*(*w.results[p])[i], 100 + static_cast<std::int64_t>(i));
+      }
+    }
+  }
+}
+
+TEST(StableVector, SingleProcessDecidesAlone) {
+  SvWorld w{1, 2};
+  w.world->start();
+  w.world->run_until_quiescent();
+  ASSERT_TRUE(w.results[0].has_value());
+  EXPECT_EQ((*w.results[0])[0], std::optional<std::int64_t>{100});
+}
+
+TEST(StableVector, ToleratesMinorityCrashes) {
+  SvWorld w{5, 3};
+  w.world->at(TimePoint{0}, [&] {
+    w.world->crash(3);
+    w.world->crash(4);
+  });
+  w.world->start();
+  w.world->run_until_quiescent();
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_TRUE(w.results[p].has_value()) << "survivor " << p;
+    EXPECT_TRUE((*w.results[p])[p].has_value());
+  }
+}
+
+TEST(StableVector, StableVectorsAreComparable) {
+  // The key structural property: any two stable vectors returned anywhere
+  // are ordered by containment (the majorities intersect, and a process's
+  // vector only grows).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SvWorld w{7, seed, std::make_unique<sim::HeavyTailDelay>(100us, 1.2)};
+    if (seed % 3 == 0) {
+      w.world->at(TimePoint{Duration{seed * 100}}, [&] {
+        w.world->crash(static_cast<ProcessId>(seed % 7));
+      });
+    }
+    w.world->start();
+    w.world->run_until_quiescent();
+    std::vector<VectorView> decided;
+    for (const auto& result : w.results) {
+      if (result.has_value()) decided.push_back(*result);
+    }
+    ASSERT_GE(decided.size(), 4U) << "seed " << seed;
+    for (std::size_t a = 0; a < decided.size(); ++a) {
+      for (std::size_t b = a + 1; b < decided.size(); ++b) {
+        EXPECT_TRUE(contains(decided[a], decided[b]) || contains(decided[b], decided[a]))
+            << "incomparable stable vectors, seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(StableVector, MajorityWitnessedTheVector) {
+  // White-box check of the stability condition: at decision time a strict
+  // majority's last reports matched the decided vector. We re-verify by
+  // recomputing from the actor states after quiescence (every survivor's
+  // final view must contain every decided vector).
+  SvWorld w{5, 9};
+  w.world->start();
+  w.world->run_until_quiescent();
+  for (ProcessId p = 0; p < 5; ++p) {
+    ASSERT_TRUE(w.results[p].has_value());
+    for (ProcessId q = 0; q < 5; ++q) {
+      EXPECT_TRUE(contains(w.actors[q]->view(), *w.results[p]))
+          << "final view of " << q << " misses decided vector of " << p;
+    }
+  }
+}
+
+TEST(StableVector, IgnoresMalformedSizes) {
+  // A state message with the wrong arity (e.g., from a misconfigured peer)
+  // is ignored rather than corrupting the vector.
+  SvWorld w{3, 11};
+  w.world->start();
+  w.world->at(TimePoint{0}, [&] {
+    VectorView wrong(7, std::nullopt);
+    wrong[0] = 999;
+    // Inject via the world: deliver a bogus state to process 1 from 0.
+    w.world->context(0).send(1, make_payload<StateMsg>(wrong));
+  });
+  w.world->run_until_quiescent();
+  ASSERT_TRUE(w.results[1].has_value());
+  for (const auto& entry : *w.results[1]) {
+    if (entry.has_value()) {
+      EXPECT_NE(*entry, 999);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abdkit::stablevec

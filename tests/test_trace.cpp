@@ -1,0 +1,136 @@
+// Tests for execution tracing: observer coverage (every counter increment
+// has a matching trace record), JSONL round trip, and parser robustness.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/trace/trace.hpp"
+
+namespace abdkit::trace {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(TraceRecorder, MatchesWorldCounters) {
+  harness::DeployOptions options{.n = 3, .seed = 1};
+  harness::SimDeployment d{std::move(options)};
+  Recorder recorder;
+  recorder.attach(d.world());
+
+  d.write_at(TimePoint{0}, 0, 0, 1);
+  d.read_at(TimePoint{10ms}, 1, 0);
+  d.run();
+
+  EXPECT_EQ(recorder.filtered("send").size(), d.world().stats().messages_sent);
+  EXPECT_EQ(recorder.filtered("deliver").size(), d.world().stats().messages_delivered);
+  EXPECT_EQ(recorder.filtered("lose").size(), 0U);
+}
+
+TEST(TraceRecorder, CapturesFaultEvents) {
+  harness::DeployOptions options{.n = 5, .seed = 2};
+  harness::SimDeployment d{std::move(options)};
+  Recorder recorder;
+  recorder.attach(d.world());
+
+  d.crash_at(TimePoint{1ms}, 4);
+  d.partition_at(TimePoint{2ms}, {{0, 1}, {2, 3}});
+  d.heal_at(TimePoint{3ms});
+  d.write_at(TimePoint{4ms}, 0, 0, 1);
+  d.run();
+
+  EXPECT_EQ(recorder.filtered("crash").size(), 1U);
+  EXPECT_EQ(recorder.filtered("partition").size(), 1U);
+  EXPECT_EQ(recorder.filtered("heal").size(), 1U);
+  // Updates to the crashed replica were dropped, and traced as such.
+  EXPECT_EQ(recorder.filtered("drop").size(), d.world().stats().messages_dropped);
+}
+
+TEST(TraceRecorder, RecordsCarryPayloadRendering) {
+  harness::DeployOptions options{.n = 3, .seed = 3};
+  harness::SimDeployment d{std::move(options)};
+  Recorder recorder;
+  recorder.attach(d.world());
+  d.write_at(TimePoint{0}, 0, 0, 42);
+  d.run();
+
+  bool saw_update = false;
+  for (const Record& r : recorder.filtered("send")) {
+    if (r.payload_tag == abd::tags::kUpdate) {
+      saw_update = true;
+      EXPECT_NE(r.payload_debug.find("Update"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_update);
+}
+
+TEST(TraceJsonl, RoundTripsExactly) {
+  harness::DeployOptions options{.n = 3, .seed = 4};
+  harness::SimDeployment d{std::move(options)};
+  Recorder recorder;
+  recorder.attach(d.world());
+  d.write_at(TimePoint{0}, 0, 0, 7);
+  d.read_at(TimePoint{5ms}, 2, 0);
+  d.crash_at(TimePoint{10ms}, 1);
+  d.run();
+
+  const std::string jsonl = to_jsonl(recorder.records());
+  const auto parsed = parse_jsonl(jsonl);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, recorder.records());
+}
+
+TEST(TraceJsonl, EscapingRoundTrips) {
+  std::vector<Record> records(1);
+  records[0].kind = "send";
+  records[0].at_ns = 123;
+  records[0].from = 1;
+  records[0].to = 2;
+  records[0].payload_tag = 9;
+  records[0].payload_debug = "quote\" backslash\\ newline\n tab\t ctrl\x01 end";
+  const auto parsed = parse_jsonl(to_jsonl(records));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, records);
+}
+
+TEST(TraceJsonl, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(parse_jsonl("not json").has_value());
+  EXPECT_FALSE(parse_jsonl(R"({"kind":"send","at_ns":1})").has_value());
+  EXPECT_FALSE(
+      parse_jsonl(R"({"kind":"send","at_ns":x,"from":0,"to":0,"tag":0,"debug":""})")
+          .has_value());
+  // Trailing garbage after the object.
+  EXPECT_FALSE(
+      parse_jsonl(
+          R"({"kind":"send","at_ns":1,"from":0,"to":0,"tag":0,"debug":""}junk)")
+          .has_value());
+  // Unterminated string.
+  EXPECT_FALSE(
+      parse_jsonl(R"({"kind":"send","at_ns":1,"from":0,"to":0,"tag":0,"debug":"oops)")
+          .has_value());
+}
+
+TEST(TraceJsonl, EmptyInputIsEmptyTrace) {
+  const auto parsed = parse_jsonl("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceRecorder, ObserverRemovable) {
+  harness::DeployOptions options{.n = 3, .seed = 5};
+  harness::SimDeployment d{std::move(options)};
+  Recorder recorder;
+  recorder.attach(d.world());
+  d.write_at(TimePoint{0}, 0, 0, 1);
+  d.world().run_until_quiescent();
+  const std::size_t before = recorder.size();
+  EXPECT_GT(before, 0U);
+
+  d.world().set_observer(nullptr);
+  d.read_at(d.world().now(), 1, 0);
+  d.world().run_until_quiescent();
+  EXPECT_EQ(recorder.size(), before);  // nothing recorded after removal
+}
+
+}  // namespace
+}  // namespace abdkit::trace
