@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_targeted_contact.dir/bench_a1_targeted_contact.cpp.o"
+  "CMakeFiles/bench_a1_targeted_contact.dir/bench_a1_targeted_contact.cpp.o.d"
+  "bench_a1_targeted_contact"
+  "bench_a1_targeted_contact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_targeted_contact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_lossy_links.dir/bench_a2_lossy_links.cpp.o"
+  "CMakeFiles/bench_a2_lossy_links.dir/bench_a2_lossy_links.cpp.o.d"
+  "bench_a2_lossy_links"
+  "bench_a2_lossy_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_lossy_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

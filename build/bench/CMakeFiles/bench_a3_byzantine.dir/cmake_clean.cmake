@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_byzantine.dir/bench_a3_byzantine.cpp.o"
+  "CMakeFiles/bench_a3_byzantine.dir/bench_a3_byzantine.cpp.o.d"
+  "bench_a3_byzantine"
+  "bench_a3_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

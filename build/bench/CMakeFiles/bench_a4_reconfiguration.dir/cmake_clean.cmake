@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_reconfiguration.dir/bench_a4_reconfiguration.cpp.o"
+  "CMakeFiles/bench_a4_reconfiguration.dir/bench_a4_reconfiguration.cpp.o.d"
+  "bench_a4_reconfiguration"
+  "bench_a4_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_recovery.dir/bench_a5_recovery.cpp.o"
+  "CMakeFiles/bench_a5_recovery.dir/bench_a5_recovery.cpp.o.d"
+  "bench_a5_recovery"
+  "bench_a5_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_fast_path.dir/bench_a6_fast_path.cpp.o"
+  "CMakeFiles/bench_a6_fast_path.dir/bench_a6_fast_path.cpp.o.d"
+  "bench_a6_fast_path"
+  "bench_a6_fast_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_fast_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

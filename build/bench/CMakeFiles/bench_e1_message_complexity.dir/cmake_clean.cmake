@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_message_complexity.dir/bench_e1_message_complexity.cpp.o"
+  "CMakeFiles/bench_e1_message_complexity.dir/bench_e1_message_complexity.cpp.o.d"
+  "bench_e1_message_complexity"
+  "bench_e1_message_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_message_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

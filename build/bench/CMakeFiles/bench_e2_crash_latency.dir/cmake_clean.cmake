@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_crash_latency.dir/bench_e2_crash_latency.cpp.o"
+  "CMakeFiles/bench_e2_crash_latency.dir/bench_e2_crash_latency.cpp.o.d"
+  "bench_e2_crash_latency"
+  "bench_e2_crash_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_crash_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_resilience_threshold.dir/bench_e3_resilience_threshold.cpp.o"
+  "CMakeFiles/bench_e3_resilience_threshold.dir/bench_e3_resilience_threshold.cpp.o.d"
+  "bench_e3_resilience_threshold"
+  "bench_e3_resilience_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_resilience_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

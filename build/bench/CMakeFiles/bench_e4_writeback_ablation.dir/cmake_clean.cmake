@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_writeback_ablation.dir/bench_e4_writeback_ablation.cpp.o"
+  "CMakeFiles/bench_e4_writeback_ablation.dir/bench_e4_writeback_ablation.cpp.o.d"
+  "bench_e4_writeback_ablation"
+  "bench_e4_writeback_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_writeback_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

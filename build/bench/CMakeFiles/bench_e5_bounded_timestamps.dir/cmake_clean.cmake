@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_bounded_timestamps.dir/bench_e5_bounded_timestamps.cpp.o"
+  "CMakeFiles/bench_e5_bounded_timestamps.dir/bench_e5_bounded_timestamps.cpp.o.d"
+  "bench_e5_bounded_timestamps"
+  "bench_e5_bounded_timestamps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_bounded_timestamps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_mwmr.dir/bench_e6_mwmr.cpp.o"
+  "CMakeFiles/bench_e6_mwmr.dir/bench_e6_mwmr.cpp.o.d"
+  "bench_e6_mwmr"
+  "bench_e6_mwmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_mwmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

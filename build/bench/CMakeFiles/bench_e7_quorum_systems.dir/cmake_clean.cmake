@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_quorum_systems.dir/bench_e7_quorum_systems.cpp.o"
+  "CMakeFiles/bench_e7_quorum_systems.dir/bench_e7_quorum_systems.cpp.o.d"
+  "bench_e7_quorum_systems"
+  "bench_e7_quorum_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_quorum_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_simulation.dir/bench_e8_simulation.cpp.o"
+  "CMakeFiles/bench_e8_simulation.dir/bench_e8_simulation.cpp.o.d"
+  "bench_e8_simulation"
+  "bench_e8_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_kv_throughput.dir/bench_e9_kv_throughput.cpp.o"
+  "CMakeFiles/bench_e9_kv_throughput.dir/bench_e9_kv_throughput.cpp.o.d"
+  "bench_e9_kv_throughput"
+  "bench_e9_kv_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_kv_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_demo.dir/byzantine_demo.cpp.o"
+  "CMakeFiles/byzantine_demo.dir/byzantine_demo.cpp.o.d"
+  "byzantine_demo"
+  "byzantine_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

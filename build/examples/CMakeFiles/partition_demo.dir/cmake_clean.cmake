@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_demo.dir/partition_demo.cpp.o"
+  "CMakeFiles/partition_demo.dir/partition_demo.cpp.o.d"
+  "partition_demo"
+  "partition_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

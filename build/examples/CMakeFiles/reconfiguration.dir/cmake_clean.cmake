@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfiguration.dir/reconfiguration.cpp.o"
+  "CMakeFiles/reconfiguration.dir/reconfiguration.cpp.o.d"
+  "reconfiguration"
+  "reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory_port.dir/shared_memory_port.cpp.o"
+  "CMakeFiles/shared_memory_port.dir/shared_memory_port.cpp.o.d"
+  "shared_memory_port"
+  "shared_memory_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("runtime")
+subdirs("quorum")
+subdirs("abd")
+subdirs("checker")
+subdirs("shmem")
+subdirs("kv")
+subdirs("reconfig")
+subdirs("wire")
+subdirs("stablevec")
+subdirs("trace")
+subdirs("registers")
+subdirs("harness")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abd/src/adversary.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/adversary.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/adversary.cpp.o.d"
+  "/root/repo/src/abd/src/anti_entropy.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/anti_entropy.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/anti_entropy.cpp.o.d"
+  "/root/repo/src/abd/src/bounded_client.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_client.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_client.cpp.o.d"
+  "/root/repo/src/abd/src/bounded_label.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_label.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_label.cpp.o.d"
+  "/root/repo/src/abd/src/bounded_messages.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_messages.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_messages.cpp.o.d"
+  "/root/repo/src/abd/src/bounded_node.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_node.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_node.cpp.o.d"
+  "/root/repo/src/abd/src/bounded_replica.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_replica.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_replica.cpp.o.d"
+  "/root/repo/src/abd/src/client.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/client.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/client.cpp.o.d"
+  "/root/repo/src/abd/src/messages.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/messages.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/messages.cpp.o.d"
+  "/root/repo/src/abd/src/node.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/node.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/node.cpp.o.d"
+  "/root/repo/src/abd/src/recoverable_node.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/recoverable_node.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/recoverable_node.cpp.o.d"
+  "/root/repo/src/abd/src/replica.cpp" "src/abd/CMakeFiles/abdkit_abd.dir/src/replica.cpp.o" "gcc" "src/abd/CMakeFiles/abdkit_abd.dir/src/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/abdkit_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

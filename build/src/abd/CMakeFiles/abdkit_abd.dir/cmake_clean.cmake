@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_abd.dir/src/adversary.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/adversary.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/anti_entropy.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/anti_entropy.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_client.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_client.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_label.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_label.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_messages.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_messages.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_node.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_node.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_replica.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/bounded_replica.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/client.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/client.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/messages.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/messages.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/node.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/node.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/recoverable_node.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/recoverable_node.cpp.o.d"
+  "CMakeFiles/abdkit_abd.dir/src/replica.cpp.o"
+  "CMakeFiles/abdkit_abd.dir/src/replica.cpp.o.d"
+  "libabdkit_abd.a"
+  "libabdkit_abd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_abd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

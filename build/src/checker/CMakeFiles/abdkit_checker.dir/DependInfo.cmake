@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/src/history.cpp" "src/checker/CMakeFiles/abdkit_checker.dir/src/history.cpp.o" "gcc" "src/checker/CMakeFiles/abdkit_checker.dir/src/history.cpp.o.d"
+  "/root/repo/src/checker/src/linearizability.cpp" "src/checker/CMakeFiles/abdkit_checker.dir/src/linearizability.cpp.o" "gcc" "src/checker/CMakeFiles/abdkit_checker.dir/src/linearizability.cpp.o.d"
+  "/root/repo/src/checker/src/register_checks.cpp" "src/checker/CMakeFiles/abdkit_checker.dir/src/register_checks.cpp.o" "gcc" "src/checker/CMakeFiles/abdkit_checker.dir/src/register_checks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_checker.dir/src/history.cpp.o"
+  "CMakeFiles/abdkit_checker.dir/src/history.cpp.o.d"
+  "CMakeFiles/abdkit_checker.dir/src/linearizability.cpp.o"
+  "CMakeFiles/abdkit_checker.dir/src/linearizability.cpp.o.d"
+  "CMakeFiles/abdkit_checker.dir/src/register_checks.cpp.o"
+  "CMakeFiles/abdkit_checker.dir/src/register_checks.cpp.o.d"
+  "libabdkit_checker.a"
+  "libabdkit_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

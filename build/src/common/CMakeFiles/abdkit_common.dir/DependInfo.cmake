@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/src/log.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/log.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/log.cpp.o.d"
+  "/root/repo/src/common/src/rng.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/rng.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/rng.cpp.o.d"
+  "/root/repo/src/common/src/stats.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/stats.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/stats.cpp.o.d"
+  "/root/repo/src/common/src/types.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/types.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_common.dir/src/log.cpp.o"
+  "CMakeFiles/abdkit_common.dir/src/log.cpp.o.d"
+  "CMakeFiles/abdkit_common.dir/src/rng.cpp.o"
+  "CMakeFiles/abdkit_common.dir/src/rng.cpp.o.d"
+  "CMakeFiles/abdkit_common.dir/src/stats.cpp.o"
+  "CMakeFiles/abdkit_common.dir/src/stats.cpp.o.d"
+  "CMakeFiles/abdkit_common.dir/src/types.cpp.o"
+  "CMakeFiles/abdkit_common.dir/src/types.cpp.o.d"
+  "libabdkit_common.a"
+  "libabdkit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/src/deployment.cpp" "src/harness/CMakeFiles/abdkit_harness.dir/src/deployment.cpp.o" "gcc" "src/harness/CMakeFiles/abdkit_harness.dir/src/deployment.cpp.o.d"
+  "/root/repo/src/harness/src/workload.cpp" "src/harness/CMakeFiles/abdkit_harness.dir/src/workload.cpp.o" "gcc" "src/harness/CMakeFiles/abdkit_harness.dir/src/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abdkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/abd/CMakeFiles/abdkit_abd.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/abdkit_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/abdkit_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

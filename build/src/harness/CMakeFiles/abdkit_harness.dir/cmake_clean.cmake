@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_harness.dir/src/deployment.cpp.o"
+  "CMakeFiles/abdkit_harness.dir/src/deployment.cpp.o.d"
+  "CMakeFiles/abdkit_harness.dir/src/workload.cpp.o"
+  "CMakeFiles/abdkit_harness.dir/src/workload.cpp.o.d"
+  "libabdkit_harness.a"
+  "libabdkit_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/src/kv_node.cpp" "src/kv/CMakeFiles/abdkit_kv.dir/src/kv_node.cpp.o" "gcc" "src/kv/CMakeFiles/abdkit_kv.dir/src/kv_node.cpp.o.d"
+  "/root/repo/src/kv/src/sync_kv.cpp" "src/kv/CMakeFiles/abdkit_kv.dir/src/sync_kv.cpp.o" "gcc" "src/kv/CMakeFiles/abdkit_kv.dir/src/sync_kv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/abd/CMakeFiles/abdkit_abd.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/abdkit_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/abdkit_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

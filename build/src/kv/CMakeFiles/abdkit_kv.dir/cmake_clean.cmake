@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_kv.dir/src/kv_node.cpp.o"
+  "CMakeFiles/abdkit_kv.dir/src/kv_node.cpp.o.d"
+  "CMakeFiles/abdkit_kv.dir/src/sync_kv.cpp.o"
+  "CMakeFiles/abdkit_kv.dir/src/sync_kv.cpp.o.d"
+  "libabdkit_kv.a"
+  "libabdkit_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quorum/src/analysis.cpp" "src/quorum/CMakeFiles/abdkit_quorum.dir/src/analysis.cpp.o" "gcc" "src/quorum/CMakeFiles/abdkit_quorum.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/quorum/src/quorum_system.cpp" "src/quorum/CMakeFiles/abdkit_quorum.dir/src/quorum_system.cpp.o" "gcc" "src/quorum/CMakeFiles/abdkit_quorum.dir/src/quorum_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

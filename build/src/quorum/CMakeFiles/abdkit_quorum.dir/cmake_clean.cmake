@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_quorum.dir/src/analysis.cpp.o"
+  "CMakeFiles/abdkit_quorum.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/abdkit_quorum.dir/src/quorum_system.cpp.o"
+  "CMakeFiles/abdkit_quorum.dir/src/quorum_system.cpp.o.d"
+  "libabdkit_quorum.a"
+  "libabdkit_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

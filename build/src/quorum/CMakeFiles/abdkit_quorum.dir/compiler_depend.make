@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abdkit_quorum.
+# This may be replaced when dependencies are built.

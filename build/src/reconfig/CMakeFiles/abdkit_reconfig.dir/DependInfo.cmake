@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconfig/src/admin.cpp" "src/reconfig/CMakeFiles/abdkit_reconfig.dir/src/admin.cpp.o" "gcc" "src/reconfig/CMakeFiles/abdkit_reconfig.dir/src/admin.cpp.o.d"
+  "/root/repo/src/reconfig/src/client.cpp" "src/reconfig/CMakeFiles/abdkit_reconfig.dir/src/client.cpp.o" "gcc" "src/reconfig/CMakeFiles/abdkit_reconfig.dir/src/client.cpp.o.d"
+  "/root/repo/src/reconfig/src/messages.cpp" "src/reconfig/CMakeFiles/abdkit_reconfig.dir/src/messages.cpp.o" "gcc" "src/reconfig/CMakeFiles/abdkit_reconfig.dir/src/messages.cpp.o.d"
+  "/root/repo/src/reconfig/src/replica.cpp" "src/reconfig/CMakeFiles/abdkit_reconfig.dir/src/replica.cpp.o" "gcc" "src/reconfig/CMakeFiles/abdkit_reconfig.dir/src/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/abd/CMakeFiles/abdkit_abd.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/abdkit_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_reconfig.dir/src/admin.cpp.o"
+  "CMakeFiles/abdkit_reconfig.dir/src/admin.cpp.o.d"
+  "CMakeFiles/abdkit_reconfig.dir/src/client.cpp.o"
+  "CMakeFiles/abdkit_reconfig.dir/src/client.cpp.o.d"
+  "CMakeFiles/abdkit_reconfig.dir/src/messages.cpp.o"
+  "CMakeFiles/abdkit_reconfig.dir/src/messages.cpp.o.d"
+  "CMakeFiles/abdkit_reconfig.dir/src/replica.cpp.o"
+  "CMakeFiles/abdkit_reconfig.dir/src/replica.cpp.o.d"
+  "libabdkit_reconfig.a"
+  "libabdkit_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabdkit_reconfig.a"
+)

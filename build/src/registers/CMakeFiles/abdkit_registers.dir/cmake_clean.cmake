@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_registers.dir/src/weak_register.cpp.o"
+  "CMakeFiles/abdkit_registers.dir/src/weak_register.cpp.o.d"
+  "libabdkit_registers.a"
+  "libabdkit_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/src/cluster.cpp" "src/runtime/CMakeFiles/abdkit_runtime.dir/src/cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/abdkit_runtime.dir/src/cluster.cpp.o.d"
+  "/root/repo/src/runtime/src/sync_register.cpp" "src/runtime/CMakeFiles/abdkit_runtime.dir/src/sync_register.cpp.o" "gcc" "src/runtime/CMakeFiles/abdkit_runtime.dir/src/sync_register.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/abd/CMakeFiles/abdkit_abd.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/abdkit_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_runtime.dir/src/cluster.cpp.o"
+  "CMakeFiles/abdkit_runtime.dir/src/cluster.cpp.o.d"
+  "CMakeFiles/abdkit_runtime.dir/src/sync_register.cpp.o"
+  "CMakeFiles/abdkit_runtime.dir/src/sync_register.cpp.o.d"
+  "libabdkit_runtime.a"
+  "libabdkit_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

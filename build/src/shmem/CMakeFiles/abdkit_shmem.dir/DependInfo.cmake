@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shmem/src/approx_agreement.cpp" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/approx_agreement.cpp.o" "gcc" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/approx_agreement.cpp.o.d"
+  "/root/repo/src/shmem/src/bakery.cpp" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/bakery.cpp.o" "gcc" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/bakery.cpp.o.d"
+  "/root/repo/src/shmem/src/counter.cpp" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/counter.cpp.o" "gcc" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/counter.cpp.o.d"
+  "/root/repo/src/shmem/src/renaming.cpp" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/renaming.cpp.o" "gcc" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/renaming.cpp.o.d"
+  "/root/repo/src/shmem/src/snapshot.cpp" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/snapshot.cpp.o" "gcc" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/snapshot.cpp.o.d"
+  "/root/repo/src/shmem/src/spsc_queue.cpp" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/spsc_queue.cpp.o" "gcc" "src/shmem/CMakeFiles/abdkit_shmem.dir/src/spsc_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/abd/CMakeFiles/abdkit_abd.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/abdkit_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

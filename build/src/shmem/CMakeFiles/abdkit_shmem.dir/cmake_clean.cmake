@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_shmem.dir/src/approx_agreement.cpp.o"
+  "CMakeFiles/abdkit_shmem.dir/src/approx_agreement.cpp.o.d"
+  "CMakeFiles/abdkit_shmem.dir/src/bakery.cpp.o"
+  "CMakeFiles/abdkit_shmem.dir/src/bakery.cpp.o.d"
+  "CMakeFiles/abdkit_shmem.dir/src/counter.cpp.o"
+  "CMakeFiles/abdkit_shmem.dir/src/counter.cpp.o.d"
+  "CMakeFiles/abdkit_shmem.dir/src/renaming.cpp.o"
+  "CMakeFiles/abdkit_shmem.dir/src/renaming.cpp.o.d"
+  "CMakeFiles/abdkit_shmem.dir/src/snapshot.cpp.o"
+  "CMakeFiles/abdkit_shmem.dir/src/snapshot.cpp.o.d"
+  "CMakeFiles/abdkit_shmem.dir/src/spsc_queue.cpp.o"
+  "CMakeFiles/abdkit_shmem.dir/src/spsc_queue.cpp.o.d"
+  "libabdkit_shmem.a"
+  "libabdkit_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

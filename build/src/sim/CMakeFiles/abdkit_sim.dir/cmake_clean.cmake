@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_sim.dir/src/delay_model.cpp.o"
+  "CMakeFiles/abdkit_sim.dir/src/delay_model.cpp.o.d"
+  "CMakeFiles/abdkit_sim.dir/src/world.cpp.o"
+  "CMakeFiles/abdkit_sim.dir/src/world.cpp.o.d"
+  "libabdkit_sim.a"
+  "libabdkit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

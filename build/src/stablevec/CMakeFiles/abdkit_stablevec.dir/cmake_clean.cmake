@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_stablevec.dir/src/stable_vector.cpp.o"
+  "CMakeFiles/abdkit_stablevec.dir/src/stable_vector.cpp.o.d"
+  "libabdkit_stablevec.a"
+  "libabdkit_stablevec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_stablevec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_trace.dir/src/trace.cpp.o"
+  "CMakeFiles/abdkit_trace.dir/src/trace.cpp.o.d"
+  "libabdkit_trace.a"
+  "libabdkit_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_wire.dir/src/codec.cpp.o"
+  "CMakeFiles/abdkit_wire.dir/src/codec.cpp.o.d"
+  "libabdkit_wire.a"
+  "libabdkit_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdkit_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abd_atomicity.dir/test_abd_atomicity.cpp.o"
+  "CMakeFiles/test_abd_atomicity.dir/test_abd_atomicity.cpp.o.d"
+  "test_abd_atomicity"
+  "test_abd_atomicity.pdb"
+  "test_abd_atomicity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abd_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abd_basic.dir/test_abd_basic.cpp.o"
+  "CMakeFiles/test_abd_basic.dir/test_abd_basic.cpp.o.d"
+  "test_abd_basic"
+  "test_abd_basic.pdb"
+  "test_abd_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abd_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

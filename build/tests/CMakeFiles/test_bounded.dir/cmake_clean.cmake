@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounded.dir/test_bounded.cpp.o"
+  "CMakeFiles/test_bounded.dir/test_bounded.cpp.o.d"
+  "test_bounded"
+  "test_bounded.pdb"
+  "test_bounded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

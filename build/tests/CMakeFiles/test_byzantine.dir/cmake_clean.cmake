@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byzantine.dir/test_byzantine.cpp.o"
+  "CMakeFiles/test_byzantine.dir/test_byzantine.cpp.o.d"
+  "test_byzantine"
+  "test_byzantine.pdb"
+  "test_byzantine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

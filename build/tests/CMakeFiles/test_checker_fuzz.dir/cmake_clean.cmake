@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_fuzz.dir/test_checker_fuzz.cpp.o"
+  "CMakeFiles/test_checker_fuzz.dir/test_checker_fuzz.cpp.o.d"
+  "test_checker_fuzz"
+  "test_checker_fuzz.pdb"
+  "test_checker_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

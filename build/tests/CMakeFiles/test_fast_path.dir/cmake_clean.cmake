@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_path.dir/test_fast_path.cpp.o"
+  "CMakeFiles/test_fast_path.dir/test_fast_path.cpp.o.d"
+  "test_fast_path"
+  "test_fast_path.pdb"
+  "test_fast_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

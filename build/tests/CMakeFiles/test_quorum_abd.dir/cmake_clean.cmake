@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quorum_abd.dir/test_quorum_abd.cpp.o"
+  "CMakeFiles/test_quorum_abd.dir/test_quorum_abd.cpp.o.d"
+  "test_quorum_abd"
+  "test_quorum_abd.pdb"
+  "test_quorum_abd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quorum_abd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

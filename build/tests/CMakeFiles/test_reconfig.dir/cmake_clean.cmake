@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconfig.dir/test_reconfig.cpp.o"
+  "CMakeFiles/test_reconfig.dir/test_reconfig.cpp.o.d"
+  "test_reconfig"
+  "test_reconfig.pdb"
+  "test_reconfig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

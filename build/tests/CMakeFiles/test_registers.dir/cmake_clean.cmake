@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registers.dir/test_registers.cpp.o"
+  "CMakeFiles/test_registers.dir/test_registers.cpp.o.d"
+  "test_registers"
+  "test_registers.pdb"
+  "test_registers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shmem.dir/test_shmem.cpp.o"
+  "CMakeFiles/test_shmem.dir/test_shmem.cpp.o.d"
+  "test_shmem"
+  "test_shmem.pdb"
+  "test_shmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shmem_tasks.dir/test_shmem_tasks.cpp.o"
+  "CMakeFiles/test_shmem_tasks.dir/test_shmem_tasks.cpp.o.d"
+  "test_shmem_tasks"
+  "test_shmem_tasks.pdb"
+  "test_shmem_tasks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shmem_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

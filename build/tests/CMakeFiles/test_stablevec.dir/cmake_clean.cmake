@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stablevec.dir/test_stablevec.cpp.o"
+  "CMakeFiles/test_stablevec.dir/test_stablevec.cpp.o.d"
+  "test_stablevec"
+  "test_stablevec.pdb"
+  "test_stablevec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stablevec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_quorum[1]_include.cmake")
+include("/root/repo/build/tests/test_abd_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_abd_atomicity[1]_include.cmake")
+include("/root/repo/build/tests/test_resilience[1]_include.cmake")
+include("/root/repo/build/tests/test_bounded[1]_include.cmake")
+include("/root/repo/build/tests/test_quorum_abd[1]_include.cmake")
+include("/root/repo/build/tests/test_shmem[1]_include.cmake")
+include("/root/repo/build/tests/test_kv[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_shmem_tasks[1]_include.cmake")
+include("/root/repo/build/tests/test_byzantine[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_reconfig[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_checker_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_stablevec[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_messages[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")
+include("/root/repo/build/tests/test_registers[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_fast_path[1]_include.cmake")
