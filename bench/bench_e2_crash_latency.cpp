@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "abdkit/common/metrics.hpp"
 #include "abdkit/common/stats.hpp"
 #include "abdkit/harness/deployment.hpp"
 
@@ -20,6 +21,12 @@ namespace {
 
 using namespace std::chrono_literals;
 using namespace abdkit;
+
+/// Aggregated across every row of both sweeps; emitted as JSON at the end.
+Metrics& metrics() {
+  static Metrics instance;
+  return instance;
+}
 
 struct Latencies {
   Summary writes;
@@ -32,6 +39,7 @@ Latencies run_row(std::size_t n, std::size_t crashes, std::uint64_t seed,
   options.n = n;
   options.seed = seed;
   options.delay = std::move(delay);
+  options.client.metrics = &metrics();
   harness::SimDeployment d{std::move(options)};
   for (std::size_t i = 0; i < crashes; ++i) {
     d.crash_at(TimePoint{0}, static_cast<ProcessId>(n - 1 - i));
@@ -101,5 +109,8 @@ int main() {
   std::printf("E2: ABD latency is governed by the fastest majority\n");
   crash_sweep();
   straggler_sweep();
+  // Per-phase latency quantiles and counter totals across every row,
+  // machine-readable (see EXPERIMENTS.md "Metrics JSON").
+  std::printf("\nmetrics %s\n", metrics().to_json().c_str());
   return 0;
 }

@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 
 #include "abdkit/checker/linearizability.hpp"
+#include "abdkit/common/metrics.hpp"
 #include "abdkit/harness/deployment.hpp"
 #include "abdkit/harness/workload.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
@@ -143,6 +145,34 @@ void BM_AbdOpPairSimulated(benchmark::State& state) {
 }
 BENCHMARK(BM_AbdOpPairSimulated);
 
+/// Runs a small closed-loop workload with a metrics registry attached and
+/// prints the per-phase quantiles / counter totals as JSON — the sim-side
+/// half of the sim-vs-cluster metrics parity check (bench_e9 emits the
+/// cluster-side half; EXPERIMENTS.md "Metrics JSON" documents the schema).
+void emit_instrumented_workload_metrics() {
+  Metrics metrics;
+  harness::DeployOptions options;
+  options.n = 5;
+  options.seed = 21;
+  options.client.metrics = &metrics;
+  harness::SimDeployment d{std::move(options)};
+  harness::WorkloadOptions workload;
+  workload.writers = {0};
+  for (ProcessId p = 0; p < 5; ++p) workload.readers.push_back(p);
+  workload.ops_per_process = 50;
+  workload.seed = 21;
+  harness::schedule_closed_loop(d, workload);
+  d.run();
+  std::printf("\nmetrics %s\n", metrics.to_json().c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_instrumented_workload_metrics();
+  return 0;
+}

@@ -213,6 +213,7 @@ bench/CMakeFiles/bench_a1_targeted_contact.dir/bench_a1_targeted_contact.cpp.o: 
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/abd/include/abdkit/abd/adversary.hpp \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/abd/include/abdkit/abd/register_node.hpp \
  /root/repo/src/abd/include/abdkit/abd/client.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -224,7 +225,6 @@ bench/CMakeFiles/bench_a1_targeted_contact.dir/bench_a1_targeted_contact.cpp.o: 
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/abd/include/abdkit/abd/tag.hpp \
  /root/repo/src/common/include/abdkit/common/types.hpp \
- /usr/include/c++/12/cstddef \
  /root/repo/src/common/include/abdkit/common/message.hpp \
  /root/repo/src/common/include/abdkit/common/transport.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \

@@ -201,6 +201,7 @@ bench/CMakeFiles/bench_a3_byzantine.dir/bench_a3_byzantine.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/abd/include/abdkit/abd/adversary.hpp \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/abd/include/abdkit/abd/register_node.hpp \
  /root/repo/src/abd/include/abdkit/abd/client.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -221,7 +222,6 @@ bench/CMakeFiles/bench_a3_byzantine.dir/bench_a3_byzantine.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/abd/include/abdkit/abd/tag.hpp \
  /root/repo/src/common/include/abdkit/common/types.hpp \
- /usr/include/c++/12/cstddef \
  /root/repo/src/common/include/abdkit/common/message.hpp \
  /root/repo/src/common/include/abdkit/common/transport.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \

@@ -200,31 +200,36 @@ bench/CMakeFiles/bench_e2_crash_latency.dir/bench_e2_crash_latency.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/include/abdkit/common/stats.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /root/repo/src/common/include/abdkit/common/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/harness/include/abdkit/harness/deployment.hpp \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/common/include/abdkit/common/stats.hpp \
+ /usr/include/c++/12/cstddef \
+ /root/repo/src/common/include/abdkit/common/types.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/abd/include/abdkit/abd/adversary.hpp \
- /root/repo/src/abd/include/abdkit/abd/register_node.hpp \
- /root/repo/src/abd/include/abdkit/abd/client.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/harness/include/abdkit/harness/deployment.hpp \
+ /usr/include/c++/12/optional \
+ /root/repo/src/abd/include/abdkit/abd/adversary.hpp \
+ /root/repo/src/abd/include/abdkit/abd/register_node.hpp \
+ /root/repo/src/abd/include/abdkit/abd/client.hpp \
  /root/repo/src/abd/include/abdkit/abd/messages.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/abd/include/abdkit/abd/tag.hpp \
- /root/repo/src/common/include/abdkit/common/types.hpp \
  /root/repo/src/common/include/abdkit/common/message.hpp \
  /root/repo/src/common/include/abdkit/common/transport.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \
@@ -237,11 +242,9 @@ bench/CMakeFiles/bench_e2_crash_latency.dir/bench_e2_crash_latency.cpp.o: \
  /root/repo/src/abd/include/abdkit/abd/node.hpp \
  /root/repo/src/abd/include/abdkit/abd/replica.hpp \
  /root/repo/src/checker/include/abdkit/checker/history.hpp \
- /root/repo/src/sim/include/abdkit/sim/world.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/include/abdkit/sim/world.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/sim/include/abdkit/sim/delay_model.hpp

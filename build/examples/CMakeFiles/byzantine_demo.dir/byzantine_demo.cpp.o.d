@@ -202,6 +202,7 @@ examples/CMakeFiles/byzantine_demo.dir/byzantine_demo.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/abd/include/abdkit/abd/adversary.hpp \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/abd/include/abdkit/abd/register_node.hpp \
  /root/repo/src/abd/include/abdkit/abd/client.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -221,7 +222,6 @@ examples/CMakeFiles/byzantine_demo.dir/byzantine_demo.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/abd/include/abdkit/abd/tag.hpp \
  /root/repo/src/common/include/abdkit/common/types.hpp \
- /usr/include/c++/12/cstddef \
  /root/repo/src/common/include/abdkit/common/message.hpp \
  /root/repo/src/common/include/abdkit/common/transport.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \

@@ -185,6 +185,12 @@ examples/CMakeFiles/scenario_cli.dir/scenario_cli.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/checker/include/abdkit/checker/register_checks.hpp \
+ /root/repo/src/common/include/abdkit/common/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/include/abdkit/common/stats.hpp \
  /root/repo/src/harness/include/abdkit/harness/deployment.hpp \
  /usr/include/c++/12/memory \
@@ -218,7 +224,6 @@ examples/CMakeFiles/scenario_cli.dir/scenario_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
@@ -242,12 +247,10 @@ examples/CMakeFiles/scenario_cli.dir/scenario_cli.cpp.o: \
  /root/repo/src/abd/include/abdkit/abd/bounded_replica.hpp \
  /root/repo/src/abd/include/abdkit/abd/node.hpp \
  /root/repo/src/abd/include/abdkit/abd/replica.hpp \
- /root/repo/src/sim/include/abdkit/sim/world.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/include/abdkit/sim/world.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/sim/include/abdkit/sim/delay_model.hpp \
  /root/repo/src/harness/include/abdkit/harness/workload.hpp

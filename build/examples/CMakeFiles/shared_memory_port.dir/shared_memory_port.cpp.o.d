@@ -218,13 +218,13 @@ examples/CMakeFiles/shared_memory_port.dir/shared_memory_port.cpp.o: \
  /root/repo/src/harness/include/abdkit/harness/deployment.hpp \
  /usr/include/c++/12/optional \
  /root/repo/src/abd/include/abdkit/abd/adversary.hpp \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/abd/include/abdkit/abd/register_node.hpp \
  /root/repo/src/abd/include/abdkit/abd/client.hpp \
  /root/repo/src/abd/include/abdkit/abd/messages.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/abd/include/abdkit/abd/tag.hpp \
  /root/repo/src/common/include/abdkit/common/types.hpp \
- /usr/include/c++/12/cstddef \
  /root/repo/src/common/include/abdkit/common/message.hpp \
  /root/repo/src/common/include/abdkit/common/transport.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \

@@ -225,4 +225,10 @@ src/abd/CMakeFiles/abdkit_abd.dir/src/bounded_client.cpp.o: \
  /root/repo/src/abd/include/abdkit/abd/client.hpp \
  /root/repo/src/common/include/abdkit/common/transport.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \
- /root/repo/src/common/include/abdkit/common/rng.hpp
+ /root/repo/src/common/include/abdkit/common/rng.hpp \
+ /root/repo/src/common/include/abdkit/common/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/include/abdkit/common/stats.hpp

@@ -223,5 +223,11 @@ src/abd/CMakeFiles/abdkit_abd.dir/src/client.cpp.o: \
  /root/repo/src/common/include/abdkit/common/transport.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \
  /root/repo/src/common/include/abdkit/common/rng.hpp \
+ /root/repo/src/common/include/abdkit/common/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/include/abdkit/common/stats.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/analysis.hpp \
  /usr/include/c++/12/optional

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/src/log.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/log.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/log.cpp.o.d"
+  "/root/repo/src/common/src/metrics.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/metrics.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/metrics.cpp.o.d"
   "/root/repo/src/common/src/rng.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/rng.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/rng.cpp.o.d"
   "/root/repo/src/common/src/stats.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/stats.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/stats.cpp.o.d"
   "/root/repo/src/common/src/types.cpp" "src/common/CMakeFiles/abdkit_common.dir/src/types.cpp.o" "gcc" "src/common/CMakeFiles/abdkit_common.dir/src/types.cpp.o.d"

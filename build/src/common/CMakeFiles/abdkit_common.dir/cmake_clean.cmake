@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/abdkit_common.dir/src/log.cpp.o"
   "CMakeFiles/abdkit_common.dir/src/log.cpp.o.d"
+  "CMakeFiles/abdkit_common.dir/src/metrics.cpp.o"
+  "CMakeFiles/abdkit_common.dir/src/metrics.cpp.o.d"
   "CMakeFiles/abdkit_common.dir/src/rng.cpp.o"
   "CMakeFiles/abdkit_common.dir/src/rng.cpp.o.d"
   "CMakeFiles/abdkit_common.dir/src/stats.cpp.o"

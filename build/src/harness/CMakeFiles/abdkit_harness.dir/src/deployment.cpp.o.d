@@ -206,6 +206,7 @@ src/harness/CMakeFiles/abdkit_harness.dir/src/deployment.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/abd/include/abdkit/abd/adversary.hpp \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/abd/include/abdkit/abd/register_node.hpp \
  /root/repo/src/abd/include/abdkit/abd/client.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -222,7 +223,7 @@ src/harness/CMakeFiles/abdkit_harness.dir/src/deployment.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/common/include/abdkit/common/message.hpp \
  /root/repo/src/common/include/abdkit/common/transport.hpp \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \

@@ -226,4 +226,10 @@ src/kv/CMakeFiles/abdkit_kv.dir/src/kv_node.cpp.o: \
  /root/repo/src/quorum/include/abdkit/quorum/quorum_system.hpp \
  /root/repo/src/common/include/abdkit/common/rng.hpp \
  /root/repo/src/abd/include/abdkit/abd/register_node.hpp \
- /root/repo/src/abd/include/abdkit/abd/replica.hpp
+ /root/repo/src/abd/include/abdkit/abd/replica.hpp \
+ /root/repo/src/common/include/abdkit/common/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/include/abdkit/common/stats.hpp

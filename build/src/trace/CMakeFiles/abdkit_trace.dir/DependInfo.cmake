@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/src/cluster_trace.cpp" "src/trace/CMakeFiles/abdkit_trace.dir/src/cluster_trace.cpp.o" "gcc" "src/trace/CMakeFiles/abdkit_trace.dir/src/cluster_trace.cpp.o.d"
   "/root/repo/src/trace/src/trace.cpp" "src/trace/CMakeFiles/abdkit_trace.dir/src/trace.cpp.o" "gcc" "src/trace/CMakeFiles/abdkit_trace.dir/src/trace.cpp.o.d"
   )
 
@@ -15,6 +16,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/abdkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/abdkit_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/abd/CMakeFiles/abdkit_abd.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/abdkit_quorum.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

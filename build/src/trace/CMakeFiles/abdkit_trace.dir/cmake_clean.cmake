@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/abdkit_trace.dir/src/cluster_trace.cpp.o"
+  "CMakeFiles/abdkit_trace.dir/src/cluster_trace.cpp.o.d"
   "CMakeFiles/abdkit_trace.dir/src/trace.cpp.o"
   "CMakeFiles/abdkit_trace.dir/src/trace.cpp.o.d"
   "libabdkit_trace.a"

@@ -307,6 +307,9 @@ tests/CMakeFiles/test_byzantine.dir/test_byzantine.cpp.o: \
  /root/repo/src/common/include/abdkit/common/rng.hpp \
  /root/repo/src/checker/include/abdkit/checker/linearizability.hpp \
  /root/repo/src/checker/include/abdkit/checker/history.hpp \
+ /root/repo/src/common/include/abdkit/common/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/include/abdkit/common/stats.hpp \
  /root/repo/src/harness/include/abdkit/harness/deployment.hpp \
  /root/repo/src/abd/include/abdkit/abd/bounded_node.hpp \
  /root/repo/src/abd/include/abdkit/abd/bounded_client.hpp \

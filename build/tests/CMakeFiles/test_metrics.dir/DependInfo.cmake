@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/test_metrics.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/test_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abdkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abdkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/abdkit_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/abdkit_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/abd/CMakeFiles/abdkit_abd.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/abdkit_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/abdkit_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/abdkit_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/abdkit_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/abdkit_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/abdkit_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/stablevec/CMakeFiles/abdkit_stablevec.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abdkit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/registers/CMakeFiles/abdkit_registers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -14,6 +14,7 @@
 
 #include "abdkit/checker/linearizability.hpp"
 #include "abdkit/checker/register_checks.hpp"
+#include "abdkit/common/metrics.hpp"
 #include "abdkit/common/stats.hpp"
 #include "abdkit/harness/deployment.hpp"
 #include "abdkit/harness/workload.hpp"
@@ -32,6 +33,7 @@ struct Args {
   double loss{0.0};
   double read_fraction{0.6};
   std::uint64_t seed{1};
+  bool metrics{false};
   bool help{false};
 };
 
@@ -45,7 +47,8 @@ void usage() {
       "  --crash C        replicas crashed at t=0 (default 0)\n"
       "  --loss P         message loss probability; enables retransmission\n"
       "  --read-frac F    read fraction for reader-writers (default 0.6)\n"
-      "  --seed S         rng seed (default 1)\n");
+      "  --seed S         rng seed (default 1)\n"
+      "  --metrics        print client metrics (phase/op timers, counters) as JSON\n");
 }
 
 bool parse(int argc, char** argv, Args& args) {
@@ -57,6 +60,10 @@ bool parse(int argc, char** argv, Args& args) {
     if (flag == "--help" || flag == "-h") {
       args.help = true;
       return true;
+    }
+    if (flag == "--metrics") {  // boolean flag: consumes no value
+      args.metrics = true;
+      continue;
     }
     const char* value = next();
     if (value == nullptr) {
@@ -100,10 +107,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  Metrics metrics;
   harness::DeployOptions options;
   options.n = args.n;
   options.seed = args.seed;
   options.loss_probability = args.loss;
+  if (args.metrics) options.client.metrics = &metrics;
   if (args.loss > 0.0) options.client.retransmit_interval = 3ms;
   if (args.variant == "swmr") {
     options.variant = harness::Variant::kAtomicSwmr;
@@ -168,6 +177,7 @@ int main(int argc, char** argv) {
                   : 0.0);
   if (!writes_us.empty()) std::printf("write us:   %s\n", writes_us.brief().c_str());
   if (!reads_us.empty()) std::printf("read us:    %s\n", reads_us.brief().c_str());
+  if (args.metrics) std::printf("metrics %s\n", metrics.to_json().c_str());
 
   const auto report = checker::check_linearizable_per_object(d.history());
   std::printf("atomic:     %s\n", report.linearizable ? "yes" : "NO");

@@ -10,6 +10,7 @@
 // is outside the masking model — as in Malkhi–Reiter, clients are trusted).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "abdkit/abd/register_node.hpp"
@@ -32,7 +33,11 @@ enum class ByzantineBehavior {
 
 class ByzantineNode final : public RegisterNode {
  public:
-  explicit ByzantineNode(ByzantineBehavior behavior) noexcept : behavior_{behavior} {}
+  /// `reply_copies` repeats every reply that many times — the vote-inflation
+  /// attack against masking quorums: a single faulty replica answering f+1
+  /// times must still count as ONE voucher (first-reply-per-round rule).
+  explicit ByzantineNode(ByzantineBehavior behavior, std::size_t reply_copies = 1) noexcept
+      : behavior_{behavior}, reply_copies_{reply_copies == 0 ? 1 : reply_copies} {}
 
   void on_start(Context& ctx) override;
   void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
@@ -48,7 +53,11 @@ class ByzantineNode final : public RegisterNode {
   static constexpr std::int64_t kPoison = -0xBADBEEF;
 
  private:
+  /// Sends `payload` to `to`, `reply_copies_` times.
+  void reply(Context& ctx, ProcessId to, PayloadPtr payload) const;
+
   ByzantineBehavior behavior_;
+  std::size_t reply_copies_{1};
   std::uint64_t forged_{0};
 };
 

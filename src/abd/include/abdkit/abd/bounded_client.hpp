@@ -52,6 +52,11 @@ class BoundedClient {
     return unorderable_replies_;
   }
 
+  /// Attach (or detach, with nullptr) a metrics registry; the bounded
+  /// client records the same phase/op/counter keys as the unbounded one
+  /// (op timers: "op.bounded_read_us" / "op.bounded_write_us"). Not owned.
+  void set_metrics(Metrics* metrics) noexcept { metrics_ = metrics; }
+
  private:
   struct PendingOp {
     ObjectId object{0};
@@ -72,10 +77,13 @@ class BoundedClient {
     Value best_value{};
     BoundedLabel install_label{0};
     Value install_value{};
+    /// When this phase began (drives the per-phase latency timers).
+    TimePoint started{};
   };
 
   [[nodiscard]] RoundId begin_round(RoundKind kind, std::shared_ptr<PendingOp> op);
   void broadcast_for(Round& round, PayloadPtr payload);
+  void record_phase(const Round& round) const;
   [[nodiscard]] bool record_ack(Round& round, ProcessId from) const;
   void start_update_phase(std::shared_ptr<PendingOp> op, BoundedLabel label, Value value);
   void finish(Round& round);
@@ -91,6 +99,7 @@ class BoundedClient {
   std::unordered_map<ObjectId, BoundedLabel> writer_label_;
   std::size_t pending_ops_{0};
   std::uint64_t unorderable_replies_{0};
+  Metrics* metrics_{nullptr};
 };
 
 }  // namespace abdkit::abd

@@ -15,6 +15,9 @@ namespace abdkit::abd {
 struct BoundedNodeOptions {
   std::shared_ptr<const quorum::QuorumSystem> quorums;
   std::uint32_t label_modulus{kDefaultLabelModulus};
+  /// Optional metrics registry wired into the bounded client (not owned;
+  /// must outlive the node). Same key conventions as ClientOptions::metrics.
+  Metrics* metrics{nullptr};
 };
 
 class BoundedNode final : public RegisterNode {

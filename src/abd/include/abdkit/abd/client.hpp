@@ -22,6 +22,10 @@
 #include "abdkit/common/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
 
+namespace abdkit {
+class Metrics;
+}
+
 namespace abdkit::abd {
 
 /// Delivered to the caller when an operation completes.
@@ -31,7 +35,14 @@ struct OpResult {
   TimePoint invoked{};    ///< operation invocation time
   TimePoint responded{};  ///< operation response time
   std::uint32_t rounds{0};          ///< quorum rounds this operation used
-  std::uint64_t messages_sent{0};   ///< requests this client sent for it
+  /// Protocol requests this client sent for it, excluding retransmissions —
+  /// the quantity the paper's complexity theorem bounds (2n per phase under
+  /// broadcast contact). Resends are an artifact of the lossy-channel
+  /// extension and are reported separately below, so E1-style per-op counts
+  /// stay comparable across fault scenarios (a crashed-silent replica would
+  /// otherwise accrue unbounded charges the operation never needed).
+  std::uint64_t messages_sent{0};
+  std::uint64_t retransmissions{0};  ///< requests re-sent by the retry timer
 };
 
 using OpCallback = std::function<void(const OpResult&)>;
@@ -73,6 +84,10 @@ struct ClientOptions {
   /// read-mostly workloads this halves read latency and messages (ablation
   /// A6). Ignored in Byzantine mode. Default off (the paper's protocol).
   bool fast_path_reads{false};
+  /// Optional metrics registry (not owned; must outlive the client). When
+  /// set, the client records per-phase latency timers and op/traffic
+  /// counters into it — see metrics.hpp for the key conventions.
+  Metrics* metrics{nullptr};
 };
 
 class Client {
@@ -108,6 +123,11 @@ class Client {
   /// Operations issued but not yet completed (stalled ops stay pending).
   [[nodiscard]] std::size_t pending_ops() const noexcept { return pending_ops_; }
 
+  /// Attach (or detach, with nullptr) a metrics registry after construction;
+  /// equivalent to ClientOptions::metrics. Not owned; must outlive the
+  /// client's use.
+  void set_metrics(Metrics* metrics) noexcept { metrics_ = metrics; }
+
   /// Human-readable dump of pending phases (diagnostics for stalled ops).
   [[nodiscard]] std::string debug_pending() const;
 
@@ -122,6 +142,7 @@ class Client {
     TimePoint invoked{};
     std::uint32_t rounds{0};
     std::uint64_t messages_sent{0};
+    std::uint64_t retransmissions{0};
   };
 
   enum class RoundKind { kCollectValues, kCollectTags, kCollectAcks };
@@ -152,6 +173,8 @@ class Client {
     /// The request this phase solicits answers with (kept for resends).
     PayloadPtr request;
     TimerId retransmit_timer{0};
+    /// When this phase began (drives the per-phase latency timers).
+    TimePoint started{};
   };
 
   [[nodiscard]] RoundId begin_round(RoundKind kind, std::shared_ptr<PendingOp> op);
@@ -167,8 +190,16 @@ class Client {
   void on_tag_reply(ProcessId from, const TagReply& reply);
   void on_update_ack(ProcessId from, const UpdateAck& ack);
 
+  /// Record the completed phase's latency into the metrics registry (no-op
+  /// without one attached).
+  void record_phase(const Round& round) const;
+
   /// Records a vote and returns the highest-tag candidate vouched by
-  /// >= f+1 replicas, if any.
+  /// >= f+1 replicas, if any. Callers must feed it at most one reply per
+  /// distinct replica per round (the first-reply-per-round rule): a vote is
+  /// trusted because f+1 *distinct* replicas agree, so duplicate replies —
+  /// whether from retransmission or a Byzantine repeater — must not reach
+  /// here.
   [[nodiscard]] const Candidate* vouch(Round& round, Tag tag, const Value& value) const;
   [[nodiscard]] static bool all_acked(const Round& round);
   /// Masking-mode fallback: every process answered but nothing is vouched
@@ -188,6 +219,7 @@ class Client {
   std::unordered_map<RoundId, Round> rounds_;
   std::unordered_map<ObjectId, std::uint64_t> swmr_seq_;
   std::size_t pending_ops_{0};
+  Metrics* metrics_{nullptr};
   /// Cached preferred quorums for targeted contact (computed lazily).
   std::vector<ProcessId> preferred_read_;
   std::vector<ProcessId> preferred_write_;

@@ -24,18 +24,23 @@ Tag forged_tag(Context& ctx) {
 
 void ByzantineNode::on_start(Context&) {}
 
+void ByzantineNode::reply(Context& ctx, ProcessId to, PayloadPtr payload) const {
+  for (std::size_t i = 0; i + 1 < reply_copies_; ++i) ctx.send(to, payload);
+  ctx.send(to, std::move(payload));
+}
+
 void ByzantineNode::on_message(Context& ctx, ProcessId from, const Payload& payload) {
   if (behavior_ == ByzantineBehavior::kSilent) return;
 
   if (const auto* query = payload_cast<ReadQuery>(payload)) {
     ++forged_;
     if (behavior_ == ByzantineBehavior::kForgeHighTag) {
-      ctx.send(from, make_payload<ReadReply>(query->round, query->object,
-                                             forged_tag(ctx), poisoned()));
+      reply(ctx, from, make_payload<ReadReply>(query->round, query->object,
+                                               forged_tag(ctx), poisoned()));
     } else {
       // kStale / kAckOnly: permanently initial state.
-      ctx.send(from,
-               make_payload<ReadReply>(query->round, query->object, kInitialTag, Value{}));
+      reply(ctx, from,
+            make_payload<ReadReply>(query->round, query->object, kInitialTag, Value{}));
     }
     return;
   }
@@ -43,12 +48,12 @@ void ByzantineNode::on_message(Context& ctx, ProcessId from, const Payload& payl
     ++forged_;
     const Tag tag = behavior_ == ByzantineBehavior::kForgeHighTag ? forged_tag(ctx)
                                                                   : kInitialTag;
-    ctx.send(from, make_payload<TagReply>(query->round, query->object, tag));
+    reply(ctx, from, make_payload<TagReply>(query->round, query->object, tag));
     return;
   }
   if (const auto* update = payload_cast<Update>(payload)) {
     // Acknowledge without storing — the classic lazy/lying replica.
-    ctx.send(from, make_payload<UpdateAck>(update->round, update->object));
+    reply(ctx, from, make_payload<UpdateAck>(update->round, update->object));
     return;
   }
 }

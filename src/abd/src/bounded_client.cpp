@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "abdkit/common/metrics.hpp"
+
 namespace abdkit::abd {
 
 BoundedClient::BoundedClient(std::shared_ptr<const quorum::QuorumSystem> quorums,
@@ -67,6 +69,7 @@ RoundId BoundedClient::begin_round(RoundKind kind, std::shared_ptr<PendingOp> op
   round.kind = kind;
   round.op = std::move(op);
   round.acked.assign(quorums_->n(), false);
+  round.started = ctx_->now();
   rounds_.emplace(id, std::move(round));
   return id;
 }
@@ -74,7 +77,15 @@ RoundId BoundedClient::begin_round(RoundKind kind, std::shared_ptr<PendingOp> op
 void BoundedClient::broadcast_for(Round& round, PayloadPtr payload) {
   round.op->rounds += 1;
   round.op->messages_sent += ctx_->world_size();
+  if (metrics_ != nullptr) metrics_->add("client.messages_sent", ctx_->world_size());
   ctx_->broadcast(std::move(payload));
+}
+
+void BoundedClient::record_phase(const Round& round) const {
+  if (metrics_ == nullptr) return;
+  const char* name = round.kind == RoundKind::kCollectValues ? "phase.value_collect_us"
+                                                             : "phase.ack_collect_us";
+  metrics_->observe_us(name, ctx_->now() - round.started);
 }
 
 bool BoundedClient::record_ack(Round& round, ProcessId from) const {
@@ -121,6 +132,7 @@ void BoundedClient::on_read_reply(ProcessId from, const BReadReply& reply) {
 
   if (!record_ack(round, from)) return;
 
+  record_phase(round);
   std::shared_ptr<PendingOp> op = round.op;
   const BoundedLabel label = round.best_label;
   const Value value = round.best_value;
@@ -135,6 +147,7 @@ void BoundedClient::on_update_ack(ProcessId from, const BUpdateAck& ack) {
   Round& round = it->second;
   if (!record_ack(round, from)) return;
 
+  record_phase(round);
   Round finished = std::move(round);
   rounds_.erase(it);
   finish(finished);
@@ -150,6 +163,13 @@ void BoundedClient::finish(Round& round) {
   result.rounds = op.rounds;
   result.messages_sent = op.messages_sent;
   --pending_ops_;
+  if (metrics_ != nullptr) {
+    // A bounded op that ran a value-collection phase was a read; a write is
+    // the single ack-collection round.
+    metrics_->observe_us(op.rounds > 1 ? "op.bounded_read_us" : "op.bounded_write_us",
+                         result.responded - result.invoked);
+    metrics_->add("client.ops_completed");
+  }
   if (op.done) op.done(result);
 }
 

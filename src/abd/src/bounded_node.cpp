@@ -28,6 +28,7 @@ BoundedNode::BoundedNode(BoundedNodeOptions options)
   if (options_.quorums == nullptr) {
     throw std::invalid_argument{"BoundedNode: null quorum system"};
   }
+  client_.set_metrics(options_.metrics);
 }
 
 void BoundedNode::on_start(Context& ctx) {

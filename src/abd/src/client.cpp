@@ -4,13 +4,17 @@
 #include <stdexcept>
 #include <utility>
 
+#include "abdkit/common/metrics.hpp"
 #include "abdkit/quorum/analysis.hpp"
 
 namespace abdkit::abd {
 
 Client::Client(std::shared_ptr<const quorum::QuorumSystem> quorums, ReadMode read_mode,
                ClientOptions options)
-    : quorums_{std::move(quorums)}, read_mode_{read_mode}, options_{options} {
+    : quorums_{std::move(quorums)},
+      read_mode_{read_mode},
+      options_{options},
+      metrics_{options.metrics} {
   if (quorums_ == nullptr) throw std::invalid_argument{"Client: null quorum system"};
   if (options_.contact == ContactPolicy::kTargeted &&
       options_.retransmit_interval <= Duration::zero()) {
@@ -92,8 +96,17 @@ RoundId Client::begin_round(RoundKind kind, std::shared_ptr<PendingOp> op) {
   round.kind = kind;
   round.op = std::move(op);
   round.acked.assign(quorums_->n(), false);
+  round.started = ctx_->now();
   rounds_.emplace(id, std::move(round));
   return id;
+}
+
+void Client::record_phase(const Round& round) const {
+  if (metrics_ == nullptr) return;
+  const char* name = round.kind == RoundKind::kCollectValues ? "phase.value_collect_us"
+                     : round.kind == RoundKind::kCollectTags ? "phase.tag_collect_us"
+                                                             : "phase.ack_collect_us";
+  metrics_->observe_us(name, ctx_->now() - round.started);
 }
 
 const std::vector<ProcessId>& Client::preferred_targets(RoundKind kind) {
@@ -114,14 +127,17 @@ void Client::dispatch_request(RoundId id, PayloadPtr payload) {
   Round& round = rounds_.at(id);
   round.request = payload;
   round.op->rounds += 1;
+  std::uint64_t sent = 0;
   if (options_.contact == ContactPolicy::kBroadcast) {
-    round.op->messages_sent += ctx_->world_size();
+    sent = ctx_->world_size();
     ctx_->broadcast(std::move(payload));
   } else {
     const std::vector<ProcessId>& targets = preferred_targets(round.kind);
-    round.op->messages_sent += targets.size();
+    sent = targets.size();
     for (const ProcessId p : targets) ctx_->send(p, payload);
   }
+  round.op->messages_sent += sent;
+  if (metrics_ != nullptr) metrics_->add("client.messages_sent", sent);
   arm_retransmit(id);
 }
 
@@ -139,10 +155,24 @@ void Client::resend_unanswered(RoundId id) {
   // Expansion: resends go to every silent process, regardless of contact
   // policy — this is what restores liveness when a targeted member is
   // crashed, and recovers lost messages either way.
+  //
+  // Accounting: resends land in `retransmissions`, not `messages_sent`.
+  // The paper's complexity theorem (experiment E1) counts the protocol's
+  // messages under reliable channels; retransmissions are an artifact of
+  // the lossy-channel extension, and a replica that crashed silent forever
+  // would otherwise keep charging the operation one message per timer tick
+  // for traffic the protocol never needed — skewing per-op message counts
+  // under faults. OpResult reports both quantities.
+  std::uint64_t resent = 0;
   for (ProcessId p = 0; p < round.acked.size(); ++p) {
     if (round.acked[p]) continue;
-    round.op->messages_sent += 1;
+    ++resent;
     ctx_->send(p, round.request);
+  }
+  round.op->retransmissions += resent;
+  if (metrics_ != nullptr) {
+    metrics_->add("client.retransmit_rounds");
+    metrics_->add("client.messages_resent", resent);
   }
   arm_retransmit(id);
 }
@@ -155,6 +185,7 @@ bool Client::all_acked(const Round& round) {
 }
 
 void Client::requery(std::unordered_map<RoundId, Round>::iterator it) {
+  if (metrics_ != nullptr) metrics_->add("client.requeries");
   Round old_round = std::move(it->second);
   if (old_round.retransmit_timer != 0) ctx_->cancel_timer(old_round.retransmit_timer);
   rounds_.erase(it);
@@ -188,8 +219,10 @@ std::string Client::debug_pending() const {
 }
 
 const Client::Candidate* Client::vouch(Round& round, Tag tag, const Value& value) const {
-  // Record the vote (one per distinct replica; duplicate replies from the
-  // same replica are filtered by record_ack before reaching here).
+  // Record the vote. One vote per distinct replica per round: callers
+  // enforce the first-reply-per-round rule BEFORE calling vouch, so a
+  // duplicate reply (retransmission or Byzantine repetition) never lands
+  // here and can never inflate a candidate past the f+1 threshold.
   bool found = false;
   for (Candidate& candidate : round.candidates) {
     if (candidate.tag == tag && candidate.value == value) {
@@ -243,6 +276,7 @@ void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
     }
     const bool counted = !round.acked[from];
     if (counted) ++round.replies;
+    if (!counted && metrics_ != nullptr) metrics_->add("client.duplicate_replies");
     if (!record_ack(round, from)) return;
   } else {
     // Masking: only candidates vouched by >= f+1 identical replies may be
@@ -254,6 +288,16 @@ void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
     // span many tags — re-issue the query for a fresh, tighter sample.
     // (Termination therefore needs writes to pause eventually: the standard
     // "finite-write" liveness of masking-quorum reads.)
+    //
+    // First-reply-per-round rule: a repeated reply from the same replica —
+    // retransmission answers, channel duplicates, or a Byzantine repeater —
+    // contributes neither quorum progress nor a vote. Without this gate a
+    // single faulty replica could vouch its own forged (tag, value) past
+    // the f+1 threshold just by replying f+1 times.
+    if (from >= round.acked.size() || round.acked[from]) {
+      if (metrics_ != nullptr) metrics_->add("client.duplicate_replies");
+      return;
+    }
     const bool quorum = record_ack(round, from);
     const Candidate* best = vouch(round, reply.value_tag, reply.value);
     if (best == nullptr) {
@@ -266,6 +310,7 @@ void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
   }
 
   // Quorum reached: we hold the maximum tag among a read quorum.
+  record_phase(round);
   std::shared_ptr<PendingOp> op = round.op;
   const Tag tag = round.best_tag;
   const Value value = round.best_value;
@@ -300,7 +345,13 @@ void Client::on_tag_reply(ProcessId from, const TagReply& reply) {
     if (!record_ack(round, from)) return;
   } else {
     // Masking the tag discovery keeps forged sky-high tags from inflating
-    // the tag space (a liveness/width attack, not a safety one).
+    // the tag space (a liveness/width attack, not a safety one). Same
+    // first-reply-per-round rule as value collection: duplicates from one
+    // replica must not accumulate votes toward the f+1 threshold.
+    if (from >= round.acked.size() || round.acked[from]) {
+      if (metrics_ != nullptr) metrics_->add("client.duplicate_replies");
+      return;
+    }
     const bool quorum = record_ack(round, from);
     const Candidate* best = vouch(round, reply.value_tag, Value{});
     if (best == nullptr) {
@@ -311,6 +362,7 @@ void Client::on_tag_reply(ProcessId from, const TagReply& reply) {
     round.best_tag = best->tag;
   }
 
+  record_phase(round);
   std::shared_ptr<PendingOp> op = round.op;
   // New tag: strictly above everything a read quorum has seen; the writer id
   // breaks ties between writers that picked the same sequence number.
@@ -327,6 +379,7 @@ void Client::on_update_ack(ProcessId from, const UpdateAck& ack) {
   Round& round = it->second;
   if (!record_ack(round, from)) return;
 
+  record_phase(round);
   Round finished = std::move(round);
   if (finished.retransmit_timer != 0) ctx_->cancel_timer(finished.retransmit_timer);
   rounds_.erase(it);
@@ -342,7 +395,15 @@ void Client::finish(Round& round) {
   result.responded = ctx_->now();
   result.rounds = op.rounds;
   result.messages_sent = op.messages_sent;
+  result.retransmissions = op.retransmissions;
   --pending_ops_;
+  if (metrics_ != nullptr) {
+    const char* timer = op.kind == OpKind::kRead        ? "op.read_us"
+                        : op.kind == OpKind::kWriteSwmr ? "op.write_swmr_us"
+                                                        : "op.write_mwmr_us";
+    metrics_->observe_us(timer, result.responded - result.invoked);
+    metrics_->add("client.ops_completed");
+  }
   if (op.done) op.done(result);
 }
 

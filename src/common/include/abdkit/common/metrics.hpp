@@ -1,0 +1,81 @@
+// Unified op-level metrics registry shared by the simulator and the
+// threaded runtime.
+//
+// A Metrics instance is a named bag of counters (monotone uint64) and
+// timers (Summary-backed latency series with exact quantiles). Protocol
+// clients (abd::Client, abd::BoundedClient) and the KV layer record into
+// it when one is attached; benches and the scenario CLI emit it as JSON.
+// Because the same recording code runs under sim::World and
+// runtime::Cluster, the emitted fields are identical across both
+// environments — the per-phase keys are the diagnostic substrate every
+// perf experiment reports against.
+//
+// Thread safety: all methods are safe to call concurrently (the threaded
+// runtime records from every mailbox thread). Under the single-threaded
+// simulator the mutex is uncontended and costs one atomic pair per record.
+//
+// Key conventions (dots separate namespaces, unit suffix on timers):
+//   counters: "client.messages_sent", "client.messages_resent",
+//             "client.retransmit_rounds", "client.duplicate_replies",
+//             "client.requeries", "client.ops_completed", "kv.gets", ...
+//   timers:   "phase.value_collect_us", "phase.tag_collect_us",
+//             "phase.ack_collect_us", "op.read_us", "op.write_swmr_us",
+//             "op.write_mwmr_us", "kv.get_us", ...
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdkit/common/stats.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit {
+
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// Increment counter `name` by `delta` (creating it at zero first).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Record one sample into timer `name` (creating it empty first).
+  void observe(std::string_view name, double sample);
+
+  /// Convenience: record `elapsed` into timer `name` in microseconds —
+  /// the unit every latency timer in the codebase uses.
+  void observe_us(std::string_view name, Duration elapsed);
+
+  /// Current value of a counter (0 if never touched).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  /// Snapshot of a timer's series (empty Summary if never touched).
+  [[nodiscard]] Summary timer(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+  [[nodiscard]] std::vector<std::string> timer_names() const;
+
+  /// Fold another registry into this one (same-name counters add,
+  /// same-name timers merge their series).
+  void merge(const Metrics& other);
+
+  void reset();
+
+  /// One JSON object:
+  ///   {"counters":{"name":N,...},
+  ///    "timers":{"name":{"count":N,"mean":X,"p50":X,"p99":X,"max":X},...}}
+  /// Keys are sorted (std::map iteration), so output is deterministic.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Summary, std::less<>> timers_;
+};
+
+}  // namespace abdkit

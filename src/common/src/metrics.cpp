@@ -1,0 +1,102 @@
+#include "abdkit/common/metrics.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace abdkit {
+
+void Metrics::add(std::string_view name, std::uint64_t delta) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string{name}, delta);
+  }
+}
+
+void Metrics::observe(std::string_view name, double sample) {
+  const std::scoped_lock lock{mutex_};
+  auto it = timers_.find(name);
+  if (it == timers_.end()) it = timers_.emplace(std::string{name}, Summary{}).first;
+  it->second.add(sample);
+}
+
+void Metrics::observe_us(std::string_view name, Duration elapsed) {
+  observe(name, static_cast<double>(elapsed.count()) / 1e3);
+}
+
+std::uint64_t Metrics::counter(std::string_view name) const {
+  const std::scoped_lock lock{mutex_};
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+Summary Metrics::timer(std::string_view name) const {
+  const std::scoped_lock lock{mutex_};
+  const auto it = timers_.find(name);
+  return it != timers_.end() ? it->second : Summary{};
+}
+
+std::vector<std::string> Metrics::counter_names() const {
+  const std::scoped_lock lock{mutex_};
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Metrics::timer_names() const {
+  const std::scoped_lock lock{mutex_};
+  std::vector<std::string> names;
+  names.reserve(timers_.size());
+  for (const auto& [name, summary] : timers_) names.push_back(name);
+  return names;
+}
+
+void Metrics::merge(const Metrics& other) {
+  // Snapshot the source first so the two locks are never held together
+  // (merging a registry into itself or cross-merging from two threads must
+  // not deadlock).
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, Summary, std::less<>> timers;
+  {
+    const std::scoped_lock lock{other.mutex_};
+    counters = other.counters_;
+    timers = other.timers_;
+  }
+  const std::scoped_lock lock{mutex_};
+  for (const auto& [name, value] : counters) counters_[name] += value;
+  for (const auto& [name, summary] : timers) timers_[name].merge(summary);
+}
+
+void Metrics::reset() {
+  const std::scoped_lock lock{mutex_};
+  counters_.clear();
+  timers_.clear();
+}
+
+std::string Metrics::to_json() const {
+  const std::scoped_lock lock{mutex_};
+  std::ostringstream os;
+  os << R"({"counters":{)";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << R"(":)" << value;
+  }
+  os << R"(},"timers":{)";
+  first = true;
+  for (const auto& [name, summary] : timers_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << R"(":{"count":)" << summary.count() << R"(,"mean":)"
+       << summary.mean() << R"(,"p50":)" << summary.quantile(0.5) << R"(,"p99":)"
+       << summary.quantile(0.99) << R"(,"max":)" << summary.max() << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace abdkit

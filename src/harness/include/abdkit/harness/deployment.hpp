@@ -28,6 +28,16 @@ enum class Variant {
   kBoundedSwmr,  ///< bounded-label variant (E5)
 };
 
+/// A Byzantine replica occupying a process slot of the deployment.
+/// Aggregate-initializable from `{process, behavior}` (one reply per
+/// request) or `{process, behavior, copies}` to repeat every reply —
+/// the vote-inflation attack the masking client must withstand.
+struct ByzantineSlot {
+  ProcessId process{0};
+  abd::ByzantineBehavior behavior{abd::ByzantineBehavior::kForgeHighTag};
+  std::size_t reply_copies{1};
+};
+
 struct DeployOptions {
   std::size_t n{3};
   std::uint64_t seed{1};
@@ -46,7 +56,7 @@ struct DeployOptions {
   /// Replace these process slots with Byzantine replica adversaries. Do not
   /// schedule operations from these processes. Pair with a MaskingQuorum
   /// and client.byzantine_f to test the masking configuration.
-  std::vector<std::pair<ProcessId, abd::ByzantineBehavior>> byzantine;
+  std::vector<ByzantineSlot> byzantine;
 };
 
 /// A register system running in a simulated world, with history recording.

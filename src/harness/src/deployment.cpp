@@ -10,8 +10,10 @@ namespace {
 std::unique_ptr<abd::RegisterNode> make_node(const DeployOptions& options,
                                              std::shared_ptr<const quorum::QuorumSystem> qs,
                                              ProcessId p) {
-  for (const auto& [byz_process, behavior] : options.byzantine) {
-    if (byz_process == p) return std::make_unique<abd::ByzantineNode>(behavior);
+  for (const ByzantineSlot& slot : options.byzantine) {
+    if (slot.process == p) {
+      return std::make_unique<abd::ByzantineNode>(slot.behavior, slot.reply_copies);
+    }
   }
   switch (options.variant) {
     case Variant::kAtomicSwmr:
@@ -27,8 +29,8 @@ std::unique_ptr<abd::RegisterNode> make_node(const DeployOptions& options,
           abd::NodeOptions{std::move(qs), abd::ReadMode::kRegular,
                            abd::WriteMode::kSingleWriter, options.client});
     case Variant::kBoundedSwmr:
-      return std::make_unique<abd::BoundedNode>(
-          abd::BoundedNodeOptions{std::move(qs), options.label_modulus});
+      return std::make_unique<abd::BoundedNode>(abd::BoundedNodeOptions{
+          std::move(qs), options.label_modulus, options.client.metrics});
   }
   throw std::logic_error{"make_node: unknown variant"};
 }

@@ -64,8 +64,16 @@ class KvNode final : public Actor {
 
   [[nodiscard]] abd::Node& node() noexcept { return node_; }
 
+  /// Attach (or detach, with nullptr) a metrics registry. The store records
+  /// its own op counters/timers ("kv.gets"/"kv.get_us" etc.) and forwards
+  /// the registry to the underlying ABD client for phase-level keys. Not
+  /// owned; must outlive the node's use. Safe to share one registry across
+  /// every node of a deployment (Metrics is thread-safe).
+  void set_metrics(Metrics* metrics) noexcept;
+
  private:
   abd::Node node_;
+  Metrics* metrics_{nullptr};
 };
 
 }  // namespace abdkit::kv

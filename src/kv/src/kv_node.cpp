@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "abdkit/common/metrics.hpp"
+
 namespace abdkit::kv {
 
 namespace {
@@ -35,6 +37,11 @@ KvNode::KvNode(std::shared_ptr<const quorum::QuorumSystem> quorums)
     : node_{abd::NodeOptions{std::move(quorums), abd::ReadMode::kAtomic,
                              abd::WriteMode::kMultiWriter}} {}
 
+void KvNode::set_metrics(Metrics* metrics) noexcept {
+  metrics_ = metrics;
+  node_.client().set_metrics(metrics);
+}
+
 void KvNode::on_start(Context& ctx) { node_.on_start(ctx); }
 
 void KvNode::on_message(Context& ctx, ProcessId from, const Payload& payload) {
@@ -42,7 +49,15 @@ void KvNode::on_message(Context& ctx, ProcessId from, const Payload& payload) {
 }
 
 void KvNode::get(std::string_view key, GetCallback done) {
-  node_.read(key_to_object(key), [done = std::move(done)](const abd::OpResult& r) {
+  // Capture the registry by value: the callback may outlive a later
+  // set_metrics(nullptr), and the attach-time registry is the one that
+  // should account for this op.
+  node_.read(key_to_object(key),
+             [done = std::move(done), metrics = metrics_](const abd::OpResult& r) {
+    if (metrics != nullptr) {
+      metrics->add("kv.gets");
+      metrics->observe_us("kv.get_us", r.responded - r.invoked);
+    }
     if (!done) return;
     GetResult result;
     if (is_present(r.value)) result.value = r.value.data;
@@ -73,7 +88,11 @@ void KvNode::multi_get(const std::vector<std::string>& keys,
 
 void KvNode::put(std::string_view key, std::int64_t value, PutCallback done) {
   node_.write(key_to_object(key), present_value(value),
-              [done = std::move(done)](const abd::OpResult& r) {
+              [done = std::move(done), metrics = metrics_](const abd::OpResult& r) {
+                if (metrics != nullptr) {
+                  metrics->add("kv.puts");
+                  metrics->observe_us("kv.put_us", r.responded - r.invoked);
+                }
                 if (!done) return;
                 done(PutResult{r.tag, r});
               });
@@ -81,7 +100,11 @@ void KvNode::put(std::string_view key, std::int64_t value, PutCallback done) {
 
 void KvNode::erase(std::string_view key, PutCallback done) {
   node_.write(key_to_object(key), absent_value(),
-              [done = std::move(done)](const abd::OpResult& r) {
+              [done = std::move(done), metrics = metrics_](const abd::OpResult& r) {
+                if (metrics != nullptr) {
+                  metrics->add("kv.erases");
+                  metrics->observe_us("kv.erase_us", r.responded - r.invoked);
+                }
                 if (!done) return;
                 done(PutResult{r.tag, r});
               });

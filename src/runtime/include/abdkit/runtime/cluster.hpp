@@ -25,6 +25,31 @@
 
 namespace abdkit::runtime {
 
+/// A notable cluster event, surfaced to an optional observer — the
+/// threaded-runtime counterpart of sim::WorldEvent, so tracing and
+/// invariant monitors work against either execution backend. `payload` is
+/// null for non-message events; `timer` is zero for non-timer events.
+struct ClusterEvent {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kDeliver,
+    kDrop,  // to/from crashed process
+    kCrash,
+    kPost,  // external task posted to a mailbox
+    kTimerSet,
+    kTimerFire,
+    kTimerCancel,
+  };
+  Kind kind{Kind::kSend};
+  TimePoint at{};
+  ProcessId from{kNoProcess};
+  ProcessId to{kNoProcess};
+  PayloadPtr payload;
+  TimerId timer{0};
+};
+
+using ClusterObserver = std::function<void(const ClusterEvent&)>;
+
 struct ClusterOptions {
   std::size_t num_processes{0};
   std::uint64_t seed{1};
@@ -69,6 +94,18 @@ class Cluster {
   /// Nanoseconds since cluster construction (the Context::now clock).
   [[nodiscard]] TimePoint now() const;
 
+  /// Install an observer invoked for every notable event, from whichever
+  /// thread produced it; invocations are serialized by an internal mutex,
+  /// so the observer itself needs no locking. Must be installed before
+  /// start() and must not call back into the cluster.
+  void set_observer(ClusterObserver observer);
+
+  /// Timer bookkeeping entries currently held for process `p` (armed,
+  /// not-yet-fired, not-cancelled timers). Bounded by the number of live
+  /// timers — cancel and fire both release the entry; no tombstones
+  /// accumulate (regression guard for the cancelled-timer leak).
+  [[nodiscard]] std::size_t timer_bookkeeping_size(ProcessId p) const;
+
  private:
   friend class ThreadContext;
 
@@ -96,7 +133,11 @@ class Cluster {
     std::mutex mutex;
     std::condition_variable cv;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> mailbox;
-    std::unordered_set<TimerId> cancelled_timers;  // guarded by mutex
+    /// Armed timers that have neither fired nor been cancelled; guarded by
+    /// mutex. Tracking the LIVE set (not cancellations) keeps the
+    /// bookkeeping bounded: a cancel after the timer already fired — the
+    /// common retransmit-timer pattern — inserts nothing.
+    std::unordered_set<TimerId> live_timers;
     std::atomic<bool> crashed{false};
   };
 
@@ -104,6 +145,10 @@ class Cluster {
   void enqueue(ProcessId p, Item item);
   void do_send(ProcessId from, ProcessId to, PayloadPtr payload);
   [[nodiscard]] Duration sample_delay(Rng& rng);
+  /// Report an event to the observer (if any), serialized under
+  /// observer_mutex_. Never call while holding a process mutex.
+  void observe(ClusterEvent::Kind kind, ProcessId from, ProcessId to,
+               const PayloadPtr& payload = nullptr, TimerId timer = 0);
 
   ClusterOptions options_;
   std::vector<std::unique_ptr<Process>> processes_;
@@ -112,6 +157,8 @@ class Cluster {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> next_timer_{1};
   bool started_{false};
+  ClusterObserver observer_;  // written before start() only
+  std::mutex observer_mutex_;
 };
 
 }  // namespace abdkit::runtime

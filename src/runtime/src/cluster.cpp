@@ -30,6 +30,12 @@ class ThreadContext final : public Context {
 
   TimerId set_timer(Duration delay, TimerCallback cb) override {
     const TimerId id = cluster_.next_timer_.fetch_add(1, std::memory_order_relaxed);
+    Cluster::Process& process = *cluster_.processes_[self_];
+    {
+      const std::scoped_lock lock{process.mutex};
+      process.live_timers.insert(id);
+    }
+    cluster_.observe(ClusterEvent::Kind::kTimerSet, self_, self_, nullptr, id);
     Cluster::Item item;
     item.due = cluster_.now() + delay;
     item.kind = Cluster::ItemKind::kTimer;
@@ -40,9 +46,18 @@ class ThreadContext final : public Context {
   }
 
   void cancel_timer(TimerId id) override {
+    // Cancellation removes the timer from the live set; the queued item
+    // fires into nothing. Cancelling after the fire (or a bogus id) erases
+    // nothing and records nothing — bookkeeping never outlives the timer.
     Cluster::Process& process = *cluster_.processes_[self_];
-    const std::scoped_lock lock{process.mutex};
-    process.cancelled_timers.insert(id);
+    bool was_live = false;
+    {
+      const std::scoped_lock lock{process.mutex};
+      was_live = process.live_timers.erase(id) != 0;
+    }
+    if (was_live) {
+      cluster_.observe(ClusterEvent::Kind::kTimerCancel, self_, self_, nullptr, id);
+    }
   }
 
   [[nodiscard]] TimePoint now() const noexcept override { return cluster_.now(); }
@@ -106,6 +121,7 @@ void Cluster::stop() {
 }
 
 void Cluster::post(ProcessId p, std::function<void()> fn) {
+  observe(ClusterEvent::Kind::kPost, kNoProcess, p);
   Item item;
   item.due = now();
   item.kind = ItemKind::kTask;
@@ -117,6 +133,7 @@ void Cluster::crash(ProcessId p) {
   if (p >= processes_.size()) throw std::out_of_range{"Cluster: crash id out of range"};
   processes_[p]->crashed.store(true, std::memory_order_release);
   processes_[p]->cv.notify_all();
+  observe(ClusterEvent::Kind::kCrash, p, p);
 }
 
 bool Cluster::crashed(ProcessId p) const {
@@ -124,6 +141,25 @@ bool Cluster::crashed(ProcessId p) const {
 }
 
 Actor& Cluster::actor(ProcessId p) { return *processes_.at(p)->actor; }
+
+void Cluster::set_observer(ClusterObserver observer) {
+  if (started_) throw std::logic_error{"Cluster: set_observer after start"};
+  observer_ = std::move(observer);
+}
+
+std::size_t Cluster::timer_bookkeeping_size(ProcessId p) const {
+  Process& process = *processes_.at(p);
+  const std::scoped_lock lock{process.mutex};
+  return process.live_timers.size();
+}
+
+void Cluster::observe(ClusterEvent::Kind kind, ProcessId from, ProcessId to,
+                      const PayloadPtr& payload, TimerId timer) {
+  if (!observer_) return;
+  const TimePoint at = now();
+  const std::scoped_lock lock{observer_mutex_};
+  observer_(ClusterEvent{kind, at, from, to, payload, timer});
+}
 
 TimePoint Cluster::now() const {
   return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - epoch_);
@@ -141,7 +177,11 @@ void Cluster::enqueue(ProcessId p, Item item) {
 
 void Cluster::do_send(ProcessId from, ProcessId to, PayloadPtr payload) {
   if (to >= processes_.size()) throw std::out_of_range{"Cluster: send to unknown process"};
-  if (crashed(from) || crashed(to)) return;
+  if (crashed(from) || crashed(to)) {
+    observe(ClusterEvent::Kind::kDrop, from, to, payload);
+    return;
+  }
+  observe(ClusterEvent::Kind::kSend, from, to, payload);
   Item item;
   item.kind = ItemKind::kDeliver;
   item.msg = Message{from, to, std::move(payload)};
@@ -161,8 +201,10 @@ void Cluster::mailbox_loop(ProcessId p) {
   while (true) {
     if (!running_.load(std::memory_order_acquire)) return;
     if (process.crashed.load(std::memory_order_acquire)) {
-      // Crashed: discard everything and idle until shutdown.
+      // Crashed: discard everything and idle until shutdown. Timers die
+      // with their process, so their bookkeeping goes too.
       while (!process.mailbox.empty()) process.mailbox.pop();
+      process.live_timers.clear();
       process.cv.wait(lock, [&] { return !running_.load(std::memory_order_acquire); });
       return;
     }
@@ -182,7 +224,10 @@ void Cluster::mailbox_loop(ProcessId p) {
 
     switch (item.kind) {
       case ItemKind::kDeliver:
-        if (!crashed(item.msg.from)) {
+        if (crashed(item.msg.from)) {
+          observe(ClusterEvent::Kind::kDrop, item.msg.from, p, item.msg.payload);
+        } else {
+          observe(ClusterEvent::Kind::kDeliver, item.msg.from, p, item.msg.payload);
           process.actor->on_message(*process.context, item.msg.from, *item.msg.payload);
         }
         break;
@@ -190,12 +235,16 @@ void Cluster::mailbox_loop(ProcessId p) {
         item.task();
         break;
       case ItemKind::kTimer: {
-        bool run = true;
+        // A timer runs only if still live; firing consumes its entry.
+        bool run = false;
         {
           const std::scoped_lock relock{process.mutex};
-          run = process.cancelled_timers.erase(item.timer) == 0;
+          run = process.live_timers.erase(item.timer) != 0;
         }
-        if (run) item.timer_cb();
+        if (run) {
+          observe(ClusterEvent::Kind::kTimerFire, p, p, nullptr, item.timer);
+          item.timer_cb();
+        }
         break;
       }
     }

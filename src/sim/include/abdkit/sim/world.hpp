@@ -158,6 +158,14 @@ class World {
   /// Pass nullptr to remove. Observation must not mutate the world.
   void set_observer(WorldObserver observer) { observer_ = std::move(observer); }
 
+  /// Timer bookkeeping entries currently held (armed, not-yet-fired timers).
+  /// Bounded by the number of live timers — a cancel or fire releases the
+  /// entry immediately; no tombstones accumulate (regression guard for the
+  /// cancelled-timer leak).
+  [[nodiscard]] std::size_t timer_bookkeeping_size() const noexcept {
+    return timer_callbacks_.size();
+  }
+
  private:
   friend class SimContext;
 
@@ -203,7 +211,6 @@ class World {
   std::unordered_set<ProcessId> crashed_;
   std::unordered_map<ProcessId, std::size_t> group_of_;  // empty => connected
   std::vector<Message> parked_;
-  std::unordered_set<TimerId> cancelled_timers_;
   std::unordered_map<TimerId, TimerCallback> timer_callbacks_;
   TimerId next_timer_{1};
   Rng rng_;

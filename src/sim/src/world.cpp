@@ -39,9 +39,12 @@ class SimContext final : public Context {
   }
 
   void cancel_timer(TimerId id) override {
-    if (world_.timer_callbacks_.erase(id) != 0) {
-      world_.cancelled_timers_.insert(id);
-    }
+    // Erasing the callback is the cancellation: dispatch fires a timer only
+    // if its callback is still registered. No tombstone set — cancelling a
+    // timer that already fired (or never existed) is a no-op, and the
+    // bookkeeping for a timer vanishes at cancel or fire, whichever comes
+    // first, so it stays bounded by the number of armed timers.
+    world_.timer_callbacks_.erase(id);
   }
 
   [[nodiscard]] TimePoint now() const noexcept override { return world_.now_; }
@@ -203,9 +206,8 @@ void World::dispatch(Event& ev) {
     deliver_now(ev.deliver->msg);
   } else if (ev.timer.has_value()) {
     const auto [process, timer] = *ev.timer;
-    if (cancelled_timers_.erase(timer) != 0) return;
     const auto it = timer_callbacks_.find(timer);
-    if (it == timer_callbacks_.end()) return;
+    if (it == timer_callbacks_.end()) return;  // cancelled
     TimerCallback cb = std::move(it->second);
     timer_callbacks_.erase(it);
     if (crashed_.contains(process)) return;  // timers die with their process

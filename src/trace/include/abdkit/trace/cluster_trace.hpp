@@ -1,0 +1,41 @@
+// Event tracing for the threaded runtime — parity with the simulator's
+// trace::Recorder. ClusterRecorder flattens runtime::ClusterEvent into the
+// same trace::Record shape, so the JSONL writer/parser, filters, and any
+// downstream tooling work identically on either execution backend.
+#pragma once
+
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "abdkit/runtime/cluster.hpp"
+#include "abdkit/trace/trace.hpp"
+
+namespace abdkit::trace {
+
+[[nodiscard]] const char* kind_name(runtime::ClusterEvent::Kind kind) noexcept;
+
+/// Collects events from a runtime::Cluster. Attach BEFORE cluster.start()
+/// (the cluster enforces this); the recorder must outlive the cluster's
+/// run. The cluster serializes observer invocations, but accessors here
+/// additionally take the recorder's own lock so records() can be called
+/// from the driving thread while mailbox threads are still appending.
+class ClusterRecorder {
+ public:
+  /// Installs this recorder as the cluster's observer (replacing any).
+  void attach(runtime::Cluster& cluster);
+
+  /// Snapshot of the records collected so far.
+  [[nodiscard]] std::vector<Record> records() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Records with the given kind (e.g. count deliveries to one process).
+  [[nodiscard]] std::vector<Record> filtered(std::string_view kind) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+};
+
+}  // namespace abdkit::trace

@@ -1,0 +1,59 @@
+#include "abdkit/trace/cluster_trace.hpp"
+
+namespace abdkit::trace {
+
+const char* kind_name(runtime::ClusterEvent::Kind kind) noexcept {
+  switch (kind) {
+    case runtime::ClusterEvent::Kind::kSend: return "send";
+    case runtime::ClusterEvent::Kind::kDeliver: return "deliver";
+    case runtime::ClusterEvent::Kind::kDrop: return "drop";
+    case runtime::ClusterEvent::Kind::kCrash: return "crash";
+    case runtime::ClusterEvent::Kind::kPost: return "post";
+    case runtime::ClusterEvent::Kind::kTimerSet: return "timer_set";
+    case runtime::ClusterEvent::Kind::kTimerFire: return "timer_fire";
+    case runtime::ClusterEvent::Kind::kTimerCancel: return "timer_cancel";
+  }
+  return "?";
+}
+
+void ClusterRecorder::attach(runtime::Cluster& cluster) {
+  cluster.set_observer([this](const runtime::ClusterEvent& event) {
+    Record record;
+    record.kind = kind_name(event.kind);
+    record.at_ns = event.at.count();
+    record.from = event.from;
+    record.to = event.to;
+    if (event.payload != nullptr) {
+      record.payload_tag = event.payload->tag();
+      record.payload_debug = event.payload->debug();
+    }
+    const std::scoped_lock lock{mutex_};
+    records_.push_back(std::move(record));
+  });
+}
+
+std::vector<Record> ClusterRecorder::records() const {
+  const std::scoped_lock lock{mutex_};
+  return records_;
+}
+
+std::size_t ClusterRecorder::size() const {
+  const std::scoped_lock lock{mutex_};
+  return records_.size();
+}
+
+void ClusterRecorder::clear() {
+  const std::scoped_lock lock{mutex_};
+  records_.clear();
+}
+
+std::vector<Record> ClusterRecorder::filtered(std::string_view kind) const {
+  const std::scoped_lock lock{mutex_};
+  std::vector<Record> result;
+  for (const Record& record : records_) {
+    if (record.kind == kind) result.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace abdkit::trace

@@ -8,13 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "abdkit/abd/adversary.hpp"
 #include "abdkit/checker/linearizability.hpp"
+#include "abdkit/common/metrics.hpp"
 #include "abdkit/harness/deployment.hpp"
 #include "abdkit/harness/workload.hpp"
 #include "abdkit/quorum/analysis.hpp"
+#include "abdkit/sim/delay_model.hpp"
 
 namespace abdkit {
 namespace {
@@ -152,6 +156,82 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return std::string{name} + "_seed" + std::to_string(std::get<1>(param_info.param));
     });
+
+// ---- Vote inflation: one repeating replica must count as ONE voucher --------
+
+TEST(ByzantineMasking, RepeatedForgedReplyDoesNotInflateVotes) {
+  // Regression: a single Byzantine replica that retransmits its forged
+  // reply f+1 times must NOT get its candidate vouched. Before the
+  // first-reply-per-round gate, each copy called vouch(), so 2 = f+1
+  // identical forged replies crossed the threshold and the poisoned value
+  // (carrying the highest tag) escaped a masked read.
+  //
+  // Slowing the honest replicas makes the attack window deterministic: the
+  // forger's three copies all land while the read round is still short of
+  // its quorum of 4, so every copy reaches the vouching logic.
+  Metrics metrics;
+  DeployOptions options = masked(5, 1, 11);
+  options.client.metrics = &metrics;
+  options.byzantine = {{4, ByzantineBehavior::kForgeHighTag, 3}};
+  options.delay = std::make_unique<sim::SlowProcessDelay>(
+      std::make_unique<sim::FixedDelay>(1ms), std::vector<ProcessId>{0, 2, 3},
+      /*factor=*/10.0);
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 42);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 42) << "repeated forged replies got vouched";
+  EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable);
+  // The gate saw (and discarded) the forger's two extra copies.
+  EXPECT_GE(metrics.counter("client.duplicate_replies"), 2U);
+}
+
+TEST(ByzantineMasking, RepeatedForgedTagDoesNotInflateMwmrDiscovery) {
+  // Same attack against the MWMR tag-discovery phase: the repeated forged
+  // TagReply must not become the vouched maximum.
+  DeployOptions options = masked(5, 1, 12);
+  options.variant = Variant::kAtomicMwmr;
+  options.byzantine = {{4, ByzantineBehavior::kForgeHighTag, 3}};
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> write_result;
+  d.write_at(TimePoint{0}, 1, 0, 7, [&](const abd::OpResult& r) { write_result = r; });
+  d.run();
+  ASSERT_TRUE(write_result.has_value());
+  EXPECT_LT(write_result->tag.seq, 1000U) << "repeated forged tag got vouched";
+}
+
+TEST(ByzantineMasking, ChaosWithLossDuplicationAndRetransmission) {
+  // The masking protocol under every duplicate source at once: a repeating
+  // forger, channel duplication, channel loss, and client retransmission.
+  // The first-reply-per-round rule must hold (no poison, atomic) without
+  // costing liveness (retransmission still recovers lost replies).
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    DeployOptions options = masked(5, 1, seed);
+    options.byzantine = {{4, ByzantineBehavior::kForgeHighTag, 2}};
+    options.loss_probability = 0.1;
+    options.duplicate_probability = 0.1;
+    options.client.retransmit_interval = 5ms;
+    SimDeployment d{std::move(options)};
+
+    harness::WorkloadOptions workload;
+    workload.writers = {0};
+    workload.readers = {1, 2, 3};
+    workload.ops_per_process = 10;
+    workload.seed = seed;
+    harness::schedule_closed_loop(d, workload);
+    d.run();
+
+    EXPECT_EQ(d.stalled_ops(), 0U) << "seed " << seed;
+    EXPECT_TRUE(checker::check_linearizable(d.history()).linearizable)
+        << "seed " << seed << ": "
+        << checker::check_linearizable(d.history()).explanation;
+    for (const auto& op : d.history().ops()) {
+      EXPECT_NE(op.value, ByzantineNode::kPoison) << "poison escaped, seed " << seed;
+    }
+  }
+}
 
 TEST(ByzantineMasking, TwoForgersAtF2) {
   DeployOptions options = masked(9, 2, 5);

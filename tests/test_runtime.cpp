@@ -171,6 +171,72 @@ TEST(Cluster, TimersFireAndCancel) {
   cluster.stop();
 }
 
+/// Captures the process's Context so test closures posted to the mailbox
+/// thread can arm/cancel timers through the sanctioned interface.
+class ContextCapture final : public Actor {
+ public:
+  void on_start(Context& ctx) override { ctx_ = &ctx; }
+  void on_message(Context&, ProcessId, const Payload&) override {}
+
+  Context* ctx_{nullptr};
+};
+
+TEST(Cluster, TimerBookkeepingStaysBounded) {
+  // Heavy set/cancel churn must leave zero bookkeeping behind, in BOTH
+  // orders. Cancel-after-fire is the one that leaked: the old tombstone
+  // scheme recorded every such cancel forever (the retransmit timer of a
+  // completed phase is exactly this pattern).
+  ClusterOptions options;
+  options.num_processes = 1;
+  ContextCapture* probe = nullptr;
+  Cluster cluster{options, [&](ProcessId) -> std::unique_ptr<Actor> {
+                    auto actor = std::make_unique<ContextCapture>();
+                    probe = actor.get();
+                    return actor;
+                  }};
+  cluster.start();
+
+  // Phase 1: cancel-before-fire, all on the mailbox thread.
+  std::promise<void> churned;
+  auto churned_future = churned.get_future();
+  cluster.post(0, [&] {
+    Context& ctx = *probe->ctx_;
+    for (int i = 0; i < 10'000; ++i) {
+      ctx.cancel_timer(ctx.set_timer(1h, [] {}));
+    }
+    churned.set_value();
+  });
+  ASSERT_EQ(churned_future.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(cluster.timer_bookkeeping_size(0), 0U);
+
+  // Phase 2: let timers fire first, then cancel their (dead) ids.
+  constexpr int kFireCount = 1000;
+  std::atomic<int> fired{0};
+  std::promise<void> all_fired;
+  auto all_fired_future = all_fired.get_future();
+  auto ids = std::make_shared<std::vector<TimerId>>();
+  cluster.post(0, [&, ids] {
+    Context& ctx = *probe->ctx_;
+    for (int i = 0; i < kFireCount; ++i) {
+      ids->push_back(ctx.set_timer(Duration::zero(), [&] {
+        if (fired.fetch_add(1, std::memory_order_relaxed) + 1 == kFireCount) {
+          all_fired.set_value();
+        }
+      }));
+    }
+  });
+  ASSERT_EQ(all_fired_future.wait_for(5s), std::future_status::ready);
+  std::promise<void> cancelled;
+  auto cancelled_future = cancelled.get_future();
+  cluster.post(0, [&, ids] {
+    for (const TimerId id : *ids) probe->ctx_->cancel_timer(id);
+    cancelled.set_value();
+  });
+  ASSERT_EQ(cancelled_future.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(cluster.timer_bookkeeping_size(0), 0U);
+  cluster.stop();
+}
+
 TEST(Cluster, PostRunsOnMailboxThread) {
   AbdCluster c{2, abd::WriteMode::kSingleWriter};
   std::promise<std::thread::id> id_promise;

@@ -176,6 +176,34 @@ TEST(World, CancelledTimerDoesNotFire) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(World, TimerBookkeepingStaysBounded) {
+  // Heavy set/cancel churn (the retransmit-timer pattern) must leave zero
+  // bookkeeping behind, in BOTH orders: cancel-before-fire and cancel-after-
+  // fire. Regression guard for the cancelled-timer tombstone leak.
+  ProbeWorld w{1};
+  int fired = 0;
+  w.world->at(TimePoint{0}, [&] {
+    for (int i = 0; i < 10'000; ++i) {
+      const TimerId id = w.probes[0]->ctx().set_timer(10us, [&fired] { ++fired; });
+      w.probes[0]->ctx().cancel_timer(id);
+    }
+  });
+  w.world->run_until_quiescent();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(w.world->timer_bookkeeping_size(), 0U);
+
+  std::vector<TimerId> ids;
+  w.world->at(w.world->now(), [&] {
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(w.probes[0]->ctx().set_timer(10us, [&fired] { ++fired; }));
+    }
+  });
+  w.world->run_until_quiescent();
+  EXPECT_EQ(fired, 10'000);
+  for (const TimerId id : ids) w.probes[0]->ctx().cancel_timer(id);  // all no-ops
+  EXPECT_EQ(w.world->timer_bookkeeping_size(), 0U);
+}
+
 TEST(World, PartitionParksAndHealRedelivers) {
   ProbeWorld w{4};
   w.world->at(TimePoint{0}, [&] { w.world->partition({{0, 1}, {2, 3}}); });
