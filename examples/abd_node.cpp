@@ -1,0 +1,134 @@
+// abd_node — one ABD replica as a real OS process.
+//
+//   $ ./abd_node --id 0 --replicas 3
+//       --peers 127.0.0.1:4100,127.0.0.1:4101,127.0.0.1:4102,127.0.0.1:4103
+//
+// Hosts a full abd::Node (replica + client halves) on a net::Transport and
+// serves until SIGINT/SIGTERM. The --peers table covers every participant,
+// indexed by process id; the first --replicas entries are the quorum
+// universe (the paper's n), later entries are client processes such as
+// abd_net_cli. Kill -9 this process and its peers see exactly the paper's
+// crash fault: silence, with in-flight messages lost.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "abdkit/abd/node.hpp"
+#include "abdkit/common/log.hpp"
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/net/transport.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+struct Args {
+  ProcessId id{kNoProcess};
+  std::size_t replicas{0};
+  std::string peers;
+  bool verbose{false};
+  bool help{false};
+};
+
+void usage() {
+  std::printf(
+      "usage: abd_node --id I --replicas R --peers h:p,h:p,...\n"
+      "  --id I         this process's index into the peer table\n"
+      "  --replicas R   quorum universe size (first R peer entries)\n"
+      "  --peers LIST   comma-separated host:port table, index = process id\n"
+      "  --verbose      log connection events\n");
+}
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--help" || flag == "-h") {
+      args.help = true;
+    } else if (flag == "--id") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.id = static_cast<ProcessId>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--replicas") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.replicas = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--peers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.peers = v;
+    } else if (flag == "--verbose") {
+      args.verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  if (args.help) {
+    usage();
+    return 0;
+  }
+  std::vector<net::Address> table;
+  if (!net::parse_address_list(args.peers, table) || args.replicas == 0 ||
+      args.id >= table.size() || table.size() < args.replicas) {
+    usage();
+    return 2;
+  }
+  if (args.verbose) set_log_level(LogLevel::kInfo);
+
+  Metrics metrics;
+  abd::NodeOptions node_options;
+  node_options.quorums = std::make_shared<quorum::MajorityQuorum>(args.replicas);
+  node_options.write_mode = abd::WriteMode::kMultiWriter;
+  node_options.client.retransmit_interval = 100ms;
+  node_options.client.metrics = &metrics;
+
+  net::TransportOptions options;
+  options.self = args.id;
+  options.world_size = args.replicas;
+  options.metrics = &metrics;
+
+  try {
+    net::Transport transport{std::move(options), std::make_unique<abd::Node>(node_options)};
+    const std::uint16_t port = transport.bind(table[args.id]);
+    transport.start(table);
+    std::printf("abd_node: replica %u/%zu listening on %s:%u\n", args.id, args.replicas,
+                table[args.id].host.c_str(), port);
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (!g_stop.load()) std::this_thread::sleep_for(50ms);
+
+    transport.stop();
+    std::printf("abd_node: replica %u shut down; metrics %s\n", args.id,
+                metrics.to_json().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "abd_node: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Length-prefixed framing over the wire::codec envelope — the unit a TCP
+// byte stream is cut into.
+//
+//   frame := u32 length | u32 src | u32 dst | payload
+//
+// `length` counts every byte after itself (8 header bytes + the payload);
+// `payload` is exactly one wire::codec envelope (u32 tag + body). All
+// integers are little-endian, like the codec. The addresses ride in every
+// frame so a receiver needs no per-connection handshake: any process can
+// dial any other and start sending.
+//
+// FrameDecoder is an incremental parser for the receive side of a socket:
+// feed() whatever bytes arrived, then pull zero or more complete frames
+// with next(). It is total in the same sense as wire::decode — a hostile or
+// corrupt stream yields a clean error state, never UB, and the length field
+// is validated against a hard cap *before* any allocation, so an attacker
+// cannot make the decoder reserve unbounded memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "abdkit/common/message.hpp"
+
+namespace abdkit::net {
+
+/// Hard cap on a frame's `length` field. ABD payloads are tiny (a value
+/// plus a few varints); a length beyond this is certainly garbage or an
+/// attack, and rejecting it up front bounds decoder memory.
+inline constexpr std::uint32_t kMaxFrameLength = 1u << 20;  // 1 MiB
+
+/// Bytes of frame header counted by `length` (src + dst).
+inline constexpr std::uint32_t kFrameAddressBytes = 8;
+
+/// One decoded frame.
+struct Frame {
+  ProcessId src{kNoProcess};
+  ProcessId dst{kNoProcess};
+  PayloadPtr payload;
+};
+
+/// Serializes `payload` into a single frame addressed src -> dst. Throws
+/// std::invalid_argument for payloads wire::codec cannot encode.
+[[nodiscard]] std::vector<std::byte> encode_frame(ProcessId src, ProcessId dst,
+                                                  const Payload& payload);
+
+class FrameDecoder {
+ public:
+  enum class Status : std::uint8_t {
+    kNeedMore,  ///< no complete frame buffered; feed more bytes
+    kFrame,     ///< one frame extracted into `out`
+    kError,     ///< stream is corrupt; decoder is poisoned, close the peer
+  };
+
+  explicit FrameDecoder(std::uint32_t max_frame_length = kMaxFrameLength) noexcept
+      : max_frame_length_{max_frame_length} {}
+
+  /// Append received bytes. No-op once the decoder is in the error state.
+  void feed(std::span<const std::byte> bytes);
+
+  /// Extract the next complete frame, if any. Call in a loop until it stops
+  /// returning kFrame — one feed() may complete several frames.
+  [[nodiscard]] Status next(Frame& out);
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Bytes currently buffered awaiting a complete frame (test/diagnostic
+  /// visibility; bounded by max_frame_length + the largest single feed).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  void fail(std::string reason);
+
+  std::uint32_t max_frame_length_;
+  std::vector<std::byte> buffer_;
+  std::size_t consumed_{0};  ///< prefix of buffer_ already parsed
+  bool failed_{false};
+  std::string error_;
+};
+
+}  // namespace abdkit::net

@@ -1,0 +1,34 @@
+// Blocking facade over a RegisterNode hosted by a net::Transport — the TCP
+// counterpart of runtime::SyncRegister, for application threads (and the
+// abd_net_cli / bench_n1 drivers) that want "read(); write();" semantics.
+#pragma once
+
+#include <optional>
+
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/net/transport.hpp"
+
+namespace abdkit::net {
+
+class SyncNode {
+ public:
+  /// `node` must be the actor hosted by `transport`.
+  SyncNode(Transport& transport, abd::RegisterNode& node) noexcept
+      : transport_{&transport}, node_{&node} {}
+
+  /// Blocking read; nullopt if the operation did not complete within
+  /// `timeout` (e.g., no quorum reachable). The protocol operation is NOT
+  /// cancelled on timeout — it may still complete internally later, which
+  /// is harmless for registers.
+  [[nodiscard]] std::optional<abd::OpResult> read(abd::ObjectId object, Duration timeout);
+
+  /// Blocking write with the same timeout semantics.
+  [[nodiscard]] std::optional<abd::OpResult> write(abd::ObjectId object, Value value,
+                                                   Duration timeout);
+
+ private:
+  Transport* transport_;
+  abd::RegisterNode* node_;
+};
+
+}  // namespace abdkit::net

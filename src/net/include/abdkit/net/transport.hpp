@@ -1,0 +1,213 @@
+// Real TCP deployment of the same Actor protocols: one process per replica,
+// frames over sockets, a poll(2) event loop per process.
+//
+// This is the third rung of the runtime ladder (DESIGN.md):
+//
+//   sim::World        — deterministic discrete-event simulation
+//   runtime::Cluster  — threads in one address space, in-memory channels
+//   net::Transport    — separate OS processes, length-prefixed frames on TCP
+//
+// A Transport hosts exactly ONE actor and gives it the same Context surface
+// the other two environments provide, so protocol code runs unchanged. The
+// asynchronous-network model maps onto TCP as follows:
+//
+//   * Channels are pairwise one-directional TCP connections, dialed lazily
+//     and redialed with exponential backoff; while a peer is unreachable,
+//     frames queued for it are dropped — to the protocol a crashed replica
+//     is exactly the paper's crash fault: silent, with messages to it lost.
+//     (Run clients with a retransmit_interval for liveness under crashes,
+//     as with the lossy-link simulator extension.)
+//   * Delivery is asynchronous and, across peers, unordered — quorum logic
+//     must not (and does not) assume FIFO between processes.
+//   * The actor executes single-threadedly on the event-loop thread; post()
+//     is the only sanctioned way to poke it from outside, mirroring
+//     runtime::Cluster::post.
+//
+// The address table covers every participant, indexed by ProcessId. Entries
+// [0, world_size) are the paper's n replicas (broadcast targets; Context::
+// world_size()); entries beyond world_size are client-only processes that
+// invoke operations but hold no quorum slot. Both kinds listen, because
+// replies are dialed back to the requester's table entry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "abdkit/common/message.hpp"
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/runtime/cluster.hpp"
+
+namespace abdkit::net {
+
+class FrameDecoder;
+struct Frame;
+
+/// A TCP endpoint in the address table.
+struct Address {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};
+};
+
+/// Parse "host:port". Returns false on malformation.
+[[nodiscard]] bool parse_address(const std::string& text, Address& out);
+
+/// Parse a comma-separated address table "h:p,h:p,...".
+[[nodiscard]] bool parse_address_list(const std::string& text, std::vector<Address>& out);
+
+struct TransportOptions {
+  /// This process's id (its index in the address table).
+  ProcessId self{kNoProcess};
+  /// The paper's n: processes [0, world_size) are replicas. Client-only
+  /// processes take ids >= world_size.
+  std::size_t world_size{0};
+  /// Reconnect backoff bounds: after a failed dial the next attempt waits
+  /// the current backoff, which doubles (from min, capped at max) until a
+  /// connection succeeds.
+  Duration reconnect_min{std::chrono::milliseconds{20}};
+  Duration reconnect_max{std::chrono::seconds{1}};
+  /// Per-peer cap on bytes queued while a connection is down or congested;
+  /// frames beyond it are dropped (and counted), like any lost message.
+  std::size_t max_send_buffer{4u << 20};
+  /// Frame length cap handed to the receive-side decoders.
+  std::uint32_t max_frame_length{1u << 20};
+  /// Optional metrics registry (not owned; must outlive the transport).
+  /// Net-layer counters use the "net." prefix:
+  ///   net.connect_attempts, net.connects, net.reconnects, net.accepts,
+  ///   net.disconnects, net.bytes_in, net.bytes_out, net.frames_in,
+  ///   net.frames_out, net.frame_decode_errors, net.sends_dropped,
+  ///   net.dropped_bytes, net.misrouted_frames.
+  Metrics* metrics{nullptr};
+  /// Optional ClusterEvent-style observer (same type as runtime::Cluster's
+  /// hook, so trace::ClusterRecorder works against either backend). Invoked
+  /// from the event-loop thread only.
+  runtime::ClusterObserver observer;
+};
+
+class Transport {
+ public:
+  /// The transport owns its actor; `options.metrics`, if set, is borrowed.
+  Transport(TransportOptions options, std::unique_ptr<Actor> actor);
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Bind and listen on `listen` (normally the self entry of the address
+  /// table; port 0 picks an ephemeral port). Returns the bound port. Must
+  /// be called once, before start(). Throws std::runtime_error on failure.
+  std::uint16_t bind(const Address& listen);
+
+  /// Install the full address table (index = ProcessId; size() must be
+  /// >= world_size and > self), start the event-loop thread, and run the
+  /// actor's on_start on it. Replica peers are dialed eagerly; client
+  /// entries are dialed on first send.
+  void start(std::vector<Address> peers);
+
+  /// Stops the loop and joins the thread (idempotent). After stop() the
+  /// process is silent — to its peers, indistinguishable from a crash.
+  void stop();
+
+  /// Run `fn` on the event-loop thread — the only sanctioned way to invoke
+  /// the hosted actor from outside.
+  void post(std::function<void()> fn);
+
+  [[nodiscard]] Actor& hosted_actor() noexcept { return *actor_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return listen_port_; }
+  [[nodiscard]] ProcessId self() const noexcept { return options_.self; }
+
+  /// Nanoseconds since construction (the Context::now clock).
+  [[nodiscard]] TimePoint now() const;
+
+ private:
+  friend class NetContext;
+
+  enum class PeerState : std::uint8_t { kIdle, kConnecting, kBackoff, kConnected };
+
+  /// Outgoing half-channel to one peer.
+  struct Peer {
+    PeerState state{PeerState::kIdle};
+    int fd{-1};
+    /// Pending frame bytes; [sent, size) is the unwritten suffix.
+    std::vector<std::byte> send_buffer;
+    std::size_t sent{0};
+    Duration backoff{};
+    TimePoint next_attempt{};  ///< meaningful in kBackoff
+    bool ever_connected{false};
+  };
+
+  /// Inbound connection (receive-only).
+  struct Inbound {
+    int fd{-1};
+    std::unique_ptr<FrameDecoder> decoder;
+  };
+
+  struct TimerEntry {
+    TimePoint due{};
+    TimerId id{0};
+    friend bool operator>(const TimerEntry& a, const TimerEntry& b) noexcept {
+      if (a.due != b.due) return a.due > b.due;
+      return a.id > b.id;
+    }
+  };
+
+  // Context surface (called from the loop thread only).
+  void send(ProcessId to, PayloadPtr payload);
+  void broadcast(PayloadPtr payload);
+  TimerId set_timer(Duration delay, TimerCallback cb);
+  void cancel_timer(TimerId id);
+
+  void loop();
+  void begin_connect(ProcessId peer);
+  void peer_failed(ProcessId peer, bool was_connected);
+  void flush_peer(ProcessId peer);
+  void accept_ready();
+  void inbound_ready(Inbound& conn);
+  void deliver(const Frame& frame);
+  void drain_posted();
+  void drain_self_queue();
+  void fire_due_timers();
+  [[nodiscard]] int poll_timeout_ms() const;
+  void count(std::string_view name, std::uint64_t delta = 1);
+  void observe(runtime::ClusterEvent::Kind kind, ProcessId from, ProcessId to,
+               const PayloadPtr& payload = nullptr, TimerId timer = 0);
+  void close_all_fds();
+
+  TransportOptions options_;
+  std::unique_ptr<Actor> actor_;
+  std::unique_ptr<class NetContext> context_;
+  std::vector<Address> table_;
+  std::vector<Peer> peers_;
+  std::vector<Inbound> inbound_;
+  int listen_fd_{-1};
+  std::uint16_t listen_port_{0};
+  int wake_read_fd_{-1};
+  int wake_write_fd_{-1};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool started_{false};
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  // Cross-thread post queue (the only state touched off the loop thread).
+  std::mutex post_mutex_;
+  std::deque<std::function<void()>> posted_;
+
+  // Loop-thread state.
+  std::deque<PayloadPtr> self_queue_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>> timer_heap_;
+  std::unordered_map<TimerId, TimerCallback> live_timers_;
+  TimerId next_timer_{1};
+};
+
+}  // namespace abdkit::net

@@ -1,0 +1,83 @@
+#include "abdkit/net/frame.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "abdkit/wire/codec.hpp"
+
+namespace abdkit::net {
+
+namespace {
+
+std::uint32_t read_u32le(const std::byte* p) noexcept {
+  return static_cast<std::uint32_t>(std::to_integer<std::uint32_t>(p[0]) |
+                                    (std::to_integer<std::uint32_t>(p[1]) << 8) |
+                                    (std::to_integer<std::uint32_t>(p[2]) << 16) |
+                                    (std::to_integer<std::uint32_t>(p[3]) << 24));
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(ProcessId src, ProcessId dst, const Payload& payload) {
+  const std::vector<std::byte> body = wire::encode(payload);
+  wire::Writer w;
+  w.u32(static_cast<std::uint32_t>(kFrameAddressBytes + body.size()));
+  w.u32(src);
+  w.u32(dst);
+  std::vector<std::byte> frame = w.take();
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+void FrameDecoder::fail(std::string reason) {
+  failed_ = true;
+  error_ = std::move(reason);
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+void FrameDecoder::feed(std::span<const std::byte> bytes) {
+  if (failed_) return;
+  // Reclaim the parsed prefix before growing — keeps the buffer bounded by
+  // one frame plus one feed's worth of bytes.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (failed_) return Status::kError;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return Status::kNeedMore;
+  const std::byte* head = buffer_.data() + consumed_;
+  const std::uint32_t length = read_u32le(head);
+  // Validate the length field before waiting for (or allocating) the body:
+  // an oversized or impossibly small prefix poisons the stream immediately.
+  if (length > max_frame_length_) {
+    fail("frame length " + std::to_string(length) + " exceeds cap");
+    return Status::kError;
+  }
+  if (length < kFrameAddressBytes + 4) {  // addresses + smallest envelope tag
+    fail("frame length " + std::to_string(length) + " below minimum");
+    return Status::kError;
+  }
+  if (available < 4 + static_cast<std::size_t>(length)) return Status::kNeedMore;
+  const std::byte* addresses = head + 4;
+  const std::byte* payload = addresses + kFrameAddressBytes;
+  const std::size_t payload_len = length - kFrameAddressBytes;
+  PayloadPtr decoded = wire::decode(std::span{payload, payload_len});
+  if (decoded == nullptr) {
+    fail("undecodable payload in frame");
+    return Status::kError;
+  }
+  out.src = read_u32le(addresses);
+  out.dst = read_u32le(addresses + 4);
+  out.payload = std::move(decoded);
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  return Status::kFrame;
+}
+
+}  // namespace abdkit::net

@@ -1,0 +1,39 @@
+#include "abdkit/net/sync_node.hpp"
+
+#include <future>
+#include <memory>
+
+namespace abdkit::net {
+
+namespace {
+
+std::optional<abd::OpResult> await(std::future<abd::OpResult>& future, Duration timeout) {
+  if (future.wait_for(timeout) != std::future_status::ready) return std::nullopt;
+  return future.get();
+}
+
+}  // namespace
+
+std::optional<abd::OpResult> SyncNode::read(abd::ObjectId object, Duration timeout) {
+  // shared_ptr: the callback may outlive this frame if the op completes
+  // after the timeout expired.
+  auto promise = std::make_shared<std::promise<abd::OpResult>>();
+  std::future<abd::OpResult> future = promise->get_future();
+  transport_->post([node = node_, object, promise] {
+    node->read(object, [promise](const abd::OpResult& r) { promise->set_value(r); });
+  });
+  return await(future, timeout);
+}
+
+std::optional<abd::OpResult> SyncNode::write(abd::ObjectId object, Value value,
+                                             Duration timeout) {
+  auto promise = std::make_shared<std::promise<abd::OpResult>>();
+  std::future<abd::OpResult> future = promise->get_future();
+  transport_->post([node = node_, object, value, promise] {
+    node->write(object, value,
+                [promise](const abd::OpResult& r) { promise->set_value(r); });
+  });
+  return await(future, timeout);
+}
+
+}  // namespace abdkit::net

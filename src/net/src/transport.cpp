@@ -1,0 +1,622 @@
+#include "abdkit/net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "abdkit/common/log.hpp"
+#include "abdkit/net/frame.hpp"
+
+namespace abdkit::net {
+
+namespace {
+
+using runtime::ClusterEvent;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort: latency tuning, not correctness.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+bool fill_sockaddr(const Address& address, sockaddr_in& out) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(address.port);
+  return ::inet_pton(AF_INET, address.host.c_str(), &out.sin_addr) == 1;
+}
+
+}  // namespace
+
+// ---- Address parsing --------------------------------------------------------------
+
+bool parse_address(const std::string& text, Address& out) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) return false;
+  const std::string host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  unsigned long port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) return false;
+  }
+  sockaddr_in probe{};
+  if (::inet_pton(AF_INET, host.c_str(), &probe.sin_addr) != 1) return false;
+  out.host = host;
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+bool parse_address_list(const std::string& text, std::vector<Address>& out) {
+  out.clear();
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    Address address;
+    if (!parse_address(text.substr(begin, end - begin), address)) return false;
+    out.push_back(std::move(address));
+    begin = end + 1;
+    if (end == text.size()) break;
+  }
+  return !out.empty();
+}
+
+// ---- Context adapter --------------------------------------------------------------
+
+/// The Context handed to the hosted actor; every call forwards to the
+/// transport and runs on the event-loop thread.
+class NetContext final : public Context {
+ public:
+  explicit NetContext(Transport& transport) noexcept : transport_{&transport} {}
+
+  [[nodiscard]] ProcessId self() const noexcept override {
+    return transport_->options_.self;
+  }
+  [[nodiscard]] std::size_t world_size() const noexcept override {
+    return transport_->options_.world_size;
+  }
+  void send(ProcessId to, PayloadPtr payload) override {
+    transport_->send(to, std::move(payload));
+  }
+  void broadcast(PayloadPtr payload) override {
+    transport_->broadcast(std::move(payload));
+  }
+  TimerId set_timer(Duration delay, TimerCallback cb) override {
+    return transport_->set_timer(delay, std::move(cb));
+  }
+  void cancel_timer(TimerId id) override { transport_->cancel_timer(id); }
+  [[nodiscard]] TimePoint now() const noexcept override { return transport_->now(); }
+
+ private:
+  Transport* transport_;
+};
+
+// ---- Lifecycle --------------------------------------------------------------------
+
+Transport::Transport(TransportOptions options, std::unique_ptr<Actor> actor)
+    : options_{std::move(options)},
+      actor_{std::move(actor)},
+      context_{std::make_unique<NetContext>(*this)},
+      epoch_{std::chrono::steady_clock::now()} {
+  if (actor_ == nullptr) throw std::invalid_argument{"Transport: null actor"};
+  if (options_.world_size == 0) throw std::invalid_argument{"Transport: world_size 0"};
+}
+
+Transport::~Transport() { stop(); }
+
+std::uint16_t Transport::bind(const Address& listen) {
+  if (listen_fd_ >= 0) throw std::logic_error{"Transport: bind called twice"};
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  if (!fill_sockaddr(listen, addr)) {
+    ::close(fd);
+    throw std::invalid_argument{"Transport: bad listen address " + listen.host};
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    throw_errno("bind " + listen.host + ":" + std::to_string(listen.port));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+  listen_port_ = ntohs(bound.sin_port);
+  return listen_port_;
+}
+
+void Transport::start(std::vector<Address> peers) {
+  if (started_) throw std::logic_error{"Transport: start called twice"};
+  if (listen_fd_ < 0) throw std::logic_error{"Transport: start before bind"};
+  if (peers.size() < options_.world_size || options_.self >= peers.size()) {
+    throw std::invalid_argument{"Transport: address table too small"};
+  }
+  table_ = std::move(peers);
+  peers_.resize(table_.size());
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) < 0) throw_errno("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Transport::stop() {
+  if (!started_) return;
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    const char byte = 'q';
+    (void)!::write(wake_write_fd_, &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  close_all_fds();
+}
+
+void Transport::close_all_fds() {
+  for (Peer& peer : peers_) {
+    if (peer.fd >= 0) ::close(peer.fd);
+    peer.fd = -1;
+    peer.state = PeerState::kIdle;
+  }
+  for (Inbound& conn : inbound_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  inbound_.clear();
+  for (int* fd : {&listen_fd_, &wake_read_fd_, &wake_write_fd_}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+void Transport::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock{post_mutex_};
+    posted_.push_back(std::move(fn));
+  }
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'p';
+    // A full pipe means a wakeup is already pending; dropping the byte is fine.
+    (void)!::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+TimePoint Transport::now() const {
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - epoch_);
+}
+
+// ---- Metrics / tracing ------------------------------------------------------------
+
+void Transport::count(std::string_view name, std::uint64_t delta) {
+  if (options_.metrics != nullptr) options_.metrics->add(name, delta);
+}
+
+void Transport::observe(ClusterEvent::Kind kind, ProcessId from, ProcessId to,
+                        const PayloadPtr& payload, TimerId timer) {
+  if (!options_.observer) return;
+  ClusterEvent event;
+  event.kind = kind;
+  event.at = now();
+  event.from = from;
+  event.to = to;
+  event.payload = payload;
+  event.timer = timer;
+  options_.observer(event);
+}
+
+// ---- Context surface (event-loop thread) ------------------------------------------
+
+void Transport::send(ProcessId to, PayloadPtr payload) {
+  if (to >= table_.size()) {
+    count("net.sends_dropped");
+    observe(ClusterEvent::Kind::kDrop, options_.self, to, payload);
+    return;
+  }
+  observe(ClusterEvent::Kind::kSend, options_.self, to, payload);
+  if (to == options_.self) {
+    self_queue_.push_back(std::move(payload));
+    return;
+  }
+  const std::vector<std::byte> frame = encode_frame(options_.self, to, *payload);
+  Peer& peer = peers_[to];
+  if (peer.send_buffer.size() - peer.sent + frame.size() > options_.max_send_buffer) {
+    count("net.sends_dropped");
+    observe(ClusterEvent::Kind::kDrop, options_.self, to, payload);
+    return;
+  }
+  peer.send_buffer.insert(peer.send_buffer.end(), frame.begin(), frame.end());
+  count("net.frames_out");
+  switch (peer.state) {
+    case PeerState::kIdle:
+      begin_connect(to);
+      break;
+    case PeerState::kConnected:
+      flush_peer(to);
+      break;
+    case PeerState::kConnecting:
+    case PeerState::kBackoff:
+      break;  // buffered; flushed on connect, dropped if the dial fails
+  }
+}
+
+void Transport::broadcast(PayloadPtr payload) {
+  for (ProcessId p = 0; p < options_.world_size; ++p) send(p, payload);
+}
+
+TimerId Transport::set_timer(Duration delay, TimerCallback cb) {
+  const TimerId id = next_timer_++;
+  live_timers_.emplace(id, std::move(cb));
+  timer_heap_.push(TimerEntry{now() + delay, id});
+  observe(ClusterEvent::Kind::kTimerSet, options_.self, options_.self, nullptr, id);
+  return id;
+}
+
+void Transport::cancel_timer(TimerId id) {
+  // The heap entry becomes a tombstone skipped at its deadline; the LIVE
+  // map shrinks immediately, so bookkeeping stays bounded by armed timers.
+  if (live_timers_.erase(id) > 0) {
+    observe(ClusterEvent::Kind::kTimerCancel, options_.self, options_.self, nullptr, id);
+  }
+}
+
+void Transport::fire_due_timers() {
+  const TimePoint current = now();
+  while (!timer_heap_.empty() && timer_heap_.top().due <= current) {
+    const TimerId id = timer_heap_.top().id;
+    timer_heap_.pop();
+    const auto it = live_timers_.find(id);
+    if (it == live_timers_.end()) continue;  // cancelled
+    TimerCallback cb = std::move(it->second);
+    live_timers_.erase(it);
+    observe(ClusterEvent::Kind::kTimerFire, options_.self, options_.self, nullptr, id);
+    cb();
+  }
+}
+
+// ---- Connection management --------------------------------------------------------
+
+void Transport::begin_connect(ProcessId peer_id) {
+  Peer& peer = peers_[peer_id];
+  count("net.connect_attempts");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    peer_failed(peer_id, false);
+    return;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  if (!fill_sockaddr(table_[peer_id], addr)) {
+    ::close(fd);
+    peer_failed(peer_id, false);
+    return;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc == 0) {
+    peer.fd = fd;
+    peer.state = PeerState::kConnected;
+    count(peer.ever_connected ? "net.reconnects" : "net.connects");
+    peer.ever_connected = true;
+    peer.backoff = Duration::zero();
+    flush_peer(peer_id);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    peer.fd = fd;
+    peer.state = PeerState::kConnecting;
+    return;
+  }
+  ::close(fd);
+  peer_failed(peer_id, false);
+}
+
+void Transport::peer_failed(ProcessId peer_id, bool was_connected) {
+  Peer& peer = peers_[peer_id];
+  if (peer.fd >= 0) ::close(peer.fd);
+  peer.fd = -1;
+  if (was_connected) count("net.disconnects");
+  // Whatever was queued counts as in-flight loss — the crash-fault model.
+  if (peer.send_buffer.size() > peer.sent) {
+    count("net.dropped_bytes", peer.send_buffer.size() - peer.sent);
+  }
+  peer.send_buffer.clear();
+  peer.sent = 0;
+  if (peer_id < options_.world_size) {
+    // Replica mesh: keep redialing with exponential backoff forever, so a
+    // restarted replica is readopted without coordination.
+    peer.backoff = peer.backoff <= Duration::zero()
+                       ? options_.reconnect_min
+                       : std::min(peer.backoff * 2, options_.reconnect_max);
+    peer.next_attempt = now() + peer.backoff;
+    peer.state = PeerState::kBackoff;
+  } else {
+    // Client-only peers are dialed on demand; a vanished client costs nothing.
+    peer.state = PeerState::kIdle;
+  }
+}
+
+void Transport::flush_peer(ProcessId peer_id) {
+  Peer& peer = peers_[peer_id];
+  while (peer.sent < peer.send_buffer.size()) {
+    const std::size_t remaining = peer.send_buffer.size() - peer.sent;
+    const ssize_t n = ::write(peer.fd, peer.send_buffer.data() + peer.sent, remaining);
+    if (n > 0) {
+      peer.sent += static_cast<std::size_t>(n);
+      count("net.bytes_out", static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    peer_failed(peer_id, true);
+    return;
+  }
+  peer.send_buffer.clear();
+  peer.sent = 0;
+}
+
+void Transport::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (ECONNABORTED...) are not fatal
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    Inbound conn;
+    conn.fd = fd;
+    conn.decoder = std::make_unique<FrameDecoder>(options_.max_frame_length);
+    inbound_.push_back(std::move(conn));
+    count("net.accepts");
+  }
+}
+
+void Transport::inbound_ready(Inbound& conn) {
+  std::byte chunk[16384];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+    if (n > 0) {
+      count("net.bytes_in", static_cast<std::uint64_t>(n));
+      conn.decoder->feed(std::span{chunk, static_cast<std::size_t>(n)});
+      Frame frame;
+      for (;;) {
+        const FrameDecoder::Status status = conn.decoder->next(frame);
+        if (status == FrameDecoder::Status::kFrame) {
+          deliver(frame);
+          continue;
+        }
+        if (status == FrameDecoder::Status::kError) {
+          ABDKIT_LOG(LogLevel::kWarn, "net", "p", options_.self,
+                     ": closing corrupt inbound stream: ", conn.decoder->error());
+          count("net.frame_decode_errors");
+          ::close(conn.fd);
+          conn.fd = -1;
+          return;
+        }
+        break;  // kNeedMore
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    ::close(conn.fd);  // EOF or hard error: the peer is gone
+    conn.fd = -1;
+    return;
+  }
+}
+
+void Transport::deliver(const Frame& frame) {
+  if (frame.dst != options_.self || frame.src >= table_.size()) {
+    count("net.misrouted_frames");
+    return;
+  }
+  count("net.frames_in");
+  observe(ClusterEvent::Kind::kDeliver, frame.src, options_.self, frame.payload);
+  actor_->on_message(*context_, frame.src, *frame.payload);
+}
+
+// ---- Event loop -------------------------------------------------------------------
+
+void Transport::drain_posted() {
+  std::deque<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock{post_mutex_};
+    batch.swap(posted_);
+  }
+  for (std::function<void()>& fn : batch) {
+    observe(ClusterEvent::Kind::kPost, options_.self, options_.self);
+    fn();
+  }
+}
+
+void Transport::drain_self_queue() {
+  while (!self_queue_.empty()) {
+    const PayloadPtr payload = std::move(self_queue_.front());
+    self_queue_.pop_front();
+    observe(ClusterEvent::Kind::kDeliver, options_.self, options_.self, payload);
+    actor_->on_message(*context_, options_.self, *payload);
+  }
+}
+
+int Transport::poll_timeout_ms() const {
+  if (!self_queue_.empty()) return 0;
+  Duration wait = std::chrono::milliseconds{500};  // robustness backstop
+  const TimePoint current = now();
+  if (!timer_heap_.empty()) {
+    wait = std::min(wait, timer_heap_.top().due - current);
+  }
+  for (const Peer& peer : peers_) {
+    if (peer.state == PeerState::kBackoff) {
+      wait = std::min(wait, peer.next_attempt - current);
+    }
+  }
+  if (wait <= Duration::zero()) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(wait).count();
+  return static_cast<int>(ms) + 1;  // round up so deadlines have passed on wake
+}
+
+void Transport::loop() {
+  // Eagerly join the replica mesh; client entries are dialed on demand.
+  for (ProcessId p = 0; p < options_.world_size; ++p) {
+    if (p != options_.self) begin_connect(p);
+  }
+  actor_->on_start(*context_);
+
+  std::vector<pollfd> fds;
+  // Parallel to `fds`: what each entry refers to. Peer and inbound entries
+  // store the index into the respective vector.
+  enum class Slot : std::uint8_t { kWake, kListen, kPeer, kInbound };
+  struct SlotRef {
+    Slot slot;
+    std::size_t index;
+  };
+  std::vector<SlotRef> refs;
+
+  while (running_.load(std::memory_order_acquire)) {
+    drain_posted();
+    drain_self_queue();
+    fire_due_timers();
+
+    // Backoff dials that came due.
+    const TimePoint current = now();
+    for (ProcessId p = 0; p < peers_.size(); ++p) {
+      if (peers_[p].state == PeerState::kBackoff && peers_[p].next_attempt <= current) {
+        begin_connect(p);
+      }
+    }
+
+    fds.clear();
+    refs.clear();
+    fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+    refs.push_back(SlotRef{Slot::kWake, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    refs.push_back(SlotRef{Slot::kListen, 0});
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      const Peer& peer = peers_[i];
+      if (peer.fd < 0) continue;
+      short events = POLLIN;  // established: detect EOF/reset from the peer
+      if (peer.state == PeerState::kConnecting || peer.sent < peer.send_buffer.size()) {
+        events = static_cast<short>(events | POLLOUT);
+      }
+      fds.push_back(pollfd{peer.fd, events, 0});
+      refs.push_back(SlotRef{Slot::kPeer, i});
+    }
+    for (std::size_t i = 0; i < inbound_.size(); ++i) {
+      if (inbound_[i].fd < 0) continue;
+      fds.push_back(pollfd{inbound_[i].fd, POLLIN, 0});
+      refs.push_back(SlotRef{Slot::kInbound, i});
+    }
+
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_timeout_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ABDKIT_LOG(LogLevel::kWarn, "net", "p", options_.self,
+                 ": poll failed: ", std::strerror(errno));
+      break;
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const short revents = fds[i].revents;
+      if (revents == 0) continue;
+      switch (refs[i].slot) {
+        case Slot::kWake: {
+          std::byte sink[256];
+          while (::read(wake_read_fd_, sink, sizeof sink) > 0) {
+          }
+          break;
+        }
+        case Slot::kListen:
+          accept_ready();
+          break;
+        case Slot::kPeer: {
+          const ProcessId p = static_cast<ProcessId>(refs[i].index);
+          Peer& peer = peers_[p];
+          if (peer.fd != fds[i].fd) break;  // replaced during this sweep
+          if (peer.state == PeerState::kConnecting) {
+            if ((revents & (POLLERR | POLLHUP)) != 0) {
+              peer_failed(p, false);
+              break;
+            }
+            if ((revents & POLLOUT) != 0) {
+              int err = 0;
+              socklen_t len = sizeof err;
+              if (::getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+                  err != 0) {
+                peer_failed(p, false);
+                break;
+              }
+              peer.state = PeerState::kConnected;
+              count(peer.ever_connected ? "net.reconnects" : "net.connects");
+              peer.ever_connected = true;
+              peer.backoff = Duration::zero();
+              flush_peer(p);
+            }
+            break;
+          }
+          if ((revents & POLLIN) != 0) {
+            // We never expect data on the dialer side; reading here exists
+            // to observe EOF/reset promptly.
+            std::byte sink[1024];
+            const ssize_t n = ::read(peer.fd, sink, sizeof sink);
+            if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                           errno != EINTR)) {
+              peer_failed(p, true);
+              break;
+            }
+          }
+          if ((revents & (POLLERR | POLLHUP)) != 0) {
+            peer_failed(p, true);
+            break;
+          }
+          if ((revents & POLLOUT) != 0) flush_peer(p);
+          break;
+        }
+        case Slot::kInbound: {
+          Inbound& conn = inbound_[refs[i].index];
+          if (conn.fd != fds[i].fd || conn.fd < 0) break;
+          inbound_ready(conn);
+          break;
+        }
+      }
+    }
+
+    // Compact closed inbound connections.
+    std::erase_if(inbound_, [](const Inbound& conn) { return conn.fd < 0; });
+  }
+}
+
+}  // namespace abdkit::net

@@ -25,6 +25,11 @@ class ClusterRecorder {
   /// Installs this recorder as the cluster's observer (replacing any).
   void attach(runtime::Cluster& cluster);
 
+  /// A backend-agnostic observer functor that appends into this recorder —
+  /// for runtimes that accept a ClusterObserver directly (net::Transport).
+  /// The recorder must outlive every copy of the returned functor.
+  [[nodiscard]] runtime::ClusterObserver observer();
+
   /// Snapshot of the records collected so far.
   [[nodiscard]] std::vector<Record> records() const;
   [[nodiscard]] std::size_t size() const;

@@ -17,7 +17,11 @@ const char* kind_name(runtime::ClusterEvent::Kind kind) noexcept {
 }
 
 void ClusterRecorder::attach(runtime::Cluster& cluster) {
-  cluster.set_observer([this](const runtime::ClusterEvent& event) {
+  cluster.set_observer(observer());
+}
+
+runtime::ClusterObserver ClusterRecorder::observer() {
+  return [this](const runtime::ClusterEvent& event) {
     Record record;
     record.kind = kind_name(event.kind);
     record.at_ns = event.at.count();
@@ -29,7 +33,7 @@ void ClusterRecorder::attach(runtime::Cluster& cluster) {
     }
     const std::scoped_lock lock{mutex_};
     records_.push_back(std::move(record));
-  });
+  };
 }
 
 std::vector<Record> ClusterRecorder::records() const {

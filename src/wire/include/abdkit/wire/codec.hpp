@@ -16,10 +16,15 @@
 // or garbage buffer yields nullptr, never undefined behaviour — fuzz-style
 // tests feed every prefix of valid encodings and random bytes through it.
 //
-// Covered families: the core ABD messages (0x01xx) and the bounded-label
-// messages (0x03xx). (The reconfiguration protocol's messages would follow
-// the same pattern; they are not wired up because only the simulator runs
-// them today.)
+// Covered families: the core ABD messages (0x01xx), the bounded-label
+// messages (0x03xx), and the reconfiguration protocol (0x07xx) — every
+// protocol family the repo implements can cross a socket, so the net
+// transport is not limited to the core register.
+//
+// Additional composites:
+//   config     := varint epoch | varint member_n | member_n x u32
+//   id-list    := varint count | count x varint
+//   bool       := u8 (strictly 0 or 1; anything else is a decode error)
 #pragma once
 
 #include <cstddef>

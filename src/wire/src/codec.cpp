@@ -5,6 +5,7 @@
 
 #include "abdkit/abd/bounded_messages.hpp"
 #include "abdkit/abd/messages.hpp"
+#include "abdkit/reconfig/messages.hpp"
 
 namespace abdkit::wire {
 
@@ -14,6 +15,12 @@ namespace {
 /// a million words is certainly garbage, and the cap stops a hostile length
 /// prefix from triggering a huge allocation.
 constexpr std::uint64_t kMaxAuxWords = 1 << 20;
+
+/// Same role for reconfiguration payloads: member sets are bounded by the
+/// process universe (ProcessId is 32-bit but real systems are tiny), and
+/// object lists by the register space.
+constexpr std::uint64_t kMaxConfigMembers = 1 << 16;
+constexpr std::uint64_t kMaxObjectList = 1 << 20;
 
 }  // namespace
 
@@ -174,6 +181,38 @@ using abd::tags::kTagReply;
 using abd::tags::kUpdate;
 using abd::tags::kUpdateAck;
 
+namespace rc = reconfig::tags;
+
+void write_config(Writer& w, const reconfig::Config& config) {
+  w.varint(config.epoch);
+  w.varint(config.members.size());
+  for (const ProcessId member : config.members) w.u32(member);
+}
+
+[[nodiscard]] bool read_config(Reader& r, reconfig::Config& out) {
+  std::uint64_t epoch = 0;
+  std::uint64_t member_n = 0;
+  if (!r.varint(epoch) || !r.varint(member_n)) return false;
+  if (member_n > kMaxConfigMembers) return false;
+  out.epoch = epoch;
+  out.members.clear();
+  out.members.reserve(static_cast<std::size_t>(member_n));
+  for (std::uint64_t i = 0; i < member_n; ++i) {
+    std::uint32_t member = 0;
+    if (!r.u32(member)) return false;
+    out.members.push_back(member);
+  }
+  return true;
+}
+
+[[nodiscard]] bool read_bool(Reader& r, bool& out) {
+  std::uint8_t raw = 0;
+  if (!r.u8(raw)) return false;
+  if (raw > 1) return false;  // non-canonical booleans are malformed
+  out = raw == 1;
+  return true;
+}
+
 void encode_body(Writer& w, const Payload& payload) {
   switch (payload.tag()) {
     case kReadQuery: {
@@ -245,6 +284,88 @@ void encode_body(Writer& w, const Payload& payload) {
       w.varint(m.object);
       return;
     }
+    case rc::kQuery: {
+      const auto& m = static_cast<const reconfig::Query&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.varint(m.epoch);
+      return;
+    }
+    case rc::kQueryReply: {
+      const auto& m = static_cast<const reconfig::QueryReply&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.tag(m.value_tag);
+      w.value(m.value);
+      return;
+    }
+    case rc::kUpdate: {
+      const auto& m = static_cast<const reconfig::Update&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.tag(m.value_tag);
+      w.value(m.value);
+      w.varint(m.epoch);
+      return;
+    }
+    case rc::kUpdateAck: {
+      const auto& m = static_cast<const reconfig::UpdateAck&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      return;
+    }
+    case rc::kNack: {
+      const auto& m = static_cast<const reconfig::Nack&>(payload);
+      w.varint(m.round);
+      write_config(w, m.config);
+      w.u8(m.in_transition ? 1 : 0);
+      return;
+    }
+    case rc::kPrepare: {
+      const auto& m = static_cast<const reconfig::Prepare&>(payload);
+      write_config(w, m.config);
+      return;
+    }
+    case rc::kPrepareAck: {
+      const auto& m = static_cast<const reconfig::PrepareAck&>(payload);
+      w.varint(m.new_epoch);
+      w.varint(m.objects.size());
+      for (const abd::ObjectId object : m.objects) w.varint(object);
+      return;
+    }
+    case rc::kTransferRead: {
+      const auto& m = static_cast<const reconfig::TransferRead&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      return;
+    }
+    case rc::kTransferReply: {
+      const auto& m = static_cast<const reconfig::TransferReply&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.tag(m.value_tag);
+      w.value(m.value);
+      return;
+    }
+    case rc::kTransferWrite: {
+      const auto& m = static_cast<const reconfig::TransferWrite&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      w.tag(m.value_tag);
+      w.value(m.value);
+      return;
+    }
+    case rc::kTransferAck: {
+      const auto& m = static_cast<const reconfig::TransferAck&>(payload);
+      w.varint(m.round);
+      w.varint(m.object);
+      return;
+    }
+    case rc::kCommit: {
+      const auto& m = static_cast<const reconfig::Commit&>(payload);
+      write_config(w, m.config);
+      return;
+    }
     default:
       throw std::invalid_argument{"wire::encode: unsupported payload tag"};
   }
@@ -306,6 +427,89 @@ PayloadPtr decode_body(PayloadTag tag, Reader& r) {
     case kBUpdateAck:
       if (!r.varint(round) || !r.varint(object)) return nullptr;
       return make_payload<abd::BUpdateAck>(round, object);
+    case rc::kQuery: {
+      std::uint64_t epoch = 0;
+      if (!r.varint(round) || !r.varint(object) || !r.varint(epoch)) return nullptr;
+      return make_payload<reconfig::Query>(round, object, epoch);
+    }
+    case rc::kQueryReply: {
+      abd::Tag value_tag;
+      Value value;
+      if (!r.varint(round) || !r.varint(object) || !r.tag(value_tag) || !r.value(value)) {
+        return nullptr;
+      }
+      return make_payload<reconfig::QueryReply>(round, object, value_tag, std::move(value));
+    }
+    case rc::kUpdate: {
+      abd::Tag value_tag;
+      Value value;
+      std::uint64_t epoch = 0;
+      if (!r.varint(round) || !r.varint(object) || !r.tag(value_tag) || !r.value(value) ||
+          !r.varint(epoch)) {
+        return nullptr;
+      }
+      return make_payload<reconfig::Update>(round, object, value_tag, std::move(value),
+                                            epoch);
+    }
+    case rc::kUpdateAck:
+      if (!r.varint(round) || !r.varint(object)) return nullptr;
+      return make_payload<reconfig::UpdateAck>(round, object);
+    case rc::kNack: {
+      reconfig::Config config;
+      bool in_transition = false;
+      if (!r.varint(round) || !read_config(r, config) || !read_bool(r, in_transition)) {
+        return nullptr;
+      }
+      return make_payload<reconfig::Nack>(round, std::move(config), in_transition);
+    }
+    case rc::kPrepare: {
+      reconfig::Config config;
+      if (!read_config(r, config)) return nullptr;
+      return make_payload<reconfig::Prepare>(std::move(config));
+    }
+    case rc::kPrepareAck: {
+      std::uint64_t epoch = 0;
+      std::uint64_t object_n = 0;
+      if (!r.varint(epoch) || !r.varint(object_n)) return nullptr;
+      if (object_n > kMaxObjectList) return nullptr;
+      std::vector<abd::ObjectId> objects;
+      objects.reserve(static_cast<std::size_t>(object_n));
+      for (std::uint64_t i = 0; i < object_n; ++i) {
+        std::uint64_t id = 0;
+        if (!r.varint(id)) return nullptr;
+        objects.push_back(id);
+      }
+      return make_payload<reconfig::PrepareAck>(epoch, std::move(objects));
+    }
+    case rc::kTransferRead:
+      if (!r.varint(round) || !r.varint(object)) return nullptr;
+      return make_payload<reconfig::TransferRead>(round, object);
+    case rc::kTransferReply: {
+      abd::Tag value_tag;
+      Value value;
+      if (!r.varint(round) || !r.varint(object) || !r.tag(value_tag) || !r.value(value)) {
+        return nullptr;
+      }
+      return make_payload<reconfig::TransferReply>(round, object, value_tag,
+                                                   std::move(value));
+    }
+    case rc::kTransferWrite: {
+      abd::Tag value_tag;
+      Value value;
+      if (!r.varint(round) || !r.varint(object) || !r.tag(value_tag) || !r.value(value)) {
+        return nullptr;
+      }
+      return make_payload<reconfig::TransferWrite>(round, object, value_tag,
+                                                   std::move(value));
+    }
+    case rc::kTransferAck:
+      if (!r.varint(round) || !r.varint(object)) return nullptr;
+      return make_payload<reconfig::TransferAck>(round, object);
+    case rc::kCommit: {
+      reconfig::Config config;
+      if (!read_config(r, config)) return nullptr;
+      return make_payload<reconfig::Commit>(std::move(config));
+    }
     default:
       return nullptr;
   }
@@ -325,6 +529,18 @@ bool codec_supports(PayloadTag tag) noexcept {
     case kBReadReply:
     case kBUpdate:
     case kBUpdateAck:
+    case rc::kQuery:
+    case rc::kQueryReply:
+    case rc::kUpdate:
+    case rc::kUpdateAck:
+    case rc::kNack:
+    case rc::kPrepare:
+    case rc::kPrepareAck:
+    case rc::kTransferRead:
+    case rc::kTransferReply:
+    case rc::kTransferWrite:
+    case rc::kTransferAck:
+    case rc::kCommit:
       return true;
     default:
       return false;

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Localhost multi-process quorum smoke test.
+#
+#   net_quorum_smoke.sh <abd_node-binary> <abd_net_cli-binary>
+#
+# Deploys three abd_node replicas as separate OS processes, drives a
+# checker-verified workload through abd_net_cli, then SIGKILLs one replica
+# (the paper's crash fault: f = 1 < n/2) and asserts a second workload —
+# with a different seed, against the warm surviving majority — still
+# completes and stays linearizable. Exercises the real binaries end to end:
+# argument parsing, TCP listen/dial, reconnect backoff, retransmission
+# liveness, and the embedded linearizability check.
+set -u
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <abd_node> <abd_net_cli>" >&2
+  exit 2
+fi
+NODE_BIN=$1
+CLI_BIN=$2
+
+# Ephemeral-ish port block; $$ spreads concurrent ctest invocations apart.
+PORT_BASE=$((20000 + $$ % 15000))
+PEERS="127.0.0.1:$PORT_BASE,127.0.0.1:$((PORT_BASE + 1)),127.0.0.1:$((PORT_BASE + 2)),127.0.0.1:$((PORT_BASE + 3))"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill -9 "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+echo "== starting 3 replicas on $PEERS"
+for id in 0 1 2; do
+  "$NODE_BIN" --id "$id" --replicas 3 --peers "$PEERS" &
+  PIDS+=($!)
+done
+
+# The replicas dial each other with backoff, so no careful startup ordering
+# is needed; give them a moment to bind their listen sockets.
+sleep 1
+for pid in "${PIDS[@]}"; do
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "FAIL: a replica exited during startup" >&2
+    exit 1
+  fi
+done
+
+echo "== full-strength workload (seed 1)"
+if ! "$CLI_BIN" --id 3 --replicas 3 --peers "$PEERS" --ops 20 --objects 2 \
+    --timeout-ms 10000 --seed 1; then
+  echo "FAIL: workload against the full replica set" >&2
+  exit 1
+fi
+
+echo "== SIGKILL replica 2 (crash fault, f=1)"
+kill -9 "${PIDS[2]}"
+wait "${PIDS[2]}" 2>/dev/null
+
+echo "== degraded workload (seed 2, majority of 2/3 alive)"
+if ! "$CLI_BIN" --id 3 --replicas 3 --peers "$PEERS" --ops 20 --objects 2 \
+    --timeout-ms 15000 --seed 2; then
+  echo "FAIL: workload after killing one replica" >&2
+  exit 1
+fi
+
+echo "== PASS: quorum served through a crash fault, histories linearizable"
+exit 0
