@@ -88,6 +88,14 @@ struct ClientOptions {
   /// set, the client records per-phase latency timers and op/traffic
   /// counters into it — see metrics.hpp for the key conventions.
   Metrics* metrics{nullptr};
+  /// TESTING ONLY. Re-injects the PR-1 masking-quorum bug: duplicate
+  /// replies from one replica are fed to the vouch counter again instead of
+  /// being dropped by the first-reply-per-round gate, so a repeated stale
+  /// (or forged) reply can cross the f+1 threshold. Exists so the model
+  /// checker (src/mck) can prove it rediscovers the historical bug as a
+  /// non-linearizable counterexample. Never set outside mck regression
+  /// scenarios; quorum membership accounting is unaffected either way.
+  bool testing_revert_duplicate_reply_gate{false};
 };
 
 class Client {
@@ -130,6 +138,14 @@ class Client {
 
   /// Human-readable dump of pending phases (diagnostics for stalled ops).
   [[nodiscard]] std::string debug_pending() const;
+
+  /// Deterministic digest of the client's protocol state: pending rounds
+  /// (kind, ack set, best/install tags, vote counts), per-object writer
+  /// sequence numbers, and operation counters. Order-insensitive over the
+  /// internal hash maps, so logically equal states hash equally no matter
+  /// how they were reached. This is the model checker's state-hash seam
+  /// (src/mck); it reads state only and never changes behavior.
+  [[nodiscard]] std::uint64_t state_digest() const;
 
  private:
   enum class OpKind { kRead, kWriteSwmr, kWriteMwmr };

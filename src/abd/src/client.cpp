@@ -218,6 +218,63 @@ std::string Client::debug_pending() const {
   return os.str();
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Client::state_digest() const {
+  std::uint64_t h = fnv1a(kFnvOffset, next_round_);
+  h = fnv1a(h, pending_ops_);
+  // rounds_ and swmr_seq_ are unordered maps: combine per-entry digests with
+  // + so the result is independent of iteration (= insertion) order, and two
+  // logically equal states reached along different schedules hash equally.
+  std::uint64_t rounds = 0;
+  for (const auto& [id, round] : rounds_) {
+    std::uint64_t rh = fnv1a(kFnvOffset, id);
+    rh = fnv1a(rh, static_cast<std::uint64_t>(round.kind));
+    std::uint64_t bits = 0;
+    for (std::size_t p = 0; p < round.acked.size(); ++p) {
+      if (round.acked[p]) bits |= 1ULL << (p % 64);
+    }
+    rh = fnv1a(rh, bits);
+    rh = fnv1a(rh, round.replies);
+    rh = fnv1a(rh, round.unanimous ? 1ULL : 0ULL);
+    rh = fnv1a(rh, round.best_tag.seq);
+    rh = fnv1a(rh, round.best_tag.writer);
+    rh = fnv1a(rh, static_cast<std::uint64_t>(round.best_value.data));
+    rh = fnv1a(rh, round.install_tag.seq);
+    rh = fnv1a(rh, round.install_tag.writer);
+    rh = fnv1a(rh, static_cast<std::uint64_t>(round.install_value.data));
+    std::uint64_t candidates = 0;
+    for (const Candidate& candidate : round.candidates) {
+      std::uint64_t ch = fnv1a(kFnvOffset, candidate.tag.seq);
+      ch = fnv1a(ch, candidate.tag.writer);
+      ch = fnv1a(ch, static_cast<std::uint64_t>(candidate.value.data));
+      ch = fnv1a(ch, candidate.votes);
+      candidates += ch;
+    }
+    rh = fnv1a(rh, candidates);
+    rounds += rh;
+  }
+  h = fnv1a(h, rounds);
+  std::uint64_t seqs = 0;
+  for (const auto& [object, seq] : swmr_seq_) {
+    seqs += fnv1a(fnv1a(kFnvOffset, object), seq);
+  }
+  return fnv1a(h, seqs);
+}
+
 const Client::Candidate* Client::vouch(Round& round, Tag tag, const Value& value) const {
   // Record the vote. One vote per distinct replica per round: callers
   // enforce the first-reply-per-round rule BEFORE calling vouch, so a
@@ -294,7 +351,10 @@ void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
     // contributes neither quorum progress nor a vote. Without this gate a
     // single faulty replica could vouch its own forged (tag, value) past
     // the f+1 threshold just by replying f+1 times.
-    if (from >= round.acked.size() || round.acked[from]) {
+    // (testing_revert_duplicate_reply_gate re-opens exactly this hole so
+    // the model checker can demonstrate the resulting violation.)
+    if (from >= round.acked.size() ||
+        (round.acked[from] && !options_.testing_revert_duplicate_reply_gate)) {
       if (metrics_ != nullptr) metrics_->add("client.duplicate_replies");
       return;
     }
@@ -348,7 +408,8 @@ void Client::on_tag_reply(ProcessId from, const TagReply& reply) {
     // the tag space (a liveness/width attack, not a safety one). Same
     // first-reply-per-round rule as value collection: duplicates from one
     // replica must not accumulate votes toward the f+1 threshold.
-    if (from >= round.acked.size() || round.acked[from]) {
+    if (from >= round.acked.size() ||
+        (round.acked[from] && !options_.testing_revert_duplicate_reply_gate)) {
       if (metrics_ != nullptr) metrics_->add("client.duplicate_replies");
       return;
     }

@@ -1,0 +1,60 @@
+// Memoized linearizability checking for callers that verify many similar
+// histories — above all the model checker (src/mck), whose DFS reaches
+// thousands of terminal states that differ only in when (not in what order)
+// operations ran.
+//
+// The cache key is an exact canonical string of the history with timestamps
+// rank-compressed: every invoked/responded time is replaced by its rank in
+// the sorted set of the history's timestamps. Rank compression is
+// order-preserving, and the Wing–Gong search depends on timestamps only
+// through their relative order, so two histories with equal keys provably
+// get the same verdict — lookups are sound, never a hash-collision gamble.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "abdkit/checker/history.hpp"
+#include "abdkit/checker/linearizability.hpp"
+
+namespace abdkit::checker {
+
+/// Verdict memo for check_linearizable_per_object_cached. Grows without
+/// bound; scope one per checking campaign (the model checker keeps one per
+/// explore() call).
+class CheckCache {
+ public:
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+  };
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return results_.size(); }
+
+  /// Canonical rank-compressed key of a history (exposed for tests).
+  [[nodiscard]] static std::string canonical_key(const History& history);
+
+ private:
+  friend LinearizabilityReport check_linearizable_per_object_cached(
+      const History& history, CheckCache& cache, const CheckerOptions& options);
+
+  struct Outcome {
+    bool linearizable{false};
+    std::string explanation;
+  };
+
+  std::unordered_map<std::string, Outcome> results_;
+  Stats stats_;
+};
+
+/// check_linearizable_per_object with verdict memoization. A cache hit
+/// returns the stored verdict and explanation with an empty witness and
+/// states_explored == 0; a miss runs the full checker and stores the
+/// verdict. The same cache must only be fed histories checked under the
+/// same options (the key does not encode them).
+[[nodiscard]] LinearizabilityReport check_linearizable_per_object_cached(
+    const History& history, CheckCache& cache, const CheckerOptions& options = {});
+
+}  // namespace abdkit::checker

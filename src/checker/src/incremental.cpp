@@ -1,0 +1,56 @@
+#include "abdkit/checker/incremental.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace abdkit::checker {
+
+std::string CheckCache::canonical_key(const History& history) {
+  // Rank-compress the timestamps: only their relative order matters to the
+  // checker, so histories that differ merely in absolute times share a key.
+  std::vector<std::int64_t> times;
+  times.reserve(history.size() * 2);
+  for (const OpRecord& op : history.ops()) {
+    times.push_back(op.invoked.count());
+    if (op.completed) times.push_back(op.responded.count());
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  const auto rank = [&times](TimePoint t) {
+    return std::lower_bound(times.begin(), times.end(), t.count()) - times.begin();
+  };
+
+  std::ostringstream os;
+  for (const OpRecord& op : history.ops()) {
+    os << op.process << (op.type == OpType::kWrite ? 'w' : 'r') << op.object << ':'
+       << op.value << '@' << rank(op.invoked);
+    if (op.completed) {
+      os << '-' << rank(op.responded);
+    } else {
+      os << "-p";  // pending: no response edge
+    }
+    os << ';';
+  }
+  return os.str();
+}
+
+LinearizabilityReport check_linearizable_per_object_cached(
+    const History& history, CheckCache& cache, const CheckerOptions& options) {
+  std::string key = CheckCache::canonical_key(history);
+  const auto it = cache.results_.find(key);
+  if (it != cache.results_.end()) {
+    ++cache.stats_.hits;
+    LinearizabilityReport report;
+    report.linearizable = it->second.linearizable;
+    report.explanation = it->second.explanation;
+    return report;
+  }
+  ++cache.stats_.misses;
+  LinearizabilityReport report = check_linearizable_per_object(history, options);
+  cache.results_.emplace(std::move(key),
+                         CheckCache::Outcome{report.linearizable, report.explanation});
+  return report;
+}
+
+}  // namespace abdkit::checker

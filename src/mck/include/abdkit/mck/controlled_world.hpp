@@ -1,0 +1,176 @@
+// A fully scheduler-controlled execution environment for unmodified actors.
+//
+// Where sim::World advances a virtual clock and delivers messages in
+// (randomized) timestamp order, ControlledWorld makes *every* source of
+// asynchrony an explicit choice handed to an external scheduler (the DFS
+// explorer, or a replayed schedule): which pending message to deliver next,
+// whether to deliver a duplicate, when a timer fires, when an external
+// operation starts, and where crashes land. Actors run against the same
+// `Context` interface they use in production — the protocol code under test
+// is byte-for-byte the code that ships.
+//
+// Determinism contract: the visible behavior of an execution is a pure
+// function of the sequence of executed Choices. All ids (message sequence
+// numbers, timer ids, stimulus ids) are assigned in execution order, so a
+// schedule recorded from one run replays identically (see schedule.hpp).
+//
+// Logical time: now() is the number of executed choices, in nanoseconds.
+// This gives every operation interval distinct, monotone endpoints whose
+// order equals the real execution order — exactly what the linearizability
+// checker needs — without any wall-clock dependence.
+//
+// Crash semantics match sim::World's adversary: a crashed process takes no
+// further steps, its armed timers die, and its in-flight messages (sent or
+// addressed to it) are dropped. Because the scheduler may place a crash at
+// any point, "a crashing process's last sends reach an arbitrary subset of
+// destinations" is realized by exploration rather than by randomness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "abdkit/common/message.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/common/types.hpp"
+#include "abdkit/mck/schedule.hpp"
+
+namespace abdkit::mck {
+
+/// Passed to the delivery hook just before an actor's on_message runs, and
+/// inspected by invariant monitors.
+struct DeliveryInfo {
+  ProcessId from{kNoProcess};
+  ProcessId to{kNoProcess};
+  const Payload* payload{nullptr};
+  bool duplicate{false};
+  /// Index of this choice in the execution (== now() in steps).
+  std::size_t step{0};
+};
+
+class ControlledWorld {
+ public:
+  explicit ControlledWorld(std::size_t num_processes);
+  ~ControlledWorld();
+
+  ControlledWorld(const ControlledWorld&) = delete;
+  ControlledWorld& operator=(const ControlledWorld&) = delete;
+
+  /// Install the actor for process `id`. Must happen before start().
+  void add_actor(ProcessId id, std::unique_ptr<Actor> actor);
+
+  /// Calls on_start for every installed actor (in id order). on_start sends
+  /// become pending messages like any others.
+  void start();
+
+  // ---- External stimuli ---------------------------------------------------
+
+  /// Register an external event (an operation invocation) runnable on
+  /// process `p`. Returns its stable stimulus id. Registered stimuli start
+  /// disabled; enable_stimulus makes them schedulable. Ids are assigned in
+  /// registration order, so registering everything up front (before start)
+  /// keeps them schedule-independent.
+  std::uint64_t add_stimulus(ProcessId p, std::function<void()> fn);
+  void enable_stimulus(std::uint64_t id);
+
+  // ---- Scheduling ---------------------------------------------------------
+
+  /// All currently schedulable choices, in a deterministic order: enabled
+  /// stimuli (by id), pending messages (by seq), armed timers (by id).
+  /// Crash and duplicate choices are *not* listed — they are budgeted
+  /// decisions composed by the explorer — but execute() accepts them.
+  [[nodiscard]] std::vector<Choice> enabled() const;
+
+  /// Execute one choice. Throws std::invalid_argument if the choice is not
+  /// currently executable (schedule divergence on replay).
+  void execute(const Choice& choice);
+
+  /// True when nothing is pending: no messages, no enabled stimuli, no
+  /// armed timers on live processes.
+  [[nodiscard]] bool quiescent() const;
+
+  // ---- Introspection ------------------------------------------------------
+
+  struct PendingMessage {
+    std::uint64_t seq{0};
+    ProcessId from{kNoProcess};
+    ProcessId to{kNoProcess};
+    PayloadPtr payload;
+  };
+
+  [[nodiscard]] const std::vector<PendingMessage>& pending_messages() const noexcept {
+    return pending_;
+  }
+  [[nodiscard]] std::vector<std::pair<TimerId, ProcessId>> pending_timers() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return contexts_.size(); }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] TimePoint now() const noexcept { return TimePoint{Duration{steps_}}; }
+  [[nodiscard]] bool crashed(ProcessId p) const { return crashed_.contains(p); }
+
+  /// Which process a choice acts on — the receiver for deliveries, the
+  /// owner for timers/stimuli, the victim for crashes. Drives the
+  /// explorer's independence relation. Throws if the choice is unknown.
+  [[nodiscard]] ProcessId target_of(const Choice& choice) const;
+
+  /// Order-insensitive digest of the transport-visible state: pending
+  /// message multiset, crashed set, stimulus status, armed timers. Combined
+  /// by the explorer with the scenario's actor-state digest for state-hash
+  /// pruning. See DESIGN.md for the soundness caveat.
+  [[nodiscard]] std::uint64_t transport_digest() const;
+
+  /// Hook invoked with every delivery just before the receiving actor's
+  /// handler runs (monitors use this to shadow the message stream).
+  void set_delivery_hook(std::function<void(const DeliveryInfo&)> hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
+  /// Hook invoked when a crash choice executes (before pruning).
+  void set_crash_hook(std::function<void(ProcessId)> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
+  /// Hook invoked for every accepted send (after crash filtering), letting
+  /// monitors observe phase starts without touching actor internals.
+  void set_send_hook(
+      std::function<void(ProcessId, ProcessId, const Payload&)> hook) {
+    send_hook_ = std::move(hook);
+  }
+
+ private:
+  friend class MckContext;
+
+  struct Stimulus {
+    ProcessId process{kNoProcess};
+    std::function<void()> fn;
+    bool enabled{false};
+    bool consumed{false};
+  };
+
+  struct ArmedTimer {
+    ProcessId process{kNoProcess};
+    TimerCallback cb;
+  };
+
+  void do_send(ProcessId from, ProcessId to, PayloadPtr payload);
+  void deliver(std::uint64_t seq, bool duplicate);
+  void do_crash(ProcessId p);
+
+  std::vector<std::unique_ptr<class MckContext>> contexts_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<PendingMessage> pending_;  // kept sorted by seq (append-only order)
+  std::vector<std::pair<TimerId, ArmedTimer>> timers_;  // sorted by id
+  std::vector<Stimulus> stimuli_;
+  std::unordered_set<ProcessId> crashed_;
+  std::uint64_t next_seq_{0};
+  TimerId next_timer_{1};
+  std::size_t steps_{0};
+  bool started_{false};
+  std::function<void(const DeliveryInfo&)> delivery_hook_;
+  std::function<void(ProcessId)> crash_hook_;
+  std::function<void(ProcessId, ProcessId, const Payload&)> send_hook_;
+};
+
+}  // namespace abdkit::mck

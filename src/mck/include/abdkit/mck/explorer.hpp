@@ -1,0 +1,134 @@
+// The systematic explorer: a stateless (replay-based) DFS over every
+// scheduling of a scenario, with DPOR + sleep-set partial-order reduction
+// and optional state-hash pruning.
+//
+// Actors are not copyable, so the explorer never snapshots: backtracking
+// rebuilds the scenario from its options and re-executes the choice prefix
+// recorded on the DFS stack (ControlledWorld's determinism contract makes
+// this exact). Each newly executed choice is followed by the stepwise
+// invariant monitors; each terminal (quiescent) state is checked for
+// linearizability through the memoized checker entry point. Every violation
+// carries a replayable `mck1:` schedule string — feed it to replay() to
+// re-execute the counterexample deterministically.
+//
+// Reduction (see DESIGN.md for the soundness argument):
+//  - Dependence relation: two choices are dependent iff one is a crash,
+//    both hit the same process, or one is an op invocation and the other a
+//    step at an op-issuing process (their order is a recorded real-time
+//    precedence the linearizability checker consumes). Everything else
+//    commutes up to isomorphism of fresh message ids and timestamps.
+//  - DPOR (Flanagan–Godefroid backtrack sets): each node starts with a
+//    single scheduled branch; executing a choice walks the stack for the
+//    deepest dependent earlier transition and schedules the choice at that
+//    node too, so exactly the order-reversals that matter get explored.
+//  - Sleep sets: after exploring choice c at a node, c is put to sleep for
+//    the node's remaining branches and stays asleep down sibling subtrees
+//    until a dependent choice executes.
+//  - State hashing (OFF by default): stateful DFS over the state DAG —
+//    prune any state whose digest was seen before. The digest covers actor
+//    state, transport state, budgets, and the rank-compressed history, so
+//    two merged states give every suffix the same linearizability verdict;
+//    enabling it auto-disables POR (visited-state pruning composes
+//    unsoundly with sleep/backtrack sets). Residual caveats: 64-bit digest
+//    collisions can hide states, and invariant-monitor internals are not
+//    part of the digest, so stepwise-invariant coverage in this mode is
+//    per-edge-reached rather than per-path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abdkit/checker/history.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/mck/scenario.hpp"
+#include "abdkit/mck/schedule.hpp"
+
+namespace abdkit::mck {
+
+struct ExploreOptions {
+  /// Depth bound: executions longer than this are cut (and the result is no
+  /// longer marked complete). A safety net — scenarios without retransmit
+  /// timers terminate on their own.
+  std::size_t max_steps{400};
+  /// Cap on scenario (re)constructions, 0 = unlimited. Each backtrack to an
+  /// unexplored sibling costs one reconstruction (stateless checking).
+  std::size_t max_executions{0};
+  /// Wall-clock budget in seconds, 0 = unlimited.
+  double max_seconds{0.0};
+  /// How many crash choices one execution may contain. The explorer offers
+  /// a crash of every candidate at every non-quiescent point, so budget 1
+  /// already covers "the victim's last sends reach an arbitrary subset".
+  std::size_t max_crashes{0};
+  /// Processes eligible to crash; empty = all.
+  std::vector<ProcessId> crash_candidates;
+  /// How many duplicate deliveries one execution may contain. Duplicates
+  /// re-deliver a pending message without consuming it — the adversary that
+  /// found the PR-1 vote-inflation bug.
+  std::size_t max_duplicates{0};
+  /// DPOR backtrack sets + sleep sets. Off = explore every interleaving
+  /// (exponentially larger; only useful for measuring the reduction).
+  /// Ignored (treated as off) while state_hashing is on — see above.
+  bool partial_order_reduction{true};
+  /// Visited-state pruning over the history-aware state digest. The mode
+  /// of choice for exhaustive verification: the schedule tree is often
+  /// astronomically larger than the state DAG it folds into.
+  bool state_hashing{false};
+  bool stop_at_first_violation{true};
+  bool check_linearizability{true};
+  checker::CheckerOptions checker;
+};
+
+struct Violation {
+  /// "invariant", "linearizability", or "runtime-error".
+  std::string kind;
+  std::string detail;
+  /// Replayable `mck1:` schedule string reproducing the violation.
+  std::string schedule;
+};
+
+struct ExploreResult {
+  /// True iff the state space was exhausted: no time/execution budget hit,
+  /// no execution ran into the depth bound, and the search was not stopped
+  /// by stop_at_first_violation. (With state_hashing on, subject to the
+  /// caveats documented above.)
+  bool complete{false};
+  std::size_t executions{0};       ///< scenario constructions (replays)
+  std::size_t terminals{0};        ///< quiescent states checked
+  std::size_t transitions{0};      ///< distinct choices executed (excl. replays)
+  std::size_t replayed_steps{0};   ///< choices re-executed to restore state
+  std::size_t sleep_pruned{0};     ///< nodes with every branch asleep
+  std::size_t hash_pruned{0};      ///< states skipped as already-visited
+  std::size_t depth_cut{0};        ///< executions stopped by max_steps
+  std::size_t max_depth{0};
+  double seconds{0.0};
+  std::uint64_t checker_cache_hits{0};
+  std::vector<Violation> violations;
+};
+
+/// Explore every scheduling of `scenario` within the budgets.
+[[nodiscard]] ExploreResult explore(const ScenarioOptions& scenario,
+                                    const ExploreOptions& options = {});
+
+struct ReplayResult {
+  /// The first violation encountered, if any (invariant violations abort
+  /// the replay at the failing step; the linearizability verdict is for the
+  /// history at the end of the schedule).
+  std::optional<Violation> violation;
+  /// Digest of the final state (actor + transport); equal across replays of
+  /// the same schedule by the determinism contract.
+  std::uint64_t state_digest{0};
+  std::size_t steps{0};
+  checker::History history;
+};
+
+/// Deterministically re-execute one schedule (e.g. a parsed violation
+/// string) against a fresh scenario. Throws std::invalid_argument if the
+/// schedule diverges — i.e. names a choice that is not executable, which
+/// means it was recorded against different scenario options.
+[[nodiscard]] ReplayResult replay(const ScenarioOptions& scenario,
+                                  const Schedule& schedule,
+                                  const ExploreOptions& options = {});
+
+}  // namespace abdkit::mck

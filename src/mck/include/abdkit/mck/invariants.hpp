@@ -1,0 +1,141 @@
+// Stepwise protocol invariants checked during exploration.
+//
+// The linearizability check at the end of an execution is the ground truth,
+// but it reports *that* something went wrong, not *where*. These monitors
+// shadow the message stream the scheduler produces and flag the first step
+// at which a protocol-level invariant breaks, which both localizes bugs and
+// catches classes of them (e.g. a quorum assembled from duplicate replies)
+// that may not surface as a consistency violation in the explored history.
+//
+// The normative invariant list lives in docs/PROTOCOL.md §11:
+//   I1 tag monotonicity   — a replica's stored tag never decreases
+//   I2 quorum completion  — every completed phase heard from a set of
+//                           *distinct* replicas satisfying its quorum
+//                           predicate (quorum intersection then follows
+//                           from the quorum system's own guarantee)
+//   I3 single-count replies — completion counts at most one reply per
+//                           replica per round; duplicate deliveries must
+//                           not contribute (I2 phrased over the distinct
+//                           set *is* this check, made observable)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "abdkit/abd/replica.hpp"
+#include "abdkit/checker/history.hpp"
+#include "abdkit/mck/controlled_world.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::mck {
+
+/// Observer over one controlled execution. Monitors are created fresh per
+/// execution; `failed()` is polled after every executed choice and a
+/// non-nullopt result aborts the execution as a violation.
+class Monitor {
+ public:
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+  virtual ~Monitor() = default;
+
+  /// Called for every delivery, before the receiving actor's handler runs.
+  virtual void on_deliver(const DeliveryInfo& info) { (void)info; }
+
+  /// Called when an operation completes at process `p` (from inside the
+  /// delivery that completed it).
+  virtual void on_op_complete(ProcessId p, const checker::OpRecord& op) {
+    (void)p;
+    (void)op;
+  }
+
+  virtual void on_crash(ProcessId p) { (void)p; }
+
+  /// Called after each executed choice; also the checkpoint for state-scan
+  /// invariants (e.g. replica tag scans).
+  virtual void after_step() {}
+
+  [[nodiscard]] virtual std::optional<std::string> failed() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Monitor() = default;
+};
+
+/// I1: per-replica, per-object tags only grow. Scans the replica state of
+/// every live process after each step against a shadow copy.
+class TagMonotonicityMonitor final : public Monitor {
+ public:
+  /// `replicas[p]` is process p's replica half (borrowed; outlives the
+  /// monitor's use).
+  explicit TagMonotonicityMonitor(std::vector<const abd::Replica*> replicas);
+
+  void on_crash(ProcessId p) override;
+  void after_step() override;
+  [[nodiscard]] std::optional<std::string> failed() const override {
+    return failure_;
+  }
+  [[nodiscard]] std::string name() const override { return "tag-monotonicity"; }
+
+ private:
+  std::vector<const abd::Replica*> replicas_;
+  std::vector<bool> live_;
+  std::vector<std::map<abd::ObjectId, abd::Tag>> shadow_;
+  std::optional<std::string> failure_;
+};
+
+/// I2 + I3: when an operation completes, the round that completed it must
+/// have heard from a set of *distinct* replicas satisfying the phase's
+/// quorum predicate (read quorum for value/tag collection, write quorum for
+/// ack collection). Duplicate deliveries are tracked but add nothing to the
+/// distinct set, so a client that counts a reply twice — the PR-1
+/// vote-inflation regression — completes a phase this monitor rejects, or
+/// returns a value the linearizability check rejects.
+class QuorumCompletionMonitor final : public Monitor {
+ public:
+  explicit QuorumCompletionMonitor(
+      std::shared_ptr<const quorum::QuorumSystem> quorums);
+
+  void on_deliver(const DeliveryInfo& info) override;
+  void on_op_complete(ProcessId p, const checker::OpRecord& op) override;
+
+  /// Wire through ControlledWorld::set_send_hook. A client sending an
+  /// Update for an object with an open collect round means that collect
+  /// round just completed — its distinct-replier set is checked here, so
+  /// intermediate phases are covered, not only the operation-final one.
+  void on_send(ProcessId from, ProcessId to, const Payload& payload);
+  [[nodiscard]] std::optional<std::string> failed() const override {
+    return failure_;
+  }
+  [[nodiscard]] std::string name() const override { return "quorum-completion"; }
+
+  [[nodiscard]] std::uint64_t duplicate_deliveries() const noexcept {
+    return duplicate_deliveries_;
+  }
+
+ private:
+  struct RoundShadow {
+    std::set<ProcessId> distinct;
+    std::uint64_t deliveries{0};
+    bool ack_phase{false};  // UpdateAck replies => write-quorum predicate
+  };
+
+  void check_round(ProcessId client, std::uint64_t round, const char* what);
+
+  std::shared_ptr<const quorum::QuorumSystem> quorums_;
+  /// Keyed by (client process, round id) — round ids are per-client.
+  std::map<std::pair<ProcessId, std::uint64_t>, RoundShadow> rounds_;
+  /// Open value/tag-collect round per (client, object): round id + whether
+  /// any request for it has been seen (dedupes broadcast sends).
+  std::map<std::pair<ProcessId, std::uint64_t>, std::uint64_t> open_collect_;
+  /// The reply round whose delivery is currently being handled, if any.
+  std::optional<std::pair<ProcessId, std::uint64_t>> current_;
+  std::uint64_t duplicate_deliveries_{0};
+  std::optional<std::string> failure_;
+};
+
+}  // namespace abdkit::mck

@@ -1,0 +1,112 @@
+// Model-checking scenarios: a fixed deployment of unmodified abd::Node
+// actors plus per-process operation programs, with history recording and
+// invariant monitors wired in.
+//
+// A scenario is cheap to construct and is rebuilt from its options for
+// every execution the explorer replays — actors are not copyable, so the
+// checker is stateless (CHESS-style): state is reproduced by re-running a
+// choice prefix, never snapshotted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abdkit/abd/node.hpp"
+#include "abdkit/checker/history.hpp"
+#include "abdkit/mck/controlled_world.hpp"
+#include "abdkit/mck/invariants.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::mck {
+
+/// One operation of a per-process program.
+struct ScenarioOp {
+  bool is_write{false};
+  abd::ObjectId object{0};
+  std::int64_t value{0};  ///< written value (ignored for reads)
+};
+
+[[nodiscard]] inline ScenarioOp write_op(std::int64_t value,
+                                         abd::ObjectId object = 0) {
+  return ScenarioOp{true, object, value};
+}
+[[nodiscard]] inline ScenarioOp read_op(abd::ObjectId object = 0) {
+  return ScenarioOp{false, object, 0};
+}
+
+struct ScenarioOptions {
+  /// Number of processes; every process runs a full abd::Node (replica +
+  /// client), mirroring the paper's "every processor plays both roles".
+  std::size_t num_processes{3};
+  /// programs[p] is the sequence of operations process p invokes, each
+  /// starting only after the previous one completed. Shorter than
+  /// num_processes is fine — remaining processes are pure replicas.
+  std::vector<std::vector<ScenarioOp>> programs;
+  abd::ReadMode read_mode{abd::ReadMode::kAtomic};
+  abd::WriteMode write_mode{abd::WriteMode::kSingleWriter};
+  /// Client-side masking threshold (see abd::ClientOptions::byzantine_f).
+  std::size_t byzantine_f{0};
+  bool fast_path_reads{false};
+  /// Re-injects the PR-1 duplicate-reply vote-inflation bug (see
+  /// abd::ClientOptions::testing_revert_duplicate_reply_gate). Used by
+  /// regression scenarios proving the explorer rediscovers the bug.
+  bool revert_duplicate_reply_gate{false};
+};
+
+class RegisterScenario {
+ public:
+  explicit RegisterScenario(ScenarioOptions options);
+
+  RegisterScenario(const RegisterScenario&) = delete;
+  RegisterScenario& operator=(const RegisterScenario&) = delete;
+
+  [[nodiscard]] ControlledWorld& world() noexcept { return *world_; }
+  [[nodiscard]] const ScenarioOptions& options() const noexcept { return options_; }
+
+  /// issues_ops()[p]: whether process p invokes operations. Deliveries to
+  /// two distinct op-issuing processes are treated as dependent by the
+  /// explorer (their order shapes the recorded real-time history).
+  [[nodiscard]] const std::vector<bool>& issues_ops() const noexcept {
+    return issues_ops_;
+  }
+
+  /// Polled by the explorer after every executed choice; the first
+  /// stepwise-invariant failure, as "<monitor>: <detail>".
+  [[nodiscard]] std::optional<std::string> invariant_violation() const;
+
+  /// The operation history so far: completed ops plus issued-but-pending
+  /// ops (invoker crashed or starved). Suitable for the final
+  /// linearizability check at a terminal state.
+  [[nodiscard]] checker::History history() const;
+
+  /// Digest of actor-visible state: replica slots, client phase state (via
+  /// abd::Client::state_digest), and per-op progress. Combined with
+  /// ControlledWorld::transport_digest for state-hash pruning.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+ private:
+  struct OpState {
+    bool issued{false};
+    bool completed{false};
+    TimePoint invoked{};
+    TimePoint responded{};
+    std::int64_t value{0};  ///< read result or written value
+  };
+
+  void invoke(ProcessId p, std::size_t index);
+  void on_done(ProcessId p, std::size_t index, const abd::OpResult& result);
+
+  ScenarioOptions options_;
+  std::shared_ptr<const quorum::QuorumSystem> quorums_;
+  std::unique_ptr<ControlledWorld> world_;
+  std::vector<abd::Node*> nodes_;  // borrowed from world_
+  std::vector<bool> issues_ops_;
+  std::vector<std::vector<OpState>> op_states_;
+  std::vector<std::vector<std::uint64_t>> stimulus_ids_;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+};
+
+}  // namespace abdkit::mck

@@ -1,0 +1,51 @@
+// Replayable schedule encoding for the model checker.
+//
+// A schedule is the exact sequence of scheduler choices (message deliveries,
+// duplicate deliveries, timer fires, crash placements, operation
+// invocations) that drives one execution of a ControlledWorld. Choice ids
+// are stable under re-execution — message sequence numbers, timer ids and
+// stimulus ids are all assigned deterministically by the order of prior
+// events — so a schedule string printed by the explorer on a violation can
+// be parsed back and re-executed bit-for-bit (see mck::replay).
+//
+// Wire format (version-prefixed, '.'-separated tokens):
+//     mck1:i0.d1.d2.D3.t4.c2
+//   i<id>  invoke stimulus <id> (an external operation start)
+//   d<id>  deliver pending message with sequence number <id>
+//   D<id>  deliver a duplicate of pending message <id> (message stays pending)
+//   t<id>  fire armed timer <id>
+//   c<id>  crash process <id>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abdkit::mck {
+
+/// One scheduler decision. `id` is interpreted per `kind` (message seq,
+/// timer id, stimulus id, or process id).
+struct Choice {
+  enum class Kind : std::uint8_t { kInvoke, kDeliver, kDuplicate, kTimer, kCrash };
+  Kind kind{Kind::kDeliver};
+  std::uint64_t id{0};
+
+  friend bool operator==(const Choice&, const Choice&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Choice& choice);
+
+/// An ordered list of choices plus (de)serialization.
+struct Schedule {
+  std::vector<Choice> choices;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses a `mck1:` schedule string. Throws std::invalid_argument on any
+  /// malformed input (unknown version, bad token, overflow).
+  [[nodiscard]] static Schedule parse(const std::string& text);
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+};
+
+}  // namespace abdkit::mck

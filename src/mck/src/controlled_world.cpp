@@ -1,0 +1,308 @@
+#include "abdkit/mck/controlled_world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace abdkit::mck {
+
+namespace {
+
+/// FNV-1a, the digest primitive used across mck (stable, dependency-free).
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+/// Per-process Context implementation routing into the ControlledWorld.
+class MckContext final : public Context {
+ public:
+  MckContext(ControlledWorld& world, ProcessId self) noexcept
+      : world_{world}, self_{self} {}
+
+  [[nodiscard]] ProcessId self() const noexcept override { return self_; }
+  [[nodiscard]] std::size_t world_size() const noexcept override {
+    return world_.size();
+  }
+
+  void send(ProcessId to, PayloadPtr payload) override {
+    world_.do_send(self_, to, std::move(payload));
+  }
+
+  void broadcast(PayloadPtr payload) override {
+    for (ProcessId p = 0; p < world_.size(); ++p) world_.do_send(self_, p, payload);
+  }
+
+  TimerId set_timer(Duration /*delay*/, TimerCallback cb) override {
+    // Asynchrony abstracts the delay away: an armed timer may fire at any
+    // point the scheduler picks, which is exactly the adversary the
+    // protocols must survive.
+    const TimerId id = world_.next_timer_++;
+    world_.timers_.emplace_back(id,
+                                ControlledWorld::ArmedTimer{self_, std::move(cb)});
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override {
+    auto& timers = world_.timers_;
+    const auto it = std::find_if(timers.begin(), timers.end(),
+                                 [id](const auto& t) { return t.first == id; });
+    if (it != timers.end()) timers.erase(it);
+  }
+
+  [[nodiscard]] TimePoint now() const noexcept override { return world_.now(); }
+
+ private:
+  ControlledWorld& world_;
+  ProcessId self_;
+};
+
+ControlledWorld::ControlledWorld(std::size_t num_processes) {
+  if (num_processes == 0) {
+    throw std::invalid_argument{"ControlledWorld: num_processes must be positive"};
+  }
+  contexts_.reserve(num_processes);
+  actors_.resize(num_processes);
+  for (ProcessId p = 0; p < num_processes; ++p) {
+    contexts_.push_back(std::make_unique<MckContext>(*this, p));
+  }
+}
+
+ControlledWorld::~ControlledWorld() = default;
+
+void ControlledWorld::add_actor(ProcessId id, std::unique_ptr<Actor> actor) {
+  if (started_) throw std::logic_error{"ControlledWorld: add_actor after start"};
+  if (id >= actors_.size()) {
+    throw std::out_of_range{"ControlledWorld: actor id out of range"};
+  }
+  if (actors_[id] != nullptr) {
+    throw std::logic_error{"ControlledWorld: duplicate actor id"};
+  }
+  actors_[id] = std::move(actor);
+}
+
+void ControlledWorld::start() {
+  if (started_) throw std::logic_error{"ControlledWorld: start called twice"};
+  for (ProcessId p = 0; p < actors_.size(); ++p) {
+    if (actors_[p] == nullptr) {
+      throw std::logic_error{"ControlledWorld: missing actor for process " +
+                             std::to_string(p)};
+    }
+  }
+  started_ = true;
+  for (ProcessId p = 0; p < actors_.size(); ++p) {
+    actors_[p]->on_start(*contexts_[p]);
+  }
+}
+
+std::uint64_t ControlledWorld::add_stimulus(ProcessId p, std::function<void()> fn) {
+  if (p >= actors_.size()) {
+    throw std::out_of_range{"ControlledWorld: stimulus process out of range"};
+  }
+  stimuli_.push_back(Stimulus{p, std::move(fn), false, false});
+  return stimuli_.size() - 1;
+}
+
+void ControlledWorld::enable_stimulus(std::uint64_t id) {
+  if (id >= stimuli_.size()) {
+    throw std::out_of_range{"ControlledWorld: unknown stimulus id"};
+  }
+  stimuli_[id].enabled = true;
+}
+
+std::vector<Choice> ControlledWorld::enabled() const {
+  std::vector<Choice> out;
+  for (std::uint64_t id = 0; id < stimuli_.size(); ++id) {
+    const Stimulus& s = stimuli_[id];
+    if (s.enabled && !s.consumed && !crashed_.contains(s.process)) {
+      out.push_back(Choice{Choice::Kind::kInvoke, id});
+    }
+  }
+  for (const PendingMessage& m : pending_) {
+    out.push_back(Choice{Choice::Kind::kDeliver, m.seq});
+  }
+  for (const auto& [id, timer] : timers_) {
+    out.push_back(Choice{Choice::Kind::kTimer, id});
+  }
+  return out;
+}
+
+bool ControlledWorld::quiescent() const {
+  if (!pending_.empty() || !timers_.empty()) return false;
+  for (const Stimulus& s : stimuli_) {
+    if (s.enabled && !s.consumed && !crashed_.contains(s.process)) return false;
+  }
+  return true;
+}
+
+void ControlledWorld::execute(const Choice& choice) {
+  if (!started_) throw std::logic_error{"ControlledWorld: execute before start"};
+  switch (choice.kind) {
+    case Choice::Kind::kInvoke: {
+      if (choice.id >= stimuli_.size()) {
+        throw std::invalid_argument{"ControlledWorld: unknown stimulus " +
+                                    std::to_string(choice.id)};
+      }
+      Stimulus& s = stimuli_[choice.id];
+      if (!s.enabled || s.consumed || crashed_.contains(s.process)) {
+        throw std::invalid_argument{"ControlledWorld: stimulus not schedulable: " +
+                                    std::to_string(choice.id)};
+      }
+      s.consumed = true;
+      ++steps_;
+      s.fn();
+      return;
+    }
+    case Choice::Kind::kDeliver:
+      deliver(choice.id, /*duplicate=*/false);
+      return;
+    case Choice::Kind::kDuplicate:
+      deliver(choice.id, /*duplicate=*/true);
+      return;
+    case Choice::Kind::kTimer: {
+      const auto it = std::find_if(timers_.begin(), timers_.end(),
+                                   [&](const auto& t) { return t.first == choice.id; });
+      if (it == timers_.end()) {
+        throw std::invalid_argument{"ControlledWorld: unknown timer " +
+                                    std::to_string(choice.id)};
+      }
+      const ArmedTimer timer = std::move(it->second);
+      timers_.erase(it);
+      ++steps_;
+      if (!crashed_.contains(timer.process)) timer.cb();
+      return;
+    }
+    case Choice::Kind::kCrash:
+      do_crash(static_cast<ProcessId>(choice.id));
+      return;
+  }
+  throw std::invalid_argument{"ControlledWorld: unknown choice kind"};
+}
+
+void ControlledWorld::deliver(std::uint64_t seq, bool duplicate) {
+  const auto it = std::find_if(pending_.begin(), pending_.end(),
+                               [seq](const PendingMessage& m) { return m.seq == seq; });
+  if (it == pending_.end()) {
+    throw std::invalid_argument{"ControlledWorld: no pending message with seq " +
+                                std::to_string(seq)};
+  }
+  // Keep the payload alive through the handler even if `duplicate` is false
+  // and the entry is erased first.
+  const PendingMessage msg = *it;
+  if (!duplicate) pending_.erase(it);
+  ++steps_;
+  const DeliveryInfo info{msg.from, msg.to, msg.payload.get(), duplicate, steps_ - 1};
+  if (delivery_hook_) delivery_hook_(info);
+  actors_[msg.to]->on_message(*contexts_[msg.to], msg.from, *msg.payload);
+}
+
+void ControlledWorld::do_crash(ProcessId p) {
+  if (p >= actors_.size()) {
+    throw std::invalid_argument{"ControlledWorld: crash id out of range"};
+  }
+  if (crashed_.contains(p)) {
+    throw std::invalid_argument{"ControlledWorld: process already crashed"};
+  }
+  ++steps_;
+  if (crash_hook_) crash_hook_(p);
+  crashed_.insert(p);
+  // In-flight traffic touching the crashed process is dropped: sends from p
+  // that the scheduler has not delivered model the subset of "last sends"
+  // that never arrived, and messages to p have no receiver.
+  std::erase_if(pending_,
+                [p](const PendingMessage& m) { return m.from == p || m.to == p; });
+  std::erase_if(timers_, [p](const auto& t) { return t.second.process == p; });
+}
+
+void ControlledWorld::do_send(ProcessId from, ProcessId to, PayloadPtr payload) {
+  if (to >= actors_.size()) {
+    throw std::out_of_range{"ControlledWorld: send to unknown process"};
+  }
+  if (payload == nullptr) {
+    throw std::invalid_argument{"ControlledWorld: null payload"};
+  }
+  // Sends from a crashed process cannot happen (it takes no steps); sends to
+  // a crashed process vanish, matching sim::World's drop-at-delivery.
+  if (crashed_.contains(from) || crashed_.contains(to)) return;
+  if (send_hook_) send_hook_(from, to, *payload);
+  pending_.push_back(PendingMessage{next_seq_++, from, to, std::move(payload)});
+}
+
+std::vector<std::pair<TimerId, ProcessId>> ControlledWorld::pending_timers() const {
+  std::vector<std::pair<TimerId, ProcessId>> out;
+  out.reserve(timers_.size());
+  for (const auto& [id, timer] : timers_) out.emplace_back(id, timer.process);
+  return out;
+}
+
+ProcessId ControlledWorld::target_of(const Choice& choice) const {
+  switch (choice.kind) {
+    case Choice::Kind::kInvoke:
+      if (choice.id >= stimuli_.size()) break;
+      return stimuli_[choice.id].process;
+    case Choice::Kind::kDeliver:
+    case Choice::Kind::kDuplicate: {
+      const auto it =
+          std::find_if(pending_.begin(), pending_.end(),
+                       [&](const PendingMessage& m) { return m.seq == choice.id; });
+      if (it == pending_.end()) break;
+      return it->to;
+    }
+    case Choice::Kind::kTimer: {
+      const auto it = std::find_if(timers_.begin(), timers_.end(),
+                                   [&](const auto& t) { return t.first == choice.id; });
+      if (it == timers_.end()) break;
+      return it->second.process;
+    }
+    case Choice::Kind::kCrash:
+      return static_cast<ProcessId>(choice.id);
+  }
+  throw std::invalid_argument{"ControlledWorld: target_of unknown choice"};
+}
+
+std::uint64_t ControlledWorld::transport_digest() const {
+  std::uint64_t h = kFnvOffset;
+  // Pending messages combine order-insensitively (sum of per-message
+  // digests): logically equal states reached along different interleavings
+  // may hold the same multiset at different vector positions / seq labels.
+  std::uint64_t msgs = 0;
+  for (const PendingMessage& m : pending_) {
+    std::uint64_t mh = kFnvOffset;
+    mh = fnv1a(mh, m.from);
+    mh = fnv1a(mh, m.to);
+    mh = fnv1a(mh, m.payload->tag());
+    mh = fnv1a_str(mh, m.payload->debug());
+    msgs += mh;
+  }
+  h = fnv1a(h, msgs);
+  std::uint64_t crashes = 0;
+  for (const ProcessId p : crashed_) crashes += fnv1a(kFnvOffset, p);
+  h = fnv1a(h, crashes);
+  for (const Stimulus& s : stimuli_) {
+    h = fnv1a(h, (s.enabled ? 1ULL : 0ULL) | (s.consumed ? 2ULL : 0ULL));
+  }
+  std::uint64_t timers = 0;
+  for (const auto& [id, timer] : timers_) {
+    timers += fnv1a(fnv1a(kFnvOffset, id), timer.process);
+  }
+  h = fnv1a(h, timers);
+  return h;
+}
+
+}  // namespace abdkit::mck

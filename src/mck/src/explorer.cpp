@@ -1,0 +1,401 @@
+#include "abdkit/mck/explorer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "abdkit/checker/incremental.hpp"
+
+namespace abdkit::mck {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t combined_digest(const RegisterScenario& scenario,
+                              const ControlledWorld& world) {
+  return fnv1a(fnv1a(kFnvOffset, scenario.state_digest()), world.transport_digest());
+}
+
+class Dfs {
+ public:
+  Dfs(const ScenarioOptions& scenario, const ExploreOptions& options)
+      : scenario_options_{scenario}, options_{options} {}
+
+  ExploreResult run() {
+    // Sleep sets and backtrack sets assume a tree: a state revisited via a
+    // different prefix may need branches the first visit put to sleep, so
+    // visited-state pruning composes unsoundly with POR. Hashing mode
+    // therefore explores the full branching of each node and relies on the
+    // visited set alone (sound stateful DFS over the state DAG).
+    por_ = options_.partial_order_reduction && !options_.state_hashing;
+    start_ = std::chrono::steady_clock::now();
+    rebuild(0);
+    if (push_node({}) != NodeStatus::kPushed) {
+      // The root itself is terminal: a scenario with no programs.
+      check_terminal();
+    }
+    while (!stack_.empty() && !stop_) {
+      if (budget_exhausted()) {
+        budget_hit_ = true;
+        break;
+      }
+      step();
+    }
+    result_.complete = !budget_hit_ && !stop_ && result_.depth_cut == 0;
+    result_.seconds = elapsed();
+    result_.checker_cache_hits = cache_.stats().hits;
+    return std::move(result_);
+  }
+
+ private:
+  struct SleepEntry {
+    Choice choice;
+    ProcessId target{kNoProcess};
+  };
+
+  /// One DFS node. `all` is every choice enabled at the node; `backtrack`
+  /// marks the branches scheduled for exploration (DPOR seeds one and
+  /// dependency analysis adds more), `done` the ones taken, `asleep` the
+  /// ones covered by an earlier sibling subtree (sleep sets).
+  struct Frame {
+    std::vector<Choice> all;
+    std::vector<ProcessId> targets;  // parallel to all
+    std::vector<bool> backtrack;
+    std::vector<bool> done;
+    std::vector<bool> asleep;
+    std::vector<SleepEntry> sleep;  // sleep set at node entry
+    std::size_t chosen{kNone};      // index into all of the dispatched branch
+  };
+
+  enum class NodeStatus { kPushed, kTerminal, kPruned };
+
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  [[nodiscard]] bool budget_exhausted() const {
+    if (options_.max_executions != 0 && result_.executions >= options_.max_executions) {
+      return true;
+    }
+    return options_.max_seconds > 0.0 && elapsed() >= options_.max_seconds;
+  }
+
+  /// Rebuild the scenario and re-execute the dispatched choices of frames
+  /// [0, upto) — the path to frame `upto`'s node.
+  void rebuild(std::size_t upto) {
+    scenario_ = std::make_unique<RegisterScenario>(scenario_options_);
+    crashes_used_ = 0;
+    duplicates_used_ = 0;
+    ++result_.executions;
+    for (std::size_t i = 0; i < upto; ++i) {
+      const Choice& choice = stack_[i].all[stack_[i].chosen];
+      scenario_->world().execute(choice);
+      account(choice);
+      ++result_.replayed_steps;
+    }
+    in_sync_ = true;
+  }
+
+  void account(const Choice& choice) {
+    if (choice.kind == Choice::Kind::kCrash) ++crashes_used_;
+    if (choice.kind == Choice::Kind::kDuplicate) ++duplicates_used_;
+  }
+
+  /// The schedule of the current path: each frame's dispatched choice. Call
+  /// only right after a dispatch (every frame, top included, has chosen).
+  [[nodiscard]] Schedule current_schedule() const {
+    Schedule schedule;
+    schedule.choices.reserve(stack_.size());
+    for (const Frame& frame : stack_) {
+      schedule.choices.push_back(frame.all[frame.chosen]);
+    }
+    return schedule;
+  }
+
+  void record_violation(std::string kind, std::string detail) {
+    result_.violations.push_back(Violation{std::move(kind), std::move(detail),
+                                           current_schedule().to_string()});
+    if (options_.stop_at_first_violation) stop_ = true;
+  }
+
+  /// Dependence: crashes conflict with everything, and two choices at one
+  /// process conflict. Across processes the only further conflict is an
+  /// operation invocation vs. a choice that may complete an operation (a
+  /// delivery/duplicate/timer at an op-issuing process): their order is a
+  /// recorded responded-before-invoked precedence the checker consumes.
+  /// Everything else commutes up to isomorphism — swapping two adjacent
+  /// such events permutes fresh message seq labels and shifts timestamps,
+  /// but interval precedence only compares a response against an
+  /// invocation, and no invocation lies between two adjacent events, so
+  /// even two op *completions* commute. See DESIGN.md.
+  [[nodiscard]] bool independent(const Choice& a, ProcessId ta, const Choice& b,
+                                 ProcessId tb) const {
+    if (a.kind == Choice::Kind::kCrash || b.kind == Choice::Kind::kCrash) return false;
+    if (ta == tb) return false;
+    const bool a_invoke = a.kind == Choice::Kind::kInvoke;
+    const bool b_invoke = b.kind == Choice::Kind::kInvoke;
+    if (a_invoke != b_invoke) {
+      // The non-invoke side may complete an op only at an op-issuing
+      // process (completions happen in client reply handlers).
+      const ProcessId other = a_invoke ? tb : ta;
+      const auto& issues = scenario_->issues_ops();
+      if (other < issues.size() && issues[other]) return false;
+    }
+    return true;
+  }
+
+  /// Flanagan–Godefroid backtrack-set update for a freshly dispatched
+  /// choice. Textbook DPOR registers, at every state along the path where
+  /// the choice was enabled, a backtrack demand at the deepest earlier
+  /// dependent transition; the union of those demands is exactly "every
+  /// dependent frame where the choice was already enabled, plus the first
+  /// dependent frame below its creation point" (staircase argument, see
+  /// DESIGN.md). Where the choice was not yet enabled we cannot name it, so
+  /// every awake branch is scheduled — the conservative fallback.
+  void update_backtracks(const Choice& choice, ProcessId target) {
+    for (std::size_t j = stack_.size() - 1; j-- > 0;) {
+      Frame& node = stack_[j];
+      const Choice& taken = node.all[node.chosen];
+      if (independent(taken, node.targets[node.chosen], choice, target)) continue;
+      const auto it = std::find(node.all.begin(), node.all.end(), choice);
+      if (it != node.all.end()) {
+        const auto idx = static_cast<std::size_t>(it - node.all.begin());
+        if (!node.asleep[idx]) node.backtrack[idx] = true;
+      } else {
+        for (std::size_t k = 0; k < node.all.size(); ++k) {
+          if (!node.asleep[k]) node.backtrack[k] = true;
+        }
+        return;  // below the choice's creation point — one stop suffices
+      }
+    }
+  }
+
+  /// Enabled choices at the current state, crash/duplicate choices
+  /// composed in under the budgets (crashes last, so counterexamples stay
+  /// short). Empty = terminal: at quiescence a crash can no longer change
+  /// any history the checkers see, so leftover budgets don't keep the
+  /// execution alive.
+  [[nodiscard]] std::vector<Choice> enabled_choices() const {
+    ControlledWorld& world = scenario_->world();
+    std::vector<Choice> choices = world.enabled();
+    if (choices.empty()) return choices;
+    if (duplicates_used_ < options_.max_duplicates) {
+      for (const auto& message : world.pending_messages()) {
+        choices.push_back(Choice{Choice::Kind::kDuplicate, message.seq});
+      }
+    }
+    if (crashes_used_ < options_.max_crashes) {
+      std::vector<ProcessId> candidates = options_.crash_candidates;
+      if (candidates.empty()) {
+        for (ProcessId p = 0; p < world.size(); ++p) candidates.push_back(p);
+      }
+      for (const ProcessId p : candidates) {
+        if (!world.crashed(p)) choices.push_back(Choice{Choice::Kind::kCrash, p});
+      }
+    }
+    return choices;
+  }
+
+  /// Expand the current state into a new top frame. kTerminal when nothing
+  /// is enabled, kPruned when every enabled choice is asleep.
+  NodeStatus push_node(std::vector<SleepEntry> sleep) {
+    Frame frame;
+    frame.all = enabled_choices();
+    if (frame.all.empty()) return NodeStatus::kTerminal;
+    const std::size_t count = frame.all.size();
+    frame.targets.reserve(count);
+    for (const Choice& choice : frame.all) {
+      frame.targets.push_back(scenario_->world().target_of(choice));
+    }
+    frame.backtrack.assign(count, false);
+    frame.done.assign(count, false);
+    frame.asleep.assign(count, false);
+    frame.sleep = std::move(sleep);
+    if (por_) {
+      for (std::size_t i = 0; i < count; ++i) {
+        frame.asleep[i] =
+            std::any_of(frame.sleep.begin(), frame.sleep.end(),
+                        [&](const SleepEntry& e) { return e.choice == frame.all[i]; });
+      }
+      // Seed exploration with the first awake branch; dependency analysis
+      // (update_backtracks) wakes the rest as needed.
+      std::size_t first = kNone;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!frame.asleep[i]) {
+          first = i;
+          break;
+        }
+      }
+      if (first == kNone) {
+        ++result_.sleep_pruned;
+        return NodeStatus::kPruned;
+      }
+      frame.backtrack[first] = true;
+    } else {
+      frame.backtrack.assign(count, true);
+    }
+    stack_.push_back(std::move(frame));
+    result_.max_depth = std::max(result_.max_depth, stack_.size());
+    return NodeStatus::kPushed;
+  }
+
+  void check_terminal() {
+    ++result_.terminals;
+    if (!options_.check_linearizability) return;
+    const checker::LinearizabilityReport report =
+        checker::check_linearizable_per_object_cached(scenario_->history(), cache_,
+                                                      options_.checker);
+    if (!report.linearizable) {
+      record_violation("linearizability", report.explanation.empty()
+                                              ? "history is not linearizable"
+                                              : report.explanation);
+    }
+  }
+
+  /// One DFS step: dispatch the top frame's next scheduled branch, or
+  /// backtrack.
+  void step() {
+    Frame& top = stack_.back();
+    std::size_t pick = kNone;
+    for (std::size_t i = 0; i < top.all.size(); ++i) {
+      if (top.backtrack[i] && !top.done[i] && !top.asleep[i]) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == kNone) {
+      stack_.pop_back();
+      in_sync_ = false;
+      return;
+    }
+    top.done[pick] = true;
+    top.chosen = pick;
+    const Choice choice = top.all[pick];
+    const ProcessId target = top.targets[pick];
+    if (por_) update_backtracks(choice, target);
+    if (!in_sync_) rebuild(stack_.size() - 1);
+
+    try {
+      scenario_->world().execute(choice);
+    } catch (const std::exception& error) {
+      // A choice enabled on the first visit must stay enabled on replay
+      // (determinism contract); reaching here is an explorer/world bug, but
+      // surface it as a violation rather than dying silently.
+      record_violation("runtime-error", error.what());
+      in_sync_ = false;
+      return;
+    }
+    ++result_.transitions;
+    account(choice);
+
+    if (const auto failure = scenario_->invariant_violation()) {
+      record_violation("invariant", *failure);
+      in_sync_ = false;  // do not descend below a violating state
+      return;
+    }
+
+    std::vector<SleepEntry> child_sleep;
+    if (por_) {
+      for (const SleepEntry& entry : top.sleep) {
+        if (independent(entry.choice, entry.target, choice, target)) {
+          child_sleep.push_back(entry);
+        }
+      }
+      for (std::size_t k = 0; k < top.all.size(); ++k) {
+        if (k == pick || !top.done[k]) continue;  // explored-before siblings
+        const SleepEntry entry{top.all[k], top.targets[k]};
+        if (independent(entry.choice, entry.target, choice, target)) {
+          child_sleep.push_back(entry);
+        }
+      }
+    }
+
+    if (options_.state_hashing) {
+      std::uint64_t digest = combined_digest(*scenario_, scenario_->world());
+      digest = fnv1a(digest, crashes_used_);
+      digest = fnv1a(digest, duplicates_used_);
+      if (!visited_.insert(digest).second) {
+        ++result_.hash_pruned;
+        in_sync_ = false;
+        return;
+      }
+    }
+
+    if (stack_.size() >= options_.max_steps) {
+      // Cut, but still check: a violation in a prefix is a real violation.
+      ++result_.depth_cut;
+      check_terminal();
+      in_sync_ = false;
+      return;
+    }
+
+    if (push_node(std::move(child_sleep)) != NodeStatus::kPushed) {
+      check_terminal();
+      in_sync_ = false;
+    }
+  }
+
+  const ScenarioOptions& scenario_options_;
+  const ExploreOptions& options_;
+  ExploreResult result_;
+  checker::CheckCache cache_;
+  std::vector<Frame> stack_;
+  std::unique_ptr<RegisterScenario> scenario_;
+  std::unordered_set<std::uint64_t> visited_;
+  std::size_t crashes_used_{0};
+  std::size_t duplicates_used_{0};
+  bool por_{false};
+  bool in_sync_{false};
+  bool stop_{false};
+  bool budget_hit_{false};
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace
+
+ExploreResult explore(const ScenarioOptions& scenario, const ExploreOptions& options) {
+  return Dfs{scenario, options}.run();
+}
+
+ReplayResult replay(const ScenarioOptions& scenario, const Schedule& schedule,
+                    const ExploreOptions& options) {
+  RegisterScenario run{scenario};
+  ReplayResult result;
+  Schedule executed;
+  for (const Choice& choice : schedule.choices) {
+    run.world().execute(choice);
+    executed.choices.push_back(choice);
+    ++result.steps;
+    if (const auto failure = run.invariant_violation()) {
+      result.violation = Violation{"invariant", *failure, executed.to_string()};
+      break;
+    }
+  }
+  result.history = run.history();
+  result.state_digest = combined_digest(run, run.world());
+  if (!result.violation.has_value() && options.check_linearizability) {
+    const checker::LinearizabilityReport report =
+        checker::check_linearizable_per_object(result.history, options.checker);
+    if (!report.linearizable) {
+      result.violation =
+          Violation{"linearizability", report.explanation, executed.to_string()};
+    }
+  }
+  return result;
+}
+
+}  // namespace abdkit::mck

@@ -1,0 +1,121 @@
+#include "abdkit/mck/invariants.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "abdkit/abd/messages.hpp"
+
+namespace abdkit::mck {
+
+TagMonotonicityMonitor::TagMonotonicityMonitor(
+    std::vector<const abd::Replica*> replicas)
+    : replicas_{std::move(replicas)},
+      live_(replicas_.size(), true),
+      shadow_(replicas_.size()) {}
+
+void TagMonotonicityMonitor::on_crash(ProcessId p) {
+  if (p < live_.size()) live_[p] = false;
+}
+
+void TagMonotonicityMonitor::after_step() {
+  if (failure_.has_value()) return;
+  for (ProcessId p = 0; p < replicas_.size(); ++p) {
+    if (!live_[p] || replicas_[p] == nullptr) continue;
+    for (const auto& [object, slot] : replicas_[p]->slots_snapshot()) {
+      auto [it, inserted] = shadow_[p].try_emplace(object, slot.tag);
+      if (inserted) continue;
+      if (slot.tag < it->second) {
+        std::ostringstream os;
+        os << "replica " << p << " object " << object << " tag regressed from "
+           << abd::to_string(it->second) << " to " << abd::to_string(slot.tag);
+        failure_ = os.str();
+        return;
+      }
+      it->second = slot.tag;
+    }
+  }
+}
+
+QuorumCompletionMonitor::QuorumCompletionMonitor(
+    std::shared_ptr<const quorum::QuorumSystem> quorums)
+    : quorums_{std::move(quorums)} {}
+
+void QuorumCompletionMonitor::on_deliver(const DeliveryInfo& info) {
+  current_.reset();
+  std::uint64_t round = 0;
+  ProcessId replier = info.from;
+  bool ack_phase = false;
+  if (const auto* read_reply = payload_cast<abd::ReadReply>(*info.payload)) {
+    round = read_reply->round;
+  } else if (const auto* tag_reply = payload_cast<abd::TagReply>(*info.payload)) {
+    round = tag_reply->round;
+  } else if (const auto* ack = payload_cast<abd::UpdateAck>(*info.payload)) {
+    round = ack->round;
+    ack_phase = true;
+  } else {
+    return;  // a request, or some other protocol's payload
+  }
+  const auto key = std::make_pair(info.to, round);
+  RoundShadow& shadow = rounds_[key];
+  shadow.ack_phase = ack_phase;
+  ++shadow.deliveries;
+  if (!shadow.distinct.insert(replier).second) ++duplicate_deliveries_;
+  current_ = key;
+}
+
+void QuorumCompletionMonitor::on_send(ProcessId from, ProcessId /*to*/,
+                                      const Payload& payload) {
+  if (failure_.has_value()) return;
+  if (const auto* query = payload_cast<abd::ReadQuery>(payload)) {
+    open_collect_[{from, query->object}] = query->round;
+    return;
+  }
+  if (const auto* query = payload_cast<abd::TagQuery>(payload)) {
+    open_collect_[{from, query->object}] = query->round;
+    return;
+  }
+  if (const auto* update = payload_cast<abd::Update>(payload)) {
+    // First Update of a write-back / install phase: if a collect round was
+    // open for this (client, object), it just completed.
+    const auto it = open_collect_.find({from, update->object});
+    if (it == open_collect_.end()) return;  // SWMR write: no prior collect
+    const std::uint64_t collect_round = it->second;
+    open_collect_.erase(it);
+    check_round(from, collect_round, "collect phase");
+  }
+}
+
+void QuorumCompletionMonitor::check_round(ProcessId client, std::uint64_t round,
+                                          const char* what) {
+  const auto it = rounds_.find({client, round});
+  const RoundShadow empty;
+  const RoundShadow& shadow = it == rounds_.end() ? empty : it->second;
+  std::vector<bool> acked(quorums_->n(), false);
+  for (const ProcessId q : shadow.distinct) {
+    if (q < acked.size()) acked[q] = true;
+  }
+  const bool ok = shadow.ack_phase ? quorums_->is_write_quorum(acked)
+                                   : quorums_->is_read_quorum(acked);
+  if (ok) return;
+  std::ostringstream os;
+  os << what << " at process " << client << " completed via round " << round
+     << " after " << shadow.deliveries << " repl"
+     << (shadow.deliveries == 1 ? "y" : "ies") << " from only "
+     << shadow.distinct.size() << " distinct replica(s) — not a "
+     << (shadow.ack_phase ? "write" : "read") << " quorum of " << quorums_->name();
+  failure_ = os.str();
+}
+
+void QuorumCompletionMonitor::on_op_complete(ProcessId p,
+                                             const checker::OpRecord& op) {
+  if (failure_.has_value() || !current_.has_value() || current_->first != p) return;
+  check_round(p, current_->second, "operation");
+  // A regular/fast-path read completes on its collect round directly; close
+  // the open entry so it is not re-checked by an unrelated later Update.
+  const auto it = open_collect_.find({p, op.object});
+  if (it != open_collect_.end() && it->second == current_->second) {
+    open_collect_.erase(it);
+  }
+}
+
+}  // namespace abdkit::mck

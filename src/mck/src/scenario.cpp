@@ -1,0 +1,200 @@
+#include "abdkit/mck/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace abdkit::mck {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+RegisterScenario::RegisterScenario(ScenarioOptions options)
+    : options_{std::move(options)} {
+  const std::size_t n = options_.num_processes;
+  if (n == 0) throw std::invalid_argument{"RegisterScenario: empty world"};
+  if (options_.programs.size() > n) {
+    throw std::invalid_argument{"RegisterScenario: more programs than processes"};
+  }
+  quorums_ = std::make_shared<quorum::MajorityQuorum>(n);
+  world_ = std::make_unique<ControlledWorld>(n);
+
+  abd::ClientOptions client;
+  client.byzantine_f = options_.byzantine_f;
+  client.fast_path_reads = options_.fast_path_reads;
+  client.testing_revert_duplicate_reply_gate = options_.revert_duplicate_reply_gate;
+
+  std::vector<const abd::Replica*> replicas;
+  for (ProcessId p = 0; p < n; ++p) {
+    auto node = std::make_unique<abd::Node>(abd::NodeOptions{
+        quorums_, options_.read_mode, options_.write_mode, client});
+    nodes_.push_back(node.get());
+    replicas.push_back(&node->replica());
+    world_->add_actor(p, std::move(node));
+  }
+
+  monitors_.push_back(std::make_unique<TagMonotonicityMonitor>(std::move(replicas)));
+  auto quorum_monitor = std::make_unique<QuorumCompletionMonitor>(quorums_);
+  QuorumCompletionMonitor* qm = quorum_monitor.get();
+  monitors_.push_back(std::move(quorum_monitor));
+
+  world_->set_delivery_hook([this](const DeliveryInfo& info) {
+    for (const auto& m : monitors_) m->on_deliver(info);
+  });
+  world_->set_crash_hook([this](ProcessId p) {
+    for (const auto& m : monitors_) m->on_crash(p);
+  });
+  world_->set_send_hook([qm](ProcessId from, ProcessId to, const Payload& payload) {
+    qm->on_send(from, to, payload);
+  });
+
+  // Register every operation as a stimulus up front so stimulus ids are a
+  // pure function of the options (process-major, program order), not of the
+  // schedule. Only the head of each program starts enabled.
+  issues_ops_.assign(n, false);
+  op_states_.resize(options_.programs.size());
+  stimulus_ids_.resize(options_.programs.size());
+  for (ProcessId p = 0; p < options_.programs.size(); ++p) {
+    op_states_[p].resize(options_.programs[p].size());
+    for (std::size_t i = 0; i < options_.programs[p].size(); ++i) {
+      issues_ops_[p] = true;
+      stimulus_ids_[p].push_back(
+          world_->add_stimulus(p, [this, p, i] { invoke(p, i); }));
+    }
+    if (!stimulus_ids_[p].empty()) world_->enable_stimulus(stimulus_ids_[p][0]);
+  }
+
+  world_->start();
+}
+
+void RegisterScenario::invoke(ProcessId p, std::size_t index) {
+  const ScenarioOp& op = options_.programs[p][index];
+  OpState& state = op_states_[p][index];
+  state.issued = true;
+  state.invoked = world_->now();
+  state.value = op.value;
+  auto done = [this, p, index](const abd::OpResult& result) {
+    on_done(p, index, result);
+  };
+  if (op.is_write) {
+    nodes_[p]->write(op.object, Value{op.value}, std::move(done));
+  } else {
+    nodes_[p]->read(op.object, std::move(done));
+  }
+}
+
+void RegisterScenario::on_done(ProcessId p, std::size_t index,
+                               const abd::OpResult& result) {
+  const ScenarioOp& op = options_.programs[p][index];
+  OpState& state = op_states_[p][index];
+  state.completed = true;
+  state.responded = world_->now();
+  if (!op.is_write) state.value = result.value.data;
+
+  const checker::OpRecord record{
+      p,
+      op.is_write ? checker::OpType::kWrite : checker::OpType::kRead,
+      op.object,
+      state.value,
+      state.invoked,
+      state.responded,
+      true};
+  for (const auto& m : monitors_) m->on_op_complete(p, record);
+
+  if (index + 1 < stimulus_ids_[p].size()) {
+    world_->enable_stimulus(stimulus_ids_[p][index + 1]);
+  }
+}
+
+std::optional<std::string> RegisterScenario::invariant_violation() const {
+  for (const auto& m : monitors_) {
+    m->after_step();
+    if (const auto failure = m->failed()) {
+      return m->name() + ": " + *failure;
+    }
+  }
+  return std::nullopt;
+}
+
+checker::History RegisterScenario::history() const {
+  checker::History h;
+  for (ProcessId p = 0; p < op_states_.size(); ++p) {
+    for (std::size_t i = 0; i < op_states_[p].size(); ++i) {
+      const OpState& state = op_states_[p][i];
+      if (!state.issued) continue;
+      const ScenarioOp& op = options_.programs[p][i];
+      h.add(checker::OpRecord{
+          p,
+          op.is_write ? checker::OpType::kWrite : checker::OpType::kRead,
+          op.object,
+          state.value,
+          state.invoked,
+          state.responded,
+          state.completed});
+    }
+  }
+  return h;
+}
+
+std::uint64_t RegisterScenario::state_digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (ProcessId p = 0; p < nodes_.size(); ++p) {
+    // Replica slots combine order-insensitively: the snapshot comes from an
+    // unordered_map whose iteration order depends on insertion history.
+    std::uint64_t slots = 0;
+    for (const auto& [object, slot] : nodes_[p]->replica().slots_snapshot()) {
+      std::uint64_t sh = kFnvOffset;
+      sh = fnv1a(sh, object);
+      sh = fnv1a(sh, slot.tag.seq);
+      sh = fnv1a(sh, slot.tag.writer);
+      sh = fnv1a(sh, static_cast<std::uint64_t>(slot.value.data));
+      slots += sh;
+    }
+    h = fnv1a(h, slots);
+    h = fnv1a(h, nodes_[p]->client().state_digest());
+    h = fnv1a(h, world_->crashed(p) ? 1ULL : 0ULL);
+  }
+  // Fold the recorded history with rank-compressed times. The
+  // linearizability verdict depends only on the relative order of recorded
+  // invocations and responses, and every event a future suffix appends lies
+  // after all of these, so two states that agree on protocol state and on
+  // this rank pattern have identical verdicts for every suffix. Raw
+  // timestamps would block that merging (each prefix length shifts them).
+  std::vector<TimePoint> times;
+  for (const auto& program : op_states_) {
+    for (const OpState& state : program) {
+      if (state.issued) times.push_back(state.invoked);
+      if (state.completed) times.push_back(state.responded);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  const auto rank = [&times](TimePoint t) {
+    return static_cast<std::uint64_t>(
+        std::lower_bound(times.begin(), times.end(), t) - times.begin());
+  };
+  for (const auto& program : op_states_) {
+    for (const OpState& state : program) {
+      h = fnv1a(h, (state.issued ? 1ULL : 0ULL) | (state.completed ? 2ULL : 0ULL));
+      h = fnv1a(h, static_cast<std::uint64_t>(state.value));
+      h = fnv1a(h, state.issued ? rank(state.invoked) + 1 : 0);
+      h = fnv1a(h, state.completed ? rank(state.responded) + 1 : 0);
+    }
+  }
+  return h;
+}
+
+}  // namespace abdkit::mck

@@ -1,0 +1,87 @@
+#include "abdkit/mck/schedule.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace abdkit::mck {
+
+namespace {
+
+constexpr const char* kPrefix = "mck1:";
+
+char kind_letter(Choice::Kind kind) {
+  switch (kind) {
+    case Choice::Kind::kInvoke:
+      return 'i';
+    case Choice::Kind::kDeliver:
+      return 'd';
+    case Choice::Kind::kDuplicate:
+      return 'D';
+    case Choice::Kind::kTimer:
+      return 't';
+    case Choice::Kind::kCrash:
+      return 'c';
+  }
+  return '?';
+}
+
+Choice::Kind letter_kind(char c) {
+  switch (c) {
+    case 'i':
+      return Choice::Kind::kInvoke;
+    case 'd':
+      return Choice::Kind::kDeliver;
+    case 'D':
+      return Choice::Kind::kDuplicate;
+    case 't':
+      return Choice::Kind::kTimer;
+    case 'c':
+      return Choice::Kind::kCrash;
+    default:
+      throw std::invalid_argument{std::string{"Schedule: unknown choice kind '"} + c +
+                                  "'"};
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Choice& choice) {
+  return kind_letter(choice.kind) + std::to_string(choice.id);
+}
+
+std::string Schedule::to_string() const {
+  std::string out{kPrefix};
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) out += '.';
+    out += mck::to_string(choices[i]);
+  }
+  return out;
+}
+
+Schedule Schedule::parse(const std::string& text) {
+  const std::string_view prefix{kPrefix};
+  if (text.substr(0, prefix.size()) != prefix) {
+    throw std::invalid_argument{"Schedule: missing mck1: prefix"};
+  }
+  Schedule schedule;
+  std::size_t pos = prefix.size();
+  while (pos < text.size()) {
+    std::size_t end = text.find('.', pos);
+    if (end == std::string::npos) end = text.size();
+    if (end - pos < 2) throw std::invalid_argument{"Schedule: empty or truncated token"};
+    Choice choice;
+    choice.kind = letter_kind(text[pos]);
+    const char* first = text.data() + pos + 1;
+    const char* last = text.data() + end;
+    const auto [ptr, ec] = std::from_chars(first, last, choice.id);
+    if (ec != std::errc{} || ptr != last) {
+      throw std::invalid_argument{"Schedule: bad choice id in token '" +
+                                  text.substr(pos, end - pos) + "'"};
+    }
+    schedule.choices.push_back(choice);
+    pos = end + 1;
+  }
+  return schedule;
+}
+
+}  // namespace abdkit::mck

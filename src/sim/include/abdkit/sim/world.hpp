@@ -23,7 +23,7 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <queue>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -166,6 +166,47 @@ class World {
     return timer_callbacks_.size();
   }
 
+  // ---- Failure diagnostics -----------------------------------------------
+
+  /// The RNG seed this world was built with (WorldConfig::seed).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Events dispatched so far across all run_*/step calls.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  /// Running FNV-1a digest of the dispatched-event sequence (kind, time,
+  /// endpoints, payload tag). Two runs with equal seeds and equal driver
+  /// call sequences produce equal digests — so a digest printed by a failing
+  /// test pins down the schedule to replay (same binary, same seed) and a
+  /// digest mismatch shows the divergence is in the driver, not the world.
+  [[nodiscard]] std::uint64_t schedule_digest() const noexcept {
+    return schedule_digest_;
+  }
+
+  /// One-line reproduction header for test failure messages: seed, events
+  /// executed, simulated now, schedule digest, pending-event count. Tests
+  /// wrap runs in SCOPED_TRACE(world.diagnostics()).
+  [[nodiscard]] std::string diagnostics() const;
+
+  /// A not-yet-dispatched event, in queue (heap) order — not sorted; sort by
+  /// (time, seq) for the dispatch order.
+  struct PendingEventInfo {
+    enum class Kind : std::uint8_t { kDeliver, kTimer, kClosure };
+    Kind kind{Kind::kClosure};
+    TimePoint time{};
+    std::uint64_t seq{0};
+    ProcessId from{kNoProcess};  ///< deliver only
+    ProcessId to{kNoProcess};    ///< deliver: receiver; timer: owner
+    PayloadTag payload_tag{0};   ///< deliver only
+  };
+
+  /// Snapshot of the pending event set (the simulator's frontier). Lets
+  /// tests and the model checker's comparisons see what is still in flight
+  /// without draining the queue.
+  [[nodiscard]] std::vector<PendingEventInfo> pending_events() const;
+
  private:
   friend class SimContext;
 
@@ -205,7 +246,9 @@ class World {
 
   TimePoint now_{Duration::zero()};
   std::uint64_t next_seq_{0};
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  /// Min-heap on (time, seq) via std::push_heap/pop_heap — a plain vector
+  /// rather than std::priority_queue so pending_events() can iterate it.
+  std::vector<Event> queue_;
   std::vector<std::unique_ptr<class SimContext>> contexts_;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::unordered_set<ProcessId> crashed_;
@@ -219,6 +262,9 @@ class World {
   double duplicate_probability_{0.0};
   NetStats stats_;
   std::size_t max_events_per_run_;
+  std::uint64_t seed_{0};
+  std::uint64_t events_executed_{0};
+  std::uint64_t schedule_digest_{0};
   bool started_{false};
   WorldObserver observer_;
 

@@ -1,6 +1,8 @@
 #include "abdkit/sim/world.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +11,21 @@
 namespace abdkit::sim {
 
 using namespace std::chrono_literals;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
 
 /// Per-process implementation of the Context interface, forwarding into the
 /// owning World.
@@ -59,7 +76,9 @@ World::World(WorldConfig config)
       delay_{std::move(config.delay)},
       loss_probability_{config.loss_probability},
       duplicate_probability_{config.duplicate_probability},
-      max_events_per_run_{config.max_events_per_run} {
+      max_events_per_run_{config.max_events_per_run},
+      seed_{config.seed},
+      schedule_digest_{kFnvOffset} {
   if (config.num_processes == 0) {
     throw std::invalid_argument{"World: num_processes must be positive"};
   }
@@ -159,10 +178,9 @@ void World::after(Duration delay, std::function<void()> fn) {
 
 bool World::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the small fields and move the payload holders explicitly.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), EventAfter{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   now_ = ev.time;
   dispatch(ev);
   return true;
@@ -180,7 +198,7 @@ std::size_t World::run_until_quiescent() {
 
 std::size_t World::run_until(TimePoint deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!queue_.empty() && queue_.front().time <= deadline) {
     step();
     if (++executed >= max_events_per_run_) {
       throw std::runtime_error{"World: event cap exceeded (livelock?)"};
@@ -198,10 +216,58 @@ Context& World::context(ProcessId p) {
 void World::enqueue(TimePoint t, Event ev) {
   ev.time = t;
   ev.seq = next_seq_++;
-  queue_.push(std::move(ev));
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), EventAfter{});
+}
+
+std::string World::diagnostics() const {
+  std::ostringstream os;
+  os << "sim::World{seed=" << seed_ << " events=" << events_executed_
+     << " now=" << now_.count() << "ns schedule_digest=0x" << std::hex
+     << schedule_digest_ << std::dec << " pending=" << queue_.size() << "}";
+  return os.str();
+}
+
+std::vector<World::PendingEventInfo> World::pending_events() const {
+  std::vector<PendingEventInfo> out;
+  out.reserve(queue_.size());
+  for (const Event& ev : queue_) {
+    PendingEventInfo info;
+    info.time = ev.time;
+    info.seq = ev.seq;
+    if (ev.deliver.has_value()) {
+      info.kind = PendingEventInfo::Kind::kDeliver;
+      info.from = ev.deliver->msg.from;
+      info.to = ev.deliver->msg.to;
+      info.payload_tag = ev.deliver->msg.payload->tag();
+    } else if (ev.timer.has_value()) {
+      info.kind = PendingEventInfo::Kind::kTimer;
+      info.to = ev.timer->process;
+    } else {
+      info.kind = PendingEventInfo::Kind::kClosure;
+    }
+    out.push_back(info);
+  }
+  return out;
 }
 
 void World::dispatch(Event& ev) {
+  ++events_executed_;
+  std::uint64_t h = fnv1a(schedule_digest_, static_cast<std::uint64_t>(ev.time.count()));
+  if (ev.deliver.has_value()) {
+    h = fnv1a(h, 1);
+    h = fnv1a(h, ev.deliver->msg.from);
+    h = fnv1a(h, ev.deliver->msg.to);
+    h = fnv1a(h, ev.deliver->msg.payload->tag());
+  } else if (ev.timer.has_value()) {
+    h = fnv1a(h, 2);
+    h = fnv1a(h, ev.timer->process);
+    h = fnv1a(h, ev.timer->timer);
+  } else {
+    h = fnv1a(h, 3);
+  }
+  schedule_digest_ = h;
+
   if (ev.deliver.has_value()) {
     deliver_now(ev.deliver->msg);
   } else if (ev.timer.has_value()) {

@@ -97,6 +97,8 @@ TEST_P(AtomicityProperty, HistoryIsLinearizable) {
   const auto& [scenario, seed] = GetParam();
   const auto deployment = run_scenario(scenario, seed);
 
+  // Failure messages carry the seed + schedule digest that replay this run.
+  SCOPED_TRACE(deployment->world().diagnostics());
   ASSERT_TRUE(deployment->history().well_formed());
   ASSERT_GT(deployment->completed_ops(), 0U);
 

@@ -85,6 +85,9 @@ TEST_P(Chaos, EverythingAtOnceStaysAtomic) {
 
   d.run();
 
+  // On any failure below, the trace carries the seed and schedule digest
+  // needed to replay this exact run.
+  SCOPED_TRACE(d.world().diagnostics());
   ASSERT_GT(d.completed_ops(), 0U) << plan.name << " seed " << seed;
   ASSERT_TRUE(d.history().well_formed());
   const auto report = checker::check_linearizable_per_object(d.history());

@@ -1,0 +1,228 @@
+// Tests for the systematic model checker (src/mck): schedule encoding
+// round-trips, exhaustive verification of the canonical n=3/f=1 scenarios,
+// rediscovery of the two known protocol bugs (write-back ablation, PR-1
+// duplicate-reply vote inflation), deterministic counterexample replay, and
+// the memoized checker entry point.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "abdkit/abd/client.hpp"
+#include "abdkit/checker/incremental.hpp"
+#include "abdkit/mck/explorer.hpp"
+#include "abdkit/mck/schedule.hpp"
+
+namespace abdkit::mck {
+namespace {
+
+ScenarioOptions swsr_scenario() {
+  ScenarioOptions scenario;
+  scenario.num_processes = 3;
+  scenario.programs = {{write_op(1)}, {read_op()}};
+  return scenario;
+}
+
+ScenarioOptions ablated_scenario() {
+  ScenarioOptions scenario;
+  scenario.num_processes = 3;
+  scenario.read_mode = abd::ReadMode::kRegular;
+  scenario.programs = {{write_op(1)}, {read_op(), read_op()}};
+  return scenario;
+}
+
+ScenarioOptions inflation_scenario() {
+  ScenarioOptions scenario;
+  scenario.num_processes = 3;
+  scenario.programs = {{write_op(1), read_op()}};
+  scenario.byzantine_f = 1;
+  scenario.revert_duplicate_reply_gate = true;
+  return scenario;
+}
+
+ExploreOptions hashing_mode() {
+  ExploreOptions options;
+  options.state_hashing = true;
+  return options;
+}
+
+TEST(Schedule, RoundTripsThroughString) {
+  Schedule schedule;
+  schedule.choices = {Choice{Choice::Kind::kInvoke, 0},
+                      Choice{Choice::Kind::kDeliver, 12},
+                      Choice{Choice::Kind::kDuplicate, 12},
+                      Choice{Choice::Kind::kTimer, 3},
+                      Choice{Choice::Kind::kCrash, 2}};
+  const std::string text = schedule.to_string();
+  EXPECT_EQ(text, "mck1:i0.d12.D12.t3.c2");
+  EXPECT_EQ(Schedule::parse(text), schedule);
+}
+
+TEST(Schedule, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Schedule::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Schedule::parse("mck2:i0"), std::invalid_argument);
+  EXPECT_THROW((void)Schedule::parse("mck1:x5"), std::invalid_argument);
+  EXPECT_THROW((void)Schedule::parse("mck1:i"), std::invalid_argument);
+  EXPECT_THROW((void)Schedule::parse("mck1:i0..d1"), std::invalid_argument);
+  EXPECT_THROW((void)Schedule::parse("mck1:i0.d1x"), std::invalid_argument);
+}
+
+// The acceptance scenario: one writer and one concurrent reader over three
+// replicas, every scheduling. Hashing mode folds the schedule tree into the
+// state DAG and exhausts it.
+TEST(Explorer, ExhaustiveSwsrIsLinearizable) {
+  const ExploreResult result = explore(swsr_scenario(), hashing_mode());
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.terminals, 0U);
+  EXPECT_GT(result.hash_pruned, 0U);
+}
+
+// Tree mode (DPOR + sleep sets) must reach the same verdict as the
+// unreduced enumeration on a scenario small enough to exhaust both ways,
+// while exploring strictly fewer executions.
+TEST(Explorer, TreeModeAgreesWithFullEnumeration) {
+  ScenarioOptions write_only;
+  write_only.num_processes = 3;
+  write_only.programs = {{write_op(1)}};
+
+  const ExploreResult reduced = explore(write_only, ExploreOptions{});
+  EXPECT_TRUE(reduced.complete);
+  EXPECT_TRUE(reduced.violations.empty());
+
+  ExploreOptions no_por;
+  no_por.partial_order_reduction = false;
+  const ExploreResult full = explore(write_only, no_por);
+  EXPECT_TRUE(full.complete);
+  EXPECT_TRUE(full.violations.empty());
+
+  EXPECT_LT(reduced.executions, full.executions);
+}
+
+// n=3 tolerates f=1: every placement of one crash at every non-quiescent
+// point still yields only linearizable terminal histories.
+TEST(Explorer, ExhaustiveWithOneCrashStaysLinearizable) {
+  ExploreOptions options = hashing_mode();
+  options.max_crashes = 1;
+  const ExploreResult result = explore(swsr_scenario(), options);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+// With reader write-back disabled (ReadMode::kRegular) the checker must
+// produce a non-linearizable counterexample — the paper's new/old
+// inversion — well within the 60s acceptance budget.
+TEST(Explorer, AblationYieldsNewOldInversion) {
+  const ExploreResult result = explore(ablated_scenario(), hashing_mode());
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_EQ(result.violations[0].kind, "linearizability");
+  EXPECT_LT(result.seconds, 60.0);
+  EXPECT_FALSE(result.violations[0].schedule.empty());
+}
+
+// A counterexample schedule replays deterministically: same violation, same
+// final state digest, bit for bit, run after run.
+TEST(Explorer, CounterexampleReplaysDeterministically) {
+  const ExploreResult result = explore(ablated_scenario(), hashing_mode());
+  ASSERT_FALSE(result.violations.empty());
+  const Schedule schedule = Schedule::parse(result.violations[0].schedule);
+
+  const ReplayResult first = replay(ablated_scenario(), schedule);
+  const ReplayResult second = replay(ablated_scenario(), schedule);
+  ASSERT_TRUE(first.violation.has_value());
+  ASSERT_TRUE(second.violation.has_value());
+  EXPECT_EQ(first.violation->kind, "linearizability");
+  EXPECT_EQ(first.violation->kind, second.violation->kind);
+  EXPECT_EQ(first.violation->detail, second.violation->detail);
+  EXPECT_EQ(first.state_digest, second.state_digest);
+  EXPECT_EQ(first.steps, second.steps);
+}
+
+// A schedule stored from a past run stays replayable: choice ids are a pure
+// function of execution order, so the string pins the exact interleaving.
+TEST(Explorer, StoredAblationScheduleStillReproduces) {
+  const Schedule stored = Schedule::parse(
+      "mck1:i0.i1.d0.d3.d4.d5.d6.d7.d8.i2.d9.d10.d11.d1.d12.d2.d14.d15.d16.d13.d17");
+  const ReplayResult result = replay(ablated_scenario(), stored);
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->kind, "linearizability");
+}
+
+TEST(Explorer, StoredVoteInflationScheduleStillReproduces) {
+  const Schedule stored = Schedule::parse(
+      "mck1:i0.d0.d1.d3.d4.i1.d5.d6.d7.d2.d11.D10.d10.d8.d9.d12.d13.d14.d15.d16.d17");
+  ExploreOptions options;
+  options.max_duplicates = 1;
+  const ReplayResult result = replay(inflation_scenario(), stored, options);
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->kind, "linearizability");
+}
+
+// Replaying a schedule against the wrong scenario must fail loudly, not
+// silently diverge.
+TEST(Explorer, ReplayRejectsForeignSchedule) {
+  const Schedule stored = Schedule::parse("mck1:i0.c9");
+  EXPECT_THROW((void)replay(swsr_scenario(), stored), std::invalid_argument);
+}
+
+// The PR-1 regression: with the first-reply gate reverted, one duplicated
+// stale reply inflates that reply's masking votes past f and a read returns
+// the overwritten value. The gate keeps the same adversary harmless.
+TEST(Explorer, DuplicateReplyGateRegression) {
+  ExploreOptions options = hashing_mode();
+  options.max_duplicates = 1;
+
+  const ExploreResult broken = explore(inflation_scenario(), options);
+  ASSERT_FALSE(broken.violations.empty());
+  EXPECT_EQ(broken.violations[0].kind, "linearizability");
+
+  ScenarioOptions gated = inflation_scenario();
+  gated.revert_duplicate_reply_gate = false;
+  const ExploreResult clean = explore(gated, options);
+  EXPECT_TRUE(clean.complete);
+  EXPECT_TRUE(clean.violations.empty());
+}
+
+TEST(CheckCache, MemoizesRankIsomorphicHistories) {
+  using namespace std::chrono_literals;
+  const auto at = [](Duration d) { return TimePoint{d}; };
+
+  checker::History early;
+  early.add({0, checker::OpType::kWrite, 0, 7, at(1ns), at(2ns), true});
+  early.add({1, checker::OpType::kRead, 0, 7, at(3ns), at(4ns), true});
+
+  // Same order pattern, shifted and stretched timestamps.
+  checker::History late;
+  late.add({0, checker::OpType::kWrite, 0, 7, at(100ns), at(250ns), true});
+  late.add({1, checker::OpType::kRead, 0, 7, at(300ns), at(999ns), true});
+
+  EXPECT_EQ(checker::CheckCache::canonical_key(early),
+            checker::CheckCache::canonical_key(late));
+
+  checker::CheckCache cache;
+  const auto first = checker::check_linearizable_per_object_cached(early, cache);
+  const auto second = checker::check_linearizable_per_object_cached(late, cache);
+  EXPECT_TRUE(first.linearizable);
+  EXPECT_TRUE(second.linearizable);
+  EXPECT_EQ(cache.stats().misses, 1U);
+  EXPECT_EQ(cache.stats().hits, 1U);
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(CheckCache, DistinguishesDifferentOrderPatterns) {
+  using namespace std::chrono_literals;
+  const auto at = [](Duration d) { return TimePoint{d}; };
+
+  checker::History sequential;
+  sequential.add({0, checker::OpType::kWrite, 0, 7, at(1ns), at(2ns), true});
+  sequential.add({1, checker::OpType::kRead, 0, 7, at(3ns), at(4ns), true});
+
+  checker::History concurrent;
+  concurrent.add({0, checker::OpType::kWrite, 0, 7, at(1ns), at(3ns), true});
+  concurrent.add({1, checker::OpType::kRead, 0, 7, at(2ns), at(4ns), true});
+
+  EXPECT_NE(checker::CheckCache::canonical_key(sequential),
+            checker::CheckCache::canonical_key(concurrent));
+}
+
+}  // namespace
+}  // namespace abdkit::mck

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Protocol-layer lint: repo-specific rules clang-tidy cannot express.
+
+Rules (each suppressible per line with `// lint: allow(<rule>) <reason>`):
+
+  wall-clock     Actor code (src/abd, src/reconfig, src/kv) must take time
+                 from its Context (ctx->now()) so the simulator, the model
+                 checker, and the threaded runtime stay in control of the
+                 clock. Direct std::chrono clock reads, time(), or
+                 gettimeofday() break sim/mck determinism silently.
+
+  quorum-arith   No unguarded subtraction from .size() in quorum-counting
+                 code (src/abd, src/quorum): size_t underflow turns
+                 `acks.size() - failures` into a huge quorum and the phase
+                 completes without a majority. Write the comparison in
+                 additive form (a + b < c) or guard explicitly.
+
+  direct-send    Actor code must send through the Context seam (ctx.send /
+                 ctx_->send). Any other send() bypasses the transport
+                 abstraction, so messages escape the simulator's fault
+                 injection and the model checker's delivery control.
+
+Exit status: 0 when clean, 1 with findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+ACTOR_DIRS = ("src/abd", "src/reconfig", "src/kv")
+QUORUM_DIRS = ("src/abd", "src/quorum")
+
+ALLOW = re.compile(r"//\s*lint:\s*allow\((?P<rule>[\w-]+)\)\s+\S")
+
+WALL_CLOCK = re.compile(
+    r"(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\("
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|\bstd::time\s*\("
+)
+
+SIZE_SUB = re.compile(r"\.size\(\)\s*-(?!-)")
+
+# A send( call with its qualification, e.g. "ctx_->send(", "ctx.send(",
+# "transport->send(" or a bare "send(". Word boundary keeps resend()/
+# on_send() out.
+SEND_CALL = re.compile(r"(?P<prefix>(?:[A-Za-z_]\w*(?:->|\.))*)(?<![\w])send\s*\(")
+SEND_OK_PREFIX = re.compile(r"(?:^|->|\.)ctx_?(?:->|\.)$")
+
+
+def lines_of(path: Path):
+    text = path.read_text(encoding="utf-8")
+    in_block_comment = False
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        # Strip block comments across lines so commented-out code cannot trip
+        # the rules; line comments are kept (the allow marker lives there).
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        start = line.find("/*")
+        while start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2 :]
+            start = line.find("/*")
+        yield number, raw, line
+
+
+def allowed(raw_line: str, rule: str) -> bool:
+    m = ALLOW.search(raw_line)
+    return m is not None and m.group("rule") == rule
+
+
+def code_part(line: str) -> str:
+    """The line with any trailing // comment removed (naive but fine here:
+    protocol sources do not put // inside string literals)."""
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def scan(dirs, rule, matcher, message, findings):
+    for rel in dirs:
+        root = REPO / rel
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.[ch]pp")):
+            for number, raw, line in lines_of(path):
+                code = code_part(line)
+                if not matcher(code):
+                    continue
+                if allowed(raw, rule):
+                    continue
+                findings.append(
+                    f"{path.relative_to(REPO)}:{number}: [{rule}] {message}"
+                )
+
+
+def has_bad_send(code: str) -> bool:
+    for m in SEND_CALL.finditer(code):
+        prefix = m.group("prefix")
+        if not SEND_OK_PREFIX.search(prefix or "$"):
+            # Declarations ("Status send(ProcessId" / "void send(") belong to
+            # the seam itself and do not appear in actor dirs; anything that
+            # does is a call.
+            return True
+    return False
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        print(__doc__)
+        return 2
+
+    findings: list[str] = []
+    scan(
+        ACTOR_DIRS,
+        "wall-clock",
+        lambda code: WALL_CLOCK.search(code) is not None,
+        "actor code must read time via its Context (ctx->now()), not a wall clock",
+        findings,
+    )
+    scan(
+        QUORUM_DIRS,
+        "quorum-arith",
+        lambda code: SIZE_SUB.search(code) is not None,
+        "unguarded subtraction from .size(): size_t underflow inflates quorums; "
+        "rewrite additively or guard",
+        findings,
+    )
+    scan(
+        ACTOR_DIRS,
+        "direct-send",
+        has_bad_send,
+        "sends must go through the Context seam (ctx.send / ctx_->send)",
+        findings,
+    )
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nlint_protocol: {len(findings)} finding(s)")
+        return 1
+    print("lint_protocol: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
