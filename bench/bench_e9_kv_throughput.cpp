@@ -21,6 +21,7 @@
 #include "abdkit/kv/kv_node.hpp"
 #include "abdkit/kv/sync_kv.hpp"
 #include "abdkit/runtime/cluster.hpp"
+#include "perf_json.hpp"
 
 namespace {
 
@@ -49,8 +50,8 @@ struct Deployment {
   std::vector<kv::KvNode*> nodes;
 };
 
-double run_row(std::size_t clients, double read_ratio, int ops_per_client,
-               Metrics& total) {
+bench::PerfRow run_row(std::size_t clients, double read_ratio, int ops_per_client,
+                       Metrics& total) {
   Deployment d{5};
   std::atomic<std::uint64_t> completed{0};
   const auto t0 = std::chrono::steady_clock::now();
@@ -85,7 +86,25 @@ double run_row(std::size_t clients, double read_ratio, int ops_per_client,
       static_cast<double>(
           std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()) /
       1e6;
-  return static_cast<double>(completed.load()) / seconds;
+
+  bench::PerfRow row;
+  row.runtime = "cluster";
+  row.workload = "mixed";
+  row.op = "mixed";
+  row.window = static_cast<int>(clients);
+  row.n = 5;
+  row.ops = completed.load();
+  row.seconds = seconds;
+  row.ops_per_sec = static_cast<double>(completed.load()) / seconds;
+  // Per-op latency quantiles from the client's log-bucket histograms,
+  // gets and puts folded together (both are two quorum round trips here).
+  LatencyHistogram lat;
+  lat.merge(d.metrics.histogram("op.read_us"));
+  lat.merge(d.metrics.histogram("op.write_mwmr_us"));
+  row.p50_us = lat.quantile_us(0.5);
+  row.p99_us = lat.quantile_us(0.99);
+  row.p999_us = lat.quantile_us(0.999);
+  return row;
 }
 
 }  // namespace
@@ -95,12 +114,15 @@ int main() {
   std::printf("%8s %12s %14s\n", "clients", "read ratio", "ops/s");
   constexpr int kOpsPerClient = 1500;
   Metrics total;
+  bench::PerfJson out{"E9"};
   for (const std::size_t clients : {1U, 2U, 4U, 8U, 16U}) {
     for (const double ratio : {0.5, 0.95}) {
-      const double throughput = run_row(clients, ratio, kOpsPerClient, total);
-      std::printf("%8zu %12.2f %14.0f\n", clients, ratio, throughput);
+      bench::PerfRow row = run_row(clients, ratio, kOpsPerClient, total);
+      std::printf("%8zu %12.2f %14.0f\n", clients, ratio, row.ops_per_sec);
+      out.add(std::move(row));
     }
   }
+  if (!out.write_file("BENCH_E9.json")) return 1;
   std::printf("\nshape: near-linear client scaling at low parallelism, flattening as\n"
               "replica mailboxes saturate; read-heavy mixes roughly match mixed\n"
               "workloads (both op types are two quorum round trips here).\n");

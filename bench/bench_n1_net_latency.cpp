@@ -16,6 +16,7 @@
 // line is the PR-1 metrics JSON including the net.* counters (bytes and
 // frames on the wire, connects), so message-size accounting is real too.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "abdkit/net/sync_node.hpp"
 #include "abdkit/net/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "perf_json.hpp"
 
 using namespace std::chrono_literals;
 using namespace abdkit;
@@ -42,7 +44,30 @@ struct Row {
   Summary read_us;
   double write_rounds{0};
   double read_rounds{0};
+  double seconds{0};
 };
+
+/// Maps one op class of a measured row into the shared BENCH_*.json schema.
+/// Every round is one broadcast + its replies, so msgs/op = rounds x 2n — an
+/// identity of the protocol (checked exactly by bench_p1/E1), not a guess.
+abdkit::bench::PerfRow perf_row(const char* op, std::size_t n, const Summary& lat,
+                                double rounds, double seconds, int ops) {
+  abdkit::bench::PerfRow row;
+  row.runtime = "net";
+  row.workload = "closed";
+  row.op = op;
+  row.window = 1;
+  row.n = n;
+  row.ops = static_cast<std::uint64_t>(ops);
+  row.seconds = seconds;
+  row.ops_per_sec = seconds > 0 ? ops / seconds : 0;
+  row.p50_us = static_cast<std::uint64_t>(lat.quantile(0.5));
+  row.p99_us = static_cast<std::uint64_t>(lat.quantile(0.99));
+  row.p999_us = static_cast<std::uint64_t>(lat.quantile(0.999));
+  row.msgs_per_op = rounds * 2.0 * static_cast<double>(n);
+  row.rounds_per_op = rounds;
+  return row;
+}
 
 /// Deploys n replicas + 1 client, all in this process but every message on
 /// loopback TCP, and runs `ops` write+read pairs.
@@ -79,6 +104,7 @@ Row run_row(std::size_t n, bool fast_path, int ops) {
   Row row;
   double write_rounds = 0;
   double read_rounds = 0;
+  const auto t0 = std::chrono::steady_clock::now();
   for (int op = 0; op < ops; ++op) {
     Value value;
     value.data = op + 1;
@@ -93,6 +119,7 @@ Row run_row(std::size_t n, bool fast_path, int ops) {
     write_rounds += w->rounds;
     read_rounds += r->rounds;
   }
+  row.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   row.write_rounds = write_rounds / ops;
   row.read_rounds = read_rounds / ops;
   for (auto& transport : transports) transport->stop();
@@ -103,6 +130,7 @@ Row run_row(std::size_t n, bool fast_path, int ops) {
 
 int main() {
   constexpr int kOps = 300;
+  bench::PerfJson out{"N1"};
   std::printf("N1: real TCP round trips, loopback, MWMR writes + atomic reads\n");
   std::printf("%4s %5s | %7s %8s %8s %8s | %7s %8s %8s %8s\n", "n", "fast", "w rnds",
               "w p50us", "w p99us", "w max", "r rnds", "r p50us", "r p99us", "r max");
@@ -114,8 +142,15 @@ int main() {
                   row.write_us.quantile(0.5), row.write_us.quantile(0.99),
                   row.write_us.max(), row.read_rounds, row.read_us.quantile(0.5),
                   row.read_us.quantile(0.99), row.read_us.max());
+      // Only the paper-default configuration lands in the trajectory file —
+      // fast-path rows have their own ablation (A6).
+      if (!fast_path) {
+        out.add(perf_row("write", n, row.write_us, row.write_rounds, row.seconds, kOps));
+        out.add(perf_row("read", n, row.read_us, row.read_rounds, row.seconds, kOps));
+      }
     }
   }
+  if (!out.write_file("BENCH_N1.json")) return 1;
   std::printf(
       "\nnote: the sim (E1) counts the same rounds abstractly; here each round\n"
       "is a real socket round trip, so p50 latency ~= rounds x loopback RTT\n"

@@ -1,0 +1,597 @@
+// Experiment P1 — pipelined throughput across the runtime ladder.
+//
+// Every earlier bench is closed-loop with ONE operation in flight, so it
+// measures latency, never throughput. ABD reads are independent quorum
+// conversations: abd::Client already tracks any number of pending_ops_, so a
+// reader may pipeline W reads and the protocol's cost model is untouched —
+// each read is still 2 round trips and 4n messages (2n client requests + 2n
+// replica replies); only the *wall-clock overlap* changes. The SWMR writer
+// stays serialized (one write at a time) per the protocol's single-writer
+// assumption.
+//
+// Workloads, per runtime rung (sim / runtime::Cluster / net::Transport):
+//   closed  W in {1,4,16,64}: keep exactly W reads in flight, reissue on
+//           completion. W=1 reproduces the classic latency bench.
+//   write   serialized writer (W=1) — the protocol forbids pipelining it.
+//   open    arrivals at a fixed rate regardless of completions (sim + net);
+//           rate is set ~3x the measured W=1 throughput, so sustaining it
+//           REQUIRES pipelining.
+//   mixed   serialized writer + W=16 readers concurrently (sim + net).
+//
+// Invariants checked (batching must not change protocol complexity):
+//   read:  rounds == 2, client requests == 2n, retransmissions == 0
+//   write: rounds == 1, client requests == n   (SWMR)
+//   sim:   total messages == 4n per read / 2n per write (exact world counts)
+//   net:   total frames   == 4n per read / 2n per write (net.frames_out)
+//
+// Output: stdout table + BENCH_P1.json (see perf_json.hpp for the schema).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abdkit/abd/node.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/harness/deployment.hpp"
+#include "abdkit/net/transport.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/runtime/cluster.hpp"
+#include "abdkit/sim/delay_model.hpp"
+#include "perf_json.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+constexpr std::size_t kReplicas = 3;
+const int kWindows[] = {1, 4, 16, 64};
+
+bool g_quick = false;
+
+// ---- Per-row accounting -----------------------------------------------------
+
+/// Closed-loop driver: keeps `window` operations of one kind in flight on a
+/// single client node, reissuing from the completion callback. All fields
+/// are touched only on the runtime's event-loop / mailbox / sim thread; the
+/// benchmark thread just waits on `finished`.
+struct Driver {
+  abd::RegisterNode* node{nullptr};
+  bool writes{false};
+  std::uint64_t target{0};
+  std::uint64_t issued{0};
+  std::uint64_t completed{0};
+  std::int64_t next_value{0};
+  LatencyHistogram hist;
+  std::uint64_t msgs{0};
+  std::uint64_t rounds{0};
+  std::uint64_t retransmissions{0};
+  std::promise<void> finished;
+
+  void issue() {
+    ++issued;
+    if (writes) {
+      Value value;
+      value.data = ++next_value;
+      node->write(0, std::move(value), [this](const abd::OpResult& r) { on_done(r, true); });
+    } else {
+      node->read(0, [this](const abd::OpResult& r) { on_done(r, true); });
+    }
+  }
+
+  /// Record a completion; `reissue` keeps the window full (closed loop).
+  void on_done(const abd::OpResult& r, bool reissue) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(r.responded -
+                                                                          r.invoked);
+    hist.record_us(us.count() <= 0 ? 0 : static_cast<std::uint64_t>(us.count()));
+    msgs += r.messages_sent;
+    rounds += r.rounds;
+    retransmissions += r.retransmissions;
+    ++completed;
+    if (reissue && issued < target) {
+      issue();
+    } else if (completed == target) {
+      finished.set_value();
+    }
+  }
+
+  void start(int window) {
+    const std::uint64_t initial = std::min<std::uint64_t>(
+        target, static_cast<std::uint64_t>(window));
+    for (std::uint64_t i = 0; i < initial; ++i) issue();
+  }
+};
+
+/// Die loudly if a protocol invariant does not hold bit-exactly: pipelining
+/// and transport batching may change wall-clock overlap, never the cost
+/// model (that would be protocol-weakening, not optimization).
+void check_invariants(const char* where, const Driver& d, std::size_t n) {
+  const std::uint64_t expect_rounds = d.writes ? 1 : 2;
+  const std::uint64_t expect_msgs = (d.writes ? 1 : 2) * n;
+  if (d.completed != d.target || d.retransmissions != 0 ||
+      d.rounds != expect_rounds * d.target || d.msgs != expect_msgs * d.target) {
+    std::fprintf(stderr,
+                 "P1 invariant violation (%s): ops %llu/%llu, rounds %llu (want %llu), "
+                 "client msgs %llu (want %llu), retransmissions %llu (want 0)\n",
+                 where, static_cast<unsigned long long>(d.completed),
+                 static_cast<unsigned long long>(d.target),
+                 static_cast<unsigned long long>(d.rounds),
+                 static_cast<unsigned long long>(expect_rounds * d.target),
+                 static_cast<unsigned long long>(d.msgs),
+                 static_cast<unsigned long long>(expect_msgs * d.target),
+                 static_cast<unsigned long long>(d.retransmissions));
+    std::exit(1);
+  }
+}
+
+/// Exact wire-message check (sim world counters / net frame counters).
+void check_wire_total(const char* where, std::uint64_t got, std::uint64_t want) {
+  if (got != want) {
+    std::fprintf(stderr, "P1 invariant violation (%s): %llu wire messages, want %llu\n",
+                 where, static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want));
+    std::exit(1);
+  }
+}
+
+bench::PerfRow make_row(const char* runtime, const char* workload, const Driver& d,
+                        int window, double seconds, double wire_msgs, double bytes) {
+  bench::PerfRow row;
+  row.runtime = runtime;
+  row.workload = workload;
+  row.op = d.writes ? "write" : "read";
+  row.window = window;
+  row.n = kReplicas;
+  row.ops = d.completed;
+  row.seconds = seconds;
+  row.ops_per_sec = seconds > 0 ? static_cast<double>(d.completed) / seconds : 0;
+  row.p50_us = d.hist.quantile_us(0.5);
+  row.p99_us = d.hist.quantile_us(0.99);
+  row.p999_us = d.hist.quantile_us(0.999);
+  row.msgs_per_op = d.completed > 0 ? wire_msgs / static_cast<double>(d.completed) : 0;
+  row.rounds_per_op =
+      d.completed > 0 ? static_cast<double>(d.rounds) / static_cast<double>(d.completed) : 0;
+  row.bytes_per_op = d.completed > 0 ? bytes / static_cast<double>(d.completed) : 0;
+  return row;
+}
+
+void print_row(const bench::PerfRow& r) {
+  std::printf("%-8s %-7s %-6s %4d %8llu %12.0f %9llu %9llu %9llu %9.1f %7.2f %9.1f\n",
+              r.runtime.c_str(), r.workload.c_str(), r.op.c_str(), r.window,
+              static_cast<unsigned long long>(r.ops), r.ops_per_sec,
+              static_cast<unsigned long long>(r.p50_us),
+              static_cast<unsigned long long>(r.p99_us),
+              static_cast<unsigned long long>(r.p999_us), r.msgs_per_op, r.rounds_per_op,
+              r.bytes_per_op);
+}
+
+// ---- sim rung ---------------------------------------------------------------
+
+harness::DeployOptions sim_options() {
+  harness::DeployOptions options;
+  options.n = kReplicas;
+  options.seed = 7;
+  options.variant = harness::Variant::kAtomicSwmr;
+  options.delay = std::make_unique<sim::ExponentialDelay>(1ms, 10us);
+  options.client.retransmit_interval = Duration::zero();  // exact message counts
+  return options;
+}
+
+/// Runs one sim workload; drivers issue from inside the event loop, time is
+/// virtual, and the world's per-message counters are exact ground truth.
+/// `setup` wires drivers to nodes and schedules the initial stimuli.
+template <typename Setup>
+std::vector<bench::PerfRow> run_sim(const char* workload, int window, Setup setup) {
+  harness::SimDeployment d{sim_options()};
+  const std::uint64_t msgs0 = d.world().stats().messages_sent;
+  const std::uint64_t bytes0 = d.world().stats().bytes_sent;
+  const TimePoint t0 = d.world().now();
+  std::vector<std::unique_ptr<Driver>> drivers = setup(d);
+  d.world().run_until_quiescent();
+  const double seconds =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(d.world().now() - t0)
+              .count()) /
+      1e6;
+  const std::uint64_t wire = d.world().stats().messages_sent - msgs0;
+  const std::uint64_t bytes = d.world().stats().bytes_sent - bytes0;
+
+  std::uint64_t want_wire = 0;
+  for (const auto& drv : drivers) {
+    check_invariants("sim", *drv, kReplicas);
+    want_wire += (drv->writes ? 2 : 4) * kReplicas * drv->target;
+  }
+  check_wire_total("sim wire", wire, want_wire);
+
+  std::vector<bench::PerfRow> rows;
+  for (const auto& drv : drivers) {
+    // Attribute wire totals per driver by the exact per-op formula (the
+    // aggregate was just checked against it, so this is not an estimate).
+    const double drv_wire =
+        static_cast<double>((drv->writes ? 2 : 4) * kReplicas * drv->completed);
+    const double drv_bytes = drivers.size() == 1
+                                 ? static_cast<double>(bytes)
+                                 : static_cast<double>(bytes) * drv_wire /
+                                       static_cast<double>(wire);
+    rows.push_back(make_row("sim", workload, *drv, window, seconds, drv_wire, drv_bytes));
+  }
+  return rows;
+}
+
+// ---- cluster rung -----------------------------------------------------------
+
+struct ClusterDeployment {
+  explicit ClusterDeployment() {
+    auto quorums = std::make_shared<const quorum::MajorityQuorum>(kReplicas);
+    abd::NodeOptions node_options;
+    node_options.quorums = quorums;
+    node_options.write_mode = abd::WriteMode::kSingleWriter;
+    node_options.client.retransmit_interval = Duration::zero();
+    // Unlike net::Transport, the mailbox runtime has no client-only slots:
+    // every process is a replica, so the client rides on replica 0 (the
+    // standard pattern in test_runtime).
+    runtime::ClusterOptions options;
+    options.num_processes = kReplicas;
+    options.seed = 7;
+    nodes.resize(kReplicas, nullptr);
+    cluster = std::make_unique<runtime::Cluster>(
+        options, [&](ProcessId p) -> std::unique_ptr<Actor> {
+          auto node = std::make_unique<abd::Node>(node_options);
+          nodes[p] = node.get();
+          return node;
+        });
+    cluster->start();
+  }
+  std::unique_ptr<runtime::Cluster> cluster;
+  std::vector<abd::Node*> nodes;
+};
+
+bench::PerfRow run_cluster_closed(bool writes, int window, std::uint64_t ops) {
+  ClusterDeployment d;
+  const ProcessId client = 0;
+  Driver drv;
+  drv.node = d.nodes[client];
+  drv.writes = writes;
+  drv.target = ops;
+  auto finished = drv.finished.get_future();
+  const auto t0 = std::chrono::steady_clock::now();
+  d.cluster->post(client, [&drv, window] { drv.start(window); });
+  finished.wait();
+  const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                             .count();
+  d.cluster->stop();
+  check_invariants("cluster", drv, kReplicas);
+  // The mailbox runtime has no wire-byte counters; channels are reliable
+  // in-process queues, so total messages = requests + one reply each — an
+  // identity, not an estimate, given retransmissions == 0 (checked above).
+  const double wire = static_cast<double>(2 * drv.msgs);
+  return make_row("cluster", "closed", drv, window, seconds, wire, 0);
+}
+
+// ---- net rung ---------------------------------------------------------------
+
+struct NetDeployment {
+  NetDeployment() {
+    auto quorums = std::make_shared<const quorum::MajorityQuorum>(kReplicas);
+    abd::NodeOptions node_options;
+    node_options.quorums = quorums;
+    node_options.write_mode = abd::WriteMode::kSingleWriter;
+    node_options.client.retransmit_interval = Duration::zero();
+    const ProcessId client_id = kReplicas;
+    for (ProcessId id = 0; id <= client_id; ++id) {
+      net::TransportOptions options;
+      options.self = id;
+      options.world_size = kReplicas;
+      options.metrics = &metrics;
+      auto node = std::make_unique<abd::Node>(node_options);
+      nodes.push_back(node.get());
+      transports.push_back(
+          std::make_unique<net::Transport>(std::move(options), std::move(node)));
+    }
+    std::vector<net::Address> table;
+    for (auto& transport : transports) {
+      net::Address address;  // 127.0.0.1, ephemeral port
+      address.port = transport->bind(address);
+      table.push_back(address);
+    }
+    for (auto& transport : transports) transport->start(table);
+  }
+  ~NetDeployment() {
+    for (auto& transport : transports) transport->stop();
+  }
+  [[nodiscard]] net::Transport& client_transport() { return *transports.back(); }
+  [[nodiscard]] abd::Node& client_node() { return *nodes.back(); }
+
+  Metrics metrics;  // shared by all transports; declared first, outlives them
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<abd::Node*> nodes;
+};
+
+/// One warmup op establishes every TCP connection so the measured phase
+/// counts only steady-state protocol frames.
+void net_warmup(NetDeployment& d) {
+  Driver warm;
+  warm.node = &d.client_node();
+  warm.writes = true;
+  warm.target = 1;
+  auto finished = warm.finished.get_future();
+  d.client_transport().post([&warm] { warm.start(1); });
+  if (finished.wait_for(30s) != std::future_status::ready) {
+    std::fprintf(stderr, "P1: net warmup timed out\n");
+    std::exit(1);
+  }
+  // The write completed at quorum; the straggler replica's ack may still be
+  // in flight. Wait for the frame counter to go quiescent so the measured
+  // phase starts from a clean baseline.
+  std::uint64_t frames = d.metrics.counter("net.frames_out");
+  for (;;) {
+    std::this_thread::sleep_for(20ms);
+    const std::uint64_t again = d.metrics.counter("net.frames_out");
+    if (again == frames) break;
+    frames = again;
+  }
+}
+
+/// Runs drivers on the net client's event loop and returns rows plus the
+/// observed frame/byte deltas. `arrivals` (optional) paces open-loop issues
+/// from this thread at a fixed interval.
+std::vector<bench::PerfRow> run_net(const char* workload, int window,
+                                    std::vector<std::unique_ptr<Driver>> drivers,
+                                    Duration arrival_gap = Duration::zero()) {
+  NetDeployment d;
+  net_warmup(d);
+  const std::uint64_t frames0 = d.metrics.counter("net.frames_out");
+  const std::uint64_t bytes0 = d.metrics.counter("net.bytes_out");
+  std::vector<std::future<void>> done;
+  done.reserve(drivers.size());
+  for (auto& drv : drivers) {
+    drv->node = &d.client_node();
+    done.push_back(drv->finished.get_future());
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (arrival_gap > Duration::zero()) {
+    // Open loop: issue at fixed arrival times regardless of completions.
+    Driver* drv = drivers.front().get();
+    for (std::uint64_t i = 0; i < drv->target; ++i) {
+      std::this_thread::sleep_until(t0 + i * arrival_gap);
+      d.client_transport().post([drv] {
+        ++drv->issued;
+        drv->node->read(0, [drv](const abd::OpResult& r) { drv->on_done(r, false); });
+      });
+    }
+  } else {
+    d.client_transport().post([&drivers, window] {
+      for (auto& drv : drivers) drv->start(drv->writes ? 1 : window);
+    });
+  }
+  for (auto& f : done) {
+    if (f.wait_for(120s) != std::future_status::ready) {
+      std::fprintf(stderr, "P1: net workload '%s' timed out\n", workload);
+      std::exit(1);
+    }
+  }
+  const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                             .count();
+  // The last op completed at quorum; straggler replies may still be in
+  // flight. Wait for frame-counter quiescence before the closing snapshot
+  // (like net_warmup, but outside the timed region — throughput above is
+  // measured to the last *completion*, which is what clients observe).
+  std::uint64_t frames_now = d.metrics.counter("net.frames_out");
+  for (;;) {
+    std::this_thread::sleep_for(20ms);
+    const std::uint64_t again = d.metrics.counter("net.frames_out");
+    if (again == frames_now) break;
+    frames_now = again;
+  }
+  const std::uint64_t frames = frames_now - frames0;
+  const std::uint64_t bytes = d.metrics.counter("net.bytes_out") - bytes0;
+
+  std::uint64_t want_frames = 0;
+  for (auto& drv : drivers) {
+    check_invariants("net", *drv, kReplicas);
+    want_frames += (drv->writes ? 2 : 4) * kReplicas * drv->target;
+  }
+  check_wire_total("net frames", frames, want_frames);
+
+  std::vector<bench::PerfRow> rows;
+  for (auto& drv : drivers) {
+    const double drv_wire =
+        static_cast<double>((drv->writes ? 2 : 4) * kReplicas * drv->completed);
+    const double drv_bytes = drivers.size() == 1
+                                 ? static_cast<double>(bytes)
+                                 : static_cast<double>(bytes) * drv_wire /
+                                       static_cast<double>(frames);
+    rows.push_back(
+        make_row("net", workload, *drv, window, seconds, drv_wire, drv_bytes));
+  }
+  const std::uint64_t writev_calls = d.metrics.counter("net.writev_calls");
+  if (writev_calls > 0) {
+    std::printf("    [net %s W=%d: %.1f frames per writev]\n", workload, window,
+                static_cast<double>(d.metrics.counter("net.frames_out")) /
+                    static_cast<double>(writev_calls));
+  }
+  return rows;
+}
+
+std::unique_ptr<Driver> make_driver(bool writes, std::uint64_t target) {
+  auto drv = std::make_unique<Driver>();
+  drv->writes = writes;
+  drv->target = target;
+  return drv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_P1.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  const std::uint64_t sim_ops = g_quick ? 800 : 5000;
+  const std::uint64_t cluster_ops = g_quick ? 300 : 3000;
+  const std::uint64_t net_ops = g_quick ? 300 : 4000;
+
+  std::printf("P1: pipelined throughput, n = %zu replicas, SWMR atomic registers\n",
+              kReplicas);
+  std::printf("(sim rows use virtual time; read = 2 RTT / %zu msgs, write = 1 RTT / %zu "
+              "msgs — invariant under any W)\n\n",
+              4 * kReplicas, 2 * kReplicas);
+  std::printf("%-8s %-7s %-6s %4s %8s %12s %9s %9s %9s %9s %7s %9s\n", "runtime",
+              "wkld", "op", "W", "ops", "ops/s", "p50us", "p99us", "p999us", "msgs/op",
+              "rt/op", "bytes/op");
+
+  bench::PerfJson out{"P1"};
+  const ProcessId sim_reader = kReplicas - 1;
+  const ProcessId sim_writer = 0;
+
+  // sim: closed-loop window sweep + serialized writer + open loop + mixed.
+  for (const int window : kWindows) {
+    auto rows = run_sim("closed", window, [&](harness::SimDeployment& d) {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      drivers.push_back(make_driver(false, sim_ops));
+      Driver* drv = drivers.back().get();
+      drv->node = &d.node(sim_reader);
+      d.world().at(d.world().now(), [drv, window] { drv->start(window); });
+      return drivers;
+    });
+    for (auto& r : rows) {
+      print_row(r);
+      out.add(std::move(r));
+    }
+  }
+  {
+    auto rows = run_sim("closed", 1, [&](harness::SimDeployment& d) {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      drivers.push_back(make_driver(true, sim_ops / 4));
+      Driver* drv = drivers.back().get();
+      drv->node = &d.node(sim_writer);
+      d.world().at(d.world().now(), [drv] { drv->start(1); });
+      return drivers;
+    });
+    for (auto& r : rows) {
+      print_row(r);
+      out.add(std::move(r));
+    }
+  }
+  {
+    // Open loop at one arrival per 500us of virtual time — ~2000 ops/s
+    // against a ~4-6ms read latency, so ~10 reads overlap on average.
+    auto rows = run_sim("open", 0, [&](harness::SimDeployment& d) {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      drivers.push_back(make_driver(false, sim_ops));
+      Driver* drv = drivers.back().get();
+      drv->node = &d.node(sim_reader);
+      const TimePoint t0 = d.world().now();
+      for (std::uint64_t i = 0; i < drv->target; ++i) {
+        d.world().at(t0 + i * 500us, [drv] {
+          ++drv->issued;
+          drv->node->read(0, [drv](const abd::OpResult& r) { drv->on_done(r, false); });
+        });
+      }
+      return drivers;
+    });
+    for (auto& r : rows) {
+      print_row(r);
+      out.add(std::move(r));
+    }
+  }
+  {
+    auto rows = run_sim("mixed", 16, [&](harness::SimDeployment& d) {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      drivers.push_back(make_driver(false, sim_ops));
+      drivers.push_back(make_driver(true, sim_ops / 8));
+      Driver* reader = drivers[0].get();
+      Driver* writer = drivers[1].get();
+      reader->node = &d.node(sim_reader);
+      writer->node = &d.node(sim_writer);
+      d.world().at(d.world().now(), [reader, writer] {
+        reader->start(16);
+        writer->start(1);  // SWMR: the writer never pipelines
+      });
+      return drivers;
+    });
+    for (auto& r : rows) {
+      print_row(r);
+      out.add(std::move(r));
+    }
+  }
+
+  // cluster: closed-loop window sweep + serialized writer.
+  for (const int window : kWindows) {
+    auto row = run_cluster_closed(false, window, cluster_ops);
+    print_row(row);
+    out.add(std::move(row));
+  }
+  {
+    auto row = run_cluster_closed(true, 1, cluster_ops / 4);
+    print_row(row);
+    out.add(std::move(row));
+  }
+
+  // net: closed-loop window sweep + serialized writer + open loop + mixed.
+  double net_w1 = 0;
+  double net_w16 = 0;
+  for (const int window : kWindows) {
+    std::vector<std::unique_ptr<Driver>> drivers;
+    drivers.push_back(make_driver(false, net_ops));
+    auto rows = run_net("closed", window, std::move(drivers));
+    if (window == 1) net_w1 = rows.front().ops_per_sec;
+    if (window == 16) net_w16 = rows.front().ops_per_sec;
+    for (auto& r : rows) {
+      print_row(r);
+      out.add(std::move(r));
+    }
+  }
+  {
+    std::vector<std::unique_ptr<Driver>> drivers;
+    drivers.push_back(make_driver(true, net_ops / 4));
+    auto rows = run_net("closed", 1, std::move(drivers));
+    for (auto& r : rows) {
+      print_row(r);
+      out.add(std::move(r));
+    }
+  }
+  if (net_w1 > 0) {
+    // Open loop at 3x the serial (W=1) throughput: only pipelining sustains it.
+    const auto gap = std::chrono::nanoseconds{
+        static_cast<std::int64_t>(1e9 / (3.0 * net_w1))};
+    std::vector<std::unique_ptr<Driver>> drivers;
+    drivers.push_back(make_driver(false, net_ops));
+    auto rows = run_net("open", 0, std::move(drivers), gap);
+    for (auto& r : rows) {
+      print_row(r);
+      out.add(std::move(r));
+    }
+  }
+  {
+    std::vector<std::unique_ptr<Driver>> drivers;
+    drivers.push_back(make_driver(false, net_ops));
+    drivers.push_back(make_driver(true, net_ops / 8));
+    auto rows = run_net("mixed", 16, std::move(drivers));
+    for (auto& r : rows) {
+      print_row(r);
+      out.add(std::move(r));
+    }
+  }
+
+  std::printf("\nnet read speedup W=16 vs W=1: %.2fx (target >= 5x; msgs/op identical "
+              "by the checks above)\n",
+              net_w1 > 0 ? net_w16 / net_w1 : 0.0);
+  if (!out.write_file(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

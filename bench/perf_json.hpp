@@ -1,0 +1,94 @@
+// Shared machine-readable perf output for the bench binaries.
+//
+// Every throughput/latency bench emits a BENCH_<ID>.json next to its stdout
+// tables so CI can archive a perf trajectory across PRs without parsing
+// printf columns. One schema for all benches:
+//
+//   {"bench":"P1","schema":1,"rows":[
+//     {"runtime":"net","workload":"closed","op":"read","window":16,"n":3,
+//      "ops":5000,"seconds":1.234,"ops_per_sec":4051.9,
+//      "p50_us":310,"p99_us":520,"p999_us":760,
+//      "msgs_per_op":6.0,"rounds_per_op":2.0,"bytes_per_op":132.4}, ...]}
+//
+// Fields that do not apply to a bench are written as 0 rather than omitted —
+// a fixed shape keeps the CI schema check and any diffing tooling trivial.
+// `window` is the pipelining window W for closed-loop rows, the client count
+// for multi-threaded benches, and 1 for pure latency benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace abdkit::bench {
+
+struct PerfRow {
+  std::string runtime;   // "sim" | "cluster" | "net"
+  std::string workload;  // "closed" | "open" | "mixed"
+  std::string op;        // "read" | "write" | "mixed"
+  int window{1};
+  std::size_t n{0};  // replica count
+  std::uint64_t ops{0};
+  double seconds{0};
+  double ops_per_sec{0};
+  std::uint64_t p50_us{0};
+  std::uint64_t p99_us{0};
+  std::uint64_t p999_us{0};
+  double msgs_per_op{0};
+  double rounds_per_op{0};
+  double bytes_per_op{0};
+};
+
+class PerfJson {
+ public:
+  explicit PerfJson(std::string bench) : bench_{std::move(bench)} {}
+
+  void add(PerfRow row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << R"({"bench":")" << bench_ << R"(","schema":1,"rows":[)";
+    bool first = true;
+    for (const PerfRow& r : rows_) {
+      if (!first) os << ',';
+      first = false;
+      os << R"({"runtime":")" << r.runtime << R"(","workload":")" << r.workload
+         << R"(","op":")" << r.op << R"(","window":)" << r.window << R"(,"n":)" << r.n
+         << R"(,"ops":)" << r.ops << R"(,"seconds":)" << r.seconds
+         << R"(,"ops_per_sec":)" << r.ops_per_sec << R"(,"p50_us":)" << r.p50_us
+         << R"(,"p99_us":)" << r.p99_us << R"(,"p999_us":)" << r.p999_us
+         << R"(,"msgs_per_op":)" << r.msgs_per_op << R"(,"rounds_per_op":)"
+         << r.rounds_per_op << R"(,"bytes_per_op":)" << r.bytes_per_op << '}';
+    }
+    os << "]}";
+    return os.str();
+  }
+
+  /// Writes the JSON document to `path`. Returns false (and prints to
+  /// stderr) on I/O failure so benches can exit non-zero.
+  [[nodiscard]] bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf_json: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    const std::string doc = to_json();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                    std::fputc('\n', f) != EOF;
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "perf_json: short write to %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<PerfRow> rows_;
+};
+
+}  // namespace abdkit::bench

@@ -153,7 +153,7 @@ class Client {
   struct PendingOp {
     OpKind kind{OpKind::kRead};
     ObjectId object{0};
-    Value write_value{};  // for writes
+    Value write_value{};  // MWMR only: parked until tag discovery completes
     OpCallback done;
     TimePoint invoked{};
     std::uint32_t rounds{0};

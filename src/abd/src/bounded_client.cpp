@@ -100,8 +100,9 @@ void BoundedClient::start_update_phase(std::shared_ptr<PendingOp> op, BoundedLab
   const RoundId id = begin_round(RoundKind::kCollectAcks, std::move(op));
   Round& round = rounds_.at(id);
   round.install_label = label;
-  round.install_value = value;
-  broadcast_for(round, make_payload<BUpdate>(id, round.op->object, label, value));
+  round.install_value = value;  // retained for the final OpResult
+  broadcast_for(round,
+                make_payload<BUpdate>(id, round.op->object, label, std::move(value)));
 }
 
 void BoundedClient::on_read_reply(ProcessId from, const BReadReply& reply) {

@@ -23,8 +23,11 @@
 //             "op.write_mwmr_us", "kv.get_us", ...
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -34,6 +37,47 @@
 #include "abdkit/common/types.hpp"
 
 namespace abdkit {
+
+/// Fixed log-bucket latency histogram: half-octave buckets (two per power
+/// of two) over microseconds, covering [1us, ~2^32us). Unlike a Summary it
+/// stores no samples — record() is one relaxed atomic increment plus a max
+/// CAS, so the threaded runtime can record from every mailbox thread with
+/// no lock and no allocation. Quantiles come back as the upper bound of the
+/// rank's bucket (≤ ~33% relative overestimate by construction, exact at
+/// the recorded max).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record_us(std::uint64_t us) noexcept {
+    buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (us > prev &&
+           !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t max_us() const noexcept {
+    return max_us_.load(std::memory_order_relaxed);
+  }
+  /// Upper bound of the bucket holding the q-quantile sample (0 if empty);
+  /// clamped to max_us() so the tail never overshoots the observed maximum.
+  [[nodiscard]] std::uint64_t quantile_us(double q) const noexcept;
+
+  /// Fold `other`'s counts into this histogram.
+  void merge(const LatencyHistogram& other) noexcept;
+  void reset() noexcept;
+
+  /// Bucket index for a sample: octave = floor(log2 us), split once at its
+  /// midpoint. 0 and 1 land in bucket 0; the top bucket absorbs overflow.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t us) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper_us(std::size_t bucket) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> max_us_{0};
+};
 
 class Metrics {
  public:
@@ -51,6 +95,16 @@ class Metrics {
   /// the unit every latency timer in the codebase uses.
   void observe_us(std::string_view name, Duration elapsed);
 
+  /// Stable handle to histogram `name` (creating it empty first). Hot paths
+  /// look the handle up once and then record lock-free; handles stay valid
+  /// until reset(). Histogram keys use the same "_us" suffix convention as
+  /// timers ("op.read_us", ...).
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name);
+
+  /// Snapshot-free convenience: record one sample into histogram `name`
+  /// (one map lookup under the lock; prefer a cached handle in hot loops).
+  void record_us(std::string_view name, Duration elapsed);
+
   /// Current value of a counter (0 if never touched).
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
 
@@ -59,6 +113,7 @@ class Metrics {
 
   [[nodiscard]] std::vector<std::string> counter_names() const;
   [[nodiscard]] std::vector<std::string> timer_names() const;
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
 
   /// Fold another registry into this one (same-name counters add,
   /// same-name timers merge their series).
@@ -68,14 +123,19 @@ class Metrics {
 
   /// One JSON object:
   ///   {"counters":{"name":N,...},
-  ///    "timers":{"name":{"count":N,"mean":X,"p50":X,"p99":X,"max":X},...}}
-  /// Keys are sorted (std::map iteration), so output is deterministic.
+  ///    "timers":{"name":{"count":N,"mean":X,"p50":X,"p99":X,"max":X},...},
+  ///    "hists":{"name":{"count":N,"p50":N,"p99":N,"p999":N,"max":N},...}}
+  /// Histogram quantiles are integral microseconds (log-bucket upper
+  /// bounds). Keys are sorted (std::map iteration), so output is
+  /// deterministic.
   [[nodiscard]] std::string to_json() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, Summary, std::less<>> timers_;
+  // unique_ptr: handles returned by histogram() must survive rehash/insert.
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
 };
 
 }  // namespace abdkit

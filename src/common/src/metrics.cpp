@@ -1,9 +1,76 @@
 #include "abdkit/common/metrics.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
 #include <sstream>
 
 namespace abdkit {
+
+// ---- LatencyHistogram -------------------------------------------------------------
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t us) noexcept {
+  if (us <= 1) return 0;
+  const unsigned octave = static_cast<unsigned>(std::bit_width(us)) - 1;
+  const unsigned half = static_cast<unsigned>((us >> (octave - 1)) & 1U);
+  const std::size_t bucket = 2 * static_cast<std::size_t>(octave) + half;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_us(std::size_t bucket) noexcept {
+  if (bucket == 0) return 1;
+  const unsigned octave = static_cast<unsigned>(bucket / 2);
+  const bool upper_half = (bucket % 2) != 0;
+  const std::uint64_t base = std::uint64_t{1} << octave;
+  return upper_half ? (base << 1) - 1 : base + (base >> 1) - 1;
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t LatencyHistogram::quantile_us(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> snapshot{};
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += snapshot[i];
+    if (cumulative > rank) {
+      const std::uint64_t observed_max = max_us();
+      return std::min(bucket_upper_us(i), observed_max > 0 ? observed_max : bucket_upper_us(i));
+    }
+  }
+  return max_us();
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  const std::uint64_t other_max = other.max_us();
+  std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (other_max > prev &&
+         !max_us_.compare_exchange_weak(prev, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Metrics ----------------------------------------------------------------------
 
 void Metrics::add(std::string_view name, std::uint64_t delta) {
   const std::scoped_lock lock{mutex_};
@@ -24,6 +91,21 @@ void Metrics::observe(std::string_view name, double sample) {
 
 void Metrics::observe_us(std::string_view name, Duration elapsed) {
   observe(name, static_cast<double>(elapsed.count()) / 1e3);
+}
+
+LatencyHistogram& Metrics::histogram(std::string_view name) {
+  const std::scoped_lock lock{mutex_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string{name}, std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Metrics::record_us(std::string_view name, Duration elapsed) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(elapsed);
+  histogram(name).record_us(static_cast<std::uint64_t>(us.count() < 0 ? 0 : us.count()));
 }
 
 std::uint64_t Metrics::counter(std::string_view name) const {
@@ -54,26 +136,49 @@ std::vector<std::string> Metrics::timer_names() const {
   return names;
 }
 
+std::vector<std::string> Metrics::histogram_names() const {
+  const std::scoped_lock lock{mutex_};
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) names.push_back(name);
+  return names;
+}
+
 void Metrics::merge(const Metrics& other) {
   // Snapshot the source first so the two locks are never held together
   // (merging a registry into itself or cross-merging from two threads must
   // not deadlock).
   std::map<std::string, std::uint64_t, std::less<>> counters;
   std::map<std::string, Summary, std::less<>> timers;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> hists;
   {
     const std::scoped_lock lock{other.mutex_};
     counters = other.counters_;
     timers = other.timers_;
+    for (const auto& [name, hist] : other.histograms_) {
+      auto copy = std::make_unique<LatencyHistogram>();
+      copy->merge(*hist);
+      hists.emplace(name, std::move(copy));
+    }
   }
   const std::scoped_lock lock{mutex_};
   for (const auto& [name, value] : counters) counters_[name] += value;
   for (const auto& [name, summary] : timers) timers_[name].merge(summary);
+  for (auto& [name, hist] : hists) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, std::move(hist));
+    } else {
+      it->second->merge(*hist);
+    }
+  }
 }
 
 void Metrics::reset() {
   const std::scoped_lock lock{mutex_};
   counters_.clear();
   timers_.clear();
+  histograms_.clear();
 }
 
 std::string Metrics::to_json() const {
@@ -94,6 +199,16 @@ std::string Metrics::to_json() const {
     os << '"' << name << R"(":{"count":)" << summary.count() << R"(,"mean":)"
        << summary.mean() << R"(,"p50":)" << summary.quantile(0.5) << R"(,"p99":)"
        << summary.quantile(0.99) << R"(,"max":)" << summary.max() << '}';
+  }
+  os << R"(},"hists":{)";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << R"(":{"count":)" << hist->count() << R"(,"p50":)"
+       << hist->quantile_us(0.5) << R"(,"p99":)" << hist->quantile_us(0.99)
+       << R"(,"p999":)" << hist->quantile_us(0.999) << R"(,"max":)" << hist->max_us()
+       << '}';
   }
   os << "}}";
   return os.str();

@@ -23,6 +23,13 @@ class SyncKv {
                                              Duration timeout);
   [[nodiscard]] std::optional<PutResult> erase(const std::string& key, Duration timeout);
 
+  /// Pipelined (non-blocking) variants: post the operation and return at
+  /// once; callbacks run on the host's mailbox thread. Gets may overlap
+  /// freely; overlapping puts to ONE key are safe (MWMR registers
+  /// underneath) but serialize at the protocol's tag-discovery round.
+  void get_async(std::string key, GetCallback done);
+  void put_async(std::string key, std::int64_t value, PutCallback done);
+
  private:
   runtime::Cluster* cluster_;
   ProcessId host_;

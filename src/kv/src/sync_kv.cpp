@@ -43,4 +43,17 @@ std::optional<PutResult> SyncKv::erase(const std::string& key, Duration timeout)
   return await(future, timeout);
 }
 
+void SyncKv::get_async(std::string key, GetCallback done) {
+  cluster_->post(host_, [node = node_, key = std::move(key), done = std::move(done)]() mutable {
+    node->get(key, std::move(done));
+  });
+}
+
+void SyncKv::put_async(std::string key, std::int64_t value, PutCallback done) {
+  cluster_->post(host_,
+                 [node = node_, key = std::move(key), value, done = std::move(done)]() mutable {
+                   node->put(key, value, std::move(done));
+                 });
+}
+
 }  // namespace abdkit::kv

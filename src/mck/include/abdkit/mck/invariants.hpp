@@ -102,11 +102,17 @@ class QuorumCompletionMonitor final : public Monitor {
 
   void on_deliver(const DeliveryInfo& info) override;
   void on_op_complete(ProcessId p, const checker::OpRecord& op) override;
+  void after_step() override;
 
-  /// Wire through ControlledWorld::set_send_hook. A client sending an
-  /// Update for an object with an open collect round means that collect
-  /// round just completed — its distinct-replier set is checked here, so
-  /// intermediate phases are covered, not only the operation-final one.
+  /// Wire through ControlledWorld::set_send_hook. A client sending the
+  /// first Update of a write-back means the collect round it was handling
+  /// when it sent it just completed — its distinct-replier set is checked
+  /// here, so intermediate phases are covered, not only the operation-final
+  /// one. A pipelined client (ScenarioOptions::pipeline_window > 1) may
+  /// have several collect rounds open per object at once; the completed
+  /// one is identified as the round of the reply being delivered right now
+  /// (write-backs are sent from inside the delivery that completed the
+  /// collect), never by object alone.
   void on_send(ProcessId from, ProcessId to, const Payload& payload);
   [[nodiscard]] std::optional<std::string> failed() const override {
     return failure_;
@@ -129,10 +135,18 @@ class QuorumCompletionMonitor final : public Monitor {
   std::shared_ptr<const quorum::QuorumSystem> quorums_;
   /// Keyed by (client process, round id) — round ids are per-client.
   std::map<std::pair<ProcessId, std::uint64_t>, RoundShadow> rounds_;
-  /// Open value/tag-collect round per (client, object): round id + whether
-  /// any request for it has been seen (dedupes broadcast sends).
-  std::map<std::pair<ProcessId, std::uint64_t>, std::uint64_t> open_collect_;
+  /// Open value/tag-collect rounds per (client, object). A set, not a
+  /// single slot: a pipelined client keeps up to W collects in flight per
+  /// object, and collapsing them to one round was exactly the bug that made
+  /// this monitor misfire on overlapping same-process reads.
+  std::map<std::pair<ProcessId, std::uint64_t>, std::set<std::uint64_t>>
+      open_collect_;
+  /// Update rounds already checked once; later sends of the same round are
+  /// the rest of the broadcast fan-out or retransmissions, not a new phase.
+  std::set<std::pair<ProcessId, std::uint64_t>> seen_update_rounds_;
   /// The reply round whose delivery is currently being handled, if any.
+  /// Cleared in after_step so a stale round from an earlier delivery can
+  /// never be attributed to a send made from a timer or stimulus context.
   std::optional<std::pair<ProcessId, std::uint64_t>> current_;
   std::uint64_t duplicate_deliveries_{0};
   std::optional<std::string> failure_;

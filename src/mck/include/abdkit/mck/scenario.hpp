@@ -54,6 +54,16 @@ struct ScenarioOptions {
   /// abd::ClientOptions::testing_revert_duplicate_reply_gate). Used by
   /// regression scenarios proving the explorer rediscovers the bug.
   bool revert_duplicate_reply_gate{false};
+  /// How many operations of one process's program may be in flight at once.
+  /// 1 (the default) serializes each program — the classic closed-loop
+  /// client. W > 1 models a pipelined client (bench_p1): ops i < W start
+  /// enabled and completing op i enables op i+W, so up to W quorum
+  /// conversations from one process overlap. The linearizability checker is
+  /// interval-based (process identity is irrelevant to it), so overlapping
+  /// same-process ops are fully checkable; History::well_formed, which
+  /// asserts per-process non-overlap, is a test-only helper and is
+  /// deliberately not part of this harness.
+  std::size_t pipeline_window{1};
 };
 
 class RegisterScenario {

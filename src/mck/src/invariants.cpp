@@ -67,23 +67,39 @@ void QuorumCompletionMonitor::on_send(ProcessId from, ProcessId /*to*/,
                                       const Payload& payload) {
   if (failure_.has_value()) return;
   if (const auto* query = payload_cast<abd::ReadQuery>(payload)) {
-    open_collect_[{from, query->object}] = query->round;
+    open_collect_[{from, query->object}].insert(query->round);
     return;
   }
   if (const auto* query = payload_cast<abd::TagQuery>(payload)) {
-    open_collect_[{from, query->object}] = query->round;
+    open_collect_[{from, query->object}].insert(query->round);
     return;
   }
   if (const auto* update = payload_cast<abd::Update>(payload)) {
-    // First Update of a write-back / install phase: if a collect round was
-    // open for this (client, object), it just completed.
+    // First Update of a write-back / install phase: the collect round the
+    // client was handling when it sent it just completed. That round is
+    // `current_` — write-backs are sent from inside the delivery of the
+    // quorum-completing reply, whose round IS the collect round. With a
+    // pipelined client several collect rounds may be open for the same
+    // (client, object) simultaneously, so the object alone must not pick
+    // one; any open round other than `current_` is still legitimately in
+    // flight and stays open.
+    if (!seen_update_rounds_.insert({from, update->round}).second) {
+      return;  // broadcast fan-out / retransmission of a checked phase
+    }
     const auto it = open_collect_.find({from, update->object});
-    if (it == open_collect_.end()) return;  // SWMR write: no prior collect
-    const std::uint64_t collect_round = it->second;
-    open_collect_.erase(it);
+    if (it == open_collect_.end() || it->second.empty()) {
+      return;  // SWMR write: no prior collect
+    }
+    if (!current_.has_value() || current_->first != from) return;
+    const auto round_it = it->second.find(current_->second);
+    if (round_it == it->second.end()) return;
+    const std::uint64_t collect_round = *round_it;
+    it->second.erase(round_it);
     check_round(from, collect_round, "collect phase");
   }
 }
+
+void QuorumCompletionMonitor::after_step() { current_.reset(); }
 
 void QuorumCompletionMonitor::check_round(ProcessId client, std::uint64_t round,
                                           const char* what) {
@@ -113,9 +129,7 @@ void QuorumCompletionMonitor::on_op_complete(ProcessId p,
   // A regular/fast-path read completes on its collect round directly; close
   // the open entry so it is not re-checked by an unrelated later Update.
   const auto it = open_collect_.find({p, op.object});
-  if (it != open_collect_.end() && it->second == current_->second) {
-    open_collect_.erase(it);
-  }
+  if (it != open_collect_.end()) it->second.erase(current_->second);
 }
 
 }  // namespace abdkit::mck

@@ -29,6 +29,9 @@ RegisterScenario::RegisterScenario(ScenarioOptions options)
   if (options_.programs.size() > n) {
     throw std::invalid_argument{"RegisterScenario: more programs than processes"};
   }
+  if (options_.pipeline_window == 0) {
+    throw std::invalid_argument{"RegisterScenario: pipeline_window must be >= 1"};
+  }
   quorums_ = std::make_shared<quorum::MajorityQuorum>(n);
   world_ = std::make_unique<ControlledWorld>(n);
 
@@ -74,7 +77,13 @@ RegisterScenario::RegisterScenario(ScenarioOptions options)
       stimulus_ids_[p].push_back(
           world_->add_stimulus(p, [this, p, i] { invoke(p, i); }));
     }
-    if (!stimulus_ids_[p].empty()) world_->enable_stimulus(stimulus_ids_[p][0]);
+    // The first pipeline_window ops of each program start enabled; each
+    // completion slides the window (see on_done). Window 1 is the classic
+    // one-op-at-a-time client.
+    for (std::size_t i = 0;
+         i < stimulus_ids_[p].size() && i < options_.pipeline_window; ++i) {
+      world_->enable_stimulus(stimulus_ids_[p][i]);
+    }
   }
 
   world_->start();
@@ -114,8 +123,8 @@ void RegisterScenario::on_done(ProcessId p, std::size_t index,
       true};
   for (const auto& m : monitors_) m->on_op_complete(p, record);
 
-  if (index + 1 < stimulus_ids_[p].size()) {
-    world_->enable_stimulus(stimulus_ids_[p][index + 1]);
+  if (index + options_.pipeline_window < stimulus_ids_[p].size()) {
+    world_->enable_stimulus(stimulus_ids_[p][index + options_.pipeline_window]);
   }
 }
 

@@ -47,6 +47,12 @@ struct Frame {
 [[nodiscard]] std::vector<std::byte> encode_frame(ProcessId src, ProcessId dst,
                                                   const Payload& payload);
 
+/// Appends the same frame to `out` without temporaries: the length prefix is
+/// reserved up front and patched once the body size is known, so the send
+/// path can encode many frames back-to-back into one reusable buffer.
+void encode_frame_into(std::vector<std::byte>& out, ProcessId src, ProcessId dst,
+                       const Payload& payload);
+
 class FrameDecoder {
  public:
   enum class Status : std::uint8_t {

@@ -1,0 +1,86 @@
+// Bounded outbound byte queue for one peer socket.
+//
+// The queue is a deque of fixed-target segments rather than one monotone
+// vector, for two reasons:
+//
+//   1. Eager compaction. The old transport kept every consumed byte resident
+//      until the buffer drained completely, so one slow reader pinned up to
+//      max_send_buffer of dead memory. Here a fully-written segment is
+//      released (or recycled) the moment the kernel accepts its last byte,
+//      bounding dead memory to one partially-written segment.
+//   2. Scatter-gather flushes. gather() exposes the unsent bytes as an iovec
+//      array, so flush_peer can hand many frames to one writev(2) — frames
+//      coalesce into syscalls without ever being copied together.
+//
+// Frames are encoded directly into the tail segment (tail()/commit(mark)),
+// so the enqueue path allocates nothing once segment capacity has warmed up.
+// A frame never spans segments: the tail is sealed only before a frame
+// starts, so a segment holds whole frames and is at most kSegmentTarget plus
+// one maximum-size frame.
+//
+// Single-threaded: owned and touched by the transport's event-loop thread.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace abdkit::net {
+
+class SendQueue {
+ public:
+  /// Segments are sealed once they reach this size; also the granularity of
+  /// eager memory release under partial writes.
+  static constexpr std::size_t kSegmentTarget = 64 * 1024;
+
+  /// Default: effectively unbounded; the transport installs the configured
+  /// cap via set_limit() when the peer table is built.
+  SendQueue() noexcept = default;
+  explicit SendQueue(std::size_t max_queued_bytes) noexcept
+      : max_queued_bytes_{max_queued_bytes} {}
+
+  void set_limit(std::size_t max_queued_bytes) noexcept {
+    max_queued_bytes_ = max_queued_bytes;
+  }
+
+  /// Buffer to encode the next frame into, at its current end. Record the
+  /// size first and pass it to commit()/rollback via `mark`.
+  [[nodiscard]] std::vector<std::byte>& tail();
+
+  /// Accept the bytes encoded after `mark` as one frame. Returns false — and
+  /// removes them again — if they would push the queue past its byte cap
+  /// (the caller counts a dropped send, the crash-fault model).
+  [[nodiscard]] bool commit(std::size_t mark);
+
+  /// Fill up to `max_iov` iovecs with the unsent bytes, oldest first.
+  /// Returns the number of entries filled.
+  [[nodiscard]] int gather(struct iovec* out, int max_iov) const noexcept;
+
+  /// Advance past `n` bytes the kernel accepted; fully-consumed segments are
+  /// released immediately (one is kept as a spare to recycle capacity).
+  void consume(std::size_t n) noexcept;
+
+  /// Drop everything queued (peer failure). Spare capacity is kept.
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t queued_bytes() const noexcept { return queued_; }
+  [[nodiscard]] bool empty() const noexcept { return queued_ == 0; }
+  /// Monotone count of frames ever committed (coalescing diagnostics).
+  [[nodiscard]] std::uint64_t frames_committed() const noexcept { return frames_; }
+  /// Bytes of heap actually held (segment + spare capacity) — what the
+  /// slow-reader regression test bounds.
+  [[nodiscard]] std::size_t resident_bytes() const noexcept;
+
+ private:
+  std::deque<std::vector<std::byte>> segments_;
+  std::vector<std::byte> spare_;   ///< recycled segment capacity
+  std::size_t head_offset_{0};     ///< consumed prefix of segments_.front()
+  std::size_t queued_{0};
+  std::uint64_t frames_{0};
+  std::size_t max_queued_bytes_{static_cast<std::size_t>(-1)};
+};
+
+}  // namespace abdkit::net

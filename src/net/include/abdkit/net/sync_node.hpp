@@ -26,6 +26,19 @@ class SyncNode {
   [[nodiscard]] std::optional<abd::OpResult> write(abd::ObjectId object, Value value,
                                                    Duration timeout);
 
+  /// Pipelined (non-blocking) read: posts the operation and returns at
+  /// once; `done` runs on the transport's event-loop thread. Any number of
+  /// operations may be in flight — abd::Client tracks each as its own
+  /// pending op, so a window of W reads costs W concurrent quorum rounds
+  /// instead of W serialized RTTs. (The blocking read()/write() above are
+  /// what forced one-op-at-a-time before.)
+  void read_async(abd::ObjectId object, abd::OpCallback done);
+
+  /// Pipelined write. NOTE: the SWMR protocol assumes one writer writing
+  /// one object serially; callers must not overlap write_async calls on the
+  /// same object (readers may pipeline freely).
+  void write_async(abd::ObjectId object, Value value, abd::OpCallback done);
+
  private:
   Transport* transport_;
   abd::RegisterNode* node_;

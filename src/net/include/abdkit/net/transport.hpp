@@ -46,6 +46,7 @@
 #include "abdkit/common/message.hpp"
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/common/transport.hpp"
+#include "abdkit/net/send_queue.hpp"
 #include "abdkit/runtime/cluster.hpp"
 
 namespace abdkit::net {
@@ -87,6 +88,9 @@ struct TransportOptions {
   ///   net.disconnects, net.bytes_in, net.bytes_out, net.frames_in,
   ///   net.frames_out, net.frame_decode_errors, net.sends_dropped,
   ///   net.dropped_bytes, net.misrouted_frames.
+  /// Coalescing diagnostics (frames_out / writev_calls is the outbound
+  /// frames-per-syscall factor; frames_in / read_calls the inbound one):
+  ///   net.writev_calls, net.writev_iovecs, net.read_calls.
   Metrics* metrics{nullptr};
   /// Optional ClusterEvent-style observer (same type as runtime::Cluster's
   /// hook, so trace::ClusterRecorder works against either backend). Invoked
@@ -129,6 +133,15 @@ class Transport {
   /// Nanoseconds since construction (the Context::now clock).
   [[nodiscard]] TimePoint now() const;
 
+  /// Snapshot of one peer's outbound queue (test/diagnostic visibility).
+  /// Loop-thread state: call only from within post(), like the actor.
+  struct SendQueueStats {
+    std::size_t queued_bytes{0};
+    std::size_t resident_bytes{0};
+    std::uint64_t frames_committed{0};
+  };
+  [[nodiscard]] SendQueueStats send_queue_stats(ProcessId peer) const;
+
  private:
   friend class NetContext;
 
@@ -138,9 +151,12 @@ class Transport {
   struct Peer {
     PeerState state{PeerState::kIdle};
     int fd{-1};
-    /// Pending frame bytes; [sent, size) is the unwritten suffix.
-    std::vector<std::byte> send_buffer;
-    std::size_t sent{0};
+    /// Pending frames, segment-buffered for writev coalescing and eager
+    /// compaction (the limit is installed in start()).
+    SendQueue queue;
+    /// Frames enqueued since the last flush; cleared by flush_dirty_peers()
+    /// so every poll cycle ends with at most one writev pass per peer.
+    bool flush_pending{false};
     Duration backoff{};
     TimePoint next_attempt{};  ///< meaningful in kBackoff
     bool ever_connected{false};
@@ -171,6 +187,7 @@ class Transport {
   void begin_connect(ProcessId peer);
   void peer_failed(ProcessId peer, bool was_connected);
   void flush_peer(ProcessId peer);
+  void flush_dirty_peers();
   void accept_ready();
   void inbound_ready(Inbound& conn);
   void deliver(const Frame& frame);

@@ -16,17 +16,30 @@ std::uint32_t read_u32le(const std::byte* p) noexcept {
                                     (std::to_integer<std::uint32_t>(p[3]) << 24));
 }
 
+void write_u32le(std::byte* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::byte>(v & 0xff);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xff);
+  p[2] = static_cast<std::byte>((v >> 16) & 0xff);
+  p[3] = static_cast<std::byte>((v >> 24) & 0xff);
+}
+
 }  // namespace
 
 std::vector<std::byte> encode_frame(ProcessId src, ProcessId dst, const Payload& payload) {
-  const std::vector<std::byte> body = wire::encode(payload);
-  wire::Writer w;
-  w.u32(static_cast<std::uint32_t>(kFrameAddressBytes + body.size()));
+  std::vector<std::byte> frame;
+  encode_frame_into(frame, src, dst, payload);
+  return frame;
+}
+
+void encode_frame_into(std::vector<std::byte>& out, ProcessId src, ProcessId dst,
+                       const Payload& payload) {
+  const std::size_t start = out.size();
+  out.resize(start + 4);  // length prefix, patched below
+  wire::Writer w{out};
   w.u32(src);
   w.u32(dst);
-  std::vector<std::byte> frame = w.take();
-  frame.insert(frame.end(), body.begin(), body.end());
-  return frame;
+  wire::encode_into(out, payload);
+  write_u32le(out.data() + start, static_cast<std::uint32_t>(out.size() - start - 4));
 }
 
 void FrameDecoder::fail(std::string reason) {

@@ -1,0 +1,83 @@
+#include "abdkit/net/send_queue.hpp"
+
+#include <utility>
+
+namespace abdkit::net {
+
+std::vector<std::byte>& SendQueue::tail() {
+  if (segments_.empty() || segments_.back().size() >= kSegmentTarget) {
+    if (spare_.capacity() > 0) {
+      segments_.push_back(std::move(spare_));
+      segments_.back().clear();
+      spare_ = {};
+    } else {
+      segments_.emplace_back();
+    }
+  }
+  return segments_.back();
+}
+
+bool SendQueue::commit(std::size_t mark) {
+  std::vector<std::byte>& segment = segments_.back();
+  const std::size_t added = segment.size() - mark;
+  if (queued_ + added > max_queued_bytes_) {
+    segment.resize(mark);
+    return false;
+  }
+  queued_ += added;
+  ++frames_;
+  return true;
+}
+
+int SendQueue::gather(struct iovec* out, int max_iov) const noexcept {
+  int filled = 0;
+  std::size_t offset = head_offset_;
+  for (const std::vector<std::byte>& segment : segments_) {
+    if (filled >= max_iov) break;
+    if (segment.size() > offset) {
+      // iovec wants a mutable pointer even though writev never writes.
+      out[filled].iov_base =
+          const_cast<std::byte*>(segment.data() + offset);  // NOLINT(cppcoreguidelines-pro-type-const-cast)
+      out[filled].iov_len = segment.size() - offset;
+      ++filled;
+    }
+    offset = 0;
+  }
+  return filled;
+}
+
+void SendQueue::consume(std::size_t n) noexcept {
+  queued_ -= n;
+  while (n > 0) {
+    std::vector<std::byte>& head = segments_.front();
+    const std::size_t available = head.size() - head_offset_;
+    if (n < available) {
+      head_offset_ += n;
+      return;
+    }
+    n -= available;
+    if (spare_.capacity() == 0) spare_ = std::move(head);
+    segments_.pop_front();
+    head_offset_ = 0;
+  }
+  // A fully-drained tail segment may remain (size == head_offset_ == 0 never
+  // happens: the loop popped it), so nothing else to do.
+}
+
+void SendQueue::clear() noexcept {
+  if (!segments_.empty() && spare_.capacity() == 0) {
+    spare_ = std::move(segments_.front());
+    spare_.clear();
+  }
+  segments_.clear();
+  head_offset_ = 0;
+  queued_ = 0;
+}
+
+std::size_t SendQueue::resident_bytes() const noexcept {
+  std::size_t total = spare_.capacity();
+  for (const std::vector<std::byte>& segment : segments_) total += segment.capacity();
+  return total;
+}
+
+}  // namespace abdkit::net

@@ -36,4 +36,17 @@ std::optional<abd::OpResult> SyncNode::write(abd::ObjectId object, Value value,
   return await(future, timeout);
 }
 
+void SyncNode::read_async(abd::ObjectId object, abd::OpCallback done) {
+  transport_->post([node = node_, object, done = std::move(done)]() mutable {
+    node->read(object, std::move(done));
+  });
+}
+
+void SyncNode::write_async(abd::ObjectId object, Value value, abd::OpCallback done) {
+  transport_->post(
+      [node = node_, object, value = std::move(value), done = std::move(done)]() mutable {
+        node->write(object, std::move(value), std::move(done));
+      });
+}
+
 }  // namespace abdkit::net

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -46,6 +47,10 @@ bool fill_sockaddr(const Address& address, sockaddr_in& out) {
   out.sin_port = htons(address.port);
   return ::inet_pton(AF_INET, address.host.c_str(), &out.sin_addr) == 1;
 }
+
+/// Upper bound on iovecs per writev — far below IOV_MAX, and enough that
+/// one syscall drains several segments' worth of coalesced frames.
+constexpr int kMaxFlushIov = 64;
 
 }  // namespace
 
@@ -166,6 +171,7 @@ void Transport::start(std::vector<Address> peers) {
   }
   table_ = std::move(peers);
   peers_.resize(table_.size());
+  for (Peer& peer : peers_) peer.queue.set_limit(options_.max_send_buffer);
   int pipe_fds[2] = {-1, -1};
   if (::pipe(pipe_fds) < 0) throw_errno("pipe");
   wake_read_fd_ = pipe_fds[0];
@@ -219,6 +225,16 @@ TimePoint Transport::now() const {
   return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - epoch_);
 }
 
+Transport::SendQueueStats Transport::send_queue_stats(ProcessId peer) const {
+  SendQueueStats stats;
+  if (peer < peers_.size()) {
+    stats.queued_bytes = peers_[peer].queue.queued_bytes();
+    stats.resident_bytes = peers_[peer].queue.resident_bytes();
+    stats.frames_committed = peers_[peer].queue.frames_committed();
+  }
+  return stats;
+}
+
 // ---- Metrics / tracing ------------------------------------------------------------
 
 void Transport::count(std::string_view name, std::uint64_t delta) {
@@ -251,21 +267,27 @@ void Transport::send(ProcessId to, PayloadPtr payload) {
     self_queue_.push_back(std::move(payload));
     return;
   }
-  const std::vector<std::byte> frame = encode_frame(options_.self, to, *payload);
   Peer& peer = peers_[to];
-  if (peer.send_buffer.size() - peer.sent + frame.size() > options_.max_send_buffer) {
+  // Encode straight into the peer's segment queue; commit() rejects (and
+  // removes) the frame if it would breach max_send_buffer.
+  std::vector<std::byte>& segment = peer.queue.tail();
+  const std::size_t mark = segment.size();
+  encode_frame_into(segment, options_.self, to, *payload);
+  if (!peer.queue.commit(mark)) {
     count("net.sends_dropped");
     observe(ClusterEvent::Kind::kDrop, options_.self, to, payload);
     return;
   }
-  peer.send_buffer.insert(peer.send_buffer.end(), frame.begin(), frame.end());
   count("net.frames_out");
   switch (peer.state) {
     case PeerState::kIdle:
       begin_connect(to);
       break;
     case PeerState::kConnected:
-      flush_peer(to);
+      // Deferred: flush_dirty_peers() runs one coalesced writev pass per
+      // poll cycle, so a burst of sends (a broadcast, pipelined ops) shares
+      // syscalls instead of paying one write(2) per frame.
+      peer.flush_pending = true;
       break;
     case PeerState::kConnecting:
     case PeerState::kBackoff:
@@ -350,11 +372,9 @@ void Transport::peer_failed(ProcessId peer_id, bool was_connected) {
   peer.fd = -1;
   if (was_connected) count("net.disconnects");
   // Whatever was queued counts as in-flight loss — the crash-fault model.
-  if (peer.send_buffer.size() > peer.sent) {
-    count("net.dropped_bytes", peer.send_buffer.size() - peer.sent);
-  }
-  peer.send_buffer.clear();
-  peer.sent = 0;
+  if (!peer.queue.empty()) count("net.dropped_bytes", peer.queue.queued_bytes());
+  peer.queue.clear();
+  peer.flush_pending = false;
   if (peer_id < options_.world_size) {
     // Replica mesh: keep redialing with exponential backoff forever, so a
     // restarted replica is readopted without coordination.
@@ -371,12 +391,19 @@ void Transport::peer_failed(ProcessId peer_id, bool was_connected) {
 
 void Transport::flush_peer(ProcessId peer_id) {
   Peer& peer = peers_[peer_id];
-  while (peer.sent < peer.send_buffer.size()) {
-    const std::size_t remaining = peer.send_buffer.size() - peer.sent;
-    const ssize_t n = ::write(peer.fd, peer.send_buffer.data() + peer.sent, remaining);
+  peer.flush_pending = false;
+  while (!peer.queue.empty()) {
+    struct iovec iov[kMaxFlushIov];
+    const int iov_n = peer.queue.gather(iov, kMaxFlushIov);
+    const ssize_t n = ::writev(peer.fd, iov, iov_n);
     if (n > 0) {
-      peer.sent += static_cast<std::size_t>(n);
+      // Consumed segments are released inside the queue immediately — a
+      // partial write never pins the already-written prefix (the old
+      // monolithic buffer kept it resident until a full drain).
+      peer.queue.consume(static_cast<std::size_t>(n));
       count("net.bytes_out", static_cast<std::uint64_t>(n));
+      count("net.writev_calls");
+      count("net.writev_iovecs", static_cast<std::uint64_t>(iov_n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
@@ -384,8 +411,18 @@ void Transport::flush_peer(ProcessId peer_id) {
     peer_failed(peer_id, true);
     return;
   }
-  peer.send_buffer.clear();
-  peer.sent = 0;
+}
+
+void Transport::flush_dirty_peers() {
+  for (ProcessId p = 0; p < peers_.size(); ++p) {
+    Peer& peer = peers_[p];
+    if (!peer.flush_pending) continue;
+    if (peer.state == PeerState::kConnected) {
+      flush_peer(p);
+    } else {
+      peer.flush_pending = false;  // flushed on connect instead
+    }
+  }
 }
 
 void Transport::accept_ready() {
@@ -410,6 +447,7 @@ void Transport::inbound_ready(Inbound& conn) {
   for (;;) {
     const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
     if (n > 0) {
+      count("net.read_calls");
       count("net.bytes_in", static_cast<std::uint64_t>(n));
       conn.decoder->feed(std::span{chunk, static_cast<std::size_t>(n)});
       Frame frame;
@@ -519,6 +557,10 @@ void Transport::loop() {
       }
     }
 
+    // One coalesced writev pass over everything the drains and the previous
+    // cycle's event handling enqueued — always before poll() can sleep.
+    flush_dirty_peers();
+
     fds.clear();
     refs.clear();
     fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
@@ -529,7 +571,7 @@ void Transport::loop() {
       const Peer& peer = peers_[i];
       if (peer.fd < 0) continue;
       short events = POLLIN;  // established: detect EOF/reset from the peer
-      if (peer.state == PeerState::kConnecting || peer.sent < peer.send_buffer.size()) {
+      if (peer.state == PeerState::kConnecting || !peer.queue.empty()) {
         events = static_cast<short>(events | POLLOUT);
       }
       fds.push_back(pollfd{peer.fd, events, 0});

@@ -26,6 +26,16 @@ class SyncRegister {
   [[nodiscard]] std::optional<abd::OpResult> write(abd::ObjectId object, Value value,
                                                    Duration timeout);
 
+  /// Pipelined (non-blocking) read: posts the operation and returns at
+  /// once; `done` runs on the host's mailbox thread. Any number of reads
+  /// may be in flight concurrently — the blocking read() above is what
+  /// forced one-op-at-a-time before.
+  void read_async(abd::ObjectId object, abd::OpCallback done);
+
+  /// Pipelined write. The SWMR protocol assumes one serial writer per
+  /// object; callers must not overlap write_async calls on one object.
+  void write_async(abd::ObjectId object, Value value, abd::OpCallback done);
+
  private:
   Cluster* cluster_;
   ProcessId host_;

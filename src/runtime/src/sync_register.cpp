@@ -35,4 +35,18 @@ std::optional<abd::OpResult> SyncRegister::write(abd::ObjectId object, Value val
   return await(future, timeout);
 }
 
+void SyncRegister::read_async(abd::ObjectId object, abd::OpCallback done) {
+  cluster_->post(host_, [node = node_, object, done = std::move(done)]() mutable {
+    node->read(object, std::move(done));
+  });
+}
+
+void SyncRegister::write_async(abd::ObjectId object, Value value, abd::OpCallback done) {
+  cluster_->post(
+      host_,
+      [node = node_, object, value = std::move(value), done = std::move(done)]() mutable {
+        node->write(object, std::move(value), std::move(done));
+      });
+}
+
 }  // namespace abdkit::runtime

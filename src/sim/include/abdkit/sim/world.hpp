@@ -71,6 +71,13 @@ struct NetStats {
   std::uint64_t messages_parked{0};      // held at a partition boundary
   std::uint64_t bytes_sent{0};
   std::map<PayloadTag, std::uint64_t> sent_by_tag;
+  /// Per-tag delivery counts — the sim-side mirror of the net transport's
+  /// frame accounting. The net layer may coalesce many frames into one
+  /// syscall, but each frame is still one protocol message; counting
+  /// deliveries per tag here keeps the simulator the exact ground truth the
+  /// throughput bench checks batched runtimes against (msgs/op must match
+  /// the E1 formulae on every rung of the runtime ladder).
+  std::map<PayloadTag, std::uint64_t> delivered_by_tag;
 
   void reset() { *this = NetStats{}; }
 };

@@ -337,6 +337,7 @@ void World::deliver_now(const Message& msg) {
     return;
   }
   ++stats_.messages_delivered;
+  ++stats_.delivered_by_tag[msg.payload->tag()];
   observe(WorldEvent::Kind::kDeliver, msg.from, msg.to, msg.payload);
   ABDKIT_LOG(LogLevel::kTrace, "sim",
              "t=", now_.count(), "ns ", msg.from, " -> ", msg.to, " ",

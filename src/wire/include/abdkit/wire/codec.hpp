@@ -38,9 +38,17 @@
 
 namespace abdkit::wire {
 
-/// Append-only byte sink with primitive encoders.
+/// Append-only byte sink with primitive encoders. By default the Writer
+/// owns its buffer; the borrowing constructor appends into a caller-provided
+/// vector instead, so hot paths can reuse one scratch buffer across many
+/// messages and pay zero allocations once its capacity has warmed up.
 class Writer {
  public:
+  Writer() noexcept : buffer_{&owned_} {}
+  /// Appends into `sink` (existing contents are preserved). The sink must
+  /// outlive the Writer; take() is not meaningful in this mode.
+  explicit Writer(std::vector<std::byte>& sink) noexcept : buffer_{&sink} {}
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -50,12 +58,13 @@ class Writer {
   void tag(const abd::Tag& t);
   void value(const Value& v);
 
-  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buffer_; }
-  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buffer_); }
-  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return *buffer_; }
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(owned_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_->size(); }
 
  private:
-  std::vector<std::byte> buffer_;
+  std::vector<std::byte> owned_;
+  std::vector<std::byte>* buffer_;
 };
 
 /// Bounds-checked byte source. Every getter returns false (and poisons the
@@ -88,6 +97,11 @@ class Reader {
 /// Serializes any supported payload (envelope included). Throws
 /// std::invalid_argument for payload tags the codec does not know.
 [[nodiscard]] std::vector<std::byte> encode(const Payload& payload);
+
+/// Appends the encoding of `payload` (envelope included) to `out` without
+/// allocating a temporary — the transport hot path encodes straight into a
+/// reusable per-peer scratch buffer.
+void encode_into(std::vector<std::byte>& out, const Payload& payload);
 
 /// Parses an envelope+body. Returns nullptr for unknown tags, truncation,
 /// trailing garbage, or any other malformation.

@@ -26,7 +26,7 @@ constexpr std::uint64_t kMaxObjectList = 1 << 20;
 
 // ---- Writer ---------------------------------------------------------------------
 
-void Writer::u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+void Writer::u8(std::uint8_t v) { buffer_->push_back(static_cast<std::byte>(v)); }
 
 void Writer::u16(std::uint16_t v) {
   u8(static_cast<std::uint8_t>(v & 0xff));
@@ -548,10 +548,15 @@ bool codec_supports(PayloadTag tag) noexcept {
 }
 
 std::vector<std::byte> encode(const Payload& payload) {
-  Writer w;
+  std::vector<std::byte> out;
+  encode_into(out, payload);
+  return out;
+}
+
+void encode_into(std::vector<std::byte>& out, const Payload& payload) {
+  Writer w{out};
   w.u32(payload.tag());
   encode_body(w, payload);
-  return w.take();
 }
 
 PayloadPtr decode(std::span<const std::byte> bytes) {

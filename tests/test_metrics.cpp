@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -93,11 +95,69 @@ TEST(Metrics, JsonShapeIsDeterministic) {
   m.add("b.count", 2);
   m.add("a.count", 1);
   m.observe("lat_us", 4.0);
+  m.record_us("op_us", 7us);
   EXPECT_EQ(m.to_json(),
             R"({"counters":{"a.count":1,"b.count":2},)"
-            R"("timers":{"lat_us":{"count":1,"mean":4,"p50":4,"p99":4,"max":4}}})");
+            R"("timers":{"lat_us":{"count":1,"mean":4,"p50":4,"p99":4,"max":4}},)"
+            R"("hists":{"op_us":{"count":1,"p50":7,"p99":7,"p999":7,"max":7}}})");
   Metrics empty;
-  EXPECT_EQ(empty.to_json(), R"({"counters":{},"timers":{}})");
+  EXPECT_EQ(empty.to_json(), R"({"counters":{},"timers":{},"hists":{}})");
+}
+
+// ---- Latency histograms -----------------------------------------------------
+
+TEST(LatencyHistogram, QuantilesBoundedByHalfOctaveBuckets) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.quantile_us(0.5), 0U);
+  for (std::uint64_t us = 1; us <= 1000; ++us) h.record_us(us);
+  EXPECT_EQ(h.count(), 1000U);
+  EXPECT_EQ(h.max_us(), 1000U);
+  // Half-octave buckets overestimate by at most ~50% of the true quantile
+  // (bucket upper bound vs any sample inside it), and never exceed the max.
+  const std::uint64_t p50 = h.quantile_us(0.5);
+  EXPECT_GE(p50, 500U);
+  EXPECT_LE(p50, 511U);  // 500 falls in half-octave [384,511]; upper bound reported
+  EXPECT_LE(h.quantile_us(0.999), 1000U);
+  EXPECT_EQ(h.quantile_us(1.0), 1000U);
+}
+
+TEST(LatencyHistogram, MergeAndResetFold) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record_us(10);
+  b.record_us(5000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_EQ(a.max_us(), 5000U);
+  a.reset();
+  EXPECT_EQ(a.count(), 0U);
+  EXPECT_EQ(a.max_us(), 0U);
+}
+
+TEST(LatencyHistogram, RegistryHandlesAreStableAcrossInserts) {
+  Metrics m;
+  LatencyHistogram& first = m.histogram("z.op_us");
+  first.record_us(3);
+  // Inserting more names must not invalidate the earlier handle.
+  for (int i = 0; i < 32; ++i) m.histogram("h" + std::to_string(i)).record_us(1);
+  first.record_us(4);
+  EXPECT_EQ(m.histogram("z.op_us").count(), 2U);
+  EXPECT_EQ(m.histogram_names().size(), 33U);
+  m.record_us("z.op_us", std::chrono::microseconds{100});
+  EXPECT_EQ(m.histogram("z.op_us").count(), 3U);
+}
+
+TEST(LatencyHistogram, MetricsMergeFoldsHistograms) {
+  Metrics a;
+  Metrics b;
+  a.histogram("op_us").record_us(10);
+  b.histogram("op_us").record_us(20);
+  b.histogram("only_b_us").record_us(1);
+  a.merge(b);
+  EXPECT_EQ(a.histogram("op_us").count(), 2U);
+  EXPECT_EQ(a.histogram("op_us").max_us(), 20U);
+  EXPECT_EQ(a.histogram("only_b_us").count(), 1U);
 }
 
 TEST(Metrics, ConcurrentRecordingIsSafe) {

@@ -13,7 +13,9 @@
 // through the PR-1 metrics registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <future>
 #include <memory>
 #include <thread>
@@ -25,7 +27,9 @@
 #include "abdkit/checker/linearizability.hpp"
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/common/rng.hpp"
+#include "abdkit/common/transport.hpp"
 #include "abdkit/net/frame.hpp"
+#include "abdkit/net/send_queue.hpp"
 #include "abdkit/net/sync_node.hpp"
 #include "abdkit/net/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
@@ -321,6 +325,218 @@ TEST(NetTransport, PostRunsOnTheLoopThread) {
   auto future = ran.get_future();
   ASSERT_EQ(future.wait_for(2s), std::future_status::ready);
   EXPECT_NE(future.get(), std::this_thread::get_id());
+}
+
+// ---- SendQueue ---------------------------------------------------------------
+
+std::size_t enqueue_frame(SendQueue& queue, std::size_t bytes) {
+  std::vector<std::byte>& segment = queue.tail();
+  const std::size_t mark = segment.size();
+  segment.resize(mark + bytes, std::byte{0x5a});
+  return mark;
+}
+
+std::vector<std::byte> gathered(const SendQueue& queue) {
+  struct iovec iov[64];
+  const int n = queue.gather(iov, 64);
+  std::vector<std::byte> out;
+  for (int i = 0; i < n; ++i) {
+    const auto* base = static_cast<const std::byte*>(iov[i].iov_base);
+    out.insert(out.end(), base, base + iov[i].iov_len);
+  }
+  return out;
+}
+
+TEST(SendQueue, GathersExactlyTheUnconsumedBytes) {
+  SendQueue queue;
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.commit(enqueue_frame(queue, 100)));
+  }
+  EXPECT_EQ(queue.queued_bytes(), 500u);
+  EXPECT_EQ(queue.frames_committed(), 5u);
+  EXPECT_EQ(gathered(queue).size(), 500u);
+
+  queue.consume(150);  // mid-frame: the unsent suffix must stay intact
+  EXPECT_EQ(queue.queued_bytes(), 350u);
+  EXPECT_EQ(gathered(queue).size(), 350u);
+  queue.consume(350);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.gather(nullptr, 0), 0);
+}
+
+TEST(SendQueue, CommitPastTheLimitRollsTheFrameBack) {
+  SendQueue queue{256};
+  ASSERT_TRUE(queue.commit(enqueue_frame(queue, 200)));
+  const std::size_t mark = enqueue_frame(queue, 100);
+  EXPECT_FALSE(queue.commit(mark));  // 300 > 256: rejected...
+  EXPECT_EQ(queue.queued_bytes(), 200u);
+  EXPECT_EQ(queue.frames_committed(), 1u);
+  EXPECT_EQ(gathered(queue).size(), 200u);  // ...and the bytes are gone
+  ASSERT_TRUE(queue.commit(enqueue_frame(queue, 56)));  // exactly at the cap
+  EXPECT_EQ(queue.queued_bytes(), 256u);
+}
+
+TEST(SendQueue, FramesNeverSpanSegments) {
+  SendQueue queue;
+  // Fill just past one segment target, then add another frame: it must land
+  // in a fresh segment, so a writev that ends on the boundary never splits it.
+  ASSERT_TRUE(queue.commit(enqueue_frame(queue, SendQueue::kSegmentTarget + 10)));
+  ASSERT_TRUE(queue.commit(enqueue_frame(queue, 64)));
+  struct iovec iov[4];
+  ASSERT_EQ(queue.gather(iov, 4), 2);
+  EXPECT_EQ(iov[0].iov_len, SendQueue::kSegmentTarget + 10);
+  EXPECT_EQ(iov[1].iov_len, 64u);
+}
+
+TEST(SendQueue, EagerCompactionReleasesConsumedSegments) {
+  // The slow-reader retention property at the unit level: drive ~4 MiB
+  // through the queue with a consumer that always lags one segment behind,
+  // and the resident heap must stay bounded by a couple of segments — the
+  // old monolithic buffer kept every consumed byte until a full drain.
+  SendQueue queue;
+  constexpr std::size_t kFrame = 4096;
+  std::size_t high_water = 0;
+  for (int i = 0; i < 1024; ++i) {
+    ASSERT_TRUE(queue.commit(enqueue_frame(queue, kFrame)));
+    if (queue.queued_bytes() > SendQueue::kSegmentTarget) {
+      queue.consume(SendQueue::kSegmentTarget);
+    }
+    high_water = std::max(high_water, queue.resident_bytes());
+  }
+  queue.consume(queue.queued_bytes());
+  EXPECT_LT(high_water, 4 * SendQueue::kSegmentTarget);
+  EXPECT_LT(queue.resident_bytes(), 3 * SendQueue::kSegmentTarget);
+  // clear() after partial consumption must also release everything but the
+  // recycled spare.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(queue.commit(enqueue_frame(queue, kFrame)));
+  }
+  queue.consume(10);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_LT(queue.resident_bytes(), 3 * SendQueue::kSegmentTarget);
+}
+
+// ---- Slow-reader retention & coalescing over real sockets --------------------
+
+/// Minimal actor that floods a peer with aux-padded Updates on demand.
+/// flood() must run on the transport's loop thread (call it via post()).
+struct Flooder final : Actor {
+  void on_start(Context& ctx) override { ctx_ = &ctx; }
+  void on_message(Context&, ProcessId, const Payload&) override {}
+  void flood(ProcessId to, int frames, std::size_t aux_words) {
+    for (int i = 0; i < frames; ++i) {
+      Value value;
+      value.data = i;
+      value.aux.assign(aux_words, 0x77);
+      ctx_->send(to, make_payload<abd::Update>(1, 0, abd::Tag{1, 0},
+                                               std::move(value)));
+    }
+  }
+  Context* ctx_{nullptr};
+};
+
+Transport::SendQueueStats queue_stats(Transport& transport, ProcessId peer) {
+  std::promise<Transport::SendQueueStats> snapshot;
+  transport.post(
+      [&] { snapshot.set_value(transport.send_queue_stats(peer)); });
+  return snapshot.get_future().get();
+}
+
+// Regression for the send-buffer retention bug: the old transport kept one
+// monotone send buffer per peer and only reclaimed it when the buffer
+// drained COMPLETELY, so a slow reader pinned every already-written byte.
+// Pump ~16 MiB at a stalled reader, let it drain, and require the sender's
+// resident send-queue memory to fall back to the recycled-spare bound.
+// Run under ASan in CI, this also proves the segment recycling in
+// SendQueue::consume/clear never touches freed memory.
+TEST(NetTransport, SlowReaderDoesNotPinConsumedSendBuffers) {
+  constexpr int kFrames = 2000;
+  constexpr std::size_t kAuxWords = 1024;  // ~8 KiB per frame on the wire
+
+  std::vector<std::unique_ptr<Transport>> transports;
+  std::vector<Flooder*> actors;
+  for (ProcessId id = 0; id < 2; ++id) {
+    TransportOptions options;
+    options.self = id;
+    options.world_size = 2;
+    options.max_send_buffer = 64 * 1024 * 1024;
+    auto actor = std::make_unique<Flooder>();
+    actors.push_back(actor.get());
+    transports.push_back(
+        std::make_unique<Transport>(std::move(options), std::move(actor)));
+  }
+  std::vector<Address> table;
+  for (auto& transport : transports) {
+    Address address;
+    address.port = transport->bind(address);
+    table.push_back(address);
+  }
+  for (auto& transport : transports) transport->start(table);
+
+  // Stall the receiver: while its loop thread sleeps it accepts no bytes,
+  // so everything past the kernel socket buffers stays queued at the sender.
+  transports[1]->post([] { std::this_thread::sleep_for(400ms); });
+  std::this_thread::sleep_for(50ms);
+
+  Flooder* flooder = actors[0];
+  std::promise<void> flooded;
+  transports[0]->post([&] {
+    flooder->flood(1, kFrames, kAuxWords);
+    flooded.set_value();
+  });
+  ASSERT_EQ(flooded.get_future().wait_for(10s), std::future_status::ready);
+
+  const auto stalled = queue_stats(*transports[0], 1);
+  EXPECT_EQ(stalled.frames_committed, static_cast<std::uint64_t>(kFrames));
+  // The kernel cannot have swallowed 16 MiB of loopback; megabytes must be
+  // queued at the sender while the reader stalls.
+  EXPECT_GT(stalled.queued_bytes, 1u << 20);
+
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  Transport::SendQueueStats drained;
+  for (;;) {
+    drained = queue_stats(*transports[0], 1);
+    if (drained.queued_bytes == 0) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << drained.queued_bytes << " bytes still queued";
+    std::this_thread::sleep_for(20ms);
+  }
+  // Fully drained: resident memory is the recycled spare plus at most one
+  // warm segment, not the ~16 MiB that crossed the queue.
+  EXPECT_LT(drained.resident_bytes,
+            2 * SendQueue::kSegmentTarget + 16 * 1024);
+
+  for (auto& transport : transports) transport->stop();
+}
+
+// The coalescing counters added with the writev path: a quorum workload
+// must show frames sharing writev(2) calls (frames_out >= writev_calls,
+// with at least as many iovecs as calls) and reads draining whole socket
+// buffers rather than one frame per read(2).
+TEST(NetTransport, CoalescingCountersAccountSyscallSharing) {
+  Metrics metrics;
+  {
+    Deployment deployment{3, &metrics};
+    SyncNode client = deployment.client();
+    for (int op = 0; op < 20; ++op) {
+      Value value;
+      value.data = op;
+      ASSERT_TRUE(client.write(0, value, 5s).has_value());
+      ASSERT_TRUE(client.read(0, 5s).has_value());
+    }
+  }
+  const std::uint64_t writev_calls = metrics.counter("net.writev_calls");
+  const std::uint64_t writev_iovecs = metrics.counter("net.writev_iovecs");
+  const std::uint64_t read_calls = metrics.counter("net.read_calls");
+  const std::uint64_t frames_out = metrics.counter("net.frames_out");
+  const std::uint64_t frames_in = metrics.counter("net.frames_in");
+  EXPECT_GT(writev_calls, 0u);
+  EXPECT_GT(read_calls, 0u);
+  EXPECT_GE(writev_iovecs, writev_calls);
+  EXPECT_GE(frames_out, writev_calls);  // never more syscalls than frames
+  EXPECT_GT(frames_in, 0u);
+  EXPECT_EQ(metrics.counter("net.frame_decode_errors"), 0u);
 }
 
 }  // namespace

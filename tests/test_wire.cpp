@@ -3,6 +3,8 @@
 // encoding and deterministic random garbage must be rejected gracefully.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "abdkit/abd/bounded_messages.hpp"
@@ -163,6 +165,33 @@ TEST(WireCodec, EveryPayloadRoundTrips) {
     // Debug strings render most fields — equal debug output is a strong
     // (though for some reconfig messages not complete) equality check; the
     // value-carrying reconfig messages get field-exact checks below.
+    EXPECT_EQ(decoded->debug(), original->debug());
+  }
+}
+
+// The allocation-free hot-path entry point must be byte-identical to
+// encode(), and append — never clobber — the sink it is handed, since the
+// transport encodes frames back-to-back into one reusable segment buffer.
+TEST(WireCodec, EncodeIntoMatchesEncodeAndAppends) {
+  for (const PayloadPtr& original : sample_payloads()) {
+    const std::vector<std::byte> reference = encode(*original);
+
+    std::vector<std::byte> fresh;
+    encode_into(fresh, *original);
+    EXPECT_EQ(fresh, reference) << original->debug();
+
+    std::vector<std::byte> seeded{std::byte{0xaa}, std::byte{0xbb}};
+    encode_into(seeded, *original);
+    ASSERT_EQ(seeded.size(), reference.size() + 2) << original->debug();
+    EXPECT_EQ(seeded[0], std::byte{0xaa});
+    EXPECT_EQ(seeded[1], std::byte{0xbb});
+    EXPECT_TRUE(std::equal(reference.begin(), reference.end(),
+                           seeded.begin() + 2))
+        << original->debug();
+    // The appended suffix alone still decodes to the same message.
+    const PayloadPtr decoded =
+        decode(std::span{seeded.data() + 2, seeded.size() - 2});
+    ASSERT_NE(decoded, nullptr) << original->debug();
     EXPECT_EQ(decoded->debug(), original->debug());
   }
 }

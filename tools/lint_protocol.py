@@ -20,6 +20,15 @@ Rules (each suppressible per line with `// lint: allow(<rule>) <reason>`):
                  abstraction, so messages escape the simulator's fault
                  injection and the model checker's delivery control.
 
+  value-copy     A bare `value` identifier (the by-value Value parameter
+                 naming convention in the protocol hot paths) passed into a
+                 make_payload<...>(...) call without std::move copies the
+                 payload body — including its aux vector's heap block — once
+                 per message. Hot paths take Value by value precisely so the
+                 last use can move it into the message; retained copies
+                 (member accesses like round.install_value or s.value) are
+                 deliberate and not flagged.
+
 Exit status: 0 when clean, 1 with findings, 2 on usage errors.
 """
 
@@ -106,6 +115,54 @@ def scan(dirs, rule, matcher, message, findings):
                 )
 
 
+MAKE_PAYLOAD = re.compile(r"make_payload\s*<")
+
+# The identifier `value` on its own: not a member access (.value / ->value),
+# not part of a longer name (install_value, value_tag), not the type Value,
+# not a member read (value.data costs nothing), and not already wrapped in
+# std::move(value).
+BARE_VALUE = re.compile(r"(?<![\w.])(?<!->)value\b(?!\s*\.|\s*->)")
+MOVED_VALUE = re.compile(r"std::move\s*\(\s*value\s*\)")
+
+
+def scan_value_copy(findings):
+    """Flag bare `value` arguments inside make_payload calls without
+    std::move. Tracks parenthesis depth so multi-line calls are covered."""
+    rule = "value-copy"
+    message = (
+        "by-value Value param copied (not moved) into a message; "
+        "std::move the last use into make_payload"
+    )
+    for rel in ACTOR_DIRS:
+        root = REPO / rel
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.[ch]pp")):
+            depth = 0  # paren depth inside an open make_payload call
+            for number, raw, line in lines_of(path):
+                code = code_part(line)
+                scan_from = 0
+                if depth == 0:
+                    m = MAKE_PAYLOAD.search(code)
+                    if not m:
+                        continue
+                    open_paren = code.find("(", m.end())
+                    if open_paren < 0:
+                        continue  # template args only; call starts later
+                    scan_from = open_paren
+                    depth = 0
+                segment = code[scan_from:]
+                # Check this line's slice of the argument list.
+                masked = MOVED_VALUE.sub("", segment)
+                if BARE_VALUE.search(masked) and not allowed(raw, rule):
+                    findings.append(
+                        f"{path.relative_to(REPO)}:{number}: [{rule}] {message}"
+                    )
+                depth += segment.count("(") - segment.count(")")
+                if depth <= 0:
+                    depth = 0
+
+
 def has_bad_send(code: str) -> bool:
     for m in SEND_CALL.finditer(code):
         prefix = m.group("prefix")
@@ -145,6 +202,7 @@ def main() -> int:
         "sends must go through the Context seam (ctx.send / ctx_->send)",
         findings,
     )
+    scan_value_copy(findings)
 
     for finding in findings:
         print(finding)
