@@ -24,6 +24,19 @@
 //   sim:   total messages == 4n per read / 2n per write (exact world counts)
 //   net:   total frames   == 4n per read / 2n per write (net.frames_out)
 //
+// Protocol-variant sweep: after the baseline sections, every selectable
+// ProtocolVariant runs side by side on each rung under its favorable
+// workload (reads of a quiesced register), with the invariants pinned to
+// that variant's formula instead of the baseline's:
+//   fast-path / time-efficient read: rounds == 1, requests == n, wire == 2n
+//   baseline  / two-bit        read: rounds == 2, requests == 2n, wire == 4n
+//   write (all variants):            rounds == 1, requests == n,  wire == 2n
+// Fast variants additionally assert abd.fast_path_suppressed == 0 — the
+// favorable sweep must actually take the 1-round path, not silently fall
+// back (that silent fallback was the bug this counter surfaces). two-bit
+// keeps the baseline message COUNT and shrinks every wire envelope by 3
+// bytes, visible only in the net rung's bytes/op column.
+//
 // Output: stdout table + BENCH_P1.json (see perf_json.hpp for the schema).
 #include <algorithm>
 #include <chrono>
@@ -38,12 +51,14 @@
 
 #include "abdkit/abd/node.hpp"
 #include "abdkit/abd/register_node.hpp"
+#include "abdkit/abd/strategy.hpp"
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/harness/deployment.hpp"
 #include "abdkit/net/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
 #include "abdkit/runtime/cluster.hpp"
 #include "abdkit/sim/delay_model.hpp"
+#include "abdkit/wire/codec.hpp"
 #include "perf_json.hpp"
 
 namespace {
@@ -66,6 +81,12 @@ struct Driver {
   abd::RegisterNode* node{nullptr};
   bool writes{false};
   std::uint64_t target{0};
+  // Expected per-op cost, pinned by make_driver from (op kind, variant).
+  // check_invariants and the wire checks assert against these EXACTLY —
+  // a variant that does not hit its documented formula kills the bench.
+  std::uint64_t expect_rounds{2};       // quorum round trips per op
+  std::uint64_t expect_msgs_factor{2};  // client requests per op, x n
+  std::uint64_t expect_wire_factor{4};  // wire messages per op, x n
   std::uint64_t issued{0};
   std::uint64_t completed{0};
   std::int64_t next_value{0};
@@ -113,8 +134,8 @@ struct Driver {
 /// and transport batching may change wall-clock overlap, never the cost
 /// model (that would be protocol-weakening, not optimization).
 void check_invariants(const char* where, const Driver& d, std::size_t n) {
-  const std::uint64_t expect_rounds = d.writes ? 1 : 2;
-  const std::uint64_t expect_msgs = (d.writes ? 1 : 2) * n;
+  const std::uint64_t expect_rounds = d.expect_rounds;
+  const std::uint64_t expect_msgs = d.expect_msgs_factor * n;
   if (d.completed != d.target || d.retransmissions != 0 ||
       d.rounds != expect_rounds * d.target || d.msgs != expect_msgs * d.target) {
     std::fprintf(stderr,
@@ -141,12 +162,34 @@ void check_wire_total(const char* where, std::uint64_t got, std::uint64_t want) 
   }
 }
 
-bench::PerfRow make_row(const char* runtime, const char* workload, const Driver& d,
-                        int window, double seconds, double wire_msgs, double bytes) {
+/// Favorable sweeps for the fast variants must take the 1-round path on
+/// EVERY read: a nonzero abd.fast_path_suppressed means the strategy fell
+/// back (divergent replies, config) and the variant row would be mislabeled.
+void check_no_suppression(const char* where, const Metrics& metrics,
+                          abd::ProtocolVariant variant) {
+  if (variant != abd::ProtocolVariant::kUnanimousFastPath &&
+      variant != abd::ProtocolVariant::kTimeEfficient) {
+    return;
+  }
+  const std::uint64_t suppressed = metrics.counter("abd.fast_path_suppressed");
+  if (suppressed != 0) {
+    std::fprintf(stderr,
+                 "P1 invariant violation (%s, %s): abd.fast_path_suppressed == %llu, "
+                 "want 0 — the favorable sweep did not stay on the 1-round path\n",
+                 where, abd::to_string(variant),
+                 static_cast<unsigned long long>(suppressed));
+    std::exit(1);
+  }
+}
+
+bench::PerfRow make_row(const char* runtime, const char* workload,
+                        abd::ProtocolVariant variant, const Driver& d, int window,
+                        double seconds, double wire_msgs, double bytes) {
   bench::PerfRow row;
   row.runtime = runtime;
   row.workload = workload;
   row.op = d.writes ? "write" : "read";
+  row.variant = abd::to_string(variant);
   row.window = window;
   row.n = kReplicas;
   row.ops = d.completed;
@@ -163,24 +206,47 @@ bench::PerfRow make_row(const char* runtime, const char* workload, const Driver&
 }
 
 void print_row(const bench::PerfRow& r) {
-  std::printf("%-8s %-7s %-6s %4d %8llu %12.0f %9llu %9llu %9llu %9.1f %7.2f %9.1f\n",
-              r.runtime.c_str(), r.workload.c_str(), r.op.c_str(), r.window,
-              static_cast<unsigned long long>(r.ops), r.ops_per_sec,
+  std::printf("%-8s %-7s %-6s %-14s %4d %8llu %12.0f %9llu %9llu %9llu %9.1f %7.2f "
+              "%9.1f\n",
+              r.runtime.c_str(), r.workload.c_str(), r.op.c_str(), r.variant.c_str(),
+              r.window, static_cast<unsigned long long>(r.ops), r.ops_per_sec,
               static_cast<unsigned long long>(r.p50_us),
               static_cast<unsigned long long>(r.p99_us),
               static_cast<unsigned long long>(r.p999_us), r.msgs_per_op, r.rounds_per_op,
               r.bytes_per_op);
 }
 
+/// Builds a driver with its expected cost pinned to the (op, variant)
+/// formula. All sweeps here are favorable for the fast variants — reads of
+/// a register no concurrent writer touches — so the 1-round formula is an
+/// exact expectation, not a best case.
+std::unique_ptr<Driver> make_driver(bool writes, std::uint64_t target,
+                                    abd::ProtocolVariant variant) {
+  auto drv = std::make_unique<Driver>();
+  drv->writes = writes;
+  drv->target = target;
+  const bool fast_read = !writes &&
+                         (variant == abd::ProtocolVariant::kUnanimousFastPath ||
+                          variant == abd::ProtocolVariant::kTimeEfficient);
+  if (writes || fast_read) {
+    drv->expect_rounds = 1;
+    drv->expect_msgs_factor = 1;
+    drv->expect_wire_factor = 2;
+  }  // else: the Driver defaults, i.e. the baseline 2-round read
+  return drv;
+}
+
 // ---- sim rung ---------------------------------------------------------------
 
-harness::DeployOptions sim_options() {
+harness::DeployOptions sim_options(abd::ProtocolVariant variant, Metrics* metrics) {
   harness::DeployOptions options;
   options.n = kReplicas;
   options.seed = 7;
   options.variant = harness::Variant::kAtomicSwmr;
   options.delay = std::make_unique<sim::ExponentialDelay>(1ms, 10us);
   options.client.retransmit_interval = Duration::zero();  // exact message counts
+  options.client.variant = variant;
+  options.client.metrics = metrics;
   return options;
 }
 
@@ -188,8 +254,10 @@ harness::DeployOptions sim_options() {
 /// virtual, and the world's per-message counters are exact ground truth.
 /// `setup` wires drivers to nodes and schedules the initial stimuli.
 template <typename Setup>
-std::vector<bench::PerfRow> run_sim(const char* workload, int window, Setup setup) {
-  harness::SimDeployment d{sim_options()};
+std::vector<bench::PerfRow> run_sim(const char* workload, int window,
+                                    abd::ProtocolVariant variant, Setup setup) {
+  Metrics metrics;  // declared before the deployment; every client points at it
+  harness::SimDeployment d{sim_options(variant, &metrics)};
   const std::uint64_t msgs0 = d.world().stats().messages_sent;
   const std::uint64_t bytes0 = d.world().stats().bytes_sent;
   const TimePoint t0 = d.world().now();
@@ -206,21 +274,23 @@ std::vector<bench::PerfRow> run_sim(const char* workload, int window, Setup setu
   std::uint64_t want_wire = 0;
   for (const auto& drv : drivers) {
     check_invariants("sim", *drv, kReplicas);
-    want_wire += (drv->writes ? 2 : 4) * kReplicas * drv->target;
+    want_wire += drv->expect_wire_factor * kReplicas * drv->target;
   }
   check_wire_total("sim wire", wire, want_wire);
+  check_no_suppression("sim", metrics, variant);
 
   std::vector<bench::PerfRow> rows;
   for (const auto& drv : drivers) {
     // Attribute wire totals per driver by the exact per-op formula (the
     // aggregate was just checked against it, so this is not an estimate).
     const double drv_wire =
-        static_cast<double>((drv->writes ? 2 : 4) * kReplicas * drv->completed);
+        static_cast<double>(drv->expect_wire_factor * kReplicas * drv->completed);
     const double drv_bytes = drivers.size() == 1
                                  ? static_cast<double>(bytes)
                                  : static_cast<double>(bytes) * drv_wire /
                                        static_cast<double>(wire);
-    rows.push_back(make_row("sim", workload, *drv, window, seconds, drv_wire, drv_bytes));
+    rows.push_back(
+        make_row("sim", workload, variant, *drv, window, seconds, drv_wire, drv_bytes));
   }
   return rows;
 }
@@ -228,12 +298,14 @@ std::vector<bench::PerfRow> run_sim(const char* workload, int window, Setup setu
 // ---- cluster rung -----------------------------------------------------------
 
 struct ClusterDeployment {
-  explicit ClusterDeployment() {
+  explicit ClusterDeployment(abd::ProtocolVariant variant) {
     auto quorums = std::make_shared<const quorum::MajorityQuorum>(kReplicas);
     abd::NodeOptions node_options;
     node_options.quorums = quorums;
     node_options.write_mode = abd::WriteMode::kSingleWriter;
     node_options.client.retransmit_interval = Duration::zero();
+    node_options.client.variant = variant;
+    node_options.client.metrics = &metrics;
     // Unlike net::Transport, the mailbox runtime has no client-only slots:
     // every process is a replica, so the client rides on replica 0 (the
     // standard pattern in test_runtime).
@@ -249,17 +321,18 @@ struct ClusterDeployment {
         });
     cluster->start();
   }
+  Metrics metrics;  // declared first: clients hold a pointer for its lifetime
   std::unique_ptr<runtime::Cluster> cluster;
   std::vector<abd::Node*> nodes;
 };
 
-bench::PerfRow run_cluster_closed(bool writes, int window, std::uint64_t ops) {
-  ClusterDeployment d;
+bench::PerfRow run_cluster_closed(bool writes, int window, std::uint64_t ops,
+                                  abd::ProtocolVariant variant) {
+  ClusterDeployment d{variant};
   const ProcessId client = 0;
-  Driver drv;
+  std::unique_ptr<Driver> owned = make_driver(writes, ops, variant);
+  Driver& drv = *owned;
   drv.node = d.nodes[client];
-  drv.writes = writes;
-  drv.target = ops;
   auto finished = drv.finished.get_future();
   const auto t0 = std::chrono::steady_clock::now();
   d.cluster->post(client, [&drv, window] { drv.start(window); });
@@ -268,28 +341,36 @@ bench::PerfRow run_cluster_closed(bool writes, int window, std::uint64_t ops) {
                              .count();
   d.cluster->stop();
   check_invariants("cluster", drv, kReplicas);
+  check_no_suppression("cluster", d.metrics, variant);
   // The mailbox runtime has no wire-byte counters; channels are reliable
   // in-process queues, so total messages = requests + one reply each — an
   // identity, not an estimate, given retransmissions == 0 (checked above).
   const double wire = static_cast<double>(2 * drv.msgs);
-  return make_row("cluster", "closed", drv, window, seconds, wire, 0);
+  return make_row("cluster", "closed", variant, drv, window, seconds, wire, 0);
 }
 
 // ---- net rung ---------------------------------------------------------------
 
 struct NetDeployment {
-  NetDeployment() {
+  explicit NetDeployment(abd::ProtocolVariant variant) {
     auto quorums = std::make_shared<const quorum::MajorityQuorum>(kReplicas);
     abd::NodeOptions node_options;
     node_options.quorums = quorums;
     node_options.write_mode = abd::WriteMode::kSingleWriter;
     node_options.client.retransmit_interval = Duration::zero();
+    node_options.client.variant = variant;
+    node_options.client.metrics = &metrics;
     const ProcessId client_id = kReplicas;
     for (ProcessId id = 0; id <= client_id; ++id) {
       net::TransportOptions options;
       options.self = id;
       options.world_size = kReplicas;
       options.metrics = &metrics;
+      // two-bit is a WIRE variant: same message flow, 1-byte control
+      // envelope on every frame this transport encodes.
+      if (variant == abd::ProtocolVariant::kTwoBit) {
+        options.wire_format = wire::WireFormat::kCompact;
+      }
       auto node = std::make_unique<abd::Node>(node_options);
       nodes.push_back(node.get());
       transports.push_back(
@@ -321,6 +402,7 @@ void net_warmup(NetDeployment& d) {
   warm.node = &d.client_node();
   warm.writes = true;
   warm.target = 1;
+  warm.expect_rounds = 1;  // unused (warmup is never invariant-checked)
   auto finished = warm.finished.get_future();
   d.client_transport().post([&warm] { warm.start(1); });
   if (finished.wait_for(30s) != std::future_status::ready) {
@@ -343,9 +425,10 @@ void net_warmup(NetDeployment& d) {
 /// observed frame/byte deltas. `arrivals` (optional) paces open-loop issues
 /// from this thread at a fixed interval.
 std::vector<bench::PerfRow> run_net(const char* workload, int window,
+                                    abd::ProtocolVariant variant,
                                     std::vector<std::unique_ptr<Driver>> drivers,
                                     Duration arrival_gap = Duration::zero()) {
-  NetDeployment d;
+  NetDeployment d{variant};
   net_warmup(d);
   const std::uint64_t frames0 = d.metrics.counter("net.frames_out");
   const std::uint64_t bytes0 = d.metrics.counter("net.bytes_out");
@@ -396,20 +479,21 @@ std::vector<bench::PerfRow> run_net(const char* workload, int window,
   std::uint64_t want_frames = 0;
   for (auto& drv : drivers) {
     check_invariants("net", *drv, kReplicas);
-    want_frames += (drv->writes ? 2 : 4) * kReplicas * drv->target;
+    want_frames += drv->expect_wire_factor * kReplicas * drv->target;
   }
   check_wire_total("net frames", frames, want_frames);
+  check_no_suppression("net", d.metrics, variant);
 
   std::vector<bench::PerfRow> rows;
   for (auto& drv : drivers) {
     const double drv_wire =
-        static_cast<double>((drv->writes ? 2 : 4) * kReplicas * drv->completed);
+        static_cast<double>(drv->expect_wire_factor * kReplicas * drv->completed);
     const double drv_bytes = drivers.size() == 1
                                  ? static_cast<double>(bytes)
                                  : static_cast<double>(bytes) * drv_wire /
                                        static_cast<double>(frames);
     rows.push_back(
-        make_row("net", workload, *drv, window, seconds, drv_wire, drv_bytes));
+        make_row("net", workload, variant, *drv, window, seconds, drv_wire, drv_bytes));
   }
   const std::uint64_t writev_calls = d.metrics.counter("net.writev_calls");
   if (writev_calls > 0) {
@@ -418,13 +502,6 @@ std::vector<bench::PerfRow> run_net(const char* workload, int window,
                     static_cast<double>(writev_calls));
   }
   return rows;
-}
-
-std::unique_ptr<Driver> make_driver(bool writes, std::uint64_t target) {
-  auto drv = std::make_unique<Driver>();
-  drv->writes = writes;
-  drv->target = target;
-  return drv;
 }
 
 }  // namespace
@@ -450,19 +527,20 @@ int main(int argc, char** argv) {
   std::printf("(sim rows use virtual time; read = 2 RTT / %zu msgs, write = 1 RTT / %zu "
               "msgs — invariant under any W)\n\n",
               4 * kReplicas, 2 * kReplicas);
-  std::printf("%-8s %-7s %-6s %4s %8s %12s %9s %9s %9s %9s %7s %9s\n", "runtime",
-              "wkld", "op", "W", "ops", "ops/s", "p50us", "p99us", "p999us", "msgs/op",
-              "rt/op", "bytes/op");
+  std::printf("%-8s %-7s %-6s %-14s %4s %8s %12s %9s %9s %9s %9s %7s %9s\n", "runtime",
+              "wkld", "op", "variant", "W", "ops", "ops/s", "p50us", "p99us", "p999us",
+              "msgs/op", "rt/op", "bytes/op");
 
   bench::PerfJson out{"P1"};
   const ProcessId sim_reader = kReplicas - 1;
   const ProcessId sim_writer = 0;
+  constexpr abd::ProtocolVariant kBaseline = abd::ProtocolVariant::kBaseline;
 
   // sim: closed-loop window sweep + serialized writer + open loop + mixed.
   for (const int window : kWindows) {
-    auto rows = run_sim("closed", window, [&](harness::SimDeployment& d) {
+    auto rows = run_sim("closed", window, kBaseline, [&](harness::SimDeployment& d) {
       std::vector<std::unique_ptr<Driver>> drivers;
-      drivers.push_back(make_driver(false, sim_ops));
+      drivers.push_back(make_driver(false, sim_ops, kBaseline));
       Driver* drv = drivers.back().get();
       drv->node = &d.node(sim_reader);
       d.world().at(d.world().now(), [drv, window] { drv->start(window); });
@@ -474,9 +552,9 @@ int main(int argc, char** argv) {
     }
   }
   {
-    auto rows = run_sim("closed", 1, [&](harness::SimDeployment& d) {
+    auto rows = run_sim("closed", 1, kBaseline, [&](harness::SimDeployment& d) {
       std::vector<std::unique_ptr<Driver>> drivers;
-      drivers.push_back(make_driver(true, sim_ops / 4));
+      drivers.push_back(make_driver(true, sim_ops / 4, kBaseline));
       Driver* drv = drivers.back().get();
       drv->node = &d.node(sim_writer);
       d.world().at(d.world().now(), [drv] { drv->start(1); });
@@ -490,9 +568,9 @@ int main(int argc, char** argv) {
   {
     // Open loop at one arrival per 500us of virtual time — ~2000 ops/s
     // against a ~4-6ms read latency, so ~10 reads overlap on average.
-    auto rows = run_sim("open", 0, [&](harness::SimDeployment& d) {
+    auto rows = run_sim("open", 0, kBaseline, [&](harness::SimDeployment& d) {
       std::vector<std::unique_ptr<Driver>> drivers;
-      drivers.push_back(make_driver(false, sim_ops));
+      drivers.push_back(make_driver(false, sim_ops, kBaseline));
       Driver* drv = drivers.back().get();
       drv->node = &d.node(sim_reader);
       const TimePoint t0 = d.world().now();
@@ -510,10 +588,10 @@ int main(int argc, char** argv) {
     }
   }
   {
-    auto rows = run_sim("mixed", 16, [&](harness::SimDeployment& d) {
+    auto rows = run_sim("mixed", 16, kBaseline, [&](harness::SimDeployment& d) {
       std::vector<std::unique_ptr<Driver>> drivers;
-      drivers.push_back(make_driver(false, sim_ops));
-      drivers.push_back(make_driver(true, sim_ops / 8));
+      drivers.push_back(make_driver(false, sim_ops, kBaseline));
+      drivers.push_back(make_driver(true, sim_ops / 8, kBaseline));
       Driver* reader = drivers[0].get();
       Driver* writer = drivers[1].get();
       reader->node = &d.node(sim_reader);
@@ -532,12 +610,12 @@ int main(int argc, char** argv) {
 
   // cluster: closed-loop window sweep + serialized writer.
   for (const int window : kWindows) {
-    auto row = run_cluster_closed(false, window, cluster_ops);
+    auto row = run_cluster_closed(false, window, cluster_ops, kBaseline);
     print_row(row);
     out.add(std::move(row));
   }
   {
-    auto row = run_cluster_closed(true, 1, cluster_ops / 4);
+    auto row = run_cluster_closed(true, 1, cluster_ops / 4, kBaseline);
     print_row(row);
     out.add(std::move(row));
   }
@@ -547,8 +625,8 @@ int main(int argc, char** argv) {
   double net_w16 = 0;
   for (const int window : kWindows) {
     std::vector<std::unique_ptr<Driver>> drivers;
-    drivers.push_back(make_driver(false, net_ops));
-    auto rows = run_net("closed", window, std::move(drivers));
+    drivers.push_back(make_driver(false, net_ops, kBaseline));
+    auto rows = run_net("closed", window, kBaseline, std::move(drivers));
     if (window == 1) net_w1 = rows.front().ops_per_sec;
     if (window == 16) net_w16 = rows.front().ops_per_sec;
     for (auto& r : rows) {
@@ -558,8 +636,8 @@ int main(int argc, char** argv) {
   }
   {
     std::vector<std::unique_ptr<Driver>> drivers;
-    drivers.push_back(make_driver(true, net_ops / 4));
-    auto rows = run_net("closed", 1, std::move(drivers));
+    drivers.push_back(make_driver(true, net_ops / 4, kBaseline));
+    auto rows = run_net("closed", 1, kBaseline, std::move(drivers));
     for (auto& r : rows) {
       print_row(r);
       out.add(std::move(r));
@@ -570,8 +648,8 @@ int main(int argc, char** argv) {
     const auto gap = std::chrono::nanoseconds{
         static_cast<std::int64_t>(1e9 / (3.0 * net_w1))};
     std::vector<std::unique_ptr<Driver>> drivers;
-    drivers.push_back(make_driver(false, net_ops));
-    auto rows = run_net("open", 0, std::move(drivers), gap);
+    drivers.push_back(make_driver(false, net_ops, kBaseline));
+    auto rows = run_net("open", 0, kBaseline, std::move(drivers), gap);
     for (auto& r : rows) {
       print_row(r);
       out.add(std::move(r));
@@ -579,12 +657,66 @@ int main(int argc, char** argv) {
   }
   {
     std::vector<std::unique_ptr<Driver>> drivers;
-    drivers.push_back(make_driver(false, net_ops));
-    drivers.push_back(make_driver(true, net_ops / 8));
-    auto rows = run_net("mixed", 16, std::move(drivers));
+    drivers.push_back(make_driver(false, net_ops, kBaseline));
+    drivers.push_back(make_driver(true, net_ops / 8, kBaseline));
+    auto rows = run_net("mixed", 16, kBaseline, std::move(drivers));
     for (auto& r : rows) {
       print_row(r);
       out.add(std::move(r));
+    }
+  }
+
+  // ---- protocol-variant sweep ----------------------------------------------
+  // Side-by-side rows for every selectable variant under its favorable
+  // workload: reads target a register no writer touches during the measured
+  // phase (sim/cluster read the never-written object 0; net quiesces after
+  // one warmup write), so the fast variants must hit 1 round/op EXACTLY.
+  // check_invariants pins each row to its variant's formula and
+  // check_no_suppression proves the fast path never silently fell back.
+  const abd::ProtocolVariant kVariantSweep[] = {
+      abd::ProtocolVariant::kUnanimousFastPath,
+      abd::ProtocolVariant::kTimeEfficient,
+      abd::ProtocolVariant::kTwoBit,
+  };
+  std::printf("\nprotocol-variant sweep (favorable reads; per-variant formulas "
+              "hard-asserted)\n");
+  for (const abd::ProtocolVariant variant : kVariantSweep) {
+    {
+      auto rows = run_sim("closed", 16, variant, [&](harness::SimDeployment& d) {
+        std::vector<std::unique_ptr<Driver>> drivers;
+        drivers.push_back(make_driver(false, sim_ops, variant));
+        Driver* drv = drivers.back().get();
+        drv->node = &d.node(sim_reader);
+        d.world().at(d.world().now(), [drv] { drv->start(16); });
+        return drivers;
+      });
+      for (auto& r : rows) {
+        print_row(r);
+        out.add(std::move(r));
+      }
+    }
+    {
+      auto row = run_cluster_closed(false, 16, cluster_ops, variant);
+      print_row(row);
+      out.add(std::move(row));
+    }
+    for (const int window : {1, 16}) {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      drivers.push_back(make_driver(false, net_ops, variant));
+      auto rows = run_net("closed", window, variant, std::move(drivers));
+      for (auto& r : rows) {
+        print_row(r);
+        out.add(std::move(r));
+      }
+    }
+    {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      drivers.push_back(make_driver(true, net_ops / 4, variant));
+      auto rows = run_net("closed", 1, variant, std::move(drivers));
+      for (auto& r : rows) {
+        print_row(r);
+        out.add(std::move(r));
+      }
     }
   }
 

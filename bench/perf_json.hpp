@@ -5,8 +5,8 @@
 // printf columns. One schema for all benches:
 //
 //   {"bench":"P1","schema":1,"rows":[
-//     {"runtime":"net","workload":"closed","op":"read","window":16,"n":3,
-//      "ops":5000,"seconds":1.234,"ops_per_sec":4051.9,
+//     {"runtime":"net","workload":"closed","op":"read","variant":"baseline",
+//      "window":16,"n":3,"ops":5000,"seconds":1.234,"ops_per_sec":4051.9,
 //      "p50_us":310,"p99_us":520,"p999_us":760,
 //      "msgs_per_op":6.0,"rounds_per_op":2.0,"bytes_per_op":132.4}, ...]}
 //
@@ -28,6 +28,9 @@ struct PerfRow {
   std::string runtime;   // "sim" | "cluster" | "net"
   std::string workload;  // "closed" | "open" | "mixed"
   std::string op;        // "read" | "write" | "mixed"
+  // Protocol variant the row ran under (abd::to_string(ProtocolVariant)):
+  // "baseline" | "unanimous-fast-path" | "time-efficient" | "two-bit".
+  std::string variant{"baseline"};
   int window{1};
   std::size_t n{0};  // replica count
   std::uint64_t ops{0};
@@ -57,7 +60,8 @@ class PerfJson {
       if (!first) os << ',';
       first = false;
       os << R"({"runtime":")" << r.runtime << R"(","workload":")" << r.workload
-         << R"(","op":")" << r.op << R"(","window":)" << r.window << R"(,"n":)" << r.n
+         << R"(","op":")" << r.op << R"(","variant":")" << r.variant
+         << R"(","window":)" << r.window << R"(,"n":)" << r.n
          << R"(,"ops":)" << r.ops << R"(,"seconds":)" << r.seconds
          << R"(,"ops_per_sec":)" << r.ops_per_sec << R"(,"p50_us":)" << r.p50_us
          << R"(,"p99_us":)" << r.p99_us << R"(,"p999_us":)" << r.p999_us

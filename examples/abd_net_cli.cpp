@@ -18,10 +18,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "abdkit/abd/node.hpp"
+#include "abdkit/abd/strategy.hpp"
 #include "abdkit/checker/history.hpp"
 #include "abdkit/checker/linearizability.hpp"
 #include "abdkit/common/log.hpp"
@@ -30,6 +32,7 @@
 #include "abdkit/net/sync_node.hpp"
 #include "abdkit/net/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/wire/codec.hpp"
 
 using namespace std::chrono_literals;
 using namespace abdkit;
@@ -44,6 +47,7 @@ struct Args {
   std::size_t objects{2};
   std::uint64_t seed{1};
   long timeout_ms{5000};
+  std::string variant{"baseline"};
   bool verbose{false};
   bool help{false};
 };
@@ -58,6 +62,9 @@ void usage() {
       "  --objects M      distinct registers to exercise (default 2)\n"
       "  --timeout-ms T   per-operation timeout (default 5000)\n"
       "  --seed S         distinguishes values across invocations (default 1)\n"
+      "  --variant V      protocol variant: baseline | fast-path | time-efficient\n"
+      "                   | two-bit (two-bit also selects the compact wire\n"
+      "                   envelope; run the abd_node peers with the same flag)\n"
       "  --verbose        log connection events\n");
 }
 
@@ -92,6 +99,10 @@ bool parse(int argc, char** argv, Args& args) {
       if (!next_num(args.timeout_ms)) return false;
     } else if (flag == "--seed") {
       if (!next_num(args.seed)) return false;
+    } else if (flag == "--variant") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.variant = v;
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else {
@@ -119,6 +130,12 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  const std::optional<abd::ProtocolVariant> variant = abd::parse_variant(args.variant);
+  if (!variant.has_value()) {
+    std::fprintf(stderr, "abd_net_cli: unknown --variant '%s'\n", args.variant.c_str());
+    usage();
+    return 2;
+  }
   if (args.verbose) set_log_level(LogLevel::kInfo);
 
   Metrics metrics;
@@ -127,11 +144,15 @@ int main(int argc, char** argv) {
   node_options.write_mode = abd::WriteMode::kMultiWriter;
   node_options.client.retransmit_interval = 100ms;
   node_options.client.metrics = &metrics;
+  node_options.client.variant = *variant;
 
   net::TransportOptions options;
   options.self = args.id;
   options.world_size = args.replicas;
   options.metrics = &metrics;
+  if (*variant == abd::ProtocolVariant::kTwoBit) {
+    options.wire_format = wire::WireFormat::kCompact;
+  }
 
   try {
     auto node = std::make_unique<abd::Node>(node_options);

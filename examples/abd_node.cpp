@@ -15,14 +15,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "abdkit/abd/node.hpp"
+#include "abdkit/abd/strategy.hpp"
 #include "abdkit/common/log.hpp"
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/net/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/wire/codec.hpp"
 
 using namespace std::chrono_literals;
 using namespace abdkit;
@@ -37,6 +40,7 @@ struct Args {
   ProcessId id{kNoProcess};
   std::size_t replicas{0};
   std::string peers;
+  std::string variant{"baseline"};
   bool verbose{false};
   bool help{false};
 };
@@ -47,6 +51,10 @@ void usage() {
       "  --id I         this process's index into the peer table\n"
       "  --replicas R   quorum universe size (first R peer entries)\n"
       "  --peers LIST   comma-separated host:port table, index = process id\n"
+      "  --variant V    protocol variant: baseline | fast-path | time-efficient\n"
+      "                 | two-bit (two-bit also switches to the compact wire\n"
+      "                 envelope; every peer must then run --variant two-bit or\n"
+      "                 at least a build that understands it)\n"
       "  --verbose      log connection events\n");
 }
 
@@ -70,6 +78,10 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.peers = v;
+    } else if (flag == "--variant") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.variant = v;
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else {
@@ -97,6 +109,12 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  const std::optional<abd::ProtocolVariant> variant = abd::parse_variant(args.variant);
+  if (!variant.has_value()) {
+    std::fprintf(stderr, "abd_node: unknown --variant '%s'\n", args.variant.c_str());
+    usage();
+    return 2;
+  }
   if (args.verbose) set_log_level(LogLevel::kInfo);
 
   Metrics metrics;
@@ -105,11 +123,15 @@ int main(int argc, char** argv) {
   node_options.write_mode = abd::WriteMode::kMultiWriter;
   node_options.client.retransmit_interval = 100ms;
   node_options.client.metrics = &metrics;
+  node_options.client.variant = *variant;
 
   net::TransportOptions options;
   options.self = args.id;
   options.world_size = args.replicas;
   options.metrics = &metrics;
+  if (*variant == abd::ProtocolVariant::kTwoBit) {
+    options.wire_format = wire::WireFormat::kCompact;
+  }
 
   try {
     net::Transport transport{std::move(options), std::make_unique<abd::Node>(node_options)};

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "abdkit/abd/messages.hpp"
+#include "abdkit/abd/strategy.hpp"
 #include "abdkit/abd/tag.hpp"
 #include "abdkit/common/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
@@ -76,13 +77,20 @@ struct ClientOptions {
   /// wait past the quorum until one exists. Deploy with a MaskingQuorum of
   /// the same f over n >= 4f+1 replicas. Zero = crash-only protocol.
   std::size_t byzantine_f{0};
-  /// Fast-path reads: when every counted reply of the read quorum carries
-  /// the SAME tag, skip the write-back and return in one round trip. Safe:
-  /// a unanimous read quorum means the value already resides at a full
-  /// quorum, which is exactly what the write-back would establish; tags
-  /// only grow, so later reads still intersect it at >= that tag. Under
-  /// read-mostly workloads this halves read latency and messages (ablation
-  /// A6). Ignored in Byzantine mode. Default off (the paper's protocol).
+  /// Which member of the protocol family this client runs — see
+  /// strategy.hpp for the variants and their per-op cost formulas. The
+  /// default is the paper's protocol (every atomic read writes back).
+  ProtocolVariant variant{ProtocolVariant::kBaseline};
+  /// Back-compat alias (pre-strategy API): true selects
+  /// ProtocolVariant::kUnanimousFastPath when `variant` is still kBaseline
+  /// — when every counted reply of the read quorum carries the SAME tag,
+  /// skip the write-back and return in one round trip. Safe: a unanimous
+  /// read quorum means the value already resides at a full quorum, which is
+  /// exactly what the write-back would establish; tags only grow, so later
+  /// reads still intersect it at >= that tag. Under read-mostly workloads
+  /// this halves read latency and messages (ablation A6). Suppressed (and
+  /// counted, see Client::fast_path_suppressed) in Byzantine mode. Default
+  /// off (the paper's protocol).
   bool fast_path_reads{false};
   /// Optional metrics registry (not owned; must outlive the client). When
   /// set, the client records per-phase latency timers and op/traffic
@@ -127,6 +135,23 @@ class Client {
 
   [[nodiscard]] ReadMode read_mode() const noexcept { return read_mode_; }
   void set_read_mode(ReadMode mode) noexcept { read_mode_ = mode; }
+
+  /// The resolved protocol variant this client runs (after the
+  /// fast_path_reads back-compat alias is applied).
+  [[nodiscard]] ProtocolVariant variant() const noexcept {
+    return strategy_.variant();
+  }
+
+  /// How many reads were eligible for a 1-round fast return but took the
+  /// 2-round path anyway (also counted under "abd.fast_path_suppressed" in
+  /// the metrics registry), and why the most recent one was suppressed.
+  /// Zero / kNone for variants without a fast path.
+  [[nodiscard]] std::uint64_t fast_path_suppressed() const noexcept {
+    return fast_path_suppressed_;
+  }
+  [[nodiscard]] FastPathSuppression last_suppression() const noexcept {
+    return last_suppression_;
+  }
 
   /// Operations issued but not yet completed (stalled ops stay pending).
   [[nodiscard]] std::size_t pending_ops() const noexcept { return pending_ops_; }
@@ -230,6 +255,11 @@ class Client {
   std::shared_ptr<const quorum::QuorumSystem> quorums_;
   ReadMode read_mode_;
   ClientOptions options_;
+  /// The variant's read-completion decision logic plus (kTimeEfficient) the
+  /// committed-tag cache. All sends still flow through dispatch_request.
+  ReadStrategy strategy_;
+  std::uint64_t fast_path_suppressed_{0};
+  FastPathSuppression last_suppression_{FastPathSuppression::kNone};
   Context* ctx_{nullptr};
   RoundId next_round_{1};
   std::unordered_map<RoundId, Round> rounds_;

@@ -1,0 +1,132 @@
+// Protocol-strategy family behind the client seam.
+//
+// The ABD read always pays two quorum rounds: collect, then write back.
+// Two published refinements cut the cost in favorable runs without giving
+// up atomicity, and both fit behind the SAME phase machines the baseline
+// uses — the only decision point is what to do when the collect round
+// completes. ReadStrategy owns that decision so every variant shares one
+// dispatch path (Client::dispatch_request) and one completion seam:
+//
+//   kBaseline          paper protocol: every atomic read writes back.
+//                      read = 2 rounds / 2n client msgs; write(SWMR) = 1 / n.
+//   kUnanimousFastPath ablation A6: skip the write-back iff every counted
+//                      reply of the read quorum carried one tag. Favorable
+//                      read = 1 round / n msgs; contended reads fall back.
+//   kTimeEfficient     Mostéfaoui–Raynal time-efficient read (arXiv
+//                      1601.04820): additionally remember, per object, the
+//                      highest tag this client has PROVEN to reside at a
+//                      write quorum (its own completed update phases — a
+//                      write, or a previous read's write-back). When the
+//                      collect's maximum tag equals that committed tag the
+//                      write-back is provably a no-op even if the quorum
+//                      disagreed (a lagging replica cannot lower the max:
+//                      any read quorum intersects the write quorum holding
+//                      the committed tag). Favorable read = 1 round / n
+//                      msgs, and stays 1 round with up to (quorum-slack)
+//                      stale replicas where kUnanimousFastPath pays 2.
+//   kTwoBit            baseline rounds with the constant-size control
+//                      encoding of "Two-Bit Messages are Sufficient ..."
+//                      (arXiv 1602.02695) on the wire: the u32 payload-tag
+//                      envelope of the 0x01xx/0x03xx control families
+//                      shrinks to one tagged byte (wire::WireFormat::
+//                      kCompact). Same rounds/msgs as kBaseline; fewer
+//                      bytes per message on the TCP rung.
+//
+// Safety of the fast returns (both variants): a read may return tag t
+// without writing back only when a write quorum already stores tags >= t —
+// exactly what the write-back would establish. For kUnanimousFastPath the
+// unanimous read quorum IS such a set (majority systems: every read quorum
+// is a write quorum); for kTimeEfficient the client's own completed update
+// phase at tag t is the witness. Tags only grow (invariant I1), so the
+// residence fact never expires. The model checker verifies this as
+// invariant I4 (fast-return residence) besides end-state linearizability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/abd/tag.hpp"
+
+namespace abdkit::abd {
+
+/// Read-side protocol variant selector (see file comment for the family).
+enum class ProtocolVariant : std::uint8_t {
+  kBaseline,
+  kUnanimousFastPath,
+  kTimeEfficient,
+  kTwoBit,
+};
+
+/// Canonical names: "baseline", "fast-path", "time-efficient", "two-bit".
+[[nodiscard]] const char* to_string(ProtocolVariant variant) noexcept;
+
+/// Parses a canonical name (also accepts "unanimous-fast-path" for
+/// kUnanimousFastPath). Returns nullopt for anything else.
+[[nodiscard]] std::optional<ProtocolVariant> parse_variant(std::string_view name);
+
+/// Why a requested fast-path read did NOT return in one round. Surfaced so
+/// a deployment that configured a 1-RTT variant and silently pays 2 RTT on
+/// every read (the pre-PR-6 behavior) is observable: the client counts each
+/// occurrence under "abd.fast_path_suppressed" and keeps the latest reason.
+enum class FastPathSuppression : std::uint8_t {
+  kNone,             ///< fast return taken, or variant has no fast path
+  kByzantineMode,    ///< byzantine_f > 0: masking reads must write back
+  kRegularReadMode,  ///< ReadMode::kRegular never writes back — the fast
+                     ///< path is configured but meaningless
+  kDivergentReplies, ///< quorum replies disagreed (and, for kTimeEfficient,
+                     ///< the maximum exceeded the known-committed tag): the
+                     ///< protocol correctly fell back to the write-back
+};
+
+[[nodiscard]] const char* to_string(FastPathSuppression suppression) noexcept;
+
+/// What to do when a read's collect round completes.
+struct ReadDecision {
+  bool fast{false};  ///< true: return now, skip the write-back
+  FastPathSuppression suppression{FastPathSuppression::kNone};
+};
+
+/// The per-client strategy state: the variant plus, for kTimeEfficient, the
+/// committed-tag cache. Owned by abd::Client; pure protocol logic with no
+/// transport access — all sends stay behind Client::dispatch_request.
+class ReadStrategy {
+ public:
+  explicit ReadStrategy(ProtocolVariant variant) noexcept : variant_{variant} {}
+
+  [[nodiscard]] ProtocolVariant variant() const noexcept { return variant_; }
+
+  /// True for the variants that may complete an atomic read in one round.
+  [[nodiscard]] bool fast_capable() const noexcept {
+    return variant_ == ProtocolVariant::kUnanimousFastPath ||
+           variant_ == ProtocolVariant::kTimeEfficient;
+  }
+
+  /// The single read-completion decision point: called exactly once per
+  /// completed collect round, with the round's maximum tag and whether
+  /// every counted reply agreed on it.
+  [[nodiscard]] ReadDecision on_collect_complete(bool atomic_read,
+                                                 std::size_t byzantine_f,
+                                                 ObjectId object, const Tag& best,
+                                                 bool unanimous) const;
+
+  /// Record that a write quorum acknowledged `tag` for `object` — called by
+  /// the client when one of ITS update phases (write or write-back)
+  /// completes. Feeds the kTimeEfficient cache; cheap no-op otherwise.
+  void note_committed(ObjectId object, const Tag& tag);
+
+  /// Order-insensitive digest of the committed-tag cache, folded into
+  /// Client::state_digest — the cache steers future round counts, so the
+  /// model checker's state hashing must see it.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+ private:
+  ProtocolVariant variant_;
+  /// kTimeEfficient only: per object, the highest tag this client proved
+  /// resident at a write quorum.
+  std::unordered_map<ObjectId, Tag> committed_;
+};
+
+}  // namespace abdkit::abd

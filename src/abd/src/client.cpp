@@ -9,11 +9,25 @@
 
 namespace abdkit::abd {
 
+namespace {
+
+/// Apply the pre-strategy back-compat alias: fast_path_reads selects the
+/// unanimous-fast-path variant unless an explicit variant was configured.
+ProtocolVariant resolve_variant(const ClientOptions& options) noexcept {
+  if (options.fast_path_reads && options.variant == ProtocolVariant::kBaseline) {
+    return ProtocolVariant::kUnanimousFastPath;
+  }
+  return options.variant;
+}
+
+}  // namespace
+
 Client::Client(std::shared_ptr<const quorum::QuorumSystem> quorums, ReadMode read_mode,
                ClientOptions options)
     : quorums_{std::move(quorums)},
       read_mode_{read_mode},
       options_{options},
+      strategy_{resolve_variant(options)},
       metrics_{options.metrics} {
   if (quorums_ == nullptr) throw std::invalid_argument{"Client: null quorum system"};
   if (options_.contact == ContactPolicy::kTargeted &&
@@ -273,7 +287,10 @@ std::uint64_t Client::state_digest() const {
   for (const auto& [object, seq] : swmr_seq_) {
     seqs += fnv1a(fnv1a(kFnvOffset, object), seq);
   }
-  return fnv1a(h, seqs);
+  h = fnv1a(h, seqs);
+  // The committed-tag cache steers future round counts (kTimeEfficient
+  // fast returns), so state hashing must distinguish states by it.
+  return fnv1a(h, strategy_.state_digest());
 }
 
 const Client::Candidate* Client::vouch(Round& round, Tag tag, const Value& value) const {
@@ -384,17 +401,30 @@ void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
   if (round.retransmit_timer != 0) ctx_->cancel_timer(round.retransmit_timer);
   rounds_.erase(it);
 
-  const bool fast_path = options_.fast_path_reads && options_.byzantine_f == 0 &&
-                         round_was_unanimous;
-  if (read_mode_ == ReadMode::kAtomic && !fast_path) {
+  // The strategy's single read-completion decision point: every variant of
+  // the protocol family resolves "write back or return now" here. A
+  // requested-but-suppressed fast path is counted, never silent — the
+  // pre-PR-6 predicate quietly paid 2 RTT per read under byzantine_f > 0
+  // or ReadMode::kRegular with nothing observable.
+  const ReadDecision decision = strategy_.on_collect_complete(
+      read_mode_ == ReadMode::kAtomic, options_.byzantine_f, op->object, tag,
+      round_was_unanimous);
+  if (decision.suppression != FastPathSuppression::kNone) {
+    ++fast_path_suppressed_;
+    last_suppression_ = decision.suppression;
+    if (metrics_ != nullptr) metrics_->add("abd.fast_path_suppressed");
+  }
+  if (read_mode_ == ReadMode::kAtomic && !decision.fast) {
     // Write-back: make the value as widely known as a write would before
     // returning it — the step that turns regularity into atomicity.
     start_update_phase(std::move(op), tag, std::move(value));
     return;
   }
-  // Fast path (unanimous quorum: the value already sits at a full quorum,
-  // so the write-back would be a no-op) or regular baseline (which skips
-  // the write-back unconditionally and pays with new/old inversions).
+  // Fast path (the strategy proved the value already sits at a write
+  // quorum — unanimous replies, or a committed-tag match under
+  // kTimeEfficient — so the write-back would be a no-op) or regular
+  // baseline (which skips the write-back unconditionally and pays with
+  // new/old inversions).
   Round synthetic;
   synthetic.op = std::move(op);
   synthetic.install_tag = tag;
@@ -446,6 +476,10 @@ void Client::on_update_ack(ProcessId from, const UpdateAck& ack) {
   Round& round = it->second;
   if (!record_ack(round, from)) return;
 
+  // A write quorum acknowledged install_tag: that tag now provably resides
+  // at a write quorum forever (I1), which is the fact the kTimeEfficient
+  // read strategy trades on.
+  strategy_.note_committed(round.op->object, round.install_tag);
   record_phase(round);
   Round finished = std::move(round);
   if (finished.retransmit_timer != 0) ctx_->cancel_timer(finished.retransmit_timer);

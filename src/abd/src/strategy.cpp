@@ -1,0 +1,95 @@
+#include "abdkit/abd/strategy.hpp"
+
+namespace abdkit::abd {
+
+const char* to_string(ProtocolVariant variant) noexcept {
+  switch (variant) {
+    case ProtocolVariant::kBaseline:
+      return "baseline";
+    case ProtocolVariant::kUnanimousFastPath:
+      return "fast-path";
+    case ProtocolVariant::kTimeEfficient:
+      return "time-efficient";
+    case ProtocolVariant::kTwoBit:
+      return "two-bit";
+  }
+  return "?";
+}
+
+std::optional<ProtocolVariant> parse_variant(std::string_view name) {
+  if (name == "baseline") return ProtocolVariant::kBaseline;
+  if (name == "fast-path" || name == "unanimous-fast-path") {
+    return ProtocolVariant::kUnanimousFastPath;
+  }
+  if (name == "time-efficient") return ProtocolVariant::kTimeEfficient;
+  if (name == "two-bit") return ProtocolVariant::kTwoBit;
+  return std::nullopt;
+}
+
+const char* to_string(FastPathSuppression suppression) noexcept {
+  switch (suppression) {
+    case FastPathSuppression::kNone:
+      return "none";
+    case FastPathSuppression::kByzantineMode:
+      return "byzantine-mode";
+    case FastPathSuppression::kRegularReadMode:
+      return "regular-read-mode";
+    case FastPathSuppression::kDivergentReplies:
+      return "divergent-replies";
+  }
+  return "?";
+}
+
+ReadDecision ReadStrategy::on_collect_complete(bool atomic_read,
+                                               std::size_t byzantine_f,
+                                               ObjectId object, const Tag& best,
+                                               bool unanimous) const {
+  if (!fast_capable()) return {};
+  // Masking mode never fast-returns: a unanimous-looking quorum may contain
+  // forged replies, and only the vouched write-back path is safe there.
+  if (byzantine_f > 0) return {false, FastPathSuppression::kByzantineMode};
+  // Regular reads skip the write-back unconditionally; a fast-path variant
+  // configured on top of them changes nothing — surface the no-op.
+  if (!atomic_read) return {false, FastPathSuppression::kRegularReadMode};
+  if (unanimous) return {true, FastPathSuppression::kNone};
+  if (variant_ == ProtocolVariant::kTimeEfficient) {
+    // Divergent quorum, but the maximum may still be a tag this client
+    // already proved installed at a write quorum. Quorum intersection makes
+    // best >= committed always; equality means the write-back is a no-op.
+    const auto it = committed_.find(object);
+    if (it != committed_.end() && best == it->second) {
+      return {true, FastPathSuppression::kNone};
+    }
+  }
+  return {false, FastPathSuppression::kDivergentReplies};
+}
+
+void ReadStrategy::note_committed(ObjectId object, const Tag& tag) {
+  if (variant_ != ProtocolVariant::kTimeEfficient) return;
+  Tag& committed = committed_[object];
+  if (tag > committed) committed = tag;
+}
+
+std::uint64_t ReadStrategy::state_digest() const {
+  // FNV-1a per entry, combined with + for iteration-order independence
+  // (same scheme as Client::state_digest over its unordered maps).
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  const auto mix = [](std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= kPrime;
+    }
+    return h;
+  };
+  std::uint64_t sum = static_cast<std::uint64_t>(variant_);
+  for (const auto& [object, tag] : committed_) {
+    std::uint64_t h = mix(kOffset, object);
+    h = mix(h, tag.seq);
+    h = mix(h, tag.writer);
+    sum += h;
+  }
+  return sum;
+}
+
+}  // namespace abdkit::abd

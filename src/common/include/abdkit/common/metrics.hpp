@@ -17,7 +17,10 @@
 // Key conventions (dots separate namespaces, unit suffix on timers):
 //   counters: "client.messages_sent", "client.messages_resent",
 //             "client.retransmit_rounds", "client.duplicate_replies",
-//             "client.requeries", "client.ops_completed", "kv.gets", ...
+//             "client.requeries", "client.ops_completed", "kv.gets",
+//             "abd.fast_path_suppressed" (a fast-capable variant's read fell
+//             back to the 2-round path; reason via Client::last_suppression),
+//             ...
 //   timers:   "phase.value_collect_us", "phase.tag_collect_us",
 //             "phase.ack_collect_us", "op.read_us", "op.write_swmr_us",
 //             "op.write_mwmr_us", "kv.get_us", ...

@@ -121,6 +121,10 @@ struct ReplayResult {
   std::uint64_t state_digest{0};
   std::size_t steps{0};
   checker::History history;
+  /// Quorum rounds per issued operation, parallel to history's records
+  /// (RegisterScenario::op_rounds) — replay tests assert the path taken,
+  /// e.g. "this stored schedule forces the 1-RTT read into a second round".
+  std::vector<std::uint32_t> rounds;
 };
 
 /// Deterministically re-execute one schedule (e.g. a parsed violation

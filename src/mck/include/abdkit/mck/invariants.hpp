@@ -17,6 +17,11 @@
 //                           replica per round; duplicate deliveries must
 //                           not contribute (I2 phrased over the distinct
 //                           set *is* this check, made observable)
+//   I4 fast-return residence — an atomic read that returns tag t after ONE
+//                           round (a strategy fast path, PR 6) did so only
+//                           when the replicas storing tags >= t already
+//                           form a write quorum — the state a write-back
+//                           would have established
 #pragma once
 
 #include <cstdint>
@@ -149,6 +154,38 @@ class QuorumCompletionMonitor final : public Monitor {
   /// never be attributed to a send made from a timer or stimulus context.
   std::optional<std::pair<ProcessId, std::uint64_t>> current_;
   std::uint64_t duplicate_deliveries_{0};
+  std::optional<std::string> failure_;
+};
+
+/// I4: whenever an atomic read completes in one round returning tag t (a
+/// 1-RTT fast return under abd::ProtocolVariant::kUnanimousFastPath or
+/// kTimeEfficient), the set of replicas currently storing a tag >= t for
+/// that object must satisfy the write-quorum predicate. That is exactly the
+/// postcondition the skipped write-back would have established, so atomicity
+/// is preserved: any later read quorum intersects this set at a tag >= t.
+/// Crashed replicas count — their slots are frozen, and the write-back's own
+/// guarantee is equally indifferent to replicas crashing the instant after
+/// they ack. The scenario reports fast returns via on_fast_return; the
+/// monitor scans replica state at that instant.
+class FastReturnResidenceMonitor final : public Monitor {
+ public:
+  FastReturnResidenceMonitor(std::vector<const abd::Replica*> replicas,
+                             std::shared_ptr<const quorum::QuorumSystem> quorums);
+
+  /// Called by the scenario when an atomic read at `reader` completed after
+  /// a single quorum round, returning `tag` for `object`.
+  void on_fast_return(ProcessId reader, abd::ObjectId object, const abd::Tag& tag);
+
+  [[nodiscard]] std::optional<std::string> failed() const override {
+    return failure_;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "fast-return-residence";
+  }
+
+ private:
+  std::vector<const abd::Replica*> replicas_;
+  std::shared_ptr<const quorum::QuorumSystem> quorums_;
   std::optional<std::string> failure_;
 };
 

@@ -49,6 +49,10 @@ struct ScenarioOptions {
   abd::WriteMode write_mode{abd::WriteMode::kSingleWriter};
   /// Client-side masking threshold (see abd::ClientOptions::byzantine_f).
   std::size_t byzantine_f{0};
+  /// Protocol variant every client runs (see abd/strategy.hpp). Fast-capable
+  /// variants additionally arm the I4 fast-return-residence monitor: every
+  /// 1-round atomic read is checked against replica state at that instant.
+  abd::ProtocolVariant variant{abd::ProtocolVariant::kBaseline};
   bool fast_path_reads{false};
   /// Re-injects the PR-1 duplicate-reply vote-inflation bug (see
   /// abd::ClientOptions::testing_revert_duplicate_reply_gate). Used by
@@ -97,13 +101,20 @@ class RegisterScenario {
   /// ControlledWorld::transport_digest for state-hash pruning.
   [[nodiscard]] std::uint64_t state_digest() const;
 
+  /// Quorum rounds per issued operation, parallel to history()'s records
+  /// (process-major, program order; 0 for ops still pending). Lets replay
+  /// tests assert WHICH path an operation took — 1-round fast return vs
+  /// 2-round write-back — not just that the history linearizes.
+  [[nodiscard]] std::vector<std::uint32_t> op_rounds() const;
+
  private:
   struct OpState {
     bool issued{false};
     bool completed{false};
     TimePoint invoked{};
     TimePoint responded{};
-    std::int64_t value{0};  ///< read result or written value
+    std::uint32_t rounds{0};  ///< quorum rounds the completed op used
+    std::int64_t value{0};    ///< read result or written value
   };
 
   void invoke(ProcessId p, std::size_t index);
@@ -117,6 +128,7 @@ class RegisterScenario {
   std::vector<std::vector<OpState>> op_states_;
   std::vector<std::vector<std::uint64_t>> stimulus_ids_;
   std::vector<std::unique_ptr<Monitor>> monitors_;
+  FastReturnResidenceMonitor* residence_{nullptr};  // borrowed from monitors_
 };
 
 }  // namespace abdkit::mck

@@ -386,6 +386,7 @@ ReplayResult replay(const ScenarioOptions& scenario, const Schedule& schedule,
     }
   }
   result.history = run.history();
+  result.rounds = run.op_rounds();
   result.state_digest = combined_digest(run, run.world());
   if (!result.violation.has_value() && options.check_linearizability) {
     const checker::LinearizabilityReport report =

@@ -132,4 +132,43 @@ void QuorumCompletionMonitor::on_op_complete(ProcessId p,
   if (it != open_collect_.end()) it->second.erase(current_->second);
 }
 
+// ---- FastReturnResidenceMonitor (I4) ----------------------------------------------
+
+FastReturnResidenceMonitor::FastReturnResidenceMonitor(
+    std::vector<const abd::Replica*> replicas,
+    std::shared_ptr<const quorum::QuorumSystem> quorums)
+    : replicas_{std::move(replicas)}, quorums_{std::move(quorums)} {}
+
+void FastReturnResidenceMonitor::on_fast_return(ProcessId reader,
+                                                abd::ObjectId object,
+                                                const abd::Tag& tag) {
+  if (failure_.has_value()) return;
+  std::vector<bool> resident(replicas_.size(), false);
+  std::size_t count = 0;
+  for (ProcessId p = 0; p < replicas_.size(); ++p) {
+    // A replica with no slot for the object implicitly stores kInitialTag —
+    // which satisfies residence when the fast return itself carried the
+    // initial tag (a unanimous read of a never-written register).
+    abd::Tag stored = abd::kInitialTag;
+    for (const auto& [slot_object, slot] : replicas_[p]->slots_snapshot()) {
+      if (slot_object == object) {
+        stored = slot.tag;
+        break;
+      }
+    }
+    if (!(stored < tag)) {
+      resident[p] = true;
+      ++count;
+    }
+  }
+  if (quorums_->is_write_quorum(resident)) return;
+  std::ostringstream os;
+  os << "1-round atomic read at process " << reader << " returned tag ("
+     << tag.seq << "," << tag.writer << ") for object " << object
+     << " while only " << count << " replica(s) store a tag >= it — not a "
+     << "write quorum of " << quorums_->name()
+     << "; the skipped write-back was not a no-op";
+  failure_ = os.str();
+}
+
 }  // namespace abdkit::mck

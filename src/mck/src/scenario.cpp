@@ -37,6 +37,7 @@ RegisterScenario::RegisterScenario(ScenarioOptions options)
 
   abd::ClientOptions client;
   client.byzantine_f = options_.byzantine_f;
+  client.variant = options_.variant;
   client.fast_path_reads = options_.fast_path_reads;
   client.testing_revert_duplicate_reply_gate = options_.revert_duplicate_reply_gate;
 
@@ -49,6 +50,10 @@ RegisterScenario::RegisterScenario(ScenarioOptions options)
     world_->add_actor(p, std::move(node));
   }
 
+  auto residence_monitor =
+      std::make_unique<FastReturnResidenceMonitor>(replicas, quorums_);
+  residence_ = residence_monitor.get();
+  monitors_.push_back(std::move(residence_monitor));
   monitors_.push_back(std::make_unique<TagMonotonicityMonitor>(std::move(replicas)));
   auto quorum_monitor = std::make_unique<QuorumCompletionMonitor>(quorums_);
   QuorumCompletionMonitor* qm = quorum_monitor.get();
@@ -111,7 +116,16 @@ void RegisterScenario::on_done(ProcessId p, std::size_t index,
   OpState& state = op_states_[p][index];
   state.completed = true;
   state.responded = world_->now();
+  state.rounds = result.rounds;
   if (!op.is_write) state.value = result.value.data;
+
+  // I4: a 1-round atomic read is a fast return (baseline atomic reads
+  // always pay 2 rounds) — verify the residence postcondition now, against
+  // replica state at this instant.
+  if (!op.is_write && options_.read_mode == abd::ReadMode::kAtomic &&
+      result.rounds == 1) {
+    residence_->on_fast_return(p, op.object, result.tag);
+  }
 
   const checker::OpRecord record{
       p,
@@ -136,6 +150,16 @@ std::optional<std::string> RegisterScenario::invariant_violation() const {
     }
   }
   return std::nullopt;
+}
+
+std::vector<std::uint32_t> RegisterScenario::op_rounds() const {
+  std::vector<std::uint32_t> rounds;
+  for (ProcessId p = 0; p < op_states_.size(); ++p) {
+    for (const OpState& state : op_states_[p]) {
+      if (state.issued) rounds.push_back(state.rounds);
+    }
+  }
+  return rounds;
 }
 
 checker::History RegisterScenario::history() const {

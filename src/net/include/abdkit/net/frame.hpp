@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "abdkit/common/message.hpp"
+#include "abdkit/wire/codec.hpp"
 
 namespace abdkit::net {
 
@@ -50,8 +51,12 @@ struct Frame {
 /// Appends the same frame to `out` without temporaries: the length prefix is
 /// reserved up front and patched once the body size is known, so the send
 /// path can encode many frames back-to-back into one reusable buffer.
+/// `format` selects the codec envelope (wire::WireFormat::kCompact = the
+/// two-bit-messages constant-size control field); decoding auto-detects, so
+/// peers need not agree on it.
 void encode_frame_into(std::vector<std::byte>& out, ProcessId src, ProcessId dst,
-                       const Payload& payload);
+                       const Payload& payload,
+                       wire::WireFormat format = wire::WireFormat::kStandard);
 
 class FrameDecoder {
  public:

@@ -45,9 +45,11 @@
 
 #include "abdkit/common/message.hpp"
 #include "abdkit/common/metrics.hpp"
+#include "abdkit/common/rng.hpp"
 #include "abdkit/common/transport.hpp"
 #include "abdkit/net/send_queue.hpp"
 #include "abdkit/runtime/cluster.hpp"
+#include "abdkit/wire/codec.hpp"
 
 namespace abdkit::net {
 
@@ -66,6 +68,14 @@ struct Address {
 /// Parse a comma-separated address table "h:p,h:p,...".
 [[nodiscard]] bool parse_address_list(const std::string& text, std::vector<Address>& out);
 
+/// Decorrelated-jitter reconnect backoff (AWS architecture-blog flavor):
+/// draws uniformly from [floor, min(cap, 3 * previous)], treating a
+/// non-positive `previous` as `floor`. Successive failures still grow the
+/// expected wait geometrically, but two processes sharing a failure instant
+/// diverge after one draw instead of redialing in lockstep forever.
+[[nodiscard]] Duration next_reconnect_backoff(Duration previous, Duration floor,
+                                              Duration cap, Rng& rng);
+
 struct TransportOptions {
   /// This process's id (its index in the address table).
   ProcessId self{kNoProcess};
@@ -73,10 +83,21 @@ struct TransportOptions {
   /// processes take ids >= world_size.
   std::size_t world_size{0};
   /// Reconnect backoff bounds: after a failed dial the next attempt waits
-  /// the current backoff, which doubles (from min, capped at max) until a
-  /// connection succeeds.
+  /// the current backoff, which grows by decorrelated jitter — uniform in
+  /// [min, 3 * previous], capped at max — until a connection succeeds (see
+  /// next_reconnect_backoff). The jitter breaks redial lockstep: without
+  /// it, every replica that lost the same peer retries on the identical
+  /// doubling schedule and their dials collide forever.
   Duration reconnect_min{std::chrono::milliseconds{20}};
   Duration reconnect_max{std::chrono::seconds{1}};
+  /// Seed for the reconnect jitter stream, mixed with `self` so each
+  /// process jitters independently even when configured identically. Any
+  /// fixed value gives a deterministic redial schedule (tests rely on it).
+  std::uint64_t reconnect_jitter_seed{0};
+  /// Codec envelope for outgoing frames (wire::WireFormat::kCompact = the
+  /// two-bit-messages constant-size control field). Receiving auto-detects,
+  /// so mixed-format clusters interoperate.
+  wire::WireFormat wire_format{wire::WireFormat::kStandard};
   /// Per-peer cap on bytes queued while a connection is down or congested;
   /// frames beyond it are dropped (and counted), like any lost message.
   std::size_t max_send_buffer{4u << 20};
@@ -201,6 +222,9 @@ class Transport {
   void close_all_fds();
 
   TransportOptions options_;
+  /// Jitter stream for reconnect backoff (loop-thread only), seeded from
+  /// reconnect_jitter_seed mixed with self.
+  Rng reconnect_rng_;
   std::unique_ptr<Actor> actor_;
   std::unique_ptr<class NetContext> context_;
   std::vector<Address> table_;

@@ -32,13 +32,13 @@ std::vector<std::byte> encode_frame(ProcessId src, ProcessId dst, const Payload&
 }
 
 void encode_frame_into(std::vector<std::byte>& out, ProcessId src, ProcessId dst,
-                       const Payload& payload) {
+                       const Payload& payload, wire::WireFormat format) {
   const std::size_t start = out.size();
   out.resize(start + 4);  // length prefix, patched below
   wire::Writer w{out};
   w.u32(src);
   w.u32(dst);
-  wire::encode_into(out, payload);
+  wire::encode_into(out, payload, format);
   write_u32le(out.data() + start, static_cast<std::uint32_t>(out.size() - start - 4));
 }
 
@@ -73,7 +73,9 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
     fail("frame length " + std::to_string(length) + " exceeds cap");
     return Status::kError;
   }
-  if (length < kFrameAddressBytes + 4) {  // addresses + smallest envelope tag
+  // Addresses + smallest envelope: one byte under the compact encoding
+  // (wire::WireFormat::kCompact), four under the standard u32 tag.
+  if (length < kFrameAddressBytes + 1) {
     fail("frame length " + std::to_string(length) + " below minimum");
     return Status::kError;
   }

@@ -121,8 +121,30 @@ class NetContext final : public Context {
 
 // ---- Lifecycle --------------------------------------------------------------------
 
+namespace {
+
+std::uint64_t jitter_seed(const TransportOptions& options) noexcept {
+  // Mix self into the stream so identically-configured processes still
+  // draw independent jitter (the whole point of having any).
+  std::uint64_t sm = options.reconnect_jitter_seed ^
+                     (0x9e3779b97f4a7c15ULL * (1 + std::uint64_t{options.self}));
+  return splitmix64(sm);
+}
+
+}  // namespace
+
+Duration next_reconnect_backoff(Duration previous, Duration floor, Duration cap,
+                                Rng& rng) {
+  if (previous < floor) previous = floor;
+  const auto lo = floor.count();
+  const auto hi = std::min(cap.count(), 3 * previous.count());
+  if (hi <= lo) return Duration{lo};
+  return Duration{rng.between(lo, hi)};
+}
+
 Transport::Transport(TransportOptions options, std::unique_ptr<Actor> actor)
     : options_{std::move(options)},
+      reconnect_rng_{jitter_seed(options_)},
       actor_{std::move(actor)},
       context_{std::make_unique<NetContext>(*this)},
       epoch_{std::chrono::steady_clock::now()} {
@@ -272,7 +294,7 @@ void Transport::send(ProcessId to, PayloadPtr payload) {
   // removes) the frame if it would breach max_send_buffer.
   std::vector<std::byte>& segment = peer.queue.tail();
   const std::size_t mark = segment.size();
-  encode_frame_into(segment, options_.self, to, *payload);
+  encode_frame_into(segment, options_.self, to, *payload, options_.wire_format);
   if (!peer.queue.commit(mark)) {
     count("net.sends_dropped");
     observe(ClusterEvent::Kind::kDrop, options_.self, to, payload);
@@ -376,11 +398,12 @@ void Transport::peer_failed(ProcessId peer_id, bool was_connected) {
   peer.queue.clear();
   peer.flush_pending = false;
   if (peer_id < options_.world_size) {
-    // Replica mesh: keep redialing with exponential backoff forever, so a
-    // restarted replica is readopted without coordination.
-    peer.backoff = peer.backoff <= Duration::zero()
-                       ? options_.reconnect_min
-                       : std::min(peer.backoff * 2, options_.reconnect_max);
+    // Replica mesh: keep redialing forever, so a restarted replica is
+    // readopted without coordination. Decorrelated jitter, not bare
+    // doubling: replicas that lost the same peer at the same instant must
+    // not redial in lockstep (thundering-herd on the restarted listener).
+    peer.backoff = next_reconnect_backoff(peer.backoff, options_.reconnect_min,
+                                          options_.reconnect_max, reconnect_rng_);
     peer.next_attempt = now() + peer.backoff;
     peer.state = PeerState::kBackoff;
   } else {

@@ -94,6 +94,22 @@ class Reader {
   bool failed_{false};
 };
 
+/// Envelope encoding selector (the two-bit-messages variant, arXiv
+/// 1602.02695: control information of constant size suffices for atomic
+/// registers). kStandard keeps the u32 payload-tag envelope. kCompact
+/// shrinks the envelope of the ten core register control messages
+/// (0x0101–0x0106 and 0x0301–0x0304) to ONE tagged byte, 0x80 | kind —
+/// the paper's constant-size control field. Other families (0x07xx
+/// reconfiguration, anti-entropy) keep the standard envelope even under
+/// kCompact.
+///
+/// Decoding needs no format flag: every standard envelope starts with the
+/// little-endian low byte of the payload tag (0x01–0x06 for all supported
+/// families — high bit always clear), so a first byte with the high bit
+/// set unambiguously announces a compact envelope. Mixed-format clusters
+/// interoperate.
+enum class WireFormat : std::uint8_t { kStandard, kCompact };
+
 /// Serializes any supported payload (envelope included). Throws
 /// std::invalid_argument for payload tags the codec does not know.
 [[nodiscard]] std::vector<std::byte> encode(const Payload& payload);
@@ -103,11 +119,21 @@ class Reader {
 /// reusable per-peer scratch buffer.
 void encode_into(std::vector<std::byte>& out, const Payload& payload);
 
-/// Parses an envelope+body. Returns nullptr for unknown tags, truncation,
-/// trailing garbage, or any other malformation.
+/// Same, selecting the envelope encoding. Under kCompact, payloads outside
+/// the core ten (see compact_supports) fall back to the standard envelope.
+void encode_into(std::vector<std::byte>& out, const Payload& payload,
+                 WireFormat format);
+
+/// Parses an envelope+body (either envelope encoding, auto-detected).
+/// Returns nullptr for unknown tags, truncation, trailing garbage, or any
+/// other malformation.
 [[nodiscard]] PayloadPtr decode(std::span<const std::byte> bytes);
 
 /// True if the codec can encode/decode this payload tag.
 [[nodiscard]] bool codec_supports(PayloadTag tag) noexcept;
+
+/// True if this payload tag has a one-byte compact envelope under
+/// WireFormat::kCompact.
+[[nodiscard]] bool compact_supports(PayloadTag tag) noexcept;
 
 }  // namespace abdkit::wire

@@ -553,16 +553,64 @@ std::vector<std::byte> encode(const Payload& payload) {
   return out;
 }
 
+namespace {
+
+/// Core register control messages in compact-kind order: the one-byte
+/// envelope is 0x80 | index. Appending is fine; reordering breaks the wire
+/// format.
+constexpr PayloadTag kCompactKinds[] = {
+    kReadQuery, kReadReply,  kTagQuery,   kTagReply, kUpdate,
+    kUpdateAck, kBReadQuery, kBReadReply, kBUpdate,  kBUpdateAck,
+};
+
+constexpr std::uint8_t kCompactBit = 0x80;
+
+/// Index into kCompactKinds, or a sentinel >= its size.
+std::size_t compact_kind(PayloadTag tag) noexcept {
+  for (std::size_t i = 0; i < std::size(kCompactKinds); ++i) {
+    if (kCompactKinds[i] == tag) return i;
+  }
+  return std::size(kCompactKinds);
+}
+
+}  // namespace
+
+bool compact_supports(PayloadTag tag) noexcept {
+  return compact_kind(tag) < std::size(kCompactKinds);
+}
+
 void encode_into(std::vector<std::byte>& out, const Payload& payload) {
+  encode_into(out, payload, WireFormat::kStandard);
+}
+
+void encode_into(std::vector<std::byte>& out, const Payload& payload,
+                 WireFormat format) {
   Writer w{out};
-  w.u32(payload.tag());
+  const std::size_t kind = compact_kind(payload.tag());
+  if (format == WireFormat::kCompact && kind < std::size(kCompactKinds)) {
+    w.u8(static_cast<std::uint8_t>(kCompactBit | kind));
+  } else {
+    w.u32(payload.tag());
+  }
   encode_body(w, payload);
 }
 
 PayloadPtr decode(std::span<const std::byte> bytes) {
   Reader r{bytes};
   std::uint32_t tag = 0;
-  if (!r.u32(tag)) return nullptr;
+  // A set high bit in the first byte announces the compact envelope; every
+  // standard envelope starts with the tag's little-endian low byte, which
+  // is < 0x80 for all supported families.
+  if (!bytes.empty() &&
+      (static_cast<std::uint8_t>(bytes.front()) & kCompactBit) != 0) {
+    std::uint8_t envelope = 0;
+    if (!r.u8(envelope)) return nullptr;
+    const std::size_t kind = envelope & 0x7fU;
+    if (kind >= std::size(kCompactKinds)) return nullptr;
+    tag = kCompactKinds[kind];
+  } else if (!r.u32(tag)) {
+    return nullptr;
+  }
   PayloadPtr payload = decode_body(tag, r);
   if (payload == nullptr || !r.done()) return nullptr;  // garbage or trailing bytes
   return payload;

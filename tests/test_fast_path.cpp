@@ -8,8 +8,10 @@
 #include <chrono>
 #include <optional>
 
+#include "abdkit/abd/strategy.hpp"
 #include "abdkit/checker/linearizability.hpp"
 #include "abdkit/checker/register_checks.hpp"
+#include "abdkit/common/metrics.hpp"
 #include "abdkit/harness/deployment.hpp"
 #include "abdkit/harness/workload.hpp"
 
@@ -127,6 +129,156 @@ TEST(FastPath, WorksWithCrashes) {
   ASSERT_TRUE(read_result.has_value());
   EXPECT_EQ(read_result->value.data, 5);
   EXPECT_EQ(read_result->rounds, 1U);  // the 3 survivors agree
+}
+
+// ---- Suppression observability (PR 6) ---------------------------------------------
+//
+// The pre-PR-6 predicate silently fell back to 2-RTT reads when
+// byzantine_f > 0 or the read mode mismatched — a deployment that
+// configured the fast path could pay double latency on every read with
+// nothing observable. Each suppressed fast return now increments the
+// "abd.fast_path_suppressed" metrics counter and records a reason.
+
+TEST(FastPathSuppression, QuietFastReadLeavesCounterZero) {
+  Metrics metrics;
+  DeployOptions options = fast(5, 11);
+  options.client.metrics = &metrics;
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 7);
+  d.read_at(TimePoint{1s}, 2, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->rounds, 1U);
+  EXPECT_EQ(metrics.counter("abd.fast_path_suppressed"), 0U);
+}
+
+TEST(FastPathSuppression, ByzantineModeCountsEverySuppressedRead) {
+  // Masking configuration (n=5, f=1) with the fast path requested: masking
+  // reads must write back, so every read counts one suppression.
+  Metrics metrics;
+  DeployOptions options;
+  options.n = 5;
+  options.seed = 12;
+  options.quorums = std::make_shared<const quorum::MaskingQuorum>(5, 1);
+  options.client.byzantine_f = 1;
+  options.client.fast_path_reads = true;
+  options.client.metrics = &metrics;
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 7);
+  d.read_at(TimePoint{1s}, 1, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->value.data, 7);
+  EXPECT_EQ(read_result->rounds, 2U);  // no fast return in masking mode
+  EXPECT_EQ(metrics.counter("abd.fast_path_suppressed"), 1U);
+}
+
+TEST(FastPathSuppression, RegularReadModeIsSurfacedAsConfigNoOp) {
+  // Regular reads never write back; a fast-path variant on top of them
+  // changes nothing — the suppression counter surfaces the useless config.
+  Metrics metrics;
+  DeployOptions options = fast(5, 13);
+  options.variant = Variant::kRegularSwmr;
+  options.client.metrics = &metrics;
+  SimDeployment d{std::move(options)};
+  std::optional<abd::OpResult> read_result;
+  d.write_at(TimePoint{0}, 0, 0, 7);
+  d.read_at(TimePoint{1s}, 2, 0, [&](const abd::OpResult& r) { read_result = r; });
+  d.run();
+  ASSERT_TRUE(read_result.has_value());
+  EXPECT_EQ(read_result->rounds, 1U);  // regular reads are 1 round anyway
+  EXPECT_EQ(metrics.counter("abd.fast_path_suppressed"), 1U);
+}
+
+TEST(FastPathSuppression, DivergentFallbackIncrementsCounter) {
+  // The ContendedRead scenario with the counter attached: when the read
+  // pays 2 rounds, exactly one suppression (divergent replies) is counted.
+  // Scans seeds until the race actually produces divergent replies, so the
+  // assertion is non-vacuous.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Metrics metrics;
+    DeployOptions options = fast(5, seed);
+    options.delay = std::make_unique<sim::UniformDelay>(100us, 20ms);
+    options.client.metrics = &metrics;
+    SimDeployment d{std::move(options)};
+    std::optional<abd::OpResult> read_result;
+    d.write_at(TimePoint{0}, 0, 0, 1);
+    d.read_at(TimePoint{5ms}, 1, 0,
+              [&](const abd::OpResult& r) { read_result = r; });
+    d.run();
+    ASSERT_TRUE(read_result.has_value());
+    if (read_result->rounds == 1) {
+      EXPECT_EQ(metrics.counter("abd.fast_path_suppressed"), 0U) << seed;
+      continue;
+    }
+    EXPECT_EQ(read_result->rounds, 2U) << seed;
+    EXPECT_EQ(metrics.counter("abd.fast_path_suppressed"), 1U) << seed;
+    return;  // found the contended interleaving and asserted on it
+  }
+  FAIL() << "no seed in [1,50] produced a contended read";
+}
+
+// The decision logic itself, variant by variant (pure unit tests against
+// abd::ReadStrategy — no deployment).
+TEST(FastPathSuppression, StrategyReportsReasons) {
+  using abd::FastPathSuppression;
+  using abd::ProtocolVariant;
+  using abd::ReadDecision;
+
+  abd::ReadStrategy baseline{ProtocolVariant::kBaseline};
+  EXPECT_FALSE(baseline.fast_capable());
+  ReadDecision d = baseline.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, true);
+  EXPECT_FALSE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kNone);  // nothing requested
+
+  abd::ReadStrategy fast_path{ProtocolVariant::kUnanimousFastPath};
+  d = fast_path.on_collect_complete(true, 1, 0, abd::Tag{3, 1}, true);
+  EXPECT_FALSE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kByzantineMode);
+  d = fast_path.on_collect_complete(false, 0, 0, abd::Tag{3, 1}, true);
+  EXPECT_FALSE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kRegularReadMode);
+  d = fast_path.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, false);
+  EXPECT_FALSE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kDivergentReplies);
+  d = fast_path.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, true);
+  EXPECT_TRUE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kNone);
+
+  // kTimeEfficient: a divergent quorum whose maximum equals a tag this
+  // client committed fast-returns; a higher (uncommitted) maximum falls
+  // back.
+  abd::ReadStrategy te{ProtocolVariant::kTimeEfficient};
+  d = te.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, false);
+  EXPECT_FALSE(d.fast);
+  te.note_committed(0, abd::Tag{3, 1});
+  d = te.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, false);
+  EXPECT_TRUE(d.fast);
+  d = te.on_collect_complete(true, 0, 0, abd::Tag{4, 1}, false);
+  EXPECT_FALSE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kDivergentReplies);
+  // Commits only grow: a stale note cannot lower the cache.
+  te.note_committed(0, abd::Tag{2, 1});
+  d = te.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, false);
+  EXPECT_TRUE(d.fast);
+  // Other objects are independent.
+  d = te.on_collect_complete(true, 0, 7, abd::Tag{3, 1}, false);
+  EXPECT_FALSE(d.fast);
+}
+
+TEST(FastPathSuppression, VariantNamesRoundTrip) {
+  using abd::ProtocolVariant;
+  for (const auto v :
+       {ProtocolVariant::kBaseline, ProtocolVariant::kUnanimousFastPath,
+        ProtocolVariant::kTimeEfficient, ProtocolVariant::kTwoBit}) {
+    ASSERT_TRUE(abd::parse_variant(abd::to_string(v)).has_value());
+    EXPECT_EQ(*abd::parse_variant(abd::to_string(v)), v);
+  }
+  EXPECT_EQ(*abd::parse_variant("unanimous-fast-path"),
+            ProtocolVariant::kUnanimousFastPath);
+  EXPECT_FALSE(abd::parse_variant("bogus").has_value());
 }
 
 }  // namespace

@@ -309,5 +309,150 @@ TEST(CheckCache, DistinguishesDifferentOrderPatterns) {
             checker::CheckCache::canonical_key(concurrent));
 }
 
+// ---- Protocol-variant family (PR 6) -----------------------------------------------
+//
+// Every selectable variant must be exhaustively linearizable on the
+// acceptance scenarios, with the I4 fast-return-residence monitor armed:
+// each 1-round atomic read any schedule produces is checked against replica
+// state at that instant (see invariants.hpp).
+
+ScenarioOptions variant_scenario(abd::ProtocolVariant variant) {
+  ScenarioOptions scenario = swsr_scenario();
+  scenario.variant = variant;
+  return scenario;
+}
+
+class ExplorerVariant : public ::testing::TestWithParam<abd::ProtocolVariant> {};
+
+// W || R at n=3: every scheduling, every variant, only linearizable
+// terminal histories and no I1..I4 violation.
+TEST_P(ExplorerVariant, ExhaustiveSwsrIsLinearizable) {
+  const ExploreResult result = explore(variant_scenario(GetParam()), hashing_mode());
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.terminals, 0U);
+}
+
+// W || R plus one crash at every non-quiescent point.
+TEST_P(ExplorerVariant, ExhaustiveWithOneCrashStaysLinearizable) {
+  ExploreOptions options = hashing_mode();
+  options.max_crashes = 1;
+  const ExploreResult result = explore(variant_scenario(GetParam()), options);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolFamily, ExplorerVariant,
+    ::testing::Values(abd::ProtocolVariant::kUnanimousFastPath,
+                      abd::ProtocolVariant::kTimeEfficient,
+                      abd::ProtocolVariant::kTwoBit),
+    [](const ::testing::TestParamInfo<abd::ProtocolVariant>& param_info) {
+      switch (param_info.param) {
+        case abd::ProtocolVariant::kBaseline:
+          return "Baseline";
+        case abd::ProtocolVariant::kUnanimousFastPath:
+          return "UnanimousFastPath";
+        case abd::ProtocolVariant::kTimeEfficient:
+          return "TimeEfficient";
+        case abd::ProtocolVariant::kTwoBit:
+          return "TwoBit";
+      }
+      return "Unknown";
+    });
+
+// Stored variant schedules, replayed bit-for-bit (same pattern as the
+// pipelined schedule above). ReplayResult::rounds pins down WHICH path each
+// op took, so these fail if a refactor silently changes when the fast path
+// fires — not only if it breaks linearizability.
+
+// Quiet read under the unanimous fast path: the write fully settles first,
+// the read sees a unanimous quorum and returns the new value in ONE round.
+// The identical schedule replays identically under kTimeEfficient
+// (unanimity is a fast return for both).
+TEST(Explorer, StoredFastPathScheduleReturnsInOneRound) {
+  const Schedule stored =
+      Schedule::parse("mck1:i0.d1.d2.d4.d0.d5.d3.i1.d7.d8.d10.d6.d9.d11");
+  for (const auto variant : {abd::ProtocolVariant::kUnanimousFastPath,
+                             abd::ProtocolVariant::kTimeEfficient}) {
+    const ReplayResult result = replay(variant_scenario(variant), stored);
+    EXPECT_FALSE(result.violation.has_value());
+    ASSERT_EQ(result.history.size(), 2U);
+    EXPECT_EQ(result.history.ops()[0].value, 1);  // write
+    EXPECT_EQ(result.history.ops()[1].value, 1);  // read returns new value
+    ASSERT_EQ(result.rounds.size(), 2U);
+    EXPECT_EQ(result.rounds[0], 1U);
+    EXPECT_EQ(result.rounds[1], 1U) << "read did not take the fast path";
+  }
+}
+
+// Adversarial schedule: the read's collect quorum straddles the write
+// (divergent replies), so the 1-RTT-capable read must correctly fall back
+// to the 2-round write-back path.
+TEST(Explorer, StoredFastPathFallbackScheduleTakesTwoRounds) {
+  const Schedule stored = Schedule::parse(
+      "mck1:i0.d1.i1.d5.d6.d2.d7.d3.d8.d11.d12.d9.d13.d14.d10.d0.d16.d15.d4."
+      "d17");
+  const ReplayResult result =
+      replay(variant_scenario(abd::ProtocolVariant::kUnanimousFastPath), stored);
+  EXPECT_FALSE(result.violation.has_value());
+  ASSERT_EQ(result.rounds.size(), 2U);
+  EXPECT_EQ(result.rounds[0], 1U);
+  EXPECT_EQ(result.rounds[1], 2U) << "divergent read must write back";
+}
+
+// kTwoBit only changes the wire envelope (invisible to the controlled
+// world's in-memory transport): the same adversarial schedule replays with
+// baseline round counts and the baseline history.
+TEST(Explorer, StoredTwoBitScheduleMatchesBaselineShape) {
+  const Schedule stored = Schedule::parse(
+      "mck1:i0.d1.i1.d5.d6.d2.d7.d3.d8.d11.d12.d9.d13.d14.d10.d0.d16.d15.d4."
+      "d17");
+  for (const auto variant :
+       {abd::ProtocolVariant::kTwoBit, abd::ProtocolVariant::kBaseline}) {
+    const ReplayResult result = replay(variant_scenario(variant), stored);
+    EXPECT_FALSE(result.violation.has_value());
+    ASSERT_EQ(result.history.size(), 2U);
+    EXPECT_EQ(result.history.ops()[1].value, 1);
+    ASSERT_EQ(result.rounds.size(), 2U);
+    EXPECT_EQ(result.rounds[1], 2U);  // atomic reads always write back
+  }
+}
+
+// The schedule that separates kTimeEfficient from kUnanimousFastPath: the
+// writer's Update to replica 2 stays in flight while the reader's first
+// read sees divergent replies (2 rounds; its write-back commits the tag)
+// and its second read again sees divergent replies whose maximum EQUALS the
+// committed tag — a 1-round return no unanimity check allows. Replaying the
+// identical schedule under kUnanimousFastPath leaves read B incomplete (its
+// write-back is never delivered), proving the fast return came from the
+// committed-tag cache, not from unanimity.
+TEST(Explorer, StoredTimeEfficientScheduleFastReturnsWithoutUnanimity) {
+  const Schedule stored = Schedule::parse(
+      "mck1:i1.i0.d4.d1.d7.d2.d8.d0.d12.d10.d13.d6.d11.d5.d15.d14.i2.d16.d9."
+      "d20.d17.d21.d19.d18.d22.d3.d23");
+  ScenarioOptions scenario;
+  scenario.num_processes = 3;
+  scenario.programs = {{write_op(1)}, {read_op(), read_op()}};
+  scenario.variant = abd::ProtocolVariant::kTimeEfficient;
+
+  const ReplayResult result = replay(scenario, stored);
+  EXPECT_FALSE(result.violation.has_value());
+  ASSERT_EQ(result.history.size(), 3U);
+  EXPECT_EQ(result.history.ops()[1].value, 1);
+  EXPECT_EQ(result.history.ops()[2].value, 1);
+  ASSERT_EQ(result.rounds.size(), 3U);
+  EXPECT_EQ(result.rounds[0], 1U);  // write
+  EXPECT_EQ(result.rounds[1], 2U);  // read A: divergent, writes back
+  EXPECT_EQ(result.rounds[2], 1U);  // read B: committed-match fast return
+
+  scenario.variant = abd::ProtocolVariant::kUnanimousFastPath;
+  const ReplayResult contrast = replay(scenario, stored);
+  EXPECT_FALSE(contrast.violation.has_value());
+  ASSERT_EQ(contrast.history.size(), 3U);
+  EXPECT_FALSE(contrast.history.ops()[2].completed)
+      << "unanimity-only variant must NOT fast-return read B on this schedule";
+}
+
 }  // namespace
 }  // namespace abdkit::mck

@@ -539,5 +539,73 @@ TEST(NetTransport, CoalescingCountersAccountSyscallSharing) {
   EXPECT_EQ(metrics.counter("net.frame_decode_errors"), 0u);
 }
 
+// ---- Reconnect backoff jitter (PR 6) ----------------------------------------------
+//
+// The pre-PR-6 backoff doubled deterministically from the same floor, so
+// every replica that lost the same peer redialed on the identical schedule
+// — a permanent thundering herd against the restarted listener. The
+// decorrelated-jitter draw breaks the lockstep while keeping each process's
+// schedule deterministic for a fixed seed (TransportOptions::
+// reconnect_jitter_seed mixed with self).
+
+TEST(ReconnectBackoff, RedialSchedulesDivergeAcrossProcesses) {
+  using namespace std::chrono_literals;
+  const Duration floor = 20ms;
+  const Duration cap = 1s;
+  // Two processes losing the same peer at the same instant: identical
+  // options, different self -> different jitter streams (the transport
+  // mixes self into the seed; two distinct Rng seeds model that here).
+  Rng rng_a{1};
+  Rng rng_b{2};
+  Duration backoff_a{};
+  Duration backoff_b{};
+  Duration redial_a{};
+  Duration redial_b{};
+  bool diverged = false;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    backoff_a = next_reconnect_backoff(backoff_a, floor, cap, rng_a);
+    backoff_b = next_reconnect_backoff(backoff_b, floor, cap, rng_b);
+    redial_a += backoff_a;
+    redial_b += backoff_b;
+    diverged = diverged || redial_a != redial_b;
+  }
+  EXPECT_TRUE(diverged) << "both processes redialed in lockstep";
+}
+
+TEST(ReconnectBackoff, ScheduleIsDeterministicForASeed) {
+  using namespace std::chrono_literals;
+  Rng first{42};
+  Rng second{42};
+  Duration a{};
+  Duration b{};
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    a = next_reconnect_backoff(a, 20ms, 1s, first);
+    b = next_reconnect_backoff(b, 20ms, 1s, second);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(ReconnectBackoff, DrawsStayWithinDecorrelatedBounds) {
+  using namespace std::chrono_literals;
+  const Duration floor = 20ms;
+  const Duration cap = 1s;
+  Rng rng{7};
+  Duration previous{};
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const Duration effective_prev = previous < floor ? floor : previous;
+    const Duration drawn = next_reconnect_backoff(previous, floor, cap, rng);
+    EXPECT_GE(drawn, floor);
+    EXPECT_LE(drawn, std::min(cap, 3 * effective_prev));
+    previous = drawn;
+  }
+  // The cap binds: a long failure streak cannot wait longer than cap.
+  Rng greedy{9};
+  Duration worst{};
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    worst = std::max(worst, next_reconnect_backoff(cap, floor, cap, greedy));
+  }
+  EXPECT_LE(worst, cap);
+}
+
 }  // namespace
 }  // namespace abdkit::net

@@ -320,5 +320,111 @@ TEST(WireCodec, BitflipsAreHandledGracefully) {
   }
 }
 
+// ---- Compact envelope (PR 6, the two-bit-messages variant) ------------------------
+//
+// WireFormat::kCompact shrinks the u32 envelope of the ten core register
+// control tags to one tagged byte (0x80 | kind); everything else keeps the
+// standard envelope. Decode auto-detects via the first byte's high bit, so
+// the same total-decode guarantees apply to both encodings.
+
+TEST(WireCompact, CoreFamiliesRoundTripThreeBytesShorter) {
+  for (const PayloadPtr& original : sample_payloads()) {
+    const std::vector<std::byte> standard = encode(*original);
+    std::vector<std::byte> compact;
+    encode_into(compact, *original, WireFormat::kCompact);
+    if (compact_supports(original->tag())) {
+      // One byte of envelope instead of four; body bytes identical.
+      ASSERT_EQ(compact.size() + 3, standard.size()) << original->debug();
+      EXPECT_TRUE((static_cast<std::uint8_t>(compact.front()) & 0x80U) != 0);
+      EXPECT_TRUE(std::equal(compact.begin() + 1, compact.end(),
+                             standard.begin() + 4))
+          << original->debug();
+    } else {
+      // Non-core tags (reconfig) fall back to the standard envelope.
+      EXPECT_EQ(compact, standard) << original->debug();
+    }
+    const PayloadPtr decoded = decode(compact);
+    ASSERT_NE(decoded, nullptr) << original->debug();
+    EXPECT_EQ(decoded->tag(), original->tag());
+    EXPECT_EQ(decoded->debug(), original->debug());
+  }
+}
+
+TEST(WireCompact, SupportsExactlyTheCoreRegisterTags) {
+  using namespace abd::tags;
+  for (const PayloadTag tag : {kReadQuery, kReadReply, kTagQuery, kTagReply,
+                               kUpdate, kUpdateAck, kBReadQuery, kBReadReply,
+                               kBUpdate, kBUpdateAck}) {
+    EXPECT_TRUE(compact_supports(tag)) << tag;
+  }
+  EXPECT_FALSE(compact_supports(reconfig::tags::kQuery));
+  EXPECT_FALSE(compact_supports(reconfig::tags::kCommit));
+  EXPECT_FALSE(compact_supports(0));
+  EXPECT_FALSE(compact_supports(0xffff));
+}
+
+TEST(WireCompact, EveryPrefixOfCompactEncodingsIsRejected) {
+  for (const PayloadPtr& original : sample_payloads()) {
+    std::vector<std::byte> compact;
+    encode_into(compact, *original, WireFormat::kCompact);
+    for (std::size_t cut = 0; cut < compact.size(); ++cut) {
+      EXPECT_EQ(decode(std::span{compact.data(), cut}), nullptr)
+          << original->debug() << " cut at " << cut;
+    }
+  }
+}
+
+TEST(WireCompact, TrailingGarbageIsRejected) {
+  for (const PayloadPtr& original : sample_payloads()) {
+    std::vector<std::byte> compact;
+    encode_into(compact, *original, WireFormat::kCompact);
+    compact.push_back(std::byte{0x00});
+    EXPECT_EQ(decode(compact), nullptr) << original->debug();
+  }
+}
+
+TEST(WireCompact, UnknownCompactKindsAreRejected) {
+  // Kinds 10..127 have no mapping; a lone envelope byte or one followed by
+  // plausible body bytes must decode to nullptr, never UB.
+  for (unsigned kind = 10; kind < 128; ++kind) {
+    const std::vector<std::byte> lone{static_cast<std::byte>(0x80U | kind)};
+    EXPECT_EQ(decode(lone), nullptr) << kind;
+    std::vector<std::byte> padded = lone;
+    padded.insert(padded.end(), 8, std::byte{0x01});
+    EXPECT_EQ(decode(padded), nullptr) << kind;
+  }
+}
+
+TEST(WireCompact, RandomGarbageNeverCrashes) {
+  Rng rng{20260808};
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::byte> bytes(rng.below(64));
+    for (auto& b : bytes) {
+      b = static_cast<std::byte>(rng.below(256));
+    }
+    // Force the compact-envelope path half the time.
+    if (!bytes.empty() && rng.chance(0.5)) {
+      bytes.front() = static_cast<std::byte>(0x80U | rng.below(128));
+    }
+    (void)decode(bytes);  // any verdict is fine; must not crash
+  }
+}
+
+TEST(WireCompact, MixedFormatStreamsInteroperate) {
+  // A receiver needs no format flag: standard and compact envelopes can
+  // interleave on one connection and every payload still decodes.
+  for (const PayloadPtr& original : sample_payloads()) {
+    std::vector<std::byte> standard;
+    encode_into(standard, *original, WireFormat::kStandard);
+    std::vector<std::byte> compact;
+    encode_into(compact, *original, WireFormat::kCompact);
+    const PayloadPtr from_standard = decode(standard);
+    const PayloadPtr from_compact = decode(compact);
+    ASSERT_NE(from_standard, nullptr);
+    ASSERT_NE(from_compact, nullptr);
+    EXPECT_EQ(from_standard->debug(), from_compact->debug());
+  }
+}
+
 }  // namespace
 }  // namespace abdkit::wire

@@ -29,6 +29,17 @@ Rules (each suppressible per line with `// lint: allow(<rule>) <reason>`):
                  (member accesses like round.install_value or s.value) are
                  deliberate and not flagged.
 
+  strategy-dispatch
+                 The protocol-variant layer (PROTOCOL.md §12) owns ONE
+                 request dispatch point: Client::dispatch_request (and its
+                 retransmission twin Client::resend_unanswered). Any other
+                 ctx send/broadcast in src/abd/src/client.cpp or
+                 src/abd/src/strategy.cpp bypasses targeted contact, the
+                 round bookkeeping the quorum monitors key on, and the
+                 single seam the variants hook — a variant-specific send
+                 path is exactly the divergence this layer exists to
+                 prevent.
+
 Exit status: 0 when clean, 1 with findings, 2 on usage errors.
 """
 
@@ -163,6 +174,42 @@ def scan_value_copy(findings):
                     depth = 0
 
 
+# Files making up the variant layer, and the only functions in them allowed
+# to perform protocol sends (the dispatch seam every variant shares).
+STRATEGY_FILES = ("src/abd/src/client.cpp", "src/abd/src/strategy.cpp")
+STRATEGY_DISPATCH_OK = {"dispatch_request", "resend_unanswered"}
+CTX_SEND = re.compile(r"\bctx_?(?:->|\.)\s*(?:send|broadcast)\s*\(")
+# Out-of-class member definitions start at column 0 in these files
+# (clang-format keeps it that way), so the enclosing function is the last
+# col-0 line naming a qualified member.
+MEMBER_DEF = re.compile(r"^[\w:<>,&*\s]*?\b(?:Client|ReadStrategy)::(\w+)\s*\(")
+
+
+def scan_strategy_dispatch(findings):
+    rule = "strategy-dispatch"
+    message = (
+        "protocol send outside the variant dispatch seam; route through "
+        "Client::dispatch_request / resend_unanswered so every variant "
+        "shares one decision path"
+    )
+    for rel in STRATEGY_FILES:
+        path = REPO / rel
+        if not path.is_file():
+            continue
+        current = ""
+        for number, raw, line in lines_of(path):
+            code = code_part(line)
+            if code and not code[0].isspace():
+                m = MEMBER_DEF.match(code)
+                if m:
+                    current = m.group(1)
+            if CTX_SEND.search(code) and current not in STRATEGY_DISPATCH_OK:
+                if not allowed(raw, rule):
+                    findings.append(
+                        f"{path.relative_to(REPO)}:{number}: [{rule}] {message}"
+                    )
+
+
 def has_bad_send(code: str) -> bool:
     for m in SEND_CALL.finditer(code):
         prefix = m.group("prefix")
@@ -203,6 +250,7 @@ def main() -> int:
         findings,
     )
     scan_value_copy(findings)
+    scan_strategy_dispatch(findings)
 
     for finding in findings:
         print(finding)
