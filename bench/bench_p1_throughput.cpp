@@ -29,6 +29,7 @@
 // workload (reads of a quiesced register), with the invariants pinned to
 // that variant's formula instead of the baseline's:
 //   fast-path / time-efficient read: rounds == 1, requests == n, wire == 2n
+//   imbs (n=4, f=1)            read: rounds == 1, requests == n, wire == 2n
 //   baseline  / two-bit        read: rounds == 2, requests == 2n, wire == 4n
 //   write (all variants):            rounds == 1, requests == n,  wire == 2n
 // Fast variants additionally assert abd.fast_path_suppressed == 0 — the
@@ -66,7 +67,12 @@ namespace {
 using namespace std::chrono_literals;
 using namespace abdkit;
 
-constexpr std::size_t kReplicas = 3;
+// Replica count for the current sweep section. The baseline sections run the
+// classic n = 3; the imbs (rounds/resilience) variant needs n >= 3f + 1, so
+// its sweep temporarily switches to n = 4, f = 1 — every deployment helper
+// below reads these instead of a constant.
+std::size_t g_replicas = 3;
+std::size_t g_resilience_f = 0;
 const int kWindows[] = {1, 4, 16, 64};
 
 bool g_quick = false;
@@ -168,7 +174,8 @@ void check_wire_total(const char* where, std::uint64_t got, std::uint64_t want) 
 void check_no_suppression(const char* where, const Metrics& metrics,
                           abd::ProtocolVariant variant) {
   if (variant != abd::ProtocolVariant::kUnanimousFastPath &&
-      variant != abd::ProtocolVariant::kTimeEfficient) {
+      variant != abd::ProtocolVariant::kTimeEfficient &&
+      variant != abd::ProtocolVariant::kImbs) {
     return;
   }
   const std::uint64_t suppressed = metrics.counter("abd.fast_path_suppressed");
@@ -191,7 +198,7 @@ bench::PerfRow make_row(const char* runtime, const char* workload,
   row.op = d.writes ? "write" : "read";
   row.variant = abd::to_string(variant);
   row.window = window;
-  row.n = kReplicas;
+  row.n = g_replicas;
   row.ops = d.completed;
   row.seconds = seconds;
   row.ops_per_sec = seconds > 0 ? static_cast<double>(d.completed) / seconds : 0;
@@ -227,7 +234,8 @@ std::unique_ptr<Driver> make_driver(bool writes, std::uint64_t target,
   drv->target = target;
   const bool fast_read = !writes &&
                          (variant == abd::ProtocolVariant::kUnanimousFastPath ||
-                          variant == abd::ProtocolVariant::kTimeEfficient);
+                          variant == abd::ProtocolVariant::kTimeEfficient ||
+                          variant == abd::ProtocolVariant::kImbs);
   if (writes || fast_read) {
     drv->expect_rounds = 1;
     drv->expect_msgs_factor = 1;
@@ -240,12 +248,13 @@ std::unique_ptr<Driver> make_driver(bool writes, std::uint64_t target,
 
 harness::DeployOptions sim_options(abd::ProtocolVariant variant, Metrics* metrics) {
   harness::DeployOptions options;
-  options.n = kReplicas;
+  options.n = g_replicas;
   options.seed = 7;
   options.variant = harness::Variant::kAtomicSwmr;
   options.delay = std::make_unique<sim::ExponentialDelay>(1ms, 10us);
   options.client.retransmit_interval = Duration::zero();  // exact message counts
   options.client.variant = variant;
+  options.client.resilience_f = g_resilience_f;
   options.client.metrics = metrics;
   return options;
 }
@@ -273,8 +282,8 @@ std::vector<bench::PerfRow> run_sim(const char* workload, int window,
 
   std::uint64_t want_wire = 0;
   for (const auto& drv : drivers) {
-    check_invariants("sim", *drv, kReplicas);
-    want_wire += drv->expect_wire_factor * kReplicas * drv->target;
+    check_invariants("sim", *drv, g_replicas);
+    want_wire += drv->expect_wire_factor * g_replicas * drv->target;
   }
   check_wire_total("sim wire", wire, want_wire);
   check_no_suppression("sim", metrics, variant);
@@ -284,7 +293,7 @@ std::vector<bench::PerfRow> run_sim(const char* workload, int window,
     // Attribute wire totals per driver by the exact per-op formula (the
     // aggregate was just checked against it, so this is not an estimate).
     const double drv_wire =
-        static_cast<double>(drv->expect_wire_factor * kReplicas * drv->completed);
+        static_cast<double>(drv->expect_wire_factor * g_replicas * drv->completed);
     const double drv_bytes = drivers.size() == 1
                                  ? static_cast<double>(bytes)
                                  : static_cast<double>(bytes) * drv_wire /
@@ -299,20 +308,21 @@ std::vector<bench::PerfRow> run_sim(const char* workload, int window,
 
 struct ClusterDeployment {
   explicit ClusterDeployment(abd::ProtocolVariant variant) {
-    auto quorums = std::make_shared<const quorum::MajorityQuorum>(kReplicas);
+    auto quorums = std::make_shared<const quorum::MajorityQuorum>(g_replicas);
     abd::NodeOptions node_options;
     node_options.quorums = quorums;
     node_options.write_mode = abd::WriteMode::kSingleWriter;
     node_options.client.retransmit_interval = Duration::zero();
     node_options.client.variant = variant;
+    node_options.client.resilience_f = g_resilience_f;
     node_options.client.metrics = &metrics;
     // Unlike net::Transport, the mailbox runtime has no client-only slots:
     // every process is a replica, so the client rides on replica 0 (the
     // standard pattern in test_runtime).
     runtime::ClusterOptions options;
-    options.num_processes = kReplicas;
+    options.num_processes = g_replicas;
     options.seed = 7;
-    nodes.resize(kReplicas, nullptr);
+    nodes.resize(g_replicas, nullptr);
     cluster = std::make_unique<runtime::Cluster>(
         options, [&](ProcessId p) -> std::unique_ptr<Actor> {
           auto node = std::make_unique<abd::Node>(node_options);
@@ -340,7 +350,7 @@ bench::PerfRow run_cluster_closed(bool writes, int window, std::uint64_t ops,
   const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                              .count();
   d.cluster->stop();
-  check_invariants("cluster", drv, kReplicas);
+  check_invariants("cluster", drv, g_replicas);
   check_no_suppression("cluster", d.metrics, variant);
   // The mailbox runtime has no wire-byte counters; channels are reliable
   // in-process queues, so total messages = requests + one reply each — an
@@ -353,18 +363,19 @@ bench::PerfRow run_cluster_closed(bool writes, int window, std::uint64_t ops,
 
 struct NetDeployment {
   explicit NetDeployment(abd::ProtocolVariant variant) {
-    auto quorums = std::make_shared<const quorum::MajorityQuorum>(kReplicas);
+    auto quorums = std::make_shared<const quorum::MajorityQuorum>(g_replicas);
     abd::NodeOptions node_options;
     node_options.quorums = quorums;
     node_options.write_mode = abd::WriteMode::kSingleWriter;
     node_options.client.retransmit_interval = Duration::zero();
     node_options.client.variant = variant;
+    node_options.client.resilience_f = g_resilience_f;
     node_options.client.metrics = &metrics;
-    const ProcessId client_id = kReplicas;
+    const auto client_id = static_cast<ProcessId>(g_replicas);
     for (ProcessId id = 0; id <= client_id; ++id) {
       net::TransportOptions options;
       options.self = id;
-      options.world_size = kReplicas;
+      options.world_size = g_replicas;
       options.metrics = &metrics;
       // two-bit is a WIRE variant: same message flow, 1-byte control
       // envelope on every frame this transport encodes.
@@ -478,8 +489,8 @@ std::vector<bench::PerfRow> run_net(const char* workload, int window,
 
   std::uint64_t want_frames = 0;
   for (auto& drv : drivers) {
-    check_invariants("net", *drv, kReplicas);
-    want_frames += drv->expect_wire_factor * kReplicas * drv->target;
+    check_invariants("net", *drv, g_replicas);
+    want_frames += drv->expect_wire_factor * g_replicas * drv->target;
   }
   check_wire_total("net frames", frames, want_frames);
   check_no_suppression("net", d.metrics, variant);
@@ -487,7 +498,7 @@ std::vector<bench::PerfRow> run_net(const char* workload, int window,
   std::vector<bench::PerfRow> rows;
   for (auto& drv : drivers) {
     const double drv_wire =
-        static_cast<double>(drv->expect_wire_factor * kReplicas * drv->completed);
+        static_cast<double>(drv->expect_wire_factor * g_replicas * drv->completed);
     const double drv_bytes = drivers.size() == 1
                                  ? static_cast<double>(bytes)
                                  : static_cast<double>(bytes) * drv_wire /
@@ -523,16 +534,16 @@ int main(int argc, char** argv) {
   const std::uint64_t net_ops = g_quick ? 300 : 4000;
 
   std::printf("P1: pipelined throughput, n = %zu replicas, SWMR atomic registers\n",
-              kReplicas);
+              g_replicas);
   std::printf("(sim rows use virtual time; read = 2 RTT / %zu msgs, write = 1 RTT / %zu "
               "msgs — invariant under any W)\n\n",
-              4 * kReplicas, 2 * kReplicas);
+              4 * g_replicas, 2 * g_replicas);
   std::printf("%-8s %-7s %-6s %-14s %4s %8s %12s %9s %9s %9s %9s %7s %9s\n", "runtime",
               "wkld", "op", "variant", "W", "ops", "ops/s", "p50us", "p99us", "p999us",
               "msgs/op", "rt/op", "bytes/op");
 
   bench::PerfJson out{"P1"};
-  const ProcessId sim_reader = kReplicas - 1;
+  const auto sim_reader = static_cast<ProcessId>(g_replicas - 1);
   const ProcessId sim_writer = 0;
   constexpr abd::ProtocolVariant kBaseline = abd::ProtocolVariant::kBaseline;
 
@@ -718,6 +729,59 @@ int main(int argc, char** argv) {
         out.add(std::move(r));
       }
     }
+  }
+
+  // imbs (rounds/resilience, arXiv:1702.08176) cannot run at n = 3: its
+  // fast path trades resilience for rounds and needs n >= 3f + 1 with
+  // f >= 1. Sweep it at its natural minimum, n = 4, f = 1 — a quiesced
+  // register answers every collect with f + 1 = 2 max-tag votes (in fact
+  // n), so the favorable read is 1 round / n requests / 2n wire, the same
+  // factors as the other fast variants but over 4 replicas (msgs/op = 8).
+  {
+    g_replicas = 4;
+    g_resilience_f = 1;
+    constexpr abd::ProtocolVariant kImbs = abd::ProtocolVariant::kImbs;
+    std::printf("\nimbs rounds/resilience sweep (n = 4, f = 1; 1-round formula "
+                "hard-asserted)\n");
+    {
+      auto rows = run_sim("closed", 16, kImbs, [&](harness::SimDeployment& d) {
+        std::vector<std::unique_ptr<Driver>> drivers;
+        drivers.push_back(make_driver(false, sim_ops, kImbs));
+        Driver* drv = drivers.back().get();
+        drv->node = &d.node(sim_reader);
+        d.world().at(d.world().now(), [drv] { drv->start(16); });
+        return drivers;
+      });
+      for (auto& r : rows) {
+        print_row(r);
+        out.add(std::move(r));
+      }
+    }
+    {
+      auto row = run_cluster_closed(false, 16, cluster_ops, kImbs);
+      print_row(row);
+      out.add(std::move(row));
+    }
+    for (const int window : {1, 16}) {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      drivers.push_back(make_driver(false, net_ops, kImbs));
+      auto rows = run_net("closed", window, kImbs, std::move(drivers));
+      for (auto& r : rows) {
+        print_row(r);
+        out.add(std::move(r));
+      }
+    }
+    {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      drivers.push_back(make_driver(true, net_ops / 4, kImbs));
+      auto rows = run_net("closed", 1, kImbs, std::move(drivers));
+      for (auto& r : rows) {
+        print_row(r);
+        out.add(std::move(r));
+      }
+    }
+    g_replicas = 3;
+    g_resilience_f = 0;
   }
 
   std::printf("\nnet read speedup W=16 vs W=1: %.2fx (target >= 5x; msgs/op identical "

@@ -1,0 +1,531 @@
+// Experiment P2 — sharded scale-out across independent ABD quorum groups.
+//
+// The shard subsystem (src/shard) claims that a versioned ShardMap plus a
+// per-group-client Router turns the single-register protocol into a
+// horizontally scalable KV with NO protocol changes: every key still pays
+// exactly the single-group E1 cost (atomic read = 2 RTT, 2g client requests,
+// 4g wire messages against its g-replica group), and aggregate throughput
+// grows with the number of groups because groups share nothing. This bench
+// measures that scaling on the net rung — S disjoint 3-replica groups on
+// 3S replica processes plus 4 dedicated router-client processes, every
+// client keeping W = 16 reads in flight — and hard-asserts the per-group
+// formula on every row, so "scale-out" can never quietly come from protocol
+// weakening.
+//
+// Service-time model (the one knob that makes this measurable on a small
+// box): each replica spends a fixed --service-us of wall clock per protocol
+// request, on its own event-loop thread, before answering. The raw protocol
+// is nowhere near replica-bound here (P1's net rung pushes hundreds of
+// thousands of frames/s through the same transport), so without a modeled
+// per-request cost every shard count would measure the same shared
+// transport/CPU ceiling and the scaling curve would be noise. With it, a
+// group's read capacity is g-replica-parallel but bounded by each replica's
+// serial queue at 1/(2 * service) reads/s — replicas sleep concurrently
+// across groups, so aggregate capacity grows ~linearly in S while total CPU
+// stays far below one core. The service time is identical in every row;
+// ratios between rows are the experiment.
+//
+// Rows (BENCH_P2.json, schema in perf_json.hpp):
+//   closed  S in {1,2,4,8}: round-robin keys over a 4096-key universe.
+//   zipf    S = 4, Zipf(0.99) keys — rank 0 hottest. Skew concentrates load
+//           on the hottest key's group, so throughput lands between the
+//           1-group and uniform-4-group rows; msgs/op is unchanged (routing
+//           never changes per-op cost).
+//
+// Invariants, asserted per row (exit 1 on any deviation):
+//   every read: rounds == 2, client requests == 2g  (g = 3)
+//   wire total: frames == 4g per read (net.frames_out across all processes)
+//   routing:    every group served > 0 ops; per-shard Metrics counters
+//               ("shard.<i>.ops") sum exactly to the row's op count
+//   full mode:  4-shard uniform throughput >= 3x the 1-shard row
+//
+// After each row a sampled-history phase runs mixed reads/writes on 4 keys
+// from one router client and feeds the recorded per-key history through
+// checker::check_linearizable_per_object_cached — the same CheckCache seam
+// the model checker uses — so every deployment shape in the JSON also
+// carries a linearizability spot-check, not just throughput numbers.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/abd/replica.hpp"
+#include "abdkit/checker/history.hpp"
+#include "abdkit/checker/incremental.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/harness/workload.hpp"
+#include "abdkit/net/transport.hpp"
+#include "abdkit/shard/router.hpp"
+#include "abdkit/shard/shard_map.hpp"
+#include "perf_json.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+constexpr std::size_t kGroupSize = 3;    // replicas per quorum group
+constexpr std::size_t kClients = 4;      // dedicated router-client processes
+constexpr int kWindow = 16;              // reads in flight per client, every row
+constexpr std::size_t kKeyUniverse = 4096;
+constexpr std::size_t kSampleKeys = 4;   // sampled-history phase key count
+const std::size_t kShardSweep[] = {1, 2, 4, 8};
+
+bool g_quick = false;
+// 1 ms per request keeps even the 8-group deployment's aggregate frame rate
+// well under the one-core transport ceiling (~90k frames/s measured via P1),
+// so the scaling curve reflects modeled group capacity, not host saturation.
+std::uint64_t g_service_us = 1000;
+
+// ---- Service-time replica ---------------------------------------------------
+
+/// The group-agnostic abd::Replica behind a fixed per-request service time.
+/// The sleep runs on the replica's own transport event-loop thread, which is
+/// exactly the model: a single-core server that takes `service` to handle
+/// each request, with requests queueing behind it. Replicas of different
+/// groups sleep on different threads, so group capacity adds up.
+class ServiceReplica final : public Actor {
+ public:
+  void on_start(Context&) override {}
+
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override {
+    if (g_service_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds{g_service_us});
+    }
+    replica_.handle(ctx, from, payload);
+  }
+
+ private:
+  abd::Replica replica_;
+};
+
+// ---- Deployment -------------------------------------------------------------
+
+/// In-process net deployment: processes [0, S*g) are ServiceReplicas,
+/// processes [S*g, S*g + kClients) host a shard::Router each. One shared
+/// Metrics registry gives exact whole-deployment frame/byte counters plus
+/// the routers' per-shard op counters.
+struct ShardDeployment {
+  explicit ShardDeployment(std::size_t shards)
+      : map{shard::ShardMap::uniform(1, shards, kGroupSize)} {
+    const std::size_t replicas = shards * kGroupSize;
+    abd::ClientOptions client;
+    client.retransmit_interval = Duration::zero();  // exact message counts
+    for (ProcessId id = 0; id < replicas + kClients; ++id) {
+      net::TransportOptions options;
+      options.self = id;
+      options.world_size = replicas;
+      options.metrics = &metrics;
+      std::unique_ptr<Actor> actor;
+      if (id < replicas) {
+        actor = std::make_unique<ServiceReplica>();
+      } else {
+        auto router = std::make_unique<shard::Router>(shard::RouterOptions{
+            map, abd::ReadMode::kAtomic, abd::WriteMode::kMultiWriter, client,
+            &metrics});
+        routers.push_back(router.get());
+        actor = std::move(router);
+      }
+      transports.push_back(
+          std::make_unique<net::Transport>(std::move(options), std::move(actor)));
+    }
+    std::vector<net::Address> table;
+    for (auto& transport : transports) {
+      net::Address address;  // 127.0.0.1, ephemeral port
+      address.port = transport->bind(address);
+      table.push_back(address);
+    }
+    for (auto& transport : transports) transport->start(table);
+  }
+  ~ShardDeployment() {
+    for (auto& transport : transports) transport->stop();
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return map.shard_count(); }
+  [[nodiscard]] net::Transport& client_transport(std::size_t c) {
+    return *transports[map.shard_count() * kGroupSize + c];
+  }
+
+  shard::ShardMap map;
+  Metrics metrics;  // shared by all transports; declared before, outlives them
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<shard::Router*> routers;
+};
+
+/// Wait for the whole deployment's outbound frame counter to go quiescent —
+/// stragglers past quorum may still be in flight after the last completion.
+void await_frame_quiescence(Metrics& metrics) {
+  std::uint64_t frames = metrics.counter("net.frames_out");
+  for (;;) {
+    std::this_thread::sleep_for(20ms);
+    const std::uint64_t again = metrics.counter("net.frames_out");
+    if (again == frames) break;
+    frames = again;
+  }
+}
+
+// ---- Closed-loop read driver ------------------------------------------------
+
+/// Keeps `window` reads in flight on one router client, key chosen per issue
+/// index by `key_of`. All fields are touched only on the client transport's
+/// event-loop thread; the benchmark thread waits on `finished`.
+struct Driver {
+  abd::RegisterNode* node{nullptr};
+  std::uint64_t target{0};
+  std::function<abd::ObjectId(std::uint64_t)> key_of;
+  std::uint64_t issued{0};
+  std::uint64_t completed{0};
+  std::uint64_t msgs{0};
+  std::uint64_t rounds{0};
+  std::uint64_t retransmissions{0};
+  std::vector<std::uint64_t> latencies_us;  // merged across drivers per row
+  std::promise<void> finished;
+
+  void issue() {
+    const std::uint64_t i = issued++;
+    node->read(key_of(i), [this](const abd::OpResult& r) { on_done(r); });
+  }
+
+  void on_done(const abd::OpResult& r) {
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(r.responded - r.invoked);
+    latencies_us.push_back(us.count() <= 0 ? 0 : static_cast<std::uint64_t>(us.count()));
+    msgs += r.messages_sent;
+    rounds += r.rounds;
+    retransmissions += r.retransmissions;
+    ++completed;
+    if (issued < target) {
+      issue();
+    } else if (completed == target) {
+      finished.set_value();
+    }
+  }
+
+  void start(int window) {
+    const std::uint64_t initial =
+        std::min<std::uint64_t>(target, static_cast<std::uint64_t>(window));
+    for (std::uint64_t i = 0; i < initial; ++i) issue();
+  }
+};
+
+/// Die loudly if a per-op protocol invariant does not hold bit-exactly:
+/// sharding is pure routing, so every read must cost EXACTLY the one-group
+/// formula no matter how many groups the deployment runs.
+void check_driver(const char* where, const Driver& d) {
+  const std::uint64_t expect_rounds = 2;                  // atomic baseline read
+  const std::uint64_t expect_msgs = 2 * kGroupSize;       // client requests, per op
+  if (d.completed != d.target || d.retransmissions != 0 ||
+      d.rounds != expect_rounds * d.target || d.msgs != expect_msgs * d.target) {
+    std::fprintf(stderr,
+                 "P2 invariant violation (%s): ops %llu/%llu, rounds %llu (want %llu), "
+                 "client msgs %llu (want %llu), retransmissions %llu (want 0)\n",
+                 where, static_cast<unsigned long long>(d.completed),
+                 static_cast<unsigned long long>(d.target),
+                 static_cast<unsigned long long>(d.rounds),
+                 static_cast<unsigned long long>(expect_rounds * d.target),
+                 static_cast<unsigned long long>(d.msgs),
+                 static_cast<unsigned long long>(expect_msgs * d.target),
+                 static_cast<unsigned long long>(d.retransmissions));
+    std::exit(1);
+  }
+}
+
+std::uint64_t quantile_us(std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+// ---- Sampled-history linearizability spot-check -----------------------------
+
+/// Mixed reads/writes over kSampleKeys keys from one router client with
+/// several ops in flight, recorded as a checker history. One client means
+/// one clock, so the real-time order in the records is meaningful; the
+/// pipelining window makes ops on the same key genuinely overlap.
+struct HistoryDriver {
+  abd::RegisterNode* node{nullptr};
+  ProcessId self{0};
+  std::uint64_t target{0};
+  std::uint64_t issued{0};
+  std::uint64_t completed{0};
+  std::vector<checker::OpRecord> records;
+  std::promise<void> finished;
+
+  void issue() {
+    const std::uint64_t i = issued++;
+    const abd::ObjectId key = i % kSampleKeys;
+    const bool is_write = i % 3 == 0;
+    const auto written = static_cast<std::int64_t>(i) + 1;
+    auto done = [this, key, is_write, written](const abd::OpResult& r) {
+      records.push_back(checker::OpRecord{
+          self, is_write ? checker::OpType::kWrite : checker::OpType::kRead, key,
+          is_write ? written : r.value.data, r.invoked, r.responded, true});
+      ++completed;
+      if (issued < target) {
+        issue();
+      } else if (completed == target) {
+        finished.set_value();
+      }
+    };
+    if (is_write) {
+      node->write(key, Value{written}, std::move(done));
+    } else {
+      node->read(key, std::move(done));
+    }
+  }
+};
+
+void check_sampled_history(ShardDeployment& d, checker::CheckCache& cache) {
+  HistoryDriver drv;
+  drv.node = d.routers.front();
+  drv.self = static_cast<ProcessId>(d.shard_count() * kGroupSize);
+  drv.target = g_quick ? 60 : 160;
+  auto finished = drv.finished.get_future();
+  d.client_transport(0).post([&drv] {
+    for (std::size_t i = 0; i < 6; ++i) drv.issue();
+  });
+  if (finished.wait_for(60s) != std::future_status::ready) {
+    std::fprintf(stderr, "P2: sampled-history phase timed out\n");
+    std::exit(1);
+  }
+  checker::History history;
+  for (const checker::OpRecord& record : drv.records) history.add(record);
+  const checker::LinearizabilityReport report =
+      checker::check_linearizable_per_object_cached(history, cache, {});
+  if (!report.linearizable) {
+    std::fprintf(stderr, "P2: sampled history NOT linearizable (S=%zu): %s\n",
+                 d.shard_count(), report.explanation.c_str());
+    std::exit(1);
+  }
+}
+
+// ---- One row ----------------------------------------------------------------
+
+bench::PerfRow run_row(const char* workload, std::size_t shards,
+                       std::uint64_t ops_per_client, bool zipf,
+                       checker::CheckCache& cache) {
+  ShardDeployment d{shards};
+
+  // Warmup: every client touches every group once (dials every connection
+  // and seats the initial tag), keyed through the Router's own routing seam.
+  std::vector<abd::ObjectId> group_keys(shards, kKeyUniverse);
+  std::size_t found = 0;
+  for (abd::ObjectId key = 0; key < kKeyUniverse && found < shards; ++key) {
+    const shard::ShardIndex s = d.routers.front()->route(key);
+    if (group_keys[s] == kKeyUniverse) {
+      group_keys[s] = key;
+      ++found;
+    }
+  }
+  {
+    std::vector<std::unique_ptr<Driver>> warm;
+    std::vector<std::future<void>> done;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      auto drv = std::make_unique<Driver>();
+      drv->node = d.routers[c];
+      drv->target = shards;
+      drv->key_of = [&group_keys](std::uint64_t i) { return group_keys[i]; };
+      done.push_back(drv->finished.get_future());
+      Driver* raw = drv.get();
+      d.client_transport(c).post([raw] { raw->start(static_cast<int>(raw->target)); });
+      warm.push_back(std::move(drv));
+    }
+    for (auto& f : done) {
+      if (f.wait_for(30s) != std::future_status::ready) {
+        std::fprintf(stderr, "P2: warmup timed out (S=%zu)\n", shards);
+        std::exit(1);
+      }
+    }
+  }
+  await_frame_quiescence(d.metrics);
+
+  // Snapshots: whole-deployment frame/byte counters and the routers'
+  // per-shard op counters, so the measured phase is accounted exactly.
+  const std::uint64_t frames0 = d.metrics.counter("net.frames_out");
+  const std::uint64_t bytes0 = d.metrics.counter("net.bytes_out");
+  std::vector<std::uint64_t> shard_ops0(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_ops0[s] = d.metrics.counter("shard." + std::to_string(s) + ".ops");
+  }
+
+  std::vector<std::unique_ptr<Driver>> drivers;
+  std::vector<std::future<void>> done;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    auto drv = std::make_unique<Driver>();
+    drv->node = d.routers[c];
+    drv->target = ops_per_client;
+    drv->latencies_us.reserve(ops_per_client);
+    if (zipf) {
+      auto keys = std::make_shared<harness::ZipfKeys>(kKeyUniverse, 0.99,
+                                                      1000 + 17 * c);
+      drv->key_of = [keys](std::uint64_t) { return keys->next(); };
+    } else {
+      const abd::ObjectId offset = c * (kKeyUniverse / kClients);
+      drv->key_of = [offset](std::uint64_t i) { return (offset + i) % kKeyUniverse; };
+    }
+    done.push_back(drv->finished.get_future());
+    drivers.push_back(std::move(drv));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    Driver* raw = drivers[c].get();
+    d.client_transport(c).post([raw] { raw->start(kWindow); });
+  }
+  for (auto& f : done) {
+    if (f.wait_for(300s) != std::future_status::ready) {
+      std::fprintf(stderr, "P2: workload '%s' timed out (S=%zu)\n", workload, shards);
+      std::exit(1);
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  await_frame_quiescence(d.metrics);
+  const std::uint64_t frames = d.metrics.counter("net.frames_out") - frames0;
+  const std::uint64_t bytes = d.metrics.counter("net.bytes_out") - bytes0;
+
+  std::uint64_t total_ops = 0;
+  std::vector<std::uint64_t> latencies;
+  for (const auto& drv : drivers) {
+    check_driver(workload, *drv);
+    total_ops += drv->completed;
+    latencies.insert(latencies.end(), drv->latencies_us.begin(),
+                     drv->latencies_us.end());
+  }
+  const std::uint64_t want_frames = 4 * kGroupSize * total_ops;
+  if (frames != want_frames) {
+    std::fprintf(stderr, "P2 invariant violation (%s S=%zu): %llu wire frames, want %llu\n",
+                 workload, shards, static_cast<unsigned long long>(frames),
+                 static_cast<unsigned long long>(want_frames));
+    std::exit(1);
+  }
+  // Routing accounting: the per-shard counters must attribute every measured
+  // op to exactly one group, and every group must have served some.
+  std::uint64_t shard_ops_total = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::uint64_t served =
+        d.metrics.counter("shard." + std::to_string(s) + ".ops") - shard_ops0[s];
+    if (served == 0) {
+      std::fprintf(stderr, "P2 invariant violation (%s): shard %zu served 0 ops\n",
+                   workload, s);
+      std::exit(1);
+    }
+    shard_ops_total += served;
+  }
+  if (shard_ops_total != total_ops) {
+    std::fprintf(stderr,
+                 "P2 invariant violation (%s): per-shard counters sum to %llu, want %llu\n",
+                 workload, static_cast<unsigned long long>(shard_ops_total),
+                 static_cast<unsigned long long>(total_ops));
+    std::exit(1);
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  bench::PerfRow row;
+  row.runtime = "net";
+  row.workload = workload;
+  row.op = "read";
+  row.variant = "baseline";
+  row.window = kWindow;
+  row.n = kGroupSize;
+  row.shards = shards;
+  row.ops = total_ops;
+  row.seconds = seconds;
+  row.ops_per_sec = seconds > 0 ? static_cast<double>(total_ops) / seconds : 0;
+  row.p50_us = quantile_us(latencies, 0.5);
+  row.p99_us = quantile_us(latencies, 0.99);
+  row.p999_us = quantile_us(latencies, 0.999);
+  row.msgs_per_op =
+      total_ops > 0 ? static_cast<double>(frames) / static_cast<double>(total_ops) : 0;
+  row.rounds_per_op = 2.0;
+  row.bytes_per_op =
+      total_ops > 0 ? static_cast<double>(bytes) / static_cast<double>(total_ops) : 0;
+
+  check_sampled_history(d, cache);
+  return row;
+}
+
+void print_row(const bench::PerfRow& r) {
+  std::printf("%-8s %-7s %2zu %4d %8llu %12.0f %9llu %9llu %9llu %9.1f %7.2f %9.1f\n",
+              r.runtime.c_str(), r.workload.c_str(), r.shards, r.window,
+              static_cast<unsigned long long>(r.ops), r.ops_per_sec,
+              static_cast<unsigned long long>(r.p50_us),
+              static_cast<unsigned long long>(r.p99_us),
+              static_cast<unsigned long long>(r.p999_us), r.msgs_per_op, r.rounds_per_op,
+              r.bytes_per_op);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_P2.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--service-us") == 0 && i + 1 < argc) {
+      g_service_us = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE] [--service-us N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("P2: sharded scale-out, g = %zu replicas/group, %zu router clients, "
+              "W = %d reads in flight each\n",
+              kGroupSize, kClients, kWindow);
+  std::printf("(replica service time %llu us/request => per-group read capacity "
+              "~%.0f ops/s; read = 2 RTT / %zu wire msgs per op in EVERY row)\n\n",
+              static_cast<unsigned long long>(g_service_us),
+              g_service_us > 0 ? 1e6 / (2.0 * static_cast<double>(g_service_us)) : 0.0,
+              4 * kGroupSize);
+  std::printf("%-8s %-7s %2s %4s %8s %12s %9s %9s %9s %9s %7s %9s\n", "runtime", "wkld",
+              "S", "W", "ops", "ops/s", "p50us", "p99us", "p999us", "msgs/op", "rt/op",
+              "bytes/op");
+
+  bench::PerfJson out{"P2"};
+  checker::CheckCache cache;
+  double one_shard = 0;
+  double four_shard = 0;
+  for (const std::size_t shards : kShardSweep) {
+    const std::uint64_t ops_per_client = (g_quick ? 100 : 1000) * shards;
+    auto row = run_row("closed", shards, ops_per_client, false, cache);
+    if (shards == 1) one_shard = row.ops_per_sec;
+    if (shards == 4) four_shard = row.ops_per_sec;
+    print_row(row);
+    out.add(std::move(row));
+  }
+  {
+    const std::uint64_t ops_per_client = (g_quick ? 100 : 1000) * 4;
+    auto row = run_row("zipf", 4, ops_per_client, true, cache);
+    print_row(row);
+    out.add(std::move(row));
+  }
+
+  const double speedup = one_shard > 0 ? four_shard / one_shard : 0;
+  std::printf("\n4-shard vs 1-shard read throughput: %.2fx (target >= 3x)\n", speedup);
+  std::printf("sampled-history checks: %zu histories, cache %llu hits / %llu misses, "
+              "all linearizable\n",
+              cache.size() + static_cast<std::size_t>(cache.stats().hits),
+              static_cast<unsigned long long>(cache.stats().hits),
+              static_cast<unsigned long long>(cache.stats().misses));
+  if (!g_quick && speedup < 3.0) {
+    std::fprintf(stderr, "P2: scale-out target missed: 4-shard/1-shard = %.2fx < 3x\n",
+                 speedup);
+    return 1;
+  }
+  if (!out.write_file(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

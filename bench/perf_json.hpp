@@ -6,7 +6,7 @@
 //
 //   {"bench":"P1","schema":1,"rows":[
 //     {"runtime":"net","workload":"closed","op":"read","variant":"baseline",
-//      "window":16,"n":3,"ops":5000,"seconds":1.234,"ops_per_sec":4051.9,
+//      "window":16,"n":3,"shards":1,"ops":5000,"seconds":1.234,"ops_per_sec":4051.9,
 //      "p50_us":310,"p99_us":520,"p999_us":760,
 //      "msgs_per_op":6.0,"rounds_per_op":2.0,"bytes_per_op":132.4}, ...]}
 //
@@ -32,7 +32,8 @@ struct PerfRow {
   // "baseline" | "unanimous-fast-path" | "time-efficient" | "two-bit".
   std::string variant{"baseline"};
   int window{1};
-  std::size_t n{0};  // replica count
+  std::size_t n{0};       // replica count (per quorum group for sharded rows)
+  std::size_t shards{1};  // independent quorum groups (1 = unsharded)
   std::uint64_t ops{0};
   double seconds{0};
   double ops_per_sec{0};
@@ -62,6 +63,7 @@ class PerfJson {
       os << R"({"runtime":")" << r.runtime << R"(","workload":")" << r.workload
          << R"(","op":")" << r.op << R"(","variant":")" << r.variant
          << R"(","window":)" << r.window << R"(,"n":)" << r.n
+         << R"(,"shards":)" << r.shards
          << R"(,"ops":)" << r.ops << R"(,"seconds":)" << r.seconds
          << R"(,"ops_per_sec":)" << r.ops_per_sec << R"(,"p50_us":)" << r.p50_us
          << R"(,"p99_us":)" << r.p99_us << R"(,"p999_us":)" << r.p999_us

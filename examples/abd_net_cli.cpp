@@ -29,9 +29,12 @@
 #include "abdkit/common/log.hpp"
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/common/stats.hpp"
+#include "abdkit/harness/workload.hpp"
 #include "abdkit/net/sync_node.hpp"
 #include "abdkit/net/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/shard/router.hpp"
+#include "abdkit/shard/shard_map.hpp"
 #include "abdkit/wire/codec.hpp"
 
 using namespace std::chrono_literals;
@@ -42,12 +45,14 @@ namespace {
 struct Args {
   ProcessId id{kNoProcess};
   std::size_t replicas{0};
+  std::size_t shards{1};
   std::string peers;
   std::size_t ops{20};
   std::size_t objects{2};
   std::uint64_t seed{1};
   long timeout_ms{5000};
   std::string variant{"baseline"};
+  bool zipf{false};
   bool verbose{false};
   bool help{false};
 };
@@ -58,8 +63,14 @@ void usage() {
       "  --id I           this client's index into the peer table (>= R)\n"
       "  --replicas R     quorum universe size (first R peer entries)\n"
       "  --peers LIST     comma-separated host:port table, index = process id\n"
+      "  --shards S       treat the R replicas as S contiguous quorum groups of\n"
+      "                   R/S (requires R %% S == 0) and route each object to its\n"
+      "                   group — run the abd_node peers with the same flag\n"
+      "                   (default 1: classic single-group client)\n"
       "  --ops K          write+read rounds to run (default 20)\n"
       "  --objects M      distinct registers to exercise (default 2)\n"
+      "  --zipf           draw objects Zipf(0.99)-skewed over the --objects\n"
+      "                   universe (rank 0 hottest) instead of round-robin\n"
       "  --timeout-ms T   per-operation timeout (default 5000)\n"
       "  --seed S         distinguishes values across invocations (default 1)\n"
       "  --variant V      protocol variant: baseline | fast-path | time-efficient\n"
@@ -87,6 +98,10 @@ bool parse(int argc, char** argv, Args& args) {
       if (!next_num(args.id)) return false;
     } else if (flag == "--replicas") {
       if (!next_num(args.replicas)) return false;
+    } else if (flag == "--shards") {
+      if (!next_num(args.shards)) return false;
+    } else if (flag == "--zipf") {
+      args.zipf = true;
     } else if (flag == "--peers") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -126,7 +141,8 @@ int main(int argc, char** argv) {
   }
   std::vector<net::Address> table;
   if (!net::parse_address_list(args.peers, table) || args.replicas == 0 ||
-      args.id >= table.size() || table.size() < args.replicas || args.objects == 0) {
+      args.id >= table.size() || table.size() < args.replicas || args.objects == 0 ||
+      args.shards == 0 || args.replicas % args.shards != 0) {
     usage();
     return 2;
   }
@@ -155,12 +171,27 @@ int main(int argc, char** argv) {
   }
 
   try {
-    auto node = std::make_unique<abd::Node>(node_options);
-    abd::Node& node_ref = *node;
-    net::Transport transport{std::move(options), std::move(node)};
+    // --shards > 1 swaps the single-group abd::Node for a shard::Router:
+    // the same SyncNode facade, but every operation is dispatched to the
+    // object's own quorum group by the Router's routing seam.
+    std::unique_ptr<Actor> actor;
+    abd::RegisterNode* node_ref = nullptr;
+    if (args.shards > 1) {
+      auto router = std::make_unique<shard::Router>(shard::RouterOptions{
+          shard::ShardMap::uniform(1, args.shards, args.replicas / args.shards),
+          abd::ReadMode::kAtomic, abd::WriteMode::kMultiWriter, node_options.client,
+          &metrics});
+      node_ref = router.get();
+      actor = std::move(router);
+    } else {
+      auto node = std::make_unique<abd::Node>(node_options);
+      node_ref = node.get();
+      actor = std::move(node);
+    }
+    net::Transport transport{std::move(options), std::move(actor)};
     (void)transport.bind(table[args.id]);
     transport.start(table);
-    net::SyncNode registers{transport, node_ref};
+    net::SyncNode registers{transport, *node_ref};
 
     const Duration timeout = std::chrono::milliseconds{args.timeout_ms};
     checker::History history;
@@ -169,9 +200,11 @@ int main(int argc, char** argv) {
     // Values are unique per (seed, op) so the checker can match reads to
     // writes across CLI invocations.
     const std::int64_t base = static_cast<std::int64_t>(args.seed) * 1'000'000;
+    std::optional<harness::ZipfKeys> zipf;
+    if (args.zipf) zipf.emplace(args.objects, 0.99, args.seed);
 
     for (std::size_t op = 0; op < args.ops; ++op) {
-      const abd::ObjectId object = op % args.objects;
+      const abd::ObjectId object = args.zipf ? zipf->next() : op % args.objects;
       Value value;
       value.data = base + static_cast<std::int64_t>(op) + 1;
 
@@ -218,6 +251,16 @@ int main(int argc, char** argv) {
 
     std::printf("abd_net_cli: %zu writes + %zu reads over %zu replicas, linearizable\n",
                 write_us.count(), read_us.count(), args.replicas);
+    if (args.shards > 1) {
+      // Per-group routing accounting from the Router's metrics labels.
+      std::printf("  shard ops:");
+      for (std::size_t s = 0; s < args.shards; ++s) {
+        std::printf(" %zu:%llu", s,
+                    static_cast<unsigned long long>(
+                        metrics.counter("shard." + std::to_string(s) + ".ops")));
+      }
+      std::printf("\n");
+    }
     std::printf("  write us: %s\n", write_us.brief().c_str());
     std::printf("  read  us: %s\n", read_us.brief().c_str());
     std::printf("metrics %s\n", metrics.to_json().c_str());

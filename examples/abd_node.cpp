@@ -25,6 +25,8 @@
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/net/transport.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/shard/node.hpp"
+#include "abdkit/shard/shard_map.hpp"
 #include "abdkit/wire/codec.hpp"
 
 using namespace std::chrono_literals;
@@ -39,6 +41,7 @@ void on_signal(int) { g_stop.store(true); }
 struct Args {
   ProcessId id{kNoProcess};
   std::size_t replicas{0};
+  std::size_t shards{1};
   std::string peers;
   std::string variant{"baseline"};
   bool verbose{false};
@@ -51,6 +54,11 @@ void usage() {
       "  --id I         this process's index into the peer table\n"
       "  --replicas R   quorum universe size (first R peer entries)\n"
       "  --peers LIST   comma-separated host:port table, index = process id\n"
+      "  --shards S     split the R replicas into S contiguous quorum groups\n"
+      "                 of R/S (requires R %% S == 0). The process serves every\n"
+      "                 group it belongs to on this one transport and is a\n"
+      "                 routing client of all of them (default 1: classic\n"
+      "                 single-group node)\n"
       "  --variant V    protocol variant: baseline | fast-path | time-efficient\n"
       "                 | two-bit (two-bit also switches to the compact wire\n"
       "                 envelope; every peer must then run --variant two-bit or\n"
@@ -74,6 +82,10 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.replicas = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.shards = std::strtoul(v, nullptr, 10);
     } else if (flag == "--peers") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -105,7 +117,8 @@ int main(int argc, char** argv) {
   }
   std::vector<net::Address> table;
   if (!net::parse_address_list(args.peers, table) || args.replicas == 0 ||
-      args.id >= table.size() || table.size() < args.replicas) {
+      args.id >= table.size() || table.size() < args.replicas || args.shards == 0 ||
+      args.replicas % args.shards != 0) {
     usage();
     return 2;
   }
@@ -134,10 +147,27 @@ int main(int argc, char** argv) {
   }
 
   try {
-    net::Transport transport{std::move(options), std::make_unique<abd::Node>(node_options)};
+    // --shards > 1 swaps the single-group abd::Node for a shard::Node: the
+    // same group-agnostic replica (groups partition ObjectIds, so requests
+    // from different groups touch disjoint slots on this one transport)
+    // plus a Router that makes the process a client of every group.
+    std::unique_ptr<Actor> actor;
+    if (args.shards > 1) {
+      shard::NodeOptions shard_options;
+      shard_options.map =
+          shard::ShardMap::uniform(1, args.shards, args.replicas / args.shards);
+      shard_options.write_mode = abd::WriteMode::kMultiWriter;
+      shard_options.client = node_options.client;
+      shard_options.metrics = &metrics;
+      actor = std::make_unique<shard::Node>(std::move(shard_options));
+    } else {
+      actor = std::make_unique<abd::Node>(node_options);
+    }
+    net::Transport transport{std::move(options), std::move(actor)};
     const std::uint16_t port = transport.bind(table[args.id]);
     transport.start(table);
-    std::printf("abd_node: replica %u/%zu listening on %s:%u\n", args.id, args.replicas,
+    std::printf("abd_node: replica %u/%zu (%zu quorum group%s) listening on %s:%u\n",
+                args.id, args.replicas, args.shards, args.shards == 1 ? "" : "s",
                 table[args.id].host.c_str(), port);
     std::fflush(stdout);
 

@@ -81,6 +81,15 @@ struct ClientOptions {
   /// strategy.hpp for the variants and their per-op cost formulas. The
   /// default is the paper's protocol (every atomic read writes back).
   ProtocolVariant variant{ProtocolVariant::kBaseline};
+  /// Crash budget for ProtocolVariant::kImbs (witness threshold f+1).
+  /// Required >= 1 for that variant, which also requires n >= 3f+1 —
+  /// both validated at attach(). Ignored by every other variant.
+  std::size_t resilience_f{0};
+  /// First round id this client hands out is round_base + 1. The shard
+  /// router gives each per-group client a disjoint id space (shard index in
+  /// the high bits) so a reply's round field alone identifies the owning
+  /// client. Zero (the default) keeps the historical ids 1, 2, ...
+  RoundId round_base{0};
   /// Back-compat alias (pre-strategy API): true selects
   /// ProtocolVariant::kUnanimousFastPath when `variant` is still kBaseline
   /// — when every counted reply of the read quorum carries the SAME tag,
@@ -205,6 +214,10 @@ class Client {
     /// the fast-path read).
     std::size_t replies{0};
     bool unanimous{true};
+    /// How many counted replies carried the current best_tag (the kImbs
+    /// witness count). Reset when a newer tag takes over, so it never mixes
+    /// votes for different tags.
+    std::size_t best_votes{0};
     /// Byzantine mode only: vote counts per distinct (tag, value).
     std::vector<Candidate> candidates;
     /// For kCollectAcks: the (tag, value) pair being installed, delivered to

@@ -31,6 +31,18 @@
 //                      shrinks to one tagged byte (wire::WireFormat::
 //                      kCompact). Same rounds/msgs as kBaseline; fewer
 //                      bytes per message on the TCP rung.
+//   kImbs              Imbs et al. rounds/resilience trade-off (arXiv
+//                      1702.08176): give up resilience — require n >= 3f+1
+//                      instead of n >= 2f+1 — and in exchange a read may
+//                      return after one round whenever at least f+1 counted
+//                      replies carry the round's maximum tag, even if the
+//                      quorum as a whole disagreed. The f+1 holders are the
+//                      witness set: every read quorum has size >= n-f, and
+//                      (n-f) + (f+1) = n+1 > n, so any later read's quorum
+//                      intersects the holders and observes a tag >= t. The
+//                      write path is unchanged. Favorable read = 1 round /
+//                      n msgs at n = 3f+1, tolerating up to f stale or slow
+//                      replicas where kUnanimousFastPath pays 2 rounds.
 //
 // Safety of the fast returns (both variants): a read may return tag t
 // without writing back only when a write quorum already stores tags >= t —
@@ -58,9 +70,11 @@ enum class ProtocolVariant : std::uint8_t {
   kUnanimousFastPath,
   kTimeEfficient,
   kTwoBit,
+  kImbs,
 };
 
-/// Canonical names: "baseline", "fast-path", "time-efficient", "two-bit".
+/// Canonical names: "baseline", "fast-path", "time-efficient", "two-bit",
+/// "imbs".
 [[nodiscard]] const char* to_string(ProtocolVariant variant) noexcept;
 
 /// Parses a canonical name (also accepts "unanimous-fast-path" for
@@ -77,7 +91,8 @@ enum class FastPathSuppression : std::uint8_t {
   kRegularReadMode,  ///< ReadMode::kRegular never writes back — the fast
                      ///< path is configured but meaningless
   kDivergentReplies, ///< quorum replies disagreed (and, for kTimeEfficient,
-                     ///< the maximum exceeded the known-committed tag): the
+                     ///< the maximum exceeded the known-committed tag; for
+                     ///< kImbs, fewer than f+1 replies held it): the
                      ///< protocol correctly fell back to the write-back
 };
 
@@ -94,23 +109,32 @@ struct ReadDecision {
 /// transport access — all sends stay behind Client::dispatch_request.
 class ReadStrategy {
  public:
-  explicit ReadStrategy(ProtocolVariant variant) noexcept : variant_{variant} {}
+  /// `resilience_f` is the crash budget the deployment promises to stay
+  /// under; only kImbs consumes it (witness threshold f+1). The client
+  /// validates n >= 3f+1 at attach time.
+  explicit ReadStrategy(ProtocolVariant variant,
+                        std::size_t resilience_f = 0) noexcept
+      : variant_{variant}, resilience_f_{resilience_f} {}
 
   [[nodiscard]] ProtocolVariant variant() const noexcept { return variant_; }
+  [[nodiscard]] std::size_t resilience_f() const noexcept { return resilience_f_; }
 
   /// True for the variants that may complete an atomic read in one round.
   [[nodiscard]] bool fast_capable() const noexcept {
     return variant_ == ProtocolVariant::kUnanimousFastPath ||
-           variant_ == ProtocolVariant::kTimeEfficient;
+           variant_ == ProtocolVariant::kTimeEfficient ||
+           variant_ == ProtocolVariant::kImbs;
   }
 
   /// The single read-completion decision point: called exactly once per
-  /// completed collect round, with the round's maximum tag and whether
-  /// every counted reply agreed on it.
+  /// completed collect round, with the round's maximum tag, whether every
+  /// counted reply agreed on it, and how many counted replies carried it
+  /// (the kImbs witness count; best_votes <= quorum size).
   [[nodiscard]] ReadDecision on_collect_complete(bool atomic_read,
                                                  std::size_t byzantine_f,
                                                  ObjectId object, const Tag& best,
-                                                 bool unanimous) const;
+                                                 bool unanimous,
+                                                 std::size_t best_votes = 0) const;
 
   /// Record that a write quorum acknowledged `tag` for `object` — called by
   /// the client when one of ITS update phases (write or write-back)
@@ -124,6 +148,8 @@ class ReadStrategy {
 
  private:
   ProtocolVariant variant_;
+  /// kImbs only: the deployment's crash budget f (witness set size f+1).
+  std::size_t resilience_f_{0};
   /// kTimeEfficient only: per object, the highest tag this client proved
   /// resident at a write quorum.
   std::unordered_map<ObjectId, Tag> committed_;

@@ -27,7 +27,8 @@ Client::Client(std::shared_ptr<const quorum::QuorumSystem> quorums, ReadMode rea
     : quorums_{std::move(quorums)},
       read_mode_{read_mode},
       options_{options},
-      strategy_{resolve_variant(options)},
+      strategy_{resolve_variant(options), options.resilience_f},
+      next_round_{options.round_base + 1},
       metrics_{options.metrics} {
   if (quorums_ == nullptr) throw std::invalid_argument{"Client: null quorum system"};
   if (options_.contact == ContactPolicy::kTargeted &&
@@ -43,6 +44,26 @@ void Client::attach(Context& ctx) {
   if (ctx_ != nullptr) throw std::logic_error{"Client: attach called twice"};
   if (quorums_->n() != ctx.world_size()) {
     throw std::invalid_argument{"Client: quorum system size != world size"};
+  }
+  if (strategy_.variant() == ProtocolVariant::kImbs) {
+    // The Imbs witness argument ((n-f) + (f+1) > n) needs a declared crash
+    // budget, n >= 3f+1, and read quorums spanning at least n-f processes.
+    // The span bound is checked on the size-(n-f-1) prefix set — exact for
+    // the symmetric (majority/threshold) systems this repo deploys, where
+    // quorumhood depends only on cardinality.
+    const std::size_t f = options_.resilience_f;
+    if (f == 0) {
+      throw std::invalid_argument{"Client: kImbs requires resilience_f >= 1"};
+    }
+    if (quorums_->n() < 3 * f + 1) {
+      throw std::invalid_argument{"Client: kImbs requires n >= 3f + 1"};
+    }
+    std::vector<bool> prefix(quorums_->n(), false);
+    for (std::size_t p = 0; p + f + 1 < quorums_->n(); ++p) prefix[p] = true;
+    if (quorums_->is_read_quorum(prefix)) {
+      throw std::invalid_argument{
+          "Client: kImbs needs read quorums of size >= n - f"};
+    }
   }
   ctx_ = &ctx;
 }
@@ -265,6 +286,7 @@ std::uint64_t Client::state_digest() const {
     rh = fnv1a(rh, bits);
     rh = fnv1a(rh, round.replies);
     rh = fnv1a(rh, round.unanimous ? 1ULL : 0ULL);
+    rh = fnv1a(rh, round.best_votes);
     rh = fnv1a(rh, round.best_tag.seq);
     rh = fnv1a(rh, round.best_tag.writer);
     rh = fnv1a(rh, static_cast<std::uint64_t>(round.best_value.data));
@@ -349,12 +371,19 @@ void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
     if (round.replies > 0 && reply.value_tag != round.best_tag) {
       round.unanimous = false;
     }
+    const bool counted = from < round.acked.size() && !round.acked[from];
     if (reply.value_tag > round.best_tag) {
       round.best_tag = reply.value_tag;
       round.best_value = reply.value;
+      // A new maximum restarts the witness count; an uncounted (duplicate)
+      // reply raising it contributes no vote of its own — the first-reply
+      // rule applies to witness counting exactly as it does to quorums.
+      round.best_votes = 0;
     }
-    const bool counted = !round.acked[from];
-    if (counted) ++round.replies;
+    if (counted) {
+      ++round.replies;
+      if (reply.value_tag == round.best_tag) ++round.best_votes;
+    }
     if (!counted && metrics_ != nullptr) metrics_->add("client.duplicate_replies");
     if (!record_ack(round, from)) return;
   } else {
@@ -398,6 +427,7 @@ void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
   const Tag tag = round.best_tag;
   Value value = std::move(round.best_value);
   const bool round_was_unanimous = round.unanimous;
+  const std::size_t round_best_votes = round.best_votes;
   if (round.retransmit_timer != 0) ctx_->cancel_timer(round.retransmit_timer);
   rounds_.erase(it);
 
@@ -408,7 +438,7 @@ void Client::on_read_reply(ProcessId from, const ReadReply& reply) {
   // or ReadMode::kRegular with nothing observable.
   const ReadDecision decision = strategy_.on_collect_complete(
       read_mode_ == ReadMode::kAtomic, options_.byzantine_f, op->object, tag,
-      round_was_unanimous);
+      round_was_unanimous, round_best_votes);
   if (decision.suppression != FastPathSuppression::kNone) {
     ++fast_path_suppressed_;
     last_suppression_ = decision.suppression;

@@ -12,6 +12,8 @@ const char* to_string(ProtocolVariant variant) noexcept {
       return "time-efficient";
     case ProtocolVariant::kTwoBit:
       return "two-bit";
+    case ProtocolVariant::kImbs:
+      return "imbs";
   }
   return "?";
 }
@@ -23,6 +25,7 @@ std::optional<ProtocolVariant> parse_variant(std::string_view name) {
   }
   if (name == "time-efficient") return ProtocolVariant::kTimeEfficient;
   if (name == "two-bit") return ProtocolVariant::kTwoBit;
+  if (name == "imbs" || name == "rounds-resilience") return ProtocolVariant::kImbs;
   return std::nullopt;
 }
 
@@ -43,7 +46,8 @@ const char* to_string(FastPathSuppression suppression) noexcept {
 ReadDecision ReadStrategy::on_collect_complete(bool atomic_read,
                                                std::size_t byzantine_f,
                                                ObjectId object, const Tag& best,
-                                               bool unanimous) const {
+                                               bool unanimous,
+                                               std::size_t best_votes) const {
   if (!fast_capable()) return {};
   // Masking mode never fast-returns: a unanimous-looking quorum may contain
   // forged replies, and only the vouched write-back path is safe there.
@@ -52,6 +56,17 @@ ReadDecision ReadStrategy::on_collect_complete(bool atomic_read,
   // configured on top of them changes nothing — surface the no-op.
   if (!atomic_read) return {false, FastPathSuppression::kRegularReadMode};
   if (unanimous) return {true, FastPathSuppression::kNone};
+  if (variant_ == ProtocolVariant::kImbs) {
+    // f+1 counted replies at the maximum are the witness set: with n >= 3f+1
+    // (checked at attach) every later read quorum has size >= n-f, and
+    // (n-f) + (f+1) = n+1 > n, so it intersects the holders. The
+    // intersection is taken over all n processes, so it holds even after
+    // up to f of the holders crash: the common member answered the later
+    // read, hence is live.
+    if (best_votes >= resilience_f_ + 1) {
+      return {true, FastPathSuppression::kNone};
+    }
+  }
   if (variant_ == ProtocolVariant::kTimeEfficient) {
     // Divergent quorum, but the maximum may still be a tag this client
     // already proved installed at a write quorum. Quorum intersection makes

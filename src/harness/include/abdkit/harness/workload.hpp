@@ -38,4 +38,31 @@ struct WorkloadOptions {
 /// deployment.run() afterwards to execute it.
 void schedule_closed_loop(SimDeployment& deployment, const WorkloadOptions& options);
 
+/// Seedable Zipf(s) key stream over [0, universe): key k is drawn with
+/// probability proportional to 1/(k+1)^s, so key 0 is the hottest. The
+/// skewed-workload generator the P2 sharding bench and abd_net_cli share —
+/// under skew a rendezvous map still spreads the hot keys across groups,
+/// which is exactly what the zipfian bench row demonstrates.
+///
+/// Sampling is inverse-CDF over a precomputed table: O(universe) memory,
+/// O(log universe) per draw, deterministic for a given (universe, s, seed).
+class ZipfKeys {
+ public:
+  /// Throws std::invalid_argument if universe == 0 or s < 0. s == 0 is the
+  /// uniform distribution; the classic web-caching skew is s ≈ 0.99.
+  ZipfKeys(std::size_t universe, double s, std::uint64_t seed);
+
+  /// The next key, 0-based by popularity rank.
+  [[nodiscard]] abd::ObjectId next();
+
+  /// P(key == k) under the ideal distribution (for tests and capacity math).
+  [[nodiscard]] double probability(std::size_t k) const;
+
+  [[nodiscard]] std::size_t universe() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
 }  // namespace abdkit::harness

@@ -1,6 +1,7 @@
 #include "abdkit/harness/workload.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -75,6 +76,30 @@ void schedule_closed_loop(SimDeployment& deployment, const WorkloadOptions& opti
             std::max<Duration::rep>(1, options.start_spread.count()))))};
     driver->issue_at(start);
   }
+}
+
+ZipfKeys::ZipfKeys(std::size_t universe, double s, std::uint64_t seed) : rng_{seed} {
+  if (universe == 0) throw std::invalid_argument{"ZipfKeys: empty universe"};
+  if (s < 0.0) throw std::invalid_argument{"ZipfKeys: negative exponent"};
+  cdf_.resize(universe);
+  double total = 0.0;
+  for (std::size_t k = 0; k < universe; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding: uniform01() < 1 always lands
+}
+
+abd::ObjectId ZipfKeys::next() {
+  const double u = rng_.uniform01();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<abd::ObjectId>(it - cdf_.begin());
+}
+
+double ZipfKeys::probability(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return cdf_[k] - (k == 0 ? 0.0 : cdf_[k - 1]);
 }
 
 }  // namespace abdkit::harness

@@ -167,10 +167,18 @@ class QuorumCompletionMonitor final : public Monitor {
 /// guarantee is equally indifferent to replicas crashing the instant after
 /// they ack. The scenario reports fast returns via on_fast_return; the
 /// monitor scans replica state at that instant.
+///
+/// `min_holders` switches the predicate for resilience-style variants
+/// (abd::ProtocolVariant::kImbs): their fast path is justified not by
+/// write-quorum residence but by a witness set of >= f+1 replicas holding
+/// tag >= t — every later (n-f)-sized read quorum intersects it. Pass
+/// min_holders = f+1 to check that weaker (but for kImbs exact)
+/// postcondition; 0 keeps the write-quorum predicate.
 class FastReturnResidenceMonitor final : public Monitor {
  public:
   FastReturnResidenceMonitor(std::vector<const abd::Replica*> replicas,
-                             std::shared_ptr<const quorum::QuorumSystem> quorums);
+                             std::shared_ptr<const quorum::QuorumSystem> quorums,
+                             std::size_t min_holders = 0);
 
   /// Called by the scenario when an atomic read at `reader` completed after
   /// a single quorum round, returning `tag` for `object`.
@@ -186,6 +194,7 @@ class FastReturnResidenceMonitor final : public Monitor {
  private:
   std::vector<const abd::Replica*> replicas_;
   std::shared_ptr<const quorum::QuorumSystem> quorums_;
+  std::size_t min_holders_{0};
   std::optional<std::string> failure_;
 };
 

@@ -19,6 +19,7 @@
 #include "abdkit/mck/controlled_world.hpp"
 #include "abdkit/mck/invariants.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/shard/node.hpp"
 
 namespace abdkit::mck {
 
@@ -58,6 +59,20 @@ struct ScenarioOptions {
   /// abd::ClientOptions::testing_revert_duplicate_reply_gate). Used by
   /// regression scenarios proving the explorer rediscovers the bug.
   bool revert_duplicate_reply_gate{false};
+  /// Crash-resilience parameter f for variants that need it (kImbs requires
+  /// f >= 1 and num_processes >= 3f+1; see abd::ClientOptions::resilience_f).
+  std::size_t resilience_f{0};
+  /// Nonempty = sharded mode: every process runs a shard::Node over
+  /// ShardMap{epoch 1, shard_groups} instead of an abd::Node, and each
+  /// program op routes through the process's Router. The explorer then
+  /// verifies exhaustively that independent quorum groups compose: every
+  /// interleaving of cross-group traffic through the shared ControlledWorld
+  /// still yields a per-key linearizable history. Monitors in this mode:
+  /// tag monotonicity stays armed (it is per-replica, group-agnostic);
+  /// quorum-completion and fast-return-residence are skipped — both are
+  /// written against a single global quorum system, while a sharded world
+  /// has one majority system per group.
+  std::vector<std::vector<ProcessId>> shard_groups;
   /// How many operations of one process's program may be in flight at once.
   /// 1 (the default) serializes each program — the classic closed-loop
   /// client. W > 1 models a pipelined client (bench_p1): ops i < W start
@@ -123,7 +138,8 @@ class RegisterScenario {
   ScenarioOptions options_;
   std::shared_ptr<const quorum::QuorumSystem> quorums_;
   std::unique_ptr<ControlledWorld> world_;
-  std::vector<abd::Node*> nodes_;  // borrowed from world_
+  std::vector<abd::Node*> nodes_;         // borrowed from world_ (unsharded mode)
+  std::vector<shard::Node*> shard_nodes_;  // borrowed from world_ (sharded mode)
   std::vector<bool> issues_ops_;
   std::vector<std::vector<OpState>> op_states_;
   std::vector<std::vector<std::uint64_t>> stimulus_ids_;

@@ -136,8 +136,10 @@ void QuorumCompletionMonitor::on_op_complete(ProcessId p,
 
 FastReturnResidenceMonitor::FastReturnResidenceMonitor(
     std::vector<const abd::Replica*> replicas,
-    std::shared_ptr<const quorum::QuorumSystem> quorums)
-    : replicas_{std::move(replicas)}, quorums_{std::move(quorums)} {}
+    std::shared_ptr<const quorum::QuorumSystem> quorums, std::size_t min_holders)
+    : replicas_{std::move(replicas)},
+      quorums_{std::move(quorums)},
+      min_holders_{min_holders} {}
 
 void FastReturnResidenceMonitor::on_fast_return(ProcessId reader,
                                                 abd::ObjectId object,
@@ -160,6 +162,17 @@ void FastReturnResidenceMonitor::on_fast_return(ProcessId reader,
       resident[p] = true;
       ++count;
     }
+  }
+  if (min_holders_ > 0) {
+    if (count >= min_holders_) return;
+    std::ostringstream os;
+    os << "1-round read at process " << reader << " returned tag (" << tag.seq
+       << "," << tag.writer << ") for object " << object << " while only "
+       << count << " replica(s) store a tag >= it — fewer than the "
+       << min_holders_ << "-replica witness set the resilience fast path "
+       << "requires; a later (n-f)-read quorum need not see the tag";
+    failure_ = os.str();
+    return;
   }
   if (quorums_->is_write_quorum(resident)) return;
   std::ostringstream os;

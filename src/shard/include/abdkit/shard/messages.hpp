@@ -1,0 +1,85 @@
+// Shard-map message family (payload-tag range 0x08xx).
+//
+// Routers are born with a map today, but the map is a versioned value meant
+// to move: a joining client asks any process for the current map
+// (ShardMapQuery/ShardMapReply), and a reconfiguration coordinator pushes a
+// newer epoch (ShardMapUpdate). Receivers adopt a map iff its epoch is
+// strictly newer — the same only-grow discipline tags follow, so a delayed
+// or duplicated update can never roll routing back.
+//
+// All three travel through wire::codec with canonical encodings and the
+// kMaxShards / kMaxGroupMembers caps enforced at decode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/common/message.hpp"
+#include "abdkit/shard/shard_map.hpp"
+
+namespace abdkit::shard {
+
+namespace tags {
+inline constexpr PayloadTag kShardMapQuery = 0x0801;
+inline constexpr PayloadTag kShardMapReply = 0x0802;
+inline constexpr PayloadTag kShardMapUpdate = 0x0803;
+}  // namespace tags
+
+/// Wire bytes of a map body: varint epoch | varint group count | per group
+/// (varint member count | varint members). Mirrors the codec encoding.
+[[nodiscard]] std::size_t wire_size(const ShardMap& map) noexcept;
+
+/// "Send me your current shard map." `round` ties the reply to the asking
+/// phase, like every other request/reply pair in the repo.
+class ShardMapQuery final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kShardMapQuery;
+
+  explicit ShardMapQuery(abd::RoundId round_in) noexcept
+      : Payload{kTag}, round{round_in} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  abd::RoundId round;
+};
+
+class ShardMapReply final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kShardMapReply;
+
+  ShardMapReply(abd::RoundId round_in, ShardMap map_in) noexcept
+      : Payload{kTag}, round{round_in}, map{std::move(map_in)} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return abd::varint_size(round) + shard::wire_size(map);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  abd::RoundId round;
+  ShardMap map;
+};
+
+/// Unsolicited push of a (presumably newer) map. No ack: the epoch rule
+/// makes redelivery idempotent, and a coordinator that needs confirmation
+/// can query afterwards.
+class ShardMapUpdate final : public Payload {
+ public:
+  static constexpr PayloadTag kTag = tags::kShardMapUpdate;
+
+  explicit ShardMapUpdate(ShardMap map_in) noexcept
+      : Payload{kTag}, map{std::move(map_in)} {}
+
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return shard::wire_size(map);
+  }
+  [[nodiscard]] std::string debug() const override;
+
+  ShardMap map;
+};
+
+}  // namespace abdkit::shard

@@ -1,0 +1,64 @@
+// One process of a sharded deployment: group-agnostic replica + router.
+//
+// The replica half serves every group this process belongs to without
+// knowing groups exist — ABD replicas answer per ObjectId, and the map
+// partitions ObjectIds, so requests from different groups touch disjoint
+// slots. That is the whole trick behind "one process set hosts many quorum
+// groups on one transport". The router half makes the process a full
+// client of every group (useful for symmetric deployments like the
+// simulator and the model checker; net deployments typically run dedicated
+// router processes instead).
+#pragma once
+
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/abd/replica.hpp"
+#include "abdkit/shard/router.hpp"
+
+namespace abdkit::shard {
+
+struct NodeOptions {
+  ShardMap map;
+  abd::ReadMode read_mode{abd::ReadMode::kAtomic};
+  abd::WriteMode write_mode{abd::WriteMode::kMultiWriter};
+  abd::ClientOptions client{};
+  Metrics* metrics{nullptr};
+};
+
+class Node final : public abd::RegisterNode {
+ public:
+  explicit Node(NodeOptions options)
+      : router_{RouterOptions{std::move(options.map), options.read_mode,
+                              options.write_mode, options.client, options.metrics}} {}
+
+  void on_start(Context& ctx) override {
+    ctx_ = &ctx;
+    router_.on_start(ctx);
+  }
+
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override {
+    if (replica_.handle(ctx, from, payload)) return;
+    if (router_.handle(ctx, from, payload)) return;
+    // Unknown payloads are ignored, as in abd::Node: composite deployments
+    // may route additional protocols through the same processes.
+  }
+
+  void read(abd::ObjectId object, abd::OpCallback done) override {
+    if (ctx_ == nullptr) throw std::logic_error{"shard::Node: read before on_start"};
+    router_.read(object, std::move(done));
+  }
+
+  void write(abd::ObjectId object, Value value, abd::OpCallback done) override {
+    if (ctx_ == nullptr) throw std::logic_error{"shard::Node: write before on_start"};
+    router_.write(object, std::move(value), std::move(done));
+  }
+
+  [[nodiscard]] abd::Replica& replica() noexcept { return replica_; }
+  [[nodiscard]] Router& router() noexcept { return router_; }
+
+ private:
+  abd::Replica replica_;
+  Router router_;
+  Context* ctx_{nullptr};
+};
+
+}  // namespace abdkit::shard

@@ -1,0 +1,151 @@
+// The sharded client: one abd::Client per replica group, one routing seam.
+//
+// A Router looks like a single RegisterNode to its caller, but behind the
+// facade it owns an independent, unmodified abd::Client for every group in
+// its ShardMap. Each client runs against a GroupContext — a Context adapter
+// that presents the group as the client's whole world (world_size = group
+// size, local indices 0..g-1) and translates member indices to global
+// process ids on the way out. The protocol code is byte-for-byte the code
+// a single-group deployment runs; per-key linearizability therefore
+// composes into whole-map linearizability for free, because clients of
+// different groups share no protocol state and keys never change groups
+// within an epoch.
+//
+// Reply demultiplexing needs no extra wire fields: each per-group client is
+// given a disjoint RoundId space (ClientOptions::round_base = shard index
+// << kRoundBits), so the round field every reply already carries names the
+// owning client. Shard 0's base is zero — its ids are 1, 2, ... exactly as
+// a direct client's — which is what makes the single-shard Router
+// byte-identical to an unsharded deployment (tested in test_shard.cpp).
+//
+// Routing happens in exactly one place, Router::route; the protocol lint
+// (rule router-dispatch) rejects any other key→group mapping in the tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "abdkit/abd/client.hpp"
+#include "abdkit/abd/node.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/shard/shard_map.hpp"
+
+namespace abdkit::shard {
+
+/// Context adapter presenting one replica group as a complete world. The
+/// wrapped client addresses local indices 0..group-1; sends are rewritten
+/// to the members' global ids. Timers and the clock pass through.
+class GroupContext final : public Context {
+ public:
+  GroupContext(Context& ctx, std::vector<ProcessId> members)
+      : ctx_{&ctx}, members_{std::move(members)} {}
+
+  [[nodiscard]] ProcessId self() const noexcept override { return ctx_->self(); }
+  [[nodiscard]] std::size_t world_size() const noexcept override {
+    return members_.size();
+  }
+  // This override IS the Context seam (it forwards to ctx_).
+  void send(ProcessId to, PayloadPtr payload) override {  // lint: allow(direct-send) seam impl
+    ctx_->send(members_.at(to), std::move(payload));
+  }
+  void broadcast(PayloadPtr payload) override {
+    // Group broadcast = one unicast per member (g messages, not world n) —
+    // the same count ClientOptions accounting assumes via world_size().
+    for (const ProcessId member : members_) ctx_->send(member, payload);
+  }
+  TimerId set_timer(Duration delay, TimerCallback cb) override {
+    return ctx_->set_timer(delay, std::move(cb));
+  }
+  void cancel_timer(TimerId id) override { ctx_->cancel_timer(id); }
+  [[nodiscard]] TimePoint now() const noexcept override { return ctx_->now(); }
+
+  [[nodiscard]] const std::vector<ProcessId>& members() const noexcept {
+    return members_;
+  }
+
+ private:
+  Context* ctx_;
+  std::vector<ProcessId> members_;
+};
+
+struct RouterOptions {
+  /// The routing table. Must be nonempty (a router cannot route nowhere);
+  /// the constructor throws on an empty map.
+  ShardMap map;
+  abd::ReadMode read_mode{abd::ReadMode::kAtomic};
+  abd::WriteMode write_mode{abd::WriteMode::kMultiWriter};
+  /// Template for every per-group client; round_base is overwritten per
+  /// group and metrics is superseded by RouterOptions::metrics.
+  abd::ClientOptions client{};
+  /// Optional registry: per-op counters/latency under "shard.<i>.*" keys in
+  /// addition to whatever the per-group clients record. Not owned.
+  Metrics* metrics{nullptr};
+};
+
+class Router final : public abd::RegisterNode {
+ public:
+  /// RoundId layout: shard index in bits [kRoundBits, 64), per-client
+  /// counter below. 2^32 rounds per group client, 2^32 shards — both far
+  /// beyond kMaxShards and any run length.
+  static constexpr unsigned kRoundBits = 32;
+
+  [[nodiscard]] static constexpr abd::RoundId round_base_of(ShardIndex shard) noexcept {
+    return static_cast<abd::RoundId>(shard) << kRoundBits;
+  }
+  [[nodiscard]] static constexpr ShardIndex shard_of_round(abd::RoundId round) noexcept {
+    return static_cast<ShardIndex>(round >> kRoundBits);
+  }
+
+  explicit Router(RouterOptions options);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, ProcessId from, const Payload& payload) override;
+
+  /// Feeds a reply to the owning group's client (identified by the round's
+  /// high bits); returns true iff the payload was a client-protocol reply
+  /// addressed to one of this router's clients. For composite actors.
+  bool handle(Context& ctx, ProcessId from, const Payload& payload);
+
+  void read(abd::ObjectId object, abd::OpCallback done) override;
+  void write(abd::ObjectId object, Value value, abd::OpCallback done) override;
+
+  /// THE routing seam: every key→group decision in the process goes through
+  /// here (lint rule router-dispatch pins it). Total on a nonempty map.
+  [[nodiscard]] ShardIndex route(abd::ObjectId key) const noexcept;
+
+  [[nodiscard]] const ShardMap& map() const noexcept { return options_.map; }
+  [[nodiscard]] abd::Client& client_of(ShardIndex shard) {
+    return *groups_.at(shard).client;
+  }
+
+  /// Sum of per-group pending operations.
+  [[nodiscard]] std::size_t pending_ops() const noexcept;
+
+  /// Order-insensitive digest over the per-group clients plus the map epoch
+  /// (the model checker's state-hash seam, like Client::state_digest).
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+ private:
+  struct Group {
+    std::unique_ptr<GroupContext> ctx;
+    std::unique_ptr<abd::Client> client;
+    /// Global id → local index within this group.
+    std::unordered_map<ProcessId, ProcessId> local_of;
+    /// Precomputed metric keys ("shard.<i>.ops", "shard.<i>.op_us") so the
+    /// hot path never formats strings.
+    std::string ops_key;
+    std::string latency_key;
+  };
+
+  void record_op(const Group& group, const abd::OpResult& result) const;
+
+  RouterOptions options_;
+  Context* ctx_{nullptr};
+  std::vector<Group> groups_;
+};
+
+}  // namespace abdkit::shard

@@ -1,0 +1,95 @@
+// Versioned key→replica-group map: the routing substrate of the sharded KV.
+//
+// The ABD protocol is per-register — operations on distinct ObjectIds never
+// coordinate — so scale-out is pure routing: partition the key space over
+// independent quorum groups and run the unmodified client/replica protocol
+// inside each. ShardMap is that partition as a first-class value:
+//
+//   * rendezvous (highest-random-weight) hashing of keys → shard indices,
+//     so adding or removing one shard moves only the keys that land on it
+//     (no global reshuffle, no ring maintenance state);
+//   * an epoch stamp, so a later reconfiguration (ROADMAP item 4) can ship
+//     a newer map and routers can order maps without comparing contents;
+//   * a bounded, canonically-encodable representation (wire::codec family
+//     0x08xx, capped at kMaxShards) so maps travel between processes.
+//
+// Replicas never see the map: a replica serves whatever objects it is sent
+// (it is group-agnostic per object), which is what lets one process host
+// members of several groups on a single transport. Only the Router routes,
+// and only through ShardMap::shard_of — the single seam the protocol lint
+// pins (tools/lint_protocol.py, rule router-dispatch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "abdkit/abd/messages.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit::shard {
+
+using ShardIndex = std::uint32_t;
+
+/// Returned by shard_of on an empty map.
+inline constexpr ShardIndex kNoShard = static_cast<ShardIndex>(-1);
+
+/// Hard cap on the number of groups a map may carry — bounds the wire
+/// encoding (codec rejects anything larger) and every O(shards) scan.
+inline constexpr std::size_t kMaxShards = 1024;
+
+/// Hard cap on one group's membership (mirrors wire's kMaxConfigMembers).
+inline constexpr std::size_t kMaxGroupMembers = 1u << 16;
+
+class ShardMap {
+ public:
+  /// The empty map: epoch 0, no groups. Routable by nothing.
+  ShardMap() = default;
+
+  /// Validates: at most kMaxShards groups, every group nonempty, no
+  /// duplicate member within a group, group sizes under kMaxGroupMembers.
+  /// Throws std::invalid_argument otherwise.
+  ShardMap(std::uint64_t epoch, std::vector<std::vector<ProcessId>> groups);
+
+  /// `shards` disjoint contiguous groups of `group_size`:
+  /// group i = {first + i*group_size, ...}. The bench/CLI deployment shape.
+  [[nodiscard]] static ShardMap uniform(std::uint64_t epoch, std::size_t shards,
+                                        std::size_t group_size,
+                                        ProcessId first = 0);
+
+  /// `shards` groups of `group_size` drawn from processes [0, universe) by
+  /// per-shard rendezvous ranking — groups overlap when
+  /// shards * group_size > universe, so one process serves several groups.
+  [[nodiscard]] static ShardMap rendezvous(std::uint64_t epoch, std::size_t shards,
+                                           std::size_t group_size,
+                                           std::size_t universe);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return groups_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
+  [[nodiscard]] const std::vector<ProcessId>& group(ShardIndex shard) const {
+    return groups_.at(shard);
+  }
+  [[nodiscard]] const std::vector<std::vector<ProcessId>>& groups() const noexcept {
+    return groups_;
+  }
+
+  /// The owning shard of `key`: argmax over shards of weight(key, shard),
+  /// lowest index on ties. Deterministic, stateless, identical on every
+  /// process holding an equal map. kNoShard on the empty map.
+  [[nodiscard]] ShardIndex shard_of(abd::ObjectId key) const noexcept;
+
+  /// The rendezvous weight (exposed so tests can verify argmax placement
+  /// and minimal movement under shard addition).
+  [[nodiscard]] static std::uint64_t weight(abd::ObjectId key,
+                                            ShardIndex shard) noexcept;
+
+  [[nodiscard]] bool operator==(const ShardMap& other) const noexcept {
+    return epoch_ == other.epoch_ && groups_ == other.groups_;
+  }
+
+ private:
+  std::uint64_t epoch_{0};
+  std::vector<std::vector<ProcessId>> groups_;
+};
+
+}  // namespace abdkit::shard

@@ -1,0 +1,45 @@
+#include "abdkit/shard/messages.hpp"
+
+#include <sstream>
+
+namespace abdkit::shard {
+
+std::size_t wire_size(const ShardMap& map) noexcept {
+  std::size_t bytes = abd::varint_size(map.epoch()) +
+                      abd::varint_size(map.shard_count());
+  for (const auto& members : map.groups()) {
+    bytes += abd::varint_size(members.size());
+    for (const ProcessId p : members) bytes += abd::varint_size(p);
+  }
+  return bytes;
+}
+
+namespace {
+
+std::string render(const ShardMap& map) {
+  std::ostringstream os;
+  os << "map{epoch=" << map.epoch() << " shards=" << map.shard_count() << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string ShardMapQuery::debug() const {
+  std::ostringstream os;
+  os << "ShardMapQuery{round=" << round << "}";
+  return os.str();
+}
+
+std::string ShardMapReply::debug() const {
+  std::ostringstream os;
+  os << "ShardMapReply{round=" << round << " " << render(map) << "}";
+  return os.str();
+}
+
+std::string ShardMapUpdate::debug() const {
+  std::ostringstream os;
+  os << "ShardMapUpdate{" << render(map) << "}";
+  return os.str();
+}
+
+}  // namespace abdkit::shard

@@ -1,0 +1,135 @@
+#include "abdkit/shard/router.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+
+namespace abdkit::shard {
+
+Router::Router(RouterOptions options) : options_{std::move(options)} {
+  if (options_.map.empty()) {
+    // A router exists to route; with zero groups every operation would
+    // stall invisibly. Surface the misconfiguration at construction.
+    throw std::invalid_argument{"Router: empty shard map"};
+  }
+  if (options_.map.shard_count() > (1ULL << kRoundBits)) {
+    throw std::invalid_argument{"Router: shard count exceeds round-id space"};
+  }
+}
+
+void Router::on_start(Context& ctx) {
+  if (ctx_ != nullptr) throw std::logic_error{"Router: on_start called twice"};
+  ctx_ = &ctx;
+  const std::size_t shards = options_.map.shard_count();
+  groups_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto& members = options_.map.group(static_cast<ShardIndex>(s));
+    Group group;
+    group.ctx = std::make_unique<GroupContext>(ctx, members);
+    for (ProcessId local = 0; local < members.size(); ++local) {
+      group.local_of.emplace(members[local], local);
+    }
+    // Each group runs the plain per-group protocol: majority quorums over
+    // its own members, the shared variant/options template, and a disjoint
+    // round-id space so replies self-identify their owning client.
+    abd::ClientOptions client_options = options_.client;
+    client_options.round_base = round_base_of(static_cast<ShardIndex>(s));
+    client_options.metrics = options_.metrics;
+    group.client = std::make_unique<abd::Client>(
+        std::make_shared<quorum::MajorityQuorum>(members.size()),
+        options_.read_mode, client_options);
+    group.client->attach(*group.ctx);
+    group.ops_key = "shard." + std::to_string(s) + ".ops";
+    group.latency_key = "shard." + std::to_string(s) + ".op_us";
+    groups_.push_back(std::move(group));
+  }
+}
+
+void Router::on_message(Context& ctx, ProcessId from, const Payload& payload) {
+  handle(ctx, from, payload);
+}
+
+bool Router::handle(Context& ctx, ProcessId from, const Payload& payload) {
+  // Replies carry the round id whose high bits name the owning group; the
+  // sender's global id maps to the local index the group's ack vectors use.
+  abd::RoundId round = 0;
+  if (const auto* read_reply = payload_cast<abd::ReadReply>(payload)) {
+    round = read_reply->round;
+  } else if (const auto* tag_reply = payload_cast<abd::TagReply>(payload)) {
+    round = tag_reply->round;
+  } else if (const auto* ack = payload_cast<abd::UpdateAck>(payload)) {
+    round = ack->round;
+  } else {
+    return false;
+  }
+  const ShardIndex shard = shard_of_round(round);
+  if (shard >= groups_.size()) return false;
+  Group& group = groups_[shard];
+  const auto local = group.local_of.find(from);
+  if (local == group.local_of.end()) return false;
+  return group.client->handle(ctx, local->second, payload);
+}
+
+ShardIndex Router::route(abd::ObjectId key) const noexcept {
+  return options_.map.shard_of(key);
+}
+
+void Router::record_op(const Group& group, const abd::OpResult& result) const {
+  if (options_.metrics == nullptr) return;
+  options_.metrics->add(group.ops_key);
+  options_.metrics->record_us(group.latency_key, result.responded - result.invoked);
+}
+
+void Router::read(abd::ObjectId object, abd::OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"Router: read before on_start"};
+  Group& group = groups_.at(route(object));
+  // groups_ is append-only after on_start, so the reference stays valid for
+  // the callback's lifetime.
+  group.client->read(object, [this, &group, done = std::move(done)](
+                                 const abd::OpResult& result) {
+    record_op(group, result);
+    if (done) done(result);
+  });
+}
+
+void Router::write(abd::ObjectId object, Value value, abd::OpCallback done) {
+  if (ctx_ == nullptr) throw std::logic_error{"Router: write before on_start"};
+  Group& group = groups_.at(route(object));
+  auto wrapped = [this, &group, done = std::move(done)](const abd::OpResult& result) {
+    record_op(group, result);
+    if (done) done(result);
+  };
+  if (options_.write_mode == abd::WriteMode::kSingleWriter) {
+    group.client->write_swmr(object, std::move(value), std::move(wrapped));
+  } else {
+    group.client->write_mwmr(object, std::move(value), std::move(wrapped));
+  }
+}
+
+std::size_t Router::pending_ops() const noexcept {
+  std::size_t pending = 0;
+  for (const Group& group : groups_) pending += group.client->pending_ops();
+  return pending;
+}
+
+std::uint64_t Router::state_digest() const {
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  const auto mix = [](std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= kPrime;
+    }
+    return h;
+  };
+  std::uint64_t h = mix(kOffset, options_.map.epoch());
+  h = mix(h, options_.map.shard_count());
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    h = mix(h, groups_[s].client->state_digest());
+  }
+  return h;
+}
+
+}  // namespace abdkit::shard

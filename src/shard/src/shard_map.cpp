@@ -1,0 +1,93 @@
+#include "abdkit/shard/shard_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "abdkit/common/rng.hpp"
+
+namespace abdkit::shard {
+
+ShardMap::ShardMap(std::uint64_t epoch, std::vector<std::vector<ProcessId>> groups)
+    : epoch_{epoch}, groups_{std::move(groups)} {
+  if (groups_.size() > kMaxShards) {
+    throw std::invalid_argument{"ShardMap: more than kMaxShards groups"};
+  }
+  for (const auto& members : groups_) {
+    if (members.empty()) throw std::invalid_argument{"ShardMap: empty group"};
+    if (members.size() > kMaxGroupMembers) {
+      throw std::invalid_argument{"ShardMap: group exceeds kMaxGroupMembers"};
+    }
+    std::unordered_set<ProcessId> seen;
+    for (const ProcessId p : members) {
+      if (!seen.insert(p).second) {
+        throw std::invalid_argument{"ShardMap: duplicate member in group"};
+      }
+    }
+  }
+}
+
+ShardMap ShardMap::uniform(std::uint64_t epoch, std::size_t shards,
+                           std::size_t group_size, ProcessId first) {
+  if (group_size == 0) throw std::invalid_argument{"ShardMap::uniform: empty groups"};
+  std::vector<std::vector<ProcessId>> groups(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    groups[s].reserve(group_size);
+    for (std::size_t m = 0; m < group_size; ++m) {
+      groups[s].push_back(first + static_cast<ProcessId>(s * group_size + m));
+    }
+  }
+  return ShardMap{epoch, std::move(groups)};
+}
+
+ShardMap ShardMap::rendezvous(std::uint64_t epoch, std::size_t shards,
+                              std::size_t group_size, std::size_t universe) {
+  if (group_size == 0 || group_size > universe) {
+    throw std::invalid_argument{"ShardMap::rendezvous: group_size out of range"};
+  }
+  std::vector<std::vector<ProcessId>> groups(shards);
+  std::vector<std::pair<std::uint64_t, ProcessId>> ranked(universe);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t p = 0; p < universe; ++p) {
+      // Same HRW mix as key placement, with the roles swapped: the shard
+      // ranks processes. Ties break on the process id (second key), so the
+      // ranking is a strict total order.
+      ranked[p] = {weight(static_cast<abd::ObjectId>(p),
+                          static_cast<ShardIndex>(s) ^ 0x5bd1u),
+                   static_cast<ProcessId>(p)};
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    groups[s].reserve(group_size);
+    for (std::size_t m = 0; m < group_size; ++m) groups[s].push_back(ranked[m].second);
+    std::sort(groups[s].begin(), groups[s].end());
+  }
+  return ShardMap{epoch, std::move(groups)};
+}
+
+std::uint64_t ShardMap::weight(abd::ObjectId key, ShardIndex shard) noexcept {
+  // Stateless splitmix64 over a key/shard mix. Both constants are odd, so
+  // the pre-mix is a bijection per coordinate; splitmix64 then decorrelates
+  // neighboring keys and shards.
+  std::uint64_t state = key * 0x9e3779b97f4a7c15ULL +
+                        (static_cast<std::uint64_t>(shard) + 1) * 0xbf58476d1ce4e5b9ULL;
+  return splitmix64(state);
+}
+
+ShardIndex ShardMap::shard_of(abd::ObjectId key) const noexcept {
+  if (groups_.empty()) return kNoShard;
+  ShardIndex best = 0;
+  std::uint64_t best_weight = weight(key, 0);
+  for (ShardIndex s = 1; s < groups_.size(); ++s) {
+    const std::uint64_t w = weight(key, s);
+    if (w > best_weight) {
+      best_weight = w;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace abdkit::shard

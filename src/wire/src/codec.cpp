@@ -1,11 +1,13 @@
 #include "abdkit/wire/codec.hpp"
 
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "abdkit/abd/bounded_messages.hpp"
 #include "abdkit/abd/messages.hpp"
 #include "abdkit/reconfig/messages.hpp"
+#include "abdkit/shard/messages.hpp"
 
 namespace abdkit::wire {
 
@@ -182,6 +184,50 @@ using abd::tags::kUpdate;
 using abd::tags::kUpdateAck;
 
 namespace rc = reconfig::tags;
+namespace sh = shard::tags;
+
+void write_shard_map(Writer& w, const shard::ShardMap& map) {
+  w.varint(map.epoch());
+  w.varint(map.shard_count());
+  for (const auto& members : map.groups()) {
+    w.varint(members.size());
+    for (const ProcessId member : members) w.varint(member);
+  }
+}
+
+/// Decodes a map body, enforcing the shard::kMaxShards / kMaxGroupMembers
+/// caps before any allocation sized by wire input. Structural invariants
+/// (nonempty groups, no duplicate members) are re-validated by the ShardMap
+/// constructor, so a hostile peer cannot install a map the router would
+/// never accept locally.
+[[nodiscard]] bool read_shard_map(Reader& r, shard::ShardMap& out) {
+  std::uint64_t epoch = 0;
+  std::uint64_t shard_n = 0;
+  if (!r.varint(epoch) || !r.varint(shard_n)) return false;
+  if (shard_n > shard::kMaxShards) return false;
+  std::vector<std::vector<ProcessId>> groups;
+  groups.reserve(static_cast<std::size_t>(shard_n));
+  for (std::uint64_t s = 0; s < shard_n; ++s) {
+    std::uint64_t member_n = 0;
+    if (!r.varint(member_n)) return false;
+    if (member_n == 0 || member_n > shard::kMaxGroupMembers) return false;
+    std::vector<ProcessId> members;
+    members.reserve(static_cast<std::size_t>(member_n));
+    for (std::uint64_t i = 0; i < member_n; ++i) {
+      std::uint64_t member = 0;
+      if (!r.varint(member)) return false;
+      if (member > std::numeric_limits<ProcessId>::max()) return false;
+      members.push_back(static_cast<ProcessId>(member));
+    }
+    groups.push_back(std::move(members));
+  }
+  try {
+    out = shard::ShardMap{epoch, std::move(groups)};
+  } catch (const std::invalid_argument&) {
+    return false;  // duplicate member within a group
+  }
+  return true;
+}
 
 void write_config(Writer& w, const reconfig::Config& config) {
   w.varint(config.epoch);
@@ -366,6 +412,22 @@ void encode_body(Writer& w, const Payload& payload) {
       write_config(w, m.config);
       return;
     }
+    case sh::kShardMapQuery: {
+      const auto& m = static_cast<const shard::ShardMapQuery&>(payload);
+      w.varint(m.round);
+      return;
+    }
+    case sh::kShardMapReply: {
+      const auto& m = static_cast<const shard::ShardMapReply&>(payload);
+      w.varint(m.round);
+      write_shard_map(w, m.map);
+      return;
+    }
+    case sh::kShardMapUpdate: {
+      const auto& m = static_cast<const shard::ShardMapUpdate&>(payload);
+      write_shard_map(w, m.map);
+      return;
+    }
     default:
       throw std::invalid_argument{"wire::encode: unsupported payload tag"};
   }
@@ -510,6 +572,19 @@ PayloadPtr decode_body(PayloadTag tag, Reader& r) {
       if (!read_config(r, config)) return nullptr;
       return make_payload<reconfig::Commit>(std::move(config));
     }
+    case sh::kShardMapQuery:
+      if (!r.varint(round)) return nullptr;
+      return make_payload<shard::ShardMapQuery>(round);
+    case sh::kShardMapReply: {
+      shard::ShardMap map;
+      if (!r.varint(round) || !read_shard_map(r, map)) return nullptr;
+      return make_payload<shard::ShardMapReply>(round, std::move(map));
+    }
+    case sh::kShardMapUpdate: {
+      shard::ShardMap map;
+      if (!read_shard_map(r, map)) return nullptr;
+      return make_payload<shard::ShardMapUpdate>(std::move(map));
+    }
     default:
       return nullptr;
   }
@@ -541,6 +616,9 @@ bool codec_supports(PayloadTag tag) noexcept {
     case rc::kTransferWrite:
     case rc::kTransferAck:
     case rc::kCommit:
+    case sh::kShardMapQuery:
+    case sh::kShardMapReply:
+    case sh::kShardMapUpdate:
       return true;
     default:
       return false;

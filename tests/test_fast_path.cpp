@@ -8,12 +8,14 @@
 #include <chrono>
 #include <optional>
 
+#include "abdkit/abd/client.hpp"
 #include "abdkit/abd/strategy.hpp"
 #include "abdkit/checker/linearizability.hpp"
 #include "abdkit/checker/register_checks.hpp"
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/harness/deployment.hpp"
 #include "abdkit/harness/workload.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
 
 namespace abdkit {
 namespace {
@@ -272,13 +274,103 @@ TEST(FastPathSuppression, VariantNamesRoundTrip) {
   using abd::ProtocolVariant;
   for (const auto v :
        {ProtocolVariant::kBaseline, ProtocolVariant::kUnanimousFastPath,
-        ProtocolVariant::kTimeEfficient, ProtocolVariant::kTwoBit}) {
+        ProtocolVariant::kTimeEfficient, ProtocolVariant::kTwoBit,
+        ProtocolVariant::kImbs}) {
     ASSERT_TRUE(abd::parse_variant(abd::to_string(v)).has_value());
     EXPECT_EQ(*abd::parse_variant(abd::to_string(v)), v);
   }
   EXPECT_EQ(*abd::parse_variant("unanimous-fast-path"),
             ProtocolVariant::kUnanimousFastPath);
   EXPECT_FALSE(abd::parse_variant("bogus").has_value());
+}
+
+// kImbs (PROTOCOL.md §12): f+1 counted replies at the collect maximum are a
+// witness set, so the read fast-returns without unanimity — and one reply
+// short of the threshold must fall back.
+TEST(ImbsStrategy, WitnessThresholdGatesFastReturn) {
+  using abd::FastPathSuppression;
+  abd::ReadStrategy imbs{abd::ProtocolVariant::kImbs, /*resilience_f=*/1};
+  EXPECT_TRUE(imbs.fast_capable());
+
+  // f+1 = 2 holders of the maximum: fast even though the quorum diverged.
+  abd::ReadDecision d =
+      imbs.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, false, 2);
+  EXPECT_TRUE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kNone);
+
+  // A lone holder is not a witness set: correct fallback, surfaced.
+  d = imbs.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, false, 1);
+  EXPECT_FALSE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kDivergentReplies);
+
+  // The threshold tracks f, not a constant.
+  abd::ReadStrategy wider{abd::ProtocolVariant::kImbs, /*resilience_f=*/2};
+  d = wider.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, false, 2);
+  EXPECT_FALSE(d.fast);
+  d = wider.on_collect_complete(true, 0, 0, abd::Tag{3, 1}, false, 3);
+  EXPECT_TRUE(d.fast);
+
+  // The family-wide suppressions outrank the witness rule: masking mode
+  // and regular-mode reads never fast-return, whatever the vote count.
+  d = imbs.on_collect_complete(true, 1, 0, abd::Tag{3, 1}, false, 2);
+  EXPECT_FALSE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kByzantineMode);
+  d = imbs.on_collect_complete(false, 0, 0, abd::Tag{3, 1}, false, 2);
+  EXPECT_FALSE(d.fast);
+  EXPECT_EQ(d.suppression, FastPathSuppression::kRegularReadMode);
+}
+
+// Attach-time validation world: no traffic ever flows through it.
+class StubContext final : public Context {
+ public:
+  explicit StubContext(std::size_t world) : world_{world} {}
+  [[nodiscard]] ProcessId self() const noexcept override { return 99; }
+  [[nodiscard]] std::size_t world_size() const noexcept override { return world_; }
+  void send(ProcessId, PayloadPtr) override {}
+  void broadcast(PayloadPtr) override {}
+  TimerId set_timer(Duration, TimerCallback) override { return 0; }
+  void cancel_timer(TimerId) override {}
+  [[nodiscard]] TimePoint now() const noexcept override { return {}; }
+
+ private:
+  std::size_t world_;
+};
+
+// The witness argument needs a declared crash budget, n >= 3f+1, and read
+// quorums of size >= n-f; a client configured outside those bounds must be
+// rejected at attach, not allowed to serve unsafe 1-round reads.
+TEST(ImbsStrategy, AttachRejectsInvalidResilienceConfigs) {
+  abd::ClientOptions options;
+  options.variant = abd::ProtocolVariant::kImbs;
+
+  {  // f == 0: no budget declared.
+    abd::Client client{std::make_shared<quorum::MajorityQuorum>(4),
+                       abd::ReadMode::kAtomic, options};
+    StubContext ctx{4};
+    EXPECT_THROW(client.attach(ctx), std::invalid_argument);
+  }
+  options.resilience_f = 1;
+  {  // n = 3 < 3f+1 = 4.
+    abd::Client client{std::make_shared<quorum::MajorityQuorum>(3),
+                       abd::ReadMode::kAtomic, options};
+    StubContext ctx{3};
+    EXPECT_THROW(client.attach(ctx), std::invalid_argument);
+  }
+  {  // n = 4, f = 1: the natural minimum deployment attaches cleanly
+     // (majority read quorums span 3 = n-f processes).
+    abd::Client client{std::make_shared<quorum::MajorityQuorum>(4),
+                       abd::ReadMode::kAtomic, options};
+    StubContext ctx{4};
+    EXPECT_NO_THROW(client.attach(ctx));
+  }
+  options.resilience_f = 2;
+  {  // n = 7 >= 3f+1, but majority read quorums span only 4 < n-f = 5
+     // processes — too narrow for the intersection argument.
+    abd::Client client{std::make_shared<quorum::MajorityQuorum>(7),
+                       abd::ReadMode::kAtomic, options};
+    StubContext ctx{7};
+    EXPECT_THROW(client.attach(ctx), std::invalid_argument);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,343 @@
+// Tests of the sharding subsystem (src/shard): ShardMap rendezvous
+// placement (determinism, balance, minimal movement, overlapping groups),
+// Router construction and routing edge cases — including the byte-identity
+// of a single-shard Router with a direct abd client — multi-shard sim
+// deployments staying per-key linearizable, and fault isolation: a
+// partitioned group stalls only its own keys.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "abdkit/abd/node.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/shard/node.hpp"
+#include "abdkit/shard/router.hpp"
+#include "abdkit/shard/shard_map.hpp"
+#include "abdkit/sim/world.hpp"
+#include "abdkit/wire/codec.hpp"
+
+namespace abdkit::shard {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- ShardMap ---------------------------------------------------------------------
+
+TEST(ShardMap, ValidatesGroups) {
+  EXPECT_THROW(ShardMap(1, {{0, 1}, {}}), std::invalid_argument);
+  EXPECT_THROW(ShardMap(1, {{0, 1, 0}}), std::invalid_argument);
+  std::vector<std::vector<ProcessId>> too_many(kMaxShards + 1);
+  for (std::size_t s = 0; s < too_many.size(); ++s) {
+    too_many[s] = {static_cast<ProcessId>(s)};
+  }
+  EXPECT_THROW(ShardMap(1, std::move(too_many)), std::invalid_argument);
+}
+
+TEST(ShardMap, EmptyMapRoutesNowhere) {
+  const ShardMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.shard_count(), 0U);
+  EXPECT_EQ(map.shard_of(7), kNoShard);
+}
+
+TEST(ShardMap, UniformLaysOutDisjointContiguousGroups) {
+  const ShardMap map = ShardMap::uniform(2, 3, 4, 10);
+  EXPECT_EQ(map.epoch(), 2U);
+  ASSERT_EQ(map.shard_count(), 3U);
+  EXPECT_EQ(map.group(0), (std::vector<ProcessId>{10, 11, 12, 13}));
+  EXPECT_EQ(map.group(1), (std::vector<ProcessId>{14, 15, 16, 17}));
+  EXPECT_EQ(map.group(2), (std::vector<ProcessId>{18, 19, 20, 21}));
+}
+
+TEST(ShardMap, ShardOfIsDeterministicAndInRange) {
+  const ShardMap a = ShardMap::uniform(1, 8, 3);
+  const ShardMap b = ShardMap::uniform(9, 8, 3, 100);
+  for (abd::ObjectId key = 0; key < 500; ++key) {
+    const ShardIndex s = a.shard_of(key);
+    ASSERT_LT(s, 8U);
+    // Placement depends only on (key, shard index) — not on epoch or on the
+    // processes behind the shards — so any two equal-size maps agree. That
+    // is what lets a membership change keep routing stable.
+    EXPECT_EQ(b.shard_of(key), s);
+  }
+}
+
+TEST(ShardMap, PlacementIsRoughlyBalanced) {
+  const ShardMap map = ShardMap::uniform(1, 4, 3);
+  std::vector<std::size_t> per_shard(4, 0);
+  constexpr std::size_t kKeys = 10000;
+  for (abd::ObjectId key = 0; key < kKeys; ++key) ++per_shard[map.shard_of(key)];
+  for (ShardIndex s = 0; s < 4; ++s) {
+    // Ideal 2500 per shard; HRW over splitmix64 stays well within ±20%.
+    EXPECT_GT(per_shard[s], kKeys / 4 - 500) << "shard " << s;
+    EXPECT_LT(per_shard[s], kKeys / 4 + 500) << "shard " << s;
+  }
+}
+
+// THE rendezvous property: growing S shards to S+1 only moves keys that
+// land on the new shard — no key changes owner between surviving shards.
+TEST(ShardMap, AddingAShardMovesOnlyKeysLandingOnIt) {
+  const ShardMap four = ShardMap::uniform(1, 4, 3);
+  const ShardMap five = ShardMap::uniform(2, 5, 3);
+  std::size_t moved = 0;
+  for (abd::ObjectId key = 0; key < 5000; ++key) {
+    const ShardIndex before = four.shard_of(key);
+    const ShardIndex after = five.shard_of(key);
+    if (before != after) {
+      EXPECT_EQ(after, 4U) << "key " << key << " moved between old shards";
+      ++moved;
+    }
+  }
+  // Expect ~1/5 of keys on the new shard — and strictly fewer than a
+  // modulo-style rehash would move (~4/5).
+  EXPECT_GT(moved, 600U);
+  EXPECT_LT(moved, 1400U);
+}
+
+TEST(ShardMap, RendezvousGroupsCanOverlap) {
+  // 4 groups of 3 over 5 processes: 12 slots over 5 ids, so some process
+  // serves several groups — the one-process-many-groups deployment shape.
+  const ShardMap map = ShardMap::rendezvous(1, 4, 3, 5);
+  ASSERT_EQ(map.shard_count(), 4U);
+  std::map<ProcessId, std::size_t> groups_of;
+  for (ShardIndex s = 0; s < 4; ++s) {
+    const auto& members = map.group(s);
+    ASSERT_EQ(members.size(), 3U);
+    std::set<ProcessId> distinct;
+    for (const ProcessId p : members) {
+      EXPECT_LT(p, 5U);
+      distinct.insert(p);
+      ++groups_of[p];
+    }
+    EXPECT_EQ(distinct.size(), 3U);
+  }
+  std::size_t max_groups = 0;
+  for (const auto& [p, count] : groups_of) max_groups = std::max(max_groups, count);
+  EXPECT_GE(max_groups, 2U);
+}
+
+// ---- Router edge cases ------------------------------------------------------------
+
+TEST(Router, RejectsEmptyMap) {
+  EXPECT_THROW(Router{RouterOptions{}}, std::invalid_argument);
+}
+
+TEST(Router, RoundIdNamespacing) {
+  EXPECT_EQ(Router::round_base_of(0), 0U);
+  EXPECT_EQ(Router::round_base_of(3), 3ULL << 32);
+  EXPECT_EQ(Router::shard_of_round((3ULL << 32) + 17), 3U);
+  EXPECT_EQ(Router::shard_of_round(1), 0U);
+}
+
+/// A key landing on each shard of `map`, found by scanning small ids.
+std::vector<abd::ObjectId> keys_per_shard(const ShardMap& map) {
+  std::vector<abd::ObjectId> keys(map.shard_count(), 0);
+  std::vector<bool> found(map.shard_count(), false);
+  for (abd::ObjectId key = 0; key < 1000; ++key) {
+    const ShardIndex s = map.shard_of(key);
+    if (!found.at(s)) {
+      found[s] = true;
+      keys[s] = key;
+    }
+  }
+  for (const bool f : found) EXPECT_TRUE(f);
+  return keys;
+}
+
+struct SendRecord {
+  ProcessId from{kNoProcess};
+  ProcessId to{kNoProcess};
+  std::vector<std::byte> bytes;
+
+  bool operator==(const SendRecord& other) const = default;
+};
+
+/// Run "write 77 to key 5 at t=0, read key 5 at t=1s" from process 1 in a
+/// 3-process world — either three direct abd::Nodes or three single-shard
+/// shard::Nodes — and record every send as encoded wire bytes.
+std::vector<SendRecord> record_sends(bool sharded) {
+  sim::World world{sim::WorldConfig{.num_processes = 3, .seed = 42}};
+  std::vector<SendRecord> sends;
+  world.set_observer([&sends](const sim::WorldEvent& event) {
+    if (event.kind == sim::WorldEvent::Kind::kSend) {
+      sends.push_back(
+          {event.from, event.to, wire::encode(*event.payload)});
+    }
+  });
+  abd::RegisterNode* invoker = nullptr;
+  if (sharded) {
+    const ShardMap map = ShardMap::uniform(1, 1, 3);
+    for (ProcessId p = 0; p < 3; ++p) {
+      auto node = std::make_unique<Node>(NodeOptions{
+          map, abd::ReadMode::kAtomic, abd::WriteMode::kMultiWriter});
+      if (p == 1) invoker = node.get();
+      world.add_actor(p, std::move(node));
+    }
+  } else {
+    const auto quorums = std::make_shared<quorum::MajorityQuorum>(3);
+    for (ProcessId p = 0; p < 3; ++p) {
+      auto node = std::make_unique<abd::Node>(abd::NodeOptions{
+          quorums, abd::ReadMode::kAtomic, abd::WriteMode::kMultiWriter});
+      if (p == 1) invoker = node.get();
+      world.add_actor(p, std::move(node));
+    }
+  }
+  world.start();
+  world.at(TimePoint{0}, [invoker] { invoker->write(5, Value{77}, nullptr); });
+  world.at(TimePoint{} + 1s, [invoker] { invoker->read(5, nullptr); });
+  world.run_until_quiescent();
+  return sends;
+}
+
+// The single-shard degenerate case: a Router over one group spanning the
+// whole world must be indistinguishable ON THE WIRE from a direct client —
+// same messages, same bytes (shard 0's round base is 0, the group's local
+// indices coincide with global ids, and the group broadcast hits the same
+// processes). This is the strongest form of "the Router adds routing, not
+// protocol".
+TEST(Router, SingleShardIsByteIdenticalToDirectClient) {
+  const std::vector<SendRecord> direct = record_sends(false);
+  const std::vector<SendRecord> routed = record_sends(true);
+  ASSERT_FALSE(direct.empty());
+  ASSERT_EQ(direct.size(), routed.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i], routed[i]) << "send " << i << " diverges";
+  }
+}
+
+// ---- Multi-shard deployments ------------------------------------------------------
+
+struct ShardedSim {
+  explicit ShardedSim(const ShardMap& map, std::size_t n, std::uint64_t seed)
+      : world{sim::WorldConfig{.num_processes = n, .seed = seed}} {
+    for (ProcessId p = 0; p < n; ++p) {
+      auto node = std::make_unique<Node>(NodeOptions{
+          map, abd::ReadMode::kAtomic, abd::WriteMode::kMultiWriter,
+          abd::ClientOptions{}, p == 0 ? &metrics : nullptr});
+      nodes.push_back(node.get());
+      world.add_actor(p, std::move(node));
+    }
+    world.start();
+  }
+
+  void op_at(TimePoint t, ProcessId p, bool is_write, abd::ObjectId key,
+             std::int64_t value) {
+    const std::size_t index = records.size();
+    records.push_back(checker::OpRecord{
+        p, is_write ? checker::OpType::kWrite : checker::OpType::kRead, key,
+        value, TimePoint{}, TimePoint{}, false});
+    world.at(t, [this, p, is_write, key, value, index] {
+      auto done = [this, index](const abd::OpResult& r) {
+        records[index].invoked = r.invoked;
+        records[index].responded = r.responded;
+        records[index].completed = true;
+        if (records[index].type == checker::OpType::kRead) {
+          records[index].value = r.value.data;
+        }
+      };
+      if (is_write) {
+        nodes[p]->write(key, Value{value}, std::move(done));
+      } else {
+        nodes[p]->read(key, std::move(done));
+      }
+    });
+  }
+
+  [[nodiscard]] checker::History history() const {
+    checker::History h;
+    for (const auto& record : records) h.add(record);
+    return h;
+  }
+
+  Metrics metrics;
+  sim::World world;
+  std::vector<Node*> nodes;
+  std::vector<checker::OpRecord> records;
+};
+
+// Four 3-replica groups, three invoking processes, contended writes and
+// reads on a key of every shard: the composed history must be per-key
+// linearizable, and process 0's router must have exercised all four groups.
+TEST(Router, MultiShardHistoryIsPerKeyLinearizable) {
+  const ShardMap map = ShardMap::uniform(1, 4, 3);
+  ShardedSim sim{map, 12, 7};
+  const auto keys = keys_per_shard(map);
+  TimePoint t{};
+  for (int round = 0; round < 3; ++round) {
+    for (ShardIndex s = 0; s < keys.size(); ++s) {
+      sim.op_at(t + 1ms * round, 0, true, keys[s], 100 + round);
+      sim.op_at(t + 1ms * round + 300us, 3, false, keys[s], 0);
+      sim.op_at(t + 1ms * round + 600us, 6, true, keys[s], 200 + round);
+    }
+  }
+  sim.world.run_until_quiescent();
+
+  const checker::History h = sim.history();
+  EXPECT_EQ(h.size(), 36U);
+  for (const auto& op : h.ops()) EXPECT_TRUE(op.completed);
+  const auto report = checker::check_linearizable_per_object(h);
+  EXPECT_TRUE(report.linearizable) << report.explanation;
+
+  for (ShardIndex s = 0; s < 4; ++s) {
+    EXPECT_GT(sim.metrics.counter("shard." + std::to_string(s) + ".ops"), 0U)
+        << "process 0's router never used group " << s;
+  }
+}
+
+// Fault isolation: partition away one whole group and only ITS keys stall;
+// every other shard keeps completing operations. Healing releases the
+// parked traffic and the stalled operation completes with a correct value.
+TEST(Router, PartitionedGroupStallsOnlyItsOwnKeys) {
+  const ShardMap map = ShardMap::uniform(1, 2, 3);
+  ShardedSim sim{map, 6, 11};
+  const auto keys = keys_per_shard(map);
+
+  // Cut group 1 ({3,4,5}) off from group 0 ({0,1,2}); the invoker (process
+  // 0) sits on group 0's side.
+  sim.world.partition({{0, 1, 2}, {3, 4, 5}});
+
+  std::optional<abd::OpResult> live_write;
+  std::optional<abd::OpResult> live_read;
+  std::optional<abd::OpResult> dead_write;
+  sim.world.at(TimePoint{0}, [&] {
+    sim.nodes[0]->write(keys[0], Value{41},
+                        [&](const abd::OpResult& r) { live_write = r; });
+    sim.nodes[0]->write(keys[1], Value{13},
+                        [&](const abd::OpResult& r) { dead_write = r; });
+  });
+  sim.world.at(TimePoint{} + 1s, [&] {
+    sim.nodes[0]->read(keys[0], [&](const abd::OpResult& r) { live_read = r; });
+  });
+  sim.world.run_until(TimePoint{} + 10s);
+
+  ASSERT_TRUE(live_write.has_value()) << "healthy shard stalled";
+  ASSERT_TRUE(live_read.has_value()) << "healthy shard stalled";
+  EXPECT_EQ(live_read->value.data, 41);
+  EXPECT_FALSE(dead_write.has_value()) << "write to the cut group completed";
+
+  // Partitions park, not drop: healing delivers the held messages and the
+  // stalled write finishes without retransmission.
+  sim.world.heal();
+  sim.world.run_until_quiescent();
+  ASSERT_TRUE(dead_write.has_value());
+
+  std::optional<abd::OpResult> after;
+  sim.world.at(sim.world.now() + 1ms, [&] {
+    sim.nodes[0]->read(keys[1], [&](const abd::OpResult& r) { after = r; });
+  });
+  sim.world.run_until_quiescent();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->value.data, 13);
+}
+
+}  // namespace
+}  // namespace abdkit::shard

@@ -11,6 +11,7 @@
 #include "abdkit/abd/messages.hpp"
 #include "abdkit/common/rng.hpp"
 #include "abdkit/reconfig/messages.hpp"
+#include "abdkit/shard/messages.hpp"
 #include "abdkit/wire/codec.hpp"
 
 namespace abdkit::wire {
@@ -153,6 +154,12 @@ std::vector<PayloadPtr> sample_payloads() {
   result.push_back(make_payload<reconfig::TransferWrite>(48, 49, abd::Tag{50, 51}, plain));
   result.push_back(make_payload<reconfig::TransferAck>(52, 53));
   result.push_back(make_payload<reconfig::Commit>(config));
+  result.push_back(make_payload<shard::ShardMapQuery>(54));
+  result.push_back(
+      make_payload<shard::ShardMapReply>(55, shard::ShardMap::uniform(7, 4, 3)));
+  result.push_back(
+      make_payload<shard::ShardMapUpdate>(shard::ShardMap::rendezvous(8, 2, 3, 5)));
+  result.push_back(make_payload<shard::ShardMapUpdate>(shard::ShardMap{}));
   return result;
 }
 
@@ -259,8 +266,12 @@ TEST(WireCodec, SupportsExactlyTheCoreFamilies) {
   EXPECT_TRUE(codec_supports(abd::tags::kBUpdate));
   EXPECT_TRUE(codec_supports(reconfig::tags::kQuery));
   EXPECT_TRUE(codec_supports(reconfig::tags::kCommit));
+  EXPECT_TRUE(codec_supports(shard::tags::kShardMapQuery));
+  EXPECT_TRUE(codec_supports(shard::tags::kShardMapUpdate));
   EXPECT_FALSE(codec_supports(0x0700));  // family base: no message uses it
   EXPECT_FALSE(codec_supports(0x070d));  // one past kCommit
+  EXPECT_FALSE(codec_supports(0x0800));  // shard family base: unused
+  EXPECT_FALSE(codec_supports(0x0804));  // one past kShardMapUpdate
   EXPECT_FALSE(codec_supports(0));
 }
 
@@ -273,6 +284,121 @@ TEST(WireCodec, EncodeRejectsUnsupported) {
   };
   const Alien alien;
   EXPECT_THROW((void)encode(alien), std::invalid_argument);
+}
+
+// ---- Shard-map family (0x08xx) ------------------------------------------------------
+
+// The map debug() strings render only epoch and shard count, so the generic
+// debug-equality round trip above cannot certify group contents; compare
+// the decoded maps field-exactly via ShardMap::operator==.
+TEST(WireShardMap, FieldsRoundTripExactly) {
+  const auto map = shard::ShardMap::rendezvous(11, 4, 3, 7);
+  {
+    const auto original = make_payload<shard::ShardMapQuery>(1ULL << 36);
+    const auto query = payload_cast<shard::ShardMapQuery>(decode(encode(*original)));
+    ASSERT_NE(query, nullptr);
+    EXPECT_EQ(query->round, 1ULL << 36);
+  }
+  {
+    const auto original = make_payload<shard::ShardMapReply>(9, map);
+    const auto reply = payload_cast<shard::ShardMapReply>(decode(encode(*original)));
+    ASSERT_NE(reply, nullptr);
+    EXPECT_EQ(reply->round, 9u);
+    EXPECT_EQ(reply->map, map);
+  }
+  {
+    const auto original = make_payload<shard::ShardMapUpdate>(map);
+    const auto update = payload_cast<shard::ShardMapUpdate>(decode(encode(*original)));
+    ASSERT_NE(update, nullptr);
+    EXPECT_EQ(update->map, map);
+  }
+  {
+    // The empty map (epoch 0, no groups) is a legal value: "I hold no map".
+    const auto original = make_payload<shard::ShardMapUpdate>(shard::ShardMap{});
+    const auto update = payload_cast<shard::ShardMapUpdate>(decode(encode(*original)));
+    ASSERT_NE(update, nullptr);
+    EXPECT_TRUE(update->map.empty());
+    EXPECT_EQ(update->map.epoch(), 0u);
+  }
+}
+
+TEST(WireShardMap, BodyMatchesModelledWireSize) {
+  // Standard envelope = 4-byte tag; shard::wire_size models the body bytes,
+  // which is what the transport's frame accounting relies on.
+  for (const auto& map :
+       {shard::ShardMap{}, shard::ShardMap::uniform(3, 8, 3),
+        shard::ShardMap::rendezvous(1ULL << 50, 5, 4, 6)}) {
+    const auto update = make_payload<shard::ShardMapUpdate>(map);
+    EXPECT_EQ(update->wire_size(), shard::wire_size(map));
+    EXPECT_EQ(encode(*update).size(), 4 + shard::wire_size(map));
+  }
+}
+
+namespace {
+
+/// A raw ShardMapUpdate frame from hand-picked varints — for forging map
+/// bodies the encoder refuses to produce.
+std::vector<std::byte> forged_update(const std::vector<std::uint64_t>& words) {
+  Writer w;
+  w.u32(shard::tags::kShardMapUpdate);
+  for (const std::uint64_t v : words) w.varint(v);
+  return w.bytes();
+}
+
+}  // namespace
+
+TEST(WireShardMap, RejectsOversizedShardCount) {
+  // kMaxShards itself decodes (given a well-formed body); one past it must
+  // be rejected before any group is read — the frame below would otherwise
+  // underflow, so pair the cap probe with a minimal valid body.
+  EXPECT_EQ(decode(forged_update({0, shard::kMaxShards + 1})), nullptr);
+  std::vector<std::uint64_t> words{5, 2, 1, 0, 1, 1};  // epoch 5, groups {0} {1}
+  EXPECT_NE(decode(forged_update(words)), nullptr);
+}
+
+TEST(WireShardMap, RejectsEmptyGroup) {
+  // epoch 1, one group of zero members.
+  EXPECT_EQ(decode(forged_update({1, 1, 0})), nullptr);
+}
+
+TEST(WireShardMap, RejectsOversizedGroup) {
+  // Member count over kMaxGroupMembers is rejected from the length prefix
+  // alone — no 65k-member body needed, which is the point of the cap.
+  EXPECT_EQ(decode(forged_update({1, 1, shard::kMaxGroupMembers + 1})), nullptr);
+}
+
+TEST(WireShardMap, RejectsDuplicateMember) {
+  // epoch 1, one group {4, 4}: structurally invalid even though every
+  // varint is well-formed. ShardMap's own validation must back the decoder.
+  EXPECT_EQ(decode(forged_update({1, 1, 2, 4, 4})), nullptr);
+}
+
+TEST(WireShardMap, RejectsMemberBeyondProcessIdRange) {
+  // A member id that does not fit ProcessId (32-bit) cannot silently wrap.
+  EXPECT_EQ(decode(forged_update({1, 1, 1, 1ULL << 32})), nullptr);
+}
+
+TEST(WireShardMap, FuzzedMapBodiesNeverCrash) {
+  Rng rng{20260808};
+  const auto map = shard::ShardMap::uniform(9, 4, 3);
+  const std::vector<std::byte> valid = encode(*make_payload<shard::ShardMapUpdate>(map));
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::byte> bytes = valid;
+    // Mutate 1–4 bytes anywhere in the frame; decode must return cleanly
+    // (nullptr or a structurally valid map — never a crash or a map that
+    // would fail ShardMap's constructor).
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      bytes[rng.below(bytes.size())] = static_cast<std::byte>(rng.below(256));
+    }
+    const PayloadPtr decoded = decode(bytes);
+    if (const auto update = payload_cast<shard::ShardMapUpdate>(decoded)) {
+      EXPECT_LE(update->map.shard_count(), shard::kMaxShards);
+      for (const auto& members : update->map.groups()) {
+        EXPECT_FALSE(members.empty());
+      }
+    }
+  }
 }
 
 // ---- Robustness ---------------------------------------------------------------------

@@ -40,6 +40,15 @@ Rules (each suppressible per line with `// lint: allow(<rule>) <reason>`):
                  path is exactly the divergence this layer exists to
                  prevent.
 
+  router-dispatch
+                 The sharding layer (PROTOCOL.md §13) owns ONE key→group
+                 placement function: ShardMap::shard_of, consumed through
+                 Router::route. A second shard_of call site anywhere else
+                 in src/, bench/, or examples/ is a second, potentially
+                 divergent placement function — exactly how split-brain
+                 routing bugs are born. Benches and CLIs that need a key's
+                 group ask a Router.
+
 Exit status: 0 when clean, 1 with findings, 2 on usage errors.
 """
 
@@ -51,7 +60,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
-ACTOR_DIRS = ("src/abd", "src/reconfig", "src/kv")
+ACTOR_DIRS = ("src/abd", "src/reconfig", "src/kv", "src/shard")
 QUORUM_DIRS = ("src/abd", "src/quorum")
 
 ALLOW = re.compile(r"//\s*lint:\s*allow\((?P<rule>[\w-]+)\)\s+\S")
@@ -210,6 +219,38 @@ def scan_strategy_dispatch(findings):
                     )
 
 
+# The sharding layer's single placement seam (PROTOCOL.md §13): shard_of is
+# declared/defined by ShardMap and consumed only by Router::route. Tests are
+# exempt (they verify the placement function itself).
+ROUTER_DISPATCH_DIRS = ("src", "bench", "examples")
+ROUTER_DISPATCH_OK = {
+    "src/shard/include/abdkit/shard/shard_map.hpp",
+    "src/shard/src/shard_map.cpp",
+    "src/shard/src/router.cpp",
+}
+SHARD_OF = re.compile(r"\bshard_of\s*\(")
+
+
+def scan_router_dispatch(findings):
+    rule = "router-dispatch"
+    message = (
+        "key→group placement outside the routing seam; ask a shard::Router "
+        "(Router::route) instead of calling ShardMap::shard_of directly"
+    )
+    for rel in ROUTER_DISPATCH_DIRS:
+        root = REPO / rel
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.[ch]pp")):
+            if str(path.relative_to(REPO)) in ROUTER_DISPATCH_OK:
+                continue
+            for number, raw, line in lines_of(path):
+                if SHARD_OF.search(code_part(line)) and not allowed(raw, rule):
+                    findings.append(
+                        f"{path.relative_to(REPO)}:{number}: [{rule}] {message}"
+                    )
+
+
 def has_bad_send(code: str) -> bool:
     for m in SEND_CALL.finditer(code):
         prefix = m.group("prefix")
@@ -251,6 +292,7 @@ def main() -> int:
     )
     scan_value_copy(findings)
     scan_strategy_dispatch(findings)
+    scan_router_dispatch(findings)
 
     for finding in findings:
         print(finding)
