@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace abdkit::bench {
@@ -51,6 +52,16 @@ class PerfJson {
 
   void add(PerfRow row) { rows_.push_back(std::move(row)); }
 
+  /// Attach a named counter section, emitted after "rows" as
+  /// `"<name>":{"key":N,...}`. Used by soaks to publish subsystem counters
+  /// (e.g. the R1 soak's "reconfig" section) next to the perf rows without
+  /// perturbing the fixed row schema. Sections appear in insertion order;
+  /// re-adding a name appends a second object (callers pass each once).
+  void add_section(std::string name,
+                   std::vector<std::pair<std::string, std::uint64_t>> counters) {
+    sections_.emplace_back(std::move(name), std::move(counters));
+  }
+
   [[nodiscard]] std::string to_json() const {
     std::ostringstream os;
     os.precision(6);
@@ -70,7 +81,18 @@ class PerfJson {
          << R"(,"msgs_per_op":)" << r.msgs_per_op << R"(,"rounds_per_op":)"
          << r.rounds_per_op << R"(,"bytes_per_op":)" << r.bytes_per_op << '}';
     }
-    os << "]}";
+    os << ']';
+    for (const auto& [name, counters] : sections_) {
+      os << R"(,")" << name << R"(":{)";
+      bool first_counter = true;
+      for (const auto& [key, value] : counters) {
+        if (!first_counter) os << ',';
+        first_counter = false;
+        os << '"' << key << R"(":)" << value;
+      }
+      os << '}';
+    }
+    os << '}';
     return os.str();
   }
 
@@ -95,6 +117,8 @@ class PerfJson {
  private:
   std::string bench_;
   std::vector<PerfRow> rows_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, std::uint64_t>>>>
+      sections_;
 };
 
 }  // namespace abdkit::bench

@@ -1,0 +1,770 @@
+// Soak R1 — live reconfiguration under chaos on the net runtime.
+//
+// The robustness claim this soak certifies (EXPERIMENTS.md R1, PROTOCOL.md
+// §7): a sharded ABD deployment survives BOTH first-class reconfiguration
+// scenarios — a membership change (replace a crashed replica with a spare)
+// and a shard migration (ShardMap epoch bump that adds a group) — while a
+// pipelined client workload keeps running under crash-kill and partition
+// chaos, with anti-entropy pulls backfilling every joining replica, and
+// every recorded history stays linearizable across the epoch boundaries.
+//
+// Topology: 7 replica processes (ids 0..6) each hosting a GossipingNode,
+// plus 2 router-client processes (ids 7, 8), every process on its own
+// net::Transport (own event-loop thread, real TCP frames on loopback).
+// Initial map (epoch 1): shard 0 = {0,1,2}, shard 1 = {3,4,5}; process 6
+// is the spare. Crash-kill = Transport::stop(), which the transport layer
+// documents as indistinguishable from a SIGKILL'd process to its peers
+// (the real-signal variant of the same scenario runs in
+// tests/net_quorum_smoke.sh); partitions = mirror-image FaultPlans.
+//
+// Phases (one BENCH_R1.json row each):
+//   A  steady        Closed-loop mixed workload on both routers, no chaos.
+//                    Per-op exactness asserted: 2 rounds and 2g client
+//                    requests per op, zero retransmissions.
+//   B  member-change Workload keeps running. Replica 2 is crash-killed,
+//                    drop chaos starts on every replica link, a 2-sided
+//                    partition cuts router 8 from replica 0 for a window
+//                    (with 2 dead that leaves 8 no shard-0 majority — the
+//                    availability dip the row's p999 measures). Meanwhile
+//                    the orchestrator replaces 2 with spare 6: anti-entropy
+//                    pre-copy pull by 6 from {0,1}, stage epoch-2 map on
+//                    both routers, drain, strict delta pull, apply. Pulling
+//                    from {0,1} = all survivors of the old group suffices:
+//                    every completed write reached 2 of {0,1,2}, and any
+//                    such majority intersects {0,1}.
+//   C  migration     Workload keeps running under drop chaos. The map goes
+//                    2 -> 3 shards (epoch 3, new group {1,4,6}): rendezvous
+//                    placement moves only the keys whose weight argmax is
+//                    the new shard. Every member of the new group pre-copy
+//                    pulls from all live replicas, the routers stage (a
+//                    shard-count change affects ALL groups, so new ops
+//                    queue client-side), drain, strict delta pull, apply.
+//                    After the delta each new-group member's store
+//                    dominates every live replica — in particular the full
+//                    old group of every moved key — so any new-group
+//                    majority serves the freshest committed value.
+//   D  steady-after  Chaos cleared; per-op exactness asserted again on the
+//                    3-shard deployment (routing changed, the per-op cost
+//                    did not).
+//
+// During B and C a history recorder on router 7 runs mixed ops over sample
+// keys chosen to straddle the transition (shard-0 keys in B; keys that
+// MOVE to the new shard in C) and feeds the records through
+// checker::check_linearizable_per_object_cached — the CheckCache seam the
+// model checker uses — so "survives" means linearizable-across-the-epoch-
+// boundary, not merely "no timeouts". Phase A and D histories are checked
+// too. Any violation, lost op, or failed invariant exits non-zero.
+//
+// Output: BENCH_R1.json (PerfJson schema, one row per phase) plus a
+// "reconfig" counter section (reconfig.* keys, see metrics.hpp) that CI
+// schema-validates and archives.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abdkit/abd/anti_entropy.hpp"
+#include "abdkit/abd/register_node.hpp"
+#include "abdkit/checker/history.hpp"
+#include "abdkit/checker/incremental.hpp"
+#include "abdkit/checker/linearizability.hpp"
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/net/transport.hpp"
+#include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/shard/router.hpp"
+#include "abdkit/shard/shard_map.hpp"
+#include "perf_json.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using namespace abdkit;
+
+constexpr std::size_t kReplicas = 7;     // ids 0..6; 6 starts as the spare
+constexpr std::size_t kRouters = 2;      // ids 7, 8
+constexpr ProcessId kRouterA = 7;
+constexpr ProcessId kRouterB = 8;
+constexpr std::size_t kGroupSize = 3;
+constexpr std::size_t kKeyUniverse = 256;
+// The load drivers stay below kLoadKeys; history-recorder sample keys are
+// picked from [kLoadKeys, kKeyUniverse) so the recorder is the ONLY writer
+// of every key in its history (a single recording clock cannot account for
+// another process's concurrent writes).
+constexpr std::size_t kLoadKeys = 192;
+constexpr int kWindow = 8;               // ops in flight per router
+constexpr std::size_t kSampleKeys = 4;   // history-recorder key count
+constexpr ProcessId kKilledReplica = 2;
+constexpr ProcessId kSpare = 6;
+
+bool g_quick = false;
+
+Duration steady_run() { return g_quick ? 400ms : 1500ms; }
+Duration chaos_settle() { return g_quick ? 100ms : 300ms; }
+Duration partition_window() { return g_quick ? 150ms : 400ms; }
+double drop_probability() { return 0.03; }
+
+[[noreturn]] void die(const char* fmt, auto... args) {
+  std::fprintf(stderr, fmt, args...);
+  std::fprintf(stderr, "\n");
+  std::exit(1);
+}
+
+// ---- Deployment -------------------------------------------------------------
+
+/// Replicas host GossipingNode: the plain ABD replica plus the 0x09xx
+/// anti-entropy protocol, whose pull mode is the §7 backfill seam this soak
+/// exercises. Background push gossip is effectively disabled (hour-long
+/// interval) so every digest exchange in the run is an orchestrated
+/// backfill and the strict reply accounting below is unambiguous.
+struct SoakDeployment {
+  SoakDeployment() : map{1, {{0, 1, 2}, {3, 4, 5}}} {
+    auto quorums = std::make_shared<const quorum::MajorityQuorum>(kReplicas);
+    abd::ClientOptions client;
+    // Liveness under crash-kill and message drops: pending phases re-send.
+    client.retransmit_interval = 25ms;
+    abd::GossipOptions gossip;
+    gossip.interval = 3600s;  // backfill-only; no background rounds mid-run
+    gossip.metrics = &metrics;
+    for (ProcessId id = 0; id < kReplicas + kRouters; ++id) {
+      net::TransportOptions options;
+      options.self = id;
+      options.world_size = kReplicas;
+      options.metrics = &metrics;
+      std::unique_ptr<Actor> actor;
+      if (id < kReplicas) {
+        auto node = std::make_unique<abd::GossipingNode>(
+            abd::NodeOptions{quorums, abd::ReadMode::kAtomic,
+                             abd::WriteMode::kMultiWriter},
+            gossip);
+        replicas.push_back(node.get());
+        actor = std::move(node);
+      } else {
+        auto router = std::make_unique<shard::Router>(shard::RouterOptions{
+            map, abd::ReadMode::kAtomic, abd::WriteMode::kMultiWriter, client,
+            &metrics});
+        routers.push_back(router.get());
+        actor = std::move(router);
+      }
+      transports.push_back(
+          std::make_unique<net::Transport>(std::move(options), std::move(actor)));
+    }
+    std::vector<net::Address> table;
+    for (auto& transport : transports) {
+      net::Address address;  // 127.0.0.1, ephemeral port
+      address.port = transport->bind(address);
+      table.push_back(address);
+    }
+    for (auto& transport : transports) transport->start(table);
+  }
+  ~SoakDeployment() {
+    for (auto& transport : transports) transport->stop();
+  }
+
+  [[nodiscard]] net::Transport& transport_of(ProcessId id) { return *transports[id]; }
+  [[nodiscard]] shard::Router& router_of(ProcessId id) {
+    return *routers[id - kReplicas];
+  }
+
+  /// Run `fn` on `id`'s event-loop thread and wait for its value — the
+  /// sanctioned way to touch actor state from the orchestrator thread.
+  template <typename Fn>
+  auto on_loop(ProcessId id, Fn fn) {
+    using Result = decltype(fn());
+    std::promise<Result> promise;
+    auto future = promise.get_future();
+    transports[id]->post([&promise, fn = std::move(fn)]() mutable {
+      promise.set_value(fn());
+    });
+    if (future.wait_for(30s) != std::future_status::ready) {
+      die("R1: on_loop(%u) stalled", static_cast<unsigned>(id));
+    }
+    return future.get();
+  }
+
+  /// Crash-kill: the transport stops mid-flight; to every peer the process
+  /// is silent from this instant on, exactly a SIGKILL'd replica.
+  void kill_replica(ProcessId id) {
+    transports[id]->stop();
+    metrics.add("reconfig.replicas_killed");
+  }
+
+  shard::ShardMap map;
+  Metrics metrics;  // shared by all transports; declared before, outlives them
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<abd::GossipingNode*> replicas;
+  std::vector<shard::Router*> routers;
+};
+
+// ---- Anti-entropy backfill orchestration ------------------------------------
+
+/// One strict pull round: `joiner` sends a pull digest to each of `peers`
+/// and we wait until every peer has answered (pull replies always arrive,
+/// even empty). Returns false on timeout — callers either retry (pre-copy
+/// under chaos) or die (the post-drain delta runs on fault-free links).
+bool backfill_once(SoakDeployment& d, ProcessId joiner,
+                   const std::vector<ProcessId>& peers, Duration deadline) {
+  abd::GossipingNode* node = d.replicas[joiner];
+  const std::uint64_t base =
+      d.on_loop(joiner, [node] { return node->digest_replies(); });
+  d.transport_of(joiner).post([node, peers] { node->backfill_from(peers); });
+  d.metrics.add("reconfig.backfill_pulls", peers.size());
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    const std::uint64_t replies =
+        d.on_loop(joiner, [node] { return node->digest_replies(); });
+    if (replies >= base + peers.size()) {
+      d.metrics.add("reconfig.backfill_replies", replies - base);
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= until) return false;
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+/// Pre-copy: best-effort bulk pull under whatever chaos is active; retried.
+/// Safety never rests on it — it only shrinks the post-drain delta.
+void backfill_precopy(SoakDeployment& d, ProcessId joiner,
+                      const std::vector<ProcessId>& peers) {
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    if (backfill_once(d, joiner, peers, 250ms)) return;
+  }
+  die("R1: pre-copy backfill for replica %u never completed",
+      static_cast<unsigned>(joiner));
+}
+
+/// The §7 delta transfer: runs between drain and apply on fault-free links
+/// (production state transfer is a reliable stream; FaultPlan models lossy
+/// datagram-like links for the quorum protocol). Must complete.
+void backfill_delta(SoakDeployment& d, ProcessId joiner,
+                    const std::vector<ProcessId>& peers) {
+  if (!backfill_once(d, joiner, peers, 5s)) {
+    die("R1: delta backfill for replica %u failed on fault-free links",
+        static_cast<unsigned>(joiner));
+  }
+}
+
+// ---- Chaos ------------------------------------------------------------------
+
+/// Drop chaos on every live replica's outbound links (deterministic per-
+/// process streams). Routers stay drop-free so driver accounting stays
+/// attributable; the partition below is what takes a router's view away.
+void start_drop_chaos(SoakDeployment& d, const std::vector<ProcessId>& live) {
+  for (const ProcessId id : live) {
+    net::FaultPlan plan;
+    plan.drop_probability = drop_probability();
+    plan.seed = 0xC0A05EEDULL;
+    d.transport_of(id).set_faults(plan);
+  }
+  d.metrics.add("reconfig.chaos_windows");
+}
+
+void clear_faults(SoakDeployment& d, const std::vector<ProcessId>& ids) {
+  for (const ProcessId id : ids) d.transport_of(id).set_faults({});
+}
+
+// ---- Drivers ----------------------------------------------------------------
+
+/// Closed-loop mixed workload on one router: `window` ops in flight, every
+/// 4th op a write, keys round-robin over the universe (offset per driver so
+/// the two routers collide on some keys). Runs until `stop` is set, then
+/// drains. All mutable state lives on the router transport's loop thread.
+struct SoakDriver {
+  abd::RegisterNode* node{nullptr};
+  std::uint64_t offset{0};
+  std::atomic<bool> stop{false};
+  std::uint64_t issued{0};
+  std::uint64_t completed{0};
+  std::uint64_t msgs{0};
+  std::uint64_t rounds{0};
+  std::uint64_t retransmissions{0};
+  std::vector<std::uint64_t> latencies_us;
+  std::promise<void> drained;
+
+  void issue() {
+    const std::uint64_t i = issued++;
+    const abd::ObjectId key = (offset + i) % kLoadKeys;
+    auto done = [this](const abd::OpResult& r) { on_done(r); };
+    if (i % 4 == 0) {
+      node->write(key, Value{static_cast<std::int64_t>(i + 1)}, std::move(done));
+    } else {
+      node->read(key, std::move(done));
+    }
+  }
+
+  void on_done(const abd::OpResult& r) {
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(r.responded - r.invoked);
+    latencies_us.push_back(us.count() <= 0 ? 0 : static_cast<std::uint64_t>(us.count()));
+    msgs += r.messages_sent;
+    rounds += r.rounds;
+    retransmissions += r.retransmissions;
+    ++completed;
+    if (!stop.load(std::memory_order_relaxed)) {
+      issue();
+    } else if (completed == issued) {
+      drained.set_value();
+    }
+  }
+
+  void start() {
+    for (int i = 0; i < kWindow; ++i) issue();
+  }
+};
+
+/// Start one driver per router, run them for `duration`, stop, and merge.
+struct PhaseResult {
+  std::uint64_t ops{0};
+  double seconds{0};
+  std::uint64_t msgs{0};
+  std::uint64_t rounds{0};
+  std::uint64_t retransmissions{0};
+  std::vector<std::uint64_t> latencies_us;
+};
+
+struct PhaseLoad {
+  explicit PhaseLoad(SoakDeployment& d) : deployment{d} {
+    for (std::size_t c = 0; c < kRouters; ++c) {
+      auto drv = std::make_unique<SoakDriver>();
+      drv->node = deployment.routers[c];
+      drv->offset = c * (kLoadKeys / 2);
+      futures.push_back(drv->drained.get_future());
+      drivers.push_back(std::move(drv));
+    }
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < kRouters; ++c) {
+      SoakDriver* raw = drivers[c].get();
+      deployment.transport_of(static_cast<ProcessId>(kReplicas + c)).post([raw] { raw->start(); });
+    }
+  }
+
+  PhaseResult finish(const char* phase) {
+    for (auto& drv : drivers) drv->stop.store(true, std::memory_order_relaxed);
+    for (std::size_t c = 0; c < futures.size(); ++c) {
+      if (futures[c].wait_for(60s) != std::future_status::ready) {
+        die("R1: phase %s: router %zu workload never drained", phase, c);
+      }
+    }
+    PhaseResult result;
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    for (auto& drv : drivers) {
+      if (drv->completed != drv->issued) {
+        die("R1: phase %s: %llu ops lost", phase,
+            static_cast<unsigned long long>(drv->issued - drv->completed));
+      }
+      result.ops += drv->completed;
+      result.msgs += drv->msgs;
+      result.rounds += drv->rounds;
+      result.retransmissions += drv->retransmissions;
+      result.latencies_us.insert(result.latencies_us.end(), drv->latencies_us.begin(),
+                                 drv->latencies_us.end());
+    }
+    return result;
+  }
+
+  SoakDeployment& deployment;
+  std::vector<std::unique_ptr<SoakDriver>> drivers;
+  std::vector<std::future<void>> futures;
+  std::chrono::steady_clock::time_point t0;
+};
+
+/// History recorder: mixed ops over `keys` from router 7 only (one process,
+/// one clock, so record order is real-time meaningful), several in flight
+/// so ops on one key genuinely overlap. Runs across a whole phase —
+/// including the epoch cut-over — and is checked afterwards.
+struct HistoryRecorder {
+  abd::RegisterNode* node{nullptr};
+  std::vector<abd::ObjectId> keys;
+  std::atomic<bool> stop{false};
+  std::uint64_t issued{0};
+  std::uint64_t completed{0};
+  std::vector<checker::OpRecord> records;
+  std::promise<void> drained;
+
+  void issue() {
+    const std::uint64_t i = issued++;
+    const abd::ObjectId key = keys[i % keys.size()];
+    const bool is_write = i % 3 == 0;
+    const auto written = static_cast<std::int64_t>(i) + 1;
+    auto done = [this, key, is_write, written](const abd::OpResult& r) {
+      records.push_back(checker::OpRecord{
+          kRouterA, is_write ? checker::OpType::kWrite : checker::OpType::kRead, key,
+          is_write ? written : r.value.data, r.invoked, r.responded, true});
+      ++completed;
+      if (!stop.load(std::memory_order_relaxed)) {
+        issue();
+      } else if (completed == issued) {
+        drained.set_value();
+      }
+    };
+    if (is_write) {
+      node->write(key, Value{written}, std::move(done));
+    } else {
+      node->read(key, std::move(done));
+    }
+  }
+};
+
+struct HistoryPhase {
+  HistoryPhase(SoakDeployment& d, std::vector<abd::ObjectId> keys) : deployment{d} {
+    recorder = std::make_unique<HistoryRecorder>();
+    recorder->node = deployment.routers[0];
+    recorder->keys = std::move(keys);
+    future = recorder->drained.get_future();
+    HistoryRecorder* raw = recorder.get();
+    deployment.transport_of(kRouterA).post([raw] {
+      for (std::size_t i = 0; i < 4; ++i) raw->issue();
+    });
+  }
+
+  void finish_and_check(const char* phase, checker::CheckCache& cache) {
+    recorder->stop.store(true, std::memory_order_relaxed);
+    if (future.wait_for(60s) != std::future_status::ready) {
+      die("R1: phase %s: history recorder never drained", phase);
+    }
+    checker::History history;
+    for (const checker::OpRecord& record : recorder->records) history.add(record);
+    const checker::LinearizabilityReport report =
+        checker::check_linearizable_per_object_cached(history, cache, {});
+    if (!report.linearizable) {
+      die("R1: phase %s history NOT linearizable: %s", phase,
+          report.explanation.c_str());
+    }
+    deployment.metrics.add("reconfig.histories_checked");
+    std::printf("  phase %s: history of %zu ops linearizable across the boundary\n",
+                phase, history.size());
+  }
+
+  SoakDeployment& deployment;
+  std::unique_ptr<HistoryRecorder> recorder;
+  std::future<void> future;
+};
+
+// ---- Epoch transitions ------------------------------------------------------
+
+/// Stage `next` on both routers, wait for every affected group to drain,
+/// run `delta_transfer`, then cut over. This is the orchestrator-driven
+/// stage -> drain -> delta -> apply sequence PROTOCOL.md §7 specifies; the
+/// queued-op peak at cut-over is recorded for the JSON counter section.
+void transition_to(SoakDeployment& d, const shard::ShardMap& next,
+                   const std::function<void()>& delta_transfer) {
+  for (std::size_t c = 0; c < kRouters; ++c) {
+    const auto id = static_cast<ProcessId>(kReplicas + c);
+    shard::Router* router = &d.router_of(id);
+    const bool staged =
+        d.on_loop(id, [router, &next] { return router->stage_map(next, false); });
+    if (!staged) die("R1: router %u rejected staged epoch %llu",
+                     static_cast<unsigned>(id),
+                     static_cast<unsigned long long>(next.epoch()));
+  }
+  for (std::size_t c = 0; c < kRouters; ++c) {
+    const auto id = static_cast<ProcessId>(kReplicas + c);
+    shard::Router* router = &d.router_of(id);
+    const auto until = std::chrono::steady_clock::now() + 30s;
+    while (!d.on_loop(id, [router] { return router->drained(); })) {
+      if (std::chrono::steady_clock::now() >= until) {
+        die("R1: router %u never drained for epoch %llu", static_cast<unsigned>(id),
+            static_cast<unsigned long long>(next.epoch()));
+      }
+      std::this_thread::sleep_for(2ms);
+    }
+  }
+  delta_transfer();
+  std::uint64_t queued = 0;
+  for (std::size_t c = 0; c < kRouters; ++c) {
+    const auto id = static_cast<ProcessId>(kReplicas + c);
+    shard::Router* router = &d.router_of(id);
+    queued += d.on_loop(id, [router] {
+      const std::size_t held = router->queued_ops();
+      router->apply_map();
+      return held;
+    });
+  }
+  d.metrics.add("reconfig.ops_queued_at_cutover", queued);
+  d.metrics.add("reconfig.map_epoch_bumps");
+}
+
+// ---- Rows -------------------------------------------------------------------
+
+std::uint64_t quantile_us(std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+bench::PerfRow make_row(const char* workload, std::size_t shards, PhaseResult r) {
+  std::sort(r.latencies_us.begin(), r.latencies_us.end());
+  bench::PerfRow row;
+  row.runtime = "net";
+  row.workload = workload;
+  row.op = "mixed";
+  row.variant = "baseline";
+  row.window = kWindow;
+  row.n = kGroupSize;
+  row.shards = shards;
+  row.ops = r.ops;
+  row.seconds = r.seconds;
+  row.ops_per_sec = r.seconds > 0 ? static_cast<double>(r.ops) / r.seconds : 0;
+  row.p50_us = quantile_us(r.latencies_us, 0.5);
+  row.p99_us = quantile_us(r.latencies_us, 0.99);
+  row.p999_us = quantile_us(r.latencies_us, 0.999);
+  row.msgs_per_op =
+      r.ops > 0 ? static_cast<double>(r.msgs) / static_cast<double>(r.ops) : 0;
+  row.rounds_per_op =
+      r.ops > 0 ? static_cast<double>(r.rounds) / static_cast<double>(r.ops) : 0;
+  row.bytes_per_op = 0;  // chaos drops make per-op byte attribution meaningless
+  return row;
+}
+
+void print_row(const bench::PerfRow& r) {
+  std::printf("%-14s %2zu %4d %8llu %10.0f %9llu %9llu %9llu %9.2f %7.2f\n",
+              r.workload.c_str(), r.shards, r.window,
+              static_cast<unsigned long long>(r.ops), r.ops_per_sec,
+              static_cast<unsigned long long>(r.p50_us),
+              static_cast<unsigned long long>(r.p99_us),
+              static_cast<unsigned long long>(r.p999_us), r.msgs_per_op,
+              r.rounds_per_op);
+}
+
+/// Steady-phase exactness: sharding and reconfiguration are pure routing,
+/// so with chaos off EVERY op (read or multi-writer write) costs exactly 2
+/// rounds and 2g first-transmission client requests. Retransmissions are
+/// bounded, not zero: this is wall-clock TCP with a 25 ms retransmit timer,
+/// so a scheduling hiccup can fire it spuriously — but more than 1 op in
+/// 1000 re-sending in a chaos-free phase means real loss, which fails.
+void check_steady(const char* phase, const PhaseResult& r) {
+  const std::uint64_t retransmit_allowance = std::max<std::uint64_t>(8, r.ops / 1000);
+  if (r.retransmissions > retransmit_allowance || r.rounds != 2 * r.ops ||
+      r.msgs != 2 * kGroupSize * r.ops) {
+    die("R1 invariant violation (%s): ops %llu, rounds %llu (want %llu), msgs %llu "
+        "(want %llu), retransmissions %llu (allowance %llu)",
+        phase, static_cast<unsigned long long>(r.ops),
+        static_cast<unsigned long long>(r.rounds),
+        static_cast<unsigned long long>(2 * r.ops),
+        static_cast<unsigned long long>(r.msgs),
+        static_cast<unsigned long long>(2 * kGroupSize * r.ops),
+        static_cast<unsigned long long>(r.retransmissions),
+        static_cast<unsigned long long>(retransmit_allowance));
+  }
+}
+
+/// Sample keys for the history recorders: `want` keys routed to `shard`
+/// under `to`, preferring keys whose owner CHANGES between the maps when
+/// `moved` is set (the C recorder must witness the migration itself). Keys
+/// already sampled by an earlier phase are skipped — each phase's history
+/// is checked on its own, so its keys must start from the virgin initial
+/// value (an earlier phase's final write would read as an unexplained
+/// initial value). Appends the picks to `used`.
+std::vector<abd::ObjectId> pick_keys(const shard::ShardMap& from,
+                                     const shard::ShardMap& to, shard::ShardIndex shard,
+                                     bool moved, std::size_t want,
+                                     std::vector<abd::ObjectId>& used) {
+  std::vector<abd::ObjectId> keys;
+  for (abd::ObjectId key = kLoadKeys; key < kKeyUniverse && keys.size() < want; ++key) {
+    if (std::find(used.begin(), used.end(), key) != used.end()) continue;
+    // Planning against a map no Router holds yet, not serving a request.
+    const bool lands = to.shard_of(key) == shard;      // lint: allow(router-dispatch) pre-transition planning
+    const bool changes = from.shard_of(key) != to.shard_of(key);  // lint: allow(router-dispatch) pre-transition planning
+    if (lands && changes == moved) keys.push_back(key);
+  }
+  if (keys.empty()) die("R1: no fresh sample keys for shard %u", shard);
+  used.insert(used.end(), keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_R1.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  SoakDeployment d;
+  checker::CheckCache cache;
+  bench::PerfJson out{"R1"};
+  std::printf("R1: live reconfiguration soak — %zu replicas + %zu routers, "
+              "g = %zu, W = %d mixed ops in flight per router%s\n\n",
+              kReplicas, kRouters, kGroupSize, kWindow, g_quick ? " (quick)" : "");
+  std::printf("%-14s %2s %4s %8s %10s %9s %9s %9s %9s %7s\n", "phase", "S", "W", "ops",
+              "ops/s", "p50us", "p99us", "p999us", "msgs/op", "rt/op");
+
+  std::vector<abd::ObjectId> used_sample_keys;
+  const shard::ShardMap map1 = d.map;                              // epoch 1
+  const shard::ShardMap map2{2, {{0, 1, kSpare}, {3, 4, 5}}};      // B: replace 2
+  const shard::ShardMap map3{3, {{0, 1, kSpare}, {3, 4, 5}, {1, 4, kSpare}}};  // C
+
+  // ---- Phase A: steady state, exact per-op accounting ----------------------
+  {
+    HistoryPhase history{d, pick_keys(map1, map1, 0, false, kSampleKeys, used_sample_keys)};
+    PhaseLoad load{d};
+    std::this_thread::sleep_for(steady_run());
+    PhaseResult r = load.finish("A");
+    history.finish_and_check("A", cache);
+    check_steady("A", r);
+    auto row = make_row("steady", 2, std::move(r));
+    print_row(row);
+    out.add(std::move(row));
+  }
+
+  // ---- Phase B: membership change under kill + partition chaos -------------
+  {
+    // Recorder keys live in shard 0 — the group whose membership changes.
+    HistoryPhase history{d, pick_keys(map2, map2, 0, false, kSampleKeys, used_sample_keys)};
+    PhaseLoad load{d};
+    std::this_thread::sleep_for(chaos_settle());
+
+    d.kill_replica(kKilledReplica);
+    const std::vector<ProcessId> live = {0, 1, 3, 4, 5, kSpare};
+    start_drop_chaos(d, live);
+    // Two-sided partition: router B <-> replica 0. With replica 2 dead this
+    // denies router B any shard-0 majority until the window heals — the
+    // availability dip this row's p999 exposes.
+    {
+      net::FaultPlan from_router;
+      from_router.blocked = {0};
+      d.transport_of(kRouterB).set_faults(from_router);
+      net::FaultPlan from_replica;
+      from_replica.drop_probability = drop_probability();
+      from_replica.seed = 0xC0A05EEDULL;
+      from_replica.blocked = {kRouterB};
+      d.transport_of(0).set_faults(from_replica);
+      d.metrics.add("reconfig.partitions");
+    }
+    // Pre-copy while partitioned: the spare pulls the bulk of shard 0's
+    // state from the old group's survivors. Any completed shard-0 write
+    // reached a majority of {0,1,2}, and every such majority meets {0,1}.
+    backfill_precopy(d, kSpare, {0, 1});
+    std::this_thread::sleep_for(partition_window());
+    {  // heal the partition, keep the drop chaos
+      d.transport_of(kRouterB).set_faults({});
+      net::FaultPlan drop_only;
+      drop_only.drop_probability = drop_probability();
+      drop_only.seed = 0xC0A05EEDULL;
+      d.transport_of(0).set_faults(drop_only);
+    }
+
+    // Membership change: stage epoch 2, drain shard 0, strict delta pull on
+    // fault-free links (clear {0,1,spare} for the transfer), cut over.
+    transition_to(d, map2, [&] {
+      clear_faults(d, {0, 1, kSpare});
+      backfill_delta(d, kSpare, {0, 1});
+    });
+    d.metrics.add("reconfig.membership_changes");
+
+    std::this_thread::sleep_for(chaos_settle());
+    PhaseResult r = load.finish("B");
+    history.finish_and_check("B", cache);
+    auto row = make_row("member-change", 2, std::move(r));
+    print_row(row);
+    out.add(std::move(row));
+  }
+
+  // ---- Phase C: shard migration 2 -> 3 under drop chaos --------------------
+  {
+    std::uint64_t moved = 0;
+    for (abd::ObjectId key = 0; key < kKeyUniverse; ++key) {
+      if (map2.shard_of(key) != map3.shard_of(key)) ++moved;  // lint: allow(router-dispatch) counting the migration delta
+    }
+    if (moved == 0) die("R1: migration map moves no keys");
+    d.metrics.add("reconfig.keys_moved", moved);
+
+    // Recorder keys MOVE to the new shard — the histories must straddle the
+    // migration, not observe it from an unaffected group.
+    HistoryPhase history{d, pick_keys(map2, map3, 2, true, kSampleKeys, used_sample_keys)};
+    PhaseLoad load{d};
+    std::this_thread::sleep_for(chaos_settle());
+
+    const std::vector<ProcessId> live = {0, 1, 3, 4, 5, kSpare};
+    start_drop_chaos(d, live);
+    // Pre-copy: every member of the NEW group pulls from all live replicas,
+    // so each one's store dominates the full old group of every moved key.
+    for (const ProcessId member : map3.group(2)) {
+      std::vector<ProcessId> peers;
+      for (const ProcessId p : live) {
+        if (p != member) peers.push_back(p);
+      }
+      backfill_precopy(d, member, peers);
+    }
+
+    // Migration: a shard-count change affects every group, so both routers
+    // queue all new ops between drain and apply; the delta pull bounds that
+    // unavailability window to the post-drain catch-up.
+    transition_to(d, map3, [&] {
+      clear_faults(d, live);
+      for (const ProcessId member : map3.group(2)) {
+        std::vector<ProcessId> peers;
+        for (const ProcessId p : live) {
+          if (p != member) peers.push_back(p);
+        }
+        backfill_delta(d, member, peers);
+      }
+    });
+
+    std::this_thread::sleep_for(chaos_settle());
+    PhaseResult r = load.finish("C");
+    history.finish_and_check("C", cache);
+    auto row = make_row("shard-migration", 3, std::move(r));
+    print_row(row);
+    out.add(std::move(row));
+  }
+
+  // ---- Phase D: steady state on the migrated deployment --------------------
+  {
+    clear_faults(d, {0, 1, 3, 4, 5, kSpare, kRouterA, kRouterB});
+    HistoryPhase history{d, pick_keys(map3, map3, 2, false, kSampleKeys, used_sample_keys)};
+    PhaseLoad load{d};
+    std::this_thread::sleep_for(steady_run());
+    PhaseResult r = load.finish("D");
+    history.finish_and_check("D", cache);
+    check_steady("D", r);
+    auto row = make_row("steady-after", 3, std::move(r));
+    print_row(row);
+    out.add(std::move(row));
+  }
+
+  // ---- Counter section + verdict -------------------------------------------
+  const char* keys[] = {
+      "reconfig.membership_changes", "reconfig.map_epoch_bumps",
+      "reconfig.replicas_killed",    "reconfig.partitions",
+      "reconfig.chaos_windows",      "reconfig.keys_moved",
+      "reconfig.backfill_pulls",     "reconfig.backfill_replies",
+      "reconfig.transfer_bytes",     "reconfig.ops_queued_at_cutover",
+      "reconfig.histories_checked",
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> section;
+  for (const char* key : keys) section.emplace_back(key, d.metrics.counter(key));
+  section.emplace_back("net.faults_dropped", d.metrics.counter("net.faults_dropped"));
+  out.add_section("reconfig", std::move(section));
+
+  std::printf("\nsurvived: membership change (replica %u killed, spare %u joined) and "
+              "shard migration (2 -> 3 groups), %llu keys moved, %llu frames eaten by "
+              "chaos, %llu bytes transferred, cache %llu hits / %llu misses, all "
+              "histories linearizable\n",
+              static_cast<unsigned>(kKilledReplica), static_cast<unsigned>(kSpare),
+              static_cast<unsigned long long>(d.metrics.counter("reconfig.keys_moved")),
+              static_cast<unsigned long long>(d.metrics.counter("net.faults_dropped")),
+              static_cast<unsigned long long>(
+                  d.metrics.counter("reconfig.transfer_bytes")),
+              static_cast<unsigned long long>(cache.stats().hits),
+              static_cast<unsigned long long>(cache.stats().misses));
+  if (!out.write_file(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -14,6 +14,16 @@
 // nothing else. Repair spreads because everyone gossips independently.
 // Gossip only ever carries values already written by the protocol, so it
 // cannot affect atomicity: it is extra Update traffic without acks.
+//
+// Pull mode (reconfiguration backfill): a digest sent with pull=true asks
+// the peer for everything the SENDER is missing — the peer walks its own
+// store and replies with every slot that is newer than, or absent from,
+// the sender's digest, and always replies (possibly with zero entries) so
+// the sender can count completed exchanges. backfill_from() drives this:
+// a joiner pulls from the current members until digest_replies() shows a
+// reply from each, at which point its store dominates everything those
+// peers held when they answered. PROTOCOL.md §7 uses this to bring a
+// joining replica up to date before it counts toward quorums.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +31,7 @@
 
 #include "abdkit/abd/node.hpp"
 #include "abdkit/abd/register_node.hpp"
+#include "abdkit/common/metrics.hpp"
 #include "abdkit/common/rng.hpp"
 
 namespace abdkit::abd {
@@ -39,12 +50,17 @@ class DigestMsg final : public Payload {
     Tag tag;
   };
 
-  explicit DigestMsg(std::vector<Entry> entries_in)
-      : Payload{kTag}, entries{std::move(entries_in)} {}
+  explicit DigestMsg(std::vector<Entry> entries_in, bool pull_in = false)
+      : Payload{kTag}, entries{std::move(entries_in)}, pull{pull_in} {}
   [[nodiscard]] std::size_t wire_size() const noexcept override;
   [[nodiscard]] std::string debug() const override;
 
   std::vector<Entry> entries;
+  /// Push (false): "here is what I have; send back anything of yours that
+  /// is newer". Pull (true): "send back everything newer than or missing
+  /// from this digest, and reply even if that is nothing" — the backfill
+  /// handshake a joining replica runs before counting toward quorums.
+  bool pull{false};
 };
 
 class DigestReply final : public Payload {
@@ -70,6 +86,10 @@ struct GossipOptions {
   /// Stop after this many gossip rounds; 0 = gossip forever (use
   /// run_until() in that case — the world never quiesces).
   std::uint64_t rounds_limit{0};
+  /// Optional registry (not owned): repair traffic is counted under
+  /// "reconfig.transfer_bytes" (anti-entropy IS state transfer — backfill
+  /// and background repair share the counter the reconfig admin uses).
+  Metrics* metrics{nullptr};
 };
 
 /// An abd::Node that additionally gossips its replica state. Deploy instead
@@ -88,6 +108,16 @@ class GossipingNode final : public RegisterNode {
   [[nodiscard]] std::uint64_t gossip_rounds() const noexcept { return rounds_; }
   /// Values this replica installed because a peer's digest reply was newer.
   [[nodiscard]] std::uint64_t repairs_received() const noexcept { return repairs_; }
+  /// Digest replies received (pull replies always arrive, even empty, so a
+  /// backfill driver waits for this to advance by the number of peers asked).
+  [[nodiscard]] std::uint64_t digest_replies() const noexcept { return replies_; }
+
+  /// Send a pull digest of this replica's store to each listed peer (self
+  /// skipped). Peers reply with everything we are missing; once
+  /// digest_replies() has advanced by the number of peers contacted, this
+  /// store dominates what each peer held at reply time — the §7 joiner
+  /// backfill. Safe to call repeatedly (e.g. retry on a timer under loss).
+  void backfill_from(const std::vector<ProcessId>& peers);
 
  private:
   void tick(Context& ctx);
@@ -100,6 +130,7 @@ class GossipingNode final : public RegisterNode {
   Context* ctx_{nullptr};
   std::uint64_t rounds_{0};
   std::uint64_t repairs_{0};
+  std::uint64_t replies_{0};
 };
 
 }  // namespace abdkit::abd

@@ -1,6 +1,8 @@
 #include "abdkit/abd/anti_entropy.hpp"
 
 #include <sstream>
+#include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 namespace abdkit::abd {
@@ -10,12 +12,12 @@ std::size_t DigestMsg::wire_size() const noexcept {
   for (const Entry& e : entries) {
     total += varint_size(e.object) + abd::wire_size(e.tag);
   }
-  return total;
+  return total + 1;  // pull flag
 }
 
 std::string DigestMsg::debug() const {
   std::ostringstream os;
-  os << "Digest{" << entries.size() << " objects}";
+  os << "Digest{" << entries.size() << " objects" << (pull ? ", pull" : "") << "}";
   return os.str();
 }
 
@@ -66,6 +68,24 @@ void GossipingNode::tick(Context& ctx) {
 
 void GossipingNode::on_digest(Context& ctx, ProcessId from, const DigestMsg& digest) {
   std::vector<DigestReply::Entry> newer;
+  if (digest.pull) {
+    // Pull: answer with everything the requester is missing — walk OUR
+    // store and include any slot newer than, or absent from, its digest.
+    // Always reply, even empty, so the requester can count the exchange.
+    std::unordered_map<ObjectId, Tag> theirs;
+    theirs.reserve(digest.entries.size());
+    for (const DigestMsg::Entry& entry : digest.entries) {
+      theirs.emplace(entry.object, entry.tag);
+    }
+    for (const auto& [object, slot] : node_.replica().slots_snapshot()) {
+      const auto it = theirs.find(object);
+      if (it == theirs.end() || slot.tag > it->second) {
+        newer.push_back(DigestReply::Entry{object, slot.tag, slot.value});
+      }
+    }
+    ctx.send(from, make_payload<DigestReply>(std::move(newer)));
+    return;
+  }
   for (const DigestMsg::Entry& entry : digest.entries) {
     const ReplicaSlot& mine = node_.replica().slot(entry.object);
     if (mine.tag > entry.tag) {
@@ -78,12 +98,30 @@ void GossipingNode::on_digest(Context& ctx, ProcessId from, const DigestMsg& dig
 }
 
 void GossipingNode::on_digest_reply(const DigestReply& reply) {
+  ++replies_;
+  if (options_.metrics != nullptr && !reply.entries.empty()) {
+    options_.metrics->add("reconfig.transfer_bytes", reply.wire_size());
+  }
   for (const DigestReply::Entry& entry : reply.entries) {
     const ReplicaSlot& mine = node_.replica().slot(entry.object);
     if (entry.tag > mine.tag) {
       node_.replica().install(entry.object, entry.tag, entry.value);
       ++repairs_;
     }
+  }
+}
+
+void GossipingNode::backfill_from(const std::vector<ProcessId>& peers) {
+  if (ctx_ == nullptr) {
+    throw std::logic_error{"GossipingNode: backfill_from before on_start"};
+  }
+  std::vector<DigestMsg::Entry> entries;
+  for (const auto& [object, slot] : node_.replica().slots_snapshot()) {
+    entries.push_back(DigestMsg::Entry{object, slot.tag});
+  }
+  for (const ProcessId peer : peers) {
+    if (peer == ctx_->self()) continue;
+    ctx_->send(peer, make_payload<DigestMsg>(entries, /*pull=*/true));
   }
 }
 

@@ -1,0 +1,25 @@
+// Decorrelated-jitter retry backoff (AWS architecture-blog flavor), shared
+// by every layer that retries against a possibly-contended resource: the
+// net transport's reconnect loop and reconfig::Client's parked-operation
+// backstop both draw from here so concurrent retriers never lockstep.
+//
+// The draw is uniform in [floor, min(cap, 3 * previous)], treating a
+// previous below the floor as the floor. Successive failures still grow the
+// expected wait geometrically (the upper bound triples each round until the
+// cap), but two processes sharing a failure instant diverge after one draw
+// instead of redialing on the identical doubling schedule forever.
+#pragma once
+
+#include "abdkit/common/rng.hpp"
+#include "abdkit/common/types.hpp"
+
+namespace abdkit {
+
+/// Next wait after a failure whose previous wait was `previous`. Pure in
+/// (previous, floor, cap) plus exactly one draw from `rng`: a fixed seed
+/// gives a reproducible sequence (asserted in test_backoff.cpp). Requires
+/// floor > 0; a cap at or below the floor pins every draw to the floor.
+[[nodiscard]] Duration next_decorrelated_backoff(Duration previous, Duration floor,
+                                                 Duration cap, Rng& rng);
+
+}  // namespace abdkit

@@ -21,6 +21,18 @@
 //             "abd.fast_path_suppressed" (a fast-capable variant's read fell
 //             back to the 2-round path; reason via Client::last_suppression),
 //             ...
+//   reconfig namespace (recorded by the R1 soak / reconfiguration drivers,
+//   published as the "reconfig" section of BENCH_R1.json):
+//             "reconfig.membership_changes", "reconfig.map_epoch_bumps",
+//             "reconfig.replicas_killed", "reconfig.partitions",
+//             "reconfig.chaos_windows", "reconfig.keys_moved",
+//             "reconfig.backfill_pulls" (anti-entropy digest pulls a joiner
+//             issued), "reconfig.backfill_replies" (pull replies received —
+//             equal when every survivor answered),
+//             "reconfig.transfer_bytes" (state moved by backfill + delta
+//             transfer), "reconfig.ops_queued_at_cutover" (peak client ops
+//             held by Router::stage_map while draining),
+//             "reconfig.histories_checked"
 //   timers:   "phase.value_collect_us", "phase.tag_collect_us",
 //             "phase.ack_collect_us", "op.read_us", "op.write_swmr_us",
 //             "op.write_mwmr_us", "kv.get_us", ...

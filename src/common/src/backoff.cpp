@@ -1,0 +1,16 @@
+#include "abdkit/common/backoff.hpp"
+
+#include <algorithm>
+
+namespace abdkit {
+
+Duration next_decorrelated_backoff(Duration previous, Duration floor, Duration cap,
+                                   Rng& rng) {
+  if (previous < floor) previous = floor;
+  const auto lo = floor.count();
+  const auto hi = std::min(cap.count(), 3 * previous.count());
+  if (hi <= lo) return Duration{lo};
+  return Duration{rng.between(lo, hi)};
+}
+
+}  // namespace abdkit

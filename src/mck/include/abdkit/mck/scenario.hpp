@@ -19,6 +19,7 @@
 #include "abdkit/mck/controlled_world.hpp"
 #include "abdkit/mck/invariants.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/reconfig/node.hpp"
 #include "abdkit/shard/node.hpp"
 
 namespace abdkit::mck {
@@ -73,6 +74,24 @@ struct ScenarioOptions {
   /// written against a single global quorum system, while a sharded world
   /// has one majority system per group.
   std::vector<std::vector<ProcessId>> shard_groups;
+  /// Nonempty = reconfiguration mode: every process runs a reconfig::Node
+  /// (replica + epoch-aware client + dormant admin) with this membership at
+  /// epoch 0, and each program op routes through the process's reconfig
+  /// client. Clients run in park-only mode (retry_delay 0: fence-parked ops
+  /// resume only on Commit) and the admin retry machinery stays disabled —
+  /// both keep the state space finite, since the explorer itself supplies
+  /// the adversarial schedules a timer would. Monitors are skipped: they
+  /// are written against the 0x01xx abd message family, while this mode
+  /// speaks 0x07xx; the terminal per-object linearizability check is the
+  /// ground truth. Mutually exclusive with shard_groups.
+  std::vector<ProcessId> reconfig_members;
+  /// Nonempty (requires reconfig_members) = register one extra stimulus:
+  /// process `reconfig_admin` drives a live membership change to this
+  /// target, racing the programs — the explorer interleaves every
+  /// fence/transfer/commit step with the reads and writes (and any crash
+  /// choices the ExploreOptions budget allows).
+  std::vector<ProcessId> reconfig_target;
+  ProcessId reconfig_admin{0};
   /// How many operations of one process's program may be in flight at once.
   /// 1 (the default) serializes each program — the classic closed-loop
   /// client. W > 1 models a pipelined client (bench_p1): ops i < W start
@@ -122,6 +141,15 @@ class RegisterScenario {
   /// 2-round write-back — not just that the history linearizes.
   [[nodiscard]] std::vector<std::uint32_t> op_rounds() const;
 
+  /// Reconfiguration-mode introspection (terminal-state assertions): the
+  /// admin stimulus ran to Commit, and process p's reconfig node.
+  [[nodiscard]] bool reconfig_completed() const noexcept {
+    return reconfig_completed_;
+  }
+  [[nodiscard]] reconfig::Node& reconfig_node(ProcessId p) {
+    return *reconfig_nodes_.at(p);
+  }
+
  private:
   struct OpState {
     bool issued{false};
@@ -134,12 +162,15 @@ class RegisterScenario {
 
   void invoke(ProcessId p, std::size_t index);
   void on_done(ProcessId p, std::size_t index, const abd::OpResult& result);
+  [[nodiscard]] std::uint64_t history_rank_digest() const;
 
   ScenarioOptions options_;
   std::shared_ptr<const quorum::QuorumSystem> quorums_;
   std::unique_ptr<ControlledWorld> world_;
   std::vector<abd::Node*> nodes_;         // borrowed from world_ (unsharded mode)
   std::vector<shard::Node*> shard_nodes_;  // borrowed from world_ (sharded mode)
+  std::vector<reconfig::Node*> reconfig_nodes_;  // borrowed (reconfig mode)
+  bool reconfig_completed_{false};
   std::vector<bool> issues_ops_;
   std::vector<std::vector<OpState>> op_states_;
   std::vector<std::vector<std::uint64_t>> stimulus_ids_;

@@ -42,8 +42,46 @@ RegisterScenario::RegisterScenario(ScenarioOptions options)
   client.resilience_f = options_.resilience_f;
   client.testing_revert_duplicate_reply_gate = options_.revert_duplicate_reply_gate;
 
+  if (!options_.reconfig_members.empty() && !options_.shard_groups.empty()) {
+    throw std::invalid_argument{
+        "RegisterScenario: reconfig_members and shard_groups are exclusive"};
+  }
+  if (!options_.reconfig_target.empty() && options_.reconfig_members.empty()) {
+    throw std::invalid_argument{
+        "RegisterScenario: reconfig_target requires reconfig_members"};
+  }
+
   std::vector<const abd::Replica*> replicas;
-  if (!options_.shard_groups.empty()) {
+  if (!options_.reconfig_members.empty()) {
+    // Reconfiguration mode: every process runs the composite reconfig node.
+    // Park-only clients (retry_delay zero) and a disabled admin RetryPolicy
+    // keep the space finite — the explorer supplies the adversity timers
+    // would. Monitors stay off (they speak the abd family); the terminal
+    // per-object linearizability check is the ground truth.
+    for (const ProcessId member : options_.reconfig_members) {
+      if (member >= n) {
+        throw std::invalid_argument{
+            "RegisterScenario: reconfig member out of range"};
+      }
+    }
+    for (const ProcessId member : options_.reconfig_target) {
+      if (member >= n) {
+        throw std::invalid_argument{
+            "RegisterScenario: reconfig target member out of range"};
+      }
+    }
+    if (!options_.reconfig_target.empty() && options_.reconfig_admin >= n) {
+      throw std::invalid_argument{"RegisterScenario: reconfig admin out of range"};
+    }
+    reconfig::NodeOptions node_options;
+    node_options.initial = reconfig::Config{0, options_.reconfig_members};
+    node_options.retry_delay = Duration::zero();
+    for (ProcessId p = 0; p < n; ++p) {
+      auto node = std::make_unique<reconfig::Node>(node_options);
+      reconfig_nodes_.push_back(node.get());
+      world_->add_actor(p, std::move(node));
+    }
+  } else if (!options_.shard_groups.empty()) {
     // Sharded mode: one shard::Node per process, all sharing the same map.
     // The per-group clients build their own MajorityQuorum over group size.
     const shard::ShardMap map{1, options_.shard_groups};
@@ -129,6 +167,19 @@ RegisterScenario::RegisterScenario(ScenarioOptions options)
     }
   }
 
+  // The live membership change is one more stimulus racing the programs:
+  // the explorer interleaves every fence/transfer/commit step with them.
+  if (!options_.reconfig_target.empty()) {
+    const ProcessId admin = options_.reconfig_admin;
+    issues_ops_[admin] = true;
+    const std::uint64_t id = world_->add_stimulus(admin, [this, admin] {
+      reconfig_nodes_[admin]->reconfigure(
+          options_.reconfig_target,
+          [this](const reconfig::ReconfigResult&) { reconfig_completed_ = true; });
+    });
+    world_->enable_stimulus(id);
+  }
+
   world_->start();
 }
 
@@ -138,6 +189,25 @@ void RegisterScenario::invoke(ProcessId p, std::size_t index) {
   state.issued = true;
   state.invoked = world_->now();
   state.value = op.value;
+  if (!reconfig_nodes_.empty()) {
+    // Adapt the reconfig result shape: phases play the role of rounds (a
+    // parked-and-resumed op reports every quorum conversation it paid for).
+    auto done = [this, p, index](const reconfig::OpResult& result) {
+      abd::OpResult adapted;
+      adapted.value = result.value;
+      adapted.tag = result.tag;
+      adapted.invoked = result.invoked;
+      adapted.responded = result.responded;
+      adapted.rounds = result.phases;
+      on_done(p, index, adapted);
+    };
+    if (op.is_write) {
+      reconfig_nodes_[p]->write(op.object, Value{op.value}, std::move(done));
+    } else {
+      reconfig_nodes_[p]->read(op.object, std::move(done));
+    }
+    return;
+  }
   auto done = [this, p, index](const abd::OpResult& result) {
     on_done(p, index, result);
   };
@@ -225,6 +295,44 @@ checker::History RegisterScenario::history() const {
 
 std::uint64_t RegisterScenario::state_digest() const {
   std::uint64_t h = kFnvOffset;
+  if (!reconfig_nodes_.empty()) {
+    for (ProcessId p = 0; p < reconfig_nodes_.size(); ++p) {
+      reconfig::Node& node = *reconfig_nodes_[p];
+      std::uint64_t slots = 0;
+      for (const auto& [object, slot] : node.replica().slots_snapshot()) {
+        std::uint64_t sh = kFnvOffset;
+        sh = fnv1a(sh, object);
+        sh = fnv1a(sh, slot.tag.seq);
+        sh = fnv1a(sh, slot.tag.writer);
+        sh = fnv1a(sh, static_cast<std::uint64_t>(slot.value.data));
+        slots += sh;
+      }
+      h = fnv1a(h, slots);
+      h = fnv1a(h, node.replica().config().epoch);
+      h = fnv1a(h, node.replica().fenced() ? 1ULL : 0ULL);
+      // Epoch-ahead phases held for the next Commit; arrival order of
+      // buffered entries does not matter (each replays independently).
+      std::uint64_t buffered = 0;
+      for (const auto& phase : node.replica().buffered()) {
+        std::uint64_t bh = kFnvOffset;
+        bh = fnv1a(bh, phase.from);
+        bh = fnv1a(bh, phase.is_update ? 1ULL : 0ULL);
+        bh = fnv1a(bh, phase.round);
+        bh = fnv1a(bh, phase.object);
+        bh = fnv1a(bh, phase.tag.seq);
+        bh = fnv1a(bh, phase.tag.writer);
+        bh = fnv1a(bh, static_cast<std::uint64_t>(phase.value.data));
+        bh = fnv1a(bh, phase.epoch);
+        buffered += bh;
+      }
+      h = fnv1a(h, buffered);
+      h = fnv1a(h, node.client().state_digest());
+      h = fnv1a(h, node.admin().state_digest());
+      h = fnv1a(h, world_->crashed(p) ? 1ULL : 0ULL);
+    }
+    h = fnv1a(h, reconfig_completed_ ? 1ULL : 0ULL);
+    return fnv1a(h, history_rank_digest());
+  }
   const std::size_t world_n =
       shard_nodes_.empty() ? nodes_.size() : shard_nodes_.size();
   for (ProcessId p = 0; p < world_n; ++p) {
@@ -246,6 +354,11 @@ std::uint64_t RegisterScenario::state_digest() const {
                                       : shard_nodes_[p]->router().state_digest());
     h = fnv1a(h, world_->crashed(p) ? 1ULL : 0ULL);
   }
+  return fnv1a(h, history_rank_digest());
+}
+
+std::uint64_t RegisterScenario::history_rank_digest() const {
+  std::uint64_t h = kFnvOffset;
   // Fold the recorded history with rank-compressed times. The
   // linearizability verdict depends only on the relative order of recorded
   // invocations and responses, and every event a future suffix appends lies

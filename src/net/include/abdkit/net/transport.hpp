@@ -76,6 +76,29 @@ struct Address {
 [[nodiscard]] Duration next_reconnect_backoff(Duration previous, Duration floor,
                                               Duration cap, Rng& rng);
 
+/// Fault-injection plan for chaos testing, applied on the SEND side: each
+/// outbound frame is dropped with `drop_probability`, and frames to a
+/// `blocked` destination are always dropped (a one-directional partition —
+/// install mirror-image plans on both endpoints for a full partition).
+/// Self-delivery is never faulted: a partition separates processes, not a
+/// process from itself. Dropped frames count as net.faults_dropped and are
+/// otherwise indistinguishable from network loss, which is exactly the
+/// asynchronous model's failure shape. Install via Transport::set_faults;
+/// an empty plan clears all faults.
+struct FaultPlan {
+  /// Probability in [0, 1] that any eligible outbound frame is dropped.
+  double drop_probability{0.0};
+  /// Seed for the drop stream, mixed with `self` so identically configured
+  /// processes fault independently yet deterministically.
+  std::uint64_t seed{0};
+  /// Destinations to which nothing is delivered while the plan is active.
+  std::vector<ProcessId> blocked;
+
+  [[nodiscard]] bool active() const noexcept {
+    return drop_probability > 0.0 || !blocked.empty();
+  }
+};
+
 struct TransportOptions {
   /// This process's id (its index in the address table).
   ProcessId self{kNoProcess};
@@ -108,7 +131,8 @@ struct TransportOptions {
   ///   net.connect_attempts, net.connects, net.reconnects, net.accepts,
   ///   net.disconnects, net.bytes_in, net.bytes_out, net.frames_in,
   ///   net.frames_out, net.frame_decode_errors, net.sends_dropped,
-  ///   net.dropped_bytes, net.misrouted_frames.
+  ///   net.dropped_bytes, net.misrouted_frames, net.faults_dropped (frames
+  ///   eaten by an installed FaultPlan).
   /// Coalescing diagnostics (frames_out / writev_calls is the outbound
   /// frames-per-syscall factor; frames_in / read_calls the inbound one):
   ///   net.writev_calls, net.writev_iovecs, net.read_calls.
@@ -146,6 +170,12 @@ class Transport {
   /// Run `fn` on the event-loop thread — the only sanctioned way to invoke
   /// the hosted actor from outside.
   void post(std::function<void()> fn);
+
+  /// Install (or, with a default-constructed plan, clear) a fault-injection
+  /// plan. Thread-safe: the plan is handed to the event-loop thread via
+  /// post(), so it takes effect at the next poll cycle and never races the
+  /// send path. See FaultPlan for semantics.
+  void set_faults(FaultPlan plan);
 
   [[nodiscard]] Actor& hosted_actor() noexcept { return *actor_; }
   [[nodiscard]] std::uint16_t port() const noexcept { return listen_port_; }
@@ -225,6 +255,10 @@ class Transport {
   /// Jitter stream for reconnect backoff (loop-thread only), seeded from
   /// reconnect_jitter_seed mixed with self.
   Rng reconnect_rng_;
+  // Fault injection (loop-thread only; installed via set_faults).
+  FaultPlan faults_;
+  std::vector<bool> fault_blocked_;  ///< indexed by destination ProcessId
+  Rng fault_rng_{0};
   std::unique_ptr<Actor> actor_;
   std::unique_ptr<class NetContext> context_;
   std::vector<Address> table_;

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "abdkit/common/backoff.hpp"
 #include "abdkit/common/log.hpp"
 #include "abdkit/net/frame.hpp"
 
@@ -135,11 +136,9 @@ std::uint64_t jitter_seed(const TransportOptions& options) noexcept {
 
 Duration next_reconnect_backoff(Duration previous, Duration floor, Duration cap,
                                 Rng& rng) {
-  if (previous < floor) previous = floor;
-  const auto lo = floor.count();
-  const auto hi = std::min(cap.count(), 3 * previous.count());
-  if (hi <= lo) return Duration{lo};
-  return Duration{rng.between(lo, hi)};
+  // The jitter policy itself lives in common (next_decorrelated_backoff) so
+  // reconfig retries and reconnect dials share one audited implementation.
+  return next_decorrelated_backoff(previous, floor, cap, rng);
 }
 
 Transport::Transport(TransportOptions options, std::unique_ptr<Actor> actor)
@@ -243,6 +242,20 @@ void Transport::post(std::function<void()> fn) {
   }
 }
 
+void Transport::set_faults(FaultPlan plan) {
+  post([this, plan = std::move(plan)]() mutable {
+    faults_ = std::move(plan);
+    fault_blocked_.assign(table_.size(), false);
+    for (const ProcessId p : faults_.blocked) {
+      if (p < fault_blocked_.size()) fault_blocked_[p] = true;
+    }
+    // Re-seeded per install: with a fixed plan seed the drop pattern for a
+    // chaos window is reproducible run to run.
+    fault_rng_ = Rng{faults_.seed ^
+                     (0xfa017ab1ecafeULL * (1 + static_cast<std::uint64_t>(options_.self)))};
+  });
+}
+
 TimePoint Transport::now() const {
   return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - epoch_);
 }
@@ -288,6 +301,17 @@ void Transport::send(ProcessId to, PayloadPtr payload) {
   if (to == options_.self) {
     self_queue_.push_back(std::move(payload));
     return;
+  }
+  if (faults_.active()) {
+    // Chaos hook (see FaultPlan): eat the frame before it reaches a peer
+    // queue, exactly where real network loss would. Blocked destinations
+    // model a partition; the probabilistic stream models a lossy link.
+    if ((to < fault_blocked_.size() && fault_blocked_[to]) ||
+        (faults_.drop_probability > 0.0 && fault_rng_.chance(faults_.drop_probability))) {
+      count("net.faults_dropped");
+      observe(ClusterEvent::Kind::kDrop, options_.self, to, payload);
+      return;
+    }
   }
   Peer& peer = peers_[to];
   // Encode straight into the peer's segment queue; commit() rejects (and

@@ -12,6 +12,16 @@
 // Safety rests on the fence: once an old-majority is fenced, no client
 // phase of the old epoch can complete, so the transfer's old-majority read
 // observes every operation that ever completed in the old epoch.
+//
+// Liveness under loss and crashes is the RetryPolicy's job: when enabled,
+// every phase resends its request to not-yet-acked members on a
+// decorrelated-jitter schedule (all four replica-side handlers are
+// idempotent, so duplicates are harmless), the Commit broadcast is repeated
+// a few times, and a total deadline aborts a run that cannot make progress
+// (e.g. no old-majority alive). An abort deliberately does NOT unfence:
+// there is no safe way to lift a fence without knowing who fenced, so the
+// operator retries reconfigure() to the same target epoch — Prepare is
+// idempotent and the retry picks up where the fence stands.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +30,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/common/rng.hpp"
 #include "abdkit/common/transport.hpp"
 #include "abdkit/reconfig/messages.hpp"
 
@@ -30,12 +42,32 @@ struct ReconfigResult {
   std::size_t objects_transferred{0};
   TimePoint started{};
   TimePoint finished{};
+  /// False when the RetryPolicy's total deadline aborted the run before
+  /// Commit; `installed` is then the unchanged old configuration.
+  bool succeeded{true};
 };
 
 using ReconfigCallback = std::function<void(const ReconfigResult&)>;
 
 class Admin {
  public:
+  /// Resend/abort pacing for a live deployment. Zero resend_interval (the
+  /// default) disables the machinery entirely — single-shot sends, no
+  /// deadline — which is what the deterministic sim and mck tests want.
+  struct RetryPolicy {
+    /// Floor of the decorrelated-jitter resend schedule; zero disables.
+    Duration resend_interval{Duration::zero()};
+    /// Ceiling of the resend schedule; zero = 8 x resend_interval.
+    Duration resend_cap{Duration::zero()};
+    /// Abort the run when this much context time has passed since
+    /// reconfigure(); zero = never abort.
+    Duration total_deadline{Duration::zero()};
+    /// Seed for this admin's jitter stream.
+    std::uint64_t jitter_seed{0};
+    /// Extra Commit broadcasts after the first (lost-Commit insurance).
+    std::size_t commit_rebroadcasts{2};
+  };
+
   explicit Admin(Config initial);
 
   Admin(const Admin&) = delete;
@@ -48,8 +80,17 @@ class Admin {
   /// time; throws if one is already running.
   void reconfigure(std::vector<ProcessId> new_members, ReconfigCallback done);
 
+  /// Optional registry for reconfig.* counters (fences_started /
+  /// fences_committed / fences_aborted, transfer_bytes). Not owned.
+  void set_metrics(Metrics* metrics) noexcept { metrics_ = metrics; }
+  void set_retry_policy(RetryPolicy policy) noexcept { policy_ = policy; }
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] bool busy() const noexcept { return running_ != nullptr; }
+
+  /// Order-insensitive digest of the admin's run state (phase, acks,
+  /// transfer progress) — the model checker's state-hash seam.
+  [[nodiscard]] std::uint64_t state_digest() const;
 
  private:
   enum class Phase { kPrepare, kTransferRead, kTransferWrite, kCommitted };
@@ -69,17 +110,28 @@ class Admin {
     ReconfigCallback done;
     TimePoint started{};
     std::size_t transferred{0};
+    Duration resend_backoff{Duration::zero()};
   };
 
   void begin_transfer_read(Context& ctx);
   void begin_transfer_write(Context& ctx);
   void commit(Context& ctx);
+  void arm_resend();
+  void on_resend_tick(std::uint64_t generation);
+  void abort_running();
+  void count(const char* key, std::int64_t delta = 1) const;
   [[nodiscard]] static bool majority_of(const std::vector<ProcessId>& members,
                                         std::size_t acks);
 
   Config config_;
   Context* ctx_{nullptr};
+  Metrics* metrics_{nullptr};
+  RetryPolicy policy_{};
+  Rng rng_{0x5eedadbead5eedadULL};
   std::unique_ptr<Running> running_;
+  /// Bumped whenever `running_` is created or torn down; pending resend
+  /// timers capture the generation they belong to and no-op on mismatch.
+  std::uint64_t generation_{0};
   RoundId next_round_{0x10000001};  // distinct space from the client's rounds
 };
 

@@ -2,9 +2,22 @@
 //
 // Same two-phase reads and writes as ABD (writes always discover the tag
 // first, MWMR-style), but every phase carries the client's current epoch
-// and contacts only that configuration's members. Nacks re-route: a newer
-// configuration is adopted and the phase restarts immediately; a fence
-// ("transition in progress") schedules a retry after a short delay.
+// and contacts only that configuration's members. Nacks re-route or park:
+//
+//   - A Nack carrying a newer configuration than the round was dispatched
+//     in (fence lifted elsewhere, this client just hadn't heard) adopts it
+//     and redispatches immediately.
+//   - A fence Nack ("transition in progress" at or ahead of the round's
+//     epoch) PARKS the operation: no phase of that epoch can complete while
+//     an old-majority is fenced, so spinning is pure load. Parked ops
+//     resume the instant a Commit with a newer configuration arrives; a
+//     decorrelated-jitter backstop timer (common/backoff.hpp, the same
+//     policy the net transport's reconnect loop uses) re-probes in case the
+//     Commit broadcast was lost, without concurrent clients lockstepping.
+//   - A stale Nack (from a replica still behind the round's epoch) is
+//     ignored outright — the round can still complete with a quorum of
+//     current members, and aborting it would let one straggler kill every
+//     in-flight operation.
 //
 // Liveness assumptions: reconfigurations are finite, and at least one
 // member of the client's last-known configuration survives long enough to
@@ -15,7 +28,10 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/common/rng.hpp"
 #include "abdkit/common/transport.hpp"
 #include "abdkit/reconfig/messages.hpp"
 
@@ -35,9 +51,17 @@ using OpCallback = std::function<void(const OpResult&)>;
 
 class Client {
  public:
-  /// `initial` must match the replicas' initial configuration. The retry
-  /// delay paces fence retries.
-  Client(Config initial, Duration retry_delay);
+  /// `initial` must match the replicas' initial configuration. `retry_delay`
+  /// is the backstop floor for parked operations: each fence park waits a
+  /// decorrelated-jitter draw from [retry_delay, retry_cap] before
+  /// re-probing (next_decorrelated_backoff; `jitter_seed` seeds the
+  /// stream). A zero retry_delay is park-only mode: no backstop timer is
+  /// armed and parked ops resume only on Commit — the model checker uses
+  /// this to keep the state space finite. Negative delays throw. A zero
+  /// retry_cap defaults to 8 x retry_delay.
+  explicit Client(Config initial, Duration retry_delay,
+                  Duration retry_cap = Duration::zero(),
+                  std::uint64_t jitter_seed = 0);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -48,8 +72,18 @@ class Client {
   void read(ObjectId object, OpCallback done);
   void write(ObjectId object, Value value, OpCallback done);
 
+  /// Optional registry for reconfig.* counters (ops_parked, ops_rerouted).
+  /// Not owned; call before attach.
+  void set_metrics(Metrics* metrics) noexcept { metrics_ = metrics; }
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t pending_ops() const noexcept { return pending_ops_; }
+  [[nodiscard]] std::size_t parked_ops() const noexcept { return parked_.size(); }
+
+  /// Order-insensitive digest of protocol-visible client state (epoch,
+  /// in-flight rounds, parked ops) — the model checker's state-hash seam,
+  /// mirroring abd::Client::state_digest.
+  [[nodiscard]] std::uint64_t state_digest() const;
 
  private:
   enum class Stage {
@@ -70,27 +104,41 @@ class Client {
     TimePoint invoked{};
     std::uint32_t phases{0};
     std::uint32_t restarts{0};
+    /// Decorrelated-backoff state: the previous backstop wait (zero until
+    /// the first park), and the armed backstop timer while parked.
+    Duration backoff{Duration::zero()};
+    TimerId backstop{0};
+    bool backstop_armed{false};
+    bool parked{false};
   };
 
   struct Round {
     std::shared_ptr<PendingOp> op;
-    std::vector<bool> acked;  // universe-indexed
+    std::vector<bool> acked;  // universe-indexed (any response, ack or nack)
     std::size_t member_acks{0};
+    std::size_t member_nacks{0};  ///< stale nacks from current members
     Tag best_tag{abd::kInitialTag};
     Value best_value{};
+    Epoch epoch{0};  ///< config epoch the round was dispatched in
   };
 
   void dispatch(std::shared_ptr<PendingOp> op);
-  void restart_after(std::shared_ptr<PendingOp> op, Duration delay);
+  void park(std::shared_ptr<PendingOp> op);
+  void release_parked();
   [[nodiscard]] bool member_quorum(const Round& round) const;
   void advance(std::shared_ptr<PendingOp> op, Tag best_tag, Value best_value);
   void finish(const std::shared_ptr<PendingOp>& op);
+  void count(const char* key) const;
 
   Config config_;
   Duration retry_delay_;
+  Duration retry_cap_;
+  Rng rng_;
   Context* ctx_{nullptr};
+  Metrics* metrics_{nullptr};
   RoundId next_round_{1};
   std::unordered_map<RoundId, Round> rounds_;
+  std::vector<std::shared_ptr<PendingOp>> parked_;
   std::size_t pending_ops_{0};
 };
 

@@ -14,15 +14,30 @@ namespace abdkit::reconfig {
 
 struct NodeOptions {
   Config initial;
+  /// Backstop floor for parked client operations; zero = park-only mode
+  /// (resume on Commit only — the model checker's finite-space setting).
   Duration retry_delay{std::chrono::milliseconds{2}};
+  /// Backstop ceiling; zero defaults to 8 x retry_delay.
+  Duration retry_cap{Duration::zero()};
+  /// Seed for the client's decorrelated retry jitter (mixed per client).
+  std::uint64_t jitter_seed{0};
+  /// Admin resend/abort policy (disabled when resend_interval is zero).
+  Admin::RetryPolicy admin_retry{};
+  /// Optional registry for reconfig.* counters. Not owned.
+  Metrics* metrics{nullptr};
 };
 
 class Node final : public Actor {
  public:
   explicit Node(const NodeOptions& options)
       : replica_{options.initial},
-        client_{options.initial, options.retry_delay},
-        admin_{options.initial} {}
+        client_{options.initial, options.retry_delay, options.retry_cap,
+                options.jitter_seed},
+        admin_{options.initial} {
+    client_.set_metrics(options.metrics);
+    admin_.set_metrics(options.metrics);
+    admin_.set_retry_policy(options.admin_retry);
+  }
 
   void on_start(Context& ctx) override {
     ctx_ = &ctx;

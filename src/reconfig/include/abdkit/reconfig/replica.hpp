@@ -8,11 +8,20 @@
 //     in_transition=true (the fence) until Commit arrives — this is what
 //     guarantees no client operation completes concurrently with the state
 //     transfer, making the transfer's quorum read see every completed op;
+//   * client phases carrying a NEWER epoch than ours (the client saw a
+//     Commit our copy of which is still in flight) are buffered and
+//     replayed when that Commit catches us up. Nacking them instead would
+//     start a retry loop the client cannot win — we never re-answer a
+//     Nacked round, and the client has no newer configuration to re-route
+//     to — so buffering is both the liveness fix and what keeps the model
+//     checker's state space finite (no fresh retry rounds);
 //   * Transfer requests from the administrator bypass the fence.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "abdkit/common/transport.hpp"
 #include "abdkit/reconfig/messages.hpp"
@@ -42,15 +51,44 @@ class Replica {
     return epoch_rejections_;
   }
   [[nodiscard]] const Slot& slot(ObjectId object) const;
+  /// Order-unspecified snapshot of every stored slot (the model checker's
+  /// digest walks it; combine entries order-insensitively).
+  [[nodiscard]] std::vector<std::pair<ObjectId, Slot>> slots_snapshot() const;
+
+  /// A client phase held because it named an epoch ahead of ours; replayed
+  /// by the Commit that installs (or passes) that epoch.
+  struct BufferedPhase {
+    ProcessId from{kNoProcess};
+    bool is_update{false};
+    RoundId round{0};
+    ObjectId object{0};
+    Tag tag{abd::kInitialTag};  // update only
+    Value value{};              // update only
+    Epoch epoch{0};
+  };
+  /// Bound on the epoch-ahead buffer; overflow falls back to a Nack (safe:
+  /// the client's quorum-impossibility accounting then repaces the round).
+  static constexpr std::size_t kMaxBuffered = 1024;
+  [[nodiscard]] const std::vector<BufferedPhase>& buffered() const noexcept {
+    return buffered_;
+  }
 
  private:
   /// Returns true (and sends the Nack) if the phase must be refused.
   bool refuse_if_needed(Context& ctx, ProcessId from, RoundId round, Epoch epoch);
+  /// Buffer an epoch-ahead phase (or Nack it when the buffer is full).
+  /// Returns true when the phase was taken care of either way.
+  bool buffer_if_ahead(Context& ctx, BufferedPhase phase);
+  /// Answer one phase at the current, matching epoch (shared by the live
+  /// path and the post-Commit replay).
+  void serve(Context& ctx, const BufferedPhase& phase);
+  void replay_buffered(Context& ctx);
 
   Config config_;
   Config pending_;  // meaningful while fenced_
   bool fenced_{false};
   std::unordered_map<ObjectId, Slot> slots_;
+  std::vector<BufferedPhase> buffered_;
   std::uint64_t fence_rejections_{0};
   std::uint64_t epoch_rejections_{0};
 };

@@ -4,7 +4,24 @@
 #include <stdexcept>
 #include <utility>
 
+#include "abdkit/common/backoff.hpp"
+
 namespace abdkit::reconfig {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
 
 Admin::Admin(Config initial) : config_{std::move(initial)} {
   if (config_.members.empty()) {
@@ -15,6 +32,12 @@ Admin::Admin(Config initial) : config_{std::move(initial)} {
 void Admin::attach(Context& ctx) {
   if (ctx_ != nullptr) throw std::logic_error{"reconfig::Admin: attach called twice"};
   ctx_ = &ctx;
+  rng_ = Rng{policy_.jitter_seed ^
+             (0x9e3779b97f4a7c15ULL * (1 + std::uint64_t{ctx.self()}))};
+}
+
+void Admin::count(const char* key, std::int64_t delta) const {
+  if (metrics_ != nullptr) metrics_->add(key, static_cast<std::uint64_t>(delta));
 }
 
 bool Admin::majority_of(const std::vector<ProcessId>& members, std::size_t acks) {
@@ -33,15 +56,93 @@ void Admin::reconfigure(std::vector<ProcessId> new_members, ReconfigCallback don
     }
   }
 
+  ++generation_;
   running_ = std::make_unique<Running>();
   running_->target = Config{config_.epoch + 1, std::move(new_members)};
   running_->phase = Phase::kPrepare;
   running_->acked.assign(ctx_->world_size(), false);
   running_->done = std::move(done);
   running_->started = ctx_->now();
+  count("reconfig.fences_started");
 
   const PayloadPtr prepare = make_payload<Prepare>(running_->target);
   for (const ProcessId member : config_.members) ctx_->send(member, prepare);
+  arm_resend();
+}
+
+void Admin::arm_resend() {
+  if (policy_.resend_interval <= Duration::zero()) return;
+  Running& run = *running_;
+  Duration cap = policy_.resend_cap;
+  if (cap <= Duration::zero()) cap = 8 * policy_.resend_interval;
+  run.resend_backoff =
+      next_decorrelated_backoff(run.resend_backoff, policy_.resend_interval, cap, rng_);
+  const std::uint64_t generation = generation_;
+  ctx_->set_timer(run.resend_backoff,
+                  [this, generation] { on_resend_tick(generation); });
+}
+
+void Admin::on_resend_tick(std::uint64_t generation) {
+  if (generation != generation_ || running_ == nullptr) return;
+  Running& run = *running_;
+  if (policy_.total_deadline > Duration::zero() &&
+      ctx_->now() - run.started >= policy_.total_deadline) {
+    abort_running();
+    return;
+  }
+  // Re-send the current phase's request to members that have not acked.
+  // Every replica-side handler is idempotent (fence re-acks, transfer
+  // adopt-if-newer re-acks), so duplicates cannot corrupt the run.
+  switch (run.phase) {
+    case Phase::kPrepare: {
+      const PayloadPtr prepare = make_payload<Prepare>(run.target);
+      for (const ProcessId member : config_.members) {
+        if (member >= run.acked.size() || !run.acked[member]) {
+          ctx_->send(member, prepare);
+        }
+      }
+      break;
+    }
+    case Phase::kTransferRead: {
+      const ObjectId object = run.transfer_queue[run.transfer_index];
+      const PayloadPtr read = make_payload<TransferRead>(run.round, object);
+      for (const ProcessId member : config_.members) {
+        if (member >= run.acked.size() || !run.acked[member]) {
+          ctx_->send(member, read);
+        }
+      }
+      break;
+    }
+    case Phase::kTransferWrite: {
+      const ObjectId object = run.transfer_queue[run.transfer_index];
+      const PayloadPtr write = make_payload<TransferWrite>(
+          run.round, object, run.transfer_tag, run.transfer_value);
+      for (const ProcessId member : run.target.members) {
+        if (member >= run.acked.size() || !run.acked[member]) {
+          ctx_->send(member, write);
+        }
+      }
+      break;
+    }
+    case Phase::kCommitted:
+      return;  // commit() tears running_ down; nothing left to pace
+  }
+  arm_resend();
+}
+
+void Admin::abort_running() {
+  Running& run = *running_;
+  count("reconfig.fences_aborted");
+  ReconfigResult result;
+  result.installed = config_;  // unchanged: the new config never committed
+  result.objects_transferred = run.transferred;
+  result.started = run.started;
+  result.finished = ctx_->now();
+  result.succeeded = false;
+  ReconfigCallback done = std::move(run.done);
+  ++generation_;
+  running_.reset();
+  if (done) done(result);
 }
 
 void Admin::begin_transfer_read(Context& ctx) {
@@ -70,6 +171,8 @@ void Admin::begin_transfer_write(Context& ctx) {
   const ObjectId object = run.transfer_queue[run.transfer_index];
   const PayloadPtr write =
       make_payload<TransferWrite>(run.round, object, run.transfer_tag, run.transfer_value);
+  count("reconfig.transfer_bytes",
+        static_cast<std::int64_t>(write->wire_size() * run.target.members.size()));
   for (const ProcessId member : run.target.members) ctx.send(member, write);
 }
 
@@ -80,6 +183,20 @@ void Admin::commit(Context& ctx) {
   // they can re-route stale clients) and processes outside both configs.
   ctx.broadcast(make_payload<Commit>(run.target));
   config_ = run.target;
+  count("reconfig.fences_committed");
+
+  // Lost-Commit insurance: a replica that missed every broadcast stays
+  // fenced and parks clients forever, so repeat a few times when the
+  // resend machinery is on. Duplicate Commits are idempotent everywhere.
+  if (policy_.resend_interval > Duration::zero()) {
+    for (std::size_t i = 1; i <= policy_.commit_rebroadcasts; ++i) {
+      ctx.set_timer(i * policy_.resend_interval, [this, config = run.target] {
+        if (config.epoch == config_.epoch) {
+          ctx_->broadcast(make_payload<Commit>(config));
+        }
+      });
+    }
+  }
 
   ReconfigResult result;
   result.installed = config_;
@@ -87,6 +204,7 @@ void Admin::commit(Context& ctx) {
   result.started = run.started;
   result.finished = ctx.now();
   ReconfigCallback done = std::move(run.done);
+  ++generation_;
   running_.reset();
   if (done) done(result);
 }
@@ -146,6 +264,33 @@ bool Admin::handle(Context& ctx, ProcessId from, const Payload& payload) {
     return true;
   }
   return false;
+}
+
+std::uint64_t Admin::state_digest() const {
+  std::uint64_t h = fnv1a(kFnvOffset, config_.epoch);
+  h = fnv1a(h, next_round_);
+  if (running_ == nullptr) return fnv1a(h, 0);
+  const Running& run = *running_;
+  h = fnv1a(h, 1);
+  h = fnv1a(h, static_cast<std::uint64_t>(run.phase));
+  h = fnv1a(h, run.target.epoch);
+  std::uint64_t bits = 0;
+  for (std::size_t p = 0; p < run.acked.size(); ++p) {
+    if (run.acked[p]) bits |= 1ULL << (p % 64);
+  }
+  h = fnv1a(h, bits);
+  h = fnv1a(h, run.old_member_acks);
+  h = fnv1a(h, run.new_member_acks);
+  // std::set iterates in key order, so folding in sequence is deterministic.
+  std::uint64_t objects = kFnvOffset;
+  for (const ObjectId object : run.objects) objects = fnv1a(objects, object);
+  h = fnv1a(h, objects);
+  h = fnv1a(h, run.transfer_index);
+  h = fnv1a(h, run.transfer_tag.seq);
+  h = fnv1a(h, run.transfer_tag.writer);
+  h = fnv1a(h, static_cast<std::uint64_t>(run.transfer_value.data));
+  h = fnv1a(h, run.round);
+  return h;
 }
 
 }  // namespace abdkit::reconfig

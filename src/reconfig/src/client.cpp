@@ -4,21 +4,48 @@
 #include <stdexcept>
 #include <utility>
 
+#include "abdkit/common/backoff.hpp"
+
 namespace abdkit::reconfig {
 
-Client::Client(Config initial, Duration retry_delay)
-    : config_{std::move(initial)}, retry_delay_{retry_delay} {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+Client::Client(Config initial, Duration retry_delay, Duration retry_cap,
+               std::uint64_t jitter_seed)
+    : config_{std::move(initial)},
+      retry_delay_{retry_delay},
+      retry_cap_{retry_cap},
+      rng_{jitter_seed ^ 0xc0f1c0f1c0f1c0f1ULL} {
   if (config_.members.empty()) {
     throw std::invalid_argument{"reconfig::Client: empty initial membership"};
   }
-  if (retry_delay_ <= Duration::zero()) {
-    throw std::invalid_argument{"reconfig::Client: retry delay must be positive"};
+  if (retry_delay_ < Duration::zero()) {
+    throw std::invalid_argument{"reconfig::Client: retry delay must not be negative"};
   }
+  if (retry_cap_ <= Duration::zero()) retry_cap_ = 8 * retry_delay_;
+  if (retry_cap_ < retry_delay_) retry_cap_ = retry_delay_;
 }
 
 void Client::attach(Context& ctx) {
   if (ctx_ != nullptr) throw std::logic_error{"reconfig::Client: attach called twice"};
   ctx_ = &ctx;
+}
+
+void Client::count(const char* key) const {
+  if (metrics_ != nullptr) metrics_->add(key, 1);
 }
 
 void Client::read(ObjectId object, OpCallback done) {
@@ -51,6 +78,7 @@ void Client::dispatch(std::shared_ptr<PendingOp> op) {
   Round round;
   round.op = op;
   round.acked.assign(ctx_->world_size(), false);
+  round.epoch = config_.epoch;
 
   PayloadPtr request;
   switch (op->stage) {
@@ -68,9 +96,41 @@ void Client::dispatch(std::shared_ptr<PendingOp> op) {
   for (const ProcessId member : config_.members) ctx_->send(member, request);
 }
 
-void Client::restart_after(std::shared_ptr<PendingOp> op, Duration delay) {
+void Client::park(std::shared_ptr<PendingOp> op) {
   op->restarts += 1;
-  ctx_->set_timer(delay, [this, op = std::move(op)] { dispatch(op); });
+  op->parked = true;
+  count("reconfig.ops_parked");
+  if (retry_delay_ > Duration::zero()) {
+    // Backstop in case the Commit broadcast is lost: re-probe after a
+    // decorrelated-jitter wait so concurrent parked clients fan out instead
+    // of thundering back in lockstep. Re-probing while still fenced just
+    // parks again with a grown backoff.
+    op->backoff = next_decorrelated_backoff(op->backoff, retry_delay_, retry_cap_, rng_);
+    op->backstop_armed = true;
+    op->backstop = ctx_->set_timer(op->backoff, [this, op] {
+      if (!op->parked) return;  // released by a Commit in the meantime
+      op->parked = false;
+      op->backstop_armed = false;
+      parked_.erase(std::remove(parked_.begin(), parked_.end(), op), parked_.end());
+      dispatch(op);
+    });
+  }
+  parked_.push_back(std::move(op));
+}
+
+void Client::release_parked() {
+  if (parked_.empty()) return;
+  std::vector<std::shared_ptr<PendingOp>> released;
+  released.swap(parked_);
+  for (auto& op : released) {
+    op->parked = false;
+    if (op->backstop_armed) {
+      ctx_->cancel_timer(op->backstop);
+      op->backstop_armed = false;
+    }
+    count("reconfig.ops_rerouted");
+    dispatch(std::move(op));
+  }
 }
 
 bool Client::member_quorum(const Round& round) const {
@@ -155,23 +215,104 @@ bool Client::handle(Context&, ProcessId from, const Payload& payload) {
   if (const auto* commit = payload_cast<Commit>(payload)) {
     // Commits are broadcast to the whole universe; adopting here keeps a
     // co-located client routable even if every member of its previous
-    // configuration later disappears.
-    if (commit->config.epoch > config_.epoch) config_ = commit->config;
+    // configuration later disappears. A newer configuration also releases
+    // every parked operation — the fence that parked them is lifted.
+    if (commit->config.epoch > config_.epoch) {
+      config_ = commit->config;
+      release_parked();
+    }
     // Not consumed: the replica of this process also needs to see it.
     return false;
   }
   if (const auto* nack = payload_cast<Nack>(payload)) {
     const auto it = rounds_.find(nack->round);
     if (it == rounds_.end()) return true;
-    std::shared_ptr<PendingOp> op = it->second.op;
-    rounds_.erase(it);
+    const Epoch dispatched = it->second.epoch;
     if (nack->config.epoch > config_.epoch) config_ = nack->config;
-    // Fenced: pause and retry. Re-routed: go again immediately (with the
-    // adopted configuration).
-    restart_after(std::move(op), nack->in_transition ? retry_delay_ : Duration{1});
+    if (nack->in_transition && nack->config.epoch >= dispatched &&
+        nack->config.epoch >= config_.epoch) {
+      // Fenced at (or ahead of) the round's epoch AND not superseded by a
+      // configuration we already hold: no phase of that epoch can complete
+      // while an old-majority is fenced — park until Commit. The second
+      // condition matters when the Commit outruns the Nack: a fence from a
+      // transition that already committed will never be followed by another
+      // Commit, so parking on it would strand the operation forever;
+      // re-routing into the newer configuration (below) is always safe.
+      std::shared_ptr<PendingOp> op = it->second.op;
+      rounds_.erase(it);
+      park(std::move(op));
+    } else if (config_.epoch > dispatched) {
+      // Re-routed: the round targeted a superseded configuration; go again
+      // immediately with the adopted one.
+      std::shared_ptr<PendingOp> op = it->second.op;
+      rounds_.erase(it);
+      op->restarts += 1;
+      count("reconfig.ops_rerouted");
+      dispatch(std::move(op));
+    } else {
+      // Stale Nack from a replica still behind the round's epoch (it will
+      // catch up via Commit but never re-answer this round). Keep the round
+      // while a member quorum is still reachable — aborting on the first
+      // straggler would let one lagging replica kill every in-flight
+      // operation — and redispatch shortly once it is not.
+      Round& round = it->second;
+      if (from < round.acked.size() && !round.acked[from]) {
+        round.acked[from] = true;
+        if (std::find(config_.members.begin(), config_.members.end(), from) !=
+            config_.members.end()) {
+          ++round.member_nacks;
+        }
+      }
+      if (2 * round.member_nacks >= config_.members.size()) {
+        std::shared_ptr<PendingOp> op = it->second.op;
+        rounds_.erase(it);
+        op->restarts += 1;
+        ctx_->set_timer(Duration{1}, [this, op = std::move(op)] { dispatch(op); });
+      }
+    }
     return true;
   }
   return false;
+}
+
+std::uint64_t Client::state_digest() const {
+  std::uint64_t h = fnv1a(kFnvOffset, config_.epoch);
+  h = fnv1a(h, next_round_);
+  h = fnv1a(h, pending_ops_);
+  // rounds_ is an unordered map: combine per-round digests with + so the
+  // result is independent of iteration (= insertion) order.
+  std::uint64_t rounds = 0;
+  for (const auto& [id, round] : rounds_) {
+    std::uint64_t rh = fnv1a(kFnvOffset, id);
+    rh = fnv1a(rh, static_cast<std::uint64_t>(round.op->stage));
+    rh = fnv1a(rh, round.epoch);
+    rh = fnv1a(rh, round.member_acks);
+    rh = fnv1a(rh, round.member_nacks);
+    std::uint64_t bits = 0;
+    for (std::size_t p = 0; p < round.acked.size(); ++p) {
+      if (round.acked[p]) bits |= 1ULL << (p % 64);
+    }
+    rh = fnv1a(rh, bits);
+    rh = fnv1a(rh, round.best_tag.seq);
+    rh = fnv1a(rh, round.best_tag.writer);
+    rh = fnv1a(rh, static_cast<std::uint64_t>(round.best_value.data));
+    rounds += rh;
+  }
+  h = fnv1a(h, rounds);
+  // Parked ops are interchangeable up to (stage, object, value) — combine
+  // order-insensitively as well; release order does not affect outcomes in
+  // park-only mode (all redispatch into the same adopted configuration).
+  std::uint64_t parked = 0;
+  for (const auto& op : parked_) {
+    std::uint64_t ph = fnv1a(kFnvOffset, static_cast<std::uint64_t>(op->stage));
+    ph = fnv1a(ph, op->object);
+    ph = fnv1a(ph, static_cast<std::uint64_t>(op->install_value.data));
+    ph = fnv1a(ph, op->install_tag.seq);
+    ph = fnv1a(ph, op->install_tag.writer);
+    parked += ph;
+  }
+  h = fnv1a(h, parked);
+  return h;
 }
 
 }  // namespace abdkit::reconfig

@@ -30,21 +30,72 @@ bool Replica::refuse_if_needed(Context& ctx, ProcessId from, RoundId round, Epoc
   return false;
 }
 
+bool Replica::buffer_if_ahead(Context& ctx, BufferedPhase phase) {
+  if (phase.epoch <= config_.epoch) return false;
+  // The sender already installed a configuration whose Commit has not
+  // reached us. Nacking would strand the round (we never re-answer it, and
+  // the sender has nothing newer to re-route to), so hold the phase until
+  // the Commit catches us up.
+  if (buffered_.size() >= kMaxBuffered) {
+    ++epoch_rejections_;
+    ctx.send(phase.from, make_payload<Nack>(phase.round, config_, false));
+    return true;
+  }
+  buffered_.push_back(std::move(phase));
+  return true;
+}
+
+void Replica::serve(Context& ctx, const BufferedPhase& phase) {
+  if (phase.is_update) {
+    Slot& s = slots_[phase.object];
+    if (phase.tag > s.tag) {
+      s.tag = phase.tag;
+      s.value = phase.value;
+    }
+    ctx.send(phase.from, make_payload<UpdateAck>(phase.round, phase.object));
+  } else {
+    const Slot& s = slot(phase.object);
+    ctx.send(phase.from, make_payload<QueryReply>(phase.round, phase.object, s.tag, s.value));
+  }
+}
+
+void Replica::replay_buffered(Context& ctx) {
+  if (buffered_.empty()) return;
+  std::vector<BufferedPhase> held;
+  held.swap(buffered_);
+  for (BufferedPhase& phase : held) {
+    if (phase.epoch > config_.epoch) {
+      buffered_.push_back(std::move(phase));  // still ahead: wait for the next Commit
+    } else if (phase.epoch < config_.epoch) {
+      // The Commit leapfrogged the buffered epoch: the phase is stale now.
+      ++epoch_rejections_;
+      ctx.send(phase.from, make_payload<Nack>(phase.round, config_, false));
+    } else {
+      serve(ctx, phase);
+    }
+  }
+}
+
 bool Replica::handle(Context& ctx, ProcessId from, const Payload& payload) {
   if (const auto* query = payload_cast<Query>(payload)) {
+    if (buffer_if_ahead(ctx, BufferedPhase{from, false, query->round, query->object,
+                                           abd::kInitialTag, Value{}, query->epoch})) {
+      return true;
+    }
     if (refuse_if_needed(ctx, from, query->round, query->epoch)) return true;
-    const Slot& s = slot(query->object);
-    ctx.send(from, make_payload<QueryReply>(query->round, query->object, s.tag, s.value));
+    serve(ctx, BufferedPhase{from, false, query->round, query->object, abd::kInitialTag,
+                             Value{}, query->epoch});
     return true;
   }
   if (const auto* update = payload_cast<Update>(payload)) {
-    if (refuse_if_needed(ctx, from, update->round, update->epoch)) return true;
-    Slot& s = slots_[update->object];
-    if (update->value_tag > s.tag) {
-      s.tag = update->value_tag;
-      s.value = update->value;
+    if (buffer_if_ahead(ctx, BufferedPhase{from, true, update->round, update->object,
+                                           update->value_tag, update->value,
+                                           update->epoch})) {
+      return true;
     }
-    ctx.send(from, make_payload<UpdateAck>(update->round, update->object));
+    if (refuse_if_needed(ctx, from, update->round, update->epoch)) return true;
+    serve(ctx, BufferedPhase{from, true, update->round, update->object, update->value_tag,
+                             update->value, update->epoch});
     return true;
   }
   if (const auto* prepare = payload_cast<Prepare>(payload)) {
@@ -79,10 +130,18 @@ bool Replica::handle(Context& ctx, ProcessId from, const Payload& payload) {
     if (commit->config.epoch > config_.epoch) {
       config_ = commit->config;
       fenced_ = false;
+      replay_buffered(ctx);
     }
     return true;
   }
   return false;
+}
+
+std::vector<std::pair<ObjectId, Slot>> Replica::slots_snapshot() const {
+  std::vector<std::pair<ObjectId, Slot>> out;
+  out.reserve(slots_.size());
+  for (const auto& [object, slot] : slots_) out.emplace_back(object, slot);
+  return out;
 }
 
 }  // namespace abdkit::reconfig

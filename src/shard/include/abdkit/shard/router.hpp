@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -117,6 +118,51 @@ class Router final : public abd::RegisterNode {
   /// here (lint rule router-dispatch pins it). Total on a nonempty map.
   [[nodiscard]] ShardIndex route(abd::ObjectId key) const noexcept;
 
+  // ---- Epoch transitions (PROTOCOL.md §7, live reconfiguration) ----------
+  //
+  // A transition is stage → drain → apply. stage_map accepts a strictly
+  // newer-epoch map and computes the AFFECTED groups: with an unchanged
+  // shard count the rendezvous placement is identical under both maps (the
+  // weight depends only on key and shard index), so only groups whose
+  // membership differs are affected; a changed shard count moves keys
+  // globally, so every group is affected. New reads/writes bound for an
+  // affected group queue client-side; unaffected groups flow freely.
+  // apply_map — THE epoch-transition seam, pinned by lint rule
+  // epoch-transition — installs the staged map, rebuilds the affected
+  // per-group clients, and flushes the queue through the new routing.
+  //
+  // Two driving modes: an orchestrator stages with auto_apply=false, polls
+  // drained(), runs its final delta state transfer, then calls apply_map()
+  // explicitly (the hold point is what lets the transfer happen between
+  // drain and cut-over). The wire path (ShardMapUpdate, consumed in
+  // handle()) stages with auto_apply=true: the map cuts over as soon as the
+  // affected groups drain — the sender only broadcasts an update after the
+  // state transfer has completed, per the §7 commit rules.
+
+  /// Stage `next` for cut-over. Returns false (no-op) unless next.epoch is
+  /// strictly newer than both the installed and any already-staged map; a
+  /// newer map staged on top of a pending one merges the affected sets.
+  bool stage_map(ShardMap next, bool auto_apply = false);
+
+  /// True while a staged map awaits apply_map.
+  [[nodiscard]] bool transitioning() const noexcept { return staged_.has_value(); }
+
+  /// True when every affected group has no in-flight operations (trivially
+  /// true when not transitioning). Queued ops do not count — they have not
+  /// been dispatched into any group.
+  [[nodiscard]] bool drained() const noexcept;
+
+  /// Cut over to the staged map: rebuild affected groups (fresh clients on
+  /// a bumped round-id generation so late replies to pre-transition rounds
+  /// cannot alias), install the map, and re-dispatch every queued op
+  /// through the new routing. Throws std::logic_error when nothing is
+  /// staged. Callers must have drained (asserted) — applying with in-flight
+  /// ops on an affected group would strand their rounds.
+  void apply_map();
+
+  /// Operations parked client-side awaiting the cut-over.
+  [[nodiscard]] std::size_t queued_ops() const noexcept { return queued_.size(); }
+
   [[nodiscard]] const ShardMap& map() const noexcept { return options_.map; }
   [[nodiscard]] abd::Client& client_of(ShardIndex shard) {
     return *groups_.at(shard).client;
@@ -130,6 +176,13 @@ class Router final : public abd::RegisterNode {
   [[nodiscard]] std::uint64_t state_digest() const;
 
  private:
+  /// Round-id distance between successive generations of one shard's
+  /// client (rebuilds during epoch transitions). 2^24 rounds per
+  /// generation, 2^8 generations per shard within the low-32-bit counter
+  /// space — both far beyond any run length; exceeding the generation
+  /// budget throws rather than aliasing.
+  static constexpr abd::RoundId kGenerationStride = 1ULL << 24;
+
   struct Group {
     std::unique_ptr<GroupContext> ctx;
     std::unique_ptr<abd::Client> client;
@@ -141,11 +194,30 @@ class Router final : public abd::RegisterNode {
     std::string latency_key;
   };
 
+  struct QueuedOp {
+    bool is_read{true};
+    abd::ObjectId object{0};
+    Value value{};
+    abd::OpCallback done;
+  };
+
+  [[nodiscard]] Group make_group(ShardIndex shard);
+  [[nodiscard]] bool affected(ShardIndex shard) const noexcept;
+  void maybe_auto_apply();
   void record_op(const Group& group, const abd::OpResult& result) const;
 
   RouterOptions options_;
   Context* ctx_{nullptr};
   std::vector<Group> groups_;
+  /// Staged epoch transition (see stage_map/apply_map).
+  std::optional<ShardMap> staged_;
+  bool auto_apply_{false};
+  bool all_affected_{false};
+  std::vector<bool> affected_groups_;  // indexed by CURRENT map's shards
+  std::vector<QueuedOp> queued_;
+  /// Per-shard rebuild counter feeding kGenerationStride (outlives groups_
+  /// across transitions; indexed by shard, grown on demand).
+  std::vector<std::uint32_t> generations_;
 };
 
 }  // namespace abdkit::shard

@@ -5,6 +5,7 @@
 
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/shard/messages.hpp"
 
 namespace abdkit::shard {
 
@@ -19,31 +20,44 @@ Router::Router(RouterOptions options) : options_{std::move(options)} {
   }
 }
 
+Router::Group Router::make_group(ShardIndex shard) {
+  const auto& members = options_.map.group(shard);
+  if (generations_.size() <= shard) generations_.resize(shard + 1, 0);
+  const std::uint32_t generation = generations_[shard];
+  if (std::uint64_t{generation} * kGenerationStride >= (1ULL << kRoundBits)) {
+    throw std::logic_error{"Router: shard generation budget exhausted"};
+  }
+  Group group;
+  group.ctx = std::make_unique<GroupContext>(*ctx_, members);
+  for (ProcessId local = 0; local < members.size(); ++local) {
+    group.local_of.emplace(members[local], local);
+  }
+  // Each group runs the plain per-group protocol: majority quorums over
+  // its own members, the shared variant/options template, and a disjoint
+  // round-id space so replies self-identify their owning client. The
+  // generation term keeps a rebuilt client's rounds disjoint from its
+  // predecessor's, so a late reply from a retired configuration can never
+  // alias a live round.
+  abd::ClientOptions client_options = options_.client;
+  client_options.round_base =
+      round_base_of(shard) + std::uint64_t{generation} * kGenerationStride;
+  client_options.metrics = options_.metrics;
+  group.client = std::make_unique<abd::Client>(
+      std::make_shared<quorum::MajorityQuorum>(members.size()),
+      options_.read_mode, client_options);
+  group.client->attach(*group.ctx);
+  group.ops_key = "shard." + std::to_string(shard) + ".ops";
+  group.latency_key = "shard." + std::to_string(shard) + ".op_us";
+  return group;
+}
+
 void Router::on_start(Context& ctx) {
   if (ctx_ != nullptr) throw std::logic_error{"Router: on_start called twice"};
   ctx_ = &ctx;
   const std::size_t shards = options_.map.shard_count();
   groups_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    const auto& members = options_.map.group(static_cast<ShardIndex>(s));
-    Group group;
-    group.ctx = std::make_unique<GroupContext>(ctx, members);
-    for (ProcessId local = 0; local < members.size(); ++local) {
-      group.local_of.emplace(members[local], local);
-    }
-    // Each group runs the plain per-group protocol: majority quorums over
-    // its own members, the shared variant/options template, and a disjoint
-    // round-id space so replies self-identify their owning client.
-    abd::ClientOptions client_options = options_.client;
-    client_options.round_base = round_base_of(static_cast<ShardIndex>(s));
-    client_options.metrics = options_.metrics;
-    group.client = std::make_unique<abd::Client>(
-        std::make_shared<quorum::MajorityQuorum>(members.size()),
-        options_.read_mode, client_options);
-    group.client->attach(*group.ctx);
-    group.ops_key = "shard." + std::to_string(s) + ".ops";
-    group.latency_key = "shard." + std::to_string(s) + ".op_us";
-    groups_.push_back(std::move(group));
+    groups_.push_back(make_group(static_cast<ShardIndex>(s)));
   }
 }
 
@@ -52,6 +66,13 @@ void Router::on_message(Context& ctx, ProcessId from, const Payload& payload) {
 }
 
 bool Router::handle(Context& ctx, ProcessId from, const Payload& payload) {
+  // Epoch dissemination: a pushed newer map stages a transition that cuts
+  // over as soon as the affected groups drain (the §7 commit rules require
+  // the pusher to have completed the state transfer before broadcasting).
+  if (const auto* update = payload_cast<ShardMapUpdate>(payload)) {
+    stage_map(update->map, /*auto_apply=*/true);
+    return true;
+  }
   // Replies carry the round id whose high bits name the owning group; the
   // sender's global id maps to the local index the group's ack vectors use.
   abd::RoundId round = 0;
@@ -68,12 +89,124 @@ bool Router::handle(Context& ctx, ProcessId from, const Payload& payload) {
   if (shard >= groups_.size()) return false;
   Group& group = groups_[shard];
   const auto local = group.local_of.find(from);
-  if (local == group.local_of.end()) return false;
+  if (local == group.local_of.end()) {
+    // A client-protocol reply for one of our shards from a process that is
+    // not a member of its current group: a straggler answer from a
+    // superseded configuration. Count and consume — feeding it to the
+    // client under a wrong local index would corrupt ack accounting.
+    if (options_.metrics != nullptr) {
+      options_.metrics->add("reconfig.epoch_stale_replies");
+    }
+    return true;
+  }
   return group.client->handle(ctx, local->second, payload);
 }
 
 ShardIndex Router::route(abd::ObjectId key) const noexcept {
   return options_.map.shard_of(key);
+}
+
+bool Router::affected(ShardIndex shard) const noexcept {
+  if (!staged_.has_value()) return false;
+  if (all_affected_) return true;
+  return shard < affected_groups_.size() && affected_groups_[shard];
+}
+
+bool Router::stage_map(ShardMap next, bool auto_apply) {
+  if (next.epoch() <= options_.map.epoch()) return false;
+  if (staged_.has_value() && next.epoch() <= staged_->epoch()) return false;
+  if (next.empty()) return false;
+  if (next.shard_count() > (1ULL << kRoundBits)) return false;
+
+  const bool count_changed = next.shard_count() != options_.map.shard_count();
+  if (count_changed) {
+    // A different shard count moves keys between groups globally (the
+    // rendezvous argmax ranges over a different index set), so every group
+    // must drain before the cut-over.
+    all_affected_ = true;
+    affected_groups_.clear();
+  } else if (!all_affected_) {
+    // Same shard count ⇒ identical placement under both maps (the weight
+    // depends only on key and shard index) ⇒ only groups whose membership
+    // changed need the fence. Merge into any pending transition's set.
+    affected_groups_.resize(options_.map.shard_count(), false);
+    for (std::size_t s = 0; s < options_.map.shard_count(); ++s) {
+      if (options_.map.group(static_cast<ShardIndex>(s)) !=
+          next.group(static_cast<ShardIndex>(s))) {
+        affected_groups_[s] = true;
+      }
+    }
+  }
+  staged_ = std::move(next);
+  auto_apply_ = auto_apply || auto_apply_;
+  maybe_auto_apply();  // affected groups may already be idle
+  return true;
+}
+
+bool Router::drained() const noexcept {
+  if (!staged_.has_value()) return true;
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    if (affected(static_cast<ShardIndex>(s)) &&
+        groups_[s].client->pending_ops() > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Router::maybe_auto_apply() {
+  if (staged_.has_value() && auto_apply_ && drained()) apply_map();
+}
+
+void Router::apply_map() {
+  if (!staged_.has_value()) {
+    throw std::logic_error{"Router: apply_map without a staged map"};
+  }
+  if (!drained()) {
+    // Cutting over with in-flight ops on an affected group would destroy
+    // their client rounds mid-quorum; the orchestration contract is
+    // stage → drain → (transfer) → apply.
+    throw std::logic_error{"Router: apply_map before affected groups drained"};
+  }
+  ShardMap next = std::move(*staged_);
+  staged_.reset();
+  auto_apply_ = false;
+
+  const bool count_changed = next.shard_count() != options_.map.shard_count();
+  if (count_changed || all_affected_) {
+    options_.map = std::move(next);
+    const std::size_t shards = options_.map.shard_count();
+    groups_.clear();
+    groups_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (generations_.size() <= s) generations_.resize(s + 1, 0);
+      ++generations_[s];
+      groups_.push_back(make_group(static_cast<ShardIndex>(s)));
+    }
+  } else {
+    options_.map = std::move(next);
+    for (std::size_t s = 0; s < groups_.size(); ++s) {
+      if (s < affected_groups_.size() && affected_groups_[s]) {
+        ++generations_[s];
+        groups_[s] = make_group(static_cast<ShardIndex>(s));
+      }
+    }
+  }
+  all_affected_ = false;
+  affected_groups_.clear();
+
+  // Re-dispatch everything that queued behind the transition, now through
+  // the installed map's routing.
+  std::vector<QueuedOp> queued;
+  queued.swap(queued_);
+  for (QueuedOp& op : queued) {
+    if (options_.metrics != nullptr) options_.metrics->add("reconfig.ops_rerouted");
+    if (op.is_read) {
+      read(op.object, std::move(op.done));
+    } else {
+      write(op.object, std::move(op.value), std::move(op.done));
+    }
+  }
 }
 
 void Router::record_op(const Group& group, const abd::OpResult& result) const {
@@ -84,22 +217,35 @@ void Router::record_op(const Group& group, const abd::OpResult& result) const {
 
 void Router::read(abd::ObjectId object, abd::OpCallback done) {
   if (ctx_ == nullptr) throw std::logic_error{"Router: read before on_start"};
-  Group& group = groups_.at(route(object));
-  // groups_ is append-only after on_start, so the reference stays valid for
-  // the callback's lifetime.
+  const ShardIndex shard = route(object);
+  if (affected(shard)) {
+    queued_.push_back(QueuedOp{true, object, Value{}, std::move(done)});
+    return;
+  }
+  Group& group = groups_.at(shard);
+  // groups_ is stable between epoch transitions, and a transition fences
+  // (queues) every op bound for a group it would rebuild, so the reference
+  // stays valid for the callback's lifetime.
   group.client->read(object, [this, &group, done = std::move(done)](
                                  const abd::OpResult& result) {
     record_op(group, result);
     if (done) done(result);
+    maybe_auto_apply();
   });
 }
 
 void Router::write(abd::ObjectId object, Value value, abd::OpCallback done) {
   if (ctx_ == nullptr) throw std::logic_error{"Router: write before on_start"};
-  Group& group = groups_.at(route(object));
+  const ShardIndex shard = route(object);
+  if (affected(shard)) {
+    queued_.push_back(QueuedOp{false, object, std::move(value), std::move(done)});
+    return;
+  }
+  Group& group = groups_.at(shard);
   auto wrapped = [this, &group, done = std::move(done)](const abd::OpResult& result) {
     record_op(group, result);
     if (done) done(result);
+    maybe_auto_apply();
   };
   if (options_.write_mode == abd::WriteMode::kSingleWriter) {
     group.client->write_swmr(object, std::move(value), std::move(wrapped));
@@ -111,7 +257,7 @@ void Router::write(abd::ObjectId object, Value value, abd::OpCallback done) {
 std::size_t Router::pending_ops() const noexcept {
   std::size_t pending = 0;
   for (const Group& group : groups_) pending += group.client->pending_ops();
-  return pending;
+  return pending + queued_.size();
 }
 
 std::uint64_t Router::state_digest() const {
@@ -129,6 +275,8 @@ std::uint64_t Router::state_digest() const {
   for (std::size_t s = 0; s < groups_.size(); ++s) {
     h = mix(h, groups_[s].client->state_digest());
   }
+  h = mix(h, staged_.has_value() ? staged_->epoch() : 0);
+  h = mix(h, queued_.size());
   return h;
 }
 

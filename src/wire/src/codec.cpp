@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "abdkit/abd/anti_entropy.hpp"
 #include "abdkit/abd/bounded_messages.hpp"
 #include "abdkit/abd/messages.hpp"
 #include "abdkit/reconfig/messages.hpp"
@@ -173,6 +174,8 @@ bool Reader::value(Value& out) {
 namespace {
 
 using abd::tags::kBReadQuery;
+using abd::tags::kDigest;
+using abd::tags::kDigestReply;
 using abd::tags::kBReadReply;
 using abd::tags::kBUpdate;
 using abd::tags::kBUpdateAck;
@@ -428,6 +431,26 @@ void encode_body(Writer& w, const Payload& payload) {
       write_shard_map(w, m.map);
       return;
     }
+    case kDigest: {
+      const auto& m = static_cast<const abd::DigestMsg&>(payload);
+      w.varint(m.entries.size());
+      for (const abd::DigestMsg::Entry& e : m.entries) {
+        w.varint(e.object);
+        w.tag(e.tag);
+      }
+      w.u8(m.pull ? 1 : 0);
+      return;
+    }
+    case kDigestReply: {
+      const auto& m = static_cast<const abd::DigestReply&>(payload);
+      w.varint(m.entries.size());
+      for (const abd::DigestReply::Entry& e : m.entries) {
+        w.varint(e.object);
+        w.tag(e.tag);
+        w.value(e.value);
+      }
+      return;
+    }
     default:
       throw std::invalid_argument{"wire::encode: unsupported payload tag"};
   }
@@ -585,6 +608,35 @@ PayloadPtr decode_body(PayloadTag tag, Reader& r) {
       if (!read_shard_map(r, map)) return nullptr;
       return make_payload<shard::ShardMapUpdate>(std::move(map));
     }
+    case kDigest: {
+      std::uint64_t entry_n = 0;
+      if (!r.varint(entry_n) || entry_n > kMaxObjectList) return nullptr;
+      std::vector<abd::DigestMsg::Entry> entries;
+      entries.reserve(static_cast<std::size_t>(entry_n));
+      for (std::uint64_t i = 0; i < entry_n; ++i) {
+        std::uint64_t obj = 0;
+        abd::Tag t;
+        if (!r.varint(obj) || !r.tag(t)) return nullptr;
+        entries.push_back(abd::DigestMsg::Entry{obj, t});
+      }
+      bool pull = false;
+      if (!read_bool(r, pull)) return nullptr;
+      return make_payload<abd::DigestMsg>(std::move(entries), pull);
+    }
+    case kDigestReply: {
+      std::uint64_t entry_n = 0;
+      if (!r.varint(entry_n) || entry_n > kMaxObjectList) return nullptr;
+      std::vector<abd::DigestReply::Entry> entries;
+      entries.reserve(static_cast<std::size_t>(entry_n));
+      for (std::uint64_t i = 0; i < entry_n; ++i) {
+        std::uint64_t obj = 0;
+        abd::Tag t;
+        Value v;
+        if (!r.varint(obj) || !r.tag(t) || !r.value(v)) return nullptr;
+        entries.push_back(abd::DigestReply::Entry{obj, t, std::move(v)});
+      }
+      return make_payload<abd::DigestReply>(std::move(entries));
+    }
     default:
       return nullptr;
   }
@@ -619,6 +671,8 @@ bool codec_supports(PayloadTag tag) noexcept {
     case sh::kShardMapQuery:
     case sh::kShardMapReply:
     case sh::kShardMapUpdate:
+    case kDigest:
+    case kDigestReply:
       return true;
     default:
       return false;

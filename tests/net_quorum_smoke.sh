@@ -19,34 +19,14 @@ fi
 NODE_BIN=$1
 CLI_BIN=$2
 
-# Ephemeral-ish port block; $$ spreads concurrent ctest invocations apart.
-PORT_BASE=$((20000 + $$ % 15000))
-PEERS="127.0.0.1:$PORT_BASE,127.0.0.1:$((PORT_BASE + 1)),127.0.0.1:$((PORT_BASE + 2)),127.0.0.1:$((PORT_BASE + 3))"
-
-PIDS=()
-cleanup() {
-  for pid in "${PIDS[@]}"; do
-    kill -9 "$pid" 2>/dev/null
-  done
-  wait 2>/dev/null
-}
-trap cleanup EXIT
+source "$(dirname "$0")/smoke_lib.sh"
+smoke_peers 4
 
 echo "== starting 3 replicas on $PEERS"
 for id in 0 1 2; do
-  "$NODE_BIN" --id "$id" --replicas 3 --peers "$PEERS" &
-  PIDS+=($!)
+  spawn_node --id "$id" --replicas 3 --peers "$PEERS"
 done
-
-# The replicas dial each other with backoff, so no careful startup ordering
-# is needed; give them a moment to bind their listen sockets.
-sleep 1
-for pid in "${PIDS[@]}"; do
-  if ! kill -0 "$pid" 2>/dev/null; then
-    echo "FAIL: a replica exited during startup" >&2
-    exit 1
-  fi
-done
+wait_ready 0 1 2
 
 echo "== full-strength workload (seed 1)"
 if ! "$CLI_BIN" --id 3 --replicas 3 --peers "$PEERS" --ops 20 --objects 2 \
@@ -56,8 +36,7 @@ if ! "$CLI_BIN" --id 3 --replicas 3 --peers "$PEERS" --ops 20 --objects 2 \
 fi
 
 echo "== SIGKILL replica 2 (crash fault, f=1)"
-kill -9 "${PIDS[2]}"
-wait "${PIDS[2]}" 2>/dev/null
+kill_node 2
 
 echo "== degraded workload (seed 2, majority of 2/3 alive)"
 if ! "$CLI_BIN" --id 3 --replicas 3 --peers "$PEERS" --ops 20 --objects 2 \

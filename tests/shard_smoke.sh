@@ -20,37 +20,14 @@ fi
 NODE_BIN=$1
 CLI_BIN=$2
 
-# Ephemeral-ish port block; $$ spreads concurrent ctest invocations apart.
-PORT_BASE=$((20000 + $$ % 15000))
-PEERS="127.0.0.1:$PORT_BASE"
-for i in 1 2 3 4 5 6; do
-  PEERS="$PEERS,127.0.0.1:$((PORT_BASE + i))"
-done
-
-PIDS=()
-cleanup() {
-  for pid in "${PIDS[@]}"; do
-    kill -9 "$pid" 2>/dev/null
-  done
-  wait 2>/dev/null
-}
-trap cleanup EXIT
+source "$(dirname "$0")/smoke_lib.sh"
+smoke_peers 7
 
 echo "== starting 6 replicas (2 quorum groups of 3) on $PEERS"
 for id in 0 1 2 3 4 5; do
-  "$NODE_BIN" --id "$id" --replicas 6 --shards 2 --peers "$PEERS" &
-  PIDS+=($!)
+  spawn_node --id "$id" --replicas 6 --shards 2 --peers "$PEERS"
 done
-
-# The replicas dial each other with backoff, so no careful startup ordering
-# is needed; give them a moment to bind their listen sockets.
-sleep 1
-for pid in "${PIDS[@]}"; do
-  if ! kill -0 "$pid" 2>/dev/null; then
-    echo "FAIL: a replica exited during startup" >&2
-    exit 1
-  fi
-done
+wait_ready 0 1 2 3 4 5
 
 # 8 objects rendezvous-hash across both groups (the placement is a fixed
 # function of the key, so coverage of both shards is deterministic); the CLI
@@ -64,8 +41,7 @@ if ! "$CLI_BIN" --id 6 --replicas 6 --shards 2 --peers "$PEERS" --ops 24 \
 fi
 
 echo "== SIGKILL replica 1 (a member of group 0 only; group 1 untouched)"
-kill -9 "${PIDS[1]}"
-wait "${PIDS[1]}" 2>/dev/null
+kill_node 1
 
 echo "== degraded workload across ALL shards (seed 2, group 0 at 2/3)"
 if ! "$CLI_BIN" --id 6 --replicas 6 --shards 2 --peers "$PEERS" --ops 24 \

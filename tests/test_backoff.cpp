@@ -1,0 +1,111 @@
+// Determinism and bounds of the shared decorrelated-jitter backoff
+// (common/backoff.hpp), consumed by both the net transport's reconnect loop
+// and reconfig::Client's parked-operation backstop. The properties the
+// consumers rely on:
+//
+//   1. Every draw lies in [floor, min(cap, 3 * previous)] — waits never
+//      undershoot the floor (tight retry storms) or overshoot the cap
+//      (unbounded stalls).
+//   2. A fixed Rng seed reproduces the exact sequence — sim and mck runs
+//      that embed backoff stay replayable.
+//   3. Two Rngs with different seeds decorrelate after the first draw —
+//      the anti-lockstep property that motivates the jitter.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "abdkit/common/backoff.hpp"
+#include "abdkit/net/transport.hpp"
+
+namespace abdkit {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(Backoff, EveryDrawWithinFloorAndTripledPreviousCappedAtCap) {
+  Rng rng{42};
+  const Duration floor = milliseconds{20};
+  const Duration cap = milliseconds{1000};
+  Duration previous = Duration::zero();
+  for (int i = 0; i < 1000; ++i) {
+    const Duration effective_prev = previous < floor ? floor : previous;
+    const Duration next = next_decorrelated_backoff(previous, floor, cap, rng);
+    EXPECT_GE(next, floor);
+    EXPECT_LE(next, std::min(cap, 3 * effective_prev));
+    previous = next;
+  }
+}
+
+TEST(Backoff, FixedSeedIsDeterministic) {
+  const Duration floor = milliseconds{5};
+  const Duration cap = milliseconds{400};
+  std::vector<Duration> first;
+  std::vector<Duration> second;
+  for (auto* out : {&first, &second}) {
+    Rng rng{0xabcdefULL};
+    Duration previous = Duration::zero();
+    for (int i = 0; i < 64; ++i) {
+      previous = next_decorrelated_backoff(previous, floor, cap, rng);
+      out->push_back(previous);
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(Backoff, DistinctSeedsDecorrelateWithinAFewDraws) {
+  // Two admins that hit the same fence at the same instant must not retry
+  // in lockstep: with distinct jitter seeds their schedules diverge almost
+  // immediately even from identical (previous, floor, cap) inputs.
+  const Duration floor = milliseconds{10};
+  const Duration cap = milliseconds{2000};
+  Rng a{1};
+  Rng b{2};
+  Duration prev_a = Duration::zero();
+  Duration prev_b = Duration::zero();
+  int identical = 0;
+  for (int i = 0; i < 32; ++i) {
+    prev_a = next_decorrelated_backoff(prev_a, floor, cap, a);
+    prev_b = next_decorrelated_backoff(prev_b, floor, cap, b);
+    if (prev_a == prev_b) ++identical;
+  }
+  EXPECT_LE(identical, 2);
+}
+
+TEST(Backoff, DegenerateRangesPinToFloor) {
+  Rng rng{7};
+  const Duration floor = milliseconds{50};
+  // cap below floor: the range is empty, the wait pins to the floor.
+  EXPECT_EQ(next_decorrelated_backoff(milliseconds{500}, floor, milliseconds{10}, rng),
+            floor);
+  // cap equal to floor: same.
+  EXPECT_EQ(next_decorrelated_backoff(milliseconds{500}, floor, floor, rng), floor);
+  // previous below floor is lifted to the floor before tripling: the range
+  // is [floor, 3*floor] regardless of how small previous was.
+  for (int i = 0; i < 100; ++i) {
+    const Duration next =
+        next_decorrelated_backoff(Duration{1}, floor, milliseconds{5000}, rng);
+    EXPECT_GE(next, floor);
+    EXPECT_LE(next, 3 * floor);
+  }
+}
+
+TEST(Backoff, NetReconnectBackoffDelegatesToCommon) {
+  // net::next_reconnect_backoff is a thin wrapper; equal seeds must yield
+  // the identical sequence through both entry points.
+  const Duration floor = milliseconds{20};
+  const Duration cap = milliseconds{1000};
+  Rng via_common{99};
+  Rng via_net{99};
+  Duration prev_common = Duration::zero();
+  Duration prev_net = Duration::zero();
+  for (int i = 0; i < 16; ++i) {
+    prev_common = next_decorrelated_backoff(prev_common, floor, cap, via_common);
+    prev_net = net::next_reconnect_backoff(prev_net, floor, cap, via_net);
+    EXPECT_EQ(prev_common, prev_net);
+  }
+}
+
+}  // namespace
+}  // namespace abdkit

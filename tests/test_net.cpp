@@ -316,6 +316,62 @@ TEST(NetTransport, ObserverSeesClusterStyleEvents) {
   EXPECT_FALSE(recorder.filtered("timer_set").empty());
 }
 
+TEST(NetTransport, FaultPlanPartitionIsSurvivableAndCounted) {
+  Metrics metrics;
+  Deployment deployment{3, &metrics};
+  SyncNode client = deployment.client();
+  Value value;
+  value.data = 1;
+  ASSERT_TRUE(client.write(0, value, 5s).has_value());
+
+  // Symmetric partition: replica 2 cut off from everyone (mirror-image
+  // blocked sets on both sides, per the FaultPlan contract). The remaining
+  // majority keeps the register available.
+  FaultPlan cut;
+  cut.blocked = {0, 1, 3};
+  deployment.transports[2]->set_faults(cut);
+  for (const ProcessId id : {ProcessId{0}, ProcessId{1}, ProcessId{3}}) {
+    FaultPlan plan;
+    plan.blocked = {2};
+    deployment.transports[id]->set_faults(plan);
+  }
+
+  for (int op = 0; op < 3; ++op) {
+    value.data = 10 + op;
+    ASSERT_TRUE(client.write(0, value, 10s).has_value()) << "write " << op;
+    const auto r = client.read(0, 10s);
+    ASSERT_TRUE(r.has_value()) << "read " << op;
+    EXPECT_EQ(r->value.data, value.data);
+  }
+  EXPECT_GT(metrics.counter("net.faults_dropped"), 0u);
+
+  // Clearing the plans heals the partition; the isolated replica is
+  // reachable again for subsequent quorums.
+  for (auto& transport : deployment.transports) transport->set_faults(FaultPlan{});
+  value.data = 99;
+  ASSERT_TRUE(client.write(0, value, 10s).has_value());
+}
+
+TEST(NetTransport, FaultPlanRandomDropsAreSurvivable) {
+  Metrics metrics;
+  Deployment deployment{3, &metrics};
+  SyncNode client = deployment.client();
+  FaultPlan lossy;
+  lossy.drop_probability = 0.25;
+  lossy.seed = 42;
+  for (auto& transport : deployment.transports) transport->set_faults(lossy);
+
+  Value value;
+  for (int op = 0; op < 5; ++op) {
+    value.data = op + 1;
+    ASSERT_TRUE(client.write(0, value, 20s).has_value()) << "write " << op;
+    const auto r = client.read(0, 20s);
+    ASSERT_TRUE(r.has_value()) << "read " << op;
+    EXPECT_EQ(r->value.data, value.data);
+  }
+  EXPECT_GT(metrics.counter("net.faults_dropped"), 0u);
+}
+
 TEST(NetTransport, PostRunsOnTheLoopThread) {
   Metrics metrics;
   Deployment deployment{3, &metrics};

@@ -22,7 +22,9 @@ using namespace std::chrono_literals;
 /// Universe of `universe` processes; initial configuration = the first
 /// `initial_members` of them. History recorded per op for the checker.
 struct ReconfigWorld {
-  ReconfigWorld(std::size_t universe, std::size_t initial_members, std::uint64_t seed) {
+  ReconfigWorld(std::size_t universe, std::size_t initial_members, std::uint64_t seed,
+                Admin::RetryPolicy admin_retry = {}, double loss = 0.0,
+                Metrics* metrics = nullptr) {
     Config initial;
     initial.epoch = 0;
     for (std::size_t i = 0; i < initial_members; ++i) {
@@ -31,10 +33,15 @@ struct ReconfigWorld {
     sim::WorldConfig config;
     config.num_processes = universe;
     config.seed = seed;
+    config.loss_probability = loss;
     world = std::make_unique<sim::World>(std::move(config));
     nodes.resize(universe, nullptr);
     for (ProcessId p = 0; p < universe; ++p) {
-      auto node = std::make_unique<Node>(NodeOptions{initial});
+      NodeOptions options{initial};
+      options.admin_retry = admin_retry;
+      options.jitter_seed = seed * 1000 + p;
+      options.metrics = metrics;
+      auto node = std::make_unique<Node>(options);
       nodes[p] = node.get();
       world->add_actor(p, std::move(node));
     }
@@ -278,12 +285,174 @@ TEST(Reconfig, AdminValidatesArguments) {
   w.world->run_until_quiescent();
 }
 
+TEST(Reconfig, AdminResendsSurviveMessageLoss) {
+  // 20% independent loss on every message: without the RetryPolicy's
+  // decorrelated resends a single lost Prepare or Commit would wedge the
+  // run forever; with them the reconfiguration completes.
+  Admin::RetryPolicy retry;
+  retry.resend_interval = 5ms;
+  ReconfigWorld w{6, 3, 21, retry, 0.2};
+  std::optional<ReconfigResult> result;
+  w.reconfigure_at(TimePoint{10ms}, 0, {3, 4, 5},
+                   [&](const ReconfigResult& r) { result = r; });
+  w.world->run_until_quiescent();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_EQ(result->installed.epoch, 1U);
+  // The Commit rebroadcasts must eventually reach every surviving node.
+  for (Node* node : w.nodes) EXPECT_EQ(node->client().config().epoch, 1U);
+}
+
+TEST(Reconfig, AdminDeadlineAbortsWithoutOldMajority) {
+  Metrics metrics;
+  Admin::RetryPolicy retry;
+  retry.resend_interval = 5ms;
+  retry.total_deadline = 200ms;
+  ReconfigWorld w{6, 3, 22, retry, 0.0, &metrics};
+  // Kill the old majority before the fence can assemble: the run cannot
+  // make progress and must abort at the deadline instead of spinning.
+  w.world->at(TimePoint{0}, [&] {
+    w.world->crash(1);
+    w.world->crash(2);
+  });
+  std::optional<ReconfigResult> result;
+  w.reconfigure_at(TimePoint{10ms}, 0, {3, 4, 5},
+                   [&](const ReconfigResult& r) { result = r; });
+  w.world->run_until_quiescent();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->succeeded);
+  EXPECT_EQ(result->installed.epoch, 0U) << "aborted run must not install";
+  EXPECT_FALSE(w.nodes[0]->admin().busy());
+  EXPECT_EQ(metrics.counter("reconfig.fences_started"), 1U);
+  EXPECT_EQ(metrics.counter("reconfig.fences_aborted"), 1U);
+  EXPECT_EQ(metrics.counter("reconfig.fences_committed"), 0U);
+}
+
+TEST(Reconfig, MetricsCountFencesParksAndTransfers) {
+  Metrics metrics;
+  ReconfigWorld w{6, 3, 23, {}, 0.0, &metrics};
+  // Traffic on top of the reconfiguration window so the fence parks ops.
+  for (int i = 0; i < 20; ++i) w.write_at(TimePoint{i * 1ms}, 0, 0, i + 1);
+  w.reconfigure_at(TimePoint{5ms}, 1, {3, 4, 5});
+  w.world->run_until_quiescent();
+  EXPECT_EQ(w.completed, 20U);
+  EXPECT_EQ(metrics.counter("reconfig.fences_started"), 1U);
+  EXPECT_EQ(metrics.counter("reconfig.fences_committed"), 1U);
+  EXPECT_GT(metrics.counter("reconfig.transfer_bytes"), 0U);
+  std::uint64_t fence_rejections = 0;
+  for (Node* node : w.nodes) fence_rejections += node->replica().fence_rejections();
+  if (fence_rejections > 0) {
+    // Every fence Nack parks its op; the later Commit re-routes it.
+    EXPECT_GT(metrics.counter("reconfig.ops_parked"), 0U);
+    EXPECT_GT(metrics.counter("reconfig.ops_rerouted"), 0U);
+  }
+  EXPECT_TRUE(checker::check_linearizable(w.history).linearizable);
+}
+
+/// Minimal Context that records sends, for driving a bare Replica.
+class RecordingContext : public Context {
+ public:
+  [[nodiscard]] ProcessId self() const noexcept override { return 0; }
+  [[nodiscard]] std::size_t world_size() const noexcept override { return 4; }
+  void send(ProcessId to, PayloadPtr payload) override {
+    sent.emplace_back(to, std::move(payload));
+  }
+  void broadcast(PayloadPtr payload) override { send(kNoProcess, std::move(payload)); }
+  TimerId set_timer(Duration, TimerCallback) override { return 0; }
+  void cancel_timer(TimerId) override {}
+  [[nodiscard]] TimePoint now() const noexcept override { return TimePoint{}; }
+
+  std::vector<std::pair<ProcessId, PayloadPtr>> sent;
+};
+
+// A phase carrying an epoch AHEAD of the replica's (its Commit is still in
+// flight to us) is held, not answered — and the Commit that catches us up
+// replays it at the new epoch. Nacking instead would strand the round: the
+// sender has nothing newer to re-route to and we never re-answer a round.
+TEST(Reconfig, ReplicaBuffersEpochAheadPhasesUntilCommit) {
+  Config initial;
+  initial.members = {0, 1};
+  Replica replica{initial};
+  RecordingContext ctx;
+
+  // Client (process 3) already installed epoch 1; we are still at epoch 0.
+  Value v;
+  v.data = 99;
+  EXPECT_TRUE(replica.handle(ctx, 3, *make_payload<Query>(7, 0, 1)));
+  EXPECT_TRUE(
+      replica.handle(ctx, 3, *make_payload<Update>(8, 0, Tag{5, 3}, v, 1)));
+  EXPECT_TRUE(ctx.sent.empty()) << "epoch-ahead phases must not be answered yet";
+  ASSERT_EQ(replica.buffered().size(), 2U);
+  EXPECT_EQ(replica.epoch_rejections(), 0U);
+
+  // The Commit for epoch 1 arrives: both phases replay at the new epoch.
+  Config next;
+  next.epoch = 1;
+  next.members = {0, 2};
+  replica.handle(ctx, 0, *make_payload<Commit>(next));
+  EXPECT_TRUE(replica.buffered().empty());
+  ASSERT_EQ(ctx.sent.size(), 2U);
+  EXPECT_NE(payload_cast<QueryReply>(*ctx.sent[0].second), nullptr);
+  EXPECT_NE(payload_cast<UpdateAck>(*ctx.sent[1].second), nullptr);
+  EXPECT_EQ(replica.slot(0).value.data, 99) << "buffered Update must be applied";
+  EXPECT_EQ(replica.slot(0).tag, (Tag{5, 3}));
+}
+
+// If the Commit leapfrogs the buffered epoch (we jump 0 -> 2 past a held
+// epoch-1 phase), the phase is stale on replay and gets the normal
+// re-routing Nack with the now-current configuration.
+TEST(Reconfig, ReplicaNacksLeapfroggedBufferedPhases) {
+  Config initial;
+  initial.members = {0, 1};
+  Replica replica{initial};
+  RecordingContext ctx;
+
+  EXPECT_TRUE(replica.handle(ctx, 3, *make_payload<Query>(7, 0, 1)));
+  ASSERT_EQ(replica.buffered().size(), 1U);
+
+  Config next;
+  next.epoch = 2;
+  next.members = {0, 2};
+  replica.handle(ctx, 0, *make_payload<Commit>(next));
+  EXPECT_TRUE(replica.buffered().empty());
+  ASSERT_EQ(ctx.sent.size(), 1U);
+  const auto* nack = payload_cast<Nack>(*ctx.sent[0].second);
+  ASSERT_NE(nack, nullptr);
+  EXPECT_EQ(nack->round, 7U);
+  EXPECT_EQ(nack->config.epoch, 2U);
+  EXPECT_FALSE(nack->in_transition);
+  EXPECT_EQ(replica.epoch_rejections(), 1U);
+}
+
+// The buffer is bounded: past kMaxBuffered held phases the replica falls
+// back to a Nack (safe — the client's quorum accounting repaces the round).
+TEST(Reconfig, ReplicaBufferOverflowFallsBackToNack) {
+  Config initial;
+  initial.members = {0, 1};
+  Replica replica{initial};
+  RecordingContext ctx;
+
+  for (std::uint64_t i = 0; i < Replica::kMaxBuffered; ++i) {
+    replica.handle(ctx, 3, *make_payload<Query>(i, 0, 1));
+  }
+  EXPECT_EQ(replica.buffered().size(), Replica::kMaxBuffered);
+  EXPECT_TRUE(ctx.sent.empty());
+
+  replica.handle(ctx, 3, *make_payload<Query>(99999, 0, 1));
+  EXPECT_EQ(replica.buffered().size(), Replica::kMaxBuffered);
+  ASSERT_EQ(ctx.sent.size(), 1U);
+  EXPECT_NE(payload_cast<Nack>(*ctx.sent[0].second), nullptr);
+}
+
 TEST(Reconfig, ReplicaValidatesConfig) {
   EXPECT_THROW(Replica{Config{}}, std::invalid_argument);
   EXPECT_THROW(Client(Config{}, 1ms), std::invalid_argument);
   Config c;
   c.members = {0};
-  EXPECT_THROW(Client(c, Duration::zero()), std::invalid_argument);
+  EXPECT_THROW(Client(c, Duration{-1}), std::invalid_argument);
+  // Zero is legal: park-only mode (no backstop timer; parked ops resume on
+  // Commit only), used by the model checker to keep the state space finite.
+  EXPECT_NO_THROW(Client(c, Duration::zero()));
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "abdkit/checker/linearizability.hpp"
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/quorum/quorum_system.hpp"
+#include "abdkit/shard/messages.hpp"
 #include "abdkit/shard/node.hpp"
 #include "abdkit/shard/router.hpp"
 #include "abdkit/shard/shard_map.hpp"
@@ -263,6 +264,168 @@ struct ShardedSim {
   std::vector<Node*> nodes;
   std::vector<checker::OpRecord> records;
 };
+
+// ---- Epoch transitions (stage_map / drained / apply_map) --------------------------
+
+TEST(Router, StageMapRejectsStaleAndDegenerateEpochs) {
+  const ShardMap map = ShardMap::uniform(3, 2, 3);
+  ShardedSim sim{map, 6, 31};
+  Router& router = sim.nodes[0]->router();
+  EXPECT_FALSE(router.stage_map(ShardMap::uniform(3, 2, 3)));  // same epoch
+  EXPECT_FALSE(router.stage_map(ShardMap::uniform(2, 2, 3)));  // older
+  EXPECT_FALSE(router.stage_map(ShardMap{}));                  // empty
+  EXPECT_FALSE(router.transitioning());
+  EXPECT_THROW(router.apply_map(), std::logic_error);
+  // A strictly newer epoch stages; an equal-epoch restage is rejected.
+  EXPECT_TRUE(router.stage_map(ShardMap::uniform(4, 2, 3, 0)));
+  EXPECT_FALSE(router.stage_map(ShardMap::uniform(4, 2, 3, 0)));
+}
+
+// Membership change (same shard count): only the group whose membership
+// differs queues; the other group's traffic flows through the transition
+// window untouched, and apply_map releases the queue onto the new members.
+TEST(Router, MembershipChangeQueuesOnlyAffectedGroup) {
+  const ShardMap map{1, {{0, 1, 2}, {3, 4, 5}}};
+  ShardedSim sim{map, 8, 32};  // 6 and 7 spare
+  const auto keys = keys_per_shard(map);
+
+  std::optional<abd::OpResult> pre_g0;
+  std::optional<abd::OpResult> pre_g1;
+  sim.world.at(TimePoint{0}, [&] {
+    sim.nodes[0]->write(keys[0], Value{40},
+                        [&](const abd::OpResult& r) { pre_g0 = r; });
+    sim.nodes[0]->write(keys[1], Value{41},
+                        [&](const abd::OpResult& r) { pre_g1 = r; });
+  });
+  sim.world.run_until_quiescent();
+  ASSERT_TRUE(pre_g0.has_value());
+  ASSERT_TRUE(pre_g1.has_value());
+
+  // Replace group 0's member 2 with the spare 6. Group 1 is untouched.
+  const ShardMap next{2, {{0, 1, 6}, {3, 4, 5}}};
+  std::optional<abd::OpResult> queued_read;
+  std::optional<abd::OpResult> free_read;
+  sim.world.at(sim.world.now() + 1ms, [&] {
+    Router& router = sim.nodes[0]->router();
+    ASSERT_TRUE(router.stage_map(next));
+    EXPECT_TRUE(router.transitioning());
+    EXPECT_TRUE(router.drained());  // nothing was in flight
+    sim.nodes[0]->read(keys[0],
+                       [&](const abd::OpResult& r) { queued_read = r; });
+    sim.nodes[0]->read(keys[1], [&](const abd::OpResult& r) { free_read = r; });
+    EXPECT_EQ(router.queued_ops(), 1U) << "only the affected group queues";
+  });
+  sim.world.run_until_quiescent();
+  EXPECT_TRUE(free_read.has_value()) << "unaffected group stalled";
+  EXPECT_FALSE(queued_read.has_value()) << "affected group leaked through fence";
+
+  sim.world.at(sim.world.now() + 1ms, [&] {
+    Router& router = sim.nodes[0]->router();
+    router.apply_map();
+    EXPECT_FALSE(router.transitioning());
+    EXPECT_EQ(router.map().epoch(), 2U);
+    EXPECT_EQ(router.queued_ops(), 0U);
+  });
+  sim.world.run_until_quiescent();
+  ASSERT_TRUE(queued_read.has_value()) << "apply_map did not release the queue";
+  // Members 0 and 1 survive the change and hold the value: a majority of
+  // the new group {0,1,6} answers the released read correctly.
+  EXPECT_EQ(queued_read->value.data, 40);
+  EXPECT_EQ(free_read->value.data, 41);
+}
+
+// auto_apply mode (the ShardMapUpdate wire path): the staged map cuts over
+// on its own the moment the affected groups drain, and a shard-count change
+// affects every group.
+TEST(Router, AutoApplyCutsOverAfterDrainOnShardCountChange) {
+  const ShardMap map = ShardMap::uniform(1, 2, 3);
+  ShardedSim sim{map, 9, 33};
+  const auto keys = keys_per_shard(map);
+
+  std::optional<abd::OpResult> in_flight;
+  std::optional<abd::OpResult> behind_fence;
+  sim.world.at(TimePoint{0}, [&] {
+    sim.nodes[0]->write(keys[0], Value{7},
+                        [&](const abd::OpResult& r) { in_flight = r; });
+    Router& router = sim.nodes[0]->router();
+    // 2 groups -> 3 groups: placement moves globally, every group fences.
+    ASSERT_TRUE(router.stage_map(ShardMap::uniform(2, 3, 3), /*auto_apply=*/true));
+    EXPECT_FALSE(router.drained()) << "the in-flight write must hold the fence";
+    sim.nodes[0]->write(keys[1], Value{8},
+                        [&](const abd::OpResult& r) { behind_fence = r; });
+    EXPECT_EQ(router.queued_ops(), 1U);
+    EXPECT_TRUE(router.transitioning());
+  });
+  sim.world.run_until_quiescent();
+  ASSERT_TRUE(in_flight.has_value());
+  ASSERT_TRUE(behind_fence.has_value()) << "auto apply never released the queue";
+  Router& router = sim.nodes[0]->router();
+  EXPECT_FALSE(router.transitioning());
+  EXPECT_EQ(router.map().epoch(), 2U);
+  EXPECT_EQ(router.map().shard_count(), 3U);
+}
+
+/// Minimal Context for driving a Router without a world: records sends,
+/// never delivers.
+class SinkContext final : public Context {
+ public:
+  [[nodiscard]] ProcessId self() const noexcept override { return 99; }
+  [[nodiscard]] std::size_t world_size() const noexcept override { return 100; }
+  void send(ProcessId, PayloadPtr) override { ++sends; }
+  void broadcast(PayloadPtr) override {}
+  TimerId set_timer(Duration, TimerCallback) override { return ++timers; }
+  void cancel_timer(TimerId) override {}
+  [[nodiscard]] TimePoint now() const noexcept override { return TimePoint{}; }
+
+  std::size_t sends{0};
+  TimerId timers{0};
+};
+
+// A reply for one of the router's shards from a process that is not a
+// member of that shard's current group is a stale-epoch straggler: it must
+// be counted and consumed, never fed into the client's ack accounting.
+TEST(Router, StaleEpochReplyIsCountedAndConsumed) {
+  Metrics metrics;
+  SinkContext ctx;
+  RouterOptions options;
+  options.map = ShardMap{1, {{0, 1, 2}}};
+  options.metrics = &metrics;
+  Router router{std::move(options)};
+  router.on_start(ctx);
+  // Cut over to {0,1,6}: process 2 is retired.
+  ASSERT_TRUE(router.stage_map(ShardMap{2, {{0, 1, 6}}}));
+  router.apply_map();
+
+  const abd::ReadReply stale{Router::round_base_of(0) + 1, 0, abd::kInitialTag,
+                             Value{5}};
+  EXPECT_TRUE(router.handle(ctx, 2, stale)) << "stale reply must be consumed";
+  EXPECT_EQ(metrics.counter("reconfig.epoch_stale_replies"), 1U);
+  // A current member's reply for an unknown round is the client's business
+  // (it ignores it) — not a stale-epoch event.
+  EXPECT_TRUE(router.handle(ctx, 6, stale));
+  EXPECT_EQ(metrics.counter("reconfig.epoch_stale_replies"), 1U);
+}
+
+// The wire dissemination path end to end: handle() consumes a ShardMapUpdate
+// and stages it auto-apply; a stale update is consumed without effect.
+TEST(Router, ShardMapUpdateStagesAutoApply) {
+  SinkContext ctx;
+  RouterOptions options;
+  options.map = ShardMap{3, {{0, 1, 2}}};
+  Router router{std::move(options)};
+  router.on_start(ctx);
+
+  const ShardMapUpdate stale{ShardMap{3, {{0, 1, 2}}}};
+  EXPECT_TRUE(router.handle(ctx, 0, stale));
+  EXPECT_EQ(router.map().epoch(), 3U);
+
+  const ShardMapUpdate newer{ShardMap{4, {{0, 1, 6}}}};
+  EXPECT_TRUE(router.handle(ctx, 0, newer));
+  // Nothing in flight: the update applies immediately.
+  EXPECT_FALSE(router.transitioning());
+  EXPECT_EQ(router.map().epoch(), 4U);
+  EXPECT_EQ(router.map().group(0), (std::vector<ProcessId>{0, 1, 6}));
+}
 
 // Four 3-replica groups, three invoking processes, contended writes and
 // reads on a key of every shard: the composed history must be per-key

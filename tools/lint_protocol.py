@@ -49,6 +49,17 @@ Rules (each suppressible per line with `// lint: allow(<rule>) <reason>`):
                  routing bugs are born. Benches and CLIs that need a key's
                  group ask a Router.
 
+  epoch-transition
+                 A Router's epoch changes only through the stage → drain →
+                 transfer → apply seam (PROTOCOL.md §7 rule R4). The wire
+                 carriers of a map (ShardMapUpdate / ShardMapReply) are
+                 therefore constructed and consumed ONLY by the shard
+                 message/router sources and the codec; any other handler in
+                 src/, bench/, or examples/ is a second transition path that
+                 can install a map without draining — the split-brain bug R4
+                 exists to prevent. Orchestrators drive Router::stage_map /
+                 apply_map instead of touching the wire messages.
+
 Exit status: 0 when clean, 1 with findings, 2 on usage errors.
 """
 
@@ -251,6 +262,43 @@ def scan_router_dispatch(findings):
                     )
 
 
+# The epoch-transition seam (PROTOCOL.md §7 rule R4): the map's wire
+# carriers live in the shard message sources, are serialized by the codec,
+# and are consumed by Router::handle (which funnels into stage_map →
+# drained → apply_map). Tests are exempt (they forge updates to verify the
+# adopt-iff-strictly-newer rule and the decode caps).
+EPOCH_TRANSITION_DIRS = ("src", "bench", "examples")
+EPOCH_TRANSITION_OK = {
+    "src/shard/include/abdkit/shard/messages.hpp",
+    "src/shard/src/messages.cpp",
+    "src/shard/src/router.cpp",
+    "src/wire/src/codec.cpp",
+}
+SHARD_MAP_MSG = re.compile(r"\bShardMap(?:Update|Reply)\b")
+
+
+def scan_epoch_transition(findings):
+    rule = "epoch-transition"
+    message = (
+        "shard-map wire message handled outside the epoch-transition seam; "
+        "drive Router::stage_map/apply_map (stage → drain → transfer → "
+        "apply) instead of constructing or consuming ShardMapUpdate/"
+        "ShardMapReply directly"
+    )
+    for rel in EPOCH_TRANSITION_DIRS:
+        root = REPO / rel
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.[ch]pp")):
+            if str(path.relative_to(REPO)) in EPOCH_TRANSITION_OK:
+                continue
+            for number, raw, line in lines_of(path):
+                if SHARD_MAP_MSG.search(code_part(line)) and not allowed(raw, rule):
+                    findings.append(
+                        f"{path.relative_to(REPO)}:{number}: [{rule}] {message}"
+                    )
+
+
 def has_bad_send(code: str) -> bool:
     for m in SEND_CALL.finditer(code):
         prefix = m.group("prefix")
@@ -293,6 +341,7 @@ def main() -> int:
     scan_value_copy(findings)
     scan_strategy_dispatch(findings)
     scan_router_dispatch(findings)
+    scan_epoch_transition(findings)
 
     for finding in findings:
         print(finding)
