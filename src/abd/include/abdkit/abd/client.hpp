@@ -265,22 +265,30 @@ class Client {
   [[nodiscard]] bool record_ack(Round& round, ProcessId from) const;
   void start_update_phase(std::shared_ptr<PendingOp> op, Tag tag, Value value);
 
+  // mck-digest: exclude(quorum system is fixed at construction)
   std::shared_ptr<const quorum::QuorumSystem> quorums_;
   ReadMode read_mode_;
+  // mck-digest: exclude(construction-time configuration, never mutated)
   ClientOptions options_;
   /// The variant's read-completion decision logic plus (kTimeEfficient) the
   /// committed-tag cache. All sends still flow through dispatch_request.
   ReadStrategy strategy_;
+  // mck-digest: exclude(diagnostic counter; never steers protocol decisions)
   std::uint64_t fast_path_suppressed_{0};
+  // mck-digest: exclude(diagnostic snapshot read only by tests and operators)
   FastPathSuppression last_suppression_{FastPathSuppression::kNone};
+  // mck-digest: exclude(infrastructure pointer, not protocol state)
   Context* ctx_{nullptr};
   RoundId next_round_{1};
   std::unordered_map<RoundId, Round> rounds_;
   std::unordered_map<ObjectId, std::uint64_t> swmr_seq_;
   std::size_t pending_ops_{0};
+  // mck-digest: exclude(infrastructure pointer, not protocol state)
   Metrics* metrics_{nullptr};
   /// Cached preferred quorums for targeted contact (computed lazily).
+  // mck-digest: exclude(lazy cache derived deterministically from quorums_)
   std::vector<ProcessId> preferred_read_;
+  // mck-digest: exclude(lazy cache derived deterministically from quorums_)
   std::vector<ProcessId> preferred_write_;
 };
 

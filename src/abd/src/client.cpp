@@ -272,6 +272,9 @@ std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
 std::uint64_t Client::state_digest() const {
   std::uint64_t h = fnv1a(kFnvOffset, next_round_);
   h = fnv1a(h, pending_ops_);
+  // read_mode_ selects the read decision path (atomic vs regular); clients
+  // in different modes must never merge even if the round tables look alike.
+  h = fnv1a(h, static_cast<std::uint64_t>(read_mode_));
   // rounds_ and swmr_seq_ are unordered maps: combine per-entry digests with
   // + so the result is independent of iteration (= insertion) order, and two
   // logically equal states reached along different schedules hash equally.

@@ -97,7 +97,10 @@ std::uint64_t ReadStrategy::state_digest() const {
     }
     return h;
   };
-  std::uint64_t sum = static_cast<std::uint64_t>(variant_);
+  // resilience_f_ sizes the kImbs witness set, so it shapes every future
+  // read decision; fold it alongside the variant.
+  std::uint64_t sum = mix(mix(kOffset, static_cast<std::uint64_t>(variant_)),
+                          static_cast<std::uint64_t>(resilience_f_));
   for (const auto& [object, tag] : committed_) {
     std::uint64_t h = mix(kOffset, object);
     h = mix(h, tag.seq);

@@ -16,9 +16,13 @@
 
 namespace abdkit {
 
-/// Tag distinguishing payload types. Protocols claim disjoint ranges:
+/// Tag distinguishing payload types. Protocols claim disjoint ranges (this
+/// comment is the registry — abdlint's wire-coverage pass checks every
+/// declared tag's family against it):
 ///   0x0100 ABD SWMR, 0x0200 ABD MWMR, 0x0300 bounded-label ABD,
-///   0x0400 regular-baseline, 0x0500 KV service, 0x0600 tests.
+///   0x0400 regular-baseline, 0x0500 KV service, 0x0600 tests,
+///   0x0700 reconfiguration, 0x0800 shard map, 0x0900 anti-entropy,
+///   0x0a00 stable-vector sim state (never crosses the codec).
 using PayloadTag = std::uint32_t;
 
 /// Base class for all wire payloads.

@@ -14,28 +14,72 @@
 // runtime records from every mailbox thread). Under the single-threaded
 // simulator the mutex is uncontended and costs one atomic pair per record.
 //
-// Key conventions (dots separate namespaces, unit suffix on timers):
-//   counters: "client.messages_sent", "client.messages_resent",
-//             "client.retransmit_rounds", "client.duplicate_replies",
-//             "client.requeries", "client.ops_completed", "kv.gets",
-//             "abd.fast_path_suppressed" (a fast-capable variant's read fell
-//             back to the 2-round path; reason via Client::last_suppression),
-//             ...
-//   reconfig namespace (recorded by the R1 soak / reconfiguration drivers,
-//   published as the "reconfig" section of BENCH_R1.json):
-//             "reconfig.membership_changes", "reconfig.map_epoch_bumps",
-//             "reconfig.replicas_killed", "reconfig.partitions",
-//             "reconfig.chaos_windows", "reconfig.keys_moved",
-//             "reconfig.backfill_pulls" (anti-entropy digest pulls a joiner
-//             issued), "reconfig.backfill_replies" (pull replies received —
-//             equal when every survivor answered),
-//             "reconfig.transfer_bytes" (state moved by backfill + delta
-//             transfer), "reconfig.ops_queued_at_cutover" (peak client ops
-//             held by Router::stage_map while draining),
-//             "reconfig.histories_checked"
-//   timers:   "phase.value_collect_us", "phase.tag_collect_us",
-//             "phase.ack_collect_us", "op.read_us", "op.write_swmr_us",
-//             "op.write_mwmr_us", "kv.get_us", ...
+// Key conventions: dots separate namespaces; timers and histograms carry a
+// unit suffix (_us). Every key recorded anywhere in src/, bench/, or
+// examples/ MUST appear in the registry below — tools/abdlint's
+// metrics-registry pass enforces both directions (unknown keys at record
+// sites, stale entries here). `<i>` stands for a decimal index.
+//
+// ---- metrics key registry (enforced: abdlint metrics-registry) ----
+//   abd.fast_path_suppressed        fast-capable read fell back to the
+//                                   2-round path (Client::last_suppression)
+//   client.messages_sent            protocol requests sent by a client
+//   client.messages_resent          requests retransmitted after timeout
+//   client.retransmit_rounds        rounds that needed >=1 retransmission
+//   client.duplicate_replies        replies discarded as already-counted
+//   client.requeries                masking-mode collection restarts
+//   client.ops_completed            client ops that reached their callback
+//   kv.gets                         KV get operations served
+//   kv.puts                         KV put operations served
+//   kv.erases                       KV erase operations served
+//   kv.get_us                       KV get latency
+//   kv.put_us                       KV put latency
+//   kv.erase_us                     KV erase latency
+//   op.read_us                      ABD read op latency
+//   op.write_swmr_us                ABD SWMR write op latency
+//   op.write_mwmr_us                ABD MWMR write op latency
+//   op.bounded_read_us              bounded-label read op latency
+//   op.bounded_write_us             bounded-label write op latency
+//   phase.value_collect_us          value-collection quorum phase latency
+//   phase.tag_collect_us            tag-collection quorum phase latency
+//   phase.ack_collect_us            update-ack quorum phase latency
+//   net.accepts                     TCP connections accepted
+//   net.connects                    first successful outbound connects
+//   net.reconnects                  successful reconnects after a drop
+//   net.connect_attempts            outbound connect() attempts
+//   net.disconnects                 established connections lost
+//   net.frames_in                   protocol frames decoded off sockets
+//   net.frames_out                  protocol frames queued for send
+//   net.bytes_in                    payload bytes read from sockets
+//   net.bytes_out                   payload bytes written to sockets
+//   net.read_calls                  read() syscalls issued
+//   net.writev_calls                writev() syscalls issued
+//   net.writev_iovecs               iovecs submitted across writev calls
+//   net.sends_dropped               frames dropped (peer unknown/backlog)
+//   net.faults_dropped              frames dropped by fault injection
+//   net.dropped_bytes               queued bytes discarded at disconnect
+//   net.frame_decode_errors         malformed frames off the wire
+//   net.misrouted_frames            frames addressed to a different node
+//   reconfig.fences_started         admin fences begun
+//   reconfig.fences_committed       admin fences committed
+//   reconfig.fences_aborted         admin fences aborted
+//   reconfig.epoch_stale_replies    replies nacked for a stale epoch
+//   reconfig.ops_parked             client ops parked during a fence
+//   reconfig.ops_rerouted           parked ops redispatched post-adoption
+//   reconfig.membership_changes     soak: membership changes applied
+//   reconfig.map_epoch_bumps        soak: shard-map epoch bumps applied
+//   reconfig.replicas_killed        soak: replicas crashed by chaos
+//   reconfig.partitions             soak: partitions injected by chaos
+//   reconfig.chaos_windows          soak: chaos windows opened
+//   reconfig.keys_moved             soak: keys migrated across groups
+//   reconfig.backfill_pulls         anti-entropy digest pulls issued
+//   reconfig.backfill_replies       anti-entropy pull replies received
+//   reconfig.transfer_bytes         state bytes moved by backfill/transfer
+//   reconfig.ops_queued_at_cutover  peak ops held by Router::stage_map
+//   reconfig.histories_checked      soak: per-key histories verified
+//   shard.<i>.ops                   ops routed to shard i (dynamic key)
+//   shard.<i>.op_us                 op latency on shard i (dynamic key)
+// ---- end metrics key registry ----
 #pragma once
 
 #include <array>
@@ -43,12 +87,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "abdkit/common/stats.hpp"
+#include "abdkit/common/thread_annotations.hpp"
 #include "abdkit/common/types.hpp"
 
 namespace abdkit {
@@ -146,11 +190,14 @@ class Metrics {
   [[nodiscard]] std::string to_json() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, Summary, std::less<>> timers_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_ ABDKIT_GUARDED_BY(mutex_);
+  std::map<std::string, Summary, std::less<>> timers_ ABDKIT_GUARDED_BY(mutex_);
   // unique_ptr: handles returned by histogram() must survive rehash/insert.
-  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+  // Only the map is guarded — the pointed-to histograms are lock-free by
+  // design (handles record without re-entering the registry lock).
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_
+      ABDKIT_GUARDED_BY(mutex_);
 };
 
 }  // namespace abdkit

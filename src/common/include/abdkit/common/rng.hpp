@@ -87,6 +87,20 @@ class Rng {
     return Rng{(*this)() ^ 0xa5a5a5a55a5a5a5aULL};
   }
 
+  /// Fold of the generator state for actor state digests: two actors whose
+  /// future random choices differ (e.g. retry jitter) must hash differently,
+  /// or graph-mode model checking would merge states with divergent futures.
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint64_t word : state_) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (word >> (8 * i)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+      }
+    }
+    return h;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

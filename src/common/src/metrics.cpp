@@ -73,7 +73,7 @@ void LatencyHistogram::reset() noexcept {
 // ---- Metrics ----------------------------------------------------------------------
 
 void Metrics::add(std::string_view name, std::uint64_t delta) {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   const auto it = counters_.find(name);
   if (it != counters_.end()) {
     it->second += delta;
@@ -83,7 +83,7 @@ void Metrics::add(std::string_view name, std::uint64_t delta) {
 }
 
 void Metrics::observe(std::string_view name, double sample) {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   auto it = timers_.find(name);
   if (it == timers_.end()) it = timers_.emplace(std::string{name}, Summary{}).first;
   it->second.add(sample);
@@ -94,7 +94,7 @@ void Metrics::observe_us(std::string_view name, Duration elapsed) {
 }
 
 LatencyHistogram& Metrics::histogram(std::string_view name) {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string{name}, std::make_unique<LatencyHistogram>())
@@ -109,19 +109,19 @@ void Metrics::record_us(std::string_view name, Duration elapsed) {
 }
 
 std::uint64_t Metrics::counter(std::string_view name) const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0;
 }
 
 Summary Metrics::timer(std::string_view name) const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   const auto it = timers_.find(name);
   return it != timers_.end() ? it->second : Summary{};
 }
 
 std::vector<std::string> Metrics::counter_names() const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, value] : counters_) names.push_back(name);
@@ -129,7 +129,7 @@ std::vector<std::string> Metrics::counter_names() const {
 }
 
 std::vector<std::string> Metrics::timer_names() const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   std::vector<std::string> names;
   names.reserve(timers_.size());
   for (const auto& [name, summary] : timers_) names.push_back(name);
@@ -137,7 +137,7 @@ std::vector<std::string> Metrics::timer_names() const {
 }
 
 std::vector<std::string> Metrics::histogram_names() const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) names.push_back(name);
@@ -152,7 +152,7 @@ void Metrics::merge(const Metrics& other) {
   std::map<std::string, Summary, std::less<>> timers;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> hists;
   {
-    const std::scoped_lock lock{other.mutex_};
+    const MutexLock lock{other.mutex_};
     counters = other.counters_;
     timers = other.timers_;
     for (const auto& [name, hist] : other.histograms_) {
@@ -161,7 +161,7 @@ void Metrics::merge(const Metrics& other) {
       hists.emplace(name, std::move(copy));
     }
   }
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   for (const auto& [name, value] : counters) counters_[name] += value;
   for (const auto& [name, summary] : timers) timers_[name].merge(summary);
   for (auto& [name, hist] : hists) {
@@ -175,14 +175,14 @@ void Metrics::merge(const Metrics& other) {
 }
 
 void Metrics::reset() {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   counters_.clear();
   timers_.clear();
   histograms_.clear();
 }
 
 std::string Metrics::to_json() const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   std::ostringstream os;
   os << R"({"counters":{)";
   bool first = true;

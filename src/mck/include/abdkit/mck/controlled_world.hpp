@@ -158,18 +158,27 @@ class ControlledWorld {
   void deliver(std::uint64_t seq, bool duplicate);
   void do_crash(ProcessId p);
 
+  // mck-digest: exclude(actor state is folded via each actor's state_digest)
   std::vector<std::unique_ptr<class MckContext>> contexts_;
+  // mck-digest: exclude(actor state is folded via each actor's state_digest)
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<PendingMessage> pending_;  // kept sorted by seq (append-only order)
   std::vector<std::pair<TimerId, ArmedTimer>> timers_;  // sorted by id
   std::vector<Stimulus> stimuli_;
   std::unordered_set<ProcessId> crashed_;
+  // mck-digest: exclude(id allocator; pending_ hashes message content, ids are arbitrary)
   std::uint64_t next_seq_{0};
+  // mck-digest: exclude(id allocator; timers_ hashes the armed set, ids are arbitrary)
   TimerId next_timer_{1};
+  // mck-digest: exclude(trace length, not reachable-state identity)
   std::size_t steps_{0};
+  // mck-digest: exclude(constant true throughout exploration)
   bool started_{false};
+  // mck-digest: exclude(test instrumentation, never steers delivery)
   std::function<void(const DeliveryInfo&)> delivery_hook_;
+  // mck-digest: exclude(test instrumentation, never steers delivery)
   std::function<void(ProcessId)> crash_hook_;
+  // mck-digest: exclude(test instrumentation, never steers delivery)
   std::function<void(ProcessId, ProcessId, const Payload&)> send_hook_;
 };
 

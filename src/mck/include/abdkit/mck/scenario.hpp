@@ -164,17 +164,23 @@ class RegisterScenario {
   void on_done(ProcessId p, std::size_t index, const abd::OpResult& result);
   [[nodiscard]] std::uint64_t history_rank_digest() const;
 
+  // mck-digest: exclude(scenario configuration fixed before exploration)
   ScenarioOptions options_;
+  // mck-digest: exclude(quorum system is fixed at construction)
   std::shared_ptr<const quorum::QuorumSystem> quorums_;
   std::unique_ptr<ControlledWorld> world_;
   std::vector<abd::Node*> nodes_;         // borrowed from world_ (unsharded mode)
   std::vector<shard::Node*> shard_nodes_;  // borrowed from world_ (sharded mode)
   std::vector<reconfig::Node*> reconfig_nodes_;  // borrowed (reconfig mode)
   bool reconfig_completed_{false};
+  // mck-digest: exclude(fixed stimulus schedule, written once during setup)
   std::vector<bool> issues_ops_;
   std::vector<std::vector<OpState>> op_states_;
+  // mck-digest: exclude(fixed stimulus schedule, written once during setup)
   std::vector<std::vector<std::uint64_t>> stimulus_ids_;
+  // mck-digest: exclude(monitors observe transitions, they never steer them)
   std::vector<std::unique_ptr<Monitor>> monitors_;
+  // mck-digest: exclude(borrowed alias into monitors_)
   FastReturnResidenceMonitor* residence_{nullptr};  // borrowed from monitors_
 };
 

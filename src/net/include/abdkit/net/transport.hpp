@@ -35,7 +35,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <string_view>
@@ -46,6 +45,7 @@
 #include "abdkit/common/message.hpp"
 #include "abdkit/common/metrics.hpp"
 #include "abdkit/common/rng.hpp"
+#include "abdkit/common/thread_annotations.hpp"
 #include "abdkit/common/transport.hpp"
 #include "abdkit/net/send_queue.hpp"
 #include "abdkit/runtime/cluster.hpp"
@@ -275,8 +275,11 @@ class Transport {
   std::chrono::steady_clock::time_point epoch_;
 
   // Cross-thread post queue (the only state touched off the loop thread).
-  std::mutex post_mutex_;
-  std::deque<std::function<void()>> posted_;
+  // -Wthread-safety (clang CI lane) proves posted_ is never touched
+  // without the mutex; everything else in this class is loop-thread-only
+  // by construction and deliberately unguarded.
+  Mutex post_mutex_;
+  std::deque<std::function<void()>> posted_ ABDKIT_GUARDED_BY(post_mutex_);
 
   // Loop-thread state.
   std::deque<PayloadPtr> self_queue_;

@@ -232,7 +232,7 @@ void Transport::close_all_fds() {
 
 void Transport::post(std::function<void()> fn) {
   {
-    const std::lock_guard<std::mutex> lock{post_mutex_};
+    const MutexLock lock{post_mutex_};
     posted_.push_back(std::move(fn));
   }
   if (wake_write_fd_ >= 0) {
@@ -539,7 +539,7 @@ void Transport::deliver(const Frame& frame) {
 void Transport::drain_posted() {
   std::deque<std::function<void()>> batch;
   {
-    const std::lock_guard<std::mutex> lock{post_mutex_};
+    const MutexLock lock{post_mutex_};
     batch.swap(posted_);
   }
   for (std::function<void()>& fn : batch) {

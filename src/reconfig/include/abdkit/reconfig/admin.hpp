@@ -124,8 +124,11 @@ class Admin {
                                         std::size_t acks);
 
   Config config_;
+  // mck-digest: exclude(infrastructure pointer, not protocol state)
   Context* ctx_{nullptr};
+  // mck-digest: exclude(infrastructure pointer, not protocol state)
   Metrics* metrics_{nullptr};
+  // mck-digest: exclude(retry policy constants fixed before on_start)
   RetryPolicy policy_{};
   Rng rng_{0x5eedadbead5eedadULL};
   std::unique_ptr<Running> running_;

@@ -131,10 +131,14 @@ class Client {
   void count(const char* key) const;
 
   Config config_;
+  // mck-digest: exclude(retry policy constant fixed at construction)
   Duration retry_delay_;
+  // mck-digest: exclude(retry policy constant fixed at construction)
   Duration retry_cap_;
   Rng rng_;
+  // mck-digest: exclude(infrastructure pointer, not protocol state)
   Context* ctx_{nullptr};
+  // mck-digest: exclude(infrastructure pointer, not protocol state)
   Metrics* metrics_{nullptr};
   RoundId next_round_{1};
   std::unordered_map<RoundId, Round> rounds_;

@@ -269,6 +269,10 @@ bool Admin::handle(Context& ctx, ProcessId from, const Payload& payload) {
 std::uint64_t Admin::state_digest() const {
   std::uint64_t h = fnv1a(kFnvOffset, config_.epoch);
   h = fnv1a(h, next_round_);
+  // generation_ decides which in-flight resend timers are still live, and
+  // rng_ decides when the next one fires — both steer future transitions.
+  h = fnv1a(h, generation_);
+  h = fnv1a(h, rng_.digest());
   if (running_ == nullptr) return fnv1a(h, 0);
   const Running& run = *running_;
   h = fnv1a(h, 1);

@@ -279,6 +279,9 @@ std::uint64_t Client::state_digest() const {
   std::uint64_t h = fnv1a(kFnvOffset, config_.epoch);
   h = fnv1a(h, next_round_);
   h = fnv1a(h, pending_ops_);
+  // rng_ drives decorrelated retry backoff; its state decides when future
+  // resends fire, so states with divergent jitter streams must not merge.
+  h = fnv1a(h, rng_.digest());
   // rounds_ is an unordered map: combine per-round digests with + so the
   // result is independent of iteration (= insertion) order.
   std::uint64_t rounds = 0;

@@ -9,11 +9,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_set>
@@ -21,6 +19,7 @@
 
 #include "abdkit/common/message.hpp"
 #include "abdkit/common/rng.hpp"
+#include "abdkit/common/thread_annotations.hpp"
 #include "abdkit/common/transport.hpp"
 
 namespace abdkit::runtime {
@@ -130,14 +129,15 @@ class Cluster {
     std::unique_ptr<Actor> actor;
     std::unique_ptr<class ThreadContext> context;
     std::thread thread;
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> mailbox;
-    /// Armed timers that have neither fired nor been cancelled; guarded by
-    /// mutex. Tracking the LIVE set (not cancellations) keeps the
-    /// bookkeeping bounded: a cancel after the timer already fired — the
-    /// common retransmit-timer pattern — inserts nothing.
-    std::unordered_set<TimerId> live_timers;
+    Mutex mutex;
+    CondVar cv;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> mailbox
+        ABDKIT_GUARDED_BY(mutex);
+    /// Armed timers that have neither fired nor been cancelled. Tracking
+    /// the LIVE set (not cancellations) keeps the bookkeeping bounded: a
+    /// cancel after the timer already fired — the common retransmit-timer
+    /// pattern — inserts nothing.
+    std::unordered_set<TimerId> live_timers ABDKIT_GUARDED_BY(mutex);
     std::atomic<bool> crashed{false};
   };
 
@@ -157,8 +157,8 @@ class Cluster {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> next_timer_{1};
   bool started_{false};
-  ClusterObserver observer_;  // written before start() only
-  std::mutex observer_mutex_;
+  ClusterObserver observer_;  // written before start() only, then read-only
+  Mutex observer_mutex_;      // serializes observer invocations, not the ptr
 };
 
 }  // namespace abdkit::runtime

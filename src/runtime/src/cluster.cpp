@@ -32,7 +32,7 @@ class ThreadContext final : public Context {
     const TimerId id = cluster_.next_timer_.fetch_add(1, std::memory_order_relaxed);
     Cluster::Process& process = *cluster_.processes_[self_];
     {
-      const std::scoped_lock lock{process.mutex};
+      const MutexLock lock{process.mutex};
       process.live_timers.insert(id);
     }
     cluster_.observe(ClusterEvent::Kind::kTimerSet, self_, self_, nullptr, id);
@@ -52,7 +52,7 @@ class ThreadContext final : public Context {
     Cluster::Process& process = *cluster_.processes_[self_];
     bool was_live = false;
     {
-      const std::scoped_lock lock{process.mutex};
+      const MutexLock lock{process.mutex};
       was_live = process.live_timers.erase(id) != 0;
     }
     if (was_live) {
@@ -111,7 +111,7 @@ void Cluster::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   for (auto& process : processes_) {
     {
-      const std::scoped_lock lock{process->mutex};
+      const MutexLock lock{process->mutex};
     }
     process->cv.notify_all();
   }
@@ -149,7 +149,7 @@ void Cluster::set_observer(ClusterObserver observer) {
 
 std::size_t Cluster::timer_bookkeeping_size(ProcessId p) const {
   Process& process = *processes_.at(p);
-  const std::scoped_lock lock{process.mutex};
+  const MutexLock lock{process.mutex};
   return process.live_timers.size();
 }
 
@@ -157,7 +157,7 @@ void Cluster::observe(ClusterEvent::Kind kind, ProcessId from, ProcessId to,
                       const PayloadPtr& payload, TimerId timer) {
   if (!observer_) return;
   const TimePoint at = now();
-  const std::scoped_lock lock{observer_mutex_};
+  const MutexLock lock{observer_mutex_};
   observer_(ClusterEvent{kind, at, from, to, payload, timer});
 }
 
@@ -169,7 +169,7 @@ void Cluster::enqueue(ProcessId p, Item item) {
   Process& process = *processes_.at(p);
   item.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   {
-    const std::scoped_lock lock{process.mutex};
+    const MutexLock lock{process.mutex};
     process.mailbox.push(std::move(item));
   }
   process.cv.notify_one();
@@ -196,31 +196,35 @@ Duration Cluster::sample_delay(Rng& rng) {
 }
 
 void Cluster::mailbox_loop(ProcessId p) {
+  // Explicit lock()/unlock() (not unique_lock) so clang's -Wthread-safety
+  // analysis tracks the mutex through the wait loop and the unlocked
+  // dispatch window; the lock is held everywhere except actor callbacks.
   Process& process = *processes_[p];
-  std::unique_lock lock{process.mutex};
+  process.mutex.lock();
   while (true) {
-    if (!running_.load(std::memory_order_acquire)) return;
+    if (!running_.load(std::memory_order_acquire)) break;
     if (process.crashed.load(std::memory_order_acquire)) {
       // Crashed: discard everything and idle until shutdown. Timers die
       // with their process, so their bookkeeping goes too.
       while (!process.mailbox.empty()) process.mailbox.pop();
       process.live_timers.clear();
-      process.cv.wait(lock, [&] { return !running_.load(std::memory_order_acquire); });
-      return;
+      process.cv.wait(process.mutex,
+                      [&] { return !running_.load(std::memory_order_acquire); });
+      break;
     }
     if (process.mailbox.empty()) {
-      process.cv.wait(lock);
+      process.cv.wait(process.mutex);
       continue;
     }
     const TimePoint due = process.mailbox.top().due;
     const TimePoint current = now();
     if (due > current) {
-      process.cv.wait_for(lock, due - current);
+      process.cv.wait_for(process.mutex, due - current);
       continue;
     }
     Item item = std::move(const_cast<Item&>(process.mailbox.top()));
     process.mailbox.pop();
-    lock.unlock();
+    process.mutex.unlock();
 
     switch (item.kind) {
       case ItemKind::kDeliver:
@@ -238,7 +242,7 @@ void Cluster::mailbox_loop(ProcessId p) {
         // A timer runs only if still live; firing consumes its entry.
         bool run = false;
         {
-          const std::scoped_lock relock{process.mutex};
+          const MutexLock relock{process.mutex};
           run = process.live_timers.erase(item.timer) != 0;
         }
         if (run) {
@@ -248,8 +252,9 @@ void Cluster::mailbox_loop(ProcessId p) {
         break;
       }
     }
-    lock.lock();
+    process.mutex.lock();
   }
+  process.mutex.unlock();
 }
 
 }  // namespace abdkit::runtime

@@ -22,8 +22,11 @@
 namespace abdkit::shard {
 
 namespace tags {
-inline constexpr PayloadTag kShardMapQuery = 0x0801;
-inline constexpr PayloadTag kShardMapReply = 0x0802;
+// Pull bootstrap is not implemented: the query/reply pair is wire-reserved
+// and codec-tested, but no server answers it yet — routers learn maps via
+// pushed ShardMapUpdate only (PROTOCOL.md §13).
+inline constexpr PayloadTag kShardMapQuery = 0x0801;  // abdlint: allow(wire-coverage) reserved, no consumer yet
+inline constexpr PayloadTag kShardMapReply = 0x0802;  // abdlint: allow(wire-coverage) reserved, no consumer yet
 inline constexpr PayloadTag kShardMapUpdate = 0x0803;
 }  // namespace tags
 

@@ -207,6 +207,7 @@ class Router final : public abd::RegisterNode {
   void record_op(const Group& group, const abd::OpResult& result) const;
 
   RouterOptions options_;
+  // mck-digest: exclude(infrastructure pointer, not protocol state)
   Context* ctx_{nullptr};
   std::vector<Group> groups_;
   /// Staged epoch transition (see stage_map/apply_map).

@@ -17,7 +17,7 @@
 // (it is group-agnostic per object), which is what lets one process host
 // members of several groups on a single transport. Only the Router routes,
 // and only through ShardMap::shard_of — the single seam the protocol lint
-// pins (tools/lint_protocol.py, rule router-dispatch).
+// pins (tools/abdlint, rule router-dispatch).
 #pragma once
 
 #include <cstdint>

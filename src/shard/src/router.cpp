@@ -277,6 +277,15 @@ std::uint64_t Router::state_digest() const {
   }
   h = mix(h, staged_.has_value() ? staged_->epoch() : 0);
   h = mix(h, queued_.size());
+  // Transition bookkeeping steers which ops queue and when apply_map fires;
+  // two routers mid-transition with different affected sets must not merge.
+  h = mix(h, (auto_apply_ ? 1ULL : 0ULL) | (all_affected_ ? 2ULL : 0ULL));
+  std::uint64_t affected_bits = 0;
+  for (std::size_t s = 0; s < affected_groups_.size(); ++s) {
+    if (affected_groups_[s]) affected_bits |= 1ULL << (s % 64);
+  }
+  h = mix(h, affected_bits);
+  for (const std::uint32_t generation : generations_) h = mix(h, generation);
   return h;
 }
 

@@ -32,7 +32,7 @@ using VectorView = std::vector<std::optional<std::int64_t>>;
 using StableCallback = std::function<void(const VectorView&)>;
 
 namespace tags {
-inline constexpr PayloadTag kState = 0x0801;
+inline constexpr PayloadTag kState = 0x0a01;
 }
 
 /// One participant of one stable-vector instance. Deploy one per process

@@ -4,10 +4,10 @@
 // downstream tooling work identically on either execution backend.
 #pragma once
 
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "abdkit/common/thread_annotations.hpp"
 #include "abdkit/runtime/cluster.hpp"
 #include "abdkit/trace/trace.hpp"
 
@@ -39,8 +39,8 @@ class ClusterRecorder {
   [[nodiscard]] std::vector<Record> filtered(std::string_view kind) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Record> records_;
+  mutable Mutex mutex_;
+  std::vector<Record> records_ ABDKIT_GUARDED_BY(mutex_);
 };
 
 }  // namespace abdkit::trace

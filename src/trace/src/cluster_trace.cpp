@@ -31,28 +31,28 @@ runtime::ClusterObserver ClusterRecorder::observer() {
       record.payload_tag = event.payload->tag();
       record.payload_debug = event.payload->debug();
     }
-    const std::scoped_lock lock{mutex_};
+    const MutexLock lock{mutex_};
     records_.push_back(std::move(record));
   };
 }
 
 std::vector<Record> ClusterRecorder::records() const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   return records_;
 }
 
 std::size_t ClusterRecorder::size() const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   return records_.size();
 }
 
 void ClusterRecorder::clear() {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   records_.clear();
 }
 
 std::vector<Record> ClusterRecorder::filtered(std::string_view kind) const {
-  const std::scoped_lock lock{mutex_};
+  const MutexLock lock{mutex_};
   std::vector<Record> result;
   for (const Record& record : records_) {
     if (record.kind == kind) result.push_back(record);

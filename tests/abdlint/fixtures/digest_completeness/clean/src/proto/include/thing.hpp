@@ -1,0 +1,11 @@
+#pragma once
+class Thing {
+ public:
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+ private:
+  std::uint64_t applied_seq_{0};
+  std::vector<Entry> log_;
+  // mck-digest: exclude(infrastructure pointer, not protocol state)
+  Context* ctx_{nullptr};
+};

@@ -1,0 +1,10 @@
+#include "thing.hpp"
+std::uint64_t Thing::state_digest() const {
+  std::uint64_t h = fnv1a(kFnvOffset, applied_seq_);
+  return fnv1a(h, log_digest());
+}
+std::uint64_t Thing::log_digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (const Entry& entry : log_) h = fnv1a(h, entry.seq);
+  return h;
+}

@@ -1,0 +1,10 @@
+#pragma once
+class Thing {
+ public:
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+ private:
+  std::uint64_t applied_seq_{0};
+  // mck-digest: exclude(never part of the digest)
+  std::uint64_t epoch_{0};
+};

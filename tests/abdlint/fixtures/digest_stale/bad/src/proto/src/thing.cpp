@@ -1,0 +1,4 @@
+#include "thing.hpp"
+std::uint64_t Thing::state_digest() const {
+  return fnv1a(fnv1a(kFnvOffset, applied_seq_), epoch_);
+}

@@ -1,0 +1,3 @@
+void Node::reply(ProcessId to, PayloadPtr payload) {
+  transport_->send(to, std::move(payload));
+}

@@ -1,0 +1,4 @@
+void Node::reply(ProcessId to, PayloadPtr payload) {
+  ctx_->send(to, std::move(payload));
+  resend_unanswered();
+}

@@ -1,0 +1,5 @@
+void KvNode::handle(const Payload& payload) {
+  if (const auto* update = payload_cast<ShardMapUpdate>(payload)) {
+    map_ = update->map;
+  }
+}

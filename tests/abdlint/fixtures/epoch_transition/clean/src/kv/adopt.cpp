@@ -1,0 +1,1 @@
+void KvNode::handle(const Payload& payload) { forward_to_router(payload); }

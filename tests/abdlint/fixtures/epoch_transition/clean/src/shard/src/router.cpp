@@ -1,0 +1,5 @@
+void Router::handle(const Payload& payload) {
+  if (const auto* update = payload_cast<ShardMapUpdate>(payload)) {
+    stage_map(update->map);
+  }
+}

@@ -1,0 +1,4 @@
+void Server::serve(const Request& request) {
+  metrics_->add("svc.ops");
+  metrics_->observe_us("svc.opp_us", elapsed_);
+}

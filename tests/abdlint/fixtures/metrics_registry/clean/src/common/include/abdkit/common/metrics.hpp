@@ -1,0 +1,6 @@
+#pragma once
+// ---- metrics key registry (enforced: abdlint metrics-registry) ----
+//   svc.ops        operations served
+//   svc.op_us      operation latency
+// ---- end metrics key registry ----
+class Metrics {};

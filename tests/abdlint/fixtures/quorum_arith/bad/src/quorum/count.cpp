@@ -1,0 +1,3 @@
+bool Quorum::reached(std::size_t acks) const {
+  return acks >= members_.size() - crashed_;
+}

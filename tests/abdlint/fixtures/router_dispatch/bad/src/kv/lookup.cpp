@@ -1,0 +1,3 @@
+GroupId KvNode::group_for(ObjectId key) const {
+  return map_.shard_of(key);
+}

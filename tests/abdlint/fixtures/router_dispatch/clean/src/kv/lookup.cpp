@@ -1,0 +1,3 @@
+GroupId KvNode::group_for(ObjectId key) const {
+  return router_->route(key);
+}

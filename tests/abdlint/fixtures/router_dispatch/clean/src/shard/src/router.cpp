@@ -1,0 +1,3 @@
+GroupId Router::route(ObjectId key) const {
+  return options_.map.shard_of(key);
+}

@@ -1,0 +1,7 @@
+void Client::dispatch_request(const Request& request) {
+  ctx_->broadcast(request.payload);
+}
+
+void Client::handle_reply(const Reply& reply) {
+  ctx_->send(reply.from, make_ack(reply));
+}

@@ -1,0 +1,7 @@
+void Client::dispatch_request(const Request& request) {
+  ctx_->broadcast(request.payload);
+}
+
+void Client::resend_unanswered(RoundId round) {
+  ctx_->send(peer_, pending_.at(round));
+}

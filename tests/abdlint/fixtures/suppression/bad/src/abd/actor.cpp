@@ -1,0 +1,4 @@
+void Actor::tick() {
+  counter_ += 1;  // abdlint: allow(wall-clock)
+  counter_ += 2;  // abdlint: allow(no-such-rule) misremembered the rule name
+}

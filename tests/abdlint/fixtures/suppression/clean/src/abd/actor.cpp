@@ -1,0 +1,3 @@
+void Actor::tick() {
+  wall_ = std::chrono::steady_clock::now();  // lint: allow(wall-clock) perf probe outside sim control
+}

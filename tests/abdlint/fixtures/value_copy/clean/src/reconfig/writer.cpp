@@ -1,0 +1,4 @@
+void Writer::install(ObjectId object, Value value) {
+  ctx_->send(peer_, make_payload<Update>(round_, object, tag_,
+                                         std::move(value)));
+}

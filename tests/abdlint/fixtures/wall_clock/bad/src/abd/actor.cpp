@@ -1,0 +1,4 @@
+#include <chrono>
+void Actor::tick() {
+  last_tick_ = std::chrono::steady_clock::now();
+}

@@ -1,0 +1,4 @@
+#pragma once
+/// Tag distinguishing payload types. Protocols claim disjoint ranges:
+///   0x0100 ping-pong.
+using PayloadTag = std::uint32_t;

@@ -1,0 +1,17 @@
+#pragma once
+namespace proto {
+namespace tags {
+inline constexpr PayloadTag kPing = 0x0101;
+inline constexpr PayloadTag kPong = 0x0102;
+}  // namespace tags
+
+struct Ping final : Payload {
+  static constexpr PayloadTag kTag = tags::kPing;
+  std::uint64_t round{0};
+};
+
+struct Pong final : Payload {
+  static constexpr PayloadTag kTag = tags::kPong;
+  std::uint64_t round{0};
+};
+}  // namespace proto

@@ -1,0 +1,4 @@
+void Node::handle(const Payload& payload) {
+  if (const auto* ping = payload_cast<Ping>(payload)) reply(ping->round);
+  if (const auto* pong = payload_cast<Pong>(payload)) settle(pong->round);
+}

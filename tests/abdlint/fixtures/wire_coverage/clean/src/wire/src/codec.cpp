@@ -1,0 +1,30 @@
+void encode_body(Writer& w, const Payload& payload) {
+  switch (payload.tag()) {
+    case kPing: {
+      const auto& m = static_cast<const proto::Ping&>(payload);
+      w.varint(m.round);
+      return;
+    }
+    case kPong: {
+      const auto& m = static_cast<const proto::Pong&>(payload);
+      w.varint(m.round);
+      return;
+    }
+    default:
+      throw std::invalid_argument{"unsupported payload tag"};
+  }
+}
+
+PayloadPtr decode_body(PayloadTag tag, Reader& r) {
+  std::uint64_t round = 0;
+  switch (tag) {
+    case kPing:
+      if (!r.varint(round)) return nullptr;
+      return make_payload<proto::Ping>(round);
+    case kPong:
+      if (!r.varint(round)) return nullptr;
+      return make_payload<proto::Pong>(round);
+    default:
+      return nullptr;
+  }
+}

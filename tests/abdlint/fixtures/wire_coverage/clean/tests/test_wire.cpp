@@ -1,0 +1,6 @@
+std::vector<PayloadPtr> sample_payloads() {
+  std::vector<PayloadPtr> result;
+  result.push_back(make_payload<proto::Ping>(1));
+  result.push_back(make_payload<proto::Pong>(2));
+  return result;
+}

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Golden-output parity: the abdlint ports of the seven lint_protocol rules
+must agree with the retired script, finding for finding.
+
+The retired script is frozen verbatim at golden/lint_protocol_frozen.py.
+This test builds a scratch tree containing the REAL repo's src/, bench/,
+and examples/ (so parity is proven on full production input, not toys),
+seeds one violation per legacy rule plus one suppressed line, then runs
+
+  * the frozen script (copied to <scratch>/tools/lint_protocol.py — it
+    scans relative to its own location), and
+  * abdlint with --root <scratch> --rules <the seven> --legacy-summary.
+
+Findings (as unordered sets — the two tools scan in different rule order),
+the summary line, and the exit codes must all match exactly. This is the
+proof the ISSUE requires before tools/lint_protocol.py may be deleted.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+FROZEN = HERE / "golden" / "lint_protocol_frozen.py"
+LEGACY_RULES = ("wall-clock,quorum-arith,direct-send,value-copy,"
+                "strategy-dispatch,router-dispatch,epoch-transition")
+
+FINDING = re.compile(r"^(?P<path>[^:\s]+):(?P<line>\d+): \[(?P<rule>[\w-]+)\] ")
+
+SEEDS = (
+    # (relative file, appended snippet) — one violation per legacy rule,
+    # plus a correctly suppressed line that must stay silent in BOTH tools.
+    ("src/abd/src/replica.cpp",
+     "static void seeded_wall_clock() {\n"
+     "  auto t = std::chrono::steady_clock::now();\n"
+     "  (void)t;\n"
+     "}\n"),
+    ("src/quorum/src/quorum_system.cpp",
+     "static bool seeded_quorum_arith(std::size_t acks,\n"
+     "                                const std::vector<int>& members) {\n"
+     "  return acks >= members.size() - 1;\n"
+     "}\n"),
+    ("src/kv/src/kv_node.cpp",
+     "static void seeded_direct_send(Transport& transport) {\n"
+     "  transport.send(0, nullptr);\n"
+     "}\n"),
+    ("src/reconfig/src/client.cpp",
+     "static PayloadPtr seeded_value_copy(Value value) {\n"
+     "  return make_payload<Update>(1, 2, Tag{}, value);\n"
+     "}\n"),
+    ("src/abd/src/strategy.cpp",
+     "void ReadStrategy::seeded_strategy_dispatch() {\n"
+     "  ctx_->send(0, nullptr);\n"
+     "}\n"),
+    ("src/kv/src/kv_node.cpp",
+     "static int seeded_router_dispatch(const ShardMap& map) {\n"
+     "  return map.shard_of(7);\n"
+     "}\n"),
+    ("src/kv/src/kv_node.cpp",
+     "static void seeded_epoch_transition(const Payload& p) {\n"
+     "  (void)payload_cast<ShardMapUpdate>(p);\n"
+     "}\n"),
+    ("src/abd/src/client.cpp",
+     "static void seeded_suppressed() {\n"
+     "  auto t = std::chrono::steady_clock::now();"
+     "  // lint: allow(wall-clock) golden-parity seed\n"
+     "  (void)t;\n"
+     "}\n"),
+)
+
+
+def findings_of(text: str) -> set[str]:
+    return {line for line in text.splitlines() if FINDING.match(line)}
+
+
+def summary_of(text: str) -> str:
+    return next((line for line in text.splitlines()
+                 if line.startswith("lint_protocol:")), "<missing>")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="abdlint_golden_") as scratch_str:
+        scratch = Path(scratch_str)
+        for rel in ("src", "bench", "examples"):
+            if (REPO / rel).is_dir():
+                shutil.copytree(REPO / rel, scratch / rel)
+        (scratch / "tools").mkdir()
+        shutil.copy2(FROZEN, scratch / "tools" / "lint_protocol.py")
+        for rel, snippet in SEEDS:
+            target = scratch / rel
+            target.write_text(target.read_text(encoding="utf-8") + "\n"
+                              + snippet, encoding="utf-8")
+
+        old = subprocess.run([sys.executable,
+                              str(scratch / "tools" / "lint_protocol.py")],
+                             capture_output=True, text=True)
+        new = subprocess.run([sys.executable, str(REPO / "tools" / "abdlint"),
+                              "--root", str(scratch),
+                              "--rules", LEGACY_RULES, "--legacy-summary"],
+                             capture_output=True, text=True)
+
+        old_found, new_found = findings_of(old.stdout), findings_of(new.stdout)
+        ok = True
+        if old.returncode != new.returncode:
+            ok = False
+            print(f"FAIL exit codes differ: old={old.returncode} "
+                  f"new={new.returncode}")
+        if summary_of(old.stdout) != summary_of(new.stdout):
+            ok = False
+            print(f"FAIL summaries differ: old='{summary_of(old.stdout)}' "
+                  f"new='{summary_of(new.stdout)}'")
+        if old_found != new_found:
+            ok = False
+            for line in sorted(old_found - new_found):
+                print(f"FAIL only legacy reports: {line}")
+            for line in sorted(new_found - old_found):
+                print(f"FAIL only abdlint reports: {line}")
+        if len(old_found) < len(SEEDS) - 1:
+            ok = False
+            print(f"FAIL seeding broke: only {len(old_found)} findings for "
+                  f"{len(SEEDS) - 1} seeded violations")
+        if not ok:
+            return 1
+        print(f"abdlint golden: parity on {len(old_found)} findings, "
+              f"exit {old.returncode}, '{summary_of(old.stdout)}'")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

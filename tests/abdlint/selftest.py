@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""abdlint self-test: fixture corpus + output-format contracts.
+
+Each fixture under tests/abdlint/fixtures/<case>/ is a miniature source
+tree: `bad/` seeds known violations, `clean/` is its violation-free twin.
+The test runs the named rule over each root and asserts the exact findings
+(rule, path, line), so a regression in any pass fails loudly rather than
+silently scanning nothing — the classic failure mode of regex lint.
+
+Run directly (`python3 tests/abdlint/selftest.py`) or via ctest
+(`abdlint_selftest`). Exit 0 on success.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+FIXTURES = HERE / "fixtures"
+sys.path.insert(0, str(REPO / "tools"))
+
+from abdlint.engine import SourceTree, run_rules  # noqa: E402
+from abdlint.output import render_sarif  # noqa: E402
+from abdlint.rules import make_rules  # noqa: E402
+
+failures: list[str] = []
+
+
+def check(condition: bool, label: str) -> None:
+    print(("ok   " if condition else "FAIL ") + label)
+    if not condition:
+        failures.append(label)
+
+
+def run(root: Path, rules: list[str], hygiene: bool = True):
+    result = run_rules(SourceTree(root), make_rules(rules), hygiene=hygiene)
+    return [(f.rule, f.path, f.line) for f in result.findings]
+
+
+def fixture_case(case: str, rules: list[str], expect_bad: list[tuple]) -> None:
+    """bad/ must produce exactly `expect_bad`; clean/ must be empty."""
+    bad = run(FIXTURES / case / "bad", rules)
+    check(bad == sorted(expect_bad),
+          f"{case}/bad -> {expect_bad}" if bad == sorted(expect_bad)
+          else f"{case}/bad expected {sorted(expect_bad)} got {bad}")
+    clean_dir = FIXTURES / case / "clean"
+    if clean_dir.is_dir():
+        clean = run(clean_dir, rules)
+        check(clean == [], f"{case}/clean -> no findings"
+              if clean == [] else f"{case}/clean got {clean}")
+
+
+def main() -> int:
+    fixture_case("wall_clock", ["wall-clock"],
+                 [("wall-clock", "src/abd/actor.cpp", 3)])
+    fixture_case("quorum_arith", ["quorum-arith"],
+                 [("quorum-arith", "src/quorum/count.cpp", 2)])
+    fixture_case("direct_send", ["direct-send"],
+                 [("direct-send", "src/kv/node.cpp", 2)])
+    fixture_case("value_copy", ["value-copy"],
+                 [("value-copy", "src/reconfig/writer.cpp", 3)])
+    fixture_case("strategy_dispatch", ["strategy-dispatch"],
+                 [("strategy-dispatch", "src/abd/src/client.cpp", 6)])
+    fixture_case("router_dispatch", ["router-dispatch"],
+                 [("router-dispatch", "src/kv/lookup.cpp", 2)])
+    fixture_case("epoch_transition", ["epoch-transition"],
+                 [("epoch-transition", "src/kv/adopt.cpp", 2)])
+    fixture_case("digest_completeness", ["digest-completeness"],
+                 [("digest-completeness",
+                   "src/proto/include/thing.hpp", 8)])
+    fixture_case("digest_stale", ["digest-completeness"],
+                 [("digest-completeness",
+                   "src/proto/include/thing.hpp", 9)])
+    fixture_case("wire_coverage", ["wire-coverage"],
+                 [("wire-coverage", "src/proto/include/messages.hpp", 5)])
+    fixture_case("metrics_registry", ["metrics-registry"],
+                 [("metrics-registry",
+                   "src/common/include/abdkit/common/metrics.hpp", 4),
+                  ("metrics-registry", "src/svc/server.cpp", 3)])
+    # Suppression hygiene: a reason-less marker and an unknown-rule marker
+    # are findings themselves; a well-formed marker suppresses its rule.
+    fixture_case("suppression", ["wall-clock"],
+                 [("suppression", "src/abd/actor.cpp", 2),
+                  ("suppression", "src/abd/actor.cpp", 3)])
+
+    # Suppression must NOT swallow findings when the reason is missing:
+    # same fixture, marker without reason on a violating line.
+    tree = SourceTree(FIXTURES / "suppression" / "clean")
+    bare = run_rules(tree, make_rules(["wall-clock"]), hygiene=False)
+    check(bare.findings == [],
+          "well-formed allow() marker suppresses the wall-clock finding")
+
+    # SARIF output is schema-shaped: version, driver rules, result regions.
+    result = run_rules(SourceTree(FIXTURES / "wall_clock" / "bad"),
+                       make_rules(["wall-clock"]))
+    sarif = json.loads(render_sarif(result.findings, result.rules_run))
+    run0 = sarif["runs"][0]
+    check(sarif["version"] == "2.1.0", "sarif: version 2.1.0")
+    check(run0["tool"]["driver"]["name"] == "abdlint", "sarif: driver name")
+    check(all("id" in r and "shortDescription" in r
+              for r in run0["tool"]["driver"]["rules"]),
+          "sarif: rule table entries carry id + shortDescription")
+    check(run0["results"][0]["locations"][0]["physicalLocation"]["region"]
+          ["startLine"] == 3, "sarif: result carries the finding line")
+    check(run0["results"][0]["ruleId"] == "wall-clock", "sarif: ruleId")
+
+    # CLI contract: exit 1 + findings on stdout for a bad root, exit 0 for
+    # a clean one, exit 2 for an unknown rule.
+    cli = [sys.executable, str(REPO / "tools" / "abdlint")]
+    bad = subprocess.run(cli + ["--root", str(FIXTURES / "wall_clock" / "bad"),
+                                "--rules", "wall-clock"],
+                         capture_output=True, text=True)
+    check(bad.returncode == 1 and "[wall-clock]" in bad.stdout,
+          "cli: bad fixture exits 1 with a rendered finding")
+    clean = subprocess.run(cli + ["--root",
+                                  str(FIXTURES / "wall_clock" / "clean")],
+                           capture_output=True, text=True)
+    check(clean.returncode == 0 and "clean" in clean.stdout,
+          "cli: clean fixture exits 0")
+    usage = subprocess.run(cli + ["--rules", "no-such-rule"],
+                           capture_output=True, text=True)
+    check(usage.returncode == 2, "cli: unknown rule exits 2")
+
+    if failures:
+        print(f"\nabdlint selftest: {len(failures)} failure(s)")
+        return 1
+    print("\nabdlint selftest: all passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

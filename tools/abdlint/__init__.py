@@ -1,0 +1,9 @@
+"""abdlint: the repo's semantic protocol analyzer.
+
+Multi-pass static analysis for invariants clang-tidy cannot express —
+protocol seams, model-checker digest completeness, wire-family coverage,
+and the metrics-key registry. See tools/abdlint/README.md and the
+"Static analysis" section of DESIGN.md for the rule catalogue.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Entry point for both spellings:
+
+    python3 -m tools.abdlint   (package on sys.path)
+    python3 tools/abdlint      (directory execution; CI uses this)
+
+Directory execution runs this file with no package context, so bootstrap
+the package by putting tools/ on sys.path and importing it properly.
+"""
+
+import sys
+
+if __package__ in (None, ""):
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from abdlint.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,84 @@
+"""Command-line front end.
+
+    python3 tools/abdlint [--root DIR] [--rules a,b,c] [--format text|json|sarif]
+                          [--output FILE] [--list-rules] [--legacy-summary]
+
+Exit codes match the retired lint_protocol.py: 0 clean, 1 findings,
+2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import SourceTree, run_rules
+from .output import render_json, render_sarif, render_text
+from .rules import ALL_RULES, make_rules
+
+
+def default_root() -> Path:
+    """The repo root, assuming the package lives at <root>/tools/abdlint."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="abdlint",
+        description="semantic protocol analyzer for the abdkit tree")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="tree to analyze (default: the repo this "
+                             "package is checked into)")
+    parser.add_argument("--rules", default=None, metavar="NAMES",
+                        help="comma-separated rule subset (default: all); "
+                             "selecting a subset also disables the "
+                             "suppression-hygiene pass for byte-for-byte "
+                             "legacy compatibility")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the report here instead of stdout "
+                             "(exit code still reflects findings)")
+    parser.add_argument("--legacy-summary", action="store_true",
+                        help="text format emits the historical "
+                             "lint_protocol.py summary line (golden test)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.name:20s} {cls.description}")
+        return 0
+
+    root = (args.root or default_root()).resolve()
+    if not root.is_dir():
+        print(f"abdlint: root {root} is not a directory", file=sys.stderr)
+        return 2
+    try:
+        names = ([n.strip() for n in args.rules.split(",") if n.strip()]
+                 if args.rules else None)
+        rules = make_rules(names)
+    except KeyError as unknown:
+        print(f"abdlint: unknown rule(s): {unknown.args[0]}", file=sys.stderr)
+        return 2
+
+    result = run_rules(SourceTree(root), rules, hygiene=names is None)
+    if args.format == "json":
+        report = render_json(result.findings, result.rules_run)
+    elif args.format == "sarif":
+        report = render_sarif(result.findings, result.rules_run)
+    else:
+        report = render_text(result.findings,
+                             legacy_summary=args.legacy_summary)
+    if args.output is not None:
+        args.output.write_text(report, encoding="utf-8")
+        if result.findings:  # keep the terminal actionable on failure
+            sys.stdout.write(render_text(result.findings))
+    else:
+        sys.stdout.write(report)
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

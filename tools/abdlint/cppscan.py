@@ -1,0 +1,161 @@
+"""Lightweight C++ declaration scanner.
+
+Not a parser — a brace-tracking scanner tuned to this repo's clang-formatted
+style, extracting exactly what the semantic passes need:
+
+  * classes (and the line each was declared on),
+  * their top-level data members (one declaration per line, trailing-`_`
+    naming convention — both are enforced house style),
+  * out-of-class member function bodies (`Class::method(...) ... { ... }`),
+  * the set of same-class methods a body calls (one level of indirection is
+    resolved transitively by the digest pass).
+
+Nested structs/enums and member function bodies are skipped by depth
+tracking, so their fields never masquerade as class members.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .engine import SourceFile, code_part
+
+CLASS_HEAD = re.compile(r"^\s*(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{;]*)?\{")
+
+# A member variable declaration: everything before the name is the type
+# (possibly templated, hence <>()&s in the charset); the name ends in `_`
+# (house style); after it an optional brace-init / default / array extent,
+# then `;`. Keywords that start non-member declarations are rejected first.
+MEMBER_DECL = re.compile(
+    r"^\s*(?!static\b|using\b|typedef\b|friend\b|return\b|case\b)"
+    r"(?:[\w:<>,*&\s()\[\]]|\.\.\.)*?"
+    r"\b([A-Za-z_]\w*_)\s*"
+    r"(?:\{[^;]*\}|=[^;]*|\[[^\]]*\])?\s*;"
+)
+
+
+@dataclass
+class MemberVar:
+    name: str
+    line: int
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    line: int
+    members: list[MemberVar] = field(default_factory=list)
+    body_start: int = 0  # line of the opening brace
+    body_end: int = 0    # line of the closing brace
+
+
+def _body_span(lines: list[str], start_index: int, open_col: int) -> int:
+    """Index of the line holding the matching close brace for the brace at
+    (start_index, open_col). Returns -1 when unbalanced (truncated file)."""
+    depth = 0
+    for i in range(start_index, len(lines)):
+        text = lines[i]
+        begin = open_col if i == start_index else 0
+        for ch in text[begin:]:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+    return -1
+
+
+def scan_classes(source: SourceFile) -> list[ClassDecl]:
+    """All class/struct declarations with bodies, with their top-level data
+    members. Member extraction is line-oriented: house style keeps one
+    declaration per line."""
+    lines = [line.code for line in source.lines]
+    classes: list[ClassDecl] = []
+    for index, text in enumerate(lines):
+        head = CLASS_HEAD.match(code_part(text))
+        if head is None:
+            continue
+        open_col = text.find("{")
+        close_index = _body_span(lines, index, open_col)
+        if close_index < 0:
+            continue
+        decl = ClassDecl(head.group(1), index + 1,
+                         body_start=index + 1, body_end=close_index + 1)
+        # Walk the body, tracking depth so nested types/bodies are skipped.
+        depth = 1  # the class's own brace
+        for i in range(index, close_index + 1):
+            body_text = code_part(lines[i])
+            begin = open_col + 1 if i == index else 0
+            at_line_start = depth
+            for ch in body_text[begin:]:
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+            if i == index:
+                continue
+            # Only lines that both start and end at class depth hold
+            # top-level declarations (single-line members, house style).
+            if at_line_start != 1 or depth != 1:
+                continue
+            m = MEMBER_DECL.match(body_text)
+            if m and "(" not in body_text.split(m.group(1))[-1]:
+                decl.members.append(MemberVar(m.group(1), i + 1))
+        classes.append(decl)
+    return classes
+
+
+METHOD_DEF = re.compile(
+    r"^[\w:<>,&*\[\]\s]*?\b(?P<cls>[A-Za-z_]\w*)::(?P<name>~?\w+)\s*\(")
+
+
+@dataclass
+class MethodDef:
+    cls: str
+    name: str
+    line: int
+    body: str
+
+
+def scan_method_defs(source: SourceFile) -> list[MethodDef]:
+    """Out-of-class member function definitions with their body text."""
+    lines = [line.code for line in source.lines]
+    methods: list[MethodDef] = []
+    for index, text in enumerate(lines):
+        stripped = code_part(text)
+        if not stripped or stripped[0].isspace():
+            continue
+        m = METHOD_DEF.match(stripped)
+        if m is None:
+            continue
+        # Find the opening brace of the body (may sit lines below the
+        # signature); stop if a `;` ends the statement first (a declaration
+        # or a member-pointer initialization, not a definition).
+        open_index, open_col = -1, -1
+        for j in range(index, min(index + 8, len(lines))):
+            candidate = code_part(lines[j])
+            semi = candidate.find(";")
+            brace = candidate.find("{", 0 if j > index else m.end())
+            if brace >= 0 and (semi < 0 or brace < semi):
+                open_index, open_col = j, brace
+                break
+            if semi >= 0:
+                break
+        if open_index < 0:
+            continue
+        close_index = _body_span(lines, open_index, open_col)
+        if close_index < 0:
+            continue
+        body = "\n".join(
+            code_part(lines[k]) for k in range(open_index, close_index + 1))
+        methods.append(MethodDef(m.group("cls"), m.group("name"), index + 1, body))
+    return methods
+
+
+WORD = re.compile(r"[A-Za-z_]\w*")
+
+
+def tokens(text: str) -> set[str]:
+    return set(WORD.findall(text))

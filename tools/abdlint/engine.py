@@ -1,0 +1,215 @@
+"""Core analysis machinery: source loading, suppression, rule running.
+
+Comment handling reproduces tools/lint_protocol.py's historical semantics
+exactly (the golden-output test depends on it): block comments are stripped
+across lines so commented-out code cannot trip a rule, while line comments
+are preserved on the raw line because the suppression marker lives there.
+
+Suppression contract (enforced, not advisory):
+
+    // abdlint: allow(<rule>) <reason>
+
+suppresses findings of <rule> on that line. The legacy spelling
+`// lint: allow(<rule>) <reason>` is accepted unchanged. The reason is
+MANDATORY — an allow() with no reason suppresses nothing and is itself
+reported by the `suppression` hygiene rule, as is an allow() naming a rule
+that does not exist.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+ALLOW = re.compile(
+    r"//\s*(?:abd)?lint:\s*allow\((?P<rule>[\w-]+)\)(?:\s+(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str  # root-relative, posix separators
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+
+@dataclass
+class SourceLine:
+    number: int
+    raw: str   # verbatim, including line comments
+    code: str  # block comments stripped (line comments still present)
+
+
+class SourceFile:
+    """One parsed source file, cached by SourceTree."""
+
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.lines: list[SourceLine] = list(self._parse(path))
+
+    @staticmethod
+    def _parse(path: Path) -> Iterator[SourceLine]:
+        text = path.read_text(encoding="utf-8")
+        in_block = False
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw
+            if in_block:
+                end = line.find("*/")
+                if end < 0:
+                    # Keep the line present (empty) so numbering is stable.
+                    yield SourceLine(number, raw, "")
+                    continue
+                line = line[end + 2:]
+                in_block = False
+            start = line.find("/*")
+            while start >= 0:
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    line = line[:start]
+                    in_block = True
+                    break
+                line = line[:start] + line[end + 2:]
+                start = line.find("/*")
+            yield SourceLine(number, raw, line)
+
+    def code_text(self) -> str:
+        """Whole file with block comments stripped, line structure kept."""
+        return "\n".join(line.code for line in self.lines)
+
+    def raw_line(self, number: int) -> str:
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1].raw
+        return ""
+
+
+def code_part(line: str) -> str:
+    """The line with any trailing // comment removed (naive but fine here:
+    protocol sources do not put // inside string literals)."""
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def suppression_on(raw_line: str, rule: str) -> bool:
+    """True when the raw line carries a well-formed (reason-bearing) allow
+    marker for `rule`. Reason-less markers intentionally suppress nothing."""
+    m = ALLOW.search(raw_line)
+    return m is not None and m.group("rule") == rule and m.group("reason") is not None
+
+
+class SourceTree:
+    """Lazy, cached view of the analyzed tree. `root` is normally the repo
+    root; self-test fixtures pass a miniature root mimicking the layout."""
+
+    def __init__(self, root: Path):
+        self.root = root.resolve()
+        self._cache: dict[Path, SourceFile] = {}
+
+    def load(self, path: Path) -> SourceFile:
+        path = path.resolve()
+        if path not in self._cache:
+            rel = path.relative_to(self.root).as_posix()
+            self._cache[path] = SourceFile(path, rel)
+        return self._cache[path]
+
+    def exists(self, rel: str) -> bool:
+        return (self.root / rel).is_file()
+
+    def file(self, rel: str) -> SourceFile | None:
+        path = self.root / rel
+        return self.load(path) if path.is_file() else None
+
+    def files(self, rel_dirs: Iterable[str],
+              suffixes: tuple[str, ...] = (".hpp", ".cpp")) -> Iterator[SourceFile]:
+        for rel in rel_dirs:
+            base = self.root / rel
+            if base.is_file():
+                yield self.load(base)
+                continue
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in suffixes and path.is_file():
+                    yield self.load(path)
+
+
+class Rule:
+    """Base class: subclasses set `name`/`description` and implement run().
+    Findings are returned unsuppressed; the engine applies allow markers."""
+
+    name = ""
+    description = ""
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        raise NotImplementedError
+
+
+class SuppressionHygiene(Rule):
+    """allow() markers must carry a reason and name a real rule. Scans every
+    file another rule touched (the tree cache), so markers in dead corners
+    of the layout still get vetted as soon as any rule loads them."""
+
+    name = "suppression"
+    description = ("abdlint allow() markers must name an existing rule and "
+                   "give a reason")
+
+    def __init__(self, known_rules: Iterable[str]):
+        self.known = set(known_rules) | {self.name}
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in list(tree._cache.values()):
+            for line in source.lines:
+                m = ALLOW.search(line.raw)
+                if m is None:
+                    continue
+                if m.group("reason") is None:
+                    findings.append(Finding(
+                        source.rel, line.number, self.name,
+                        f"suppression of [{m.group('rule')}] has no reason; "
+                        "write `// abdlint: allow(rule) <why>` — reason-less "
+                        "markers suppress nothing"))
+                elif m.group("rule") not in self.known:
+                    findings.append(Finding(
+                        source.rel, line.number, self.name,
+                        f"suppression names unknown rule "
+                        f"'{m.group('rule')}'"))
+        return findings
+
+
+@dataclass
+class RunResult:
+    findings: list[Finding]
+    rules_run: list[Rule] = field(default_factory=list)
+
+
+def run_rules(tree: SourceTree, rules: list[Rule],
+              hygiene: bool = True) -> RunResult:
+    """`hygiene=False` is the golden-compatibility mode: rule selection via
+    --rules implies byte-for-byte agreement with the retired
+    tools/lint_protocol.py, which had no suppression hygiene."""
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.run(tree):
+            source = tree.file(finding.path)
+            raw = source.raw_line(finding.line) if source else ""
+            if suppression_on(raw, finding.rule):
+                continue
+            findings.append(finding)
+    rules_run = list(rules)
+    if hygiene:
+        # Hygiene last: it inspects every file the passes above loaded.
+        hygiene_rule = SuppressionHygiene(r.name for r in rules)
+        findings.extend(hygiene_rule.run(tree))
+        rules_run.append(hygiene_rule)
+    findings.sort(key=Finding.sort_key)
+    return RunResult(findings, rules_run=rules_run)

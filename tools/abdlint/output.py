@@ -1,0 +1,83 @@
+"""Output renderers: text (the historical lint_protocol format), JSON, and
+SARIF 2.1.0 (minimal but schema-conformant: tool.driver with a rule table,
+one result per finding with a physical location)."""
+
+from __future__ import annotations
+
+import json
+
+from . import __version__
+from .engine import Finding, Rule
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_text(findings: list[Finding], legacy_summary: bool = False) -> str:
+    lines = [finding.render() for finding in findings]
+    if legacy_summary:
+        # Byte-compatible with tools/lint_protocol.py for the golden test.
+        if findings:
+            lines.append("")
+            lines.append(f"lint_protocol: {len(findings)} finding(s)")
+        else:
+            lines.append("lint_protocol: clean")
+    else:
+        lines.append(f"abdlint: {len(findings)} finding(s)"
+                     if findings else "abdlint: clean")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: list[Finding], rules: list[Rule]) -> str:
+    doc = {
+        "tool": "abdlint",
+        "version": __version__,
+        "rules": [{"id": rule.name, "description": rule.description}
+                  for rule in rules],
+        "findings": [{"path": f.path, "line": f.line, "rule": f.rule,
+                      "message": f.message} for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(findings: list[Finding], rules: list[Rule]) -> str:
+    rule_index = {rule.name: i for i, rule in enumerate(rules)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": f.line},
+                },
+            }],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "abdlint",
+                    "version": __version__,
+                    "informationUri":
+                        "https://example.invalid/abdkit/tools/abdlint",
+                    "rules": [{
+                        "id": rule.name,
+                        "shortDescription": {"text": rule.description},
+                        "defaultConfiguration": {"level": "error"},
+                    } for rule in rules],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,37 @@
+"""Rule registry. Order here is presentation order in --list-rules and the
+SARIF rule table; finding order is canonicalized by the engine."""
+
+from __future__ import annotations
+
+from ..engine import Rule
+from .legacy import (
+    DirectSend,
+    EpochTransition,
+    QuorumArith,
+    RouterDispatch,
+    StrategyDispatch,
+    ValueCopy,
+    WallClock,
+)
+from .digest import DigestCompleteness
+from .metrics import MetricsRegistry
+from .wire import WireCoverage
+
+#: The seven ported lint_protocol.py rules, behavior-identical (golden-tested).
+LEGACY_RULES = (WallClock, QuorumArith, DirectSend, ValueCopy,
+                StrategyDispatch, RouterDispatch, EpochTransition)
+
+#: The semantic passes introduced with abdlint.
+SEMANTIC_RULES = (DigestCompleteness, WireCoverage, MetricsRegistry)
+
+ALL_RULES = LEGACY_RULES + SEMANTIC_RULES
+
+
+def make_rules(names: list[str] | None = None) -> list[Rule]:
+    by_name = {cls.name: cls for cls in ALL_RULES}
+    if names is None:
+        return [cls() for cls in ALL_RULES]
+    unknown = [n for n in names if n not in by_name]
+    if unknown:
+        raise KeyError(", ".join(unknown))
+    return [by_name[n]() for n in names]

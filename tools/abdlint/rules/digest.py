@@ -1,0 +1,137 @@
+"""digest-completeness: graph-mode model checking is sound only if every
+piece of actor state is folded into the state digest.
+
+For every class that declares a `state_digest()` (or the transport twin
+`transport_digest()`), every data member must either
+
+  * appear by name inside the digest method's body — including the bodies
+    of same-class helper methods the digest calls (resolved transitively
+    within the defining translation unit), or
+  * carry an explicit exclusion annotation on its declaration line or the
+    comment lines directly above it:
+
+        // mck-digest: exclude(<reason>)
+
+The reason is mandatory. A member that is BOTH annotated and hashed is also
+reported (stale exclusion), so annotations cannot rot silently.
+
+PROTOCOL.md §11's I1–I4 monitors and the DESIGN.md state-hashing soundness
+argument both assume exactly this property; PR 8's epoch-ahead phase buffer
+was hashed only because a reviewer remembered. This pass makes forgetting a
+field a CI failure instead.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..cppscan import ClassDecl, MethodDef, scan_classes, scan_method_defs, tokens
+from ..engine import Finding, Rule, SourceFile, SourceTree
+
+DIGEST_DECL = re.compile(r"\b(?:state|transport)_digest\s*\(")
+EXCLUDE = re.compile(r"//.*mck-digest:\s*exclude\((?P<reason>[^)]*)\)")
+CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+SCAN_DIRS = ("src",)
+
+
+def _annotation(source: SourceFile, line: int) -> str | None:
+    """The exclude() reason attached to a member declared on `line`: on the
+    declaration itself or in the comment block directly above it. Returns
+    the reason ('' when empty — caller treats that as malformed)."""
+    for number in range(line, max(line - 4, 0), -1):
+        raw = source.raw_line(number)
+        if number != line and not raw.lstrip().startswith("//"):
+            break  # left the contiguous comment block above the declaration
+        m = EXCLUDE.search(raw)
+        if m:
+            return m.group("reason").strip()
+    return None
+
+
+def _digest_closure(cls: ClassDecl, methods: list[MethodDef]) -> str | None:
+    """Concatenated body text of the class's digest method plus every
+    same-class method reachable from it by direct call (fixpoint)."""
+    own = {m.name: m for m in methods if m.cls == cls.name}
+    roots = [m for m in own.values()
+             if m.name in ("state_digest", "transport_digest")]
+    if not roots:
+        return None
+    included: dict[str, MethodDef] = {m.name: m for m in roots}
+    frontier = list(roots)
+    while frontier:
+        body = frontier.pop().body
+        for callee in CALL.findall(body):
+            if callee in own and callee not in included:
+                included[callee] = own[callee]
+                frontier.append(own[callee])
+    return "\n".join(m.body for m in included.values())
+
+
+class DigestCompleteness(Rule):
+    name = "digest-completeness"
+    description = ("every data member of a state_digest()-bearing class is "
+                   "hashed or carries // mck-digest: exclude(<reason>)")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        sources = list(tree.files(SCAN_DIRS))
+        # Pass 1: classes declaring a digest method.
+        digest_classes: list[tuple[SourceFile, ClassDecl]] = []
+        for source in sources:
+            if source.path.suffix != ".hpp":
+                continue
+            for cls in scan_classes(source):
+                body = "\n".join(
+                    line.code for line in
+                    source.lines[cls.body_start - 1:cls.body_end])
+                if DIGEST_DECL.search(body):
+                    digest_classes.append((source, cls))
+        # Pass 2: method bodies, indexed per file (headers too: inline defs).
+        defs_by_file = {s.rel: scan_method_defs(s) for s in sources}
+        for header, cls in digest_classes:
+            closure = None
+            for source in sources:
+                closure = _digest_closure(cls, defs_by_file[source.rel])
+                if closure is not None and cls.name in source.code_text():
+                    # Guard against a same-named class in an unrelated TU:
+                    # accept the definition only from a file that also
+                    # includes this header (by its trailing path) or IS it.
+                    include = header.rel.split("include/")[-1]
+                    if (source.rel == header.rel
+                            or include in source.code_text()):
+                        break
+                closure = None
+            if closure is None:
+                findings.append(Finding(
+                    header.rel, cls.line, self.name,
+                    f"{cls.name} declares a digest method but no definition "
+                    "was found in src/ — the scanner cannot prove digest "
+                    "completeness"))
+                continue
+            hashed = tokens(closure)
+            for member in cls.members:
+                reason = _annotation(header, member.line)
+                named = member.name in hashed
+                if named and reason is not None:
+                    findings.append(Finding(
+                        header.rel, member.line, self.name,
+                        f"{cls.name}::{member.name} carries a stale "
+                        "mck-digest exclusion: the member IS folded into "
+                        "the digest — drop the annotation"))
+                elif not named and reason is None:
+                    findings.append(Finding(
+                        header.rel, member.line, self.name,
+                        f"{cls.name}::{member.name} is not folded into "
+                        f"{cls.name}'s digest and carries no exclusion; "
+                        "hash it or annotate "
+                        "`// mck-digest: exclude(<reason>)` — an unhashed "
+                        "mutable field makes graph-mode state merging "
+                        "unsound"))
+                elif not named and reason == "":
+                    findings.append(Finding(
+                        header.rel, member.line, self.name,
+                        f"{cls.name}::{member.name} has an mck-digest "
+                        "exclusion with no reason; exclusions must say why "
+                        "the field cannot steer future protocol behavior"))
+        return findings

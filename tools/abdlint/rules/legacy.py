@@ -1,0 +1,248 @@
+"""The seven rules ported unchanged from tools/lint_protocol.py.
+
+Regexes, scoped directories, and messages are byte-identical to the retired
+script; tests/abdlint/golden_test.py proves the findings agree on a seeded
+tree before trusting this port. Suppression is handled centrally by the
+engine (same `// lint: allow(<rule>) <reason>` marker the old script used;
+`// abdlint:` is the new spelling).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import Finding, Rule, SourceTree, code_part
+
+ACTOR_DIRS = ("src/abd", "src/reconfig", "src/kv", "src/shard")
+QUORUM_DIRS = ("src/abd", "src/quorum")
+
+WALL_CLOCK = re.compile(
+    r"(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\("
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|\bstd::time\s*\("
+)
+
+SIZE_SUB = re.compile(r"\.size\(\)\s*-(?!-)")
+
+# A send( call with its qualification, e.g. "ctx_->send(", "ctx.send(",
+# "transport->send(" or a bare "send(". Word boundary keeps resend()/
+# on_send() out.
+SEND_CALL = re.compile(r"(?P<prefix>(?:[A-Za-z_]\w*(?:->|\.))*)(?<![\w])send\s*\(")
+SEND_OK_PREFIX = re.compile(r"(?:^|->|\.)ctx_?(?:->|\.)$")
+
+
+class _LineScanRule(Rule):
+    """Shared shape of the three directory-scoped line rules."""
+
+    dirs: tuple[str, ...] = ()
+    message = ""
+
+    def matches(self, code: str) -> bool:
+        raise NotImplementedError
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings = []
+        for source in tree.files(self.dirs):
+            for line in source.lines:
+                if self.matches(code_part(line.code)):
+                    findings.append(
+                        Finding(source.rel, line.number, self.name, self.message))
+        return findings
+
+
+class WallClock(_LineScanRule):
+    name = "wall-clock"
+    description = ("actor code must take time from its Context so sim/mck "
+                   "stay in control of the clock")
+    dirs = ACTOR_DIRS
+    message = ("actor code must read time via its Context (ctx->now()), "
+               "not a wall clock")
+
+    def matches(self, code: str) -> bool:
+        return WALL_CLOCK.search(code) is not None
+
+
+class QuorumArith(_LineScanRule):
+    name = "quorum-arith"
+    description = ("no unguarded subtraction from .size() in quorum "
+                   "counting; size_t underflow inflates quorums")
+    dirs = QUORUM_DIRS
+    message = ("unguarded subtraction from .size(): size_t underflow "
+               "inflates quorums; rewrite additively or guard")
+
+    def matches(self, code: str) -> bool:
+        return SIZE_SUB.search(code) is not None
+
+
+class DirectSend(_LineScanRule):
+    name = "direct-send"
+    description = ("actor sends must go through the Context seam so fault "
+                   "injection and mck delivery control see them")
+    dirs = ACTOR_DIRS
+    message = "sends must go through the Context seam (ctx.send / ctx_->send)"
+
+    def matches(self, code: str) -> bool:
+        for m in SEND_CALL.finditer(code):
+            prefix = m.group("prefix")
+            if not SEND_OK_PREFIX.search(prefix or "$"):
+                # Declarations ("Status send(ProcessId" / "void send(")
+                # belong to the seam itself and do not appear in actor dirs;
+                # anything that does is a call.
+                return True
+        return False
+
+
+MAKE_PAYLOAD = re.compile(r"make_payload\s*<")
+
+# The identifier `value` on its own: not a member access (.value / ->value),
+# not part of a longer name (install_value, value_tag), not the type Value,
+# not a member read (value.data costs nothing), and not already wrapped in
+# std::move(value).
+BARE_VALUE = re.compile(r"(?<![\w.])(?<!->)value\b(?!\s*\.|\s*->)")
+MOVED_VALUE = re.compile(r"std::move\s*\(\s*value\s*\)")
+
+
+class ValueCopy(Rule):
+    """Flag bare `value` arguments inside make_payload calls without
+    std::move. Tracks parenthesis depth so multi-line calls are covered."""
+
+    name = "value-copy"
+    description = ("by-value Value params must be std::move'd, not copied, "
+                   "into make_payload")
+    message = ("by-value Value param copied (not moved) into a message; "
+               "std::move the last use into make_payload")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings = []
+        for source in tree.files(ACTOR_DIRS):
+            depth = 0  # paren depth inside an open make_payload call
+            for line in source.lines:
+                code = code_part(line.code)
+                scan_from = 0
+                if depth == 0:
+                    m = MAKE_PAYLOAD.search(code)
+                    if not m:
+                        continue
+                    open_paren = code.find("(", m.end())
+                    if open_paren < 0:
+                        continue  # template args only; call starts later
+                    scan_from = open_paren
+                    depth = 0
+                segment = code[scan_from:]
+                # Check this line's slice of the argument list.
+                masked = MOVED_VALUE.sub("", segment)
+                if BARE_VALUE.search(masked):
+                    findings.append(
+                        Finding(source.rel, line.number, self.name, self.message))
+                depth += segment.count("(") - segment.count(")")
+                if depth <= 0:
+                    depth = 0
+        return findings
+
+
+# Files making up the variant layer, and the only functions in them allowed
+# to perform protocol sends (the dispatch seam every variant shares).
+STRATEGY_FILES = ("src/abd/src/client.cpp", "src/abd/src/strategy.cpp")
+STRATEGY_DISPATCH_OK = {"dispatch_request", "resend_unanswered"}
+CTX_SEND = re.compile(r"\bctx_?(?:->|\.)\s*(?:send|broadcast)\s*\(")
+# Out-of-class member definitions start at column 0 in these files
+# (clang-format keeps it that way), so the enclosing function is the last
+# col-0 line naming a qualified member.
+MEMBER_DEF = re.compile(r"^[\w:<>,&*\s]*?\b(?:Client|ReadStrategy)::(\w+)\s*\(")
+
+
+class StrategyDispatch(Rule):
+    name = "strategy-dispatch"
+    description = ("protocol variants share ONE request dispatch seam: "
+                   "Client::dispatch_request / resend_unanswered")
+    message = ("protocol send outside the variant dispatch seam; route through "
+               "Client::dispatch_request / resend_unanswered so every variant "
+               "shares one decision path")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings = []
+        for rel in STRATEGY_FILES:
+            source = tree.file(rel)
+            if source is None:
+                continue
+            current = ""
+            for line in source.lines:
+                code = code_part(line.code)
+                if code and not code[0].isspace():
+                    m = MEMBER_DEF.match(code)
+                    if m:
+                        current = m.group(1)
+                if CTX_SEND.search(code) and current not in STRATEGY_DISPATCH_OK:
+                    findings.append(
+                        Finding(source.rel, line.number, self.name, self.message))
+        return findings
+
+
+# The sharding layer's single placement seam (PROTOCOL.md §13): shard_of is
+# declared/defined by ShardMap and consumed only by Router::route. Tests are
+# exempt (they verify the placement function itself).
+ROUTER_DISPATCH_DIRS = ("src", "bench", "examples")
+ROUTER_DISPATCH_OK = {
+    "src/shard/include/abdkit/shard/shard_map.hpp",
+    "src/shard/src/shard_map.cpp",
+    "src/shard/src/router.cpp",
+}
+SHARD_OF = re.compile(r"\bshard_of\s*\(")
+
+
+class RouterDispatch(Rule):
+    name = "router-dispatch"
+    description = ("ShardMap::shard_of has exactly one consumer, "
+                   "Router::route; a second placement call site is "
+                   "split-brain routing waiting to happen")
+    message = ("key→group placement outside the routing seam; ask a "
+               "shard::Router (Router::route) instead of calling "
+               "ShardMap::shard_of directly")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings = []
+        for source in tree.files(ROUTER_DISPATCH_DIRS):
+            if source.rel in ROUTER_DISPATCH_OK:
+                continue
+            for line in source.lines:
+                if SHARD_OF.search(code_part(line.code)):
+                    findings.append(
+                        Finding(source.rel, line.number, self.name, self.message))
+        return findings
+
+
+# The epoch-transition seam (PROTOCOL.md §7 rule R4): the map's wire
+# carriers live in the shard message sources, are serialized by the codec,
+# and are consumed by Router::handle (which funnels into stage_map →
+# drained → apply_map). Tests are exempt (they forge updates to verify the
+# adopt-iff-strictly-newer rule and the decode caps).
+EPOCH_TRANSITION_DIRS = ("src", "bench", "examples")
+EPOCH_TRANSITION_OK = {
+    "src/shard/include/abdkit/shard/messages.hpp",
+    "src/shard/src/messages.cpp",
+    "src/shard/src/router.cpp",
+    "src/wire/src/codec.cpp",
+}
+SHARD_MAP_MSG = re.compile(r"\bShardMap(?:Update|Reply)\b")
+
+
+class EpochTransition(Rule):
+    name = "epoch-transition"
+    description = ("shard-map epochs change only through the Router's "
+                   "stage → drain → transfer → apply seam")
+    message = ("shard-map wire message handled outside the epoch-transition "
+               "seam; drive Router::stage_map/apply_map (stage → drain → "
+               "transfer → apply) instead of constructing or consuming "
+               "ShardMapUpdate/ShardMapReply directly")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings = []
+        for source in tree.files(EPOCH_TRANSITION_DIRS):
+            if source.rel in EPOCH_TRANSITION_OK:
+                continue
+            for line in source.lines:
+                if SHARD_MAP_MSG.search(code_part(line.code)):
+                    findings.append(
+                        Finding(source.rel, line.number, self.name, self.message))
+        return findings

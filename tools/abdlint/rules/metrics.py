@@ -1,0 +1,123 @@
+"""metrics-registry: every metrics key is declared before it is recorded.
+
+Dashboards, bench baselines, and the soak drivers all consume Metrics
+to_json() by key name; a typo'd or drive-by key silently forks the
+namespace (the JSON grows a sibling nobody graphs). The registry lives in
+src/common/include/abdkit/common/metrics.hpp between these markers:
+
+    // ---- metrics key registry (enforced: abdlint metrics-registry) ----
+    //   <key>    <one-line description>
+    // ---- end metrics key registry ----
+
+Checks, in both directions:
+
+  M1  every dotted-key string literal in code (not comments, not
+      preprocessor lines) anywhere in src/, bench/, examples/ appears in
+      the registry — literal collection is deliberately broader than the
+      recording calls themselves because keys are routinely picked by
+      ternaries and count()-style wrappers before reaching Metrics;
+  M2  every non-pattern registry entry is recorded by at least one call
+      site (stale entries rot the registry's authority);
+  M3  every registry entry carries a description.
+
+`<i>` in a registry key matches a decimal index (per-shard keys such as
+`shard.<i>.ops`); pattern entries are exempt from M2 because their call
+sites build the key at runtime, which the literal scan cannot see. Keys
+assembled dynamically for other reasons need an
+`// abdlint: allow(metrics-registry) <reason>` at the recording site.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import Finding, Rule, SourceTree, code_part
+
+REGISTRY_FILE = "src/common/include/abdkit/common/metrics.hpp"
+REGISTRY_BEGIN = re.compile(r"//\s*----\s*metrics key registry")
+REGISTRY_END = re.compile(r"//\s*----\s*end metrics key registry")
+REGISTRY_ENTRY = re.compile(r"^\s*//\s{2,}(?P<key>[a-z0-9_.<>]+)(?:\s+(?P<desc>\S.*))?$")
+
+# A dotted-key string literal. The dot requirement keeps ordinary strings
+# out (metrics keys always have a namespace); segments must not be pure
+# digits (IP literals) and the first must start with a letter.
+KEY_LITERAL = re.compile(
+    r"\"(?P<key>[a-z][a-z0-9_]*(?:\.[a-z0-9_]*[a-z_][a-z0-9_]*)+)\"")
+
+SCAN_DIRS = ("src", "bench", "examples")
+
+
+def _pattern_regex(key: str) -> re.Pattern:
+    return re.compile("^" + re.escape(key).replace(r"<i>", r"\d+") + "$")
+
+
+class MetricsRegistry(Rule):
+    name = "metrics-registry"
+    description = ("metrics keys recorded in src//bench//examples/ must be "
+                   "declared in metrics.hpp's key registry, and vice versa")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        registry = tree.file(REGISTRY_FILE)
+        if registry is None:
+            return findings
+        entries: dict[str, int] = {}  # key -> registry line
+        in_block = False
+        block_found = False
+        for line in registry.lines:
+            if REGISTRY_BEGIN.search(line.raw):
+                in_block, block_found = True, True
+                continue
+            if REGISTRY_END.search(line.raw):
+                in_block = False
+                continue
+            if not in_block:
+                continue
+            m = REGISTRY_ENTRY.match(line.raw)
+            if m is None:
+                continue
+            entries[m.group("key")] = line.number
+            if m.group("desc") is None:
+                findings.append(Finding(
+                    registry.rel, line.number, self.name,
+                    f"registry entry '{m.group('key')}' has no description; "
+                    "the registry is documentation, not just a whitelist"))
+        if not block_found:
+            findings.append(Finding(
+                registry.rel, 1, self.name,
+                "metrics.hpp has no `---- metrics key registry ----` block; "
+                "the metrics-registry pass has nothing to enforce against"))
+            return findings
+        patterns = [(key, _pattern_regex(key))
+                    for key in entries if "<" in key]
+
+        recorded: set[str] = set()
+        for source in tree.files(SCAN_DIRS):
+            if source.rel == REGISTRY_FILE:
+                continue  # the registry itself is not a recording site
+            for line in source.lines:
+                code = code_part(line.code)
+                if code.lstrip().startswith("#"):
+                    continue  # include paths ("perf_json.hpp") are not keys
+                for m in KEY_LITERAL.finditer(code):
+                    key = m.group("key")
+                    recorded.add(key)
+                    if key in entries:
+                        continue
+                    if any(rx.match(key) for _, rx in patterns):
+                        continue
+                    findings.append(Finding(
+                        source.rel, line.number, self.name,
+                        f"metrics key '{key}' is recorded here but not "
+                        f"declared in the key registry in {REGISTRY_FILE}; "
+                        "add it (with a description) or fix the typo"))
+        for key, line in entries.items():
+            if "<" in key:
+                continue  # pattern entries: call sites build keys at runtime
+            if key not in recorded:
+                findings.append(Finding(
+                    registry.rel, line, self.name,
+                    f"registry key '{key}' is declared but never recorded "
+                    "anywhere in src//bench//examples/; delete the stale "
+                    "entry or wire the metric up"))
+        return findings

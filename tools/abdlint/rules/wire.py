@@ -1,0 +1,205 @@
+"""wire-coverage: every wire message family is fully plumbed, end to end.
+
+The wire surface is declared in message headers as
+
+    inline constexpr PayloadTag kName = 0xFFNN;   // FF = family byte
+
+with a payload struct binding itself to the tag via
+`static constexpr PayloadTag kTag = tags::kName;`. This pass cross-checks
+each declared tag against the rest of the tree:
+
+  W1  tag values are globally unique (two families silently sharing a value
+      makes payload_cast a type confusion, not a checked downcast);
+  W2  if ANY tag of a family crosses the codec, EVERY tag of that family is
+      handled in both encode_body and decode_body — a half-plumbed family
+      throws in production paths the sim never exercises;
+  W3  every codec-crossing payload struct appears in the test_wire.cpp
+      corpus (sample_payloads feeds the round-trip, mutation-fuzz, and
+      truncation tests, so presence there means fuzz coverage too) and has
+      at least one payload_cast dispatch site in src/;
+  W4  the family byte is documented in message.hpp's range comment, which
+      is the registry new protocols consult before claiming a range.
+
+Families that never cross the codec (sim-internal payloads) are exempt from
+W2/W3's codec and corpus checks but still need a dispatch site and a W4
+registry entry. Intentional gaps take a
+`// abdlint: allow(wire-coverage) <reason>` on the tag declaration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..cppscan import _body_span, scan_classes
+from ..engine import Finding, Rule, SourceFile, SourceTree, code_part
+
+TAG_DECL = re.compile(
+    r"^\s*inline\s+constexpr\s+PayloadTag\s+(?P<name>k\w+)\s*=\s*"
+    r"(?P<value>0[xX][0-9a-fA-F]+)\s*;")
+TAG_BIND = re.compile(
+    r"static\s+constexpr\s+PayloadTag\s+kTag\s*=\s*(?:tags::)?(?P<name>k\w+)\s*;")
+NAMESPACE = re.compile(r"^\s*namespace\s+(?:[\w:]+::)?(?P<ns>\w+)\s*\{")
+
+CODEC = "src/wire/src/codec.cpp"
+WIRE_TEST = "tests/test_wire.cpp"
+REGISTRY = "src/common/include/abdkit/common/message.hpp"
+TAG_DIRS = ("src",)
+
+
+@dataclass
+class WireTag:
+    name: str        # kReadQuery
+    value: int
+    file: str        # declaring header, root-relative
+    line: int
+    namespace: str   # innermost enclosing namespace above `tags`
+    struct: str | None = None  # payload struct bound via kTag
+
+    @property
+    def family(self) -> int:
+        return self.value >> 8
+
+    @property
+    def qualified(self) -> str | None:
+        return f"{self.namespace}::{self.struct}" if self.struct else None
+
+
+def _function_body(source: SourceFile, head: re.Pattern) -> str:
+    """Body text of the first free function whose definition line matches
+    `head` (column-0 definitions, house style)."""
+    lines = [line.code for line in source.lines]
+    for index, text in enumerate(lines):
+        if not head.match(code_part(text)):
+            continue
+        open_index = next((j for j in range(index, min(index + 4, len(lines)))
+                           if "{" in code_part(lines[j])), -1)
+        if open_index < 0:
+            continue
+        close_index = _body_span(lines, open_index,
+                                 code_part(lines[open_index]).find("{"))
+        if close_index < 0:
+            continue
+        return "\n".join(code_part(lines[k])
+                         for k in range(open_index, close_index + 1))
+    return ""
+
+
+def _collect_tags(tree: SourceTree) -> list[WireTag]:
+    tags: list[WireTag] = []
+    for source in tree.files(TAG_DIRS, suffixes=(".hpp",)):
+        file_tags: list[WireTag] = []
+        namespace = ""
+        for line in source.lines:
+            code = code_part(line.code)
+            ns = NAMESPACE.match(code)
+            if ns and ns.group("ns") != "tags":
+                namespace = ns.group("ns")
+            m = TAG_DECL.match(code)
+            if m:
+                file_tags.append(WireTag(
+                    m.group("name"), int(m.group("value"), 16),
+                    source.rel, line.number, namespace))
+        if not file_tags:
+            continue
+        # Bind structs: a class whose body assigns kTag = tags::<name>.
+        by_name = {t.name: t for t in file_tags}
+        for cls in scan_classes(source):
+            body = "\n".join(line.code for line in
+                             source.lines[cls.body_start - 1:cls.body_end])
+            bind = TAG_BIND.search(body)
+            if bind and bind.group("name") in by_name:
+                by_name[bind.group("name")].struct = cls.name
+        tags.extend(file_tags)
+    return tags
+
+
+class WireCoverage(Rule):
+    name = "wire-coverage"
+    description = ("every PayloadTag is unique, codec-complete per family, "
+                   "in the test_wire corpus, dispatched, and documented in "
+                   "message.hpp")
+
+    def run(self, tree: SourceTree) -> list[Finding]:
+        findings: list[Finding] = []
+        tags = _collect_tags(tree)
+        if not tags:
+            return findings
+
+        # W1: global value uniqueness.
+        by_value: dict[int, WireTag] = {}
+        for tag in sorted(tags, key=lambda t: (t.file, t.line)):
+            first = by_value.setdefault(tag.value, tag)
+            if first is not tag:
+                findings.append(Finding(
+                    tag.file, tag.line, self.name,
+                    f"{tag.name} reuses payload tag {tag.value:#06x}, already "
+                    f"claimed by {first.name} ({first.file}:{first.line}); "
+                    "payload_cast dispatches on the raw value, so a shared "
+                    "tag is a type confusion"))
+
+        codec = tree.file(CODEC)
+        encode = _function_body(codec, re.compile(
+            r"void\s+encode_body\s*\(")) if codec else ""
+        decode = _function_body(codec, re.compile(
+            r"PayloadPtr\s+decode_body\s*\(")) if codec else ""
+        wire_test = tree.file(WIRE_TEST)
+        test_text = wire_test.code_text() if wire_test else ""
+        src_text = "\n".join(s.code_text() for s in tree.files(TAG_DIRS))
+        registry = tree.file(REGISTRY)
+        registry_text = registry.code_text() if registry else ""
+
+        codec_families = {
+            tag.family for tag in tags
+            if tag.struct and re.search(rf"\b{tag.qualified}\b", encode)}
+
+        for tag in tags:
+            if tag.struct is None:
+                findings.append(Finding(
+                    tag.file, tag.line, self.name,
+                    f"{tag.name} has no payload struct binding it via "
+                    "`static constexpr PayloadTag kTag` in its header; an "
+                    "unbound tag can never be payload_cast and is dead wire "
+                    "surface"))
+                continue
+            qualified = re.escape(tag.qualified)
+            case_label = rf"case\s+(?:\w+::)?{tag.name}\b"
+            if codec and tag.family in codec_families:
+                if not (re.search(case_label, encode)
+                        and re.search(rf"\b{qualified}\b", encode)):
+                    findings.append(Finding(
+                        tag.file, tag.line, self.name,
+                        f"{tag.name}: family {tag.family:#04x} crosses the "
+                        f"codec but encode_body has no case for "
+                        f"{tag.qualified}; a half-plumbed family throws "
+                        "`unsupported payload tag` at runtime"))
+                if not (re.search(case_label, decode)
+                        and re.search(rf"\b{qualified}\b", decode)):
+                    findings.append(Finding(
+                        tag.file, tag.line, self.name,
+                        f"{tag.name}: family {tag.family:#04x} crosses the "
+                        f"codec but decode_body cannot reconstruct "
+                        f"{tag.qualified}; peers sending it get a decode "
+                        "failure"))
+                if wire_test and not re.search(rf"\b{qualified}\b", test_text):
+                    findings.append(Finding(
+                        tag.file, tag.line, self.name,
+                        f"{tag.qualified} crosses the codec but is absent "
+                        f"from {WIRE_TEST}; add it to sample_payloads() so "
+                        "the round-trip, mutation-fuzz, and truncation "
+                        "tests cover it"))
+            if not re.search(
+                    rf"payload_cast<\s*(?:[\w:]+::)?{re.escape(tag.struct)}\s*>",
+                    src_text):
+                findings.append(Finding(
+                    tag.file, tag.line, self.name,
+                    f"{tag.qualified} has no payload_cast dispatch site in "
+                    "src/; nothing can ever consume this message"))
+            if registry and f"0x{tag.family:02x}00" not in registry_text.lower():
+                findings.append(Finding(
+                    tag.file, tag.line, self.name,
+                    f"family 0x{tag.family:02x}00 ({tag.name}) is not listed "
+                    f"in the PayloadTag range comment in {REGISTRY}; that "
+                    "comment is the registry new protocols consult before "
+                    "claiming a range"))
+        return findings
