@@ -44,6 +44,12 @@ struct PerfRow {
   double msgs_per_op{0};
   double rounds_per_op{0};
   double bytes_per_op{0};
+  // Connection-scaling fields (bench_c1; zero elsewhere, same fixed-shape
+  // rule as above — schema stays 1, validators key on required subsets).
+  std::size_t reactors{0};     // event-loop threads per replica
+  std::uint64_t conns{0};      // concurrent client->group TCP connections
+  std::uint64_t accept_p50_us{0};  // dial-to-established latency (includes
+  std::uint64_t accept_p99_us{0};  // the replica's accept/backlog delay)
 };
 
 class PerfJson {
@@ -79,7 +85,10 @@ class PerfJson {
          << R"(,"ops_per_sec":)" << r.ops_per_sec << R"(,"p50_us":)" << r.p50_us
          << R"(,"p99_us":)" << r.p99_us << R"(,"p999_us":)" << r.p999_us
          << R"(,"msgs_per_op":)" << r.msgs_per_op << R"(,"rounds_per_op":)"
-         << r.rounds_per_op << R"(,"bytes_per_op":)" << r.bytes_per_op << '}';
+         << r.rounds_per_op << R"(,"bytes_per_op":)" << r.bytes_per_op
+         << R"(,"reactors":)" << r.reactors << R"(,"conns":)" << r.conns
+         << R"(,"accept_p50_us":)" << r.accept_p50_us << R"(,"accept_p99_us":)"
+         << r.accept_p99_us << '}';
     }
     os << ']';
     for (const auto& [name, counters] : sections_) {

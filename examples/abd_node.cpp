@@ -42,6 +42,9 @@ struct Args {
   ProcessId id{kNoProcess};
   std::size_t replicas{0};
   std::size_t shards{1};
+  std::size_t reactors{1};
+  int listen_backlog{-1};
+  long inbound_service_us{0};
   std::string peers;
   std::string variant{"baseline"};
   bool verbose{false};
@@ -63,6 +66,11 @@ void usage() {
       "                 | two-bit (two-bit also switches to the compact wire\n"
       "                 envelope; every peer must then run --variant two-bit or\n"
       "                 at least a build that understands it)\n"
+      "  --reactors N   event-loop threads (default 1; inbound connections are\n"
+      "                 round-robined across them, the protocol can't tell)\n"
+      "  --listen-backlog B  listen(2) backlog (default SOMAXCONN)\n"
+      "  --inbound-service-us D  modeled per-inbound-frame service time in\n"
+      "                 microseconds, for capacity experiments (default 0: off)\n"
       "  --verbose      log connection events\n");
 }
 
@@ -94,6 +102,18 @@ bool parse(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.variant = v;
+    } else if (flag == "--reactors") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.reactors = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--listen-backlog") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.listen_backlog = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (flag == "--inbound-service-us") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.inbound_service_us = std::strtol(v, nullptr, 10);
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else {
@@ -142,6 +162,9 @@ int main(int argc, char** argv) {
   options.self = args.id;
   options.world_size = args.replicas;
   options.metrics = &metrics;
+  options.reactors = args.reactors == 0 ? 1 : args.reactors;
+  options.listen_backlog = args.listen_backlog;
+  options.inbound_service_time = std::chrono::microseconds{args.inbound_service_us};
   if (*variant == abd::ProtocolVariant::kTwoBit) {
     options.wire_format = wire::WireFormat::kCompact;
   }

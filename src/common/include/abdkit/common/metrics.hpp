@@ -60,6 +60,17 @@
 //   net.dropped_bytes               queued bytes discarded at disconnect
 //   net.frame_decode_errors         malformed frames off the wire
 //   net.misrouted_frames            frames addressed to a different node
+//   net.accept_errors               accept() failures (incl. EMFILE backoff)
+//   net.epoll_waits                 epoll_wait() calls across all reactors
+//   net.timer_cascades              timer-wheel entries moved inward a level
+//   net.reactor_posts               cross-thread fns posted to reactors
+//   net.reactor.<i>.events          fd events dispatched on reactor i (dynamic key)
+//   swarm.ops                       operations completed by swarm clients
+//   swarm.connects                  swarm client->replica conns established
+//   swarm.disconnects               swarm client->replica conns lost
+//   swarm.sends_dropped             swarm frames dropped (cap/bad address)
+//   swarm.frame_decode_errors       malformed frames on swarm dial-backs
+//   swarm.misrouted_frames          dial-back frames for an unknown client
 //   reconfig.fences_started         admin fences begun
 //   reconfig.fences_committed       admin fences committed
 //   reconfig.fences_aborted         admin fences aborted

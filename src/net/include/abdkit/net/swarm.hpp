@@ -1,0 +1,192 @@
+// ClientSwarm — thousands of concurrent protocol clients in one process.
+//
+// bench_c1 needs 1k–10k concurrent pipelined clients dialing a replica
+// group. One net::Transport per client would mean thousands of threads and
+// epoll instances; the swarm instead multiplexes many lightweight clients
+// onto a few shard reactors (net/reactor.hpp):
+//
+//   * Each shard is one reactor thread owning clients round-robined by
+//     index. A client is a full abd::Node actor with its own ProcessId,
+//     its own per-replica TCP connections (so the GROUP-side connection
+//     count scales as clients x n — the quantity bench_c1 sweeps), its own
+//     SendQueues, and a Context whose timers live on the shard's wheel.
+//   * Each shard has ONE listening socket shared by all its clients: every
+//     client's address-table entry points at its shard's listener, so a
+//     replica dialing back a reply reaches the right shard, which routes
+//     the decoded frame to the client by destination id. Dial-back conns
+//     therefore scale with clients too, but swarm-side fds stay bounded by
+//     2 x clients x n + shards.
+//   * Connect latency (connect(2) start to established, which includes the
+//     replica's accept backlog delay — the acceptance-latency signal) and
+//     per-op latency are recorded in lock-free histograms.
+//
+// A client actor is touched only by its shard's thread; the swarm-level
+// aggregates (ops, messages, in-flight) are relaxed atomics. The protocol
+// cannot tell a swarm client from a Transport-hosted one: same Actor
+// surface, same frames, same quorum logic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "abdkit/abd/node.hpp"
+#include "abdkit/common/metrics.hpp"
+#include "abdkit/common/transport.hpp"
+#include "abdkit/net/reactor.hpp"
+#include "abdkit/net/send_queue.hpp"
+#include "abdkit/net/transport.hpp"  // Address
+#include "abdkit/wire/codec.hpp"
+
+namespace abdkit::net {
+
+class FrameDecoder;
+
+struct SwarmOptions {
+  /// Concurrent clients (each with a distinct ProcessId >= world_size).
+  std::size_t clients{1};
+  /// Shard reactor threads the clients are multiplexed onto.
+  std::size_t shards{1};
+  /// Reads each client keeps in flight (closed-loop pipelining window).
+  std::size_t pipeline_depth{4};
+  /// The replica group's n; client ids start at world_size.
+  std::size_t world_size{0};
+  /// Protocol options for every client's abd::Node (quorums is required).
+  abd::NodeOptions node;
+  wire::WireFormat wire_format{wire::WireFormat::kStandard};
+  std::size_t max_send_buffer{4u << 20};
+  std::uint32_t max_frame_length{1u << 20};
+  /// Wait bound for all clients x n dials to establish in start().
+  Duration connect_timeout{std::chrono::seconds{30}};
+  /// Optional registry: swarm.ops / swarm.connects counters mirror the
+  /// RunStats so the bench's metrics dump sees the swarm too.
+  Metrics* metrics{nullptr};
+};
+
+class ClientSwarm {
+ public:
+  explicit ClientSwarm(SwarmOptions options);
+  ~ClientSwarm();
+
+  ClientSwarm(const ClientSwarm&) = delete;
+  ClientSwarm& operator=(const ClientSwarm&) = delete;
+
+  /// Bind one listener per shard. Returns the address-table entries for
+  /// client ids [world_size, world_size + clients), in id order — entry i
+  /// is client i's shard listener. The caller appends these to the replica
+  /// addresses to form the full table handed to every replica process.
+  [[nodiscard]] std::vector<Address> bind();
+
+  /// Install the full table (replicas at [0, world_size), then the bind()
+  /// entries), start the shard threads, and dial every client's n replica
+  /// connections. Blocks until all clients x n are established or
+  /// connect_timeout passes; false on timeout (stats still valid).
+  [[nodiscard]] bool start(std::vector<Address> table);
+
+  struct RunStats {
+    std::uint64_t ops{0};             ///< completed operations
+    std::uint64_t stragglers{0};      ///< in flight when the drain gave up
+    double seconds{0};                ///< measured wall-clock window
+    std::uint64_t p50_us{0};
+    std::uint64_t p99_us{0};
+    std::uint64_t p999_us{0};
+    std::uint64_t max_us{0};
+    /// Protocol requests sent, excluding retransmissions (E1 accounting).
+    std::uint64_t messages{0};
+    std::uint64_t rounds{0};          ///< quorum rounds across all ops
+    std::uint64_t connects{0};        ///< established outbound connections
+    std::uint64_t connect_p50_us{0};
+    std::uint64_t connect_p99_us{0};
+    std::uint64_t connect_max_us{0};
+  };
+
+  /// Closed-loop pipelined reads: every client keeps pipeline_depth reads
+  /// in flight (each on its own object) for `duration`, then drains.
+  [[nodiscard]] RunStats run_reads(Duration duration);
+
+  /// Established client->replica connections right now.
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return connected_.load(std::memory_order_relaxed);
+  }
+
+  void stop();
+
+ private:
+  /// One outbound connection: client c -> replica r.
+  struct Conn {
+    int fd{-1};
+    std::uint32_t slot{0};
+    SendQueue queue;
+    bool connected{false};
+    bool flush_pending{false};
+    bool write_blocked{false};
+    TimePoint dial_start{};
+  };
+
+  struct Shard;
+  class SwarmContext;
+
+  /// One simulated client, owned by exactly one shard's thread.
+  struct SwarmClient {
+    ProcessId id{kNoProcess};
+    Shard* shard{nullptr};
+    std::unique_ptr<abd::Node> node;
+    std::unique_ptr<SwarmContext> ctx;
+    std::vector<Conn> conns;  ///< index = replica id
+  };
+
+  /// Inbound dial-back connection accepted on a shard's listener.
+  struct InboundConn {
+    int fd{-1};
+    std::unique_ptr<FrameDecoder> decoder;
+  };
+
+  struct Shard {
+    std::unique_ptr<Reactor> reactor;
+    std::thread thread;
+    std::size_t index{0};
+    int listen_fd{-1};
+    std::uint16_t port{0};
+    std::vector<SwarmClient*> clients;
+    std::unordered_map<std::uint32_t, InboundConn> inbound;
+    /// (client, replica) pairs with frames enqueued since the last flush;
+    /// the shard's before-wait pass runs one writev per dirty conn.
+    std::vector<std::pair<SwarmClient*, std::size_t>> dirty;
+  };
+
+  [[nodiscard]] TimePoint now() const;
+  void client_send(SwarmClient& client, ProcessId to, PayloadPtr payload);
+  void dial(SwarmClient& client, std::size_t replica);
+  void conn_event(SwarmClient& client, std::size_t replica, std::uint32_t events);
+  void conn_established(SwarmClient& client, std::size_t replica);
+  void conn_lost(SwarmClient& client, std::size_t replica);
+  void flush_conn(SwarmClient& client, std::size_t replica);
+  void accept_ready(Shard& shard);
+  void inbound_event(Shard& shard, std::uint32_t slot, std::uint32_t events);
+  void dispatch(Shard& shard, ProcessId src, ProcessId dst, const Payload& payload);
+  void before_wait(Shard& shard);
+  void issue(SwarmClient& client);
+  void count(std::string_view name, std::uint64_t delta = 1);
+
+  SwarmOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SwarmClient>> clients_;
+  std::vector<Address> table_;
+  std::chrono::steady_clock::time_point epoch_;
+  bool started_{false};
+  bool stopped_{false};
+
+  std::atomic<std::size_t> connected_{0};
+  std::atomic<bool> running_{false};   ///< completions re-issue while true
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> rounds_{0};
+  LatencyHistogram op_hist_;
+  LatencyHistogram connect_hist_;
+};
+
+}  // namespace abdkit::net

@@ -1,0 +1,102 @@
+// Hierarchical timer wheel — the reactor's deadline structure.
+//
+// The old transport kept timers in a binary heap with a tombstone map and
+// re-derived the poll timeout by scanning the heap top plus every peer in
+// backoff each cycle. Under pipelined load the heap sees one add + one
+// cancel per quorum phase (the retransmit timer), so the O(log n) pushes
+// and the tombstone sweep sit on the hot path. The wheel makes both O(1):
+//
+//   * 4 levels x 256 slots, 1 ms tick. Level 0 spans 256 ms, level 1
+//     ~65 s, level 2 ~4.6 h, level 3 ~49 days; deadlines beyond the top
+//     level clamp into its last-reachable slot and simply cascade again.
+//   * add() drops the entry into the innermost level that can represent
+//     its deadline; cancel() erases the callback map entry and leaves a
+//     tombstone in the slot (exactly the old heap's cancel semantics:
+//     bookkeeping shrinks immediately, the slot entry dies lazily).
+//   * advance(now) walks whole ticks, firing level-0 slots and cascading
+//     outer-level slots inward when a level wraps. Entries in one tick
+//     fire in (due, id) order, matching the heap's deterministic order.
+//   * next_due() gives the earliest possible deadline for the epoll
+//     timeout; it may be conservatively early (slot granularity), never
+//     late.
+//
+// Single-threaded: owned and touched only by its reactor's loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "abdkit/common/transport.hpp"  // TimerId
+#include "abdkit/common/types.hpp"
+
+namespace abdkit::net {
+
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+
+  static constexpr std::uint64_t kTickNs = 1'000'000;  // 1 ms
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::size_t kSlotBits = 8;
+  static constexpr std::size_t kSlots = 1u << kSlotBits;  // 256 per level
+
+  /// Arm a timer due at absolute time `due` (the reactor clock). Returns a
+  /// monotone id; ids are never reused.
+  TimerId add(TimePoint due, Callback cb);
+
+  /// Disarm. Returns true if the timer was still pending (same contract as
+  /// the old live-map erase: cancelling a fired/unknown id is a no-op).
+  bool cancel(TimerId id);
+
+  /// Fire everything due at or before `now`, in (due, id) order within each
+  /// tick. Callbacks may add or cancel timers freely.
+  void advance(TimePoint now);
+
+  /// Earliest instant any pending timer could fire, or TimePoint::max()
+  /// when none are armed. May be earlier than the true deadline (slot
+  /// granularity) — callers sleep until it and re-advance; it is never
+  /// later than a pending deadline still in the wheel.
+  [[nodiscard]] TimePoint next_due() const;
+
+  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+
+  /// Entries moved inward from an outer level (diagnostics; exported as the
+  /// net.timer_cascades counter).
+  [[nodiscard]] std::uint64_t cascades() const noexcept { return cascades_; }
+
+ private:
+  struct Slot {
+    std::vector<TimerId> ids;
+  };
+
+  struct Live {
+    TimePoint due{};
+    Callback cb;
+  };
+
+  [[nodiscard]] static std::uint64_t tick_of(TimePoint t) noexcept {
+    return static_cast<std::uint64_t>(t.count()) / kTickNs;
+  }
+  /// Place `id` (due at `due_tick`) into the innermost level that can still
+  /// reach it from current_tick_.
+  void place(TimerId id, std::uint64_t due_tick);
+  /// Re-place every entry of an outer-level slot one level inward.
+  void cascade(std::size_t level, std::size_t slot_index);
+
+  std::vector<Slot> levels_[kLevels]{
+      std::vector<Slot>(kSlots), std::vector<Slot>(kSlots),
+      std::vector<Slot>(kSlots), std::vector<Slot>(kSlots)};
+  std::unordered_map<TimerId, Live> live_;
+  /// Entries (including cancel tombstones) resident per level; lets
+  /// advance() stride over regions where inner levels are empty instead of
+  /// walking every 1 ms tick of a long idle gap.
+  std::uint64_t level_count_[kLevels]{};
+  std::uint64_t current_tick_{0};
+  bool started_{false};  ///< current_tick_ is meaningful only after first use
+  TimerId next_id_{1};
+  std::uint64_t cascades_{0};
+};
+
+}  // namespace abdkit::net

@@ -1,5 +1,5 @@
 // Real TCP deployment of the same Actor protocols: one process per replica,
-// frames over sockets, a poll(2) event loop per process.
+// frames over sockets, an edge-triggered epoll multi-reactor per process.
 //
 // This is the third rung of the runtime ladder (DESIGN.md):
 //
@@ -19,9 +19,26 @@
 //     as with the lossy-link simulator extension.)
 //   * Delivery is asynchronous and, across peers, unordered — quorum logic
 //     must not (and does not) assume FIFO between processes.
-//   * The actor executes single-threadedly on the event-loop thread; post()
-//     is the only sanctioned way to poke it from outside, mirroring
+//   * The actor executes single-threadedly on the HOME reactor's thread;
+//     post() is the only sanctioned way to poke it from outside, mirroring
 //     runtime::Cluster::post.
+//
+// Event-loop architecture (PR 10; details in DESIGN.md "Epoll multi-reactor"):
+// the transport runs `reactors` edge-triggered epoll loops (net/reactor.hpp),
+// each with its own thread, timer wheel, and eventfd-woken post queue.
+// Reactor 0 is the HOME reactor: it runs the actor, the actor's timers, the
+// replica-mesh peers, fault injection, the observer hook, and the acceptor.
+// Inbound connections are round-robined across ALL reactors by the acceptor;
+// the owning reactor does the socket reads and frame decoding, then batch-
+// posts decoded frames to home for actor delivery (per-connection FIFO is
+// preserved: one connection is read by one thread, and posts are FIFO).
+// Outbound connections to client-only processes (id >= world_size) are owned
+// by reactor id % reactors; the actor's send path encodes on the home thread
+// and hands the bytes off in per-cycle batches. With reactors == 1 every
+// hand-off degenerates to a direct call on the single loop thread — the
+// exact semantics (and tests) of the old single-loop transport. Reactor
+// count is transport-level only: the protocol cannot observe it
+// (PROTOCOL.md §12 note).
 //
 // The address table covers every participant, indexed by ProcessId. Entries
 // [0, world_size) are the paper's n replicas (broadcast targets; Context::
@@ -35,7 +52,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -47,6 +63,7 @@
 #include "abdkit/common/rng.hpp"
 #include "abdkit/common/thread_annotations.hpp"
 #include "abdkit/common/transport.hpp"
+#include "abdkit/net/reactor.hpp"
 #include "abdkit/net/send_queue.hpp"
 #include "abdkit/runtime/cluster.hpp"
 #include "abdkit/wire/codec.hpp"
@@ -105,6 +122,22 @@ struct TransportOptions {
   /// The paper's n: processes [0, world_size) are replicas. Client-only
   /// processes take ids >= world_size.
   std::size_t world_size{0};
+  /// Event-loop threads (home reactor + reactors-1 satellite reactors).
+  /// 1 (the default) reproduces the old single-loop transport exactly;
+  /// replicas serving large client fan-in want one per core.
+  std::size_t reactors{1};
+  /// listen(2) backlog; -1 means SOMAXCONN. The old transport hardcoded 64,
+  /// which overflows instantly when a thousand-client swarm dials at once
+  /// (overflowed SYNs stall for seconds in retry).
+  int listen_backlog{-1};
+  /// Modeled per-inbound-frame service time, charged on the reactor that
+  /// owns the connection (accumulated and slept in >= 1 ms chunks). Zero —
+  /// the default — disables the model. bench_c1 uses it to measure reactor-
+  /// sharding capacity on hosts with fewer cores than reactors
+  /// (EXPERIMENTS.md C1): real per-frame CPU work scales out with reactor
+  /// count only when there are cores to run them; modeled service time
+  /// scales the same way without needing the cores.
+  Duration inbound_service_time{};
   /// Reconnect backoff bounds: after a failed dial the next attempt waits
   /// the current backoff, which grows by decorrelated jitter — uniform in
   /// [min, 3 * previous], capped at max — until a connection succeeds (see
@@ -113,9 +146,10 @@ struct TransportOptions {
   /// doubling schedule and their dials collide forever.
   Duration reconnect_min{std::chrono::milliseconds{20}};
   Duration reconnect_max{std::chrono::seconds{1}};
-  /// Seed for the reconnect jitter stream, mixed with `self` so each
-  /// process jitters independently even when configured identically. Any
-  /// fixed value gives a deterministic redial schedule (tests rely on it).
+  /// Seed for the reconnect jitter stream, mixed with `self` (and, for
+  /// client-peer owners, the reactor index) so each process jitters
+  /// independently even when configured identically. Any fixed value gives
+  /// a deterministic redial schedule (tests rely on it).
   std::uint64_t reconnect_jitter_seed{0};
   /// Codec envelope for outgoing frames (wire::WireFormat::kCompact = the
   /// two-bit-messages constant-size control field). Receiving auto-detects,
@@ -129,17 +163,24 @@ struct TransportOptions {
   /// Optional metrics registry (not owned; must outlive the transport).
   /// Net-layer counters use the "net." prefix:
   ///   net.connect_attempts, net.connects, net.reconnects, net.accepts,
-  ///   net.disconnects, net.bytes_in, net.bytes_out, net.frames_in,
-  ///   net.frames_out, net.frame_decode_errors, net.sends_dropped,
-  ///   net.dropped_bytes, net.misrouted_frames, net.faults_dropped (frames
-  ///   eaten by an installed FaultPlan).
+  ///   net.accept_errors, net.disconnects, net.bytes_in, net.bytes_out,
+  ///   net.frames_in, net.frames_out, net.frame_decode_errors,
+  ///   net.sends_dropped, net.dropped_bytes, net.misrouted_frames,
+  ///   net.faults_dropped (frames eaten by an installed FaultPlan).
   /// Coalescing diagnostics (frames_out / writev_calls is the outbound
   /// frames-per-syscall factor; frames_in / read_calls the inbound one):
   ///   net.writev_calls, net.writev_iovecs, net.read_calls.
+  /// Reactor diagnostics, published when the transport stops:
+  ///   net.epoll_waits, net.timer_cascades, net.reactor_posts,
+  ///   net.reactor.<i>.events.
   Metrics* metrics{nullptr};
   /// Optional ClusterEvent-style observer (same type as runtime::Cluster's
   /// hook, so trace::ClusterRecorder works against either backend). Invoked
-  /// from the event-loop thread only.
+  /// from the HOME reactor thread only. (One narrow exception is absent,
+  /// not moved: a send dropped by a REMOTE-owned client peer's buffer cap
+  /// is counted in net.sends_dropped but emits no kDrop event — the cap
+  /// check runs on the owning reactor. With reactors == 1 every drop is
+  /// observed, as before.)
   runtime::ClusterObserver observer;
 };
 
@@ -158,34 +199,37 @@ class Transport {
   std::uint16_t bind(const Address& listen);
 
   /// Install the full address table (index = ProcessId; size() must be
-  /// >= world_size and > self), start the event-loop thread, and run the
-  /// actor's on_start on it. Replica peers are dialed eagerly; client
-  /// entries are dialed on first send.
+  /// >= world_size and > self), start the reactor threads, and run the
+  /// actor's on_start on the home reactor. Replica peers are dialed
+  /// eagerly; client entries are dialed on first send.
   void start(std::vector<Address> peers);
 
-  /// Stops the loop and joins the thread (idempotent). After stop() the
-  /// process is silent — to its peers, indistinguishable from a crash.
+  /// Stops every reactor and joins the threads (idempotent). After stop()
+  /// the process is silent — to its peers, indistinguishable from a crash.
   void stop();
 
-  /// Run `fn` on the event-loop thread — the only sanctioned way to invoke
-  /// the hosted actor from outside.
+  /// Run `fn` on the home reactor thread — the only sanctioned way to
+  /// invoke the hosted actor from outside.
   void post(std::function<void()> fn);
 
   /// Install (or, with a default-constructed plan, clear) a fault-injection
-  /// plan. Thread-safe: the plan is handed to the event-loop thread via
-  /// post(), so it takes effect at the next poll cycle and never races the
-  /// send path. See FaultPlan for semantics.
+  /// plan. Thread-safe: the plan is handed to the home reactor via post(),
+  /// so it takes effect at the next cycle and never races the send path.
+  /// See FaultPlan for semantics.
   void set_faults(FaultPlan plan);
 
   [[nodiscard]] Actor& hosted_actor() noexcept { return *actor_; }
   [[nodiscard]] std::uint16_t port() const noexcept { return listen_port_; }
   [[nodiscard]] ProcessId self() const noexcept { return options_.self; }
+  [[nodiscard]] std::size_t reactor_count() const noexcept { return domains_.size(); }
 
-  /// Nanoseconds since construction (the Context::now clock).
+  /// Nanoseconds since construction (the Context::now clock, shared by all
+  /// reactors).
   [[nodiscard]] TimePoint now() const;
 
   /// Snapshot of one peer's outbound queue (test/diagnostic visibility).
-  /// Loop-thread state: call only from within post(), like the actor.
+  /// Owner-thread state: call only from within post() (home-owned peers:
+  /// replicas, and with reactors == 1 everything), like the actor.
   struct SendQueueStats {
     std::size_t queued_bytes{0};
     std::size_t resident_bytes{0};
@@ -198,64 +242,102 @@ class Transport {
 
   enum class PeerState : std::uint8_t { kIdle, kConnecting, kBackoff, kConnected };
 
-  /// Outgoing half-channel to one peer.
+  /// Outgoing half-channel to one peer. Owned — like every mutable field —
+  /// by its owner reactor's thread: replicas (and, with reactors == 1,
+  /// everything) by home, client ids by reactor id % reactors.
   struct Peer {
     PeerState state{PeerState::kIdle};
     int fd{-1};
+    std::uint32_t slot{0};  ///< reactor slot while fd >= 0
     /// Pending frames, segment-buffered for writev coalescing and eager
     /// compaction (the limit is installed in start()).
     SendQueue queue;
-    /// Frames enqueued since the last flush; cleared by flush_dirty_peers()
-    /// so every poll cycle ends with at most one writev pass per peer.
+    /// Frames enqueued since the last flush; cleared by the owner's
+    /// before-wait flush pass so every cycle ends with at most one writev
+    /// pass per peer.
     bool flush_pending{false};
+    /// Edge-triggered write discipline: set when writev hit EAGAIN, cleared
+    /// (and the queue re-flushed) on the next EPOLLOUT edge. While set,
+    /// enqueues do not attempt syscalls.
+    bool write_blocked{false};
     Duration backoff{};
-    TimePoint next_attempt{};  ///< meaningful in kBackoff
+    TimerId redial_timer{0};  ///< wheel timer while in kBackoff
     bool ever_connected{false};
   };
 
-  /// Inbound connection (receive-only).
+  /// Inbound connection (receive-only), owned by one reactor.
   struct Inbound {
     int fd{-1};
     std::unique_ptr<FrameDecoder> decoder;
   };
 
-  struct TimerEntry {
-    TimePoint due{};
-    TimerId id{0};
-    friend bool operator>(const TimerEntry& a, const TimerEntry& b) noexcept {
-      if (a.due != b.due) return a.due > b.due;
-      return a.id > b.id;
-    }
+  /// Per-reactor state. domains_[0] is home. Mutable fields are owned by
+  /// that reactor's thread; the Reactor itself has its own cross-thread
+  /// discipline (post()).
+  struct Domain {
+    std::unique_ptr<Reactor> reactor;
+    std::thread thread;
+    std::size_t index{0};
+    /// Jitter stream for this domain's reconnect backoff.
+    Rng reconnect_rng{0};
+    /// Open inbound connections keyed by reactor slot (the slot table's
+    /// free list does the recycling; this map exists for shutdown and is
+    /// O(1) per open/close, not O(total) per cycle like the old erase_if).
+    std::unordered_map<std::uint32_t, Inbound> inbound;
+    /// Decoded frames awaiting batch-post to home (satellite reactors).
+    std::vector<Frame> delivery_batch;
+    /// Client-peer ids with staged outbound bytes awaiting flush (home).
+    std::vector<ProcessId> dirty_peers;
+    /// Modeled service-time debt, slept in >= 1 ms chunks.
+    Duration service_debt{};
   };
 
-  // Context surface (called from the loop thread only).
+  /// Encoded outbound bytes staged on the home thread for a remote-owned
+  /// client peer; handed to the owner in one post per cycle.
+  struct StagedBytes {
+    std::vector<std::byte> bytes;
+    std::uint64_t frames{0};
+    bool staged_dirty{false};  ///< in staged_dirty_ already
+  };
+
+  // Context surface (called from the home thread only).
   void send(ProcessId to, PayloadPtr payload);
   void broadcast(PayloadPtr payload);
   TimerId set_timer(Duration delay, TimerCallback cb);
   void cancel_timer(TimerId id);
 
-  void loop();
-  void begin_connect(ProcessId peer);
-  void peer_failed(ProcessId peer, bool was_connected);
-  void flush_peer(ProcessId peer);
-  void flush_dirty_peers();
+  [[nodiscard]] std::size_t owner_of(ProcessId peer) const noexcept;
+  [[nodiscard]] Domain& home() noexcept { return *domains_.front(); }
+
+  // Peer lifecycle — each runs on the owner reactor's thread.
+  void begin_connect(Domain& domain, ProcessId peer);
+  void peer_failed(Domain& domain, ProcessId peer, bool was_connected);
+  void peer_connected(Domain& domain, ProcessId peer);
+  void peer_event(Domain& domain, ProcessId peer, std::uint32_t events);
+  void flush_peer(Domain& domain, ProcessId peer);
+  void enqueue_bytes(Domain& domain, ProcessId peer, const std::byte* data,
+                     std::size_t size, std::uint64_t frames);
+
+  // Inbound path — owner reactor's thread.
   void accept_ready();
-  void inbound_ready(Inbound& conn);
-  void deliver(const Frame& frame);
-  void drain_posted();
+  void pause_accepting();
+  void adopt_inbound(Domain& domain, int fd);
+  void inbound_event(Domain& domain, std::uint32_t slot, std::uint32_t events);
+  void close_inbound(Domain& domain, std::uint32_t slot);
+  void deliver(const Frame& frame);  // home thread: hands the frame to the actor
+
+  // Per-cycle hooks.
+  void before_wait(Domain& domain);
   void drain_self_queue();
-  void fire_due_timers();
-  [[nodiscard]] int poll_timeout_ms() const;
+
   void count(std::string_view name, std::uint64_t delta = 1);
   void observe(runtime::ClusterEvent::Kind kind, ProcessId from, ProcessId to,
                const PayloadPtr& payload = nullptr, TimerId timer = 0);
+  void publish_reactor_stats();
   void close_all_fds();
 
   TransportOptions options_;
-  /// Jitter stream for reconnect backoff (loop-thread only), seeded from
-  /// reconnect_jitter_seed mixed with self.
-  Rng reconnect_rng_;
-  // Fault injection (loop-thread only; installed via set_faults).
+  // Fault injection (home thread only; installed via set_faults).
   FaultPlan faults_;
   std::vector<bool> fault_blocked_;  ///< indexed by destination ProcessId
   Rng fault_rng_{0};
@@ -263,29 +345,21 @@ class Transport {
   std::unique_ptr<class NetContext> context_;
   std::vector<Address> table_;
   std::vector<Peer> peers_;
-  std::vector<Inbound> inbound_;
+  std::vector<std::unique_ptr<Domain>> domains_;
   int listen_fd_{-1};
   std::uint16_t listen_port_{0};
-  int wake_read_fd_{-1};
-  int wake_write_fd_{-1};
-  std::thread thread_;
-  std::atomic<bool> running_{false};
+  std::uint32_t listen_slot_{0};
+  bool accept_paused_{false};
+  std::size_t next_inbound_domain_{0};  ///< acceptor round-robin cursor
   bool started_{false};
+  bool stopped_{false};
 
   std::chrono::steady_clock::time_point epoch_;
 
-  // Cross-thread post queue (the only state touched off the loop thread).
-  // -Wthread-safety (clang CI lane) proves posted_ is never touched
-  // without the mutex; everything else in this class is loop-thread-only
-  // by construction and deliberately unguarded.
-  Mutex post_mutex_;
-  std::deque<std::function<void()>> posted_ ABDKIT_GUARDED_BY(post_mutex_);
-
-  // Loop-thread state.
+  // Home-thread state.
   std::deque<PayloadPtr> self_queue_;
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>> timer_heap_;
-  std::unordered_map<TimerId, TimerCallback> live_timers_;
-  TimerId next_timer_{1};
+  std::unordered_map<ProcessId, StagedBytes> staged_;
+  std::vector<ProcessId> staged_dirty_;
 };
 
 }  // namespace abdkit::net

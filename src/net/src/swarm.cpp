@@ -1,0 +1,522 @@
+#include "abdkit/net/swarm.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "abdkit/net/frame.hpp"
+
+namespace abdkit::net {
+
+namespace {
+
+constexpr int kMaxFlushIov = 64;
+
+/// Failed or lost dials retry on the shard wheel after this long; under a
+/// backlog-overflowed listener the kernel already paces SYN retries, this
+/// only governs hard connect() errors.
+constexpr auto kRedialDelay = std::chrono::milliseconds{100};
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+std::uint64_t us_of(Duration d) noexcept {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+/// The Context each swarm client's abd::Node runs against. Every call is
+/// made on the owning shard's thread (the single-threaded actor contract).
+class ClientSwarm::SwarmContext final : public Context {
+ public:
+  SwarmContext(ClientSwarm& swarm, SwarmClient& client) noexcept
+      : swarm_{&swarm}, client_{&client} {}
+
+  [[nodiscard]] ProcessId self() const noexcept override { return client_->id; }
+  [[nodiscard]] std::size_t world_size() const noexcept override {
+    return swarm_->options_.world_size;
+  }
+  void send(ProcessId to, PayloadPtr payload) override {
+    swarm_->client_send(*client_, to, std::move(payload));
+  }
+  void broadcast(PayloadPtr payload) override {
+    for (ProcessId p = 0; p < swarm_->options_.world_size; ++p) send(p, payload);
+  }
+  TimerId set_timer(Duration delay, TimerCallback cb) override {
+    return client_->shard->reactor->timers().add(swarm_->now() + delay, std::move(cb));
+  }
+  void cancel_timer(TimerId id) override {
+    (void)client_->shard->reactor->timers().cancel(id);
+  }
+  [[nodiscard]] TimePoint now() const noexcept override { return swarm_->now(); }
+
+ private:
+  ClientSwarm* swarm_;
+  SwarmClient* client_;
+};
+
+ClientSwarm::ClientSwarm(SwarmOptions options)
+    : options_{std::move(options)}, epoch_{std::chrono::steady_clock::now()} {
+  if (options_.clients == 0) throw std::invalid_argument{"ClientSwarm: 0 clients"};
+  if (options_.world_size == 0) throw std::invalid_argument{"ClientSwarm: world_size 0"};
+  const std::size_t shard_count =
+      std::max<std::size_t>(1, std::min(options_.shards, options_.clients));
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->reactor = std::make_unique<Reactor>([this] { return now(); });
+    Shard* raw = shard.get();
+    shard->reactor->set_before_wait([this, raw] { before_wait(*raw); });
+    shards_.push_back(std::move(shard));
+  }
+  clients_.reserve(options_.clients);
+  for (std::size_t i = 0; i < options_.clients; ++i) {
+    auto client = std::make_unique<SwarmClient>();
+    client->id = static_cast<ProcessId>(options_.world_size + i);
+    client->shard = shards_[i % shards_.size()].get();
+    client->node = std::make_unique<abd::Node>(options_.node);
+    client->ctx = std::make_unique<SwarmContext>(*this, *client);
+    client->conns.resize(options_.world_size);
+    for (Conn& conn : client->conns) conn.queue.set_limit(options_.max_send_buffer);
+    client->shard->clients.push_back(client.get());
+    clients_.push_back(std::move(client));
+  }
+}
+
+ClientSwarm::~ClientSwarm() { stop(); }
+
+TimePoint ClientSwarm::now() const {
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - epoch_);
+}
+
+void ClientSwarm::count(std::string_view name, std::uint64_t delta) {
+  if (options_.metrics != nullptr) options_.metrics->add(name, delta);
+}
+
+std::vector<Address> ClientSwarm::bind() {
+  for (auto& shard : shards_) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error{"ClientSwarm: socket failed"};
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(fd, SOMAXCONN) < 0) {
+      ::close(fd);
+      throw std::runtime_error{"ClientSwarm: bind/listen failed"};
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      ::close(fd);
+      throw std::runtime_error{"ClientSwarm: getsockname failed"};
+    }
+    set_nonblocking(fd);
+    shard->listen_fd = fd;
+    shard->port = ntohs(bound.sin_port);
+  }
+  std::vector<Address> entries;
+  entries.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    Address address;
+    address.host = "127.0.0.1";
+    address.port = client->shard->port;
+    entries.push_back(std::move(address));
+  }
+  return entries;
+}
+
+bool ClientSwarm::start(std::vector<Address> table) {
+  if (started_) throw std::logic_error{"ClientSwarm: start called twice"};
+  if (table.size() < options_.world_size + options_.clients) {
+    throw std::invalid_argument{"ClientSwarm: table too small"};
+  }
+  table_ = std::move(table);
+  // Pre-thread registration of the shard listeners is single-threaded-safe.
+  for (auto& shard : shards_) {
+    if (shard->listen_fd < 0) throw std::logic_error{"ClientSwarm: start before bind"};
+    Shard* raw = shard.get();
+    (void)shard->reactor->add_fd(
+        shard->listen_fd, [this, raw](std::uint32_t) { accept_ready(*raw); },
+        /*edge_triggered=*/false);
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    shard->reactor->post([this, raw] {
+      for (SwarmClient* client : raw->clients) {
+        client->node->on_start(*client->ctx);
+        for (std::size_t r = 0; r < options_.world_size; ++r) dial(*client, r);
+      }
+    });
+  }
+  started_ = true;
+  for (auto& shard : shards_) {
+    Reactor* reactor = shard->reactor.get();
+    shard->thread = std::thread([reactor] { reactor->run(); });
+  }
+  const std::size_t want = options_.clients * options_.world_size;
+  const auto deadline = std::chrono::steady_clock::now() + options_.connect_timeout;
+  while (connected_.load(std::memory_order_relaxed) < want) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  return true;
+}
+
+void ClientSwarm::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  running_.store(false, std::memory_order_relaxed);
+  for (auto& shard : shards_) shard->reactor->stop();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  for (auto& client : clients_) {
+    for (Conn& conn : client->conns) {
+      if (conn.fd >= 0) ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  for (auto& shard : shards_) {
+    for (auto& [slot, conn] : shard->inbound) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    shard->inbound.clear();
+    if (shard->listen_fd >= 0) ::close(shard->listen_fd);
+    shard->listen_fd = -1;
+  }
+}
+
+// ---- Outbound connections (shard thread) ------------------------------------------
+
+void ClientSwarm::dial(SwarmClient& client, std::size_t replica) {
+  Conn& conn = client.conns[replica];
+  conn.dial_start = now();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    conn_lost(client, replica);
+    return;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(table_[replica].port);
+  if (::inet_pton(AF_INET, table_[replica].host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    conn_lost(client, replica);
+    return;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    conn_lost(client, replica);
+    return;
+  }
+  conn.fd = fd;
+  SwarmClient* raw = &client;
+  conn.slot = client.shard->reactor->add_fd(fd, [this, raw, replica](std::uint32_t events) {
+    conn_event(*raw, replica, events);
+  });
+  if (rc == 0) conn_established(client, replica);
+}
+
+void ClientSwarm::conn_event(SwarmClient& client, std::size_t replica,
+                             std::uint32_t events) {
+  Conn& conn = client.conns[replica];
+  if (conn.fd < 0) return;
+  if (!conn.connected) {
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      conn_lost(client, replica);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+        conn_lost(client, replica);
+        return;
+      }
+      conn_established(client, replica);
+    }
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    // Replies dial back to the shard listener; data here is unexpected, so
+    // this read exists to observe EOF promptly (edge-triggered drain).
+    std::byte sink[1024];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, sink, sizeof sink);
+      if (n > 0) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      conn_lost(client, replica);
+      return;
+    }
+  }
+  if ((events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0) {
+    conn_lost(client, replica);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    conn.write_blocked = false;
+    if (!conn.queue.empty()) flush_conn(client, replica);
+  }
+}
+
+void ClientSwarm::conn_established(SwarmClient& client, std::size_t replica) {
+  Conn& conn = client.conns[replica];
+  conn.connected = true;
+  connect_hist_.record_us(us_of(now() - conn.dial_start));
+  connected_.fetch_add(1, std::memory_order_relaxed);
+  count("swarm.connects");
+  if (!conn.queue.empty()) flush_conn(client, replica);
+}
+
+void ClientSwarm::conn_lost(SwarmClient& client, std::size_t replica) {
+  Conn& conn = client.conns[replica];
+  if (conn.fd >= 0) {
+    client.shard->reactor->remove(conn.slot);
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  if (conn.connected) {
+    conn.connected = false;
+    connected_.fetch_sub(1, std::memory_order_relaxed);
+    count("swarm.disconnects");
+  }
+  conn.write_blocked = false;
+  conn.flush_pending = false;
+  // Buffered frames ride through the redial: the retransmit timer (if the
+  // bench configured one) regenerates anything the replica never saw.
+  SwarmClient* raw = &client;
+  client.shard->reactor->timers().add(now() + kRedialDelay, [this, raw, replica] {
+    if (raw->conns[replica].fd < 0) dial(*raw, replica);
+  });
+}
+
+void ClientSwarm::flush_conn(SwarmClient& client, std::size_t replica) {
+  Conn& conn = client.conns[replica];
+  conn.flush_pending = false;
+  while (!conn.queue.empty()) {
+    struct iovec iov[kMaxFlushIov];
+    const int iov_n = conn.queue.gather(iov, kMaxFlushIov);
+    // MSG_NOSIGNAL: replicas are separate processes in bench_c1; a replica
+    // dying mid-write must surface as EPIPE (-> conn_lost), not SIGPIPE.
+    struct msghdr msg {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_n);
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.queue.consume(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      conn.write_blocked = true;
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    conn_lost(client, replica);
+    return;
+  }
+}
+
+void ClientSwarm::client_send(SwarmClient& client, ProcessId to, PayloadPtr payload) {
+  if (to >= options_.world_size) {
+    count("swarm.sends_dropped");
+    return;  // swarm clients only ever address the replica group
+  }
+  Conn& conn = client.conns[to];
+  std::vector<std::byte>& segment = conn.queue.tail();
+  const std::size_t mark = segment.size();
+  encode_frame_into(segment, client.id, to, *payload, options_.wire_format);
+  if (!conn.queue.commit(mark)) {
+    count("swarm.sends_dropped");
+    return;
+  }
+  if (conn.connected && !conn.flush_pending) {
+    conn.flush_pending = true;
+    client.shard->dirty.emplace_back(&client, static_cast<std::size_t>(to));
+  }
+}
+
+// ---- Inbound dial-backs (shard thread) --------------------------------------------
+
+void ClientSwarm::accept_ready(Shard& shard) {
+  for (;;) {
+    const int fd = ::accept(shard.listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN or a hard error; level-triggered retriggers
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    InboundConn conn;
+    conn.fd = fd;
+    conn.decoder = std::make_unique<FrameDecoder>(options_.max_frame_length);
+    auto slot_box = std::make_shared<std::uint32_t>(0);
+    Shard* raw = &shard;
+    const std::uint32_t slot =
+        shard.reactor->add_fd(fd, [this, raw, slot_box](std::uint32_t events) {
+          inbound_event(*raw, *slot_box, events);
+        });
+    *slot_box = slot;
+    shard.inbound.emplace(slot, std::move(conn));
+  }
+}
+
+void ClientSwarm::inbound_event(Shard& shard, std::uint32_t slot, std::uint32_t events) {
+  const auto it = shard.inbound.find(slot);
+  if (it == shard.inbound.end()) return;
+  InboundConn& conn = it->second;
+  const auto close_conn = [&] {
+    shard.reactor->remove(slot);
+    if (conn.fd >= 0) ::close(conn.fd);
+    shard.inbound.erase(slot);
+  };
+  if ((events & EPOLLIN) != 0) {
+    std::byte chunk[16384];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+      if (n > 0) {
+        conn.decoder->feed(std::span{chunk, static_cast<std::size_t>(n)});
+        Frame frame;
+        for (;;) {
+          const FrameDecoder::Status status = conn.decoder->next(frame);
+          if (status == FrameDecoder::Status::kFrame) {
+            dispatch(shard, frame.src, frame.dst, *frame.payload);
+            continue;
+          }
+          if (status == FrameDecoder::Status::kError) {
+            count("swarm.frame_decode_errors");
+            close_conn();
+            return;
+          }
+          break;  // kNeedMore
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_conn();  // EOF or hard error
+      return;
+    }
+  }
+  if ((events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0) close_conn();
+}
+
+void ClientSwarm::dispatch(Shard& shard, ProcessId src, ProcessId dst,
+                           const Payload& payload) {
+  const std::size_t index = static_cast<std::size_t>(dst) - options_.world_size;
+  if (dst < options_.world_size || index >= clients_.size() ||
+      clients_[index]->shard != &shard) {
+    count("swarm.misrouted_frames");
+    return;
+  }
+  SwarmClient& client = *clients_[index];
+  client.node->on_message(*client.ctx, src, payload);
+}
+
+void ClientSwarm::before_wait(Shard& shard) {
+  for (const auto& [client, replica] : shard.dirty) {
+    Conn& conn = client->conns[replica];
+    if (!conn.flush_pending) continue;
+    if (conn.connected && !conn.write_blocked) {
+      flush_conn(*client, replica);
+    } else {
+      conn.flush_pending = false;
+    }
+  }
+  shard.dirty.clear();
+}
+
+// ---- Workload ---------------------------------------------------------------------
+
+void ClientSwarm::issue(SwarmClient& client) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  // Each client reads its own object: load spreads without write contention
+  // and per-op message counts stay at the E1 read formula exactly.
+  const auto object = static_cast<abd::ObjectId>(client.id);
+  SwarmClient* raw = &client;
+  client.node->read(object, [this, raw](const abd::OpResult& result) {
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    messages_.fetch_add(result.messages_sent, std::memory_order_relaxed);
+    rounds_.fetch_add(result.rounds, std::memory_order_relaxed);
+    op_hist_.record_us(us_of(result.responded - result.invoked));
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    if (running_.load(std::memory_order_relaxed)) issue(*raw);
+  });
+}
+
+ClientSwarm::RunStats ClientSwarm::run_reads(Duration duration) {
+  if (!started_ || stopped_) throw std::logic_error{"ClientSwarm: run before start"};
+  ops_.store(0, std::memory_order_relaxed);
+  messages_.store(0, std::memory_order_relaxed);
+  rounds_.store(0, std::memory_order_relaxed);
+  op_hist_.reset();
+  running_.store(true, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    shard->reactor->post([this, raw] {
+      for (SwarmClient* client : raw->clients) {
+        for (std::size_t d = 0; d < options_.pipeline_depth; ++d) issue(*client);
+      }
+    });
+  }
+  const auto run_start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(duration);
+  running_.store(false, std::memory_order_relaxed);
+  // Drain the closed loop: completions stop re-issuing, so in-flight falls
+  // to zero as the last pipelined ops finish (bounded grace for stragglers
+  // stuck behind a dead replica).
+  const auto grace = std::chrono::steady_clock::now() + std::chrono::seconds{10};
+  while (in_flight_.load(std::memory_order_relaxed) > 0 &&
+         std::chrono::steady_clock::now() < grace) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - run_start;
+
+  RunStats stats;
+  stats.ops = ops_.load(std::memory_order_relaxed);
+  stats.stragglers = in_flight_.load(std::memory_order_relaxed);
+  stats.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  stats.p50_us = op_hist_.quantile_us(0.50);
+  stats.p99_us = op_hist_.quantile_us(0.99);
+  stats.p999_us = op_hist_.quantile_us(0.999);
+  stats.max_us = op_hist_.max_us();
+  stats.messages = messages_.load(std::memory_order_relaxed);
+  stats.rounds = rounds_.load(std::memory_order_relaxed);
+  stats.connects = connect_hist_.count();
+  stats.connect_p50_us = connect_hist_.quantile_us(0.50);
+  stats.connect_p99_us = connect_hist_.quantile_us(0.99);
+  stats.connect_max_us = connect_hist_.max_us();
+  count("swarm.ops", stats.ops);
+  return stats;
+}
+
+}  // namespace abdkit::net

@@ -1,0 +1,167 @@
+#include "abdkit/net/timer_wheel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace abdkit::net {
+
+namespace {
+
+constexpr std::uint64_t kSlotMask = TimerWheel::kSlots - 1;
+
+/// Ticks representable without clamping: the span of the outermost level.
+constexpr std::uint64_t kHorizonTicks =
+    1ull << (TimerWheel::kLevels * TimerWheel::kSlotBits);
+
+}  // namespace
+
+TimerId TimerWheel::add(TimePoint due, Callback cb) {
+  const TimerId id = next_id_++;
+  live_.emplace(id, Live{due, std::move(cb)});
+  place(id, tick_of(due));
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  // The slot entry becomes a tombstone dropped when its slot is next fired
+  // or cascaded; the live map shrinks immediately, so bookkeeping stays
+  // bounded by armed timers (the old heap's cancel semantics).
+  return live_.erase(id) > 0;
+}
+
+void TimerWheel::place(TimerId id, std::uint64_t due_tick) {
+  // Past-due entries land in the current tick's level-0 slot and fire on the
+  // next advance; far-future entries clamp to the outermost horizon and
+  // cascade again (their true deadline lives in the live map).
+  std::uint64_t target = due_tick <= current_tick_ ? current_tick_ : due_tick;
+  if (target - current_tick_ >= kHorizonTicks) {
+    target = current_tick_ + kHorizonTicks - 1;
+  }
+  const std::uint64_t delta = target - current_tick_;
+  for (std::size_t level = 0; level < kLevels; ++level) {
+    if (delta < (1ull << ((level + 1) * kSlotBits))) {
+      const std::uint64_t slot = (target >> (level * kSlotBits)) & kSlotMask;
+      levels_[level][slot].ids.push_back(id);
+      ++level_count_[level];
+      return;
+    }
+  }
+}
+
+void TimerWheel::cascade(std::size_t level, std::size_t slot_index) {
+  std::vector<TimerId> ids = std::move(levels_[level][slot_index].ids);
+  levels_[level][slot_index].ids.clear();
+  level_count_[level] -= ids.size();
+  for (const TimerId id : ids) {
+    const auto it = live_.find(id);
+    if (it == live_.end()) continue;  // cancelled: tombstone dropped here
+    ++cascades_;
+    place(id, tick_of(it->second.due));
+  }
+}
+
+void TimerWheel::advance(TimePoint now) {
+  const std::uint64_t now_tick = tick_of(now);
+  if (!started_) {
+    // First use anchors the wheel: ticks before a wheel exists cannot hold
+    // entries, so there is nothing to walk up to.
+    current_tick_ = now_tick;
+    started_ = true;
+  }
+  for (;;) {
+    if (live_.empty()) {
+      // Nothing can fire or cascade; jump. Stale tombstones left in slots
+      // are dropped whenever their slot is next visited (ids never reuse).
+      current_tick_ = std::max(current_tick_, now_tick);
+      return;
+    }
+
+    // Stride over empty regions: when the inner levels hold nothing (not
+    // even tombstones), no tick before the next outer-level cascade
+    // boundary can fire, so jump straight to that boundary instead of
+    // walking every 1 ms tick of the gap.
+    std::uint64_t span = 0;
+    if (level_count_[0] == 0) {
+      span = 1ull << kSlotBits;
+      if (level_count_[1] == 0) {
+        span = 1ull << (2 * kSlotBits);
+        if (level_count_[2] == 0) span = 1ull << (3 * kSlotBits);
+      }
+    }
+    if (span != 0) {
+      const std::uint64_t boundary = (current_tick_ & ~(span - 1)) + span;
+      current_tick_ = std::min(now_tick, boundary - 1);
+    }
+
+    // Fire the current tick's level-0 slot: everything due at or before
+    // `now` goes, in (due, id) order; sub-tick-future entries stay. Loop
+    // because a callback may arm a new timer that is already due.
+    Slot& slot = levels_[0][current_tick_ & kSlotMask];
+    for (;;) {
+      std::vector<TimerId> keep;
+      std::vector<std::pair<std::int64_t, TimerId>> fire;
+      for (const TimerId id : slot.ids) {
+        const auto it = live_.find(id);
+        if (it == live_.end()) continue;  // cancelled
+        if (it->second.due <= now) {
+          fire.emplace_back(it->second.due.count(), id);
+        } else {
+          keep.push_back(id);
+        }
+      }
+      level_count_[0] -= slot.ids.size() - keep.size();
+      slot.ids = std::move(keep);
+      if (fire.empty()) break;
+      std::sort(fire.begin(), fire.end());
+      for (const auto& [due_ns, id] : fire) {
+        const auto it = live_.find(id);
+        if (it == live_.end()) continue;  // cancelled by an earlier callback
+        Callback cb = std::move(it->second.cb);
+        live_.erase(it);
+        cb();
+      }
+    }
+
+    if (current_tick_ >= now_tick) return;
+    ++current_tick_;
+    // Entering a new level-0 lap pulls the next outer slot inward (and so
+    // on up the hierarchy when the outer levels wrap too).
+    if ((current_tick_ & kSlotMask) == 0) {
+      cascade(1, (current_tick_ >> kSlotBits) & kSlotMask);
+      if ((current_tick_ & ((1ull << (2 * kSlotBits)) - 1)) == 0) {
+        cascade(2, (current_tick_ >> (2 * kSlotBits)) & kSlotMask);
+        if ((current_tick_ & ((1ull << (3 * kSlotBits)) - 1)) == 0) {
+          cascade(3, (current_tick_ >> (3 * kSlotBits)) & kSlotMask);
+        }
+      }
+    }
+  }
+}
+
+TimePoint TimerWheel::next_due() const {
+  if (live_.empty()) return TimePoint::max();
+  // Per level, the first slot (in tick order from the level's current
+  // position) holding a live entry contains that level's earliest deadlines;
+  // outer levels can hold deadlines that precede inner-level ones (an entry
+  // cascades inward only when its level wraps), so take the min across all
+  // levels rather than stopping at the innermost hit.
+  TimePoint best = TimePoint::max();
+  for (std::size_t level = 0; level < kLevels; ++level) {
+    const std::uint64_t base = current_tick_ >> (level * kSlotBits);
+    for (std::uint64_t i = 0; i < kSlots; ++i) {
+      const Slot& slot = levels_[level][(base + i) & kSlotMask];
+      TimePoint slot_min = TimePoint::max();
+      for (const TimerId id : slot.ids) {
+        const auto it = live_.find(id);
+        if (it != live_.end() && it->second.due < slot_min) slot_min = it->second.due;
+      }
+      if (slot_min != TimePoint::max()) {
+        best = std::min(best, slot_min);
+        break;  // later slots of this level only hold later deadlines
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace abdkit::net

@@ -4,7 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -53,6 +53,23 @@ bool fill_sockaddr(const Address& address, sockaddr_in& out) {
 /// one syscall drains several segments' worth of coalesced frames.
 constexpr int kMaxFlushIov = 64;
 
+/// How long the acceptor stays paused after EMFILE/ENFILE before retrying:
+/// long enough for fds to free up, short enough that a transient spike does
+/// not strand dialing clients in the backlog.
+constexpr auto kAcceptPause = std::chrono::milliseconds{100};
+
+std::uint64_t jitter_seed(const TransportOptions& options, std::size_t domain) noexcept {
+  // Mix self into the stream so identically-configured processes still draw
+  // independent jitter (the whole point of having any); mix the domain index
+  // so satellite reactors' client redials decorrelate from the replica
+  // mesh's. Domain 0 reproduces the old single-loop stream exactly.
+  std::uint64_t sm = options.reconnect_jitter_seed ^
+                     (0x9e3779b97f4a7c15ULL * (1 + std::uint64_t{options.self}));
+  std::uint64_t seed = splitmix64(sm);  // domain 0 == the old single-loop stream
+  for (std::size_t i = 0; i < domain; ++i) seed = splitmix64(sm);
+  return seed;
+}
+
 }  // namespace
 
 // ---- Address parsing --------------------------------------------------------------
@@ -93,7 +110,7 @@ bool parse_address_list(const std::string& text, std::vector<Address>& out) {
 // ---- Context adapter --------------------------------------------------------------
 
 /// The Context handed to the hosted actor; every call forwards to the
-/// transport and runs on the event-loop thread.
+/// transport and runs on the home reactor thread.
 class NetContext final : public Context {
  public:
   explicit NetContext(Transport& transport) noexcept : transport_{&transport} {}
@@ -122,18 +139,6 @@ class NetContext final : public Context {
 
 // ---- Lifecycle --------------------------------------------------------------------
 
-namespace {
-
-std::uint64_t jitter_seed(const TransportOptions& options) noexcept {
-  // Mix self into the stream so identically-configured processes still
-  // draw independent jitter (the whole point of having any).
-  std::uint64_t sm = options.reconnect_jitter_seed ^
-                     (0x9e3779b97f4a7c15ULL * (1 + std::uint64_t{options.self}));
-  return splitmix64(sm);
-}
-
-}  // namespace
-
 Duration next_reconnect_backoff(Duration previous, Duration floor, Duration cap,
                                 Rng& rng) {
   // The jitter policy itself lives in common (next_decorrelated_backoff) so
@@ -143,15 +148,28 @@ Duration next_reconnect_backoff(Duration previous, Duration floor, Duration cap,
 
 Transport::Transport(TransportOptions options, std::unique_ptr<Actor> actor)
     : options_{std::move(options)},
-      reconnect_rng_{jitter_seed(options_)},
       actor_{std::move(actor)},
       context_{std::make_unique<NetContext>(*this)},
       epoch_{std::chrono::steady_clock::now()} {
   if (actor_ == nullptr) throw std::invalid_argument{"Transport: null actor"};
   if (options_.world_size == 0) throw std::invalid_argument{"Transport: world_size 0"};
+  const std::size_t reactors = std::max<std::size_t>(1, options_.reactors);
+  domains_.reserve(reactors);
+  for (std::size_t i = 0; i < reactors; ++i) {
+    auto domain = std::make_unique<Domain>();
+    domain->index = i;
+    domain->reconnect_rng = Rng{jitter_seed(options_, i)};
+    domain->reactor = std::make_unique<Reactor>([this] { return now(); });
+    Domain* raw = domain.get();
+    domain->reactor->set_before_wait([this, raw] { before_wait(*raw); });
+    domains_.push_back(std::move(domain));
+  }
 }
 
-Transport::~Transport() { stop(); }
+Transport::~Transport() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);  // bound but never started
+}
 
 std::uint16_t Transport::bind(const Address& listen) {
   if (listen_fd_ >= 0) throw std::logic_error{"Transport: bind called twice"};
@@ -168,7 +186,8 @@ std::uint16_t Transport::bind(const Address& listen) {
     ::close(fd);
     throw_errno("bind " + listen.host + ":" + std::to_string(listen.port));
   }
-  if (::listen(fd, 64) < 0) {
+  const int backlog = options_.listen_backlog < 0 ? SOMAXCONN : options_.listen_backlog;
+  if (::listen(fd, backlog) < 0) {
     ::close(fd);
     throw_errno("listen");
   }
@@ -193,24 +212,36 @@ void Transport::start(std::vector<Address> peers) {
   table_ = std::move(peers);
   peers_.resize(table_.size());
   for (Peer& peer : peers_) peer.queue.set_limit(options_.max_send_buffer);
-  int pipe_fds[2] = {-1, -1};
-  if (::pipe(pipe_fds) < 0) throw_errno("pipe");
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-  set_nonblocking(wake_read_fd_);
-  set_nonblocking(wake_write_fd_);
+
+  // Pre-thread registration is safe: no loop is running yet. Level-
+  // triggered, so pausing/resuming the acceptor needs no re-arm protocol.
+  listen_slot_ = home().reactor->add_fd(
+      listen_fd_, [this](std::uint32_t) { accept_ready(); }, /*edge_triggered=*/false);
+
+  // First thing the home loop does: join the replica mesh, then hand the
+  // actor its Context (the old loop()'s preamble, now a post).
+  home().reactor->post([this] {
+    for (ProcessId p = 0; p < options_.world_size; ++p) {
+      if (p != options_.self) begin_connect(home(), p);
+    }
+    actor_->on_start(*context_);
+  });
+
   started_ = true;
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { loop(); });
+  for (auto& domain : domains_) {
+    Reactor* reactor = domain->reactor.get();
+    domain->thread = std::thread([reactor] { reactor->run(); });
+  }
 }
 
 void Transport::stop() {
-  if (!started_) return;
-  if (running_.exchange(false, std::memory_order_acq_rel)) {
-    const char byte = 'q';
-    (void)!::write(wake_write_fd_, &byte, 1);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& domain : domains_) domain->reactor->stop();
+  for (auto& domain : domains_) {
+    if (domain->thread.joinable()) domain->thread.join();
   }
-  if (thread_.joinable()) thread_.join();
+  publish_reactor_stats();
   close_all_fds();
 }
 
@@ -220,26 +251,21 @@ void Transport::close_all_fds() {
     peer.fd = -1;
     peer.state = PeerState::kIdle;
   }
-  for (Inbound& conn : inbound_) {
-    if (conn.fd >= 0) ::close(conn.fd);
+  for (auto& domain : domains_) {
+    for (auto& [slot, conn] : domain->inbound) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    domain->inbound.clear();
   }
-  inbound_.clear();
-  for (int* fd : {&listen_fd_, &wake_read_fd_, &wake_write_fd_}) {
-    if (*fd >= 0) ::close(*fd);
-    *fd = -1;
-  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
 }
 
 void Transport::post(std::function<void()> fn) {
-  {
-    const MutexLock lock{post_mutex_};
-    posted_.push_back(std::move(fn));
-  }
-  if (wake_write_fd_ >= 0) {
-    const char byte = 'p';
-    // A full pipe means a wakeup is already pending; dropping the byte is fine.
-    (void)!::write(wake_write_fd_, &byte, 1);
-  }
+  home().reactor->post([this, fn = std::move(fn)] {
+    observe(ClusterEvent::Kind::kPost, options_.self, options_.self);
+    fn();
+  });
 }
 
 void Transport::set_faults(FaultPlan plan) {
@@ -270,6 +296,14 @@ Transport::SendQueueStats Transport::send_queue_stats(ProcessId peer) const {
   return stats;
 }
 
+std::size_t Transport::owner_of(ProcessId peer) const noexcept {
+  // Replica-mesh peers stay on home with the actor: their lifecycle is
+  // protocol-critical (eager dial, forever-redial, chaos injection) and
+  // their count is the paper's n, not the fan-in. Client peers shard.
+  if (peer < options_.world_size) return 0;
+  return static_cast<std::size_t>(peer) % domains_.size();
+}
+
 // ---- Metrics / tracing ------------------------------------------------------------
 
 void Transport::count(std::string_view name, std::uint64_t delta) {
@@ -289,7 +323,24 @@ void Transport::observe(ClusterEvent::Kind kind, ProcessId from, ProcessId to,
   options_.observer(event);
 }
 
-// ---- Context surface (event-loop thread) ------------------------------------------
+void Transport::publish_reactor_stats() {
+  if (options_.metrics == nullptr) return;
+  std::uint64_t waits = 0;
+  std::uint64_t cascades = 0;
+  std::uint64_t posts = 0;
+  for (const auto& domain : domains_) {
+    const Reactor::Stats stats = domain->reactor->stats();
+    waits += stats.epoll_waits;
+    cascades += stats.timer_cascades;
+    posts += stats.posts;
+    count("net.reactor." + std::to_string(domain->index) + ".events", stats.events);
+  }
+  count("net.epoll_waits", waits);
+  count("net.timer_cascades", cascades);
+  count("net.reactor_posts", posts);
+}
+
+// ---- Context surface (home thread) ------------------------------------------------
 
 void Transport::send(ProcessId to, PayloadPtr payload) {
   if (to >= table_.size()) {
@@ -313,6 +364,21 @@ void Transport::send(ProcessId to, PayloadPtr payload) {
       return;
     }
   }
+  const std::size_t owner = owner_of(to);
+  if (owner != 0) {
+    // Remote-owned client peer: encode here (home pays the cheap encode,
+    // the owner pays the syscalls) and stage the bytes; before_wait hands
+    // each dirty destination to its owner in one post per cycle.
+    StagedBytes& staged = staged_[to];
+    encode_frame_into(staged.bytes, options_.self, to, *payload, options_.wire_format);
+    ++staged.frames;
+    if (!staged.staged_dirty) {
+      staged.staged_dirty = true;
+      staged_dirty_.push_back(to);
+    }
+    count("net.frames_out");
+    return;
+  }
   Peer& peer = peers_[to];
   // Encode straight into the peer's segment queue; commit() rejects (and
   // removes) the frame if it would breach max_send_buffer.
@@ -327,13 +393,16 @@ void Transport::send(ProcessId to, PayloadPtr payload) {
   count("net.frames_out");
   switch (peer.state) {
     case PeerState::kIdle:
-      begin_connect(to);
+      begin_connect(home(), to);
       break;
     case PeerState::kConnected:
-      // Deferred: flush_dirty_peers() runs one coalesced writev pass per
-      // poll cycle, so a burst of sends (a broadcast, pipelined ops) shares
-      // syscalls instead of paying one write(2) per frame.
-      peer.flush_pending = true;
+      // Deferred: the before-wait flush pass runs one coalesced writev per
+      // peer per cycle, so a burst of sends (a broadcast, pipelined ops)
+      // shares syscalls instead of paying one write(2) per frame.
+      if (!peer.flush_pending) {
+        peer.flush_pending = true;
+        home().dirty_peers.push_back(to);
+      }
       break;
     case PeerState::kConnecting:
     case PeerState::kBackoff:
@@ -346,43 +415,34 @@ void Transport::broadcast(PayloadPtr payload) {
 }
 
 TimerId Transport::set_timer(Duration delay, TimerCallback cb) {
-  const TimerId id = next_timer_++;
-  live_timers_.emplace(id, std::move(cb));
-  timer_heap_.push(TimerEntry{now() + delay, id});
+  auto id_box = std::make_shared<TimerId>(0);
+  const TimerId id = home().reactor->timers().add(
+      now() + delay, [this, cb = std::move(cb), id_box] {
+        observe(ClusterEvent::Kind::kTimerFire, options_.self, options_.self, nullptr,
+                *id_box);
+        cb();
+      });
+  *id_box = id;
   observe(ClusterEvent::Kind::kTimerSet, options_.self, options_.self, nullptr, id);
   return id;
 }
 
 void Transport::cancel_timer(TimerId id) {
-  // The heap entry becomes a tombstone skipped at its deadline; the LIVE
-  // map shrinks immediately, so bookkeeping stays bounded by armed timers.
-  if (live_timers_.erase(id) > 0) {
+  // Wheel-slot entries tombstone lazily; the live bookkeeping shrinks
+  // immediately (same contract as the old heap + live-map pair).
+  if (home().reactor->timers().cancel(id)) {
     observe(ClusterEvent::Kind::kTimerCancel, options_.self, options_.self, nullptr, id);
   }
 }
 
-void Transport::fire_due_timers() {
-  const TimePoint current = now();
-  while (!timer_heap_.empty() && timer_heap_.top().due <= current) {
-    const TimerId id = timer_heap_.top().id;
-    timer_heap_.pop();
-    const auto it = live_timers_.find(id);
-    if (it == live_timers_.end()) continue;  // cancelled
-    TimerCallback cb = std::move(it->second);
-    live_timers_.erase(it);
-    observe(ClusterEvent::Kind::kTimerFire, options_.self, options_.self, nullptr, id);
-    cb();
-  }
-}
+// ---- Connection management (owner reactor's thread) -------------------------------
 
-// ---- Connection management --------------------------------------------------------
-
-void Transport::begin_connect(ProcessId peer_id) {
+void Transport::begin_connect(Domain& domain, ProcessId peer_id) {
   Peer& peer = peers_[peer_id];
   count("net.connect_attempts");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    peer_failed(peer_id, false);
+    peer_failed(domain, peer_id, false);
     return;
   }
   set_nonblocking(fd);
@@ -390,137 +450,300 @@ void Transport::begin_connect(ProcessId peer_id) {
   sockaddr_in addr{};
   if (!fill_sockaddr(table_[peer_id], addr)) {
     ::close(fd);
-    peer_failed(peer_id, false);
+    peer_failed(domain, peer_id, false);
     return;
   }
   const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    peer_failed(domain, peer_id, false);
+    return;
+  }
+  peer.fd = fd;
+  peer.slot = domain.reactor->add_fd(
+      fd, [this, &domain, peer_id](std::uint32_t events) {
+        peer_event(domain, peer_id, events);
+      });
   if (rc == 0) {
-    peer.fd = fd;
-    peer.state = PeerState::kConnected;
-    count(peer.ever_connected ? "net.reconnects" : "net.connects");
-    peer.ever_connected = true;
-    peer.backoff = Duration::zero();
-    flush_peer(peer_id);
-    return;
+    peer_connected(domain, peer_id);
+  } else {
+    peer.state = PeerState::kConnecting;  // EPOLLOUT edge completes the dial
   }
-  if (errno == EINPROGRESS) {
-    peer.fd = fd;
-    peer.state = PeerState::kConnecting;
-    return;
-  }
-  ::close(fd);
-  peer_failed(peer_id, false);
 }
 
-void Transport::peer_failed(ProcessId peer_id, bool was_connected) {
+void Transport::peer_connected(Domain& domain, ProcessId peer_id) {
   Peer& peer = peers_[peer_id];
-  if (peer.fd >= 0) ::close(peer.fd);
-  peer.fd = -1;
+  peer.state = PeerState::kConnected;
+  count(peer.ever_connected ? "net.reconnects" : "net.connects");
+  peer.ever_connected = true;
+  peer.backoff = Duration::zero();
+  flush_peer(domain, peer_id);
+}
+
+void Transport::peer_failed(Domain& domain, ProcessId peer_id, bool was_connected) {
+  Peer& peer = peers_[peer_id];
+  if (peer.fd >= 0) {
+    domain.reactor->remove(peer.slot);
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
   if (was_connected) count("net.disconnects");
   // Whatever was queued counts as in-flight loss — the crash-fault model.
   if (!peer.queue.empty()) count("net.dropped_bytes", peer.queue.queued_bytes());
   peer.queue.clear();
   peer.flush_pending = false;
+  peer.write_blocked = false;
   if (peer_id < options_.world_size) {
     // Replica mesh: keep redialing forever, so a restarted replica is
     // readopted without coordination. Decorrelated jitter, not bare
     // doubling: replicas that lost the same peer at the same instant must
     // not redial in lockstep (thundering-herd on the restarted listener).
+    // The redial deadline is a wheel timer — the old loop re-derived it by
+    // scanning every peer each cycle to compute the poll timeout.
     peer.backoff = next_reconnect_backoff(peer.backoff, options_.reconnect_min,
-                                          options_.reconnect_max, reconnect_rng_);
-    peer.next_attempt = now() + peer.backoff;
+                                          options_.reconnect_max, domain.reconnect_rng);
     peer.state = PeerState::kBackoff;
+    peer.redial_timer = domain.reactor->timers().add(
+        now() + peer.backoff, [this, &domain, peer_id] {
+          peers_[peer_id].redial_timer = 0;
+          if (peers_[peer_id].state == PeerState::kBackoff) {
+            begin_connect(domain, peer_id);
+          }
+        });
   } else {
     // Client-only peers are dialed on demand; a vanished client costs nothing.
     peer.state = PeerState::kIdle;
   }
 }
 
-void Transport::flush_peer(ProcessId peer_id) {
+void Transport::peer_event(Domain& domain, ProcessId peer_id, std::uint32_t events) {
+  Peer& peer = peers_[peer_id];
+  if (peer.fd < 0) return;  // stale edge for a peer already torn down
+  if (peer.state == PeerState::kConnecting) {
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      peer_failed(domain, peer_id, false);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      if (::getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+        peer_failed(domain, peer_id, false);
+        return;
+      }
+      peer_connected(domain, peer_id);
+    }
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    // We never expect data on the dialer side; reading here exists to
+    // observe EOF/reset promptly. Edge-triggered: drain until EAGAIN.
+    std::byte sink[1024];
+    for (;;) {
+      const ssize_t n = ::read(peer.fd, sink, sizeof sink);
+      if (n > 0) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      peer_failed(domain, peer_id, true);  // EOF or hard error
+      return;
+    }
+  }
+  if ((events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0) {
+    peer_failed(domain, peer_id, true);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    peer.write_blocked = false;
+    if (!peer.queue.empty()) flush_peer(domain, peer_id);
+  }
+}
+
+void Transport::flush_peer(Domain& domain, ProcessId peer_id) {
   Peer& peer = peers_[peer_id];
   peer.flush_pending = false;
   while (!peer.queue.empty()) {
     struct iovec iov[kMaxFlushIov];
     const int iov_n = peer.queue.gather(iov, kMaxFlushIov);
-    const ssize_t n = ::writev(peer.fd, iov, iov_n);
+    // sendmsg(MSG_NOSIGNAL), not writev: a peer process can die between our
+    // readiness check and this write, and a SIGPIPE would kill the whole
+    // process instead of surfacing EPIPE to the reconnect path.
+    struct msghdr msg {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_n);
+    const ssize_t n = ::sendmsg(peer.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       // Consumed segments are released inside the queue immediately — a
-      // partial write never pins the already-written prefix (the old
-      // monolithic buffer kept it resident until a full drain).
+      // partial write never pins the already-written prefix.
       peer.queue.consume(static_cast<std::size_t>(n));
       count("net.bytes_out", static_cast<std::uint64_t>(n));
       count("net.writev_calls");
       count("net.writev_iovecs", static_cast<std::uint64_t>(iov_n));
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Edge-triggered: no more syscalls until the next EPOLLOUT edge.
+      peer.write_blocked = true;
+      return;
+    }
     if (n < 0 && errno == EINTR) continue;
-    peer_failed(peer_id, true);
+    peer_failed(domain, peer_id, true);
     return;
   }
 }
 
-void Transport::flush_dirty_peers() {
-  for (ProcessId p = 0; p < peers_.size(); ++p) {
-    Peer& peer = peers_[p];
-    if (!peer.flush_pending) continue;
-    if (peer.state == PeerState::kConnected) {
-      flush_peer(p);
-    } else {
-      peer.flush_pending = false;  // flushed on connect instead
-    }
+void Transport::enqueue_bytes(Domain& domain, ProcessId peer_id, const std::byte* data,
+                              std::size_t size, std::uint64_t frames) {
+  Peer& peer = peers_[peer_id];
+  std::vector<std::byte>& segment = peer.queue.tail();
+  const std::size_t mark = segment.size();
+  segment.insert(segment.end(), data, data + size);
+  if (!peer.queue.commit(mark)) {
+    // Cap breach drops the whole staged chunk — the same loss model as the
+    // per-frame drop, at hand-off granularity. (Counted, not observed: the
+    // observer contract is home-thread-only.)
+    count("net.sends_dropped", frames);
+    return;
+  }
+  switch (peer.state) {
+    case PeerState::kIdle:
+      begin_connect(domain, peer_id);
+      break;
+    case PeerState::kConnected:
+      if (!peer.flush_pending) {
+        peer.flush_pending = true;
+        domain.dirty_peers.push_back(peer_id);
+      }
+      break;
+    case PeerState::kConnecting:
+    case PeerState::kBackoff:
+      break;
   }
 }
+
+// ---- Inbound path -----------------------------------------------------------------
 
 void Transport::accept_ready() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient accept errors (ECONNABORTED...) are not fatal
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      count("net.accept_errors");
+      if (errno == EMFILE || errno == ENFILE || errno == ENOMEM || errno == ENOBUFS) {
+        // Out of fds/buffers: stop accepting for a beat instead of spinning
+        // on a level-triggered listen fd that will stay readable. Pending
+        // dials wait in the (configurable) backlog.
+        pause_accepting();
+      }
+      return;
     }
     set_nonblocking(fd);
     set_nodelay(fd);
-    Inbound conn;
-    conn.fd = fd;
-    conn.decoder = std::make_unique<FrameDecoder>(options_.max_frame_length);
-    inbound_.push_back(std::move(conn));
     count("net.accepts");
+    // Round-robin shard: each accepted connection is owned (read, decoded,
+    // service-modeled) by exactly one reactor for its whole lifetime.
+    Domain& domain = *domains_[next_inbound_domain_];
+    next_inbound_domain_ = (next_inbound_domain_ + 1) % domains_.size();
+    if (&domain == &home()) {
+      adopt_inbound(domain, fd);
+    } else {
+      Domain* raw = &domain;
+      domain.reactor->post([this, raw, fd] { adopt_inbound(*raw, fd); });
+    }
   }
 }
 
-void Transport::inbound_ready(Inbound& conn) {
-  std::byte chunk[16384];
-  for (;;) {
-    const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
-    if (n > 0) {
-      count("net.read_calls");
-      count("net.bytes_in", static_cast<std::uint64_t>(n));
-      conn.decoder->feed(std::span{chunk, static_cast<std::size_t>(n)});
-      Frame frame;
-      for (;;) {
-        const FrameDecoder::Status status = conn.decoder->next(frame);
-        if (status == FrameDecoder::Status::kFrame) {
-          deliver(frame);
-          continue;
+void Transport::pause_accepting() {
+  if (accept_paused_) return;
+  accept_paused_ = true;
+  home().reactor->remove(listen_slot_);
+  home().reactor->timers().add(now() + kAcceptPause, [this] {
+    accept_paused_ = false;
+    // Level-triggered: a non-empty backlog re-triggers immediately.
+    listen_slot_ = home().reactor->add_fd(
+        listen_fd_, [this](std::uint32_t) { accept_ready(); }, /*edge_triggered=*/false);
+  });
+}
+
+void Transport::adopt_inbound(Domain& domain, int fd) {
+  Inbound conn;
+  conn.fd = fd;
+  conn.decoder = std::make_unique<FrameDecoder>(options_.max_frame_length);
+  auto slot_box = std::make_shared<std::uint32_t>(0);
+  Domain* raw = &domain;
+  const std::uint32_t slot = domain.reactor->add_fd(
+      fd, [this, raw, slot_box](std::uint32_t events) {
+        inbound_event(*raw, *slot_box, events);
+      });
+  *slot_box = slot;
+  domain.inbound.emplace(slot, std::move(conn));
+}
+
+void Transport::close_inbound(Domain& domain, std::uint32_t slot) {
+  const auto it = domain.inbound.find(slot);
+  if (it == domain.inbound.end()) return;
+  domain.reactor->remove(slot);
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  domain.inbound.erase(it);
+}
+
+void Transport::inbound_event(Domain& domain, std::uint32_t slot, std::uint32_t events) {
+  const auto it = domain.inbound.find(slot);
+  if (it == domain.inbound.end()) return;
+  Inbound& conn = it->second;
+  std::uint64_t decoded = 0;
+  if ((events & EPOLLIN) != 0) {
+    std::byte chunk[16384];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+      if (n > 0) {
+        count("net.read_calls");
+        count("net.bytes_in", static_cast<std::uint64_t>(n));
+        conn.decoder->feed(std::span{chunk, static_cast<std::size_t>(n)});
+        Frame frame;
+        for (;;) {
+          const FrameDecoder::Status status = conn.decoder->next(frame);
+          if (status == FrameDecoder::Status::kFrame) {
+            ++decoded;
+            if (&domain == &home()) {
+              deliver(frame);
+            } else {
+              // Decoded off-thread; delivered to the actor in one home post
+              // per cycle (before_wait flushes the batch).
+              domain.delivery_batch.push_back(std::move(frame));
+            }
+            continue;
+          }
+          if (status == FrameDecoder::Status::kError) {
+            ABDKIT_LOG(LogLevel::kWarn, "net", "p", options_.self,
+                       ": closing corrupt inbound stream: ", conn.decoder->error());
+            count("net.frame_decode_errors");
+            close_inbound(domain, slot);
+            return;
+          }
+          break;  // kNeedMore
         }
-        if (status == FrameDecoder::Status::kError) {
-          ABDKIT_LOG(LogLevel::kWarn, "net", "p", options_.self,
-                     ": closing corrupt inbound stream: ", conn.decoder->error());
-          count("net.frame_decode_errors");
-          ::close(conn.fd);
-          conn.fd = -1;
-          return;
-        }
-        break;  // kNeedMore
+        continue;
       }
-      continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_inbound(domain, slot);  // EOF or hard error: the peer is gone
+      return;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    if (n < 0 && errno == EINTR) continue;
-    ::close(conn.fd);  // EOF or hard error: the peer is gone
-    conn.fd = -1;
-    return;
+  }
+  // Modeled per-frame service time (bench_c1): charge the owning reactor,
+  // sleeping in >= 1 ms chunks so short debts accumulate instead of
+  // busy-spinning sub-millisecond sleeps.
+  if (decoded > 0 && options_.inbound_service_time > Duration::zero()) {
+    domain.service_debt += static_cast<std::int64_t>(decoded) * options_.inbound_service_time;
+    if (domain.service_debt >= std::chrono::milliseconds{1}) {
+      const auto sleep_for = domain.service_debt;
+      domain.service_debt = Duration::zero();
+      std::this_thread::sleep_for(sleep_for);
+    }
+  }
+  if ((events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0) {
+    close_inbound(domain, slot);
   }
 }
 
@@ -534,19 +757,7 @@ void Transport::deliver(const Frame& frame) {
   actor_->on_message(*context_, frame.src, *frame.payload);
 }
 
-// ---- Event loop -------------------------------------------------------------------
-
-void Transport::drain_posted() {
-  std::deque<std::function<void()>> batch;
-  {
-    const MutexLock lock{post_mutex_};
-    batch.swap(posted_);
-  }
-  for (std::function<void()>& fn : batch) {
-    observe(ClusterEvent::Kind::kPost, options_.self, options_.self);
-    fn();
-  }
-}
+// ---- Per-cycle hooks --------------------------------------------------------------
 
 void Transport::drain_self_queue() {
   while (!self_queue_.empty()) {
@@ -557,154 +768,45 @@ void Transport::drain_self_queue() {
   }
 }
 
-int Transport::poll_timeout_ms() const {
-  if (!self_queue_.empty()) return 0;
-  Duration wait = std::chrono::milliseconds{500};  // robustness backstop
-  const TimePoint current = now();
-  if (!timer_heap_.empty()) {
-    wait = std::min(wait, timer_heap_.top().due - current);
-  }
-  for (const Peer& peer : peers_) {
-    if (peer.state == PeerState::kBackoff) {
-      wait = std::min(wait, peer.next_attempt - current);
-    }
-  }
-  if (wait <= Duration::zero()) return 0;
-  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(wait).count();
-  return static_cast<int>(ms) + 1;  // round up so deadlines have passed on wake
-}
-
-void Transport::loop() {
-  // Eagerly join the replica mesh; client entries are dialed on demand.
-  for (ProcessId p = 0; p < options_.world_size; ++p) {
-    if (p != options_.self) begin_connect(p);
-  }
-  actor_->on_start(*context_);
-
-  std::vector<pollfd> fds;
-  // Parallel to `fds`: what each entry refers to. Peer and inbound entries
-  // store the index into the respective vector.
-  enum class Slot : std::uint8_t { kWake, kListen, kPeer, kInbound };
-  struct SlotRef {
-    Slot slot;
-    std::size_t index;
-  };
-  std::vector<SlotRef> refs;
-
-  while (running_.load(std::memory_order_acquire)) {
-    drain_posted();
+void Transport::before_wait(Domain& domain) {
+  if (&domain == &home()) {
+    // Self-delivery first: it can enqueue more sends, which the passes
+    // below then stage and flush in this same cycle.
     drain_self_queue();
-    fire_due_timers();
-
-    // Backoff dials that came due.
-    const TimePoint current = now();
-    for (ProcessId p = 0; p < peers_.size(); ++p) {
-      if (peers_[p].state == PeerState::kBackoff && peers_[p].next_attempt <= current) {
-        begin_connect(p);
-      }
+    // Hand each dirty remote-owned destination's staged bytes to its owner
+    // — one post per destination per cycle, not per frame.
+    for (const ProcessId peer_id : staged_dirty_) {
+      StagedBytes& staged = staged_[peer_id];
+      staged.staged_dirty = false;
+      Domain* owner = domains_[owner_of(peer_id)].get();
+      owner->reactor->post([this, owner, peer_id, bytes = std::move(staged.bytes),
+                            frames = staged.frames] {
+        enqueue_bytes(*owner, peer_id, bytes.data(), bytes.size(), frames);
+      });
+      staged.bytes = {};
+      staged.frames = 0;
     }
-
-    // One coalesced writev pass over everything the drains and the previous
-    // cycle's event handling enqueued — always before poll() can sleep.
-    flush_dirty_peers();
-
-    fds.clear();
-    refs.clear();
-    fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
-    refs.push_back(SlotRef{Slot::kWake, 0});
-    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    refs.push_back(SlotRef{Slot::kListen, 0});
-    for (std::size_t i = 0; i < peers_.size(); ++i) {
-      const Peer& peer = peers_[i];
-      if (peer.fd < 0) continue;
-      short events = POLLIN;  // established: detect EOF/reset from the peer
-      if (peer.state == PeerState::kConnecting || !peer.queue.empty()) {
-        events = static_cast<short>(events | POLLOUT);
-      }
-      fds.push_back(pollfd{peer.fd, events, 0});
-      refs.push_back(SlotRef{Slot::kPeer, i});
+    staged_dirty_.clear();
+  }
+  // One coalesced writev pass over everything this cycle enqueued for the
+  // peers this domain owns — always before the loop can sleep.
+  for (const ProcessId peer_id : domain.dirty_peers) {
+    Peer& peer = peers_[peer_id];
+    if (!peer.flush_pending) continue;
+    if (peer.state == PeerState::kConnected && !peer.write_blocked) {
+      flush_peer(domain, peer_id);
+    } else {
+      peer.flush_pending = false;  // flushed on connect / next EPOLLOUT edge
     }
-    for (std::size_t i = 0; i < inbound_.size(); ++i) {
-      if (inbound_[i].fd < 0) continue;
-      fds.push_back(pollfd{inbound_[i].fd, POLLIN, 0});
-      refs.push_back(SlotRef{Slot::kInbound, i});
-    }
-
-    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_timeout_ms());
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      ABDKIT_LOG(LogLevel::kWarn, "net", "p", options_.self,
-                 ": poll failed: ", std::strerror(errno));
-      break;
-    }
-
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      const short revents = fds[i].revents;
-      if (revents == 0) continue;
-      switch (refs[i].slot) {
-        case Slot::kWake: {
-          std::byte sink[256];
-          while (::read(wake_read_fd_, sink, sizeof sink) > 0) {
-          }
-          break;
-        }
-        case Slot::kListen:
-          accept_ready();
-          break;
-        case Slot::kPeer: {
-          const ProcessId p = static_cast<ProcessId>(refs[i].index);
-          Peer& peer = peers_[p];
-          if (peer.fd != fds[i].fd) break;  // replaced during this sweep
-          if (peer.state == PeerState::kConnecting) {
-            if ((revents & (POLLERR | POLLHUP)) != 0) {
-              peer_failed(p, false);
-              break;
-            }
-            if ((revents & POLLOUT) != 0) {
-              int err = 0;
-              socklen_t len = sizeof err;
-              if (::getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
-                  err != 0) {
-                peer_failed(p, false);
-                break;
-              }
-              peer.state = PeerState::kConnected;
-              count(peer.ever_connected ? "net.reconnects" : "net.connects");
-              peer.ever_connected = true;
-              peer.backoff = Duration::zero();
-              flush_peer(p);
-            }
-            break;
-          }
-          if ((revents & POLLIN) != 0) {
-            // We never expect data on the dialer side; reading here exists
-            // to observe EOF/reset promptly.
-            std::byte sink[1024];
-            const ssize_t n = ::read(peer.fd, sink, sizeof sink);
-            if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                           errno != EINTR)) {
-              peer_failed(p, true);
-              break;
-            }
-          }
-          if ((revents & (POLLERR | POLLHUP)) != 0) {
-            peer_failed(p, true);
-            break;
-          }
-          if ((revents & POLLOUT) != 0) flush_peer(p);
-          break;
-        }
-        case Slot::kInbound: {
-          Inbound& conn = inbound_[refs[i].index];
-          if (conn.fd != fds[i].fd || conn.fd < 0) break;
-          inbound_ready(conn);
-          break;
-        }
-      }
-    }
-
-    // Compact closed inbound connections.
-    std::erase_if(inbound_, [](const Inbound& conn) { return conn.fd < 0; });
+  }
+  domain.dirty_peers.clear();
+  // Satellite reactors: ship this cycle's decoded frames to the actor.
+  if (!domain.delivery_batch.empty()) {
+    home().reactor->post(
+        [this, batch = std::move(domain.delivery_batch)] {
+          for (const Frame& frame : batch) deliver(frame);
+        });
+    domain.delivery_batch = {};
   }
 }
 

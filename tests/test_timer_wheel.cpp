@@ -1,0 +1,262 @@
+// Hierarchical timer wheel (net/timer_wheel.hpp) — the reactor's deadline
+// structure. The properties the transport relies on:
+//
+//   1. Fire order within an advance is (due, id) — identical to the old
+//      binary heap, so retransmission order (and thus wire traces) cannot
+//      change across the rewrite.
+//   2. cancel() has tombstone semantics: a cancelled timer never fires and
+//      live bookkeeping shrinks immediately, even while the slot entry dies
+//      lazily.
+//   3. Far-future deadlines (beyond the 256-ms level-0 span, and beyond the
+//      whole multi-level horizon) still fire exactly once at the right
+//      instant, via cascading.
+//   4. next_due() is conservative-early: never later than any pending
+//      deadline, and TimePoint::max() iff empty — it drives the epoll
+//      timeout, so "late" would stall retransmissions.
+//   5. Callbacks may re-arm and cancel reentrantly (the retransmit pattern).
+//
+// The cascade test checks the wheel against a naive sorted-multimap
+// reference across randomized workloads spanning all four levels.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "abdkit/net/timer_wheel.hpp"
+
+namespace abdkit::net {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TimePoint at(std::int64_t ns) { return TimePoint{Duration{ns}}; }
+
+TEST(TimerWheel, EmptyWheelHasNoDeadlineAndAdvanceIsHarmless) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.next_due(), TimePoint::max());
+  EXPECT_EQ(wheel.pending(), 0u);
+  wheel.advance(at(0));
+  wheel.advance(TimePoint{seconds{3600}});  // idle jump: no timers, no walk
+  EXPECT_EQ(wheel.next_due(), TimePoint::max());
+}
+
+TEST(TimerWheel, FiresInDueThenIdOrderWithinOneAdvance) {
+  TimerWheel wheel;
+  wheel.advance(at(0));
+  std::vector<int> order;
+  // Same tick, distinct sub-tick dues; insertion order deliberately shuffled.
+  wheel.add(TimePoint{microseconds{300}}, [&] { order.push_back(3); });
+  wheel.add(TimePoint{microseconds{100}}, [&] { order.push_back(1); });
+  wheel.add(TimePoint{microseconds{200}}, [&] { order.push_back(2); });
+  // Equal dues break ties by id (insertion order).
+  wheel.add(TimePoint{microseconds{400}}, [&] { order.push_back(4); });
+  wheel.add(TimePoint{microseconds{400}}, [&] { order.push_back(5); });
+  wheel.advance(TimePoint{milliseconds{1}});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, SubTickFutureEntriesStayUntilTheirInstant) {
+  TimerWheel wheel;
+  wheel.advance(at(0));
+  bool fired = false;
+  wheel.add(TimePoint{microseconds{800}}, [&] { fired = true; });
+  // Advance within the same tick but before the deadline: must not fire.
+  wheel.advance(TimePoint{microseconds{500}});
+  EXPECT_FALSE(fired);
+  wheel.advance(TimePoint{microseconds{800}});
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, CancelPreventsFiringAndReportsLiveness) {
+  TimerWheel wheel;
+  wheel.advance(at(0));
+  bool fired = false;
+  const TimerId id = wheel.add(TimePoint{milliseconds{5}}, [&] { fired = true; });
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_EQ(wheel.pending(), 0u);   // live bookkeeping shrinks immediately
+  EXPECT_FALSE(wheel.cancel(id));   // double-cancel is a no-op
+  EXPECT_EQ(wheel.next_due(), TimePoint::max());
+  wheel.advance(TimePoint{milliseconds{10}});
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(wheel.cancel(9999));  // unknown id is a no-op
+}
+
+TEST(TimerWheel, PastDueAddFiresOnNextAdvance) {
+  TimerWheel wheel;
+  wheel.advance(TimePoint{milliseconds{100}});
+  bool fired = false;
+  wheel.add(TimePoint{milliseconds{3}}, [&] { fired = true; });  // in the past
+  EXPECT_LE(wheel.next_due(), TimePoint{milliseconds{100}});
+  wheel.advance(TimePoint{milliseconds{100}});
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, FarFutureTimersCascadeAndFireOnce) {
+  TimerWheel wheel;
+  wheel.advance(at(0));
+  // One per level: 50 ms (L0), 10 s (L1), 2 h (L2), 10 days (L3), plus one
+  // beyond the whole ~49-day horizon (clamped, must re-cascade).
+  struct Probe {
+    Duration due;
+    int fired = 0;
+  };
+  std::vector<Probe> probes{{milliseconds{50}, 0},
+                            {seconds{10}, 0},
+                            {std::chrono::hours{2}, 0},
+                            {std::chrono::hours{240}, 0},
+                            {std::chrono::hours{24 * 60}, 0}};
+  for (auto& p : probes) wheel.add(TimePoint{p.due}, [&p] { ++p.fired; });
+  // Advance in coarse jumps; each probe must fire exactly once, never early.
+  const Duration step = std::chrono::hours{6};
+  for (Duration now{}; now <= std::chrono::hours{24 * 61}; now += step) {
+    wheel.advance(TimePoint{now});
+    for (const auto& p : probes) {
+      EXPECT_EQ(p.fired, now >= p.due ? 1 : 0) << "at " << now.count();
+    }
+  }
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_GT(wheel.cascades(), 0u);
+}
+
+TEST(TimerWheel, NextDueNeverLaterThanAnyPendingDeadline) {
+  TimerWheel wheel;
+  wheel.advance(at(0));
+  std::mt19937_64 rng{7};
+  std::map<TimerId, TimePoint> pending;
+  Duration now{};
+  for (int round = 0; round < 400; ++round) {
+    // Mixed horizon: mostly near (L0), some far (L1/L2).
+    const std::uint64_t span_ms =
+        round % 7 == 0 ? 400'000 : (round % 3 == 0 ? 2'000 : 180);
+    const auto delay =
+        milliseconds{static_cast<std::int64_t>(rng() % span_ms) + 1};
+    const TimePoint due = TimePoint{now} + delay;
+    pending.emplace(wheel.add(due, [] {}), due);
+    if (!pending.empty() && rng() % 4 == 0) {
+      auto victim = std::next(
+          pending.begin(), static_cast<std::ptrdiff_t>(rng() % pending.size()));
+      EXPECT_TRUE(wheel.cancel(victim->first));
+      pending.erase(victim);
+    }
+    TimePoint earliest = TimePoint::max();
+    for (const auto& [id, d] : pending) earliest = std::min(earliest, d);
+    EXPECT_LE(wheel.next_due(), earliest);
+    now += milliseconds{static_cast<std::int64_t>(rng() % 50)};
+    wheel.advance(TimePoint{now});
+    for (auto it = pending.begin(); it != pending.end();) {
+      it = it->second <= TimePoint{now} ? pending.erase(it) : std::next(it);
+    }
+    EXPECT_EQ(wheel.pending(), pending.size());
+  }
+}
+
+TEST(TimerWheel, ReentrantCallbacksCanRearmAndCancel) {
+  TimerWheel wheel;
+  wheel.advance(at(0));
+  // A retransmit-style chain: each firing re-arms itself further out.
+  int chain = 0;
+  std::function<void()> rearm = [&] {
+    if (++chain < 5) {
+      wheel.add(TimePoint{milliseconds{10 * (chain + 1)}}, rearm);
+    }
+  };
+  wheel.add(TimePoint{milliseconds{10}}, rearm);
+  // A callback that cancels a sibling due in the same batch: the sibling
+  // must not fire (ack-cancels-retransmit within one poll cycle).
+  bool sibling_fired = false;
+  TimerId sibling = 0;
+  wheel.add(TimePoint{microseconds{100}},
+            [&] { EXPECT_TRUE(wheel.cancel(sibling)); });
+  sibling = wheel.add(TimePoint{microseconds{200}},
+                      [&] { sibling_fired = true; });
+  // A callback that arms a timer already due: it fires within this advance,
+  // matching the old heap's while-top-due loop.
+  bool immediate_fired = false;
+  wheel.add(TimePoint{microseconds{300}}, [&] {
+    wheel.add(TimePoint{microseconds{50}}, [&] { immediate_fired = true; });
+  });
+  wheel.advance(TimePoint{milliseconds{1}});
+  EXPECT_FALSE(sibling_fired);
+  EXPECT_TRUE(immediate_fired);
+  for (int step = 2; step <= 10; ++step) {
+    wheel.advance(TimePoint{milliseconds{10 * step}});
+  }
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+// Randomized differential test against a naive reference: a sorted multimap
+// fired with the same (due, id) tie-break. Workloads span all four levels so
+// every cascade path is exercised; advances use irregular steps so level
+// boundaries are crossed mid-slot and in bulk.
+TEST(TimerWheel, CascadeCorrectnessMatchesNaiveReferenceAcrossLevels) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    std::mt19937_64 rng{seed};
+    TimerWheel wheel;
+    wheel.advance(at(0));
+
+    // Both sides fire in (due, id) order with monotone ids assigned in the
+    // same insertion order, so comparing the fired (due, id) sequences
+    // checks order, timing, and exactly-once delivery at once.
+    std::vector<std::pair<std::int64_t, TimerId>> wheel_fired;
+    std::vector<std::pair<std::int64_t, TimerId>> ref_fired;
+    std::map<std::pair<std::int64_t, TimerId>, bool> ref;  // pending set
+
+    Duration now{};
+    for (int round = 0; round < 300; ++round) {
+      const int adds = 1 + static_cast<int>(rng() % 4);
+      for (int a = 0; a < adds; ++a) {
+        // Horizon mix: L0 (≤256 ms), L1 (≤65 s), L2 (≤4.6 h), L3 (days).
+        static constexpr std::uint64_t kSpanUs[] = {
+            250'000, 60'000'000, 16'000'000'000, 900'000'000'000};
+        const std::uint64_t span = kSpanUs[rng() % 4];
+        const auto delay = microseconds{static_cast<std::int64_t>(rng() % span) + 1};
+        const TimePoint due = TimePoint{now} + delay;
+        // The wheel hands out the id before the callback can fire (the due
+        // is strictly future), so capturing through a stable box is safe.
+        auto id_box = std::make_shared<TimerId>(0);
+        *id_box = wheel.add(due, [&wheel_fired, due, id_box] {
+          wheel_fired.emplace_back(due.count(), *id_box);
+        });
+        ref.emplace(std::make_pair(due.count(), *id_box), true);
+      }
+      // Occasionally cancel a random pending timer on both sides.
+      if (!ref.empty() && rng() % 3 == 0) {
+        auto victim =
+            std::next(ref.begin(), static_cast<std::ptrdiff_t>(rng() % ref.size()));
+        EXPECT_TRUE(wheel.cancel(victim->first.second));
+        ref.erase(victim);
+      }
+      // Irregular advance: usually small, sometimes a level-crossing leap.
+      const std::uint64_t leap = rng() % 20;
+      Duration step = milliseconds{static_cast<std::int64_t>(rng() % 40)};
+      if (leap == 0) step = seconds{static_cast<std::int64_t>(rng() % 90)};
+      if (leap == 1) step = std::chrono::hours{1 + static_cast<std::int64_t>(rng() % 5)};
+      now += step;
+      wheel.advance(TimePoint{now});
+      for (auto it = ref.begin(); it != ref.end();) {
+        if (it->first.first <= Duration{now}.count()) {
+          ref_fired.emplace_back(it->first.first, it->first.second);
+          it = ref.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      ASSERT_EQ(wheel_fired, ref_fired) << "seed " << seed << " round " << round;
+      ASSERT_EQ(wheel.pending(), ref.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abdkit::net
